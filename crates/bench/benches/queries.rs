@@ -1,0 +1,120 @@
+//! End-to-end query benchmarks: one per evaluation artefact, at small
+//! scale (shape-preserving; see `lvq_bench::Scale`).
+//!
+//! * `fig12_result_size/*` — prover response generation per scheme
+//!   (the size itself is printed by `repro fig12`);
+//! * `fig13_bf_size/*` — LVQ proving across filter sizes;
+//! * `fig16_segment_len/*` — LVQ proving across segment lengths;
+//! * `verify/*` — light-client verification per scheme;
+//! * `build_chain/*` — chain construction (BMT/SMT maintenance cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use lvq_bench::{build_workload, Scale, WorkloadSpec};
+use lvq_chain::Address;
+use lvq_core::{LightClient, Prover, Scheme};
+use lvq_workload::Workload;
+
+const SEED: u64 = 0x1_5EED;
+
+fn probe(workload: &Workload, index: usize) -> Address {
+    workload.probes[index].address.clone()
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_result_size");
+    group.sample_size(10);
+    for scheme in Scheme::ALL {
+        let spec = WorkloadSpec {
+            seed: SEED,
+            ..WorkloadSpec::paper_default(scheme, Scale::Small)
+        };
+        let workload = build_workload(spec);
+        let address = probe(&workload, 3); // Addr4-class probe
+        group.bench_function(scheme.name().replace([' ', '/'], "_"), |b| {
+            let prover = Prover::from_chain(&workload.chain).unwrap();
+            b.iter(|| prover.respond(&address).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_bf_size");
+    group.sample_size(10);
+    for bf_size in [640u32, 6_400, 32_000] {
+        let spec = WorkloadSpec {
+            bf_size,
+            seed: SEED,
+            ..WorkloadSpec::paper_default(Scheme::Lvq, Scale::Small)
+        };
+        let workload = build_workload(spec);
+        let address = probe(&workload, 5);
+        group.bench_function(format!("{bf_size}B"), |b| {
+            let prover = Prover::from_chain(&workload.chain).unwrap();
+            b.iter(|| prover.respond(&address).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig16(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig16_segment_len");
+    group.sample_size(10);
+    for segment_len in [1u64, 16, 256] {
+        let spec = WorkloadSpec {
+            segment_len,
+            seed: SEED,
+            ..WorkloadSpec::paper_default(Scheme::Lvq, Scale::Small)
+        };
+        let workload = build_workload(spec);
+        let address = probe(&workload, 5);
+        group.bench_function(format!("M{segment_len}"), |b| {
+            let prover = Prover::from_chain(&workload.chain).unwrap();
+            b.iter(|| prover.respond(&address).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_verify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verify");
+    group.sample_size(10);
+    for scheme in Scheme::ALL {
+        let spec = WorkloadSpec {
+            seed: SEED,
+            ..WorkloadSpec::paper_default(scheme, Scale::Small)
+        };
+        let workload = build_workload(spec);
+        let address = probe(&workload, 3);
+        let prover = Prover::from_chain(&workload.chain).unwrap();
+        let (response, _) = prover.respond(&address).unwrap();
+        let client = LightClient::new(prover.config(), workload.chain.headers());
+        group.bench_function(scheme.name().replace([' ', '/'], "_"), |b| {
+            b.iter(|| client.verify(&address, &response).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_build_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("build_chain");
+    group.sample_size(10);
+    for scheme in Scheme::ALL {
+        let spec = WorkloadSpec {
+            seed: SEED,
+            ..WorkloadSpec::paper_default(scheme, Scale::Small)
+        };
+        group.bench_function(scheme.name().replace([' ', '/'], "_"), |b| {
+            b.iter(|| build_workload(spec))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_fig12, bench_fig13, bench_fig16, bench_verify, bench_build_chain
+}
+criterion_main!(benches);

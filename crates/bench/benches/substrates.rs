@@ -1,0 +1,118 @@
+//! Micro-benchmarks of the substrate structures: hashing, Bloom
+//! filters, and the three trees. These bound the cost of chain building
+//! (the BMT/SMT maintenance overhead LVQ adds to a full node).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use lvq_bloom::{BloomFilter, BloomParams};
+use lvq_crypto::{sha256, Hash256};
+use lvq_merkle::bmt::{self, BmtSource};
+use lvq_merkle::{Bmt, BmtBuilder, MerkleTree, SortedMerkleTree};
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 30_000] {
+        let data = vec![0xABu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("{size}B"), |b| b.iter(|| sha256(&data)));
+    }
+    group.finish();
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    let params = BloomParams::new(30_000, 2).unwrap();
+    let mut group = c.benchmark_group("bloom");
+    group.bench_function("insert", |b| {
+        let mut filter = BloomFilter::new(params);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            filter.insert(&i.to_le_bytes());
+        });
+    });
+    let mut filter = BloomFilter::new(params);
+    for i in 0..500u64 {
+        filter.insert(&i.to_le_bytes());
+    }
+    group.bench_function("check", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            filter.check(&i.to_le_bytes())
+        });
+    });
+    let other = filter.clone();
+    group.bench_function("union_30KB", |b| {
+        b.iter_batched(
+            || filter.clone(),
+            |mut f| f.union_with(&other).unwrap(),
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_merkle_trees(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trees");
+    let leaves: Vec<Hash256> = (0..220u64)
+        .map(|i| Hash256::hash(&i.to_le_bytes()))
+        .collect();
+    group.bench_function("mt_build_220", |b| {
+        b.iter(|| MerkleTree::from_leaves(leaves.clone()))
+    });
+    let tree = MerkleTree::from_leaves(leaves.clone());
+    group.bench_function("mt_branch", |b| b.iter(|| tree.branch(137).unwrap()));
+
+    let entries: Vec<(Vec<u8>, u64)> = (0..500u64)
+        .map(|i| (format!("1Addr{i:05}").into_bytes(), 1 + i % 3))
+        .collect();
+    group.bench_function("smt_build_500", |b| {
+        b.iter(|| SortedMerkleTree::new(entries.clone()).unwrap())
+    });
+    let smt = SortedMerkleTree::new(entries).unwrap();
+    group.bench_function("smt_prove_absent", |b| b.iter(|| smt.prove(b"1Nobody")));
+    group.finish();
+}
+
+fn bench_bmt(c: &mut Criterion) {
+    let params = BloomParams::new(1_920, 2).unwrap();
+    let leaves: Vec<BloomFilter> = (0..64u64)
+        .map(|i| {
+            let mut f = BloomFilter::new(params);
+            for j in 0..25u64 {
+                f.insert(format!("1A{i}x{j}").as_bytes());
+            }
+            f
+        })
+        .collect();
+    let mut group = c.benchmark_group("bmt");
+    group.bench_function("build_64_leaves", |b| {
+        b.iter(|| Bmt::build(1, leaves.clone()).unwrap())
+    });
+    group.bench_function("incremental_builder_64", |b| {
+        b.iter(|| {
+            let mut builder = BmtBuilder::new(params, 64, 1).unwrap();
+            for leaf in &leaves {
+                builder.push_leaf(leaf.clone()).unwrap();
+            }
+        })
+    });
+    let tree = Bmt::build(1, leaves).unwrap();
+    let positions = BloomFilter::bit_positions(params, b"1Absent");
+    group.bench_function("prove_absent", |b| {
+        b.iter(|| bmt::prove(&tree, &positions).unwrap())
+    });
+    let proof = bmt::prove(&tree, &positions).unwrap();
+    let root = tree.root_hash();
+    group.bench_function("verify_absent", |b| {
+        b.iter(|| proof.verify(1, 64, &root, params, &positions).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sha256, bench_bloom, bench_merkle_trees, bench_bmt
+}
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! The Bloom-filter-size sweep behind Figs. 13, 14 and 15.
+//!
+//! One sweep of full-LVQ chains at increasing filter sizes yields all
+//! three figures: total result size (Fig. 13), the BMT branches' share
+//! of it (Fig. 14), and the endpoint-node count (Fig. 15).
+
+use lvq_core::Scheme;
+
+use crate::experiments::verified_query;
+use crate::report::{bytes, percent, Table};
+use crate::scale::Scale;
+use crate::workloads::{build_workload, built_probes, WorkloadSpec};
+
+/// One `(filter size, address)` measurement.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Filter size in bytes.
+    pub bf_size: u32,
+    /// `Addr1..Addr6`.
+    pub addr: String,
+    /// Total result bytes (Fig. 13).
+    pub total_bytes: u64,
+    /// BMT branch bytes: endpoint filters + hashes + structure
+    /// (numerator of Fig. 14).
+    pub bmt_branch_bytes: u64,
+    /// Endpoint node count (Fig. 15).
+    pub endpoints: u64,
+}
+
+/// The sweep data.
+#[derive(Debug, Clone)]
+pub struct BfSweep {
+    /// All cells, sweep order.
+    pub cells: Vec<Cell>,
+    /// The swept sizes.
+    pub sizes: Vec<u32>,
+}
+
+/// Runs the sweep: full LVQ, `M = chain length`, same seed (= same
+/// ledger) at every size.
+pub fn run(scale: Scale, seed: u64) -> BfSweep {
+    let sizes = scale.bf_sweep();
+    let mut cells = Vec::new();
+    for &bf_size in &sizes {
+        let spec = WorkloadSpec {
+            bf_size,
+            seed,
+            ..WorkloadSpec::paper_default(Scheme::Lvq, scale)
+        };
+        let workload = build_workload(spec);
+        for (label, address) in built_probes(&workload) {
+            let (response, stats) = verified_query(&workload, &address);
+            let breakdown = response.size_breakdown();
+            cells.push(Cell {
+                bf_size,
+                addr: label,
+                total_bytes: response.total_bytes(),
+                bmt_branch_bytes: breakdown.bmt_branch_bytes(),
+                endpoints: stats.bmt.endpoint_count(),
+            });
+        }
+    }
+    BfSweep { cells, sizes }
+}
+
+impl BfSweep {
+    fn table_of(&self, title: &str, value: impl Fn(&Cell) -> String) -> Table {
+        let _ = title;
+        let mut header: Vec<String> = vec!["BF size".to_string()];
+        header.extend((1..=6).map(|i| format!("Addr{i}")));
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut table = Table::new(&header_refs);
+        for &size in &self.sizes {
+            let mut row = vec![bytes(u64::from(size))];
+            for i in 1..=6 {
+                let addr = format!("Addr{i}");
+                let cell = self
+                    .cells
+                    .iter()
+                    .find(|c| c.bf_size == size && c.addr == addr);
+                row.push(cell.map_or("-".to_string(), &value));
+            }
+            table.row(row);
+        }
+        table
+    }
+
+    /// Fig. 13: total result size per filter size.
+    pub fn fig13(&self) -> Table {
+        self.table_of("fig13", |c| bytes(c.total_bytes))
+    }
+
+    /// Fig. 14: BMT branch share of the total result.
+    pub fn fig14(&self) -> Table {
+        self.table_of("fig14", |c| {
+            if c.total_bytes == 0 {
+                "-".to_string()
+            } else {
+                percent(c.bmt_branch_bytes as f64 / c.total_bytes as f64)
+            }
+        })
+    }
+
+    /// Fig. 15: endpoint node count per filter size.
+    pub fn fig15(&self) -> Table {
+        self.table_of("fig15", |c| c.endpoints.to_string())
+    }
+}
+
+impl std::fmt::Display for BfSweep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Fig. 13 — impact of BF size on result size (LVQ)")?;
+        writeln!(f, "{}", self.fig13())?;
+        writeln!(f, "Fig. 14 — size ratio of BMT branches to total result")?;
+        writeln!(f, "{}", self.fig14())?;
+        writeln!(f, "Fig. 15 — number of endpoint nodes vs BF size")?;
+        write!(f, "{}", self.fig15())
+    }
+}

@@ -1,0 +1,113 @@
+//! Fig. 16 — effect of segment length `M` on the number of endpoint
+//! nodes (filter size held at the 30 KB-class value).
+
+use lvq_core::Scheme;
+
+use crate::experiments::verified_query;
+use crate::report::{bytes, Table};
+use crate::scale::Scale;
+use crate::workloads::{build_workload, built_probes, WorkloadSpec};
+
+/// One `(segment length, address)` measurement.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Segment length `M`.
+    pub segment_len: u64,
+    /// `Addr1..Addr6`.
+    pub addr: String,
+    /// Endpoint node count (the figure's y axis).
+    pub endpoints: u64,
+    /// Total result bytes (context; tracks endpoints since filters are
+    /// fixed-size).
+    pub total_bytes: u64,
+    /// Prover wall time in milliseconds (context: large `M` costs the
+    /// full node CPU even where bytes plateau, because node filters of
+    /// wide spans are recomputed from address sets).
+    pub prove_ms: u64,
+}
+
+/// The figure data.
+#[derive(Debug, Clone)]
+pub struct Fig16 {
+    /// All cells.
+    pub cells: Vec<Cell>,
+    /// The swept segment lengths.
+    pub lengths: Vec<u64>,
+}
+
+/// Runs the sweep: full LVQ at the fixed BMT filter size with `M` from
+/// 1 to the chain length (powers of two), same ledger throughout.
+pub fn run(scale: Scale, seed: u64) -> Fig16 {
+    let lengths = scale.m_sweep();
+    let mut cells = Vec::new();
+    for &segment_len in &lengths {
+        let spec = WorkloadSpec {
+            segment_len,
+            seed,
+            ..WorkloadSpec::paper_default(Scheme::Lvq, scale)
+        };
+        let workload = build_workload(spec);
+        for (label, address) in built_probes(&workload) {
+            let started = std::time::Instant::now();
+            let (response, stats) = verified_query(&workload, &address);
+            cells.push(Cell {
+                segment_len,
+                addr: label,
+                endpoints: stats.bmt.endpoint_count(),
+                total_bytes: response.total_bytes(),
+                prove_ms: started.elapsed().as_millis() as u64,
+            });
+        }
+    }
+    Fig16 { cells, lengths }
+}
+
+impl Fig16 {
+    /// Renders the endpoint-count table (one row per `M`).
+    pub fn table(&self) -> Table {
+        let mut header: Vec<String> = vec!["M".to_string()];
+        header.extend((1..=6).map(|i| format!("Addr{i}")));
+        header.push("Addr6 size".to_string());
+        header.push("Addr6 prove+verify".to_string());
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut table = Table::new(&header_refs);
+        for &m in &self.lengths {
+            let mut row = vec![m.to_string()];
+            for i in 1..=6 {
+                let addr = format!("Addr{i}");
+                let cell = self
+                    .cells
+                    .iter()
+                    .find(|c| c.segment_len == m && c.addr == addr);
+                row.push(cell.map_or("-".to_string(), |c| c.endpoints.to_string()));
+            }
+            let addr6 = self
+                .cells
+                .iter()
+                .find(|c| c.segment_len == m && c.addr == "Addr6");
+            row.push(addr6.map_or("-".to_string(), |c| bytes(c.total_bytes)));
+            row.push(addr6.map_or("-".to_string(), |c| format!("{} ms", c.prove_ms)));
+            table.row(row);
+        }
+        table
+    }
+
+    /// The `M` minimising endpoints for a given address.
+    pub fn best_m_for(&self, addr: &str) -> Option<u64> {
+        self.cells
+            .iter()
+            .filter(|c| c.addr == addr)
+            .min_by_key(|c| c.endpoints)
+            .map(|c| c.segment_len)
+    }
+}
+
+impl std::fmt::Display for Fig16 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Fig. 16 — endpoint nodes vs segment length (BF fixed)"
+        )?;
+        write!(f, "{}", self.table())
+    }
+}

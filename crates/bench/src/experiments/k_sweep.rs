@@ -1,0 +1,114 @@
+//! Extra ablation (not in the paper): the number of Bloom hash
+//! functions `k`, which the paper only ever sets "by default".
+//!
+//! More hash functions sharpen per-block filters (fewer FPM blocks) but
+//! saturate merged BMT filters faster (clean checks move down the
+//! tree). This sweep quantifies the trade-off the paper's default
+//! hides.
+
+use lvq_bloom::{theoretical_fpr, BloomParams};
+use lvq_core::{Scheme, SchemeConfig};
+use lvq_workload::WorkloadBuilder;
+
+use crate::experiments::verified_query;
+use crate::report::{bytes, Table};
+use crate::scale::Scale;
+
+/// One `(k, address)` measurement.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Hash-function count.
+    pub k: u32,
+    /// `Addr1..Addr6`.
+    pub addr: String,
+    /// Total result bytes.
+    pub total_bytes: u64,
+    /// BMT endpoint count.
+    pub endpoints: u64,
+}
+
+/// The sweep data.
+#[derive(Debug, Clone)]
+pub struct KSweep {
+    /// All cells.
+    pub cells: Vec<Cell>,
+    /// Swept hash counts.
+    pub ks: Vec<u32>,
+    /// Theoretical single-block FPR at each k (for context).
+    pub block_fpr: Vec<f64>,
+}
+
+/// Runs the sweep: full LVQ at the fixed BMT filter size, `k` from 1
+/// to 6, same ledger throughout.
+pub fn run(scale: Scale, seed: u64) -> KSweep {
+    let ks: Vec<u32> = (1..=6).collect();
+    let mut cells = Vec::new();
+    let mut block_fpr = Vec::new();
+    // Expected unique addresses per block, for the theoretical column.
+    let addrs_per_block = match scale {
+        Scale::Small => 30,
+        Scale::Paper => 500,
+    };
+    for &k in &ks {
+        let bloom = BloomParams::new(scale.bmt_bf(), k).expect("non-zero");
+        block_fpr.push(theoretical_fpr(bloom.bits(), k, addrs_per_block));
+        let config = SchemeConfig::new(Scheme::Lvq, bloom, scale.blocks())
+            .expect("power-of-two segment");
+        let workload = WorkloadBuilder::new(config.chain_params())
+            .blocks(scale.blocks())
+            .traffic(scale.traffic())
+            .seed(seed)
+            .probes(scale.probes())
+            .build()
+            .expect("scaled probes fit");
+        for (i, probe) in workload.probes.iter().enumerate() {
+            let (response, stats) = verified_query(&workload, &probe.address);
+            cells.push(Cell {
+                k,
+                addr: format!("Addr{}", i + 1),
+                total_bytes: response.total_bytes(),
+                endpoints: stats.bmt.endpoint_count(),
+            });
+        }
+    }
+    KSweep {
+        cells,
+        ks,
+        block_fpr,
+    }
+}
+
+impl KSweep {
+    /// Renders the sweep table.
+    pub fn table(&self) -> Table {
+        let mut header: Vec<String> = vec!["k".to_string(), "block FPR".to_string()];
+        for i in 1..=6 {
+            header.push(format!("Addr{i} size"));
+        }
+        header.push("Addr1 endpoints".to_string());
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut table = Table::new(&header_refs);
+        for (idx, &k) in self.ks.iter().enumerate() {
+            let mut row = vec![k.to_string(), format!("{:.2e}", self.block_fpr[idx])];
+            for i in 1..=6 {
+                let addr = format!("Addr{i}");
+                let cell = self.cells.iter().find(|c| c.k == k && c.addr == addr);
+                row.push(cell.map_or("-".to_string(), |c| bytes(c.total_bytes)));
+            }
+            let a1 = self.cells.iter().find(|c| c.k == k && c.addr == "Addr1");
+            row.push(a1.map_or("-".to_string(), |c| c.endpoints.to_string()));
+            table.row(row);
+        }
+        table
+    }
+}
+
+impl std::fmt::Display for KSweep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Ablation — number of Bloom hash functions k (LVQ, fixed BF size)"
+        )?;
+        write!(f, "{}", self.table())
+    }
+}

@@ -1,0 +1,121 @@
+//! Extra experiment: end-to-end query latency estimates.
+//!
+//! The paper reports sizes only; this experiment converts the same
+//! measured responses into indicative query latencies for three link
+//! classes (the §I coffee-shop scenario runs on a phone), adding the
+//! measured single-core verify time.
+
+use std::time::Instant;
+
+use lvq_core::{LightClient, Prover, Scheme};
+use lvq_node::BandwidthModel;
+
+use crate::report::{bytes, Table};
+use crate::scale::Scale;
+use crate::workloads::{build_workload, built_probes, WorkloadSpec};
+
+/// One `(scheme, address)` measurement.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// The scheme.
+    pub scheme: Scheme,
+    /// `Addr1..Addr6`.
+    pub addr: String,
+    /// Response bytes.
+    pub response_bytes: u64,
+    /// Measured light-client verify time (ms).
+    pub verify_ms: u64,
+    /// Estimated total latency on a mobile link (ms).
+    pub mobile_ms: u64,
+    /// Estimated total latency on broadband (ms).
+    pub broadband_ms: u64,
+}
+
+/// The experiment data.
+#[derive(Debug, Clone)]
+pub struct Latency {
+    /// All cells.
+    pub cells: Vec<Cell>,
+}
+
+/// Runs the experiment at the Fig. 12 configuration.
+pub fn run(scale: Scale, seed: u64) -> Latency {
+    let mut cells = Vec::new();
+    for scheme in Scheme::ALL {
+        let spec = WorkloadSpec {
+            seed,
+            ..WorkloadSpec::paper_default(scheme, scale)
+        };
+        let workload = build_workload(spec);
+        let prover = Prover::from_chain(&workload.chain).expect("known scheme");
+        let client = LightClient::new(prover.config(), workload.chain.headers());
+        for (label, address) in built_probes(&workload) {
+            let (response, _) = prover.respond(&address).expect("honest prover");
+            let started = Instant::now();
+            client.verify(&address, &response).expect("honest response");
+            let verify_ms = started.elapsed().as_millis() as u64;
+            let response_bytes = response.total_bytes();
+            cells.push(Cell {
+                scheme,
+                addr: label,
+                response_bytes,
+                verify_ms,
+                mobile_ms: BandwidthModel::mobile().transfer_time(response_bytes).as_millis()
+                    as u64
+                    + verify_ms,
+                broadband_ms: BandwidthModel::broadband()
+                    .transfer_time(response_bytes)
+                    .as_millis() as u64
+                    + verify_ms,
+            });
+        }
+    }
+    Latency { cells }
+}
+
+impl std::fmt::Display for Latency {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Latency estimate — transfer (5 Mbit/s mobile | 50 Mbit/s broadband) + measured verify"
+        )?;
+        let mut table = Table::new(&[
+            "Scheme", "Address", "Size", "verify", "mobile", "broadband",
+        ]);
+        for cell in &self.cells {
+            table.row(vec![
+                cell.scheme.name().to_string(),
+                cell.addr.clone(),
+                bytes(cell.response_bytes),
+                format!("{} ms", cell.verify_ms),
+                format!("{} ms", cell.mobile_ms),
+                format!("{} ms", cell.broadband_ms),
+            ]);
+        }
+        write!(f, "{table}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_orders_follow_sizes_at_small_scale() {
+        let result = run(Scale::Small, 11);
+        // For the absent address, LVQ must be far cheaper than the
+        // strawman on every link.
+        let get = |scheme: Scheme| {
+            result
+                .cells
+                .iter()
+                .find(|c| c.scheme == scheme && c.addr == "Addr1")
+                .expect("cell exists")
+                .clone()
+        };
+        let strawman = get(Scheme::Strawman);
+        let lvq = get(Scheme::Lvq);
+        assert!(lvq.response_bytes * 4 < strawman.response_bytes);
+        assert!(lvq.mobile_ms <= strawman.mobile_ms);
+    }
+}

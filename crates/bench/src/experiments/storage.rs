@@ -1,0 +1,81 @@
+//! Storage ablation (paper Challenge 1): bytes a light node stores per
+//! scheme, versus the naive strawman that embeds whole filters in
+//! headers.
+
+use lvq_core::{LightClient, Scheme, SchemeConfig};
+
+use crate::report::{bytes, Table};
+use crate::scale::Scale;
+use crate::workloads::{build_workload, WorkloadSpec};
+
+/// One scheme's measured light-node storage.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Scheme label.
+    pub label: String,
+    /// Total header bytes the light node stores.
+    pub total_bytes: u64,
+    /// Bytes per header.
+    pub per_header: u64,
+}
+
+/// The ablation data.
+#[derive(Debug, Clone)]
+pub struct Storage {
+    /// One row per design point.
+    pub rows: Vec<Row>,
+    /// Chain length used.
+    pub blocks: u64,
+}
+
+/// Measures header storage for each scheme and computes the naive
+/// BF-in-header strawman of paper §IV-A1 for comparison.
+pub fn run(scale: Scale, seed: u64) -> Storage {
+    let blocks = scale.blocks();
+    let mut rows = Vec::new();
+
+    // The original strawman stores the whole filter in every header:
+    // 80 base bytes + the filter itself.
+    let naive_per_header = 80 + u64::from(scale.per_block_bf());
+    rows.push(Row {
+        label: "strawman (BF in header, §IV-A)".to_string(),
+        total_bytes: blocks * naive_per_header,
+        per_header: naive_per_header,
+    });
+
+    for scheme in Scheme::ALL {
+        let spec = WorkloadSpec {
+            seed,
+            ..WorkloadSpec::paper_default(scheme, scale)
+        };
+        let workload = build_workload(spec);
+        let config: SchemeConfig = spec.config();
+        let client = LightClient::new(config, workload.chain.headers());
+        let total = client.storage_bytes();
+        rows.push(Row {
+            label: scheme.name().to_string(),
+            total_bytes: total,
+            per_header: total / blocks,
+        });
+    }
+    Storage { rows, blocks }
+}
+
+impl std::fmt::Display for Storage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Storage ablation — light-node header storage over {} blocks",
+            self.blocks
+        )?;
+        let mut table = Table::new(&["Design", "Per header", "Total"]);
+        for row in &self.rows {
+            table.row(vec![
+                row.label.clone(),
+                bytes(row.per_header),
+                bytes(row.total_bytes),
+            ]);
+        }
+        write!(f, "{table}")
+    }
+}

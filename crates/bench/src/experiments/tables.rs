@@ -1,0 +1,100 @@
+//! Tables I, II and III.
+
+use lvq_core::{segment, Scheme};
+
+use crate::report::Table;
+use crate::scale::Scale;
+use crate::workloads::{build_workload, WorkloadSpec};
+
+/// Table I — blocks to be merged per height (`M ≥ 8`).
+pub fn table1() -> Table {
+    let mut table = Table::new(&["Height", "#Blocks", "Blocks to be merged"]);
+    for height in 1..=8u64 {
+        let range = segment::merged_range(height, 8);
+        let blocks: Vec<String> = (range.lo..=range.hi).map(|h| h.to_string()).collect();
+        table.row(vec![
+            height.to_string(),
+            range.len().to_string(),
+            blocks.join(", "),
+        ]);
+    }
+    table
+}
+
+/// Table II — sub-segment division of the trailing partial segment
+/// (`M = 256`, blocks indexed from 1).
+pub fn table2() -> Table {
+    let mut table = Table::new(&["h_t", "Sub-segments"]);
+    for tip in [464u64, 465, 466] {
+        let segs = segment::segments(tip, 256);
+        let subs: Vec<String> = segs
+            .iter()
+            .filter(|s| s.lo > 256) // the paper's table lists only the partial segment
+            .map(|s| {
+                if s.lo == s.hi {
+                    format!("[{}]", s.lo)
+                } else {
+                    format!("[{},{}]", s.lo, s.hi)
+                }
+            })
+            .collect();
+        table.row(vec![tip.to_string(), subs.join(", ")]);
+    }
+    table
+}
+
+/// Table III — planted probe footprints, checked against the generated
+/// chain's ground truth.
+///
+/// # Panics
+///
+/// Panics if the generator failed to plant a probe exactly — that would
+/// invalidate every other experiment.
+pub fn table3(scale: Scale, seed: u64) -> Table {
+    let spec = WorkloadSpec {
+        seed,
+        ..WorkloadSpec::paper_default(Scheme::Lvq, scale)
+    };
+    let workload = build_workload(spec);
+    let mut table = Table::new(&["Index", "Address", "#Tx", "#Block"]);
+    for (i, probe) in workload.probes.iter().enumerate() {
+        let truth = workload.chain.history_of(&probe.address);
+        assert_eq!(truth.len() as u64, probe.tx_count, "planting broken");
+        table.row(vec![
+            (i + 1).to_string(),
+            probe.address.to_string(),
+            probe.tx_count.to_string(),
+            probe.block_heights.len().to_string(),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let rendered = table1().render();
+        // Paper Table I's height-8 row.
+        assert!(rendered.contains("1, 2, 3, 4, 5, 6, 7, 8"));
+        // Height 4 merges four blocks (the pseudocode off-by-one the
+        // paper's own table contradicts).
+        assert!(rendered.contains("| 4      | 4       | 1, 2, 3, 4"));
+    }
+
+    #[test]
+    fn table2_matches_paper() {
+        let rendered = table2().render();
+        assert!(rendered.contains("[257,384], [385,448], [449,464]"));
+        assert!(rendered.contains("[465]"));
+        assert!(rendered.contains("[465,466]"));
+    }
+
+    #[test]
+    fn table3_small_scale() {
+        let rendered = table3(Scale::Small, 7).render();
+        assert!(rendered.contains("1GuLyHTpL6U121Ewe5h31jP4HPC8s4mLTs"));
+    }
+}

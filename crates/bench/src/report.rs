@@ -1,0 +1,114 @@
+//! Table formatting helpers for experiment output.
+
+/// Formats a byte count the way the paper does (decimal units:
+/// KB = 10³ B, MB = 10⁶ B; see DESIGN.md interpretation 5).
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(lvq_bench::report::bytes(950), "950 B");
+/// assert_eq!(lvq_bench::report::bytes(41_120_000), "41.12 MB");
+/// ```
+pub fn bytes(n: u64) -> String {
+    if n >= 1_000_000 {
+        format!("{:.2} MB", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{:.2} KB", n as f64 / 1e3)
+    } else {
+        format!("{n} B")
+    }
+}
+
+/// Formats a ratio as a percentage with one decimal.
+pub fn percent(x: f64) -> String {
+    format!("{:.1} %", x * 100.0)
+}
+
+/// A simple aligned text table (markdown-compatible).
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders as a markdown table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let body: Vec<String> = cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            format!("| {} |\n", body.join(" | "))
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&format!("|-{}-|\n", sep.join("-|-")));
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(bytes(0), "0 B");
+        assert_eq!(bytes(999), "999 B");
+        assert_eq!(bytes(1_000), "1.00 KB");
+        assert_eq!(bytes(30_000), "30.00 KB");
+        assert_eq!(bytes(843_220_000), "843.22 MB");
+    }
+
+    #[test]
+    fn table_renders_markdown() {
+        let mut t = Table::new(&["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.starts_with("| a | bb |\n|---|----|\n"));
+        assert!(s.contains("| 1 | 2  |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn width_mismatch_panics() {
+        Table::new(&["a"]).row(vec!["1".into(), "2".into()]);
+    }
+}

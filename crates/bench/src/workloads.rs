@@ -1,0 +1,100 @@
+//! Shared workload construction for the experiments.
+
+use lvq_bloom::BloomParams;
+use lvq_chain::Address;
+use lvq_core::{Scheme, SchemeConfig};
+use lvq_workload::{Workload, WorkloadBuilder};
+
+use crate::scale::Scale;
+
+/// Everything that determines one experiment chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadSpec {
+    /// The scheme whose commitments the chain carries.
+    pub scheme: Scheme,
+    /// Bloom filter size in bytes.
+    pub bf_size: u32,
+    /// Segment length `M`.
+    pub segment_len: u64,
+    /// Experiment scale (blocks, traffic, probes).
+    pub scale: Scale,
+    /// RNG seed; equal seeds give bit-identical transaction streams
+    /// regardless of scheme or filter size, so scheme comparisons see
+    /// the *same* ledger.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// The paper's default configuration for `scheme` at `scale`:
+    /// 10 KB-class filters for per-block schemes, 30 KB-class filters
+    /// and `M = blocks` for BMT schemes (§VII-B).
+    pub fn paper_default(scheme: Scheme, scale: Scale) -> Self {
+        let bf_size = if scheme.is_per_block() {
+            scale.per_block_bf()
+        } else {
+            scale.bmt_bf()
+        };
+        WorkloadSpec {
+            scheme,
+            bf_size,
+            segment_len: scale.blocks(),
+            scale,
+            seed: 0x1_5EED,
+        }
+    }
+
+    /// The scheme configuration this spec implies.
+    pub fn config(&self) -> SchemeConfig {
+        SchemeConfig::new(
+            self.scheme,
+            BloomParams::new(self.bf_size, self.scale.hashes()).expect("non-zero bf size"),
+            self.segment_len,
+        )
+        .expect("power-of-two segment length")
+    }
+}
+
+/// Builds the chain and plants the scaled Table III probes.
+pub fn build_workload(spec: WorkloadSpec) -> Workload {
+    WorkloadBuilder::new(spec.config().chain_params())
+        .blocks(spec.scale.blocks())
+        .traffic(spec.scale.traffic())
+        .seed(spec.seed)
+        .probes(spec.scale.probes())
+        .build()
+        .expect("probe specs are scaled to the chain length")
+}
+
+/// The probes of a built workload, labelled `Addr1..Addr6` as the paper
+/// does.
+pub fn built_probes(workload: &Workload) -> Vec<(String, Address)> {
+    workload
+        .probes
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (format!("Addr{}", i + 1), p.address.clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_follow_section_seven() {
+        let strawman = WorkloadSpec::paper_default(Scheme::Strawman, Scale::Paper);
+        assert_eq!(strawman.bf_size, 10_000);
+        let lvq = WorkloadSpec::paper_default(Scheme::Lvq, Scale::Paper);
+        assert_eq!(lvq.bf_size, 30_000);
+        assert_eq!(lvq.segment_len, 4096);
+    }
+
+    #[test]
+    fn workload_builds_at_small_scale() {
+        let w = build_workload(WorkloadSpec::paper_default(Scheme::Lvq, Scale::Small));
+        assert_eq!(w.chain.tip_height(), Scale::Small.blocks());
+        let probes = built_probes(&w);
+        assert_eq!(probes.len(), 6);
+        assert_eq!(probes[0].0, "Addr1");
+    }
+}

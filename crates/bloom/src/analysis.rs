@@ -1,0 +1,98 @@
+//! Closed-form Bloom filter analysis (fill ratio, false-positive rate).
+
+/// Expected fraction of set bits after inserting `n` items into a filter
+/// of `m_bits` bits with `k` hash functions: `1 - e^(-k n / m)`.
+///
+/// # Examples
+///
+/// ```
+/// let fill = lvq_bloom::fill_ratio_estimate(80_000, 2, 10_000);
+/// assert!((fill - 0.2212).abs() < 1e-3);
+/// ```
+pub fn fill_ratio_estimate(m_bits: u64, k: u32, n: u64) -> f64 {
+    if m_bits == 0 {
+        return 1.0;
+    }
+    let exponent = -(k as f64) * (n as f64) / (m_bits as f64);
+    1.0 - exponent.exp()
+}
+
+/// Classical false-positive probability `(1 - e^(-k n / m))^k` for a
+/// filter of `m_bits` bits, `k` hash functions and `n` inserted items.
+///
+/// # Examples
+///
+/// ```
+/// // An empty filter never false-positives.
+/// assert_eq!(lvq_bloom::theoretical_fpr(80_000, 2, 0), 0.0);
+/// // A saturated filter always matches.
+/// assert!(lvq_bloom::theoretical_fpr(8, 2, 1_000_000) > 0.99);
+/// ```
+pub fn theoretical_fpr(m_bits: u64, k: u32, n: u64) -> f64 {
+    fill_ratio_estimate(m_bits, k, n).powi(k as i32)
+}
+
+/// The hash count minimising the false-positive rate for `m_bits` bits and
+/// `n` items: `round(m/n * ln 2)`, at least 1.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(lvq_bloom::optimal_k(80_000, 10_000), 6);
+/// ```
+pub fn optimal_k(m_bits: u64, n: u64) -> u32 {
+    if n == 0 {
+        return 1;
+    }
+    let k = (m_bits as f64 / n as f64 * std::f64::consts::LN_2).round();
+    (k as u32).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fill_ratio_monotone_in_n() {
+        let mut prev = -1.0;
+        for n in [0u64, 10, 100, 1_000, 10_000, 100_000] {
+            let f = fill_ratio_estimate(80_000, 2, n);
+            assert!(f > prev, "fill ratio must grow with n");
+            assert!((0.0..=1.0).contains(&f));
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn fpr_monotone_in_n() {
+        // The paper's Fig. 2 point: more elements => higher FPM likelihood.
+        let mut prev = -1.0;
+        for n in [0u64, 100, 1_000, 10_000, 100_000] {
+            let p = theoretical_fpr(240_000, 2, n);
+            assert!(p > prev || (p == 0.0 && prev < 0.0));
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn fpr_decreases_with_size() {
+        let small = theoretical_fpr(80_000, 2, 5_000);
+        let large = theoretical_fpr(240_000, 2, 5_000);
+        assert!(large < small);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(fill_ratio_estimate(0, 2, 10), 1.0);
+        assert_eq!(optimal_k(100, 0), 1);
+        assert_eq!(optimal_k(1, 1_000_000), 1);
+    }
+
+    #[test]
+    fn paper_rule_of_thumb() {
+        // §IV-A1: FPM below 0.01 needs bits-per-element ratio above ~10.
+        let n = 1_000;
+        let k = optimal_k(10 * n, n);
+        assert!(theoretical_fpr(10 * n, k, n) < 0.01);
+    }
+}

@@ -1,0 +1,35 @@
+//! Bloom filter error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by Bloom filter constructors and binary operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BloomError {
+    /// The requested filter size was zero.
+    ZeroSize,
+    /// The requested number of hash functions was zero.
+    ZeroHashes,
+    /// A binary operation combined filters with different parameters.
+    ///
+    /// Unioning filters of different sizes or hash counts would silently
+    /// produce garbage membership answers, so it is rejected.
+    ParamsMismatch,
+}
+
+impl fmt::Display for BloomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BloomError::ZeroSize => f.write_str("bloom filter size must be at least one byte"),
+            BloomError::ZeroHashes => {
+                f.write_str("bloom filter needs at least one hash function")
+            }
+            BloomError::ParamsMismatch => {
+                f.write_str("bloom filters have mismatched parameters")
+            }
+        }
+    }
+}
+
+impl Error for BloomError {}

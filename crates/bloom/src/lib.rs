@@ -1,0 +1,39 @@
+//! BIP 37-style Bloom filters for the LVQ reproduction.
+//!
+//! A [`BloomFilter`] summarises the set of addresses appearing in one or
+//! more blocks. The strawman design checks an address against one filter
+//! per block; LVQ's BMT merges filters of dyadic block runs with bitwise
+//! OR ([`BloomFilter::union_with`]) so a single clean check can rule an
+//! address out of thousands of blocks.
+//!
+//! Bit positions follow BIP 37: position `i` of item `x` is
+//! `murmur3_32(x, i * 0xFBA4C795 + tweak) mod m_bits`.
+//!
+//! # Examples
+//!
+//! ```
+//! use lvq_bloom::{BloomFilter, BloomParams, CheckOutcome};
+//!
+//! # fn main() -> Result<(), lvq_bloom::BloomError> {
+//! let params = BloomParams::new(1_000, 2)?; // 1 KB, k = 2
+//! let mut filter = BloomFilter::new(params);
+//! filter.insert(b"addr-one");
+//!
+//! assert_eq!(filter.check(b"addr-one"), CheckOutcome::PossiblyPresent);
+//! assert_eq!(filter.check(b"missing"), CheckOutcome::DefinitelyAbsent);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analysis;
+mod error;
+mod filter;
+mod params;
+
+pub use analysis::{fill_ratio_estimate, optimal_k, theoretical_fpr};
+pub use error::BloomError;
+pub use filter::{BloomFilter, CheckOutcome};
+pub use params::BloomParams;

@@ -1,0 +1,148 @@
+//! Bitcoin-style addresses.
+
+use std::fmt;
+use std::sync::Arc;
+
+use lvq_codec::{Decodable, DecodeError, Encodable, Reader};
+use lvq_crypto::base58;
+
+/// A Bitcoin-style address.
+///
+/// Internally an interned string (`Arc<str>`): a busy address appears in
+/// thousands of transactions, and interning makes clones pointer-sized,
+/// which keeps a 4,096-block chain comfortably in memory.
+///
+/// Addresses order lexicographically by their byte representation — the
+/// order the paper's SMT sorts leaves by — and the same bytes feed the
+/// Bloom filters.
+///
+/// # Examples
+///
+/// ```
+/// use lvq_chain::Address;
+///
+/// let addr = Address::from_pubkey_hash(0x00, &[0xAB; 20]);
+/// assert!(addr.to_string().starts_with('1')); // mainnet P2PKH shape
+/// let copy = addr.clone();
+/// assert_eq!(addr, copy);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Address(Arc<str>);
+
+impl Address {
+    /// Creates an address from any string-like value.
+    ///
+    /// No checksum validation is performed: the workload generator mints
+    /// synthetic addresses, and the protocol treats addresses as opaque
+    /// sortable byte strings (exactly how the paper's SMT and BF use
+    /// them).
+    pub fn new(s: impl Into<Arc<str>>) -> Self {
+        Address(s.into())
+    }
+
+    /// Derives a Base58Check address from a 20-byte public-key hash, as
+    /// Bitcoin's P2PKH addresses are formed.
+    pub fn from_pubkey_hash(version: u8, pubkey_hash: &[u8; 20]) -> Self {
+        Address(base58::check_encode(version, pubkey_hash).into())
+    }
+
+    /// The address as a string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The bytes fed to Bloom filters and used as the SMT key.
+    pub fn as_bytes(&self) -> &[u8] {
+        self.0.as_bytes()
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Address {
+    fn from(s: &str) -> Self {
+        Address::new(s)
+    }
+}
+
+impl From<String> for Address {
+    fn from(s: String) -> Self {
+        Address::new(s)
+    }
+}
+
+impl AsRef<[u8]> for Address {
+    fn as_ref(&self) -> &[u8] {
+        self.as_bytes()
+    }
+}
+
+impl Encodable for Address {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.0.as_ref().encode_into(out)
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.0.as_ref().encoded_len()
+    }
+}
+
+impl Decodable for Address {
+    fn decode_from(reader: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let s = String::decode_from(reader)?;
+        if s.is_empty() || s.len() > 128 {
+            return Err(DecodeError::InvalidValue {
+                what: "address length",
+                found: s.len() as u64,
+            });
+        }
+        Ok(Address::new(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lvq_codec::decode_exact;
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let a = Address::new("1AAA");
+        let b = Address::new("1AAB");
+        let c = Address::new("1AABB");
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn pubkey_hash_addresses_are_valid_base58check() {
+        let addr = Address::from_pubkey_hash(0x00, &[7; 20]);
+        let (version, payload) = base58::check_decode(addr.as_str()).unwrap();
+        assert_eq!(version, 0);
+        assert_eq!(payload, vec![7; 20]);
+    }
+
+    #[test]
+    fn clone_shares_storage() {
+        let a = Address::new("1Shared");
+        let b = a.clone();
+        assert!(std::ptr::eq(a.as_str(), b.as_str()));
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let a = Address::new("1GuLyHTpL6U121Ewe5h31jP4HPC8s4mLTs");
+        assert_eq!(decode_exact::<Address>(&a.encode()).unwrap(), a);
+    }
+
+    #[test]
+    fn decode_rejects_degenerate() {
+        let empty = String::new().encode();
+        assert!(decode_exact::<Address>(&empty).is_err());
+        let huge = "x".repeat(129).encode();
+        assert!(decode_exact::<Address>(&huge).is_err());
+    }
+}

@@ -1,0 +1,138 @@
+//! Balance computation from a transaction history (paper Eq. 1).
+
+use crate::address::Address;
+use crate::transaction::Transaction;
+
+/// The two sums of paper Eq. 1.
+///
+/// `Balance(addr) = Σ v_j − Σ w_i` where `v_j` are output values paying
+/// the address and `w_i` are input values spent from it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BalanceBreakdown {
+    /// Total satoshi received (`Σ v_j`).
+    pub received: u64,
+    /// Total satoshi spent (`Σ w_i`).
+    pub spent: u64,
+    /// Number of transactions that contributed.
+    pub transactions: u64,
+}
+
+impl BalanceBreakdown {
+    /// The net balance. Negative only if the history is incomplete or
+    /// inconsistent — which is exactly what LVQ's completeness
+    /// verification rules out.
+    pub fn net(&self) -> i128 {
+        i128::from(self.received) - i128::from(self.spent)
+    }
+}
+
+/// Computes paper Eq. 1 over a transaction history.
+///
+/// The history must be *complete* for the result to be meaningful; the
+/// whole point of LVQ is that a light node can verify completeness
+/// before trusting this number.
+///
+/// # Examples
+///
+/// ```
+/// use lvq_chain::{balance_of, Address, Transaction};
+///
+/// let miner = Address::new("1Miner");
+/// let txs = [Transaction::coinbase(miner.clone(), 50, 0)];
+/// assert_eq!(balance_of(&miner, &txs).net(), 50);
+/// ```
+pub fn balance_of<'a>(
+    address: &Address,
+    history: impl IntoIterator<Item = &'a Transaction>,
+) -> BalanceBreakdown {
+    let mut breakdown = BalanceBreakdown::default();
+    for tx in history {
+        let mut touched = false;
+        for output in &tx.outputs {
+            if &output.address == address {
+                breakdown.received += output.value;
+                touched = true;
+            }
+        }
+        for input in &tx.inputs {
+            if &input.address == address && !tx.is_coinbase() {
+                breakdown.spent += input.value;
+                touched = true;
+            }
+        }
+        if touched {
+            breakdown.transactions += 1;
+        }
+    }
+    breakdown
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transaction::{TxInput, TxOutPoint, TxOutput};
+    use lvq_crypto::Hash256;
+
+    fn transfer(from: &str, to: &str, value: u64, change: u64) -> Transaction {
+        Transaction {
+            version: 1,
+            inputs: vec![TxInput {
+                prev_out: TxOutPoint {
+                    txid: Hash256::hash(from.as_bytes()),
+                    vout: 0,
+                },
+                address: Address::new(from),
+                value: value + change,
+            }],
+            outputs: vec![
+                TxOutput {
+                    address: Address::new(to),
+                    value,
+                },
+                TxOutput {
+                    address: Address::new(from),
+                    value: change,
+                },
+            ],
+            lock_time: 0,
+        }
+    }
+
+    #[test]
+    fn equation_one_both_sides() {
+        let alice = Address::new("1Alice");
+        let history = vec![
+            Transaction::coinbase(alice.clone(), 100, 0),
+            transfer("1Alice", "1Bob", 30, 70),
+        ];
+        let b = balance_of(&alice, &history);
+        // Received: 100 (coinbase) + 70 (change). Spent: 100.
+        assert_eq!(b.received, 170);
+        assert_eq!(b.spent, 100);
+        assert_eq!(b.net(), 70);
+        assert_eq!(b.transactions, 2);
+    }
+
+    #[test]
+    fn uninvolved_address_is_zero() {
+        let history = vec![transfer("1A", "1B", 5, 0)];
+        let b = balance_of(&Address::new("1C"), &history);
+        assert_eq!(b, BalanceBreakdown::default());
+    }
+
+    #[test]
+    fn incomplete_history_can_go_negative() {
+        // Omitting the funding transaction (what a malicious full node
+        // would try) yields a nonsensical negative balance.
+        let history = vec![transfer("1A", "1B", 5, 0)];
+        assert!(balance_of(&Address::new("1A"), &history).net() < 0);
+    }
+
+    #[test]
+    fn coinbase_marker_input_not_counted_as_spend() {
+        let miner = Address::new("1Miner");
+        let b = balance_of(&miner, &[Transaction::coinbase(miner.clone(), 50, 0)]);
+        assert_eq!(b.spent, 0);
+        assert_eq!(b.net(), 50);
+    }
+}

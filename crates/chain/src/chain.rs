@@ -1,0 +1,356 @@
+//! The assembled [`Chain`] and its lazy BMT access.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use lvq_bloom::BloomFilter;
+use lvq_crypto::Hash256;
+use lvq_merkle::bmt::{merge_count, BmtBuilder, BmtSource};
+
+use crate::address::Address;
+use crate::block::Block;
+use crate::error::ChainError;
+use crate::header::BlockHeader;
+use crate::params::ChainParams;
+
+/// Default byte budget for the leaf-filter cache (filters beyond this are
+/// recomputed from address sets on demand).
+const DEFAULT_FILTER_CACHE_BYTES: usize = 256 * 1024 * 1024;
+
+#[derive(Debug)]
+struct FilterCache {
+    budget_bytes: usize,
+    used_bytes: usize,
+    entries: HashMap<u64, BloomFilter>,
+    order: VecDeque<u64>,
+}
+
+impl FilterCache {
+    fn new(budget_bytes: usize) -> Self {
+        FilterCache {
+            budget_bytes,
+            used_bytes: 0,
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    fn get(&self, height: u64) -> Option<BloomFilter> {
+        self.entries.get(&height).cloned()
+    }
+
+    fn put(&mut self, height: u64, filter: BloomFilter) {
+        let size = filter.params().size_bytes() as usize;
+        if size > self.budget_bytes {
+            return;
+        }
+        if self.entries.insert(height, filter).is_none() {
+            self.used_bytes += size;
+            self.order.push_back(height);
+        }
+        while self.used_bytes > self.budget_bytes {
+            let Some(evict) = self.order.pop_front() else {
+                break;
+            };
+            if self.entries.remove(&evict).is_some() {
+                self.used_bytes -= size;
+            }
+        }
+    }
+}
+
+/// An assembled blockchain: blocks at heights `1..=tip`, pre-computed
+/// per-block address tables, and the hash of every dyadic BMT span.
+///
+/// Bloom filters are *not* stored (a 4,096-block chain of 500 KB filters
+/// would need 2 GB); they are recomputed from the address tables on
+/// demand through a bounded cache. Recomputation is exact: a filter is a
+/// pure function of the address set and the shared [`lvq_bloom::BloomParams`].
+///
+/// Constructed by [`crate::ChainBuilder`].
+#[derive(Debug)]
+pub struct Chain {
+    pub(crate) params: ChainParams,
+    pub(crate) blocks: Vec<Block>,
+    /// Sorted `(address, distinct-tx count)` per block, heights 1-based.
+    pub(crate) addr_counts: Vec<Arc<Vec<(Address, u64)>>>,
+    /// BMT node hash for every finalised dyadic span `(lo, hi)`.
+    pub(crate) span_hashes: HashMap<(u64, u64), Hash256>,
+    filter_cache: Mutex<FilterCache>,
+}
+
+impl Chain {
+    pub(crate) fn from_parts(
+        params: ChainParams,
+        blocks: Vec<Block>,
+        addr_counts: Vec<Arc<Vec<(Address, u64)>>>,
+        span_hashes: HashMap<(u64, u64), Hash256>,
+    ) -> Self {
+        Chain {
+            params,
+            blocks,
+            addr_counts,
+            span_hashes,
+            filter_cache: Mutex::new(FilterCache::new(DEFAULT_FILTER_CACHE_BYTES)),
+        }
+    }
+
+    /// The chain's configuration.
+    pub fn params(&self) -> ChainParams {
+        self.params
+    }
+
+    /// Height of the latest block (`0` for an empty chain).
+    pub fn tip_height(&self) -> u64 {
+        self.blocks.len() as u64
+    }
+
+    /// The block at `height` (heights are 1-based, like the paper's
+    /// Table II examples).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::UnknownHeight`] outside `1..=tip`.
+    pub fn block(&self, height: u64) -> Result<&Block, ChainError> {
+        self.index(height).map(|i| &self.blocks[i])
+    }
+
+    /// The header at `height`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::UnknownHeight`] outside `1..=tip`.
+    pub fn header(&self, height: u64) -> Result<&BlockHeader, ChainError> {
+        self.block(height).map(|b| &b.header)
+    }
+
+    /// Copies every header — the download a light node performs.
+    pub fn headers(&self) -> Vec<BlockHeader> {
+        self.blocks.iter().map(|b| b.header).collect()
+    }
+
+    /// The sorted `(address, count)` table of the block at `height`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::UnknownHeight`] outside `1..=tip`.
+    pub fn addr_counts(&self, height: u64) -> Result<&Arc<Vec<(Address, u64)>>, ChainError> {
+        self.index(height).map(|i| &self.addr_counts[i])
+    }
+
+    /// The Bloom filter of the block at `height`, recomputed or served
+    /// from cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::UnknownHeight`] outside `1..=tip`.
+    pub fn leaf_filter(&self, height: u64) -> Result<BloomFilter, ChainError> {
+        let idx = self.index(height)?;
+        if let Some(hit) = self.filter_cache.lock().get(height) {
+            return Ok(hit);
+        }
+        let mut filter = BloomFilter::new(self.params.bloom());
+        for (addr, _) in self.addr_counts[idx].iter() {
+            filter.insert(addr.as_bytes());
+        }
+        self.filter_cache.lock().put(height, filter.clone());
+        Ok(filter)
+    }
+
+    /// The union filter over blocks `lo..=hi`, computed by direct
+    /// insertion (bit-identical to OR-ing the per-block filters).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::UnknownHeight`] if the range leaves the
+    /// chain.
+    pub fn span_filter(&self, lo: u64, hi: u64) -> Result<BloomFilter, ChainError> {
+        if lo == hi {
+            return self.leaf_filter(lo);
+        }
+        self.index(lo)?;
+        self.index(hi)?;
+        let mut filter = BloomFilter::new(self.params.bloom());
+        for height in lo..=hi {
+            for (addr, _) in self.addr_counts[(height - 1) as usize].iter() {
+                filter.insert(addr.as_bytes());
+            }
+        }
+        Ok(filter)
+    }
+
+    /// The stored BMT node hash of the dyadic span `(lo, hi)`, if the
+    /// chain committed one.
+    pub fn span_hash(&self, lo: u64, hi: u64) -> Option<Hash256> {
+        self.span_hashes.get(&(lo, hi)).copied()
+    }
+
+    /// A [`BmtSource`] over the segment `lo..=hi`, whose last block
+    /// committed the BMT root for exactly this range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::UnknownHeight`] if the range leaves the
+    /// chain and [`ChainError::Bmt`] if the range is not dyadic.
+    pub fn segment_source(&self, lo: u64, hi: u64) -> Result<SegmentBmtSource<'_>, ChainError> {
+        self.index(lo)?;
+        self.index(hi)?;
+        let count = hi - lo + 1;
+        if count & (count - 1) != 0 {
+            return Err(ChainError::Bmt(
+                lvq_merkle::BmtError::LeafCountNotPowerOfTwo { count },
+            ));
+        }
+        Ok(SegmentBmtSource {
+            chain: self,
+            lo,
+            hi,
+        })
+    }
+
+    /// Every transaction involving `address`, with heights — ground
+    /// truth for tests and the full node's own index.
+    pub fn history_of(&self, address: &Address) -> Vec<(u64, crate::Transaction)> {
+        let mut out = Vec::new();
+        for (i, block) in self.blocks.iter().enumerate() {
+            for tx in &block.transactions {
+                if tx.involves(address) {
+                    out.push((i as u64 + 1, tx.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Full integrity check: header chaining, Merkle roots, and every
+    /// commitment the policy requires. Intended for tests; cost is
+    /// O(chain length × block size).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first inconsistency found.
+    pub fn validate(&self) -> Result<(), ChainError> {
+        let policy = self.params.policy();
+        let mut prev_hash = Hash256::ZERO;
+        let mut bmt_builder = if policy.bmt {
+            Some(
+                BmtBuilder::new(self.params.bloom(), self.params.segment_len(), 1)
+                    .map_err(ChainError::Bmt)?,
+            )
+        } else {
+            None
+        };
+
+        for (i, block) in self.blocks.iter().enumerate() {
+            let height = i as u64 + 1;
+            if block.header.prev_block != prev_hash {
+                return Err(ChainError::BrokenChainLink { height });
+            }
+            prev_hash = block.header.block_hash();
+
+            if block.header.merkle_root != block.tx_tree().root() {
+                return Err(ChainError::CommitmentMismatch {
+                    height,
+                    what: "merkle root",
+                });
+            }
+
+            let filter = self.leaf_filter(height)?;
+            if policy.bf_hash && block.header.commitments.bf_hash != Some(filter.content_hash())
+            {
+                return Err(ChainError::CommitmentMismatch {
+                    height,
+                    what: "bloom filter hash",
+                });
+            }
+            if policy.smt {
+                let smt = block.address_smt().map_err(ChainError::Smt)?;
+                if block.header.commitments.smt_commitment != Some(smt.commitment()) {
+                    return Err(ChainError::CommitmentMismatch {
+                        height,
+                        what: "smt",
+                    });
+                }
+            }
+            if let Some(builder) = bmt_builder.as_mut() {
+                let commit = builder.push_leaf(filter).map_err(ChainError::Bmt)?;
+                if block.header.commitments.bmt_root != Some(commit.root) {
+                    return Err(ChainError::CommitmentMismatch {
+                        height,
+                        what: "bmt root",
+                    });
+                }
+            }
+            // Recomputed address table must match the stored one.
+            if block.address_counts() != **self.addr_counts[i] {
+                return Err(ChainError::CommitmentMismatch {
+                    height,
+                    what: "address table",
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// In-segment position (1-based) of `height` given the chain's `M` —
+    /// the `l` of paper Algorithm 1 with `l = M` at segment ends.
+    pub fn segment_position(&self, height: u64) -> u64 {
+        let m = self.params.segment_len();
+        let r = height % m;
+        if r == 0 {
+            m
+        } else {
+            r
+        }
+    }
+
+    /// The block range `height` merges into its committed BMT (paper
+    /// Table I).
+    pub fn merged_range(&self, height: u64) -> (u64, u64) {
+        let count = merge_count(self.segment_position(height));
+        (height - count + 1, height)
+    }
+
+    fn index(&self, height: u64) -> Result<usize, ChainError> {
+        if height == 0 || height > self.tip_height() {
+            return Err(ChainError::UnknownHeight { height });
+        }
+        Ok((height - 1) as usize)
+    }
+}
+
+/// Lazy [`BmtSource`] over one segment of a [`Chain`].
+///
+/// `filter` recomputes node filters from address sets; `node_hash` serves
+/// the hashes the chain stored while building.
+#[derive(Debug, Clone, Copy)]
+pub struct SegmentBmtSource<'a> {
+    chain: &'a Chain,
+    lo: u64,
+    hi: u64,
+}
+
+impl BmtSource for SegmentBmtSource<'_> {
+    fn params(&self) -> lvq_bloom::BloomParams {
+        self.chain.params.bloom()
+    }
+
+    fn span(&self) -> (u64, u64) {
+        (self.lo, self.hi)
+    }
+
+    fn filter(&self, lo: u64, hi: u64) -> BloomFilter {
+        self.chain
+            .span_filter(lo, hi)
+            .expect("source span inside chain")
+    }
+
+    fn node_hash(&self, lo: u64, hi: u64) -> Hash256 {
+        self.chain
+            .span_hash(lo, hi)
+            .expect("dyadic span hash stored at build time")
+    }
+}

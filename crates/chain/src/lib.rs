@@ -1,0 +1,62 @@
+//! A Bitcoin-like chain substrate for the LVQ reproduction.
+//!
+//! The paper prototypes on Btcd (a Go Bitcoin full node). This crate is
+//! the from-scratch Rust equivalent of the parts the evaluation actually
+//! exercises:
+//!
+//! * [`Transaction`]s in a simplified UTXO model whose inputs and outputs
+//!   carry [`Address`]es and values (enough for the paper's Eq. 1 balance
+//!   computation and address-history queries);
+//! * [`Block`]s with Bitcoin-layout [`BlockHeader`]s extended by the
+//!   scheme commitments LVQ adds: `H(BF)`, the BMT root, and the SMT
+//!   commitment — which of them a header carries is decided by
+//!   [`CommitmentPolicy`];
+//! * a [`ChainBuilder`] that assembles a valid [`Chain`], computing every
+//!   per-block structure (transaction Merkle tree, address Bloom filter,
+//!   SMT, incremental BMT merging per paper Table I) as blocks arrive;
+//! * lazy Bloom-filter access ([`Chain::leaf_filter`],
+//!   [`Chain::segment_source`]) so even 500 KB-filter configurations fit
+//!   in memory: node filters are recomputed from stored per-block address
+//!   sets while the 32-byte span hashes are kept for all dyadic spans.
+//!
+//! # Examples
+//!
+//! ```
+//! use lvq_chain::{Address, ChainBuilder, ChainParams, Transaction, TxOutput};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let params = ChainParams::default();
+//! let mut builder = ChainBuilder::new(params)?;
+//! let coinbase = Transaction::coinbase(Address::new("1Miner"), 50_0000_0000, 1);
+//! builder.push_block(vec![coinbase])?;
+//! let chain = builder.finish();
+//! assert_eq!(chain.tip_height(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod address;
+mod balance;
+mod block;
+mod builder;
+mod chain;
+mod error;
+pub mod file;
+mod header;
+mod params;
+mod transaction;
+mod utxo;
+
+pub use address::Address;
+pub use balance::{balance_of, BalanceBreakdown};
+pub use block::Block;
+pub use builder::ChainBuilder;
+pub use chain::{Chain, SegmentBmtSource};
+pub use error::ChainError;
+pub use header::{BlockHeader, HeaderCommitments, BASE_HEADER_LEN};
+pub use params::{ChainParams, CommitmentPolicy};
+pub use transaction::{Transaction, TxInput, TxOutPoint, TxOutput};
+pub use utxo::{UtxoEntry, UtxoSet};

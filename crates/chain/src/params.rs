@@ -1,0 +1,173 @@
+//! Chain-wide configuration.
+
+use lvq_bloom::BloomParams;
+
+use crate::error::ChainError;
+
+/// Which commitments every header of a chain carries.
+///
+/// The four evaluation systems of paper §VII-B map to the four useful
+/// combinations; see [`CommitmentPolicy::strawman`] etc.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitmentPolicy {
+    /// Commit `H(BF)` per block (the strawman variant's header field).
+    pub bf_hash: bool,
+    /// Commit a BMT root per block (merging per paper Table I).
+    pub bmt: bool,
+    /// Commit an SMT per block.
+    pub smt: bool,
+}
+
+impl CommitmentPolicy {
+    /// The strawman variant: `H(BF)` only.
+    pub const fn strawman() -> Self {
+        CommitmentPolicy {
+            bf_hash: true,
+            bmt: false,
+            smt: false,
+        }
+    }
+
+    /// LVQ without BMT: per-block `H(BF)` plus SMT.
+    pub const fn lvq_without_bmt() -> Self {
+        CommitmentPolicy {
+            bf_hash: true,
+            bmt: false,
+            smt: true,
+        }
+    }
+
+    /// LVQ without SMT: BMT only.
+    pub const fn lvq_without_smt() -> Self {
+        CommitmentPolicy {
+            bf_hash: false,
+            bmt: true,
+            smt: false,
+        }
+    }
+
+    /// Full LVQ: BMT plus SMT.
+    pub const fn lvq() -> Self {
+        CommitmentPolicy {
+            bf_hash: false,
+            bmt: true,
+            smt: true,
+        }
+    }
+}
+
+/// Parameters fixed for the lifetime of a chain.
+///
+/// # Examples
+///
+/// ```
+/// use lvq_bloom::BloomParams;
+/// use lvq_chain::{ChainParams, CommitmentPolicy};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // The paper's full-LVQ configuration: 30 KB filters, M = 4096.
+/// let params = ChainParams::new(
+///     BloomParams::new(30_000, 2)?,
+///     4096,
+///     CommitmentPolicy::lvq(),
+/// )?;
+/// assert_eq!(params.segment_len(), 4096);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChainParams {
+    bloom: BloomParams,
+    segment_len: u64,
+    policy: CommitmentPolicy,
+}
+
+impl ChainParams {
+    /// Creates chain parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::InvalidSegmentLen`] if `segment_len` is not
+    /// a power of two (the paper's `M` is always `2^k`).
+    pub fn new(
+        bloom: BloomParams,
+        segment_len: u64,
+        policy: CommitmentPolicy,
+    ) -> Result<Self, ChainError> {
+        if segment_len == 0 || segment_len & (segment_len - 1) != 0 {
+            return Err(ChainError::InvalidSegmentLen { len: segment_len });
+        }
+        Ok(ChainParams {
+            bloom,
+            segment_len,
+            policy,
+        })
+    }
+
+    /// Bloom filter parameters shared by every block.
+    pub fn bloom(&self) -> BloomParams {
+        self.bloom
+    }
+
+    /// The paper's `M`: maximum number of blocks merged into one BMT.
+    /// Irrelevant (but still recorded) for schemes without BMT.
+    pub fn segment_len(&self) -> u64 {
+        self.segment_len
+    }
+
+    /// Which commitments headers carry.
+    pub fn policy(&self) -> CommitmentPolicy {
+        self.policy
+    }
+}
+
+impl Default for ChainParams {
+    /// Full LVQ with the paper's defaults: 30 KB filters, `k = 2`
+    /// (DESIGN.md §6), `M = 4096`.
+    fn default() -> Self {
+        ChainParams::new(
+            BloomParams::new(30_000, 2).expect("static params valid"),
+            4096,
+            CommitmentPolicy::lvq(),
+        )
+        .expect("static params valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_len_must_be_power_of_two() {
+        let bloom = BloomParams::new(100, 2).unwrap();
+        for bad in [0u64, 3, 6, 100] {
+            assert!(matches!(
+                ChainParams::new(bloom, bad, CommitmentPolicy::lvq()),
+                Err(ChainError::InvalidSegmentLen { .. })
+            ));
+        }
+        for good in [1u64, 2, 1024, 4096] {
+            assert!(ChainParams::new(bloom, good, CommitmentPolicy::lvq()).is_ok());
+        }
+    }
+
+    #[test]
+    fn policies_match_paper_table() {
+        assert!(CommitmentPolicy::strawman().bf_hash);
+        assert!(!CommitmentPolicy::strawman().smt);
+        assert!(CommitmentPolicy::lvq_without_bmt().smt);
+        assert!(!CommitmentPolicy::lvq_without_bmt().bmt);
+        assert!(CommitmentPolicy::lvq_without_smt().bmt);
+        assert!(!CommitmentPolicy::lvq_without_smt().smt);
+        assert!(CommitmentPolicy::lvq().bmt && CommitmentPolicy::lvq().smt);
+    }
+
+    #[test]
+    fn default_is_paper_lvq() {
+        let p = ChainParams::default();
+        assert_eq!(p.bloom().size_bytes(), 30_000);
+        assert_eq!(p.segment_len(), 4096);
+        assert_eq!(p.policy(), CommitmentPolicy::lvq());
+    }
+}

@@ -1,0 +1,278 @@
+//! UTXO-set tracking and full-node-style spend validation.
+//!
+//! The query protocol itself never needs the UTXO set (it authenticates
+//! *history*, not state), but a credible substrate should be able to
+//! check that its ledger is economically consistent: every non-coinbase
+//! input spends an output that exists, is unspent, and carries the
+//! claimed address and value. Like Bitcoin, outputs become spendable
+//! immediately, including by later transactions of the same block.
+
+use std::collections::HashMap;
+
+use crate::block::Block;
+use crate::chain::Chain;
+use crate::error::ChainError;
+use crate::transaction::{Transaction, TxOutPoint};
+
+/// The set of unspent transaction outputs at some chain position.
+///
+/// # Examples
+///
+/// ```
+/// use lvq_chain::{Address, Transaction, UtxoSet};
+///
+/// # fn main() -> Result<(), lvq_chain::ChainError> {
+/// let mut set = UtxoSet::new();
+/// let coinbase = Transaction::coinbase(Address::new("1Miner"), 50, 0);
+/// set.apply_transaction(&coinbase, 1)?;
+/// assert_eq!(set.len(), 1);
+/// assert_eq!(set.total_value(), 50);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct UtxoSet {
+    entries: HashMap<TxOutPoint, UtxoEntry>,
+}
+
+/// One unspent output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UtxoEntry {
+    /// Owning address.
+    pub address: crate::Address,
+    /// Value in satoshi.
+    pub value: u64,
+    /// Height of the block that created it.
+    pub created_at: u64,
+}
+
+impl UtxoSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of unspent outputs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no outputs are unspent.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sum of all unspent values (the monetary base).
+    pub fn total_value(&self) -> u64 {
+        self.entries.values().map(|e| e.value).sum()
+    }
+
+    /// Looks up an unspent output.
+    pub fn get(&self, outpoint: &TxOutPoint) -> Option<&UtxoEntry> {
+        self.entries.get(outpoint)
+    }
+
+    /// Applies one transaction: spends its inputs, creates its outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::InvalidSpend`] if a non-coinbase input is
+    /// missing/spent or its recorded address/value disagree, or if the
+    /// transaction creates more value than it spends (inflation)
+    /// without being a coinbase.
+    pub fn apply_transaction(
+        &mut self,
+        tx: &Transaction,
+        height: u64,
+    ) -> Result<(), ChainError> {
+        if !tx.is_coinbase() {
+            let mut spendable = 0u64;
+            for input in &tx.inputs {
+                let entry = self.entries.remove(&input.prev_out).ok_or(
+                    ChainError::InvalidSpend {
+                        height,
+                        what: "input references a missing or already-spent output",
+                    },
+                )?;
+                if entry.address != input.address {
+                    return Err(ChainError::InvalidSpend {
+                        height,
+                        what: "input address does not match the spent output",
+                    });
+                }
+                if entry.value != input.value {
+                    return Err(ChainError::InvalidSpend {
+                        height,
+                        what: "input value does not match the spent output",
+                    });
+                }
+                spendable += entry.value;
+            }
+            if tx.total_output() > spendable {
+                return Err(ChainError::InvalidSpend {
+                    height,
+                    what: "outputs exceed inputs (inflation)",
+                });
+            }
+        }
+        let txid = tx.txid();
+        for (vout, output) in tx.outputs.iter().enumerate() {
+            self.entries.insert(
+                TxOutPoint {
+                    txid,
+                    vout: vout as u32,
+                },
+                UtxoEntry {
+                    address: output.address.clone(),
+                    value: output.value,
+                    created_at: height,
+                },
+            );
+        }
+        Ok(())
+    }
+
+    /// Applies a whole block in transaction order (intra-block spends
+    /// allowed, as in Bitcoin).
+    ///
+    /// # Errors
+    ///
+    /// As [`UtxoSet::apply_transaction`].
+    pub fn apply_block(&mut self, block: &Block, height: u64) -> Result<(), ChainError> {
+        for tx in &block.transactions {
+            self.apply_transaction(tx, height)?;
+        }
+        Ok(())
+    }
+}
+
+impl Chain {
+    /// Replays the whole chain through a [`UtxoSet`], verifying every
+    /// spend — the economic half of full-node validation
+    /// ([`Chain::validate`] covers the cryptographic half).
+    ///
+    /// Returns the final UTXO set on success.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::InvalidSpend`] at the first inconsistent
+    /// spend.
+    pub fn validate_utxo(&self) -> Result<UtxoSet, ChainError> {
+        let mut set = UtxoSet::new();
+        for height in 1..=self.tip_height() {
+            set.apply_block(self.block(height)?, height)?;
+        }
+        Ok(set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::Address;
+    use crate::transaction::{TxInput, TxOutput};
+    use lvq_crypto::Hash256;
+
+    fn spend(from: &Transaction, vout: u32, to: &str) -> Transaction {
+        let output = &from.outputs[vout as usize];
+        Transaction {
+            version: 1,
+            inputs: vec![TxInput {
+                prev_out: TxOutPoint {
+                    txid: from.txid(),
+                    vout,
+                },
+                address: output.address.clone(),
+                value: output.value,
+            }],
+            outputs: vec![TxOutput {
+                address: Address::new(to),
+                value: output.value,
+            }],
+            lock_time: 0,
+        }
+    }
+
+    #[test]
+    fn spend_lifecycle() {
+        let mut set = UtxoSet::new();
+        let coinbase = Transaction::coinbase(Address::new("1Miner"), 50, 0);
+        set.apply_transaction(&coinbase, 1).unwrap();
+        assert_eq!(set.total_value(), 50);
+
+        let pay = spend(&coinbase, 0, "1Shop");
+        set.apply_transaction(&pay, 2).unwrap();
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.total_value(), 50);
+
+        // Double spend is rejected.
+        let again = spend(&coinbase, 0, "1Thief");
+        assert!(matches!(
+            set.apply_transaction(&again, 3),
+            Err(ChainError::InvalidSpend { height: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn mismatched_address_or_value_rejected() {
+        let mut set = UtxoSet::new();
+        let coinbase = Transaction::coinbase(Address::new("1Miner"), 50, 0);
+        set.apply_transaction(&coinbase, 1).unwrap();
+
+        let mut wrong_addr = spend(&coinbase, 0, "1Shop");
+        wrong_addr.inputs[0].address = Address::new("1Impostor");
+        assert!(set.clone().apply_transaction(&wrong_addr, 2).is_err());
+
+        let mut wrong_value = spend(&coinbase, 0, "1Shop");
+        wrong_value.inputs[0].value = 49;
+        assert!(set.clone().apply_transaction(&wrong_value, 2).is_err());
+    }
+
+    #[test]
+    fn inflation_rejected() {
+        let mut set = UtxoSet::new();
+        let coinbase = Transaction::coinbase(Address::new("1Miner"), 50, 0);
+        set.apply_transaction(&coinbase, 1).unwrap();
+        let mut inflating = spend(&coinbase, 0, "1Shop");
+        inflating.outputs[0].value = 51;
+        assert!(matches!(
+            set.apply_transaction(&inflating, 2),
+            Err(ChainError::InvalidSpend {
+                what: "outputs exceed inputs (inflation)",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn intra_block_spend_allowed() {
+        let coinbase = Transaction::coinbase(Address::new("1Miner"), 50, 0);
+        let chained = spend(&coinbase, 0, "1Shop");
+        let block = Block::new_unchained(vec![coinbase, chained]);
+        let mut set = UtxoSet::new();
+        set.apply_block(&block, 1).unwrap();
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn missing_outpoint_rejected() {
+        let mut set = UtxoSet::new();
+        let phantom = Transaction {
+            version: 1,
+            inputs: vec![TxInput {
+                prev_out: TxOutPoint {
+                    txid: Hash256::hash(b"nowhere"),
+                    vout: 0,
+                },
+                address: Address::new("1Ghost"),
+                value: 1,
+            }],
+            outputs: vec![TxOutput {
+                address: Address::new("1X"),
+                value: 1,
+            }],
+            lock_time: 0,
+        };
+        assert!(set.apply_transaction(&phantom, 1).is_err());
+    }
+}

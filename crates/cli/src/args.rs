@@ -1,0 +1,260 @@
+//! Command-line argument parsing (hand-rolled; no CLI dependency).
+
+use lvq_core::Scheme;
+use lvq_workload::ProbeSpec;
+
+use crate::error::CliError;
+
+fn parse_u64(flag: &str, value: &str) -> Result<u64, CliError> {
+    value
+        .parse()
+        .map_err(|_| CliError::Usage(format!("{flag} expects a number, got '{value}'")))
+}
+
+fn parse_u32(flag: &str, value: &str) -> Result<u32, CliError> {
+    value
+        .parse()
+        .map_err(|_| CliError::Usage(format!("{flag} expects a number, got '{value}'")))
+}
+
+/// Parses `ADDR:TXS:BLOCKS` probe descriptors.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for malformed or infeasible descriptors.
+pub fn parse_probe_spec(s: &str) -> Result<ProbeSpec, CliError> {
+    let parts: Vec<&str> = s.split(':').collect();
+    let [address, txs, blocks] = parts.as_slice() else {
+        return Err(CliError::Usage(format!(
+            "--probe expects ADDR:TXS:BLOCKS, got '{s}'"
+        )));
+    };
+    let txs = parse_u64("--probe TXS", txs)?;
+    let blocks = parse_u64("--probe BLOCKS", blocks)?;
+    if address.is_empty() || txs < blocks || (txs == 0) != (blocks == 0) {
+        return Err(CliError::Usage(format!("infeasible probe '{s}'")));
+    }
+    Ok(ProbeSpec::new(*address, txs, blocks))
+}
+
+fn parse_scheme(value: &str) -> Result<Scheme, CliError> {
+    Ok(match value {
+        "lvq" => Scheme::Lvq,
+        "no-bmt" => Scheme::LvqWithoutBmt,
+        "no-smt" => Scheme::LvqWithoutSmt,
+        "strawman" => Scheme::Strawman,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown scheme '{other}' (lvq|no-bmt|no-smt|strawman)"
+            )))
+        }
+    })
+}
+
+/// Options of `lvq generate`.
+#[derive(Debug, Clone)]
+pub struct GenerateOptions {
+    /// Output path.
+    pub out: String,
+    /// Chain length.
+    pub blocks: u64,
+    /// Query scheme.
+    pub scheme: Scheme,
+    /// Bloom filter size in bytes.
+    pub bf_bytes: u32,
+    /// Bloom hash functions.
+    pub hashes: u32,
+    /// Segment length `M` (defaults to the chain length rounded up to a
+    /// power of two).
+    pub segment_len: Option<u64>,
+    /// Workload seed.
+    pub seed: u64,
+    /// Mean background transactions per block.
+    pub txs_per_block: u32,
+    /// Probes to plant.
+    pub probes: Vec<ProbeSpec>,
+}
+
+impl GenerateOptions {
+    /// Parses the arguments after `generate`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] for unknown flags or bad values.
+    pub fn parse(args: &[String]) -> Result<Self, CliError> {
+        let mut opts = GenerateOptions {
+            out: String::new(),
+            blocks: 64,
+            scheme: Scheme::Lvq,
+            bf_bytes: 1_920,
+            hashes: 2,
+            segment_len: None,
+            seed: 0x1_5EED,
+            txs_per_block: 12,
+            probes: Vec::new(),
+        };
+        let mut iter = args.iter();
+        while let Some(flag) = iter.next() {
+            let mut value = |name: &str| {
+                iter.next()
+                    .cloned()
+                    .ok_or_else(|| CliError::Usage(format!("{name} needs a value")))
+            };
+            match flag.as_str() {
+                "--out" => opts.out = value("--out")?,
+                "--blocks" => opts.blocks = parse_u64("--blocks", &value("--blocks")?)?,
+                "--scheme" => opts.scheme = parse_scheme(&value("--scheme")?)?,
+                "--bf" => opts.bf_bytes = parse_u32("--bf", &value("--bf")?)?,
+                "--k" => opts.hashes = parse_u32("--k", &value("--k")?)?,
+                "--segment" => {
+                    opts.segment_len = Some(parse_u64("--segment", &value("--segment")?)?)
+                }
+                "--seed" => opts.seed = parse_u64("--seed", &value("--seed")?)?,
+                "--txs" => opts.txs_per_block = parse_u32("--txs", &value("--txs")?)?,
+                "--probe" => opts.probes.push(parse_probe_spec(&value("--probe")?)?),
+                other => return Err(CliError::Usage(format!("unknown flag '{other}'"))),
+            }
+        }
+        if opts.out.is_empty() {
+            return Err(CliError::Usage("generate requires --out FILE".into()));
+        }
+        if opts.blocks == 0 {
+            return Err(CliError::Usage("--blocks must be at least 1".into()));
+        }
+        Ok(opts)
+    }
+
+    /// The effective segment length: explicit, or the chain length
+    /// rounded up to a power of two.
+    pub fn effective_segment_len(&self) -> u64 {
+        self.segment_len
+            .unwrap_or_else(|| self.blocks.next_power_of_two())
+    }
+}
+
+/// Options of `lvq query`.
+#[derive(Debug, Clone)]
+pub struct QueryOptions {
+    /// Chain file path.
+    pub file: String,
+    /// Queried address.
+    pub address: String,
+    /// Optional height range.
+    pub range: Option<(u64, u64)>,
+    /// Print the size breakdown.
+    pub breakdown: bool,
+}
+
+impl QueryOptions {
+    /// Parses the arguments after `query`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] for unknown flags or bad values.
+    pub fn parse(args: &[String]) -> Result<Self, CliError> {
+        let mut positional = Vec::new();
+        let mut range = None;
+        let mut breakdown = false;
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--range" => {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| CliError::Usage("--range needs LO:HI".into()))?;
+                    let Some((lo, hi)) = value.split_once(':') else {
+                        return Err(CliError::Usage(format!(
+                            "--range expects LO:HI, got '{value}'"
+                        )));
+                    };
+                    range = Some((parse_u64("--range LO", lo)?, parse_u64("--range HI", hi)?));
+                }
+                "--breakdown" => breakdown = true,
+                other if !other.starts_with("--") => positional.push(other.to_string()),
+                other => return Err(CliError::Usage(format!("unknown flag '{other}'"))),
+            }
+        }
+        let [file, address] = positional.as_slice() else {
+            return Err(CliError::Usage(
+                "query takes a chain file and an address".into(),
+            ));
+        };
+        Ok(QueryOptions {
+            file: file.clone(),
+            address: address.clone(),
+            range,
+            breakdown,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn generate_defaults_and_flags() {
+        let opts = GenerateOptions::parse(&strings(&[
+            "--out", "c.lvq", "--blocks", "100", "--scheme", "no-smt", "--bf", "640", "--seed",
+            "7", "--probe", "1Abc:5:3",
+        ]))
+        .unwrap();
+        assert_eq!(opts.out, "c.lvq");
+        assert_eq!(opts.blocks, 100);
+        assert_eq!(opts.scheme, Scheme::LvqWithoutSmt);
+        assert_eq!(opts.bf_bytes, 640);
+        assert_eq!(opts.seed, 7);
+        assert_eq!(opts.probes.len(), 1);
+        // 100 blocks -> segment 128 by default.
+        assert_eq!(opts.effective_segment_len(), 128);
+    }
+
+    #[test]
+    fn generate_requires_out() {
+        assert!(matches!(
+            GenerateOptions::parse(&strings(&["--blocks", "4"])),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn probe_spec_parsing() {
+        let p = parse_probe_spec("1Addr:10:5").unwrap();
+        assert_eq!(p.address.as_str(), "1Addr");
+        assert_eq!(p.tx_count, 10);
+        assert_eq!(p.block_count, 5);
+        for bad in ["1Addr", "1Addr:5", "1Addr:2:5", ":1:1", "1A:0:1", "1A:x:1"] {
+            assert!(parse_probe_spec(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn query_parsing() {
+        let q = QueryOptions::parse(&strings(&[
+            "c.lvq",
+            "1Addr",
+            "--range",
+            "5:9",
+            "--breakdown",
+        ]))
+        .unwrap();
+        assert_eq!(q.file, "c.lvq");
+        assert_eq!(q.address, "1Addr");
+        assert_eq!(q.range, Some((5, 9)));
+        assert!(q.breakdown);
+        assert!(QueryOptions::parse(&strings(&["c.lvq"])).is_err());
+        assert!(QueryOptions::parse(&strings(&["c.lvq", "1A", "--range", "5"])).is_err());
+    }
+
+    #[test]
+    fn scheme_names() {
+        assert_eq!(parse_scheme("lvq").unwrap(), Scheme::Lvq);
+        assert_eq!(parse_scheme("no-bmt").unwrap(), Scheme::LvqWithoutBmt);
+        assert_eq!(parse_scheme("strawman").unwrap(), Scheme::Strawman);
+        assert!(parse_scheme("bogus").is_err());
+    }
+}

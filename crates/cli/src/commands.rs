@@ -1,0 +1,318 @@
+//! The command implementations.
+
+use std::io::Write;
+
+use lvq_bloom::BloomParams;
+use lvq_chain::{file as chain_file, Address, Chain};
+use lvq_core::{Completeness, LightClient, Prover, SchemeConfig};
+use lvq_workload::{TrafficModel, WorkloadBuilder};
+
+use crate::args::{GenerateOptions, QueryOptions};
+use crate::error::CliError;
+
+fn human_bytes(n: u64) -> String {
+    if n >= 1_000_000 {
+        format!("{:.2} MB", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{:.2} KB", n as f64 / 1e3)
+    } else {
+        format!("{n} B")
+    }
+}
+
+/// `lvq generate`: build a workload chain and persist it.
+pub fn generate(opts: &GenerateOptions, out: &mut impl Write) -> Result<(), CliError> {
+    let bloom = BloomParams::new(opts.bf_bytes, opts.hashes)
+        .map_err(|e| CliError::Usage(format!("bad bloom parameters: {e}")))?;
+    let config = SchemeConfig::new(opts.scheme, bloom, opts.effective_segment_len())?;
+    let workload = WorkloadBuilder::new(config.chain_params())
+        .blocks(opts.blocks)
+        .traffic(TrafficModel::tiny().with_txs_per_block(opts.txs_per_block))
+        .seed(opts.seed)
+        .probes(opts.probes.iter().cloned())
+        .build()?;
+    chain_file::save_to_path(&workload.chain, &opts.out)?;
+    writeln!(
+        out,
+        "wrote {} blocks ({} scheme, {} filters, M = {}) to {}",
+        opts.blocks,
+        opts.scheme,
+        human_bytes(u64::from(opts.bf_bytes)),
+        opts.effective_segment_len(),
+        opts.out
+    )?;
+    for probe in &workload.probes {
+        writeln!(
+            out,
+            "planted {}: {} txs across {} blocks",
+            probe.address,
+            probe.tx_count,
+            probe.block_heights.len()
+        )?;
+    }
+    Ok(())
+}
+
+fn load_with_config(path: &str) -> Result<(Chain, SchemeConfig), CliError> {
+    let chain = chain_file::load_from_path(path)?;
+    let config = SchemeConfig::from_chain_params(chain.params()).ok_or_else(|| {
+        CliError::Usage("chain file commitments match no known scheme".into())
+    })?;
+    Ok((chain, config))
+}
+
+/// `lvq info`: print a chain summary.
+pub fn info(path: &str, out: &mut impl Write) -> Result<(), CliError> {
+    let (chain, config) = load_with_config(path)?;
+    let body_bytes: u64 = (1..=chain.tip_height())
+        .map(|h| chain.block(h).expect("in range").integral_size() as u64)
+        .sum();
+    let header_bytes: u64 = chain
+        .headers()
+        .iter()
+        .map(|h| h.storage_len() as u64)
+        .sum();
+    writeln!(out, "chain      : {path}")?;
+    writeln!(out, "scheme     : {}", config.scheme())?;
+    writeln!(
+        out,
+        "bloom      : {} bytes, k = {}",
+        config.bloom().size_bytes(),
+        config.bloom().hashes()
+    )?;
+    writeln!(out, "segment M  : {}", config.segment_len())?;
+    writeln!(out, "blocks     : {}", chain.tip_height())?;
+    writeln!(
+        out,
+        "full node  : {} (bodies) — what a full node stores",
+        human_bytes(body_bytes)
+    )?;
+    writeln!(
+        out,
+        "light node : {} (headers only)",
+        human_bytes(header_bytes)
+    )?;
+    if chain.tip_height() > 0 {
+        writeln!(
+            out,
+            "tip hash   : {}",
+            chain
+                .header(chain.tip_height())
+                .expect("tip exists")
+                .block_hash()
+        )?;
+    }
+    Ok(())
+}
+
+/// `lvq validate`: full integrity check.
+pub fn validate(path: &str, out: &mut impl Write) -> Result<(), CliError> {
+    let (chain, _) = load_with_config(path)?;
+    chain.validate()?;
+    writeln!(
+        out,
+        "ok: {} blocks, every commitment recomputed and matched",
+        chain.tip_height()
+    )?;
+    Ok(())
+}
+
+/// `lvq query`: verifiable history query against the persisted chain.
+pub fn query(opts: &QueryOptions, out: &mut impl Write) -> Result<(), CliError> {
+    let (chain, config) = load_with_config(&opts.file)?;
+    let address = Address::new(opts.address.as_str());
+
+    let prover = Prover::new(&chain, config)?;
+    let (response, stats) = match opts.range {
+        None => prover.respond(&address)?,
+        Some((lo, hi)) => prover.respond_range(&address, lo, hi)?,
+    };
+
+    let client = LightClient::new(config, chain.headers());
+    let history = match opts.range {
+        None => client.verify(&address, &response)?,
+        Some((lo, hi)) => client.verify_range(&address, lo, hi, &response)?,
+    };
+
+    let completeness = match history.completeness {
+        Completeness::Complete => "complete (no omissions possible)",
+        Completeness::CorrectnessOnly => "correctness only (strawman cannot prove completeness)",
+    };
+    writeln!(out, "address      : {address}")?;
+    if let Some((lo, hi)) = opts.range {
+        writeln!(out, "range        : blocks {lo}..={hi}")?;
+    }
+    writeln!(out, "transactions : {}", history.transactions.len())?;
+    for (height, tx) in &history.transactions {
+        writeln!(out, "  block {height:>6}  txid {}", tx.txid())?;
+    }
+    writeln!(
+        out,
+        "balance      : {} satoshi (received {}, spent {})",
+        history.balance.net(),
+        history.balance.received,
+        history.balance.spent
+    )?;
+    writeln!(out, "verification : {completeness}")?;
+    writeln!(
+        out,
+        "proof size   : {} ({} endpoint filters, {} blocks resolved)",
+        human_bytes(response.total_bytes()),
+        stats.bmt.endpoint_count(),
+        stats.blocks_resolved
+    )?;
+    if opts.breakdown {
+        let b = response.size_breakdown();
+        writeln!(out, "breakdown    :")?;
+        writeln!(out, "  bloom filters   {}", human_bytes(b.bloom_filters))?;
+        writeln!(out, "  bmt overhead    {}", human_bytes(b.bmt_overhead))?;
+        writeln!(out, "  smt proofs      {}", human_bytes(b.smt_proofs))?;
+        writeln!(out, "  merkle branches {}", human_bytes(b.merkle_branches))?;
+        writeln!(out, "  transactions    {}", human_bytes(b.transactions))?;
+        writeln!(out, "  integral blocks {}", human_bytes(b.integral_blocks))?;
+        writeln!(out, "  framing         {}", human_bytes(b.framing))?;
+    }
+    Ok(())
+}
+
+/// `lvq balance`: just the verified balance.
+pub fn balance(path: &str, address: &str, out: &mut impl Write) -> Result<(), CliError> {
+    let (chain, config) = load_with_config(path)?;
+    let address = Address::new(address);
+    let prover = Prover::new(&chain, config)?;
+    let (response, _) = prover.respond(&address)?;
+    let client = LightClient::new(config, chain.headers());
+    let history = client.verify(&address, &response)?;
+    writeln!(out, "{}", history.balance.net())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn temp_path(name: &str) -> String {
+        let mut p = std::env::temp_dir();
+        p.push(format!("lvq-cli-test-{}-{name}", std::process::id()));
+        p.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn end_to_end_generate_info_query_balance() {
+        let path = temp_path("e2e.lvq");
+        let mut out = Vec::new();
+        run(
+            &strings(&[
+                "generate",
+                "--out",
+                &path,
+                "--blocks",
+                "16",
+                "--txs",
+                "4",
+                "--segment",
+                "8",
+                "--bf",
+                "256",
+                "--probe",
+                "1CliProbe:4:3",
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("wrote 16 blocks"));
+        assert!(text.contains("planted 1CliProbe: 4 txs across 3 blocks"));
+
+        let mut out = Vec::new();
+        run(&strings(&["info", &path]), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("blocks     : 16"));
+        assert!(text.contains("scheme     : LVQ"));
+
+        let mut out = Vec::new();
+        run(&strings(&["validate", &path]), &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().starts_with("ok: 16 blocks"));
+
+        let mut out = Vec::new();
+        run(
+            &strings(&["query", &path, "1CliProbe", "--breakdown"]),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("transactions : 4"));
+        assert!(text.contains("complete (no omissions possible)"));
+        assert!(text.contains("bloom filters"));
+
+        let mut out = Vec::new();
+        run(&strings(&["balance", &path, "1CliProbe"]), &mut out).unwrap();
+        let balance: i128 = String::from_utf8(out).unwrap().trim().parse().unwrap();
+        assert!(balance >= 0);
+
+        // Range query returns the in-range slice.
+        let mut out = Vec::new();
+        run(
+            &strings(&["query", &path, "1CliProbe", "--range", "1:16"]),
+            &mut out,
+        )
+        .unwrap();
+        assert!(String::from_utf8(out)
+            .unwrap()
+            .contains("transactions : 4"));
+
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn absent_address_is_complete_and_zero() {
+        let path = temp_path("absent.lvq");
+        run(
+            &strings(&[
+                "generate", "--out", &path, "--blocks", "8", "--txs", "3", "--bf", "256",
+            ]),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        let mut out = Vec::new();
+        run(&strings(&["query", &path, "1Nobody"]), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("transactions : 0"));
+        assert!(text.contains("balance      : 0"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn usage_errors() {
+        let mut out = Vec::new();
+        assert!(matches!(
+            run(&strings(&[]), &mut out),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&strings(&["frobnicate"]), &mut out),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&strings(&["info"]), &mut out),
+            Err(CliError::Usage(_))
+        ));
+        // Missing file is an I/O error, not a panic.
+        assert!(matches!(
+            run(&strings(&["info", "/nonexistent/nope.lvq"]), &mut out),
+            Err(CliError::File(_))
+        ));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let mut out = Vec::new();
+        run(&strings(&["help"]), &mut out).unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("lvq generate"));
+    }
+}

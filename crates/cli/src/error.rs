@@ -1,0 +1,89 @@
+//! CLI error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Anything that can go wrong while running a command.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CliError {
+    /// The command line itself is malformed; print usage.
+    Usage(String),
+    /// I/O failure (reading/writing chain files or stdout).
+    Io(std::io::Error),
+    /// Chain file problems.
+    File(lvq_chain::file::ChainFileError),
+    /// Chain construction/validation problems.
+    Chain(lvq_chain::ChainError),
+    /// Workload generation problems.
+    Workload(lvq_workload::WorkloadError),
+    /// Proof generation problems.
+    Prove(lvq_core::ProveError),
+    /// The verifier rejected the (locally generated) response — only
+    /// possible if the chain file is inconsistent.
+    Verify(lvq_core::QueryError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => f.write_str(msg),
+            CliError::Io(e) => write!(f, "i/o: {e}"),
+            CliError::File(e) => write!(f, "chain file: {e}"),
+            CliError::Chain(e) => write!(f, "chain: {e}"),
+            CliError::Workload(e) => write!(f, "workload: {e}"),
+            CliError::Prove(e) => write!(f, "prover: {e}"),
+            CliError::Verify(e) => write!(f, "verification: {e}"),
+        }
+    }
+}
+
+impl Error for CliError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CliError::Io(e) => Some(e),
+            CliError::File(e) => Some(e),
+            CliError::Chain(e) => Some(e),
+            CliError::Workload(e) => Some(e),
+            CliError::Prove(e) => Some(e),
+            CliError::Verify(e) => Some(e),
+            CliError::Usage(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<lvq_chain::file::ChainFileError> for CliError {
+    fn from(e: lvq_chain::file::ChainFileError) -> Self {
+        CliError::File(e)
+    }
+}
+
+impl From<lvq_chain::ChainError> for CliError {
+    fn from(e: lvq_chain::ChainError) -> Self {
+        CliError::Chain(e)
+    }
+}
+
+impl From<lvq_workload::WorkloadError> for CliError {
+    fn from(e: lvq_workload::WorkloadError) -> Self {
+        CliError::Workload(e)
+    }
+}
+
+impl From<lvq_core::ProveError> for CliError {
+    fn from(e: lvq_core::ProveError) -> Self {
+        CliError::Prove(e)
+    }
+}
+
+impl From<lvq_core::QueryError> for CliError {
+    fn from(e: lvq_core::QueryError) -> Self {
+        CliError::Verify(e)
+    }
+}

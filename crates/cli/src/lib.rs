@@ -1,0 +1,60 @@
+//! Implementation of the `lvq` command-line tool.
+//!
+//! Split from the binary so the command logic is unit-testable: every
+//! command takes parsed arguments and writes to any `io::Write`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+mod commands;
+mod error;
+
+pub use args::{parse_probe_spec, GenerateOptions, QueryOptions};
+pub use error::CliError;
+
+use std::io::Write;
+
+/// The tool's usage text.
+pub const USAGE: &str = "\
+usage:
+  lvq generate --out FILE [--blocks N] [--scheme lvq|no-bmt|no-smt|strawman]
+               [--bf BYTES] [--k N] [--segment M] [--seed S] [--txs N]
+               [--probe ADDR:TXS:BLOCKS]...
+  lvq info FILE
+  lvq validate FILE
+  lvq query FILE ADDRESS [--range LO:HI] [--breakdown]
+  lvq balance FILE ADDRESS";
+
+/// Dispatches a full command line (without the program name).
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] for malformed invocations and other
+/// [`CliError`] variants for runtime failures.
+pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err(CliError::Usage("missing command".into()));
+    };
+    match command.as_str() {
+        "generate" => commands::generate(&args::GenerateOptions::parse(rest)?, out),
+        "info" => match rest {
+            [file] => commands::info(file, out),
+            _ => Err(CliError::Usage("info takes exactly one file".into())),
+        },
+        "validate" => match rest {
+            [file] => commands::validate(file, out),
+            _ => Err(CliError::Usage("validate takes exactly one file".into())),
+        },
+        "query" => commands::query(&args::QueryOptions::parse(rest)?, out),
+        "balance" => match rest {
+            [file, address] => commands::balance(file, address, out),
+            _ => Err(CliError::Usage("balance takes a file and an address".into())),
+        },
+        "--help" | "-h" | "help" => {
+            writeln!(out, "{USAGE}")?;
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!("unknown command '{other}'"))),
+    }
+}

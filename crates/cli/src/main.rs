@@ -1,0 +1,35 @@
+//! `lvq` — command-line front end for the LVQ reproduction.
+//!
+//! ```text
+//! lvq generate --out chain.lvq [--blocks N] [--scheme lvq|no-bmt|no-smt|strawman]
+//!              [--bf BYTES] [--k N] [--segment M] [--seed S] [--txs N]
+//!              [--probe ADDR:TXS:BLOCKS]...
+//! lvq info <chain.lvq>
+//! lvq validate <chain.lvq>
+//! lvq query <chain.lvq> <address> [--range LO:HI] [--breakdown]
+//! lvq balance <chain.lvq> <address>
+//! ```
+//!
+//! `query` runs the full protocol in-process: the prover builds the
+//! scheme's response, a header-only light client verifies it, and the
+//! tool reports the history plus the exact wire cost.
+
+use std::process::ExitCode;
+
+use lvq_cli::{run, CliError};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args, &mut std::io::stdout()) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Usage(msg)) => {
+            eprintln!("{msg}");
+            eprintln!("{}", lvq_cli::USAGE);
+            ExitCode::FAILURE
+        }
+        Err(err) => {
+            eprintln!("error: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Decoding error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when decoding a wire message fails.
+///
+/// Encoding is infallible (it writes into a growable buffer), so only the
+/// decoding direction carries an error type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeError {
+    /// The input ended before the value was fully decoded.
+    UnexpectedEof {
+        /// Bytes that were needed to continue decoding.
+        needed: usize,
+        /// Bytes that remained in the input.
+        remaining: usize,
+    },
+    /// A CompactSize varint used a longer encoding than necessary.
+    ///
+    /// Canonical encodings are enforced so that every value has exactly one
+    /// byte representation; otherwise a malicious prover could inflate
+    /// measured proof sizes or produce hash-distinct copies of one message.
+    NonCanonicalVarInt {
+        /// The decoded value.
+        value: u64,
+    },
+    /// A length prefix exceeded [`crate::MAX_DECODE_LEN`].
+    LengthOverflow {
+        /// The claimed length.
+        claimed: u64,
+    },
+    /// A decoded byte was not a valid value for the target type.
+    InvalidValue {
+        /// Human-readable description of the expectation that failed.
+        what: &'static str,
+        /// The offending raw value, widened to `u64`.
+        found: u64,
+    },
+    /// Input remained after the outermost value was decoded.
+    TrailingBytes {
+        /// Number of unread bytes.
+        remaining: usize,
+    },
+    /// A UTF-8 string field contained invalid UTF-8.
+    InvalidUtf8,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof { needed, remaining } => write!(
+                f,
+                "unexpected end of input: needed {needed} more bytes, {remaining} remaining"
+            ),
+            DecodeError::NonCanonicalVarInt { value } => {
+                write!(f, "non-canonical CompactSize encoding of {value}")
+            }
+            DecodeError::LengthOverflow { claimed } => {
+                write!(f, "length prefix {claimed} exceeds the decode limit")
+            }
+            DecodeError::InvalidValue { what, found } => {
+                write!(f, "invalid value for {what}: {found}")
+            }
+            DecodeError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after decoded value")
+            }
+            DecodeError::InvalidUtf8 => write!(f, "string field was not valid UTF-8"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errs = [
+            DecodeError::UnexpectedEof {
+                needed: 4,
+                remaining: 1,
+            },
+            DecodeError::NonCanonicalVarInt { value: 7 },
+            DecodeError::LengthOverflow { claimed: u64::MAX },
+            DecodeError::InvalidValue {
+                what: "bool",
+                found: 2,
+            },
+            DecodeError::TrailingBytes { remaining: 3 },
+            DecodeError::InvalidUtf8,
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            let first = s.chars().next().unwrap();
+            assert!(!first.is_uppercase(), "error messages start lowercase: {s}");
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DecodeError>();
+    }
+}

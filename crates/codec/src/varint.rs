@@ -1,0 +1,182 @@
+//! Bitcoin CompactSize varints.
+//!
+//! | value range            | encoding                      | bytes |
+//! |------------------------|-------------------------------|-------|
+//! | 0 ..= 0xFC             | the value itself              | 1     |
+//! | 0xFD ..= 0xFFFF        | `0xFD` + u16 little-endian    | 3     |
+//! | 0x1_0000 ..= 0xFFFF_FFFF | `0xFE` + u32 little-endian  | 5     |
+//! | larger                 | `0xFF` + u64 little-endian    | 9     |
+//!
+//! Decoding enforces canonical (minimal-length) encodings.
+
+use crate::decode::Reader;
+use crate::error::DecodeError;
+
+/// Appends the CompactSize encoding of `value` to `out`.
+///
+/// # Examples
+///
+/// ```
+/// let mut buf = Vec::new();
+/// lvq_codec::write_compact_size(&mut buf, 0xFD);
+/// assert_eq!(buf, [0xFD, 0xFD, 0x00]);
+/// ```
+pub fn write_compact_size(out: &mut Vec<u8>, value: u64) {
+    match value {
+        0..=0xFC => out.push(value as u8),
+        0xFD..=0xFFFF => {
+            out.push(0xFD);
+            out.extend_from_slice(&(value as u16).to_le_bytes());
+        }
+        0x1_0000..=0xFFFF_FFFF => {
+            out.push(0xFE);
+            out.extend_from_slice(&(value as u32).to_le_bytes());
+        }
+        _ => {
+            out.push(0xFF);
+            out.extend_from_slice(&value.to_le_bytes());
+        }
+    }
+}
+
+/// Returns the number of bytes [`write_compact_size`] emits for `value`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(lvq_codec::compact_size_len(0xFC), 1);
+/// assert_eq!(lvq_codec::compact_size_len(0xFD), 3);
+/// assert_eq!(lvq_codec::compact_size_len(u64::MAX), 9);
+/// ```
+pub const fn compact_size_len(value: u64) -> usize {
+    match value {
+        0..=0xFC => 1,
+        0xFD..=0xFFFF => 3,
+        0x1_0000..=0xFFFF_FFFF => 5,
+        _ => 9,
+    }
+}
+
+/// Reads a canonically encoded CompactSize from `reader`.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::UnexpectedEof`] if the input is exhausted and
+/// [`DecodeError::NonCanonicalVarInt`] if the value could have been encoded
+/// in fewer bytes.
+pub fn read_compact_size(reader: &mut Reader<'_>) -> Result<u64, DecodeError> {
+    let tag = reader.read_u8()?;
+    let value = match tag {
+        0..=0xFC => u64::from(tag),
+        0xFD => {
+            let v = u64::from(u16::from_le_bytes(reader.read_array()?));
+            if v < 0xFD {
+                return Err(DecodeError::NonCanonicalVarInt { value: v });
+            }
+            v
+        }
+        0xFE => {
+            let v = u64::from(u32::from_le_bytes(reader.read_array()?));
+            if v <= 0xFFFF {
+                return Err(DecodeError::NonCanonicalVarInt { value: v });
+            }
+            v
+        }
+        0xFF => {
+            let v = u64::from_le_bytes(reader.read_array()?);
+            if v <= 0xFFFF_FFFF {
+                return Err(DecodeError::NonCanonicalVarInt { value: v });
+            }
+            v
+        }
+    };
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: u64) -> u64 {
+        let mut buf = Vec::new();
+        write_compact_size(&mut buf, v);
+        assert_eq!(buf.len(), compact_size_len(v));
+        let mut r = Reader::new(&buf);
+        let back = read_compact_size(&mut r).unwrap();
+        r.finish().unwrap();
+        back
+    }
+
+    #[test]
+    fn boundary_values_roundtrip() {
+        for v in [
+            0,
+            1,
+            0xFC,
+            0xFD,
+            0xFE,
+            0xFFFF,
+            0x1_0000,
+            0xFFFF_FFFF,
+            0x1_0000_0000,
+            u64::MAX,
+        ] {
+            assert_eq!(roundtrip(v), v);
+        }
+    }
+
+    #[test]
+    fn lengths_match_spec() {
+        assert_eq!(compact_size_len(0), 1);
+        assert_eq!(compact_size_len(0xFC), 1);
+        assert_eq!(compact_size_len(0xFD), 3);
+        assert_eq!(compact_size_len(0xFFFF), 3);
+        assert_eq!(compact_size_len(0x1_0000), 5);
+        assert_eq!(compact_size_len(0xFFFF_FFFF), 5);
+        assert_eq!(compact_size_len(0x1_0000_0000), 9);
+    }
+
+    #[test]
+    fn non_canonical_is_rejected() {
+        // 5 encoded with the 3-byte form.
+        let buf = [0xFD, 0x05, 0x00];
+        let mut r = Reader::new(&buf);
+        assert_eq!(
+            read_compact_size(&mut r),
+            Err(DecodeError::NonCanonicalVarInt { value: 5 })
+        );
+        // 0xFFFF encoded with the 5-byte form.
+        let buf = [0xFE, 0xFF, 0xFF, 0x00, 0x00];
+        let mut r = Reader::new(&buf);
+        assert!(matches!(
+            read_compact_size(&mut r),
+            Err(DecodeError::NonCanonicalVarInt { value: 0xFFFF })
+        ));
+        // 0xFFFF_FFFF encoded with the 9-byte form.
+        let buf = [0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0, 0, 0, 0];
+        let mut r = Reader::new(&buf);
+        assert!(matches!(
+            read_compact_size(&mut r),
+            Err(DecodeError::NonCanonicalVarInt { value: 0xFFFF_FFFF })
+        ));
+    }
+
+    #[test]
+    fn truncated_input_is_eof() {
+        let buf = [0xFD, 0x05];
+        let mut r = Reader::new(&buf);
+        assert!(matches!(
+            read_compact_size(&mut r),
+            Err(DecodeError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_input_is_eof() {
+        let mut r = Reader::new(&[]);
+        assert!(matches!(
+            read_compact_size(&mut r),
+            Err(DecodeError::UnexpectedEof { .. })
+        ));
+    }
+}

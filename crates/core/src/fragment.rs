@@ -1,0 +1,237 @@
+//! Block-level response fragments (paper §IV-A Eq. 4, §V-A).
+
+use lvq_chain::{Block, Transaction};
+use lvq_codec::{Decodable, DecodeError, Encodable, Reader};
+use lvq_merkle::{MerkleBranch, SmtProof};
+
+/// A transaction together with the Merkle branch proving it is in a
+/// block (the paper's MBr fragment payload).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxWithBranch {
+    /// The full transaction.
+    pub transaction: Transaction,
+    /// Its authentication path against the block's Merkle root.
+    pub branch: MerkleBranch,
+}
+
+impl Encodable for TxWithBranch {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.transaction.encode_into(out);
+        self.branch.encode_into(out);
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.transaction.encoded_len() + self.branch.encoded_len()
+    }
+}
+
+impl Decodable for TxWithBranch {
+    fn decode_from(reader: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(TxWithBranch {
+            transaction: Transaction::decode_from(reader)?,
+            branch: MerkleBranch::decode_from(reader)?,
+        })
+    }
+}
+
+/// LVQ's existence proof for one block (paper §V-A1, Fig. 10): an SMT
+/// branch committing the appearance count plus exactly that many Merkle
+/// branches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExistenceProof {
+    /// SMT presence proof for `(address, count)`.
+    pub smt: SmtProof,
+    /// The `count` transactions with their Merkle branches.
+    pub transactions: Vec<TxWithBranch>,
+}
+
+impl Encodable for ExistenceProof {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.smt.encode_into(out);
+        self.transactions.encode_into(out);
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.smt.encoded_len() + self.transactions.encoded_len()
+    }
+}
+
+impl Decodable for ExistenceProof {
+    fn decode_from(reader: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(ExistenceProof {
+            smt: SmtProof::decode_from(reader)?,
+            transactions: Vec::<TxWithBranch>::decode_from(reader)?,
+        })
+    }
+}
+
+/// The per-block piece of a query response.
+///
+/// Which variants a scheme uses (paper Eq. 4 and §V):
+///
+/// | check outcome       | strawman          | LVQ w/o BMT        | LVQ w/o SMT      | LVQ                |
+/// |---------------------|-------------------|--------------------|------------------|--------------------|
+/// | clean (inexistent)  | `Empty`           | `Empty`            | *(BMT endpoint)* | *(BMT endpoint)*   |
+/// | failed, existent    | `MerkleBranches`  | `Existence`        | `IntegralBlock`  | `Existence`        |
+/// | failed, FPM         | `IntegralBlock`   | `AbsenceSmt`       | `IntegralBlock`  | `AbsenceSmt`       |
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlockFragment {
+    /// Nothing to prove: the block's own filter check was clean
+    /// (per-block schemes only; BMT schemes cover clean blocks inside
+    /// the BMT proof).
+    Empty,
+    /// Strawman existence: Merkle branches without a count proof.
+    /// Correctness is verifiable; completeness is not (Challenge 3).
+    MerkleBranches(Vec<TxWithBranch>),
+    /// LVQ existence: SMT count plus exactly-count Merkle branches.
+    Existence(ExistenceProof),
+    /// LVQ FPM resolution: an SMT inexistence proof.
+    AbsenceSmt(SmtProof),
+    /// Fallback FPM (and, without SMT, existence) resolution: the whole
+    /// block.
+    IntegralBlock(Box<Block>),
+}
+
+impl BlockFragment {
+    /// Short label used in statistics.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            BlockFragment::Empty => "empty",
+            BlockFragment::MerkleBranches(_) => "merkle-branches",
+            BlockFragment::Existence(_) => "existence",
+            BlockFragment::AbsenceSmt(_) => "absence-smt",
+            BlockFragment::IntegralBlock(_) => "integral-block",
+        }
+    }
+}
+
+const TAG_EMPTY: u8 = 0;
+const TAG_MBR: u8 = 1;
+const TAG_EXISTENCE: u8 = 2;
+const TAG_ABSENCE_SMT: u8 = 3;
+const TAG_IB: u8 = 4;
+
+impl Encodable for BlockFragment {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            BlockFragment::Empty => out.push(TAG_EMPTY),
+            BlockFragment::MerkleBranches(txs) => {
+                out.push(TAG_MBR);
+                txs.encode_into(out);
+            }
+            BlockFragment::Existence(proof) => {
+                out.push(TAG_EXISTENCE);
+                proof.encode_into(out);
+            }
+            BlockFragment::AbsenceSmt(proof) => {
+                out.push(TAG_ABSENCE_SMT);
+                proof.encode_into(out);
+            }
+            BlockFragment::IntegralBlock(block) => {
+                out.push(TAG_IB);
+                block.encode_into(out);
+            }
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            BlockFragment::Empty => 0,
+            BlockFragment::MerkleBranches(txs) => txs.encoded_len(),
+            BlockFragment::Existence(proof) => proof.encoded_len(),
+            BlockFragment::AbsenceSmt(proof) => proof.encoded_len(),
+            BlockFragment::IntegralBlock(block) => block.encoded_len(),
+        }
+    }
+}
+
+impl Decodable for BlockFragment {
+    fn decode_from(reader: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(match reader.read_u8()? {
+            TAG_EMPTY => BlockFragment::Empty,
+            TAG_MBR => BlockFragment::MerkleBranches(Vec::<TxWithBranch>::decode_from(reader)?),
+            TAG_EXISTENCE => BlockFragment::Existence(ExistenceProof::decode_from(reader)?),
+            TAG_ABSENCE_SMT => BlockFragment::AbsenceSmt(SmtProof::decode_from(reader)?),
+            TAG_IB => BlockFragment::IntegralBlock(Box::new(Block::decode_from(reader)?)),
+            other => {
+                return Err(DecodeError::InvalidValue {
+                    what: "block fragment tag",
+                    found: u64::from(other),
+                })
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lvq_chain::Address;
+    use lvq_codec::decode_exact;
+    use lvq_merkle::SortedMerkleTree;
+
+    fn sample_block() -> Block {
+        Block::new_unchained(vec![
+            Transaction::coinbase(Address::new("1Miner"), 50, 0),
+            Transaction::coinbase(Address::new("1Other"), 25, 1),
+        ])
+    }
+
+    fn sample_existence() -> ExistenceProof {
+        let block = sample_block();
+        let smt = SortedMerkleTree::new(vec![(b"1Miner".to_vec(), 1)]).unwrap();
+        let tree = block.tx_tree();
+        ExistenceProof {
+            smt: smt.prove(b"1Miner"),
+            transactions: vec![TxWithBranch {
+                transaction: block.transactions[0].clone(),
+                branch: tree.branch(0).unwrap(),
+            }],
+        }
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        let fragments = vec![
+            BlockFragment::Empty,
+            BlockFragment::MerkleBranches(sample_existence().transactions),
+            BlockFragment::Existence(sample_existence()),
+            BlockFragment::AbsenceSmt(
+                SortedMerkleTree::new(vec![(b"a".to_vec(), 1)])
+                    .unwrap()
+                    .prove(b"b"),
+            ),
+            BlockFragment::IntegralBlock(Box::new(sample_block())),
+        ];
+        for fragment in fragments {
+            let bytes = fragment.encode();
+            assert_eq!(bytes.len(), fragment.encoded_len(), "{}", fragment.kind_name());
+            assert_eq!(decode_exact::<BlockFragment>(&bytes).unwrap(), fragment);
+        }
+    }
+
+    #[test]
+    fn empty_is_one_byte() {
+        // Paper Eq. 4's Ø fragment should cost almost nothing.
+        assert_eq!(BlockFragment::Empty.encoded_len(), 1);
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        assert!(decode_exact::<BlockFragment>(&[7]).is_err());
+    }
+
+    #[test]
+    fn kind_names_are_distinct() {
+        let names: std::collections::BTreeSet<&str> = [
+            BlockFragment::Empty.kind_name(),
+            BlockFragment::MerkleBranches(Vec::new()).kind_name(),
+            BlockFragment::Existence(sample_existence()).kind_name(),
+            BlockFragment::AbsenceSmt(SortedMerkleTree::empty().prove(b"x")).kind_name(),
+            BlockFragment::IntegralBlock(Box::new(sample_block())).kind_name(),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(names.len(), 5);
+    }
+}

@@ -1,0 +1,256 @@
+//! The full-node side: response generation (paper §V).
+
+use lvq_bloom::BloomFilter;
+use lvq_chain::{Address, Chain};
+use lvq_merkle::bmt::{self, BmtProofNode};
+
+use crate::error::ProveError;
+use crate::fragment::{BlockFragment, ExistenceProof, TxWithBranch};
+use crate::result::{
+    BlockEntry, PerBlockResponse, QueryResponse, SegmentBundle, SegmentedResponse,
+};
+use crate::scheme::{Scheme, SchemeConfig};
+use crate::segment::segments;
+use crate::stats::ProverStats;
+
+/// A full node's query answering engine.
+///
+/// Borrowing the [`Chain`] immutably, a prover turns an address into the
+/// scheme's [`QueryResponse`] together with [`ProverStats`] describing
+/// what it cost (endpoint counts, FPM hits, fragment census).
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone, Copy)]
+pub struct Prover<'a> {
+    chain: &'a Chain,
+    config: SchemeConfig,
+}
+
+impl<'a> Prover<'a> {
+    /// Creates a prover for `chain` with an explicit configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProveError::SchemeMismatch`] if the chain was built
+    /// with different parameters than `config` implies.
+    pub fn new(chain: &'a Chain, config: SchemeConfig) -> Result<Self, ProveError> {
+        if chain.params() != config.chain_params() {
+            return Err(ProveError::SchemeMismatch);
+        }
+        Ok(Prover { chain, config })
+    }
+
+    /// Creates a prover, inferring the configuration from the chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProveError::SchemeMismatch`] if the chain's commitment
+    /// policy matches none of the four schemes.
+    pub fn from_chain(chain: &'a Chain) -> Result<Self, ProveError> {
+        let config =
+            SchemeConfig::from_chain_params(chain.params()).ok_or(ProveError::SchemeMismatch)?;
+        Ok(Prover { chain, config })
+    }
+
+    /// This prover's configuration.
+    pub fn config(&self) -> SchemeConfig {
+        self.config
+    }
+
+    /// Answers a transaction-history query for `address` over the whole
+    /// chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProveError`] only on prover-side inconsistencies
+    /// (wrong scheme, corrupted chain); honest configurations never
+    /// fail.
+    pub fn respond(
+        &self,
+        address: &Address,
+    ) -> Result<(QueryResponse, ProverStats), ProveError> {
+        self.respond_over(address, 1, self.chain.tip_height())
+    }
+
+    /// Answers a query restricted to blocks `lo..=hi` (paper §VII-A:
+    /// "a query of larger range can be performed similarly" — and so
+    /// can a smaller one).
+    ///
+    /// BMT roots only exist for canonical dyadic spans, so a range
+    /// query reuses the canonical segments that intersect the range;
+    /// at the left boundary the segment proof may cover blocks below
+    /// `lo`, whose failed leaves then simply need no block-level
+    /// fragment. The verifier applies the same rule
+    /// ([`crate::LightClient::verify_range`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProveError::InvalidRange`] unless
+    /// `1 ≤ lo ≤ hi ≤ tip`.
+    pub fn respond_range(
+        &self,
+        address: &Address,
+        lo: u64,
+        hi: u64,
+    ) -> Result<(QueryResponse, ProverStats), ProveError> {
+        if lo == 0 || lo > hi || hi > self.chain.tip_height() {
+            return Err(ProveError::InvalidRange {
+                lo,
+                hi,
+                tip: self.chain.tip_height(),
+            });
+        }
+        self.respond_over(address, lo, hi)
+    }
+
+    /// Shared implementation; `lo = 1, hi = 0` encodes the empty chain.
+    fn respond_over(
+        &self,
+        address: &Address,
+        lo: u64,
+        hi: u64,
+    ) -> Result<(QueryResponse, ProverStats), ProveError> {
+        let positions = BloomFilter::bit_positions(self.config.bloom(), address.as_bytes());
+        let mut stats = ProverStats::default();
+        let response = if self.config.scheme().is_per_block() {
+            QueryResponse::PerBlock(self.respond_per_block(address, lo, hi, &positions, &mut stats)?)
+        } else {
+            QueryResponse::Segmented(self.respond_segmented(
+                address, lo, hi, &positions, &mut stats,
+            )?)
+        };
+        Ok((response, stats))
+    }
+
+    /// Strawman / LVQ-without-BMT: one `(BF, fragment)` entry per block
+    /// (paper §IV-A, Fig. 6).
+    fn respond_per_block(
+        &self,
+        address: &Address,
+        lo: u64,
+        hi: u64,
+        positions: &[u64],
+        stats: &mut ProverStats,
+    ) -> Result<PerBlockResponse, ProveError> {
+        let mut entries = Vec::with_capacity(hi.saturating_sub(lo) as usize + 1);
+        for height in lo..=hi {
+            let filter = self.chain.leaf_filter(height)?;
+            let fragment = if filter.check_positions(positions).is_clean() {
+                BlockFragment::Empty
+            } else {
+                self.resolve_block(height, address, stats)?
+            };
+            stats.fragments.record(&fragment);
+            entries.push(BlockEntry { filter, fragment });
+        }
+        Ok(PerBlockResponse { entries })
+    }
+
+    /// LVQ / LVQ-without-SMT: one merged BMT proof per (sub-)segment
+    /// plus block-level fragments for failed leaves (paper §V).
+    fn respond_segmented(
+        &self,
+        address: &Address,
+        lo: u64,
+        hi: u64,
+        positions: &[u64],
+        stats: &mut ProverStats,
+    ) -> Result<SegmentedResponse, ProveError> {
+        let mut bundles = Vec::new();
+        for seg in segments(hi, self.config.segment_len()) {
+            if seg.hi < lo {
+                // Entirely below the queried range.
+                continue;
+            }
+            let source = self.chain.segment_source(seg.lo, seg.hi)?;
+            let proof = bmt::prove(&source, positions)?;
+            stats.bmt.merge(&proof.stats());
+
+            let mut fragments = Vec::new();
+            for height in failed_leaves(proof.root(), seg.lo, seg.hi) {
+                if height < lo {
+                    // Proven to match, but outside the queried range: no
+                    // block-level resolution is owed.
+                    continue;
+                }
+                let fragment = self.resolve_block(height, address, stats)?;
+                stats.fragments.record(&fragment);
+                fragments.push((height, fragment));
+            }
+            bundles.push(SegmentBundle { proof, fragments });
+        }
+        Ok(SegmentedResponse { segments: bundles })
+    }
+
+    /// Consults a block body to resolve a failed filter check into the
+    /// scheme's fragment (the table in [`BlockFragment`]'s docs).
+    fn resolve_block(
+        &self,
+        height: u64,
+        address: &Address,
+        stats: &mut ProverStats,
+    ) -> Result<BlockFragment, ProveError> {
+        stats.blocks_resolved += 1;
+        let block = self.chain.block(height)?;
+        let indices = block.tx_indices_for(address);
+        let existent = !indices.is_empty();
+        if !existent {
+            stats.fpm_blocks += 1;
+        }
+
+        Ok(match (self.config.scheme(), existent) {
+            // Existent cases.
+            (Scheme::Strawman, true) => {
+                BlockFragment::MerkleBranches(self.branches_for(block, &indices))
+            }
+            (Scheme::LvqWithoutBmt | Scheme::Lvq, true) => {
+                let smt = block.address_smt()?;
+                BlockFragment::Existence(ExistenceProof {
+                    smt: smt.prove(address.as_bytes()),
+                    transactions: self.branches_for(block, &indices),
+                })
+            }
+            (Scheme::LvqWithoutSmt, true) => BlockFragment::IntegralBlock(Box::new(block.clone())),
+            // FPM cases.
+            (Scheme::Strawman | Scheme::LvqWithoutSmt, false) => {
+                BlockFragment::IntegralBlock(Box::new(block.clone()))
+            }
+            (Scheme::LvqWithoutBmt | Scheme::Lvq, false) => {
+                let smt = block.address_smt()?;
+                BlockFragment::AbsenceSmt(smt.prove(address.as_bytes()))
+            }
+        })
+    }
+
+    fn branches_for(&self, block: &lvq_chain::Block, indices: &[usize]) -> Vec<TxWithBranch> {
+        let tree = block.tx_tree();
+        indices
+            .iter()
+            .map(|&i| TxWithBranch {
+                transaction: block.transactions[i].clone(),
+                branch: tree.branch(i).expect("index from the same block"),
+            })
+            .collect()
+    }
+}
+
+/// Collects the failed-leaf heights of a proof in ascending order by
+/// mirroring the span arithmetic of the descent.
+fn failed_leaves(node: &BmtProofNode, lo: u64, hi: u64) -> Vec<u64> {
+    fn walk(node: &BmtProofNode, lo: u64, hi: u64, out: &mut Vec<u64>) {
+        match node {
+            BmtProofNode::CleanLeaf { .. } | BmtProofNode::CleanNode { .. } => {}
+            BmtProofNode::FailedLeaf { .. } => out.push(lo),
+            BmtProofNode::Branch { left, right } => {
+                let mid = lo + (hi - lo) / 2;
+                walk(left, lo, mid, out);
+                walk(right, mid + 1, hi, out);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(node, lo, hi, &mut out);
+    out
+}

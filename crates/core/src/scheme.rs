@@ -1,0 +1,184 @@
+//! The four evaluated query schemes.
+
+use lvq_bloom::BloomParams;
+use lvq_chain::{ChainError, ChainParams, CommitmentPolicy};
+
+/// The four systems compared in paper §VII-B / Fig. 12.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// The strawman *variant*: headers commit `H(BF)`; the full node
+    /// transmits each block's BF plus Merkle branches (existent) or the
+    /// integral block (FPM). No appearance-count proof (Challenge 3
+    /// remains open — verification is correctness-only).
+    Strawman,
+    /// LVQ without BMT: per-block BF transmission as in the strawman,
+    /// but SMT proofs replace integral blocks (FPM) and prove appearance
+    /// counts (existence).
+    LvqWithoutBmt,
+    /// LVQ without SMT: segment BMT proofs avoid per-block BF
+    /// transmission; every failed leaf falls back to an integral block
+    /// (an FPM cannot be disproven and an appearance count cannot be
+    /// proven without SMT).
+    LvqWithoutSmt,
+    /// Full LVQ: BMT segment proofs plus SMT count/inexistence proofs.
+    Lvq,
+}
+
+impl Scheme {
+    /// All four schemes, in the paper's Fig. 12 order.
+    pub const ALL: [Scheme; 4] = [
+        Scheme::Strawman,
+        Scheme::LvqWithoutBmt,
+        Scheme::LvqWithoutSmt,
+        Scheme::Lvq,
+    ];
+
+    /// The header commitments this scheme requires.
+    pub fn policy(self) -> CommitmentPolicy {
+        match self {
+            Scheme::Strawman => CommitmentPolicy::strawman(),
+            Scheme::LvqWithoutBmt => CommitmentPolicy::lvq_without_bmt(),
+            Scheme::LvqWithoutSmt => CommitmentPolicy::lvq_without_smt(),
+            Scheme::Lvq => CommitmentPolicy::lvq(),
+        }
+    }
+
+    /// True if the scheme transmits one BF per block (no BMT merging).
+    pub fn is_per_block(self) -> bool {
+        matches!(self, Scheme::Strawman | Scheme::LvqWithoutBmt)
+    }
+
+    /// True if the scheme proves appearance counts with SMT.
+    pub fn has_smt(self) -> bool {
+        matches!(self, Scheme::LvqWithoutBmt | Scheme::Lvq)
+    }
+
+    /// The paper's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::Strawman => "strawman",
+            Scheme::LvqWithoutBmt => "LVQ w/o BMT",
+            Scheme::LvqWithoutSmt => "LVQ w/o SMT",
+            Scheme::Lvq => "LVQ",
+        }
+    }
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A scheme plus the numeric knobs shared by prover and verifier.
+///
+/// # Examples
+///
+/// ```
+/// use lvq_bloom::BloomParams;
+/// use lvq_core::{Scheme, SchemeConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// // Paper §VII-B: BMT schemes use 30 KB filters and M = 4096.
+/// let config = SchemeConfig::new(Scheme::Lvq, BloomParams::new(30_000, 2)?, 4096)?;
+/// assert_eq!(config.scheme(), Scheme::Lvq);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchemeConfig {
+    scheme: Scheme,
+    bloom: BloomParams,
+    segment_len: u64,
+}
+
+impl SchemeConfig {
+    /// Creates a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::InvalidSegmentLen`] if `segment_len` is not
+    /// a power of two.
+    pub fn new(
+        scheme: Scheme,
+        bloom: BloomParams,
+        segment_len: u64,
+    ) -> Result<Self, ChainError> {
+        // Reuse the chain-params validation.
+        ChainParams::new(bloom, segment_len, scheme.policy())?;
+        Ok(SchemeConfig {
+            scheme,
+            bloom,
+            segment_len,
+        })
+    }
+
+    /// The scheme.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// Bloom parameters every block's filter uses.
+    pub fn bloom(&self) -> BloomParams {
+        self.bloom
+    }
+
+    /// The paper's `M`.
+    pub fn segment_len(&self) -> u64 {
+        self.segment_len
+    }
+
+    /// The chain parameters a chain for this scheme must be built with.
+    pub fn chain_params(&self) -> ChainParams {
+        ChainParams::new(self.bloom, self.segment_len, self.scheme.policy())
+            .expect("validated at construction")
+    }
+
+    /// Recovers the configuration from a chain's parameters, or `None`
+    /// if the chain's commitment policy matches no scheme.
+    pub fn from_chain_params(params: ChainParams) -> Option<Self> {
+        let scheme = Scheme::ALL
+            .into_iter()
+            .find(|s| s.policy() == params.policy())?;
+        Some(SchemeConfig {
+            scheme,
+            bloom: params.bloom(),
+            segment_len: params.segment_len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_chain_params() {
+        for scheme in Scheme::ALL {
+            let config =
+                SchemeConfig::new(scheme, BloomParams::new(100, 2).unwrap(), 16).unwrap();
+            let back = SchemeConfig::from_chain_params(config.chain_params()).unwrap();
+            assert_eq!(back, config);
+        }
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Scheme::Strawman.is_per_block());
+        assert!(Scheme::LvqWithoutBmt.is_per_block());
+        assert!(!Scheme::Lvq.is_per_block());
+        assert!(!Scheme::LvqWithoutSmt.has_smt());
+        assert!(Scheme::Lvq.has_smt());
+    }
+
+    #[test]
+    fn invalid_segment_rejected() {
+        assert!(SchemeConfig::new(Scheme::Lvq, BloomParams::new(100, 2).unwrap(), 3).is_err());
+    }
+
+    #[test]
+    fn names_are_paper_labels() {
+        assert_eq!(Scheme::Lvq.to_string(), "LVQ");
+        assert_eq!(Scheme::Strawman.to_string(), "strawman");
+    }
+}

@@ -1,0 +1,596 @@
+//! The light-node side: response verification (paper §V, §VI).
+
+use std::collections::BTreeSet;
+
+use lvq_bloom::BloomFilter;
+use lvq_chain::{balance_of, Address, BalanceBreakdown, BlockHeader, Transaction};
+
+use crate::error::QueryError;
+use crate::fragment::BlockFragment;
+use crate::result::QueryResponse;
+use crate::scheme::{Scheme, SchemeConfig};
+use crate::segment::segments;
+
+/// How much the verification established.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Completeness {
+    /// Every relevant transaction is provably included and none omitted
+    /// — the balance is trustworthy.
+    Complete,
+    /// Every returned transaction is provably on-chain, but omissions
+    /// cannot be ruled out (the strawman's Challenge 3): the paper's
+    /// *correctness* without *completeness*.
+    CorrectnessOnly,
+}
+
+/// The outcome of a successful verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifiedHistory {
+    /// Proven transactions as `(height, transaction)`, in chain order.
+    pub transactions: Vec<(u64, Transaction)>,
+    /// Paper Eq. 1 over the proven history.
+    pub balance: BalanceBreakdown,
+    /// Whether completeness was established.
+    pub completeness: Completeness,
+}
+
+/// A light node's verification engine: stored headers plus the scheme
+/// configuration, nothing else.
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone)]
+pub struct LightClient {
+    config: SchemeConfig,
+    headers: Vec<BlockHeader>,
+}
+
+impl LightClient {
+    /// Creates a client holding `headers` (height 1 first).
+    pub fn new(config: SchemeConfig, headers: Vec<BlockHeader>) -> Self {
+        LightClient { config, headers }
+    }
+
+    /// This client's configuration.
+    pub fn config(&self) -> SchemeConfig {
+        self.config
+    }
+
+    /// The chain tip implied by the stored headers.
+    pub fn tip_height(&self) -> u64 {
+        self.headers.len() as u64
+    }
+
+    /// Total bytes of stored headers — the storage cost of paper
+    /// Challenge 1.
+    pub fn storage_bytes(&self) -> u64 {
+        self.headers.iter().map(|h| h.storage_len() as u64).sum()
+    }
+
+    /// Checks that the stored headers form a hash chain (each header's
+    /// `prev_block` is the hash of its predecessor) — the SPV sanity
+    /// check a light node runs after the initial header download.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError::BrokenHeaderChain`] at the first break.
+    pub fn validate_header_chain(&self) -> Result<(), QueryError> {
+        let mut prev = lvq_crypto::Hash256::ZERO;
+        for (i, header) in self.headers.iter().enumerate() {
+            if header.prev_block != prev {
+                return Err(QueryError::BrokenHeaderChain {
+                    height: i as u64 + 1,
+                });
+            }
+            prev = header.block_hash();
+        }
+        Ok(())
+    }
+
+    /// Appends newly announced headers, checking that each one chains
+    /// onto the current tip — how a light node follows a growing chain.
+    ///
+    /// On error nothing is appended.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError::BrokenHeaderChain`] at the first header
+    /// that does not extend the chain.
+    pub fn append_headers(
+        &mut self,
+        new_headers: impl IntoIterator<Item = BlockHeader>,
+    ) -> Result<(), QueryError> {
+        let mut prev = self
+            .headers
+            .last()
+            .map(BlockHeader::block_hash)
+            .unwrap_or(lvq_crypto::Hash256::ZERO);
+        let mut accepted = Vec::new();
+        for header in new_headers {
+            if header.prev_block != prev {
+                return Err(QueryError::BrokenHeaderChain {
+                    height: self.headers.len() as u64 + accepted.len() as u64 + 1,
+                });
+            }
+            prev = header.block_hash();
+            accepted.push(header);
+        }
+        self.headers.extend(accepted);
+        Ok(())
+    }
+
+    /// Verifies a full-node response for `address`.
+    ///
+    /// On success the returned history is *correct* (every transaction
+    /// is on-chain at the stated height) and, except for the strawman's
+    /// existence fragments, *complete* (no relevant transaction in
+    /// `1..=tip` was omitted).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`QueryError`] describing the first inconsistency; any
+    /// error means the response must be discarded and the full node
+    /// distrusted.
+    pub fn verify(
+        &self,
+        address: &Address,
+        response: &QueryResponse,
+    ) -> Result<VerifiedHistory, QueryError> {
+        self.verify_over(address, response, 1, self.tip_height())
+    }
+
+    /// Verifies a response restricted to blocks `lo..=hi` (the range
+    /// counterpart of [`crate::Prover::respond_range`]).
+    ///
+    /// On success, completeness covers exactly the requested range: no
+    /// transaction of `address` in blocks `lo..=hi` was omitted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError::InvalidRange`] unless `1 ≤ lo ≤ hi ≤ tip`,
+    /// and any other [`QueryError`] exactly as [`LightClient::verify`]
+    /// does.
+    pub fn verify_range(
+        &self,
+        address: &Address,
+        lo: u64,
+        hi: u64,
+        response: &QueryResponse,
+    ) -> Result<VerifiedHistory, QueryError> {
+        if lo == 0 || lo > hi || hi > self.tip_height() {
+            return Err(QueryError::InvalidRange {
+                lo,
+                hi,
+                tip: self.tip_height(),
+            });
+        }
+        self.verify_over(address, response, lo, hi)
+    }
+
+    /// Shared implementation; `lo = 1, hi = 0` encodes the empty chain.
+    fn verify_over(
+        &self,
+        address: &Address,
+        response: &QueryResponse,
+        lo: u64,
+        hi: u64,
+    ) -> Result<VerifiedHistory, QueryError> {
+        let positions = BloomFilter::bit_positions(self.config.bloom(), address.as_bytes());
+        let mut collected: Vec<(u64, Transaction)> = Vec::new();
+        let mut correctness_only = false;
+
+        match (self.config.scheme().is_per_block(), response) {
+            (true, QueryResponse::PerBlock(r)) => {
+                let expected = hi.saturating_sub(lo.saturating_sub(1));
+                if r.entries.len() as u64 != expected {
+                    return Err(QueryError::WrongEntryCount {
+                        got: r.entries.len() as u64,
+                        expected,
+                    });
+                }
+                for (i, entry) in r.entries.iter().enumerate() {
+                    let height = lo + i as u64;
+                    let header = &self.headers[(height - 1) as usize];
+                    let committed = header.commitments.bf_hash.ok_or(
+                        QueryError::MissingCommitment {
+                            height,
+                            what: "bloom filter hash",
+                        },
+                    )?;
+                    if entry.filter.params() != self.config.bloom() {
+                        return Err(QueryError::FilterParamsMismatch { height });
+                    }
+                    if entry.filter.content_hash() != committed {
+                        return Err(QueryError::FilterHashMismatch { height });
+                    }
+                    if entry.filter.check_positions(&positions).is_clean() {
+                        if entry.fragment != BlockFragment::Empty {
+                            return Err(QueryError::UnexpectedFragment { height });
+                        }
+                    } else {
+                        let txs = self.verify_fragment(height, address, &entry.fragment)?;
+                        if matches!(entry.fragment, BlockFragment::MerkleBranches(_)) {
+                            correctness_only = true;
+                        }
+                        collected.extend(txs.into_iter().map(|t| (height, t)));
+                    }
+                }
+            }
+            (false, QueryResponse::Segmented(r)) => {
+                let segs: Vec<_> = segments(hi, self.config.segment_len())
+                    .into_iter()
+                    .filter(|seg| seg.hi >= lo)
+                    .collect();
+                if r.segments.len() != segs.len() {
+                    return Err(QueryError::SegmentMismatch);
+                }
+                for (seg, bundle) in segs.iter().zip(&r.segments) {
+                    let header = &self.headers[(seg.hi - 1) as usize];
+                    let root =
+                        header
+                            .commitments
+                            .bmt_root
+                            .ok_or(QueryError::MissingCommitment {
+                                height: seg.hi,
+                                what: "bmt root",
+                            })?;
+                    let coverage = bundle
+                        .proof
+                        .verify(seg.lo, seg.len(), &root, self.config.bloom(), &positions)
+                        .map_err(|source| QueryError::Bmt {
+                            segment_hi: seg.hi,
+                            source,
+                        })?;
+                    // The failed leaves inside the queried range and the
+                    // supplied fragments must agree exactly — a prover
+                    // cannot silently drop a block whose filter matched.
+                    // (Failed leaves below `lo` belong to a boundary
+                    // segment's prefix and are outside the query.)
+                    let supplied: Vec<u64> = bundle.fragments.iter().map(|(h, _)| *h).collect();
+                    let owed: Vec<u64> = coverage
+                        .failed_leaves
+                        .iter()
+                        .copied()
+                        .filter(|&h| h >= lo)
+                        .collect();
+                    if supplied != owed {
+                        return Err(QueryError::FragmentSetMismatch);
+                    }
+                    for (height, fragment) in &bundle.fragments {
+                        let txs = self.verify_fragment(*height, address, fragment)?;
+                        if matches!(fragment, BlockFragment::MerkleBranches(_)) {
+                            correctness_only = true;
+                        }
+                        collected.extend(txs.into_iter().map(|t| (*height, t)));
+                    }
+                }
+            }
+            _ => return Err(QueryError::WrongResponseKind),
+        }
+
+        collected.sort_by_key(|(h, _)| *h);
+        let balance = balance_of(address, collected.iter().map(|(_, t)| t));
+        Ok(VerifiedHistory {
+            transactions: collected,
+            balance,
+            completeness: if correctness_only {
+                Completeness::CorrectnessOnly
+            } else {
+                Completeness::Complete
+            },
+        })
+    }
+
+    /// Verifies one block-level fragment, returning the transactions it
+    /// proves (empty when it proves absence).
+    fn verify_fragment(
+        &self,
+        height: u64,
+        address: &Address,
+        fragment: &BlockFragment,
+    ) -> Result<Vec<Transaction>, QueryError> {
+        let header = &self.headers[(height - 1) as usize];
+        let scheme = self.config.scheme();
+        match fragment {
+            BlockFragment::Empty => Err(QueryError::UnexpectedFragment { height }),
+
+            BlockFragment::MerkleBranches(txs) => {
+                // Strawman-only: correctness without a count proof.
+                if scheme != Scheme::Strawman || txs.is_empty() {
+                    return Err(QueryError::UnexpectedFragment { height });
+                }
+                self.verify_branches(height, address, header, txs)?;
+                Ok(txs.iter().map(|t| t.transaction.clone()).collect())
+            }
+
+            BlockFragment::Existence(proof) => {
+                if !scheme.has_smt() {
+                    return Err(QueryError::UnexpectedFragment { height });
+                }
+                let commitment =
+                    header
+                        .commitments
+                        .smt_commitment
+                        .ok_or(QueryError::MissingCommitment {
+                            height,
+                            what: "smt",
+                        })?;
+                let count = proof
+                    .smt
+                    .verify(address.as_bytes(), &commitment)
+                    .map_err(|source| QueryError::Smt { height, source })?
+                    .ok_or(QueryError::UnexpectedFragment { height })?;
+                // Challenge 3 resolved: exactly `count` distinct
+                // transactions must be proven.
+                if proof.transactions.len() as u64 != count {
+                    return Err(QueryError::CountMismatch {
+                        height,
+                        committed: count,
+                        proven: proof.transactions.len() as u64,
+                    });
+                }
+                self.verify_branches(height, address, header, &proof.transactions)?;
+                Ok(proof
+                    .transactions
+                    .iter()
+                    .map(|t| t.transaction.clone())
+                    .collect())
+            }
+
+            BlockFragment::AbsenceSmt(proof) => {
+                if !scheme.has_smt() {
+                    return Err(QueryError::UnexpectedFragment { height });
+                }
+                let commitment =
+                    header
+                        .commitments
+                        .smt_commitment
+                        .ok_or(QueryError::MissingCommitment {
+                            height,
+                            what: "smt",
+                        })?;
+                let value = proof
+                    .verify(address.as_bytes(), &commitment)
+                    .map_err(|source| QueryError::Smt { height, source })?;
+                if value.is_some() {
+                    // The proof itself shows the address *is* present:
+                    // claiming absence with it hides transactions.
+                    return Err(QueryError::UnexpectedFragment { height });
+                }
+                Ok(Vec::new())
+            }
+
+            BlockFragment::IntegralBlock(block) => {
+                if scheme.has_smt() {
+                    // LVQ schemes never fall back to integral blocks.
+                    return Err(QueryError::UnexpectedFragment { height });
+                }
+                if block.header != *header {
+                    return Err(QueryError::BlockHeaderMismatch { height });
+                }
+                if block.tx_tree().root() != header.merkle_root {
+                    return Err(QueryError::BlockBodyMismatch { height });
+                }
+                Ok(block
+                    .transactions
+                    .iter()
+                    .filter(|tx| tx.involves(address))
+                    .cloned()
+                    .collect())
+            }
+        }
+    }
+
+    fn verify_branches(
+        &self,
+        height: u64,
+        address: &Address,
+        header: &BlockHeader,
+        txs: &[crate::fragment::TxWithBranch],
+    ) -> Result<(), QueryError> {
+        let mut seen_slots: BTreeSet<u64> = BTreeSet::new();
+        for item in txs {
+            if !item.transaction.involves(address) {
+                return Err(QueryError::UninvolvedTransaction { height });
+            }
+            if !item
+                .branch
+                .verify(&item.transaction.txid(), &header.merkle_root)
+            {
+                return Err(QueryError::InvalidMerkleBranch { height });
+            }
+            // Distinct tree slots: the same transaction cannot be
+            // counted twice to satisfy an SMT count.
+            if !seen_slots.insert(item.branch.leaf_index()) {
+                return Err(QueryError::DuplicateTransaction { height });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragment::BlockFragment;
+    use crate::prover::Prover;
+    use crate::result::{BlockEntry, PerBlockResponse};
+    use crate::scheme::Scheme;
+    use lvq_bloom::{BloomFilter, BloomParams};
+    use lvq_chain::{ChainBuilder, Transaction};
+
+    fn config(scheme: Scheme) -> SchemeConfig {
+        SchemeConfig::new(scheme, BloomParams::new(128, 2).unwrap(), 4).unwrap()
+    }
+
+    fn chain_for(scheme: Scheme, blocks: u64) -> lvq_chain::Chain {
+        let mut builder = ChainBuilder::new(config(scheme).chain_params()).unwrap();
+        for h in 1..=blocks {
+            builder
+                .push_block(vec![Transaction::coinbase(
+                    Address::new("1Miner"),
+                    50,
+                    h as u32,
+                )])
+                .unwrap();
+        }
+        builder.finish()
+    }
+
+    #[test]
+    fn wrong_response_kind_rejected() {
+        let chain = chain_for(Scheme::Lvq, 4);
+        let prover = Prover::from_chain(&chain).unwrap();
+        let (response, _) = prover.respond(&Address::new("1Miner")).unwrap();
+        // A segmented response fed to a per-block client (mismatched
+        // configuration) is rejected before any cryptographic work.
+        let per_block_client = LightClient::new(config(Scheme::Strawman), chain.headers());
+        assert_eq!(
+            per_block_client
+                .verify(&Address::new("1Miner"), &response)
+                .unwrap_err(),
+            QueryError::WrongResponseKind
+        );
+    }
+
+    #[test]
+    fn missing_commitment_detected() {
+        // Headers built WITHOUT smt commitments cannot serve an LVQ
+        // client: the segmented BMT check fails on the bmt_root lookup
+        // for strawman headers.
+        let strawman_chain = chain_for(Scheme::Strawman, 4);
+        let lvq_client = LightClient::new(config(Scheme::Lvq), strawman_chain.headers());
+        let lvq_chain = chain_for(Scheme::Lvq, 4);
+        let (response, _) = Prover::from_chain(&lvq_chain)
+            .unwrap()
+            .respond(&Address::new("1Ghost"))
+            .unwrap();
+        assert!(matches!(
+            lvq_client
+                .verify(&Address::new("1Ghost"), &response)
+                .unwrap_err(),
+            QueryError::MissingCommitment { what: "bmt root", .. }
+        ));
+    }
+
+    #[test]
+    fn filter_params_mismatch_detected() {
+        let chain = chain_for(Scheme::Strawman, 2);
+        let client = LightClient::new(config(Scheme::Strawman), chain.headers());
+        // Hand-craft a response whose filters have the wrong size.
+        let bogus_params = BloomParams::new(64, 2).unwrap();
+        let response = QueryResponse::PerBlock(PerBlockResponse {
+            entries: (0..2)
+                .map(|_| BlockEntry {
+                    filter: BloomFilter::new(bogus_params),
+                    fragment: BlockFragment::Empty,
+                })
+                .collect(),
+        });
+        assert!(matches!(
+            client
+                .verify(&Address::new("1Ghost"), &response)
+                .unwrap_err(),
+            QueryError::FilterParamsMismatch { height: 1 }
+        ));
+    }
+
+    #[test]
+    fn filter_hash_mismatch_detected() {
+        let chain = chain_for(Scheme::Strawman, 2);
+        let client = LightClient::new(config(Scheme::Strawman), chain.headers());
+        // Right parameters, wrong (empty) contents: H(BF) cannot match
+        // the committed hash of the real filter.
+        let response = QueryResponse::PerBlock(PerBlockResponse {
+            entries: (0..2)
+                .map(|_| BlockEntry {
+                    filter: BloomFilter::new(config(Scheme::Strawman).bloom()),
+                    fragment: BlockFragment::Empty,
+                })
+                .collect(),
+        });
+        assert!(matches!(
+            client
+                .verify(&Address::new("1Ghost"), &response)
+                .unwrap_err(),
+            QueryError::FilterHashMismatch { height: 1 }
+        ));
+    }
+
+    #[test]
+    fn storage_bytes_counts_headers() {
+        let chain = chain_for(Scheme::Lvq, 3);
+        let client = LightClient::new(config(Scheme::Lvq), chain.headers());
+        assert_eq!(client.tip_height(), 3);
+        // 80 base + 3 presence + bmt(32) + smt(32).
+        assert_eq!(client.storage_bytes(), 3 * 147);
+    }
+
+    #[test]
+    fn header_chain_validation() {
+        let chain = chain_for(Scheme::Lvq, 4);
+        let client = LightClient::new(config(Scheme::Lvq), chain.headers());
+        client.validate_header_chain().unwrap();
+
+        // Tamper one header: the chain breaks at the next height.
+        let mut headers = chain.headers();
+        headers[1].nonce ^= 1;
+        let broken = LightClient::new(config(Scheme::Lvq), headers);
+        assert_eq!(
+            broken.validate_header_chain().unwrap_err(),
+            QueryError::BrokenHeaderChain { height: 3 }
+        );
+
+        // Splice in a header from nowhere: breaks at its own height.
+        let mut headers = chain.headers();
+        headers[2].prev_block = lvq_crypto::Hash256::hash(b"fork");
+        let forked = LightClient::new(config(Scheme::Lvq), headers);
+        assert_eq!(
+            forked.validate_header_chain().unwrap_err(),
+            QueryError::BrokenHeaderChain { height: 3 }
+        );
+
+        // An empty header set is a valid (empty) chain.
+        LightClient::new(config(Scheme::Lvq), Vec::new())
+            .validate_header_chain()
+            .unwrap();
+    }
+
+    #[test]
+    fn append_headers_follows_growth() {
+        let long = chain_for(Scheme::Lvq, 6);
+        let all = long.headers();
+        let mut client = LightClient::new(config(Scheme::Lvq), all[..4].to_vec());
+        client.append_headers(all[4..].iter().copied()).unwrap();
+        assert_eq!(client.tip_height(), 6);
+        client.validate_header_chain().unwrap();
+
+        // A header that does not extend the tip is rejected and nothing
+        // is appended.
+        let mut stale = LightClient::new(config(Scheme::Lvq), all[..4].to_vec());
+        assert_eq!(
+            stale.append_headers([all[5]]).unwrap_err(),
+            QueryError::BrokenHeaderChain { height: 5 }
+        );
+        assert_eq!(stale.tip_height(), 4);
+
+        // Appending onto an empty client is an initial sync.
+        let mut fresh = LightClient::new(config(Scheme::Lvq), Vec::new());
+        fresh.append_headers(all.iter().copied()).unwrap();
+        assert_eq!(fresh.tip_height(), 6);
+    }
+
+    #[test]
+    fn empty_chain_verifies_empty_response() {
+        for scheme in Scheme::ALL {
+            let chain = chain_for(scheme, 0);
+            let prover = Prover::new(&chain, config(scheme)).unwrap();
+            let (response, _) = prover.respond(&Address::new("1Anyone")).unwrap();
+            let client = LightClient::new(config(scheme), Vec::new());
+            let history = client.verify(&Address::new("1Anyone"), &response).unwrap();
+            assert!(history.transactions.is_empty());
+            assert_eq!(history.balance.net(), 0);
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Base58 and Base58Check, the encodings behind Bitcoin addresses.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::sha256::sha256d;
+
+/// The Bitcoin Base58 alphabet (no `0`, `O`, `I`, `l`).
+const ALPHABET: &[u8; 58] = b"123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz";
+
+/// Error returned when Base58(Check) decoding fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Base58Error {
+    /// A character was outside the Base58 alphabet.
+    InvalidCharacter {
+        /// Byte offset of the offending character.
+        index: usize,
+    },
+    /// A Base58Check payload was shorter than its 4-byte checksum.
+    TooShort,
+    /// The Base58Check checksum did not match.
+    BadChecksum,
+}
+
+impl fmt::Display for Base58Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Base58Error::InvalidCharacter { index } => {
+                write!(f, "invalid base58 character at index {index}")
+            }
+            Base58Error::TooShort => f.write_str("base58check payload too short"),
+            Base58Error::BadChecksum => f.write_str("base58check checksum mismatch"),
+        }
+    }
+}
+
+impl Error for Base58Error {}
+
+/// Encodes `data` as Base58.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(lvq_crypto::base58::encode(b"hello"), "Cn8eVZg");
+/// ```
+pub fn encode(data: &[u8]) -> String {
+    // Count leading zero bytes; each encodes as a literal '1'.
+    let zeros = data.iter().take_while(|&&b| b == 0).count();
+
+    // Big-number base conversion, digit by digit.
+    let mut digits: Vec<u8> = Vec::with_capacity(data.len() * 138 / 100 + 1);
+    for &byte in &data[zeros..] {
+        let mut carry = u32::from(byte);
+        for digit in digits.iter_mut() {
+            carry += u32::from(*digit) << 8;
+            *digit = (carry % 58) as u8;
+            carry /= 58;
+        }
+        while carry > 0 {
+            digits.push((carry % 58) as u8);
+            carry /= 58;
+        }
+    }
+
+    let mut out = String::with_capacity(zeros + digits.len());
+    out.extend(std::iter::repeat_n('1', zeros));
+    out.extend(digits.iter().rev().map(|&d| ALPHABET[d as usize] as char));
+    out
+}
+
+/// Decodes a Base58 string.
+///
+/// # Errors
+///
+/// Returns [`Base58Error::InvalidCharacter`] for out-of-alphabet input.
+pub fn decode(s: &str) -> Result<Vec<u8>, Base58Error> {
+    let mut index_of = [255u8; 128];
+    for (i, &c) in ALPHABET.iter().enumerate() {
+        index_of[c as usize] = i as u8;
+    }
+
+    let bytes = s.as_bytes();
+    let ones = bytes.iter().take_while(|&&b| b == b'1').count();
+
+    let mut out: Vec<u8> = Vec::with_capacity(s.len());
+    for (i, &c) in bytes[ones..].iter().enumerate() {
+        let digit = if (c as usize) < 128 {
+            index_of[c as usize]
+        } else {
+            255
+        };
+        if digit == 255 {
+            return Err(Base58Error::InvalidCharacter { index: ones + i });
+        }
+        let mut carry = u32::from(digit);
+        for byte in out.iter_mut() {
+            carry += u32::from(*byte) * 58;
+            *byte = (carry & 0xFF) as u8;
+            carry >>= 8;
+        }
+        while carry > 0 {
+            out.push((carry & 0xFF) as u8);
+            carry >>= 8;
+        }
+    }
+
+    out.extend(std::iter::repeat_n(0, ones));
+    out.reverse();
+    Ok(out)
+}
+
+/// Encodes `payload` with a version byte and a 4-byte double-SHA-256
+/// checksum, as Bitcoin addresses do.
+pub fn check_encode(version: u8, payload: &[u8]) -> String {
+    let mut data = Vec::with_capacity(payload.len() + 5);
+    data.push(version);
+    data.extend_from_slice(payload);
+    let checksum = sha256d(&data);
+    data.extend_from_slice(&checksum[..4]);
+    encode(&data)
+}
+
+/// Decodes a Base58Check string, returning `(version, payload)`.
+///
+/// # Errors
+///
+/// Returns a [`Base58Error`] if the string is not valid Base58, is shorter
+/// than version + checksum, or fails the checksum.
+pub fn check_decode(s: &str) -> Result<(u8, Vec<u8>), Base58Error> {
+    let data = decode(s)?;
+    if data.len() < 5 {
+        return Err(Base58Error::TooShort);
+    }
+    let (body, checksum) = data.split_at(data.len() - 4);
+    let expected = sha256d(body);
+    if checksum != &expected[..4] {
+        return Err(Base58Error::BadChecksum);
+    }
+    Ok((body[0], body[1..].to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(encode(b""), "");
+        assert_eq!(encode(b"hello"), "Cn8eVZg");
+        assert_eq!(encode(&[0x00, 0x00, 0x01]), "112");
+        assert_eq!(decode("Cn8eVZg").unwrap(), b"hello");
+        assert_eq!(decode("").unwrap(), Vec::<u8>::new());
+        assert_eq!(decode("11").unwrap(), vec![0, 0]);
+    }
+
+    #[test]
+    fn rejects_invalid_characters() {
+        assert_eq!(
+            decode("0abc"),
+            Err(Base58Error::InvalidCharacter { index: 0 })
+        );
+        assert_eq!(
+            decode("1Ol"),
+            Err(Base58Error::InvalidCharacter { index: 1 })
+        );
+        assert!(matches!(
+            decode("ab\u{e9}"),
+            Err(Base58Error::InvalidCharacter { .. })
+        ));
+    }
+
+    #[test]
+    fn check_roundtrip_and_tamper() {
+        let s = check_encode(0x00, &[0xAB; 20]);
+        // A version-0x00 Base58Check string starts with '1', like mainnet
+        // P2PKH addresses.
+        assert!(s.starts_with('1'));
+        let (version, payload) = check_decode(&s).unwrap();
+        assert_eq!(version, 0x00);
+        assert_eq!(payload, vec![0xAB; 20]);
+
+        // Flip one character: checksum must fail (or the char is invalid).
+        let mut tampered: Vec<char> = s.chars().collect();
+        let last = tampered.len() - 1;
+        tampered[last] = if tampered[last] == '2' { '3' } else { '2' };
+        let tampered: String = tampered.into_iter().collect();
+        assert!(check_decode(&tampered).is_err());
+    }
+
+    #[test]
+    fn check_too_short() {
+        assert_eq!(check_decode("1"), Err(Base58Error::TooShort));
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip(bytes: Vec<u8>) {
+            prop_assert_eq!(decode(&encode(&bytes)).unwrap(), bytes);
+        }
+
+        #[test]
+        fn check_roundtrip(version: u8, payload in proptest::collection::vec(any::<u8>(), 0..40)) {
+            let s = check_encode(version, &payload);
+            let (v, p) = check_decode(&s).unwrap();
+            prop_assert_eq!(v, version);
+            prop_assert_eq!(p, payload);
+        }
+    }
+}

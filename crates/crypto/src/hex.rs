@@ -1,0 +1,108 @@
+//! Minimal hexadecimal encoding helpers.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned by [`decode`] for malformed hex input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HexError {
+    /// The input length was odd.
+    OddLength,
+    /// A character was not a hex digit.
+    InvalidDigit {
+        /// Byte offset of the offending character.
+        index: usize,
+    },
+}
+
+impl fmt::Display for HexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HexError::OddLength => f.write_str("hex string has odd length"),
+            HexError::InvalidDigit { index } => {
+                write!(f, "invalid hex digit at index {index}")
+            }
+        }
+    }
+}
+
+impl Error for HexError {}
+
+/// Encodes `bytes` as lowercase hex.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(lvq_crypto::hex::encode(&[0xde, 0xad]), "dead");
+/// ```
+pub fn encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(char::from_digit(u32::from(b >> 4), 16).expect("nibble < 16"));
+        out.push(char::from_digit(u32::from(b & 0xF), 16).expect("nibble < 16"));
+    }
+    out
+}
+
+/// Decodes a hex string (either case) into bytes.
+///
+/// # Errors
+///
+/// Returns [`HexError`] for odd-length input or non-hex characters.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), lvq_crypto::hex::HexError> {
+/// assert_eq!(lvq_crypto::hex::decode("DEad")?, vec![0xde, 0xad]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn decode(s: &str) -> Result<Vec<u8>, HexError> {
+    let bytes = s.as_bytes();
+    if !bytes.len().is_multiple_of(2) {
+        return Err(HexError::OddLength);
+    }
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for (i, pair) in bytes.chunks_exact(2).enumerate() {
+        let hi = (pair[0] as char)
+            .to_digit(16)
+            .ok_or(HexError::InvalidDigit { index: i * 2 })? as u8;
+        let lo = (pair[1] as char)
+            .to_digit(16)
+            .ok_or(HexError::InvalidDigit { index: i * 2 + 1 })? as u8;
+        out.push((hi << 4) | lo);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn encode_known() {
+        assert_eq!(encode(&[]), "");
+        assert_eq!(encode(&[0x00, 0xff, 0x10]), "00ff10");
+    }
+
+    #[test]
+    fn decode_mixed_case() {
+        assert_eq!(decode("AbCd").unwrap(), vec![0xab, 0xcd]);
+    }
+
+    #[test]
+    fn decode_errors() {
+        assert_eq!(decode("abc"), Err(HexError::OddLength));
+        assert_eq!(decode("zz"), Err(HexError::InvalidDigit { index: 0 }));
+        assert_eq!(decode("az"), Err(HexError::InvalidDigit { index: 1 }));
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip(bytes: Vec<u8>) {
+            prop_assert_eq!(decode(&encode(&bytes)).unwrap(), bytes);
+        }
+    }
+}

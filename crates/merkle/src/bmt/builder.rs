@@ -1,0 +1,464 @@
+//! Incremental per-block BMT construction (paper §IV-B1, Algorithm 1).
+
+use lvq_bloom::{BloomFilter, BloomParams};
+use lvq_crypto::Hash256;
+
+use super::{internal_hash, is_power_of_two, leaf_hash, BmtError};
+
+/// The hash of one finalised dyadic span of leaves.
+///
+/// Spans are inclusive leaf-id ranges; in LVQ leaf ids are block heights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanHash {
+    /// First leaf of the span.
+    pub lo: u64,
+    /// Last leaf of the span.
+    pub hi: u64,
+    /// The BMT node hash of the span.
+    pub hash: Hash256,
+}
+
+/// What one pushed leaf (block) commits.
+#[derive(Debug, Clone)]
+pub struct LeafCommit {
+    /// Id (block height) of the pushed leaf.
+    pub leaf: u64,
+    /// The BMT root this block stores in its header: the root of the tree
+    /// merging blocks `merged_lo ..= leaf` (paper Table I).
+    pub root: Hash256,
+    /// First block merged into this root.
+    pub merged_lo: u64,
+    /// Every dyadic span finalised by this leaf, smallest first. The
+    /// chain stores these so a lazy [`super::BmtSource`] can serve
+    /// `node_hash` for any span without recomputing filters.
+    pub new_spans: Vec<SpanHash>,
+}
+
+#[derive(Debug, Clone)]
+struct StackEntry {
+    lo: u64,
+    hi: u64,
+    hash: Hash256,
+    filter: BloomFilter,
+}
+
+/// Builds each block's BMT root incrementally while the chain grows.
+///
+/// The paper's merging rule (Algorithm 1 as corrected in DESIGN.md —
+/// the published pseudocode contradicts its own Table I) says block at
+/// in-segment position `l` merges the last `2^i` blocks where `2^i` is
+/// the largest power of two dividing `l` (`l = M` at segment ends). That
+/// is exactly the collapse rule of a binary carry counter: push a
+/// one-leaf entry, then merge equal-width neighbours while possible. The
+/// stack top after pushing position `l` spans precisely the run block
+/// `l` must merge.
+///
+/// Memory: at most `log2(M) + 1` filters live at any time, regardless of
+/// filter size.
+///
+/// # Examples
+///
+/// ```
+/// use lvq_bloom::{BloomFilter, BloomParams};
+/// use lvq_merkle::BmtBuilder;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let params = BloomParams::new(16, 2)?;
+/// let mut builder = BmtBuilder::new(params, 4, 1)?; // M = 4, heights from 1
+/// let commits: Vec<_> = (0..4)
+///     .map(|_| builder.push_leaf(BloomFilter::new(params)).unwrap())
+///     .collect();
+/// // Paper Table I: heights 1,2,3,4 merge 1, 2, 1, and 4 blocks.
+/// assert_eq!(commits[0].merged_lo, 1);
+/// assert_eq!(commits[1].merged_lo, 1);
+/// assert_eq!(commits[2].merged_lo, 3);
+/// assert_eq!(commits[3].merged_lo, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BmtBuilder {
+    params: BloomParams,
+    segment_len: u64,
+    first_leaf: u64,
+    next: u64,
+    stack: Vec<StackEntry>,
+}
+
+impl BmtBuilder {
+    /// Creates a builder for segments of `segment_len` (the paper's `M`)
+    /// whose first leaf has id `first_leaf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmtError::LeafCountNotPowerOfTwo`] if `segment_len` is
+    /// not a power of two (zero included).
+    pub fn new(params: BloomParams, segment_len: u64, first_leaf: u64) -> Result<Self, BmtError> {
+        if !is_power_of_two(segment_len) {
+            return Err(BmtError::LeafCountNotPowerOfTwo { count: segment_len });
+        }
+        Ok(BmtBuilder {
+            params,
+            segment_len,
+            first_leaf,
+            next: first_leaf,
+            stack: Vec::new(),
+        })
+    }
+
+    /// Reconstructs a builder mid-segment, e.g. when a node restarts or
+    /// a finished [`lvq chain`](crate) is extended.
+    ///
+    /// `stack` must be the partial segment's dyadic decomposition in
+    /// push order: spans of strictly decreasing width, contiguous,
+    /// ending at `next_leaf - 1` — exactly what
+    /// [`BmtBuilder::push_leaf`] would have left behind. Each entry is
+    /// `(lo, hi, hash, filter)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmtError::LeafCountNotPowerOfTwo`] for a bad
+    /// `segment_len`, [`BmtError::ParamsMismatch`] for foreign filters,
+    /// and [`BmtError::MalformedProof`] if the stack does not describe
+    /// a valid partial segment.
+    pub fn resume(
+        params: BloomParams,
+        segment_len: u64,
+        first_leaf: u64,
+        next_leaf: u64,
+        stack: Vec<(u64, u64, Hash256, BloomFilter)>,
+    ) -> Result<Self, BmtError> {
+        let mut builder = BmtBuilder::new(params, segment_len, first_leaf)?;
+        builder.next = next_leaf;
+
+        let mut expected_next = next_leaf;
+        // Iterating newest-to-oldest, spans must be contiguous and
+        // strictly widening (the stack itself is strictly narrowing).
+        let mut prev_width = 0u64;
+        for (lo, hi, hash, filter) in stack.into_iter().rev() {
+            if filter.params() != params {
+                return Err(BmtError::ParamsMismatch);
+            }
+            let width = hi
+                .checked_sub(lo)
+                .map(|w| w + 1)
+                .filter(|w| is_power_of_two(*w))
+                .ok_or(BmtError::MalformedProof {
+                    reason: "stack span is not dyadic",
+                })?;
+            if hi + 1 != expected_next || width <= prev_width || width > segment_len {
+                return Err(BmtError::MalformedProof {
+                    reason: "stack spans are not a contiguous decreasing decomposition",
+                });
+            }
+            expected_next = lo;
+            prev_width = width;
+            builder.stack.insert(
+                0,
+                StackEntry {
+                    lo,
+                    hi,
+                    hash,
+                    filter,
+                },
+            );
+        }
+        // The stack must start a segment boundary away from first_leaf.
+        let consumed = expected_next - first_leaf;
+        if !consumed.is_multiple_of(segment_len) {
+            return Err(BmtError::MalformedProof {
+                reason: "stack does not start at a segment boundary",
+            });
+        }
+        Ok(builder)
+    }
+
+    /// The segment length `M`.
+    pub fn segment_len(&self) -> u64 {
+        self.segment_len
+    }
+
+    /// Id the next pushed leaf will get.
+    pub fn next_leaf(&self) -> u64 {
+        self.next
+    }
+
+    /// Pushes the Bloom filter of the next block and returns what that
+    /// block commits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmtError::ParamsMismatch`] if `filter` has different
+    /// parameters than the builder.
+    pub fn push_leaf(&mut self, filter: BloomFilter) -> Result<LeafCommit, BmtError> {
+        if filter.params() != self.params {
+            return Err(BmtError::ParamsMismatch);
+        }
+        let leaf = self.next;
+        self.next += 1;
+
+        let mut new_spans = Vec::new();
+        let hash = leaf_hash(&filter);
+        new_spans.push(SpanHash {
+            lo: leaf,
+            hi: leaf,
+            hash,
+        });
+        self.stack.push(StackEntry {
+            lo: leaf,
+            hi: leaf,
+            hash,
+            filter,
+        });
+
+        // Binary-carry collapse: merge equal-width neighbours.
+        while self.stack.len() >= 2 {
+            let a = &self.stack[self.stack.len() - 2];
+            let b = &self.stack[self.stack.len() - 1];
+            if a.hi - a.lo != b.hi - b.lo {
+                break;
+            }
+            let right = self.stack.pop().expect("len checked");
+            let mut left = self.stack.pop().expect("len checked");
+            left.filter
+                .union_with(&right.filter)
+                .expect("params checked on push");
+            let merged = StackEntry {
+                lo: left.lo,
+                hi: right.hi,
+                hash: internal_hash(&left.hash, &right.hash, &left.filter),
+                filter: left.filter,
+            };
+            new_spans.push(SpanHash {
+                lo: merged.lo,
+                hi: merged.hi,
+                hash: merged.hash,
+            });
+            self.stack.push(merged);
+        }
+
+        let top = self.stack.last().expect("just pushed");
+        let commit = LeafCommit {
+            leaf,
+            root: top.hash,
+            merged_lo: top.lo,
+            new_spans,
+        };
+
+        // Segment boundary: the stack has collapsed to one entry spanning
+        // the whole segment; start the next segment fresh.
+        let position = leaf - self.first_leaf + 1;
+        if position.is_multiple_of(self.segment_len) {
+            debug_assert_eq!(self.stack.len(), 1);
+            debug_assert_eq!(top.hi - top.lo + 1, self.segment_len);
+            self.stack.clear();
+        }
+
+        Ok(commit)
+    }
+}
+
+/// Number of trailing blocks the block at in-segment position `l`
+/// (1-based, `l = M` for the last block of a segment) merges: the largest
+/// power of two dividing `l`.
+///
+/// This reproduces paper Table I; see DESIGN.md for the off-by-one in the
+/// paper's pseudocode.
+///
+/// # Panics
+///
+/// Panics if `position` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use lvq_merkle::bmt::merge_count;
+///
+/// // Paper Table I (M >= 8).
+/// let counts: Vec<u64> = (1..=8).map(merge_count).collect();
+/// assert_eq!(counts, [1, 2, 1, 4, 1, 2, 1, 8]);
+/// ```
+pub fn merge_count(position: u64) -> u64 {
+    assert!(position > 0, "positions are 1-based");
+    1 << position.trailing_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{Bmt, BmtSource};
+    use super::*;
+    use std::collections::HashMap;
+
+    fn params() -> BloomParams {
+        BloomParams::new(16, 2).unwrap()
+    }
+
+    fn filter_for(i: u64) -> BloomFilter {
+        let mut f = BloomFilter::new(params());
+        f.insert(&i.to_le_bytes());
+        f
+    }
+
+    #[test]
+    fn table_one_merge_counts() {
+        // Paper Table I.
+        let expected = [
+            (1u64, 1u64),
+            (2, 2),
+            (3, 1),
+            (4, 4),
+            (5, 1),
+            (6, 2),
+            (7, 1),
+            (8, 8),
+        ];
+        for (h, c) in expected {
+            assert_eq!(merge_count(h), c, "height {h}");
+        }
+    }
+
+    #[test]
+    fn builder_roots_match_eager_trees() {
+        // For every block h with M = 8, the committed root must equal the
+        // eager BMT over the merged range.
+        let m = 8u64;
+        let mut builder = BmtBuilder::new(params(), m, 1).unwrap();
+        let filters: Vec<BloomFilter> = (1..=16).map(filter_for).collect();
+        for h in 1..=16u64 {
+            let commit = builder.push_leaf(filters[(h - 1) as usize].clone()).unwrap();
+            assert_eq!(commit.leaf, h);
+            let pos = (h - 1) % m + 1;
+            let count = merge_count(pos);
+            assert_eq!(commit.merged_lo, h - count + 1, "height {h}");
+            let leaves = filters[(commit.merged_lo - 1) as usize..h as usize].to_vec();
+            let eager = Bmt::build(commit.merged_lo, leaves).unwrap();
+            assert_eq!(commit.root, eager.root_hash(), "height {h}");
+        }
+    }
+
+    #[test]
+    fn span_hashes_cover_every_dyadic_span_once() {
+        let m = 8u64;
+        let mut builder = BmtBuilder::new(params(), m, 1).unwrap();
+        let mut seen: HashMap<(u64, u64), Hash256> = HashMap::new();
+        for h in 1..=8u64 {
+            let commit = builder.push_leaf(filter_for(h)).unwrap();
+            for span in &commit.new_spans {
+                assert!(
+                    seen.insert((span.lo, span.hi), span.hash).is_none(),
+                    "span {:?} emitted twice",
+                    (span.lo, span.hi)
+                );
+            }
+        }
+        // A complete segment of 8 leaves has 15 dyadic spans.
+        assert_eq!(seen.len(), 15);
+        // And they agree with the eager tree.
+        let eager = Bmt::build(1, (1..=8).map(filter_for).collect()).unwrap();
+        for ((lo, hi), hash) in seen {
+            assert_eq!(eager.node_hash(lo, hi), hash);
+        }
+    }
+
+    #[test]
+    fn segment_boundaries_reset_merging() {
+        let m = 4u64;
+        let mut builder = BmtBuilder::new(params(), m, 1).unwrap();
+        for h in 1..=4 {
+            builder.push_leaf(filter_for(h)).unwrap();
+        }
+        // Block 5 starts a new segment: merges only itself.
+        let commit = builder.push_leaf(filter_for(5)).unwrap();
+        assert_eq!(commit.merged_lo, 5);
+        assert_eq!(commit.root, leaf_hash(&filter_for(5)));
+    }
+
+    #[test]
+    fn segment_len_one_means_no_merging() {
+        let mut builder = BmtBuilder::new(params(), 1, 1).unwrap();
+        for h in 1..=5 {
+            let commit = builder.push_leaf(filter_for(h)).unwrap();
+            assert_eq!(commit.merged_lo, h);
+            assert_eq!(commit.root, leaf_hash(&filter_for(h)));
+            assert_eq!(commit.new_spans.len(), 1);
+        }
+    }
+
+    #[test]
+    fn non_power_of_two_segment_rejected() {
+        assert!(BmtBuilder::new(params(), 0, 1).is_err());
+        assert!(BmtBuilder::new(params(), 3, 1).is_err());
+    }
+
+    #[test]
+    fn params_mismatch_rejected() {
+        let mut builder = BmtBuilder::new(params(), 4, 1).unwrap();
+        let wrong = BloomFilter::new(BloomParams::new(17, 2).unwrap());
+        assert_eq!(
+            builder.push_leaf(wrong).unwrap_err(),
+            BmtError::ParamsMismatch
+        );
+    }
+
+    #[test]
+    fn resume_continues_identically() {
+        // Push 13 leaves straight through vs. stop-at-13-and-resume:
+        // every later commit must be identical.
+        let m = 8u64;
+        let filters: Vec<BloomFilter> = (1..=16).map(filter_for).collect();
+
+        let mut straight = BmtBuilder::new(params(), m, 1).unwrap();
+        let mut stack_snapshot = Vec::new();
+        for (i, f) in filters.iter().enumerate() {
+            straight.push_leaf(f.clone()).unwrap();
+            if i == 12 {
+                stack_snapshot = straight
+                    .stack
+                    .iter()
+                    .map(|e| (e.lo, e.hi, e.hash, e.filter.clone()))
+                    .collect();
+            }
+        }
+
+        let mut resumed =
+            BmtBuilder::resume(params(), m, 1, 14, stack_snapshot.clone()).unwrap();
+        let mut straight2 = BmtBuilder::new(params(), m, 1).unwrap();
+        for f in &filters[..13] {
+            straight2.push_leaf(f.clone()).unwrap();
+        }
+        for f in &filters[13..] {
+            let a = straight2.push_leaf(f.clone()).unwrap();
+            let b = resumed.push_leaf(f.clone()).unwrap();
+            assert_eq!(a.root, b.root);
+            assert_eq!(a.merged_lo, b.merged_lo);
+        }
+
+        // Malformed stacks are rejected.
+        assert!(BmtBuilder::resume(params(), m, 1, 13, stack_snapshot.clone()).is_err());
+        let mut gap = stack_snapshot.clone();
+        gap.remove(0);
+        assert!(BmtBuilder::resume(params(), m, 1, 14, gap).is_err());
+    }
+
+    #[test]
+    fn resume_at_segment_boundary_has_empty_stack() {
+        let mut resumed = BmtBuilder::resume(params(), 8, 1, 9, Vec::new()).unwrap();
+        let c = resumed.push_leaf(filter_for(9)).unwrap();
+        assert_eq!(c.merged_lo, 9);
+        // A non-boundary empty stack is rejected.
+        assert!(BmtBuilder::resume(params(), 8, 1, 10, Vec::new()).is_err());
+    }
+
+    #[test]
+    fn first_leaf_offset_respected() {
+        // Table II uses 1-based heights; a builder can also start mid-chain.
+        let mut builder = BmtBuilder::new(params(), 4, 257).unwrap();
+        let c = builder.push_leaf(filter_for(257)).unwrap();
+        assert_eq!(c.leaf, 257);
+        assert_eq!(c.merged_lo, 257);
+        builder.push_leaf(filter_for(258)).unwrap();
+        builder.push_leaf(filter_for(259)).unwrap();
+        let c = builder.push_leaf(filter_for(260)).unwrap();
+        assert_eq!(c.merged_lo, 257); // merges the whole 4-block segment
+    }
+}

@@ -1,0 +1,233 @@
+//! The eagerly materialised [`Bmt`].
+
+use lvq_bloom::{BloomFilter, BloomParams};
+use lvq_crypto::Hash256;
+
+use super::{internal_hash, is_power_of_two, leaf_hash, BmtError, BmtSource};
+
+/// A fully materialised Bloom-filter-integrated Merkle Tree.
+///
+/// Every node's hash *and* filter are held in memory, which is the right
+/// trade-off for tests, examples and small segments. Production-sized
+/// trees (the 4,096 × 500 KB sweep of paper Fig. 13) should implement
+/// [`BmtSource`] lazily instead — `lvq-chain` does.
+///
+/// # Examples
+///
+/// ```
+/// use lvq_bloom::{BloomFilter, BloomParams};
+/// use lvq_merkle::Bmt;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let params = BloomParams::new(16, 2)?;
+/// let leaves = vec![BloomFilter::new(params); 8];
+/// let tree = Bmt::build(1, leaves)?;
+/// assert_eq!(tree.leaf_count(), 8);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bmt {
+    params: BloomParams,
+    /// Id of the first leaf (block height in LVQ).
+    first_leaf: u64,
+    /// `levels[0]` = leaves; each entry is `(hash, filter)`.
+    levels: Vec<Vec<(Hash256, BloomFilter)>>,
+}
+
+impl Bmt {
+    /// Builds a tree whose leaves are the given filters, the first leaf
+    /// having id `first_leaf`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BmtError::EmptyTree`] for zero leaves,
+    /// [`BmtError::LeafCountNotPowerOfTwo`] for non-dyadic counts, and
+    /// [`BmtError::ParamsMismatch`] if the filters disagree on
+    /// parameters.
+    pub fn build(first_leaf: u64, leaves: Vec<BloomFilter>) -> Result<Self, BmtError> {
+        if leaves.is_empty() {
+            return Err(BmtError::EmptyTree);
+        }
+        if !is_power_of_two(leaves.len() as u64) {
+            return Err(BmtError::LeafCountNotPowerOfTwo {
+                count: leaves.len() as u64,
+            });
+        }
+        let params = leaves[0].params();
+        if leaves.iter().any(|f| f.params() != params) {
+            return Err(BmtError::ParamsMismatch);
+        }
+
+        let leaf_level: Vec<(Hash256, BloomFilter)> =
+            leaves.into_iter().map(|f| (leaf_hash(&f), f)).collect();
+        let mut levels = vec![leaf_level];
+        while levels.last().expect("non-empty").len() > 1 {
+            let prev = levels.last().expect("non-empty");
+            let mut next = Vec::with_capacity(prev.len() / 2);
+            for pair in prev.chunks_exact(2) {
+                let (lh, lf) = &pair[0];
+                let (rh, rf) = &pair[1];
+                let filter = BloomFilter::union(lf, rf).expect("params checked");
+                let hash = internal_hash(lh, rh, &filter);
+                next.push((hash, filter));
+            }
+            levels.push(next);
+        }
+        Ok(Bmt {
+            params,
+            first_leaf,
+            levels,
+        })
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> u64 {
+        self.levels[0].len() as u64
+    }
+
+    /// Id of the first leaf.
+    pub fn first_leaf(&self) -> u64 {
+        self.first_leaf
+    }
+
+    /// The root filter — the union of every leaf filter.
+    pub fn root_filter(&self) -> &BloomFilter {
+        &self.levels.last().expect("non-empty")[0].1
+    }
+
+    /// `(level, index)` coordinates of the node spanning `lo..=hi`,
+    /// where level 0 is the leaf layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the span is not a dyadic sub-span of
+    /// the tree; the public [`BmtSource`] contract forbids such calls.
+    fn coords(&self, lo: u64, hi: u64) -> (usize, usize) {
+        let width = hi - lo + 1;
+        debug_assert!(is_power_of_two(width), "span width must be dyadic");
+        debug_assert!(lo >= self.first_leaf && hi < self.first_leaf + self.leaf_count());
+        let level = width.trailing_zeros() as usize;
+        let index = ((lo - self.first_leaf) / width) as usize;
+        debug_assert_eq!((lo - self.first_leaf) % width, 0, "span must be aligned");
+        (level, index)
+    }
+}
+
+impl BmtSource for Bmt {
+    fn params(&self) -> BloomParams {
+        self.params
+    }
+
+    fn span(&self) -> (u64, u64) {
+        (self.first_leaf, self.first_leaf + self.leaf_count() - 1)
+    }
+
+    fn filter(&self, lo: u64, hi: u64) -> BloomFilter {
+        let (level, index) = self.coords(lo, hi);
+        self.levels[level][index].1.clone()
+    }
+
+    fn node_hash(&self, lo: u64, hi: u64) -> Hash256 {
+        let (level, index) = self.coords(lo, hi);
+        self.levels[level][index].0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> BloomParams {
+        BloomParams::new(16, 2).unwrap()
+    }
+
+    fn leaf_with(items: &[&[u8]]) -> BloomFilter {
+        let mut f = BloomFilter::new(params());
+        for item in items {
+            f.insert(item);
+        }
+        f
+    }
+
+    #[test]
+    fn build_rejects_bad_shapes() {
+        assert_eq!(Bmt::build(1, Vec::new()).unwrap_err(), BmtError::EmptyTree);
+        assert_eq!(
+            Bmt::build(1, vec![BloomFilter::new(params()); 3]).unwrap_err(),
+            BmtError::LeafCountNotPowerOfTwo { count: 3 }
+        );
+        let other = BloomParams::new(17, 2).unwrap();
+        assert_eq!(
+            Bmt::build(1, vec![BloomFilter::new(params()), BloomFilter::new(other)])
+                .unwrap_err(),
+            BmtError::ParamsMismatch
+        );
+    }
+
+    #[test]
+    fn single_leaf_root_is_leaf_hash() {
+        let f = leaf_with(&[b"a"]);
+        let t = Bmt::build(5, vec![f.clone()]).unwrap();
+        assert_eq!(t.root_hash(), leaf_hash(&f));
+        assert_eq!(t.span(), (5, 5));
+    }
+
+    #[test]
+    fn root_filter_is_union_of_leaves() {
+        // Paper Fig. 3: the root filter represents A ∪ B ∪ C ∪ D.
+        let leaves = vec![
+            leaf_with(&[b"a1", b"a2"]),
+            leaf_with(&[b"b1"]),
+            leaf_with(&[b"c1"]),
+            leaf_with(&[b"d1", b"d2"]),
+        ];
+        let t = Bmt::build(1, leaves).unwrap();
+        for item in [&b"a1"[..], b"a2", b"b1", b"c1", b"d1", b"d2"] {
+            assert!(!t.root_filter().check(item).is_clean());
+        }
+    }
+
+    #[test]
+    fn hashes_follow_equation_two() {
+        let l0 = leaf_with(&[b"x"]);
+        let l1 = leaf_with(&[b"y"]);
+        let t = Bmt::build(1, vec![l0.clone(), l1.clone()]).unwrap();
+        let union = BloomFilter::union(&l0, &l1).unwrap();
+        let expected = internal_hash(&leaf_hash(&l0), &leaf_hash(&l1), &union);
+        assert_eq!(t.root_hash(), expected);
+    }
+
+    #[test]
+    fn source_coordinates_line_up() {
+        let leaves: Vec<BloomFilter> = (0..8u8).map(|i| leaf_with(&[&[i]])).collect();
+        let t = Bmt::build(10, leaves.clone()).unwrap();
+        // Leaf spans.
+        for (i, leaf) in leaves.iter().enumerate() {
+            let id = 10 + i as u64;
+            assert_eq!(t.filter(id, id), *leaf);
+            assert_eq!(t.node_hash(id, id), leaf_hash(leaf));
+        }
+        // An internal span's filter is the union of its leaves.
+        let mid = t.filter(10, 13);
+        let mut expect = leaves[0].clone();
+        for leaf in &leaves[1..4] {
+            expect.union_with(leaf).unwrap();
+        }
+        assert_eq!(mid, expect);
+        // Child filters are subsets of the root filter.
+        assert!(mid.is_subset_of(t.root_filter()));
+    }
+
+    #[test]
+    fn tampering_any_leaf_changes_root() {
+        let leaves: Vec<BloomFilter> = (0..4u8).map(|i| leaf_with(&[&[i]])).collect();
+        let original = Bmt::build(1, leaves.clone()).unwrap().root_hash();
+        for victim in 0..4 {
+            let mut mutated = leaves.clone();
+            mutated[victim].insert(b"extra");
+            let root = Bmt::build(1, mutated).unwrap().root_hash();
+            assert_ne!(root, original, "victim={victim}");
+        }
+    }
+}

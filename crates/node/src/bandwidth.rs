@@ -1,0 +1,102 @@
+//! Transfer-time estimation from measured bytes.
+
+use std::time::Duration;
+
+/// A simple link model: fixed round-trip latency plus serialisation at a
+/// constant throughput.
+///
+/// The paper reports query-result *sizes*; this model turns the same
+/// measurements into indicative transfer times for different link
+/// classes, which the benches report alongside the sizes.
+///
+/// # Examples
+///
+/// ```
+/// use lvq_node::BandwidthModel;
+///
+/// let dsl = BandwidthModel::new(10_000_000 / 8, 40); // 10 Mbit/s, 40 ms RTT
+/// let t = dsl.transfer_time(1_250_000);
+/// assert_eq!(t.as_millis(), 1_040);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BandwidthModel {
+    bytes_per_sec: u64,
+    rtt_ms: u64,
+}
+
+impl BandwidthModel {
+    /// Creates a model from a throughput in bytes per second and a
+    /// round-trip time in milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes_per_sec` is zero.
+    pub fn new(bytes_per_sec: u64, rtt_ms: u64) -> Self {
+        assert!(bytes_per_sec > 0, "throughput must be positive");
+        BandwidthModel {
+            bytes_per_sec,
+            rtt_ms,
+        }
+    }
+
+    /// A home broadband link: 50 Mbit/s, 30 ms RTT.
+    pub fn broadband() -> Self {
+        BandwidthModel::new(50_000_000 / 8, 30)
+    }
+
+    /// A mobile link (the shop owner's phone in the paper's §I
+    /// scenario): 5 Mbit/s, 80 ms RTT.
+    pub fn mobile() -> Self {
+        BandwidthModel::new(5_000_000 / 8, 80)
+    }
+
+    /// A LAN between servers like the paper's testbed: 1 Gbit/s, 1 ms.
+    pub fn lan() -> Self {
+        BandwidthModel::new(1_000_000_000 / 8, 1)
+    }
+
+    /// Estimated time for one request/response exchange carrying
+    /// `bytes` in total.
+    pub fn transfer_time(&self, bytes: u64) -> Duration {
+        let serialisation_ms = bytes.saturating_mul(1_000) / self.bytes_per_sec;
+        Duration::from_millis(self.rtt_ms + serialisation_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_dominates_small_transfers() {
+        let m = BandwidthModel::broadband();
+        assert_eq!(m.transfer_time(0), Duration::from_millis(30));
+    }
+
+    #[test]
+    fn throughput_dominates_large_transfers() {
+        let m = BandwidthModel::new(1_000_000, 10);
+        // 100 MB at 1 MB/s ~ 100 s.
+        let t = m.transfer_time(100_000_000);
+        assert_eq!(t, Duration::from_millis(100_010));
+    }
+
+    #[test]
+    fn faster_links_are_faster() {
+        let bytes = 10_000_000;
+        assert!(
+            BandwidthModel::lan().transfer_time(bytes)
+                < BandwidthModel::broadband().transfer_time(bytes)
+        );
+        assert!(
+            BandwidthModel::broadband().transfer_time(bytes)
+                < BandwidthModel::mobile().transfer_time(bytes)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "throughput")]
+    fn zero_throughput_rejected() {
+        BandwidthModel::new(0, 1);
+    }
+}

@@ -1,0 +1,80 @@
+//! The full node.
+
+use lvq_chain::Chain;
+use lvq_codec::{decode_exact, Encodable};
+use lvq_core::{Prover, ProverStats, SchemeConfig};
+
+use crate::message::{Message, NodeError};
+
+/// A full node: the complete chain plus the query-answering engine.
+///
+/// The byte-level entry point is [`FullNode::handle`], which a
+/// [`crate::MeteredPipe`] calls with raw request bytes.
+#[derive(Debug)]
+pub struct FullNode {
+    chain: Chain,
+    config: SchemeConfig,
+    /// Statistics of the most recent query, for experiment harnesses.
+    last_stats: std::cell::Cell<Option<ProverStats>>,
+}
+
+impl FullNode {
+    /// Wraps a chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NodeError::UnknownScheme`] if the chain's commitments
+    /// match none of the four schemes.
+    pub fn new(chain: Chain) -> Result<Self, NodeError> {
+        let config = SchemeConfig::from_chain_params(chain.params())
+            .ok_or(NodeError::UnknownScheme)?;
+        Ok(FullNode {
+            chain,
+            config,
+            last_stats: std::cell::Cell::new(None),
+        })
+    }
+
+    /// The scheme this node serves.
+    pub fn config(&self) -> SchemeConfig {
+        self.config
+    }
+
+    /// Read access to the underlying chain (e.g. for ground-truth checks
+    /// in tests).
+    pub fn chain(&self) -> &Chain {
+        &self.chain
+    }
+
+    /// Prover statistics of the most recent successfully answered query.
+    pub fn last_stats(&self) -> Option<ProverStats> {
+        self.last_stats.get()
+    }
+
+    /// Handles one encoded request, returning the encoded response.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NodeError::Wire`] for undecodable requests,
+    /// [`NodeError::UnexpectedMessage`] for response-kind messages, and
+    /// [`NodeError::Prove`] if proof generation fails.
+    pub fn handle(&self, request: &[u8]) -> Result<Vec<u8>, NodeError> {
+        let message: Message = decode_exact(request)?;
+        let reply = match message {
+            Message::GetHeaders => Message::Headers(self.chain.headers()),
+            Message::QueryRequest { address, range } => {
+                let prover = Prover::new(&self.chain, self.config)?;
+                let (response, stats) = match range {
+                    None => prover.respond(&address)?,
+                    Some((lo, hi)) => prover.respond_range(&address, lo, hi)?,
+                };
+                self.last_stats.set(Some(stats));
+                Message::QueryResponse(Box::new(response))
+            }
+            Message::Headers(_) | Message::QueryResponse(_) => {
+                return Err(NodeError::UnexpectedMessage)
+            }
+        };
+        Ok(reply.encode())
+    }
+}

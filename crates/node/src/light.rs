@@ -1,0 +1,266 @@
+//! The light node.
+
+use lvq_chain::Address;
+use lvq_codec::{decode_exact, Encodable};
+use lvq_core::{LightClient, SchemeConfig, VerifiedHistory};
+
+use crate::full::FullNode;
+use crate::message::{Message, NodeError};
+use crate::pipe::{MeteredPipe, Traffic};
+
+/// What one verified query produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryOutcome {
+    /// The verified, complete transaction history.
+    pub history: VerifiedHistory,
+    /// Bytes that crossed the wire for this query.
+    pub traffic: Traffic,
+}
+
+/// A light node: headers only, plus the verification engine.
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+#[derive(Debug)]
+pub struct LightNode {
+    client: LightClient,
+    pipe: MeteredPipe,
+}
+
+impl LightNode {
+    /// Creates a light node from a configuration and headers obtained
+    /// out of band.
+    pub fn new(config: SchemeConfig, headers: Vec<lvq_chain::BlockHeader>) -> Self {
+        LightNode {
+            client: LightClient::new(config, headers),
+            pipe: MeteredPipe::new(),
+        }
+    }
+
+    /// Bootstraps a light node by downloading headers from `full` over
+    /// the metered wire (initial block download, headers only).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`NodeError`] if the exchange fails or the reply is not
+    /// a header list.
+    pub fn sync_from(full: &FullNode) -> Result<Self, NodeError> {
+        let mut pipe = MeteredPipe::new();
+        let request = Message::GetHeaders.encode();
+        let (reply, _) = pipe.exchange(&request, |bytes| full.handle(bytes))?;
+        let Message::Headers(headers) = decode_exact::<Message>(&reply)? else {
+            return Err(NodeError::UnexpectedMessage);
+        };
+        let client = LightClient::new(full.config(), headers);
+        // SPV sanity: the downloaded headers must form a hash chain.
+        client.validate_header_chain()?;
+        Ok(LightNode { client, pipe })
+    }
+
+    /// The verification engine (e.g. to inspect
+    /// [`LightClient::storage_bytes`]).
+    pub fn client(&self) -> &LightClient {
+        &self.client
+    }
+
+    /// Cumulative traffic across all exchanges this node performed.
+    pub fn cumulative_traffic(&self) -> Traffic {
+        self.pipe.cumulative
+    }
+
+    /// Queries `full` for the history of `address` and verifies the
+    /// response.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NodeError::Verify`] if the response fails verification
+    /// — the caller should treat the full node as faulty or malicious —
+    /// and other [`NodeError`] variants for transport-level problems.
+    pub fn query(&mut self, full: &FullNode, address: &Address) -> Result<QueryOutcome, NodeError> {
+        self.query_inner(full, address, None)
+    }
+
+    /// Queries `full` for the history of `address` restricted to blocks
+    /// `lo..=hi` and verifies the response over exactly that range.
+    ///
+    /// # Errors
+    ///
+    /// As [`LightNode::query`], plus verification rejects ranges outside
+    /// `1..=tip`.
+    pub fn query_range(
+        &mut self,
+        full: &FullNode,
+        address: &Address,
+        lo: u64,
+        hi: u64,
+    ) -> Result<QueryOutcome, NodeError> {
+        self.query_inner(full, address, Some((lo, hi)))
+    }
+
+    fn query_inner(
+        &mut self,
+        full: &FullNode,
+        address: &Address,
+        range: Option<(u64, u64)>,
+    ) -> Result<QueryOutcome, NodeError> {
+        let request = Message::QueryRequest {
+            address: address.clone(),
+            range,
+        }
+        .encode();
+        let (reply, traffic) = self.pipe.exchange(&request, |bytes| full.handle(bytes))?;
+        let Message::QueryResponse(response) = decode_exact::<Message>(&reply)? else {
+            return Err(NodeError::UnexpectedMessage);
+        };
+        let history = match range {
+            None => self.client.verify(address, &response)?,
+            Some((lo, hi)) => self.client.verify_range(address, lo, hi, &response)?,
+        };
+        Ok(QueryOutcome { history, traffic })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lvq_bloom::BloomParams;
+    use lvq_chain::{ChainBuilder, Transaction, TxInput, TxOutPoint, TxOutput};
+    use lvq_core::{Completeness, Scheme};
+    use lvq_crypto::Hash256;
+
+    fn transfer(from: &str, to: &str, value: u64, salt: u32) -> Transaction {
+        Transaction {
+            version: 1,
+            inputs: vec![TxInput {
+                prev_out: TxOutPoint {
+                    txid: Hash256::hash(&salt.to_le_bytes()),
+                    vout: 0,
+                },
+                address: Address::new(from),
+                value,
+            }],
+            outputs: vec![TxOutput {
+                address: Address::new(to),
+                value,
+            }],
+            lock_time: 0,
+        }
+    }
+
+    fn full_node(scheme: Scheme, blocks: u64) -> FullNode {
+        let config = SchemeConfig::new(scheme, BloomParams::new(64, 2).unwrap(), 8).unwrap();
+        let mut builder = ChainBuilder::new(config.chain_params()).unwrap();
+        for h in 1..=blocks {
+            let mut txs = vec![Transaction::coinbase(Address::new("1Miner"), 50, h as u32)];
+            if h % 2 == 0 {
+                txs.push(transfer("1Payer", "1Shop", h, h as u32));
+            }
+            builder.push_block(txs).unwrap();
+        }
+        FullNode::new(builder.finish()).unwrap()
+    }
+
+    #[test]
+    fn end_to_end_all_schemes() {
+        for scheme in Scheme::ALL {
+            let full = full_node(scheme, 10);
+            let mut light = LightNode::sync_from(&full).unwrap();
+            let outcome = light.query(&full, &Address::new("1Shop")).unwrap();
+            assert_eq!(
+                outcome.history.transactions.len(),
+                5,
+                "scheme {scheme}: heights 2,4,6,8,10"
+            );
+            assert_eq!(outcome.history.balance.net(), (2 + 4 + 6 + 8 + 10) as i128);
+            assert!(outcome.traffic.response_bytes > 0);
+            let expected = if scheme == Scheme::Strawman {
+                Completeness::CorrectnessOnly
+            } else {
+                Completeness::Complete
+            };
+            assert_eq!(outcome.history.completeness, expected, "scheme {scheme}");
+        }
+    }
+
+    #[test]
+    fn absent_address_yields_empty_complete_history() {
+        for scheme in Scheme::ALL {
+            let full = full_node(scheme, 10);
+            let mut light = LightNode::sync_from(&full).unwrap();
+            let outcome = light.query(&full, &Address::new("1Ghost")).unwrap();
+            assert!(outcome.history.transactions.is_empty(), "scheme {scheme}");
+            assert_eq!(outcome.history.balance.net(), 0);
+        }
+    }
+
+    #[test]
+    fn traffic_accumulates_across_queries() {
+        let full = full_node(Scheme::Lvq, 8);
+        let mut light = LightNode::sync_from(&full).unwrap();
+        let t0 = light.cumulative_traffic();
+        light.query(&full, &Address::new("1Shop")).unwrap();
+        light.query(&full, &Address::new("1Miner")).unwrap();
+        let t1 = light.cumulative_traffic();
+        assert!(t1.total() > t0.total());
+    }
+
+    #[test]
+    fn light_node_stores_headers_only() {
+        let full = full_node(Scheme::Lvq, 8);
+        let light = LightNode::sync_from(&full).unwrap();
+        // 80 base bytes + 3 presence bytes + 2×32 commitment bytes.
+        assert_eq!(light.client().storage_bytes(), 8 * (83 + 64));
+    }
+
+    #[test]
+    fn range_queries_verify_per_scheme() {
+        for scheme in Scheme::ALL {
+            let full = full_node(scheme, 10);
+            let mut light = LightNode::sync_from(&full).unwrap();
+            // "1Shop" receives in blocks 2,4,6,8,10; range 3..=7 covers 4,6.
+            let outcome = light
+                .query_range(&full, &Address::new("1Shop"), 3, 7)
+                .unwrap();
+            let heights: Vec<u64> = outcome
+                .history
+                .transactions
+                .iter()
+                .map(|(h, _)| *h)
+                .collect();
+            assert_eq!(heights, vec![4, 6], "scheme {scheme}");
+            // A range query moves fewer bytes than the full query.
+            let full_outcome = light.query(&full, &Address::new("1Shop")).unwrap();
+            assert!(outcome.traffic.response_bytes <= full_outcome.traffic.response_bytes);
+        }
+    }
+
+    #[test]
+    fn invalid_range_rejected() {
+        let full = full_node(Scheme::Lvq, 4);
+        let mut light = LightNode::sync_from(&full).unwrap();
+        for (lo, hi) in [(0u64, 2u64), (3, 2), (1, 9)] {
+            assert!(
+                light
+                    .query_range(&full, &Address::new("1Shop"), lo, hi)
+                    .is_err(),
+                "range {lo}..={hi}"
+            );
+        }
+    }
+
+    #[test]
+    fn garbage_request_rejected() {
+        let full = full_node(Scheme::Lvq, 2);
+        assert!(matches!(
+            full.handle(&[0xFF, 0x00]).unwrap_err(),
+            NodeError::Wire(_)
+        ));
+        // A response-kind message is not a valid request either.
+        let msg = Message::Headers(Vec::new()).encode();
+        assert!(matches!(
+            full.handle(&msg).unwrap_err(),
+            NodeError::UnexpectedMessage
+        ));
+    }
+}

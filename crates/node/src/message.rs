@@ -1,0 +1,176 @@
+//! RPC message envelope and node-level errors.
+
+use std::error::Error;
+use std::fmt;
+
+use lvq_chain::{Address, BlockHeader};
+use lvq_codec::{Decodable, DecodeError, Encodable, Reader};
+use lvq_core::{ProveError, QueryError, QueryResponse};
+
+/// The wire protocol between a light node and a full node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Ask for all headers (initial light-node sync).
+    GetHeaders,
+    /// All headers, height 1 first.
+    Headers(Vec<BlockHeader>),
+    /// Ask for the verifiable transaction history of an address,
+    /// optionally restricted to a block-height range.
+    QueryRequest {
+        /// The requested address (the paper's RA).
+        address: Address,
+        /// `Some((lo, hi))` restricts the query to blocks `lo..=hi`;
+        /// `None` queries the whole chain.
+        range: Option<(u64, u64)>,
+    },
+    /// The scheme-specific proof bundle.
+    QueryResponse(Box<QueryResponse>),
+}
+
+const TAG_GET_HEADERS: u8 = 0;
+const TAG_HEADERS: u8 = 1;
+const TAG_QUERY_REQ: u8 = 2;
+const TAG_QUERY_RESP: u8 = 3;
+
+impl Encodable for Message {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Message::GetHeaders => out.push(TAG_GET_HEADERS),
+            Message::Headers(headers) => {
+                out.push(TAG_HEADERS);
+                headers.encode_into(out);
+            }
+            Message::QueryRequest { address, range } => {
+                out.push(TAG_QUERY_REQ);
+                address.encode_into(out);
+                range.encode_into(out);
+            }
+            Message::QueryResponse(response) => {
+                out.push(TAG_QUERY_RESP);
+                response.encode_into(out);
+            }
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            Message::GetHeaders => 0,
+            Message::Headers(headers) => headers.encoded_len(),
+            Message::QueryRequest { address, range } => {
+                address.encoded_len() + range.encoded_len()
+            }
+            Message::QueryResponse(response) => response.encoded_len(),
+        }
+    }
+}
+
+impl Decodable for Message {
+    fn decode_from(reader: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(match reader.read_u8()? {
+            TAG_GET_HEADERS => Message::GetHeaders,
+            TAG_HEADERS => Message::Headers(Vec::<BlockHeader>::decode_from(reader)?),
+            TAG_QUERY_REQ => Message::QueryRequest {
+                address: Address::decode_from(reader)?,
+                range: Option::<(u64, u64)>::decode_from(reader)?,
+            },
+            TAG_QUERY_RESP => {
+                Message::QueryResponse(Box::new(QueryResponse::decode_from(reader)?))
+            }
+            other => {
+                return Err(DecodeError::InvalidValue {
+                    what: "message tag",
+                    found: u64::from(other),
+                })
+            }
+        })
+    }
+}
+
+/// Errors surfaced by the node layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NodeError {
+    /// A peer sent bytes that do not decode as a [`Message`].
+    Wire(DecodeError),
+    /// A peer answered with the wrong message kind.
+    UnexpectedMessage,
+    /// The full node could not produce a response.
+    Prove(ProveError),
+    /// The light node rejected the response.
+    Verify(QueryError),
+    /// The full node's chain does not correspond to a known scheme.
+    UnknownScheme,
+}
+
+impl fmt::Display for NodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeError::Wire(e) => write!(f, "wire decode error: {e}"),
+            NodeError::UnexpectedMessage => f.write_str("peer sent an unexpected message kind"),
+            NodeError::Prove(e) => write!(f, "prover failed: {e}"),
+            NodeError::Verify(e) => write!(f, "verification failed: {e}"),
+            NodeError::UnknownScheme => f.write_str("chain matches no known scheme"),
+        }
+    }
+}
+
+impl Error for NodeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NodeError::Wire(e) => Some(e),
+            NodeError::Prove(e) => Some(e),
+            NodeError::Verify(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DecodeError> for NodeError {
+    fn from(e: DecodeError) -> Self {
+        NodeError::Wire(e)
+    }
+}
+
+impl From<ProveError> for NodeError {
+    fn from(e: ProveError) -> Self {
+        NodeError::Prove(e)
+    }
+}
+
+impl From<QueryError> for NodeError {
+    fn from(e: QueryError) -> Self {
+        NodeError::Verify(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lvq_codec::decode_exact;
+
+    #[test]
+    fn message_roundtrip() {
+        let messages = vec![
+            Message::GetHeaders,
+            Message::Headers(Vec::new()),
+            Message::QueryRequest {
+                address: Address::new("1Probe"),
+                range: None,
+            },
+            Message::QueryRequest {
+                address: Address::new("1Probe"),
+                range: Some((3, 17)),
+            },
+        ];
+        for m in messages {
+            let bytes = m.encode();
+            assert_eq!(bytes.len(), m.encoded_len());
+            assert_eq!(decode_exact::<Message>(&bytes).unwrap(), m);
+        }
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        assert!(decode_exact::<Message>(&[200]).is_err());
+    }
+}

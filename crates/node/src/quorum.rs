@@ -1,0 +1,241 @@
+//! Querying several full nodes and cross-checking their answers.
+//!
+//! For the LVQ schemes a single verified response is already complete,
+//! so a quorum adds only availability. For the **strawman**, whose
+//! existence fragments cannot prove completeness (paper Challenge 3),
+//! a quorum genuinely helps: every verified response is *correct*, so
+//! the union over peers is correct too and strictly closer to complete
+//! — and any peer whose answer is a strict subset of the union is
+//! provably withholding transactions.
+
+use lvq_chain::{balance_of, Address, Transaction};
+use lvq_codec::{decode_exact, Encodable};
+use lvq_core::{Completeness, LightClient, VerifiedHistory};
+use lvq_crypto::Hash256;
+
+use crate::full::FullNode;
+use crate::message::{Message, NodeError};
+use crate::pipe::{MeteredPipe, Traffic};
+
+/// Anything that can answer encoded requests — a [`FullNode`], or a
+/// test double wrapping one (e.g. a censoring adversary).
+pub trait QueryPeer {
+    /// Handles one encoded request, returning the encoded response.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return a [`NodeError`] for malformed requests or
+    /// internal failures.
+    fn handle_request(&self, request: &[u8]) -> Result<Vec<u8>, NodeError>;
+}
+
+impl QueryPeer for FullNode {
+    fn handle_request(&self, request: &[u8]) -> Result<Vec<u8>, NodeError> {
+        self.handle(request)
+    }
+}
+
+impl<F: Fn(&[u8]) -> Result<Vec<u8>, NodeError>> QueryPeer for F {
+    fn handle_request(&self, request: &[u8]) -> Result<Vec<u8>, NodeError> {
+        self(request)
+    }
+}
+
+/// What a quorum query established.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuorumOutcome {
+    /// The merged verified history (union over all peers' proven
+    /// transactions — still provably correct).
+    pub history: VerifiedHistory,
+    /// Total traffic across all peers.
+    pub traffic: Traffic,
+    /// Indices of peers whose verified history was a strict subset of
+    /// the merged one — under a completeness-proving scheme this is
+    /// impossible; under the strawman it exposes withholding peers.
+    pub withholding_peers: Vec<usize>,
+    /// Indices of peers whose response failed verification outright.
+    pub rejected_peers: Vec<usize>,
+}
+
+/// Queries every peer and merges the verified answers.
+///
+/// At least one peer must produce a verifiable response.
+///
+/// # Errors
+///
+/// Returns the last peer error if *all* peers fail.
+pub fn query_quorum(
+    client: &LightClient,
+    peers: &[&dyn QueryPeer],
+    address: &Address,
+) -> Result<QuorumOutcome, NodeError> {
+    let mut pipe = MeteredPipe::new();
+    let request = Message::QueryRequest {
+        address: address.clone(),
+        range: None,
+    }
+    .encode();
+
+    let mut histories: Vec<(usize, VerifiedHistory)> = Vec::new();
+    let mut rejected_peers = Vec::new();
+    let mut last_error = None;
+
+    for (index, peer) in peers.iter().enumerate() {
+        let exchanged = pipe.exchange(&request, |bytes| peer.handle_request(bytes));
+        let verified = exchanged.and_then(|(reply, _)| {
+            let Message::QueryResponse(response) = decode_exact::<Message>(&reply)? else {
+                return Err(NodeError::UnexpectedMessage);
+            };
+            Ok(client.verify(address, &response)?)
+        });
+        match verified {
+            Ok(history) => histories.push((index, history)),
+            Err(err) => {
+                rejected_peers.push(index);
+                last_error = Some(err);
+            }
+        }
+    }
+
+    if histories.is_empty() {
+        return Err(last_error.expect("no histories implies at least one error"));
+    }
+
+    // Union by (height, txid): each constituent history is verified
+    // correct, so every element of the union is on-chain.
+    let mut merged: Vec<(u64, Transaction)> = Vec::new();
+    let mut seen: std::collections::BTreeSet<(u64, Hash256)> = Default::default();
+    let mut completeness = Completeness::CorrectnessOnly;
+    for (_, history) in &histories {
+        if history.completeness == Completeness::Complete {
+            completeness = Completeness::Complete;
+        }
+        for (height, tx) in &history.transactions {
+            if seen.insert((*height, tx.txid())) {
+                merged.push((*height, tx.clone()));
+            }
+        }
+    }
+    merged.sort_by_key(|(h, _)| *h);
+
+    let withholding_peers = histories
+        .iter()
+        .filter(|(_, h)| h.transactions.len() < merged.len())
+        .map(|(i, _)| *i)
+        .collect();
+
+    let balance = balance_of(address, merged.iter().map(|(_, t)| t));
+    Ok(QuorumOutcome {
+        history: VerifiedHistory {
+            transactions: merged,
+            balance,
+            completeness,
+        },
+        traffic: pipe.cumulative,
+        withholding_peers,
+        rejected_peers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lvq_bloom::BloomParams;
+    use lvq_chain::{ChainBuilder, Transaction};
+    use lvq_core::{QueryResponse, Scheme, SchemeConfig};
+
+    fn full_node(scheme: Scheme) -> FullNode {
+        let config = SchemeConfig::new(scheme, BloomParams::new(64, 2).unwrap(), 8).unwrap();
+        let mut builder = ChainBuilder::new(config.chain_params()).unwrap();
+        for h in 1..=8u32 {
+            let mut txs = vec![Transaction::coinbase(Address::new("1Miner"), 50, h)];
+            if h % 2 == 0 {
+                // Two distinct transactions for the victim, so a
+                // censoring peer has something it can silently drop.
+                txs.push(Transaction::coinbase(Address::new("1Victim"), 10, 100 + h));
+                txs.push(Transaction::coinbase(Address::new("1Victim"), 5, 200 + h));
+            }
+            builder.push_block(txs).unwrap();
+        }
+        FullNode::new(builder.finish()).unwrap()
+    }
+
+    /// A strawman peer that drops one Merkle-branch transaction from
+    /// every response — undetectable in isolation (Challenge 3).
+    fn censoring(full: &FullNode) -> impl Fn(&[u8]) -> Result<Vec<u8>, NodeError> + '_ {
+        move |request: &[u8]| {
+            let reply = full.handle(request)?;
+            let Message::QueryResponse(mut response) = decode_exact::<Message>(&reply)? else {
+                return Ok(reply);
+            };
+            if let QueryResponse::PerBlock(per_block) = response.as_mut() {
+                for entry in &mut per_block.entries {
+                    if let lvq_core::BlockFragment::MerkleBranches(txs) = &mut entry.fragment {
+                        if txs.len() > 1 {
+                            txs.pop();
+                        }
+                    }
+                }
+            }
+            Ok(Message::QueryResponse(response).encode())
+        }
+    }
+
+    #[test]
+    fn quorum_of_honest_peers_agrees() {
+        let a = full_node(Scheme::Lvq);
+        let b = full_node(Scheme::Lvq);
+        let client = LightClient::new(a.config(), a.chain().headers());
+        let outcome =
+            query_quorum(&client, &[&a, &b], &Address::new("1Victim")).unwrap();
+        assert_eq!(outcome.history.transactions.len(), 8);
+        assert!(outcome.withholding_peers.is_empty());
+        assert!(outcome.rejected_peers.is_empty());
+        assert_eq!(outcome.history.completeness, Completeness::Complete);
+    }
+
+    #[test]
+    fn quorum_exposes_strawman_withholding() {
+        let honest = full_node(Scheme::Strawman);
+        let client = LightClient::new(honest.config(), honest.chain().headers());
+        let censor_fn = censoring(&honest);
+        let censor: &dyn QueryPeer = &censor_fn;
+        let victim = Address::new("1Victim");
+
+        // Alone, the censoring peer gets away with it (Challenge 3):
+        // one of the two transactions per even block disappears and the
+        // response still verifies as correct.
+        let alone = query_quorum(&client, &[censor], &victim).unwrap();
+        assert_eq!(alone.history.transactions.len(), 4);
+        assert!(alone.withholding_peers.is_empty(), "undetectable alone");
+
+        // Next to an honest peer the union restores the truth and the
+        // censor is identified by index.
+        let both = query_quorum(&client, &[censor, &honest], &victim).unwrap();
+        assert_eq!(both.history.transactions.len(), 8);
+        assert_eq!(both.withholding_peers, vec![0]);
+        // Strawman never claims completeness.
+        assert_eq!(both.history.completeness, Completeness::CorrectnessOnly);
+    }
+
+    #[test]
+    fn quorum_rejects_garbage_peer_but_serves_from_honest() {
+        let honest = full_node(Scheme::Lvq);
+        let client = LightClient::new(honest.config(), honest.chain().headers());
+        let broken_fn = |_req: &[u8]| -> Result<Vec<u8>, NodeError> { Ok(vec![0xFF, 0xFF]) };
+        let broken: &dyn QueryPeer = &broken_fn;
+        let outcome =
+            query_quorum(&client, &[broken, &honest], &Address::new("1Victim")).unwrap();
+        assert_eq!(outcome.rejected_peers, vec![0]);
+        assert_eq!(outcome.history.transactions.len(), 8);
+    }
+
+    #[test]
+    fn all_peers_failing_is_an_error() {
+        let honest = full_node(Scheme::Lvq);
+        let client = LightClient::new(honest.config(), honest.chain().headers());
+        let broken_fn = |_req: &[u8]| -> Result<Vec<u8>, NodeError> { Ok(vec![0xFF]) };
+        let broken: &dyn QueryPeer = &broken_fn;
+        assert!(query_quorum(&client, &[broken], &Address::new("1Victim")).is_err());
+    }
+}

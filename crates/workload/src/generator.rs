@@ -1,0 +1,594 @@
+//! The deterministic chain generator.
+//!
+//! Generated ledgers are **UTXO-consistent**: every non-coinbase input
+//! spends an output that a previous transaction (possibly earlier in
+//! the same block, as Bitcoin allows) actually created, with matching
+//! address and value, and no transaction inflates value. The chain's
+//! own [`lvq_chain::UtxoSet`] replay validates every workload this
+//! module produces — see the tests.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::seq::index::sample;
+use rand::{Rng, SeedableRng};
+
+use lvq_chain::{
+    Address, Chain, ChainBuilder, ChainError, ChainParams, Transaction, TxInput, TxOutPoint,
+    TxOutput,
+};
+
+use crate::probes::ProbeSpec;
+use crate::traffic::TrafficModel;
+
+const BASE58_ALPHABET: &[u8; 58] =
+    b"123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz";
+
+/// Outputs per coinbase: early Bitcoin-era pools paid out with wide
+/// coinbases; here the fan-out also bootstraps on-chain liquidity.
+const COINBASE_FAN_OUT: u64 = 8;
+/// Block subsidy in satoshi (25 BTC, the late-2012 halving era).
+const BLOCK_SUBSIDY: u64 = 25_0000_0000;
+
+/// Errors from workload generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// A probe needs more distinct blocks than the chain has.
+    TooFewBlocks {
+        /// Blocks the probe requires.
+        needed: u64,
+        /// Blocks the chain will have.
+        available: u64,
+    },
+    /// Chain construction failed.
+    Chain(ChainError),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::TooFewBlocks { needed, available } => write!(
+                f,
+                "probe needs {needed} blocks but the chain only has {available}"
+            ),
+            WorkloadError::Chain(e) => write!(f, "chain build failed: {e}"),
+        }
+    }
+}
+
+impl Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WorkloadError::Chain(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ChainError> for WorkloadError {
+    fn from(e: ChainError) -> Self {
+        WorkloadError::Chain(e)
+    }
+}
+
+/// Where a probe actually landed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlantedProbe {
+    /// The probe address.
+    pub address: Address,
+    /// Total planted transactions.
+    pub tx_count: u64,
+    /// Heights of the blocks containing them, ascending.
+    pub block_heights: Vec<u64>,
+}
+
+/// A generated chain with its planted probes.
+#[derive(Debug)]
+pub struct Workload {
+    /// The chain, fully committed for its configured scheme.
+    pub chain: Chain,
+    /// One entry per requested probe, in request order.
+    pub probes: Vec<PlantedProbe>,
+}
+
+/// Builder for [`Workload`]s.
+///
+/// # Examples
+///
+/// See the [crate-level example](crate).
+#[derive(Debug, Clone)]
+pub struct WorkloadBuilder {
+    params: ChainParams,
+    blocks: u64,
+    traffic: TrafficModel,
+    seed: u64,
+    probes: Vec<ProbeSpec>,
+}
+
+impl WorkloadBuilder {
+    /// Starts a builder for a chain committed with `params`.
+    pub fn new(params: ChainParams) -> Self {
+        WorkloadBuilder {
+            params,
+            blocks: 4096,
+            traffic: TrafficModel::default(),
+            seed: 0x1_5EED,
+            probes: Vec::new(),
+        }
+    }
+
+    /// Sets the chain length (default 4,096, the paper's range).
+    pub fn blocks(mut self, blocks: u64) -> Self {
+        self.blocks = blocks;
+        self
+    }
+
+    /// Sets the background-traffic model.
+    pub fn traffic(mut self, traffic: TrafficModel) -> Self {
+        self.traffic = traffic;
+        self
+    }
+
+    /// Sets the RNG seed (same seed ⇒ bit-identical chain).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Adds one probe.
+    ///
+    /// # Panics
+    ///
+    /// Panics on infeasible counts (see [`ProbeSpec::new`]).
+    pub fn probe(mut self, address: impl Into<Address>, tx_count: u64, block_count: u64) -> Self {
+        self.probes.push(ProbeSpec::new(address, tx_count, block_count));
+        self
+    }
+
+    /// Adds many probes (e.g. [`crate::probes::table3`]).
+    pub fn probes(mut self, specs: impl IntoIterator<Item = ProbeSpec>) -> Self {
+        self.probes.extend(specs);
+        self
+    }
+
+    /// Generates the workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError::TooFewBlocks`] if a probe needs more
+    /// blocks than the chain has, or a wrapped [`ChainError`].
+    pub fn build(self) -> Result<Workload, WorkloadError> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // Plan probe placements: distinct blocks, ≥1 transaction each,
+        // extras spread uniformly.
+        let mut per_block: HashMap<u64, Vec<(usize, u64)>> = HashMap::new();
+        let mut planted: Vec<PlantedProbe> = Vec::with_capacity(self.probes.len());
+        for (probe_idx, spec) in self.probes.iter().enumerate() {
+            if spec.block_count > self.blocks {
+                return Err(WorkloadError::TooFewBlocks {
+                    needed: spec.block_count,
+                    available: self.blocks,
+                });
+            }
+            let mut heights: Vec<u64> = if spec.block_count == 0 {
+                Vec::new()
+            } else {
+                sample(&mut rng, self.blocks as usize, spec.block_count as usize)
+                    .into_iter()
+                    .map(|i| i as u64 + 1)
+                    .collect()
+            };
+            heights.sort_unstable();
+            let mut counts = vec![1u64; heights.len()];
+            for _ in 0..spec.tx_count.saturating_sub(spec.block_count) {
+                let slot = rng.gen_range(0..counts.len());
+                counts[slot] += 1;
+            }
+            for (height, count) in heights.iter().zip(&counts) {
+                per_block.entry(*height).or_default().push((probe_idx, *count));
+            }
+            planted.push(PlantedProbe {
+                address: spec.address.clone(),
+                tx_count: spec.tx_count,
+                block_heights: heights,
+            });
+        }
+
+        let mut pool = AddressPool::new(self.traffic);
+        let mut liquidity = Liquidity::default();
+        let mut probe_utxos: Vec<Vec<Utxo>> = vec![Vec::new(); self.probes.len()];
+        let mut builder = ChainBuilder::new(self.params)?;
+
+        for height in 1..=self.blocks {
+            let mut txs = Vec::new();
+
+            // Coinbase with a liquidity-bootstrapping fan-out.
+            let coinbase = make_coinbase(&mut rng, &mut pool, height);
+            liquidity.add_outputs(&coinbase);
+            txs.push(coinbase);
+
+            // Planted probe transactions first, so probes always find
+            // liquidity even in early blocks.
+            if let Some(plants) = per_block.get(&height) {
+                for &(probe_idx, count) in plants {
+                    for _ in 0..count {
+                        let tx = probe_tx(
+                            &mut rng,
+                            &mut pool,
+                            &mut liquidity,
+                            &self.probes[probe_idx].address,
+                            &mut probe_utxos[probe_idx],
+                        );
+                        txs.push(tx);
+                    }
+                }
+            }
+
+            // Background traffic, bounded by available liquidity.
+            let mean = self.traffic.txs_per_block.max(1);
+            let wanted = rng.gen_range(mean / 2..=mean + mean / 2);
+            for _ in 0..wanted {
+                match background_tx(&mut rng, &mut pool, &mut liquidity, self.traffic) {
+                    Some(tx) => txs.push(tx),
+                    None => break, // young chain: liquidity exhausted
+                }
+            }
+
+            builder.push_block(txs)?;
+        }
+
+        Ok(Workload {
+            chain: builder.finish(),
+            probes: planted,
+        })
+    }
+}
+
+/// One spendable output held by the generator.
+#[derive(Debug, Clone)]
+struct Utxo {
+    outpoint: TxOutPoint,
+    address: Address,
+    value: u64,
+}
+
+/// The generator's view of spendable background outputs.
+#[derive(Debug, Default)]
+struct Liquidity {
+    utxos: Vec<Utxo>,
+}
+
+impl Liquidity {
+    /// Registers every output of `tx` as spendable.
+    fn add_outputs(&mut self, tx: &Transaction) {
+        let txid = tx.txid();
+        for (vout, output) in tx.outputs.iter().enumerate() {
+            self.utxos.push(Utxo {
+                outpoint: TxOutPoint {
+                    txid,
+                    vout: vout as u32,
+                },
+                address: output.address.clone(),
+                value: output.value,
+            });
+        }
+    }
+
+    /// Removes and returns a uniformly random spendable output.
+    fn take(&mut self, rng: &mut StdRng) -> Option<Utxo> {
+        if self.utxos.is_empty() {
+            return None;
+        }
+        let idx = rng.gen_range(0..self.utxos.len());
+        Some(self.utxos.swap_remove(idx))
+    }
+}
+
+/// The reusable background address pool.
+#[derive(Debug)]
+struct AddressPool {
+    traffic: TrafficModel,
+    addresses: Vec<Address>,
+}
+
+impl AddressPool {
+    fn new(traffic: TrafficModel) -> Self {
+        AddressPool {
+            traffic,
+            addresses: Vec::new(),
+        }
+    }
+
+    /// Picks an address: mints a fresh one with `new_address_prob`, else
+    /// reuses a pool address with age-skewed probability.
+    fn pick(&mut self, rng: &mut StdRng) -> Address {
+        if self.addresses.is_empty() || rng.gen_bool(self.traffic.new_address_prob) {
+            let addr = mint_address(rng);
+            self.addresses.push(addr.clone());
+            addr
+        } else {
+            let u: f64 = rng.gen();
+            let idx = ((self.addresses.len() as f64) * u.powf(self.traffic.reuse_skew)) as usize;
+            self.addresses[idx.min(self.addresses.len() - 1)].clone()
+        }
+    }
+}
+
+/// Mints a mainnet-looking address: `1` plus 32 Base58 characters.
+fn mint_address(rng: &mut StdRng) -> Address {
+    let mut s = String::with_capacity(33);
+    s.push('1');
+    for _ in 0..32 {
+        s.push(BASE58_ALPHABET[rng.gen_range(0..58)] as char);
+    }
+    Address::new(s)
+}
+
+/// A coinbase whose subsidy fans out to several pool addresses.
+fn make_coinbase(rng: &mut StdRng, pool: &mut AddressPool, height: u64) -> Transaction {
+    let share = BLOCK_SUBSIDY / COINBASE_FAN_OUT;
+    let mut outputs: Vec<TxOutput> = (0..COINBASE_FAN_OUT)
+        .map(|_| TxOutput {
+            address: pool.pick(rng),
+            value: share,
+        })
+        .collect();
+    outputs[0].value += BLOCK_SUBSIDY - share * COINBASE_FAN_OUT;
+    Transaction {
+        version: 1,
+        inputs: vec![TxInput {
+            prev_out: TxOutPoint::COINBASE,
+            address: outputs[0].address.clone(),
+            value: 0,
+        }],
+        outputs,
+        lock_time: height as u32, // BIP 34-style uniqueness
+    }
+}
+
+/// A background transaction spending real liquidity; `None` when the
+/// young chain has no spendable outputs left this block.
+fn background_tx(
+    rng: &mut StdRng,
+    pool: &mut AddressPool,
+    liquidity: &mut Liquidity,
+    traffic: TrafficModel,
+) -> Option<Transaction> {
+    let want_inputs = rng.gen_range(1..=traffic.max_inputs.max(1)) as usize;
+    let mut inputs = Vec::with_capacity(want_inputs);
+    for _ in 0..want_inputs {
+        match liquidity.take(rng) {
+            Some(utxo) => inputs.push(utxo),
+            None => break,
+        }
+    }
+    if inputs.is_empty() {
+        return None;
+    }
+    let total: u64 = inputs.iter().map(|u| u.value).sum();
+
+    let n_out = rng.gen_range(1..=traffic.max_outputs.max(1)) as u64;
+    let n_out = n_out.min(total).max(1);
+    let share = total / n_out;
+    let mut outputs: Vec<TxOutput> = (0..n_out)
+        .map(|_| TxOutput {
+            address: pool.pick(rng),
+            value: share,
+        })
+        .collect();
+    outputs[0].value += total - share * n_out;
+
+    let tx = Transaction {
+        version: 1,
+        inputs: inputs
+            .into_iter()
+            .map(|u| TxInput {
+                prev_out: u.outpoint,
+                address: u.address,
+                value: u.value,
+            })
+            .collect(),
+        outputs,
+        lock_time: 0,
+    };
+    liquidity.add_outputs(&tx);
+    Some(tx)
+}
+
+/// A transaction involving the probe exactly once: as receiver (funded
+/// from background liquidity) or, when the probe holds coins, sometimes
+/// as sender — so probe histories exercise both sides of paper Eq. 1.
+fn probe_tx(
+    rng: &mut StdRng,
+    pool: &mut AddressPool,
+    liquidity: &mut Liquidity,
+    probe: &Address,
+    probe_utxos: &mut Vec<Utxo>,
+) -> Transaction {
+    // Fall back to a self-transfer when background liquidity is dry
+    // (only conceivable for heavy plants in the very first block).
+    let send = !probe_utxos.is_empty() && (rng.gen_bool(0.4) || liquidity.utxos.is_empty());
+    if send {
+        let idx = rng.gen_range(0..probe_utxos.len());
+        let coin = probe_utxos.swap_remove(idx);
+        let tx = Transaction {
+            version: 1,
+            inputs: vec![TxInput {
+                prev_out: coin.outpoint,
+                address: probe.clone(),
+                value: coin.value,
+            }],
+            outputs: vec![TxOutput {
+                address: pool.pick(rng),
+                value: coin.value,
+            }],
+            lock_time: 0,
+        };
+        liquidity.add_outputs(&tx);
+        tx
+    } else {
+        // Fund the probe from background liquidity. The coinbase
+        // fan-out guarantees at least one output exists by the time
+        // probe transactions are assembled.
+        let funding = liquidity
+            .take(rng)
+            .expect("coinbase fan-out precedes probe transactions");
+        let tx = Transaction {
+            version: 1,
+            inputs: vec![TxInput {
+                prev_out: funding.outpoint,
+                address: funding.address,
+                value: funding.value,
+            }],
+            outputs: vec![TxOutput {
+                address: probe.clone(),
+                value: funding.value,
+            }],
+            lock_time: 0,
+        };
+        probe_utxos.push(Utxo {
+            outpoint: TxOutPoint {
+                txid: tx.txid(),
+                vout: 0,
+            },
+            address: probe.clone(),
+            value: funding.value,
+        });
+        tx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probes;
+    use lvq_bloom::BloomParams;
+    use lvq_chain::CommitmentPolicy;
+
+    fn small_params() -> ChainParams {
+        ChainParams::new(
+            BloomParams::new(256, 2).unwrap(),
+            8,
+            CommitmentPolicy::lvq(),
+        )
+        .unwrap()
+    }
+
+    fn small_workload(seed: u64) -> Workload {
+        WorkloadBuilder::new(small_params())
+            .blocks(24)
+            .traffic(TrafficModel::tiny())
+            .seed(seed)
+            .probes(probes::table3_scaled(24))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn planted_counts_match_ground_truth() {
+        let w = small_workload(1);
+        for (probe, spec) in w.probes.iter().zip(probes::table3_scaled(24)) {
+            let history = w.chain.history_of(&probe.address);
+            assert_eq!(history.len() as u64, spec.tx_count, "{}", probe.address);
+            let mut heights: Vec<u64> = history.iter().map(|(h, _)| *h).collect();
+            heights.dedup();
+            assert_eq!(heights, probe.block_heights, "{}", probe.address);
+            assert_eq!(heights.len() as u64, spec.block_count);
+        }
+    }
+
+    #[test]
+    fn generated_chain_validates() {
+        let w = small_workload(2);
+        w.chain.validate().unwrap();
+    }
+
+    #[test]
+    fn generated_chain_is_utxo_consistent() {
+        // Every input spends a real unspent output; the monetary base
+        // is exactly blocks × subsidy.
+        let w = small_workload(6);
+        let utxo = w.chain.validate_utxo().unwrap();
+        assert_eq!(utxo.total_value(), 24 * BLOCK_SUBSIDY);
+        assert!(!utxo.is_empty());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = small_workload(42);
+        let b = small_workload(42);
+        assert_eq!(a.chain.tip_height(), b.chain.tip_height());
+        for h in 1..=a.chain.tip_height() {
+            assert_eq!(
+                a.chain.header(h).unwrap().block_hash(),
+                b.chain.header(h).unwrap().block_hash(),
+                "height {h}"
+            );
+        }
+        let c = small_workload(43);
+        assert_ne!(
+            a.chain.header(1).unwrap().block_hash(),
+            c.chain.header(1).unwrap().block_hash()
+        );
+    }
+
+    #[test]
+    fn probe_balances_are_non_negative() {
+        let w = small_workload(3);
+        for probe in &w.probes {
+            let history = w.chain.history_of(&probe.address);
+            let txs: Vec<_> = history.iter().map(|(_, t)| t.clone()).collect();
+            let balance = lvq_chain::balance_of(&probe.address, txs.iter());
+            assert!(balance.net() >= 0, "{}", probe.address);
+        }
+    }
+
+    #[test]
+    fn too_few_blocks_rejected() {
+        let err = WorkloadBuilder::new(small_params())
+            .blocks(4)
+            .probe("1Needy", 10, 8)
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            WorkloadError::TooFewBlocks {
+                needed: 8,
+                available: 4
+            }
+        );
+    }
+
+    #[test]
+    fn zero_probe_never_appears() {
+        let w = small_workload(4);
+        assert!(w.probes[0].block_heights.is_empty());
+        assert!(w.chain.history_of(&w.probes[0].address).is_empty());
+    }
+
+    /// Pins the density calibration of DESIGN.md §6: the mainnet-2012
+    /// model must produce roughly 500 unique addresses per block, since
+    /// every Bloom fill ratio in the evaluation rests on that.
+    #[test]
+    fn mainnet_model_address_density() {
+        let w = WorkloadBuilder::new(small_params())
+            .blocks(8)
+            .traffic(TrafficModel::mainnet_2012())
+            .seed(5)
+            .build()
+            .unwrap();
+        let total: usize = (1..=8)
+            .map(|h| w.chain.addr_counts(h).unwrap().len())
+            .sum();
+        let avg = total / 8;
+        assert!(
+            (300..=900).contains(&avg),
+            "unique addresses per block drifted to {avg}; recalibrate \
+             TrafficModel::mainnet_2012 or the Scale filter sizes"
+        );
+    }
+}

@@ -1,0 +1,47 @@
+//! Deterministic synthetic workloads for the LVQ evaluation.
+//!
+//! The paper evaluates on Bitcoin mainnet blocks 204,800–208,895 (4,096
+//! blocks, late 2012) and probes six addresses whose transaction/block
+//! footprints span four orders of magnitude (Table III). That exact data
+//! is not redistributable, so this crate generates a chain with the same
+//! statistical shape (see DESIGN.md's substitution table):
+//!
+//! * era-realistic transaction counts and a heavy-tailed address-reuse
+//!   distribution ([`TrafficModel`]), calibrated so Bloom-filter fill
+//!   ratios behave like the paper's;
+//! * the six Table III probe addresses ([`probes::table3`]) *planted*
+//!   with exactly the paper's `(#tx, #block)` counts;
+//! * full determinism: the same seed reproduces the same chain
+//!   bit-for-bit, so experiments are replayable.
+//!
+//! # Examples
+//!
+//! ```
+//! use lvq_chain::ChainParams;
+//! use lvq_workload::{TrafficModel, WorkloadBuilder};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let workload = WorkloadBuilder::new(ChainParams::default())
+//!     .blocks(16)
+//!     .traffic(TrafficModel::tiny())
+//!     .seed(7)
+//!     .probe("1Probe", 3, 2) // 3 transactions across 2 blocks
+//!     .build()?;
+//! assert_eq!(workload.chain.tip_height(), 16);
+//! let probe = &workload.probes[0];
+//! assert_eq!(probe.tx_count, 3);
+//! assert_eq!(probe.block_heights.len(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod generator;
+pub mod probes;
+mod traffic;
+
+pub use generator::{PlantedProbe, Workload, WorkloadBuilder, WorkloadError};
+pub use probes::ProbeSpec;
+pub use traffic::TrafficModel;

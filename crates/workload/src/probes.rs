@@ -1,0 +1,129 @@
+//! The paper's Table III probe addresses.
+
+use lvq_chain::Address;
+
+/// A probe address with its planted footprint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbeSpec {
+    /// The address (Table III uses real mainnet address strings).
+    pub address: Address,
+    /// Number of transactions involving the address (`#Tx`).
+    pub tx_count: u64,
+    /// Number of distinct blocks containing them (`#Block`).
+    pub block_count: u64,
+}
+
+impl ProbeSpec {
+    /// Creates a spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tx_count < block_count` (each counted block must hold
+    /// at least one transaction) or if exactly one of the counts is
+    /// zero.
+    pub fn new(address: impl Into<Address>, tx_count: u64, block_count: u64) -> Self {
+        assert!(
+            tx_count >= block_count,
+            "each block needs at least one transaction"
+        );
+        assert!(
+            (tx_count == 0) == (block_count == 0),
+            "zero transactions iff zero blocks"
+        );
+        ProbeSpec {
+            address: address.into(),
+            tx_count,
+            block_count,
+        }
+    }
+}
+
+/// Paper Table III: the six probe addresses with their exact `(#Tx,
+/// #Block)` footprints. `Addr1` never appears; `Addr6` is in 929
+/// transactions across 410 blocks.
+///
+/// # Examples
+///
+/// ```
+/// let table = lvq_workload::probes::table3();
+/// assert_eq!(table.len(), 6);
+/// assert_eq!(table[0].tx_count, 0);
+/// assert_eq!(table[5].tx_count, 929);
+/// assert_eq!(table[5].block_count, 410);
+/// ```
+pub fn table3() -> Vec<ProbeSpec> {
+    vec![
+        ProbeSpec::new("1GuLyHTpL6U121Ewe5h31jP4HPC8s4mLTs", 0, 0),
+        ProbeSpec::new("1GuLyHTpL6U121Ewe5h31jP4HPC8s4mLTj", 1, 1),
+        ProbeSpec::new("1JtcMyyQWeTkrkuG22tfHhwXKKgoP9SaDv", 10, 5),
+        ProbeSpec::new("1FFraSfgk5sw1jMs9FJR9mYAHZ6oMw26E5", 60, 44),
+        ProbeSpec::new("1N6TUnk9YXD9wbkL37RwKk2wXKsaR776oh", 324, 289),
+        ProbeSpec::new("1YzZXshuMVZ4Qh6WHvmqxos3vk4jQimdV", 929, 410),
+    ]
+}
+
+/// Table III scaled down to a chain of `blocks` blocks, preserving the
+/// tx-to-block ratios as far as possible. Used by tests and fast
+/// experiment variants that cannot afford 4,096 blocks.
+pub fn table3_scaled(blocks: u64) -> Vec<ProbeSpec> {
+    table3()
+        .into_iter()
+        .map(|spec| {
+            let block_count = spec.block_count.min(blocks.saturating_mul(spec.block_count) / 4096);
+            let block_count = if spec.block_count > 0 {
+                block_count.max(1).min(blocks)
+            } else {
+                0
+            };
+            let tx_count = if block_count == 0 {
+                0
+            } else {
+                (spec.tx_count * block_count / spec.block_count).max(block_count)
+            };
+            ProbeSpec {
+                address: spec.address,
+                tx_count,
+                block_count,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_matches_paper() {
+        let t = table3();
+        let expected = [(0u64, 0u64), (1, 1), (10, 5), (60, 44), (324, 289), (929, 410)];
+        for (spec, (txs, blocks)) in t.iter().zip(expected) {
+            assert_eq!(spec.tx_count, txs);
+            assert_eq!(spec.block_count, blocks);
+        }
+        // The paper's address strings are preserved verbatim.
+        assert_eq!(
+            t[0].address.as_str(),
+            "1GuLyHTpL6U121Ewe5h31jP4HPC8s4mLTs"
+        );
+    }
+
+    #[test]
+    fn scaled_specs_are_feasible() {
+        for blocks in [16u64, 64, 256, 4096] {
+            for spec in table3_scaled(blocks) {
+                assert!(spec.block_count <= blocks);
+                assert!(spec.tx_count >= spec.block_count);
+                assert_eq!(spec.tx_count == 0, spec.block_count == 0);
+            }
+        }
+        // Full scale reproduces the original table.
+        assert_eq!(table3_scaled(4096), table3());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one transaction")]
+    fn infeasible_spec_panics() {
+        ProbeSpec::new("1X", 1, 2);
+    }
+}

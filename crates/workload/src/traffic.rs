@@ -1,0 +1,82 @@
+//! The background-traffic model.
+
+/// Statistical shape of the background (non-probe) transaction stream.
+///
+/// Defaults approximate late-2012 Bitcoin mainnet — the era of the
+/// paper's block range — and are calibrated (DESIGN.md §6) so that a
+/// 10 KB per-block filter shows occasional false positives over 4,096
+/// blocks while a 30 KB merged filter saturates a few levels up the BMT,
+/// reproducing the paper's endpoint behaviour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficModel {
+    /// Mean transactions per block (excluding the coinbase). Actual
+    /// counts jitter uniformly within ±50 %.
+    pub txs_per_block: u32,
+    /// Probability that an input/output slot mints a fresh address
+    /// rather than reusing one from the pool.
+    pub new_address_prob: f64,
+    /// Skew of pool reuse: an existing address is picked at index
+    /// `⌊pool_len · u^skew⌋` for uniform `u` — larger skew concentrates
+    /// traffic on old, busy addresses (exchanges, mining pools).
+    pub reuse_skew: f64,
+    /// Maximum inputs per background transaction (at least 1).
+    pub max_inputs: u32,
+    /// Maximum outputs per background transaction (at least 1).
+    pub max_outputs: u32,
+}
+
+impl TrafficModel {
+    /// Late-2012 mainnet-like defaults: ~220 transactions per block,
+    /// ≈500 unique addresses per block.
+    pub fn mainnet_2012() -> Self {
+        TrafficModel {
+            txs_per_block: 220,
+            new_address_prob: 0.35,
+            reuse_skew: 3.0,
+            max_inputs: 2,
+            max_outputs: 3,
+        }
+    }
+
+    /// A small model for unit tests: ~12 transactions per block.
+    pub fn tiny() -> Self {
+        TrafficModel {
+            txs_per_block: 12,
+            new_address_prob: 0.4,
+            reuse_skew: 2.0,
+            max_inputs: 2,
+            max_outputs: 2,
+        }
+    }
+
+    /// Returns a copy with a different mean transaction count.
+    pub fn with_txs_per_block(mut self, txs: u32) -> Self {
+        self.txs_per_block = txs;
+        self
+    }
+}
+
+impl Default for TrafficModel {
+    fn default() -> Self {
+        TrafficModel::mainnet_2012()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let m = TrafficModel::default();
+        assert!(m.txs_per_block > 0);
+        assert!((0.0..=1.0).contains(&m.new_address_prob));
+        assert!(m.reuse_skew >= 1.0);
+        assert!(m.max_inputs >= 1 && m.max_outputs >= 1);
+    }
+
+    #[test]
+    fn with_txs_per_block_overrides() {
+        assert_eq!(TrafficModel::tiny().with_txs_per_block(99).txs_per_block, 99);
+    }
+}

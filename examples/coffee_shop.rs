@@ -1,0 +1,124 @@
+//! The paper's §I motivating scenario: a coffee shop owner runs a light
+//! node on a phone and wants to check — *before* handing over the
+//! coffee — that a customer's address really has the balance the
+//! customer claims, even though the only reachable full node may lie.
+//!
+//! The example runs the query twice: once against an honest full node,
+//! and once against a malicious one that hides the customer's spending
+//! history (which would inflate the apparent balance). LVQ's
+//! completeness verification catches the manipulation.
+//!
+//! ```text
+//! cargo run --example coffee_shop
+//! ```
+
+use lvq::core::{QueryError, QueryResponse};
+use lvq::node::{Message, NodeError};
+use lvq::prelude::*;
+
+/// A wrapper around an honest full node that censors one block's
+/// fragment from every segmented response — the "hide the spend"
+/// attack.
+struct CensoringFullNode {
+    inner: FullNode,
+    censor_height: u64,
+}
+
+impl CensoringFullNode {
+    fn handle(&self, request: &[u8]) -> Result<Vec<u8>, NodeError> {
+        let reply = self.inner.handle(request)?;
+        let message: Message = lvq::codec::decode_exact(&reply)?;
+        let Message::QueryResponse(mut response) = message else {
+            return Ok(reply);
+        };
+        if let QueryResponse::Segmented(segmented) = response.as_mut() {
+            for bundle in &mut segmented.segments {
+                bundle.fragments.retain(|(h, _)| *h != self.censor_height);
+            }
+        }
+        Ok(Message::QueryResponse(response).encode())
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = SchemeConfig::new(Scheme::Lvq, BloomParams::new(1_000, 2)?, 8)?;
+    let customer = Address::new("1SuspiciousCustomer");
+    let _shop = Address::new("1CoffeeShop");
+
+    // Chain history: the customer receives 100, then spends 95 in
+    // block 9 — leaving only 5 satoshi.
+    let mut builder = ChainBuilder::new(config.chain_params())?;
+    for height in 1..=16u32 {
+        let mut txs = vec![Transaction::coinbase(Address::new("1Miner"), 50, height)];
+        if height == 4 {
+            txs.push(Transaction::coinbase(customer.clone(), 100, 9_000));
+        }
+        if height == 9 {
+            txs.push(Transaction {
+                version: 1,
+                inputs: vec![TxInput {
+                    prev_out: TxOutPoint {
+                        txid: Hash256::hash(b"funding"),
+                        vout: 0,
+                    },
+                    address: customer.clone(),
+                    value: 95,
+                }],
+                outputs: vec![TxOutput {
+                    address: Address::new("1SomebodyElse"),
+                    value: 95,
+                }],
+                lock_time: 0,
+            });
+        }
+        builder.push_block(txs)?;
+    }
+    let full = FullNode::new(builder.finish())?;
+
+    // --- Honest full node -------------------------------------------
+    let mut light = LightNode::sync_from(&full)?;
+    let outcome = light.query(&full, &customer)?;
+    println!(
+        "honest node: balance = {} satoshi ({} transactions, {:?})",
+        outcome.history.balance.net(),
+        outcome.history.transactions.len(),
+        outcome.history.completeness,
+    );
+    assert_eq!(outcome.history.balance.net(), 5);
+    println!("=> the shop owner sees the customer cannot afford a 50-satoshi coffee\n");
+
+    // --- Malicious full node: hide the spend in block 9 --------------
+    let malicious = CensoringFullNode {
+        inner: full,
+        censor_height: 9,
+    };
+    let client = LightClient::new(config, {
+        // The shop already has the headers from the honest sync.
+        malicious.inner.chain().headers()
+    });
+    let request = Message::QueryRequest {
+        address: customer.clone(),
+        range: None,
+    }
+    .encode();
+    let reply = malicious.handle(&request)?;
+    let Message::QueryResponse(response) = lvq::codec::decode_exact(&reply)? else {
+        unreachable!("full node answers queries with responses");
+    };
+    match client.verify(&customer, &response) {
+        Ok(history) => {
+            println!(
+                "!! censored history accepted with balance {} — completeness is broken",
+                history.balance.net()
+            );
+            let _ = history;
+            unreachable!("LVQ must reject the censored response");
+        }
+        Err(err) => {
+            println!("malicious node rejected: {err}");
+            assert!(matches!(err, QueryError::FragmentSetMismatch));
+            println!("=> the BMT proof pins block 9 as a failed leaf; omitting its fragment is detected");
+        }
+    }
+    Ok(())
+}

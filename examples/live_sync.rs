@@ -1,0 +1,73 @@
+//! A growing chain: the full node keeps mining (via
+//! `ChainBuilder::resume`), the light node follows by appending
+//! verified headers, and every new block is immediately queryable with
+//! completeness guarantees — including verifiable range queries over
+//! just the new blocks.
+//!
+//! ```text
+//! cargo run --example live_sync
+//! ```
+
+use lvq::prelude::*;
+
+fn mine_blocks(
+    chain: Chain,
+    from: u32,
+    to: u32,
+    merchant: &Address,
+) -> Result<Chain, Box<dyn std::error::Error>> {
+    let mut builder = ChainBuilder::resume(chain)?;
+    for h in from..=to {
+        let mut txs = vec![Transaction::coinbase(Address::new("1Miner"), 50, h)];
+        if h % 4 == 0 {
+            txs.push(Transaction::coinbase(merchant.clone(), u64::from(h), 9_000 + h));
+        }
+        builder.push_block(txs)?;
+    }
+    Ok(builder.finish())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = SchemeConfig::new(Scheme::Lvq, BloomParams::new(512, 2)?, 16)?;
+    let merchant = Address::new("1Merchant");
+
+    // Epoch 1: the chain reaches height 16.
+    let genesis = ChainBuilder::new(config.chain_params())?.finish();
+    let chain = mine_blocks(genesis, 1, 16, &merchant)?;
+    let mut client = LightClient::new(config, chain.headers());
+    client.validate_header_chain()?;
+    println!("light node synced to height {}", client.tip_height());
+
+    // Epoch 2: twelve more blocks arrive; the light node appends only
+    // the new headers (it never re-downloads).
+    let chain = mine_blocks(chain, 17, 28, &merchant)?;
+    let new_headers: Vec<BlockHeader> = chain.headers()[16..].to_vec();
+    client.append_headers(new_headers)?;
+    println!("appended 12 headers, tip now {}", client.tip_height());
+
+    // Query only the new range: blocks 17..=28.
+    let prover = Prover::new(&chain, config)?;
+    let (response, _) = prover.respond_range(&merchant, 17, 28)?;
+    let fresh = client.verify_range(&merchant, 17, 28, &response)?;
+    println!(
+        "new-range history: {} transactions, {} response bytes",
+        fresh.transactions.len(),
+        response.total_bytes()
+    );
+    assert_eq!(
+        fresh.transactions.iter().map(|(h, _)| *h).collect::<Vec<_>>(),
+        vec![20, 24, 28]
+    );
+
+    // And the full history still verifies over the grown chain.
+    let (full_response, _) = prover.respond(&merchant)?;
+    let all = client.verify(&merchant, &full_response)?;
+    assert_eq!(all.transactions.len(), 7); // heights 4,8,12,16,20,24,28
+    assert_eq!(all.completeness, Completeness::Complete);
+    println!(
+        "full history: {} transactions, balance {} satoshi — complete",
+        all.transactions.len(),
+        all.balance.net()
+    );
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Quickstart: build a small LVQ chain, run one verifiable query over
+//! the simulated wire, and inspect what crossed it.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use lvq::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Configure full LVQ: 1 KB Bloom filters, two hash functions,
+    //    segments of 8 blocks (the paper's M, scaled down).
+    let config = SchemeConfig::new(Scheme::Lvq, BloomParams::new(1_000, 2)?, 8)?;
+
+    // 2. Build a 16-block chain. Alice receives coins in blocks 3 and 11.
+    let alice = Address::new("1AliceQuickstart");
+    let mut builder = ChainBuilder::new(config.chain_params())?;
+    for height in 1..=16u32 {
+        let mut txs = vec![Transaction::coinbase(Address::new("1Miner"), 50, height)];
+        if height == 3 || height == 11 {
+            txs.push(Transaction::coinbase(alice.clone(), 7, 1_000 + height));
+        }
+        builder.push_block(txs)?;
+    }
+    let chain = builder.finish();
+    chain.validate()?;
+
+    // 3. Stand up a full node and a header-only light node.
+    let full = FullNode::new(chain)?;
+    let mut light = LightNode::sync_from(&full)?;
+    println!(
+        "light node stores {} bytes of headers for {} blocks",
+        light.client().storage_bytes(),
+        light.client().tip_height(),
+    );
+
+    // 4. Query and verify Alice's history.
+    let outcome = light.query(&full, &alice)?;
+    println!(
+        "verified history: {} transactions, balance {} satoshi, completeness {:?}",
+        outcome.history.transactions.len(),
+        outcome.history.balance.net(),
+        outcome.history.completeness,
+    );
+    for (height, tx) in &outcome.history.transactions {
+        println!("  block {height}: txid {}", tx.txid());
+    }
+
+    // 5. The communication cost — the quantity the paper's evaluation
+    //    is about.
+    println!(
+        "wire traffic: {} request bytes, {} response bytes",
+        outcome.traffic.request_bytes, outcome.traffic.response_bytes,
+    );
+    let estimate = BandwidthModel::mobile().transfer_time(outcome.traffic.total());
+    println!("estimated transfer on a mobile link: {estimate:?}");
+
+    assert_eq!(outcome.history.balance.net(), 14);
+    assert_eq!(outcome.history.completeness, Completeness::Complete);
+    Ok(())
+}
