@@ -13,7 +13,9 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use lvq_bench::experiments::{bf_sweep, fig12, fig16, k_sweep, latency, storage, tables};
+use lvq_bench::experiments::{
+    bf_sweep, fig12, fig16, k_sweep, latency, storage, tables, throughput,
+};
 use lvq_bench::Scale;
 
 struct Options {
@@ -49,7 +51,8 @@ fn parse_args() -> Result<Options, String> {
     })
 }
 
-const USAGE: &str = "usage: repro <all|table1|table2|table3|fig12|fig13|fig14|fig15|fig16|storage|ksweep|latency> \
+const USAGE: &str =
+    "usage: repro <all|table1|table2|table3|fig12|fig13|fig14|fig15|fig16|storage|ksweep|latency|throughput> \
                      [--scale small|paper] [--seed N]";
 
 fn main() -> ExitCode {
@@ -126,6 +129,11 @@ fn main() -> ExitCode {
     if want("ksweep") {
         matched = true;
         println!("{}", k_sweep::run(opts.scale, opts.seed));
+    }
+    if want("throughput") {
+        matched = true;
+        println!("{}", throughput::run(opts.scale, opts.seed));
+        println!();
     }
 
     if !matched {

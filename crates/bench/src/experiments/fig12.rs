@@ -126,10 +126,7 @@ mod tests {
 
         // Without SMT, the busiest address pays integral blocks: worst
         // of all four schemes.
-        let busiest: Vec<u64> = Scheme::ALL
-            .iter()
-            .map(|s| get(*s, "Addr6"))
-            .collect();
+        let busiest: Vec<u64> = Scheme::ALL.iter().map(|s| get(*s, "Addr6")).collect();
         assert_eq!(
             busiest.iter().max(),
             Some(&get(Scheme::LvqWithoutSmt, "Addr6"))

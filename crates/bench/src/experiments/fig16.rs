@@ -104,10 +104,7 @@ impl Fig16 {
 
 impl std::fmt::Display for Fig16 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(
-            f,
-            "Fig. 16 — endpoint nodes vs segment length (BF fixed)"
-        )?;
+        writeln!(f, "Fig. 16 — endpoint nodes vs segment length (BF fixed)")?;
         write!(f, "{}", self.table())
     }
 }

@@ -52,8 +52,8 @@ pub fn run(scale: Scale, seed: u64) -> KSweep {
     for &k in &ks {
         let bloom = BloomParams::new(scale.bmt_bf(), k).expect("non-zero");
         block_fpr.push(theoretical_fpr(bloom.bits(), k, addrs_per_block));
-        let config = SchemeConfig::new(Scheme::Lvq, bloom, scale.blocks())
-            .expect("power-of-two segment");
+        let config =
+            SchemeConfig::new(Scheme::Lvq, bloom, scale.blocks()).expect("power-of-two segment");
         let workload = WorkloadBuilder::new(config.chain_params())
             .blocks(scale.blocks())
             .traffic(scale.traffic())

@@ -60,8 +60,9 @@ pub fn run(scale: Scale, seed: u64) -> Latency {
                 addr: label,
                 response_bytes,
                 verify_ms,
-                mobile_ms: BandwidthModel::mobile().transfer_time(response_bytes).as_millis()
-                    as u64
+                mobile_ms: BandwidthModel::mobile()
+                    .transfer_time(response_bytes)
+                    .as_millis() as u64
                     + verify_ms,
                 broadband_ms: BandwidthModel::broadband()
                     .transfer_time(response_bytes)
@@ -79,9 +80,7 @@ impl std::fmt::Display for Latency {
             f,
             "Latency estimate — transfer (5 Mbit/s mobile | 50 Mbit/s broadband) + measured verify"
         )?;
-        let mut table = Table::new(&[
-            "Scheme", "Address", "Size", "verify", "mobile", "broadband",
-        ]);
+        let mut table = Table::new(&["Scheme", "Address", "Size", "verify", "mobile", "broadband"]);
         for cell in &self.cells {
             table.row(vec![
                 cell.scheme.name().to_string(),

@@ -7,6 +7,7 @@ pub mod k_sweep;
 pub mod latency;
 pub mod storage;
 pub mod tables;
+pub mod throughput;
 
 use lvq_chain::Address;
 use lvq_core::{Completeness, LightClient, Prover, ProverStats, QueryResponse, Scheme};
@@ -23,10 +24,7 @@ use lvq_workload::Workload;
 ///
 /// Panics if verification fails or the verified history disagrees with
 /// the chain — either would mean the reproduction is broken.
-pub fn verified_query(
-    workload: &Workload,
-    address: &Address,
-) -> (QueryResponse, ProverStats) {
+pub fn verified_query(workload: &Workload, address: &Address) -> (QueryResponse, ProverStats) {
     let prover = Prover::from_chain(&workload.chain).expect("chain built for a known scheme");
     let (response, stats) = prover.respond(address).expect("honest prover never fails");
 

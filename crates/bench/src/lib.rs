@@ -27,4 +27,4 @@ mod scale;
 mod workloads;
 
 pub use scale::Scale;
-pub use workloads::{built_probes, build_workload, WorkloadSpec};
+pub use workloads::{build_workload, built_probes, WorkloadSpec};

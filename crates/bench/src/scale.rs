@@ -105,7 +105,10 @@ mod tests {
         assert_eq!(s.bmt_bf(), 30_000);
         assert_eq!(s.bf_sweep().first(), Some(&10_000));
         assert_eq!(s.bf_sweep().last(), Some(&500_000));
-        assert_eq!(s.m_sweep(), vec![1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096]);
+        assert_eq!(
+            s.m_sweep(),
+            vec![1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096]
+        );
         assert_eq!(s.probes(), probes::table3());
     }
 

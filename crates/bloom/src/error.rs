@@ -22,12 +22,8 @@ impl fmt::Display for BloomError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BloomError::ZeroSize => f.write_str("bloom filter size must be at least one byte"),
-            BloomError::ZeroHashes => {
-                f.write_str("bloom filter needs at least one hash function")
-            }
-            BloomError::ParamsMismatch => {
-                f.write_str("bloom filters have mismatched parameters")
-            }
+            BloomError::ZeroHashes => f.write_str("bloom filter needs at least one hash function"),
+            BloomError::ParamsMismatch => f.write_str("bloom filters have mismatched parameters"),
         }
     }
 }

@@ -150,7 +150,10 @@ impl BloomFilter {
 
     /// Number of set bits.
     pub fn count_ones(&self) -> u64 {
-        self.bits.iter().map(|b| u64::from(b.count_ones() as u8)).sum()
+        self.bits
+            .iter()
+            .map(|b| u64::from(b.count_ones() as u8))
+            .sum()
     }
 
     /// Fraction of set bits in `[0, 1]`.

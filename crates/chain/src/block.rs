@@ -77,10 +77,7 @@ impl Block {
                 *counts.entry(addr).or_insert(0) += 1;
             }
         }
-        counts
-            .into_iter()
-            .map(|(a, c)| (a.clone(), c))
-            .collect()
+        counts.into_iter().map(|(a, c)| (a.clone(), c)).collect()
     }
 
     /// The block's address Bloom filter: every distinct address of every
@@ -187,10 +184,11 @@ mod tests {
             .iter()
             .map(|(a, c)| (a.as_str().to_string(), *c))
             .collect();
-        let expected: Vec<(String, u64)> = [("1Alice", 2u64), ("1Bob", 1), ("1Carol", 1), ("1Miner", 1)]
-            .iter()
-            .map(|(a, c)| (a.to_string(), *c))
-            .collect();
+        let expected: Vec<(String, u64)> =
+            [("1Alice", 2u64), ("1Bob", 1), ("1Carol", 1), ("1Miner", 1)]
+                .iter()
+                .map(|(a, c)| (a.to_string(), *c))
+                .collect();
         assert_eq!(counts, expected);
     }
 

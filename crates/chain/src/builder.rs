@@ -114,13 +114,7 @@ impl ChainBuilder {
                 start += width;
                 rem -= width;
             }
-            Some(BmtBuilder::resume(
-                params.bloom(),
-                m,
-                1,
-                tip + 1,
-                stack,
-            )?)
+            Some(BmtBuilder::resume(params.bloom(), m, 1, tip + 1, stack)?)
         } else {
             None
         };
@@ -183,10 +177,8 @@ impl ChainBuilder {
                 *counts.entry(addr).or_insert(0) += 1;
             }
         }
-        let addr_counts: Vec<(Address, u64)> = counts
-            .into_iter()
-            .map(|(a, c)| (a.clone(), c))
-            .collect();
+        let addr_counts: Vec<(Address, u64)> =
+            counts.into_iter().map(|(a, c)| (a.clone(), c)).collect();
 
         let mut filter = lvq_bloom::BloomFilter::new(self.params.bloom());
         for (addr, _) in &addr_counts {
@@ -237,12 +229,7 @@ impl ChainBuilder {
 
     /// Finishes construction.
     pub fn finish(self) -> Chain {
-        Chain::from_parts(
-            self.params,
-            self.blocks,
-            self.addr_counts,
-            self.span_hashes,
-        )
+        Chain::from_parts(self.params, self.blocks, self.addr_counts, self.span_hashes)
     }
 }
 
@@ -444,8 +431,7 @@ mod tests {
             let partial = build_chain(policy, 9);
             let mut resumed = ChainBuilder::resume(partial).unwrap();
             for h in 10..=13u64 {
-                let mut txs =
-                    vec![Transaction::coinbase(Address::new("1Miner"), 50, h as u32)];
+                let mut txs = vec![Transaction::coinbase(Address::new("1Miner"), 50, h as u32)];
                 txs.push(transfer(
                     &format!("1From{h}"),
                     &format!("1To{h}"),
@@ -506,7 +492,8 @@ mod tests {
         chain.blocks[1].transactions[0].outputs[0].value += 1;
         assert!(matches!(
             chain.validate().unwrap_err(),
-            ChainError::CommitmentMismatch { height: 2, .. } | ChainError::BrokenChainLink { height: 2 }
+            ChainError::CommitmentMismatch { height: 2, .. }
+                | ChainError::BrokenChainLink { height: 2 }
         ));
     }
 }

@@ -2,6 +2,7 @@
 
 use std::collections::HashMap;
 use std::collections::VecDeque;
+use std::hash::Hash;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -9,6 +10,7 @@ use parking_lot::Mutex;
 use lvq_bloom::BloomFilter;
 use lvq_crypto::Hash256;
 use lvq_merkle::bmt::{merge_count, BmtBuilder, BmtSource};
+use lvq_merkle::SortedMerkleTree;
 
 use crate::address::Address;
 use crate::block::Block;
@@ -16,48 +18,124 @@ use crate::error::ChainError;
 use crate::header::BlockHeader;
 use crate::params::ChainParams;
 
-/// Default byte budget for the leaf-filter cache (filters beyond this are
-/// recomputed from address sets on demand).
+/// Default byte budget for the span-filter cache (filters beyond this
+/// are recomputed from address sets on demand).
 const DEFAULT_FILTER_CACHE_BYTES: usize = 256 * 1024 * 1024;
 
-#[derive(Debug)]
-struct FilterCache {
-    budget_bytes: usize,
-    used_bytes: usize,
-    entries: HashMap<u64, BloomFilter>,
-    order: VecDeque<u64>,
+/// Default byte budget for the per-block SMT cache.
+const DEFAULT_SMT_CACHE_BYTES: usize = 64 * 1024 * 1024;
+
+/// Hit/miss and occupancy counters of one of the chain's memo caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to recompute.
+    pub misses: u64,
+    /// Entries currently cached.
+    pub entries: u64,
+    /// Approximate bytes currently cached.
+    pub used_bytes: u64,
 }
 
-impl FilterCache {
+impl CacheStats {
+    /// Fraction of lookups served from cache (`0.0` before any lookup).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Combined statistics of all chain-side memo caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChainCacheStats {
+    /// The dyadic-span Bloom filter cache.
+    pub filters: CacheStats,
+    /// The per-block SMT cache.
+    pub smts: CacheStats,
+}
+
+/// A bounded FIFO memo cache with hit/miss counters.
+///
+/// Entries carry an explicit byte size; inserting past the budget evicts
+/// in insertion order. FIFO (rather than LRU) keeps `put` O(1) and is
+/// good enough here: within one query the same span is rarely requested
+/// twice after eviction, and across queries the whole working set either
+/// fits or does not.
+#[derive(Debug)]
+struct MemoCache<K, V> {
+    budget_bytes: usize,
+    used_bytes: usize,
+    entries: HashMap<K, (V, usize)>,
+    order: VecDeque<K>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K: Eq + Hash + Copy, V: Clone> MemoCache<K, V> {
     fn new(budget_bytes: usize) -> Self {
-        FilterCache {
+        MemoCache {
             budget_bytes,
             used_bytes: 0,
             entries: HashMap::new(),
             order: VecDeque::new(),
+            hits: 0,
+            misses: 0,
         }
     }
 
-    fn get(&self, height: u64) -> Option<BloomFilter> {
-        self.entries.get(&height).cloned()
+    fn get(&mut self, key: &K) -> Option<V> {
+        match self.entries.get(key) {
+            Some((value, _)) => {
+                self.hits += 1;
+                Some(value.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
     }
 
-    fn put(&mut self, height: u64, filter: BloomFilter) {
-        let size = filter.params().size_bytes() as usize;
+    fn put(&mut self, key: K, value: V, size: usize) {
         if size > self.budget_bytes {
             return;
         }
-        if self.entries.insert(height, filter).is_none() {
-            self.used_bytes += size;
-            self.order.push_back(height);
+        match self.entries.insert(key, (value, size)) {
+            None => {
+                self.used_bytes += size;
+                self.order.push_back(key);
+            }
+            Some((_, old_size)) => {
+                self.used_bytes = self.used_bytes - old_size + size;
+            }
         }
         while self.used_bytes > self.budget_bytes {
             let Some(evict) = self.order.pop_front() else {
                 break;
             };
-            if self.entries.remove(&evict).is_some() {
-                self.used_bytes -= size;
+            if let Some((_, evicted_size)) = self.entries.remove(&evict) {
+                self.used_bytes -= evicted_size;
             }
+        }
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.order.clear();
+        self.used_bytes = 0;
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.entries.len() as u64,
+            used_bytes: self.used_bytes as u64,
         }
     }
 }
@@ -79,7 +157,10 @@ pub struct Chain {
     pub(crate) addr_counts: Vec<Arc<Vec<(Address, u64)>>>,
     /// BMT node hash for every finalised dyadic span `(lo, hi)`.
     pub(crate) span_hashes: HashMap<(u64, u64), Hash256>,
-    filter_cache: Mutex<FilterCache>,
+    /// Memoised Bloom filters, keyed by span (`(h, h)` for leaves).
+    filter_cache: Mutex<MemoCache<(u64, u64), BloomFilter>>,
+    /// Memoised per-block SMTs, keyed by height.
+    smt_cache: Mutex<MemoCache<u64, Arc<SortedMerkleTree>>>,
 }
 
 impl Chain {
@@ -94,7 +175,8 @@ impl Chain {
             blocks,
             addr_counts,
             span_hashes,
-            filter_cache: Mutex::new(FilterCache::new(DEFAULT_FILTER_CACHE_BYTES)),
+            filter_cache: Mutex::new(MemoCache::new(DEFAULT_FILTER_CACHE_BYTES)),
+            smt_cache: Mutex::new(MemoCache::new(DEFAULT_SMT_CACHE_BYTES)),
         }
     }
 
@@ -148,38 +230,87 @@ impl Chain {
     ///
     /// Returns [`ChainError::UnknownHeight`] outside `1..=tip`.
     pub fn leaf_filter(&self, height: u64) -> Result<BloomFilter, ChainError> {
-        let idx = self.index(height)?;
-        if let Some(hit) = self.filter_cache.lock().get(height) {
-            return Ok(hit);
-        }
-        let mut filter = BloomFilter::new(self.params.bloom());
-        for (addr, _) in self.addr_counts[idx].iter() {
-            filter.insert(addr.as_bytes());
-        }
-        self.filter_cache.lock().put(height, filter.clone());
-        Ok(filter)
+        self.span_filter(height, height)
     }
 
-    /// The union filter over blocks `lo..=hi`, computed by direct
-    /// insertion (bit-identical to OR-ing the per-block filters).
+    /// The union filter over blocks `lo..=hi` (bit-identical to OR-ing
+    /// the per-block filters), served from the bounded span memo cache.
+    ///
+    /// A miss recomputes by halving the span at the BMT midpoint and
+    /// unioning the halves, memoising every sub-span on the way up — so
+    /// one cold segment descent leaves the whole node-filter working set
+    /// cached for subsequent queries.
     ///
     /// # Errors
     ///
     /// Returns [`ChainError::UnknownHeight`] if the range leaves the
     /// chain.
     pub fn span_filter(&self, lo: u64, hi: u64) -> Result<BloomFilter, ChainError> {
-        if lo == hi {
-            return self.leaf_filter(lo);
-        }
         self.index(lo)?;
         self.index(hi)?;
-        let mut filter = BloomFilter::new(self.params.bloom());
-        for height in lo..=hi {
-            for (addr, _) in self.addr_counts[(height - 1) as usize].iter() {
+        Ok(self.span_filter_memo(lo, hi))
+    }
+
+    /// Memoised recursion behind [`Chain::span_filter`]; bounds already
+    /// checked.
+    fn span_filter_memo(&self, lo: u64, hi: u64) -> BloomFilter {
+        if let Some(hit) = self.filter_cache.lock().get(&(lo, hi)) {
+            return hit;
+        }
+        let filter = if lo == hi {
+            let mut filter = BloomFilter::new(self.params.bloom());
+            for (addr, _) in self.addr_counts[(lo - 1) as usize].iter() {
                 filter.insert(addr.as_bytes());
             }
+            filter
+        } else {
+            let mid = lo + (hi - lo) / 2;
+            let left = self.span_filter_memo(lo, mid);
+            let right = self.span_filter_memo(mid + 1, hi);
+            BloomFilter::union(&left, &right).expect("halves share the chain's params")
+        };
+        let size = filter.params().size_bytes() as usize;
+        self.filter_cache.lock().put((lo, hi), filter.clone(), size);
+        filter
+    }
+
+    /// The sorted Merkle tree over the address-count table of the block
+    /// at `height`, served from the bounded SMT memo cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::UnknownHeight`] outside `1..=tip` and
+    /// [`ChainError::Smt`] if the block's table cannot form a tree.
+    pub fn address_smt(&self, height: u64) -> Result<Arc<SortedMerkleTree>, ChainError> {
+        let idx = self.index(height)?;
+        if let Some(hit) = self.smt_cache.lock().get(&height) {
+            return Ok(hit);
         }
-        Ok(filter)
+        let smt = Arc::new(self.blocks[idx].address_smt().map_err(ChainError::Smt)?);
+        // Approximate footprint: keys + counts + two hash levels per
+        // entry. Only used to bound the cache, not for accounting.
+        let size = self.addr_counts[idx]
+            .iter()
+            .map(|(addr, _)| addr.as_bytes().len() + 8 + 64)
+            .sum::<usize>()
+            + 64;
+        self.smt_cache.lock().put(height, smt.clone(), size);
+        Ok(smt)
+    }
+
+    /// Hit/miss and occupancy statistics of the chain's memo caches.
+    pub fn cache_stats(&self) -> ChainCacheStats {
+        ChainCacheStats {
+            filters: self.filter_cache.lock().stats(),
+            smts: self.smt_cache.lock().stats(),
+        }
+    }
+
+    /// Empties both memo caches (the hit/miss counters keep counting) —
+    /// lets experiments measure cold-cache behaviour on a warm chain.
+    pub fn clear_caches(&self) {
+        self.filter_cache.lock().clear();
+        self.smt_cache.lock().clear();
     }
 
     /// The stored BMT node hash of the dyadic span `(lo, hi)`, if the
@@ -259,15 +390,14 @@ impl Chain {
             }
 
             let filter = self.leaf_filter(height)?;
-            if policy.bf_hash && block.header.commitments.bf_hash != Some(filter.content_hash())
-            {
+            if policy.bf_hash && block.header.commitments.bf_hash != Some(filter.content_hash()) {
                 return Err(ChainError::CommitmentMismatch {
                     height,
                     what: "bloom filter hash",
                 });
             }
             if policy.smt {
-                let smt = block.address_smt().map_err(ChainError::Smt)?;
+                let smt = self.address_smt(height)?;
                 if block.header.commitments.smt_commitment != Some(smt.commitment()) {
                     return Err(ChainError::CommitmentMismatch {
                         height,

@@ -232,12 +232,8 @@ mod tests {
     use crate::transaction::Transaction;
 
     fn sample_chain() -> Chain {
-        let params = ChainParams::new(
-            BloomParams::new(64, 2).unwrap(),
-            4,
-            CommitmentPolicy::lvq(),
-        )
-        .unwrap();
+        let params =
+            ChainParams::new(BloomParams::new(64, 2).unwrap(), 4, CommitmentPolicy::lvq()).unwrap();
         let mut builder = ChainBuilder::new(params).unwrap();
         for h in 1..=6u32 {
             builder

@@ -38,9 +38,7 @@ impl Encodable for HeaderCommitments {
     }
 
     fn encoded_len(&self) -> usize {
-        self.bf_hash.encoded_len()
-            + self.bmt_root.encoded_len()
-            + self.smt_commitment.encoded_len()
+        self.bf_hash.encoded_len() + self.bmt_root.encoded_len() + self.smt_commitment.encoded_len()
     }
 }
 
@@ -169,7 +167,7 @@ mod tests {
         let mut h = sample();
         h.commitments = HeaderCommitments::default();
         assert_eq!(h.encoded_len(), 83); // 80 + 3 absence bytes
-        // Each present commitment costs 32 extra bytes.
+                                         // Each present commitment costs 32 extra bytes.
         h.commitments.bmt_root = Some(Hash256::ZERO);
         assert_eq!(h.encoded_len(), 83 + 32);
     }

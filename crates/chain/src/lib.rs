@@ -54,7 +54,7 @@ pub use address::Address;
 pub use balance::{balance_of, BalanceBreakdown};
 pub use block::Block;
 pub use builder::ChainBuilder;
-pub use chain::{Chain, SegmentBmtSource};
+pub use chain::{CacheStats, Chain, ChainCacheStats, SegmentBmtSource};
 pub use error::ChainError;
 pub use header::{BlockHeader, HeaderCommitments, BASE_HEADER_LEN};
 pub use params::{ChainParams, CommitmentPolicy};

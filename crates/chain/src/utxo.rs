@@ -80,20 +80,17 @@ impl UtxoSet {
     /// missing/spent or its recorded address/value disagree, or if the
     /// transaction creates more value than it spends (inflation)
     /// without being a coinbase.
-    pub fn apply_transaction(
-        &mut self,
-        tx: &Transaction,
-        height: u64,
-    ) -> Result<(), ChainError> {
+    pub fn apply_transaction(&mut self, tx: &Transaction, height: u64) -> Result<(), ChainError> {
         if !tx.is_coinbase() {
             let mut spendable = 0u64;
             for input in &tx.inputs {
-                let entry = self.entries.remove(&input.prev_out).ok_or(
-                    ChainError::InvalidSpend {
-                        height,
-                        what: "input references a missing or already-spent output",
-                    },
-                )?;
+                let entry =
+                    self.entries
+                        .remove(&input.prev_out)
+                        .ok_or(ChainError::InvalidSpend {
+                            height,
+                            what: "input references a missing or already-spent output",
+                        })?;
                 if entry.address != input.address {
                     return Err(ChainError::InvalidSpend {
                         height,

@@ -55,9 +55,8 @@ pub fn generate(opts: &GenerateOptions, out: &mut impl Write) -> Result<(), CliE
 
 fn load_with_config(path: &str) -> Result<(Chain, SchemeConfig), CliError> {
     let chain = chain_file::load_from_path(path)?;
-    let config = SchemeConfig::from_chain_params(chain.params()).ok_or_else(|| {
-        CliError::Usage("chain file commitments match no known scheme".into())
-    })?;
+    let config = SchemeConfig::from_chain_params(chain.params())
+        .ok_or_else(|| CliError::Usage("chain file commitments match no known scheme".into()))?;
     Ok((chain, config))
 }
 
@@ -67,11 +66,7 @@ pub fn info(path: &str, out: &mut impl Write) -> Result<(), CliError> {
     let body_bytes: u64 = (1..=chain.tip_height())
         .map(|h| chain.block(h).expect("in range").integral_size() as u64)
         .sum();
-    let header_bytes: u64 = chain
-        .headers()
-        .iter()
-        .map(|h| h.storage_len() as u64)
-        .sum();
+    let header_bytes: u64 = chain.headers().iter().map(|h| h.storage_len() as u64).sum();
     writeln!(out, "chain      : {path}")?;
     writeln!(out, "scheme     : {}", config.scheme())?;
     writeln!(
@@ -262,9 +257,7 @@ mod tests {
             &mut out,
         )
         .unwrap();
-        assert!(String::from_utf8(out)
-            .unwrap()
-            .contains("transactions : 4"));
+        assert!(String::from_utf8(out).unwrap().contains("transactions : 4"));
 
         std::fs::remove_file(&path).ok();
     }

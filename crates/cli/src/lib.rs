@@ -49,7 +49,9 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         "query" => commands::query(&args::QueryOptions::parse(rest)?, out),
         "balance" => match rest {
             [file, address] => commands::balance(file, address, out),
-            _ => Err(CliError::Usage("balance takes a file and an address".into())),
+            _ => Err(CliError::Usage(
+                "balance takes a file and an address".into(),
+            )),
         },
         "--help" | "-h" | "help" => {
             writeln!(out, "{USAGE}")?;

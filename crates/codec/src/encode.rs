@@ -94,8 +94,7 @@ impl<T: Encodable> Encodable for [T] {
     }
 
     fn encoded_len(&self) -> usize {
-        compact_size_len(self.len() as u64)
-            + self.iter().map(Encodable::encoded_len).sum::<usize>()
+        compact_size_len(self.len() as u64) + self.iter().map(Encodable::encoded_len).sum::<usize>()
     }
 }
 

@@ -27,6 +27,8 @@ pub enum ProveError {
         /// Chain tip at request time.
         tip: u64,
     },
+    /// A batched query was issued with zero addresses.
+    EmptyBatch,
     /// An underlying chain access failed.
     Chain(ChainError),
     /// An underlying BMT operation failed.
@@ -42,6 +44,7 @@ impl fmt::Display for ProveError {
                 f.write_str("chain commitments do not match the prover's scheme")
             }
             ProveError::EmptyChain => f.write_str("cannot prove over an empty chain"),
+            ProveError::EmptyBatch => f.write_str("batched query needs at least one address"),
             ProveError::InvalidRange { lo, hi, tip } => {
                 write!(f, "invalid query range {lo}..={hi} for tip {tip}")
             }
@@ -112,6 +115,16 @@ pub enum QueryError {
     /// A segmented response's segments do not match the verifier's own
     /// segment division.
     SegmentMismatch,
+    /// A batched verification was requested with zero addresses.
+    EmptyBatch,
+    /// A batched response's per-address section count does not match the
+    /// number of queried addresses.
+    SectionCountMismatch {
+        /// Sections (or per-entry fragments) received.
+        got: u64,
+        /// Queried addresses.
+        expected: u64,
+    },
     /// A synced header's previous-block hash does not match its
     /// predecessor — the header set is not a chain.
     BrokenHeaderChain {
@@ -202,9 +215,7 @@ pub enum QueryError {
 impl fmt::Display for QueryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            QueryError::WrongResponseKind => {
-                f.write_str("response kind does not match the scheme")
-            }
+            QueryError::WrongResponseKind => f.write_str("response kind does not match the scheme"),
             QueryError::InvalidRange { lo, hi, tip } => {
                 write!(f, "invalid verification range {lo}..={hi} for tip {tip}")
             }
@@ -213,6 +224,12 @@ impl fmt::Display for QueryError {
             }
             QueryError::SegmentMismatch => {
                 f.write_str("segmented response does not match the segment division")
+            }
+            QueryError::EmptyBatch => {
+                f.write_str("batched verification needs at least one address")
+            }
+            QueryError::SectionCountMismatch { got, expected } => {
+                write!(f, "expected {expected} per-address sections, got {got}")
             }
             QueryError::BrokenHeaderChain { height } => {
                 write!(f, "header chain breaks at height {height}")
@@ -247,7 +264,10 @@ impl fmt::Display for QueryError {
                 "height {height}: smt commits {committed} transactions, {proven} proven"
             ),
             QueryError::UninvolvedTransaction { height } => {
-                write!(f, "proven transaction at height {height} does not involve the address")
+                write!(
+                    f,
+                    "proven transaction at height {height} does not involve the address"
+                )
             }
             QueryError::BlockHeaderMismatch { height } => {
                 write!(f, "integral block header mismatch at height {height}")
@@ -259,7 +279,10 @@ impl fmt::Display for QueryError {
                 write!(f, "smt proof failed at height {height}: {source}")
             }
             QueryError::Bmt { segment_hi, source } => {
-                write!(f, "bmt proof failed for segment ending at {segment_hi}: {source}")
+                write!(
+                    f,
+                    "bmt proof failed for segment ending at {segment_hi}: {source}"
+                )
             }
         }
     }

@@ -205,7 +205,12 @@ mod tests {
         ];
         for fragment in fragments {
             let bytes = fragment.encode();
-            assert_eq!(bytes.len(), fragment.encoded_len(), "{}", fragment.kind_name());
+            assert_eq!(
+                bytes.len(),
+                fragment.encoded_len(),
+                "{}",
+                fragment.kind_name()
+            );
             assert_eq!(decode_exact::<BlockFragment>(&bytes).unwrap(), fragment);
         }
     }

@@ -54,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod error;
 mod fragment;
 mod prover;
@@ -63,6 +64,10 @@ pub mod segment;
 mod stats;
 mod verifier;
 
+pub use batch::{
+    BatchBlockEntry, BatchPerBlockResponse, BatchQueryResponse, BatchSegmentBundle,
+    BatchSegmentedResponse,
+};
 pub use error::{ProveError, QueryError};
 pub use fragment::{BlockFragment, ExistenceProof, TxWithBranch};
 pub use prover::Prover;

@@ -2,15 +2,19 @@
 
 use lvq_bloom::BloomFilter;
 use lvq_chain::{Address, Chain};
-use lvq_merkle::bmt::{self, BmtProofNode};
+use lvq_merkle::bmt::{self, BmtBatchNode, BmtBatchProof, BmtProofNode};
 
+use crate::batch::{
+    BatchBlockEntry, BatchPerBlockResponse, BatchQueryResponse, BatchSegmentBundle,
+    BatchSegmentedResponse,
+};
 use crate::error::ProveError;
 use crate::fragment::{BlockFragment, ExistenceProof, TxWithBranch};
 use crate::result::{
     BlockEntry, PerBlockResponse, QueryResponse, SegmentBundle, SegmentedResponse,
 };
 use crate::scheme::{Scheme, SchemeConfig};
-use crate::segment::segments;
+use crate::segment::{segments, Segment};
 use crate::stats::ProverStats;
 
 /// A full node's query answering engine.
@@ -67,10 +71,7 @@ impl<'a> Prover<'a> {
     /// Returns a [`ProveError`] only on prover-side inconsistencies
     /// (wrong scheme, corrupted chain); honest configurations never
     /// fail.
-    pub fn respond(
-        &self,
-        address: &Address,
-    ) -> Result<(QueryResponse, ProverStats), ProveError> {
+    pub fn respond(&self, address: &Address) -> Result<(QueryResponse, ProverStats), ProveError> {
         self.respond_over(address, 1, self.chain.tip_height())
     }
 
@@ -115,11 +116,13 @@ impl<'a> Prover<'a> {
         let positions = BloomFilter::bit_positions(self.config.bloom(), address.as_bytes());
         let mut stats = ProverStats::default();
         let response = if self.config.scheme().is_per_block() {
-            QueryResponse::PerBlock(self.respond_per_block(address, lo, hi, &positions, &mut stats)?)
+            QueryResponse::PerBlock(
+                self.respond_per_block(address, lo, hi, &positions, &mut stats)?,
+            )
         } else {
-            QueryResponse::Segmented(self.respond_segmented(
-                address, lo, hi, &positions, &mut stats,
-            )?)
+            QueryResponse::Segmented(
+                self.respond_segmented(address, lo, hi, &positions, &mut stats)?,
+            )
         };
         Ok((response, stats))
     }
@@ -184,6 +187,151 @@ impl<'a> Prover<'a> {
         Ok(SegmentedResponse { segments: bundles })
     }
 
+    /// Answers one batched query for several addresses over the whole
+    /// chain (the multi-address counterpart of [`Prover::respond`]).
+    ///
+    /// Under the BMT schemes, each segment receives a single shared
+    /// descent ([`bmt::prove_multi`]) serving every address's bit
+    /// positions; under the per-block schemes, each block's filter is
+    /// included once for all addresses. With the `parallel` feature
+    /// enabled, segment proofs are generated on scoped worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProveError::EmptyBatch`] for an empty address list, and
+    /// otherwise fails only on prover-side inconsistencies, exactly as
+    /// [`Prover::respond`].
+    pub fn respond_batch(
+        &self,
+        addresses: &[Address],
+    ) -> Result<(BatchQueryResponse, ProverStats), ProveError> {
+        if addresses.is_empty() {
+            return Err(ProveError::EmptyBatch);
+        }
+        let position_sets: Vec<Vec<u64>> = addresses
+            .iter()
+            .map(|a| BloomFilter::bit_positions(self.config.bloom(), a.as_bytes()))
+            .collect();
+        let tip = self.chain.tip_height();
+        let mut stats = ProverStats::default();
+        let response = if self.config.scheme().is_per_block() {
+            BatchQueryResponse::PerBlock(self.respond_batch_per_block(
+                addresses,
+                tip,
+                &position_sets,
+                &mut stats,
+            )?)
+        } else {
+            BatchQueryResponse::Segmented(self.respond_batch_segmented(
+                addresses,
+                tip,
+                &position_sets,
+                &mut stats,
+            )?)
+        };
+        Ok((response, stats))
+    }
+
+    /// Per-block schemes: each block's filter once, then one fragment
+    /// per address.
+    fn respond_batch_per_block(
+        &self,
+        addresses: &[Address],
+        tip: u64,
+        position_sets: &[Vec<u64>],
+        stats: &mut ProverStats,
+    ) -> Result<BatchPerBlockResponse, ProveError> {
+        let mut entries = Vec::with_capacity(tip as usize);
+        for height in 1..=tip {
+            let filter = self.chain.leaf_filter(height)?;
+            let mut fragments = Vec::with_capacity(addresses.len());
+            for (address, positions) in addresses.iter().zip(position_sets) {
+                let fragment = if filter.check_positions(positions).is_clean() {
+                    BlockFragment::Empty
+                } else {
+                    self.resolve_block(height, address, stats)?
+                };
+                stats.fragments.record(&fragment);
+                fragments.push(fragment);
+            }
+            entries.push(BatchBlockEntry { filter, fragments });
+        }
+        Ok(BatchPerBlockResponse { entries })
+    }
+
+    /// BMT schemes: one shared multi-address proof per (sub-)segment,
+    /// then per-address fragment sections for its matched leaves.
+    fn respond_batch_segmented(
+        &self,
+        addresses: &[Address],
+        tip: u64,
+        position_sets: &[Vec<u64>],
+        stats: &mut ProverStats,
+    ) -> Result<BatchSegmentedResponse, ProveError> {
+        let segs = segments(tip, self.config.segment_len());
+        let proofs = self.batch_segment_proofs(&segs, position_sets)?;
+
+        let mut bundles = Vec::with_capacity(segs.len());
+        for (seg, proof) in segs.iter().zip(proofs) {
+            stats.batch_bmt.merge(&proof.stats());
+            let mut sections = Vec::with_capacity(addresses.len());
+            for (j, address) in addresses.iter().enumerate() {
+                let mut section = Vec::new();
+                for height in batch_failed_leaves(proof.root(), seg.lo, seg.hi, position_sets, j) {
+                    let fragment = self.resolve_block(height, address, stats)?;
+                    stats.fragments.record(&fragment);
+                    section.push((height, fragment));
+                }
+                sections.push(section);
+            }
+            bundles.push(BatchSegmentBundle { proof, sections });
+        }
+        Ok(BatchSegmentedResponse { segments: bundles })
+    }
+
+    /// Generates the shared proof for every segment, sequentially.
+    #[cfg(not(feature = "parallel"))]
+    fn batch_segment_proofs(
+        &self,
+        segs: &[Segment],
+        position_sets: &[Vec<u64>],
+    ) -> Result<Vec<BmtBatchProof>, ProveError> {
+        segs.iter()
+            .map(|seg| {
+                let source = self.chain.segment_source(seg.lo, seg.hi)?;
+                Ok(bmt::prove_multi(&source, position_sets)?)
+            })
+            .collect()
+    }
+
+    /// Generates the shared proof for every segment on scoped worker
+    /// threads (one per segment; segments are few and coarse-grained).
+    ///
+    /// The chain's span-filter cache is lock-guarded, so concurrent
+    /// descents share memoised filters instead of recomputing them.
+    #[cfg(feature = "parallel")]
+    fn batch_segment_proofs(
+        &self,
+        segs: &[Segment],
+        position_sets: &[Vec<u64>],
+    ) -> Result<Vec<BmtBatchProof>, ProveError> {
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = segs
+                .iter()
+                .map(|seg| {
+                    scope.spawn(move || -> Result<BmtBatchProof, ProveError> {
+                        let source = self.chain.segment_source(seg.lo, seg.hi)?;
+                        Ok(bmt::prove_multi(&source, position_sets)?)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("segment proof worker panicked"))
+                .collect()
+        })
+    }
+
     /// Consults a block body to resolve a failed filter check into the
     /// scheme's fragment (the table in [`BlockFragment`]'s docs).
     fn resolve_block(
@@ -206,7 +354,7 @@ impl<'a> Prover<'a> {
                 BlockFragment::MerkleBranches(self.branches_for(block, &indices))
             }
             (Scheme::LvqWithoutBmt | Scheme::Lvq, true) => {
-                let smt = block.address_smt()?;
+                let smt = self.chain.address_smt(height)?;
                 BlockFragment::Existence(ExistenceProof {
                     smt: smt.prove(address.as_bytes()),
                     transactions: self.branches_for(block, &indices),
@@ -218,7 +366,7 @@ impl<'a> Prover<'a> {
                 BlockFragment::IntegralBlock(Box::new(block.clone()))
             }
             (Scheme::LvqWithoutBmt | Scheme::Lvq, false) => {
-                let smt = block.address_smt()?;
+                let smt = self.chain.address_smt(height)?;
                 BlockFragment::AbsenceSmt(smt.prove(address.as_bytes()))
             }
         })
@@ -234,6 +382,36 @@ impl<'a> Prover<'a> {
             })
             .collect()
     }
+}
+
+/// Collects the heights of leaf endpoints whose filters match address
+/// `j`'s positions, in ascending order — the per-address failed leaves
+/// of a shared batch proof.
+fn batch_failed_leaves(
+    node: &BmtBatchNode,
+    lo: u64,
+    hi: u64,
+    position_sets: &[Vec<u64>],
+    j: usize,
+) -> Vec<u64> {
+    fn walk(node: &BmtBatchNode, lo: u64, hi: u64, positions: &[u64], out: &mut Vec<u64>) {
+        match node {
+            BmtBatchNode::Leaf { filter } => {
+                if !filter.check_positions(positions).is_clean() {
+                    out.push(lo);
+                }
+            }
+            BmtBatchNode::CleanNode { .. } => {}
+            BmtBatchNode::Branch { left, right } => {
+                let mid = lo + (hi - lo) / 2;
+                walk(left, lo, mid, positions, out);
+                walk(right, mid + 1, hi, positions, out);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(node, lo, hi, &position_sets[j], &mut out);
+    out
 }
 
 /// Collects the failed-leaf heights of a proof in ascending order by

@@ -306,11 +306,8 @@ mod tests {
     }
 
     fn per_block_response() -> QueryResponse {
-        let block = Block::new_unchained(vec![Transaction::coinbase(
-            Address::new("1Miner"),
-            50,
-            0,
-        )]);
+        let block =
+            Block::new_unchained(vec![Transaction::coinbase(Address::new("1Miner"), 50, 0)]);
         QueryResponse::PerBlock(PerBlockResponse {
             entries: vec![
                 BlockEntry {
@@ -360,7 +357,10 @@ mod tests {
         let response = per_block_response();
         let b = response.size_breakdown();
         // Two transmitted filters.
-        assert_eq!(b.bloom_filters, 2 * BloomFilter::new(params()).encoded_len() as u64);
+        assert_eq!(
+            b.bloom_filters,
+            2 * BloomFilter::new(params()).encoded_len() as u64
+        );
         assert!(b.integral_blocks > 0);
         assert_eq!(b.bmt_overhead, 0);
     }

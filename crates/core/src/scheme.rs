@@ -99,11 +99,7 @@ impl SchemeConfig {
     ///
     /// Returns [`ChainError::InvalidSegmentLen`] if `segment_len` is not
     /// a power of two.
-    pub fn new(
-        scheme: Scheme,
-        bloom: BloomParams,
-        segment_len: u64,
-    ) -> Result<Self, ChainError> {
+    pub fn new(scheme: Scheme, bloom: BloomParams, segment_len: u64) -> Result<Self, ChainError> {
         // Reuse the chain-params validation.
         ChainParams::new(bloom, segment_len, scheme.policy())?;
         Ok(SchemeConfig {
@@ -155,8 +151,7 @@ mod tests {
     #[test]
     fn roundtrip_through_chain_params() {
         for scheme in Scheme::ALL {
-            let config =
-                SchemeConfig::new(scheme, BloomParams::new(100, 2).unwrap(), 16).unwrap();
+            let config = SchemeConfig::new(scheme, BloomParams::new(100, 2).unwrap(), 16).unwrap();
             let back = SchemeConfig::from_chain_params(config.chain_params()).unwrap();
             assert_eq!(back, config);
         }

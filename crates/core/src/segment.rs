@@ -147,10 +147,7 @@ mod tests {
         let cases: [(u64, Vec<(u64, u64)>); 3] = [
             (464, vec![(257, 384), (385, 448), (449, 464)]),
             (465, vec![(257, 384), (385, 448), (449, 464), (465, 465)]),
-            (
-                466,
-                vec![(257, 384), (385, 448), (449, 464), (465, 466)],
-            ),
+            (466, vec![(257, 384), (385, 448), (449, 464), (465, 466)]),
         ];
         for (tip, subs) in cases {
             let segs = segments(tip, 256);
@@ -165,10 +162,7 @@ mod tests {
         let segs = segments(512, 256);
         assert_eq!(
             segs,
-            vec![
-                Segment { lo: 1, hi: 256 },
-                Segment { lo: 257, hi: 512 }
-            ]
+            vec![Segment { lo: 1, hi: 256 }, Segment { lo: 257, hi: 512 }]
         );
     }
 

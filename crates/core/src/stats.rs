@@ -1,6 +1,6 @@
 //! Prover-side statistics (paper Figs. 14–16).
 
-use lvq_merkle::BmtProofStats;
+use lvq_merkle::{BmtBatchProofStats, BmtProofStats};
 
 use crate::fragment::BlockFragment;
 
@@ -44,6 +44,9 @@ pub struct ProverStats {
     /// schemes). `bmt.endpoint_count()` is the quantity of paper
     /// Figs. 15/16.
     pub bmt: BmtProofStats,
+    /// Shared multi-address BMT proof statistics (zero outside batched
+    /// queries).
+    pub batch_bmt: BmtBatchProofStats,
     /// Fragment census.
     pub fragments: FragmentCounts,
     /// Blocks whose bodies the prover had to consult.

@@ -5,6 +5,7 @@ use std::collections::BTreeSet;
 use lvq_bloom::BloomFilter;
 use lvq_chain::{balance_of, Address, BalanceBreakdown, BlockHeader, Transaction};
 
+use crate::batch::BatchQueryResponse;
 use crate::error::QueryError;
 use crate::fragment::BlockFragment;
 use crate::result::QueryResponse;
@@ -168,6 +169,164 @@ impl LightClient {
         self.verify_over(address, response, lo, hi)
     }
 
+    /// Verifies a batched multi-address response, returning one
+    /// [`VerifiedHistory`] per address in batch order.
+    ///
+    /// Each per-address verdict is exactly as strong as a dedicated
+    /// [`LightClient::verify`]: the shared BMT proof is checked against
+    /// every address's bit positions individually (a node may only be
+    /// treated as clean for an address whose positions it is actually
+    /// clean for), and each address's fragment section must account for
+    /// exactly its matched leaves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError::EmptyBatch`] for an empty address list,
+    /// [`QueryError::SectionCountMismatch`] when the response does not
+    /// carry one section per address, and any other [`QueryError`]
+    /// exactly as [`LightClient::verify`] does.
+    pub fn verify_batch(
+        &self,
+        addresses: &[Address],
+        response: &BatchQueryResponse,
+    ) -> Result<Vec<VerifiedHistory>, QueryError> {
+        if addresses.is_empty() {
+            return Err(QueryError::EmptyBatch);
+        }
+        let position_sets: Vec<Vec<u64>> = addresses
+            .iter()
+            .map(|a| BloomFilter::bit_positions(self.config.bloom(), a.as_bytes()))
+            .collect();
+        let n = addresses.len();
+        let tip = self.tip_height();
+        let mut collected: Vec<Vec<(u64, Transaction)>> = vec![Vec::new(); n];
+        let mut correctness_only = vec![false; n];
+
+        match (self.config.scheme().is_per_block(), response) {
+            (true, BatchQueryResponse::PerBlock(r)) => {
+                if r.entries.len() as u64 != tip {
+                    return Err(QueryError::WrongEntryCount {
+                        got: r.entries.len() as u64,
+                        expected: tip,
+                    });
+                }
+                for (i, entry) in r.entries.iter().enumerate() {
+                    let height = i as u64 + 1;
+                    if entry.fragments.len() != n {
+                        return Err(QueryError::SectionCountMismatch {
+                            got: entry.fragments.len() as u64,
+                            expected: n as u64,
+                        });
+                    }
+                    let header = &self.headers[i];
+                    let committed =
+                        header
+                            .commitments
+                            .bf_hash
+                            .ok_or(QueryError::MissingCommitment {
+                                height,
+                                what: "bloom filter hash",
+                            })?;
+                    if entry.filter.params() != self.config.bloom() {
+                        return Err(QueryError::FilterParamsMismatch { height });
+                    }
+                    if entry.filter.content_hash() != committed {
+                        return Err(QueryError::FilterHashMismatch { height });
+                    }
+                    for (j, (address, positions)) in
+                        addresses.iter().zip(&position_sets).enumerate()
+                    {
+                        let fragment = &entry.fragments[j];
+                        if entry.filter.check_positions(positions).is_clean() {
+                            if *fragment != BlockFragment::Empty {
+                                return Err(QueryError::UnexpectedFragment { height });
+                            }
+                        } else {
+                            let txs = self.verify_fragment(height, address, fragment)?;
+                            if matches!(fragment, BlockFragment::MerkleBranches(_)) {
+                                correctness_only[j] = true;
+                            }
+                            collected[j].extend(txs.into_iter().map(|t| (height, t)));
+                        }
+                    }
+                }
+            }
+            (false, BatchQueryResponse::Segmented(r)) => {
+                let segs = segments(tip, self.config.segment_len());
+                if r.segments.len() != segs.len() {
+                    return Err(QueryError::SegmentMismatch);
+                }
+                for (seg, bundle) in segs.iter().zip(&r.segments) {
+                    if bundle.sections.len() != n {
+                        return Err(QueryError::SectionCountMismatch {
+                            got: bundle.sections.len() as u64,
+                            expected: n as u64,
+                        });
+                    }
+                    let header = &self.headers[(seg.hi - 1) as usize];
+                    let root =
+                        header
+                            .commitments
+                            .bmt_root
+                            .ok_or(QueryError::MissingCommitment {
+                                height: seg.hi,
+                                what: "bmt root",
+                            })?;
+                    let coverages = bundle
+                        .proof
+                        .verify(
+                            seg.lo,
+                            seg.len(),
+                            &root,
+                            self.config.bloom(),
+                            &position_sets,
+                        )
+                        .map_err(|source| QueryError::Bmt {
+                            segment_hi: seg.hi,
+                            source,
+                        })?;
+                    for (j, (address, coverage)) in addresses.iter().zip(&coverages).enumerate() {
+                        // Per address: the supplied section must account
+                        // for exactly the leaves the shared proof shows
+                        // matching this address's positions.
+                        let section = &bundle.sections[j];
+                        let supplied: Vec<u64> = section.iter().map(|(h, _)| *h).collect();
+                        if supplied != coverage.failed_leaves {
+                            return Err(QueryError::FragmentSetMismatch);
+                        }
+                        for (height, fragment) in section {
+                            let txs = self.verify_fragment(*height, address, fragment)?;
+                            if matches!(fragment, BlockFragment::MerkleBranches(_)) {
+                                correctness_only[j] = true;
+                            }
+                            collected[j].extend(txs.into_iter().map(|t| (*height, t)));
+                        }
+                    }
+                }
+            }
+            _ => return Err(QueryError::WrongResponseKind),
+        }
+
+        Ok(collected
+            .into_iter()
+            .zip(addresses)
+            .zip(correctness_only)
+            .map(|((mut txs, address), partial)| {
+                txs.sort_by_key(|(h, _)| *h);
+                let balance = balance_of(address, txs.iter().map(|(_, t)| t));
+                VerifiedHistory {
+                    transactions: txs,
+                    balance,
+                    completeness: if partial {
+                        Completeness::CorrectnessOnly
+                    } else {
+                        Completeness::Complete
+                    },
+                }
+            })
+            .collect())
+    }
+
     /// Shared implementation; `lo = 1, hi = 0` encodes the empty chain.
     fn verify_over(
         &self,
@@ -192,12 +351,14 @@ impl LightClient {
                 for (i, entry) in r.entries.iter().enumerate() {
                     let height = lo + i as u64;
                     let header = &self.headers[(height - 1) as usize];
-                    let committed = header.commitments.bf_hash.ok_or(
-                        QueryError::MissingCommitment {
-                            height,
-                            what: "bloom filter hash",
-                        },
-                    )?;
+                    let committed =
+                        header
+                            .commitments
+                            .bf_hash
+                            .ok_or(QueryError::MissingCommitment {
+                                height,
+                                what: "bloom filter hash",
+                            })?;
                     if entry.filter.params() != self.config.bloom() {
                         return Err(QueryError::FilterParamsMismatch { height });
                     }
@@ -470,7 +631,10 @@ mod tests {
             lvq_client
                 .verify(&Address::new("1Ghost"), &response)
                 .unwrap_err(),
-            QueryError::MissingCommitment { what: "bmt root", .. }
+            QueryError::MissingCommitment {
+                what: "bmt root",
+                ..
+            }
         ));
     }
 

@@ -325,7 +325,9 @@ mod tests {
         let mut builder = BmtBuilder::new(params(), m, 1).unwrap();
         let filters: Vec<BloomFilter> = (1..=16).map(filter_for).collect();
         for h in 1..=16u64 {
-            let commit = builder.push_leaf(filters[(h - 1) as usize].clone()).unwrap();
+            let commit = builder
+                .push_leaf(filters[(h - 1) as usize].clone())
+                .unwrap();
             assert_eq!(commit.leaf, h);
             let pos = (h - 1) % m + 1;
             let count = merge_count(pos);
@@ -420,8 +422,7 @@ mod tests {
             }
         }
 
-        let mut resumed =
-            BmtBuilder::resume(params(), m, 1, 14, stack_snapshot.clone()).unwrap();
+        let mut resumed = BmtBuilder::resume(params(), m, 1, 14, stack_snapshot.clone()).unwrap();
         let mut straight2 = BmtBuilder::new(params(), m, 1).unwrap();
         for f in &filters[..13] {
             straight2.push_leaf(f.clone()).unwrap();

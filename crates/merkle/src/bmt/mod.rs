@@ -49,11 +49,13 @@
 //! # }
 //! ```
 
+mod batch;
 mod builder;
 mod proof;
 mod source;
 mod tree;
 
+pub use batch::{prove_multi, BmtBatchNode, BmtBatchProof, BmtBatchProofStats};
 pub use builder::{merge_count, BmtBuilder, LeafCommit, SpanHash};
 pub use proof::{prove, BmtCoverage, BmtProof, BmtProofNode, BmtProofStats};
 pub use source::BmtSource;

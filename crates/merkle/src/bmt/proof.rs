@@ -218,10 +218,7 @@ impl BmtProof {
                     return Err(BmtError::NotClean);
                 }
                 coverage.clean_ranges.push((lo, hi));
-                Ok((
-                    internal_hash(left_hash, right_hash, filter),
-                    filter.clone(),
-                ))
+                Ok((internal_hash(left_hash, right_hash, filter), filter.clone()))
             }
             BmtProofNode::FailedLeaf { filter } => {
                 if lo != hi {
@@ -240,10 +237,8 @@ impl BmtProof {
                     });
                 }
                 let mid = lo + (hi - lo) / 2;
-                let (lh, lf) =
-                    Self::verify_node(left, lo, mid, params, positions, coverage)?;
-                let (rh, rf) =
-                    Self::verify_node(right, mid + 1, hi, params, positions, coverage)?;
+                let (lh, lf) = Self::verify_node(left, lo, mid, params, positions, coverage)?;
+                let (rh, rf) = Self::verify_node(right, mid + 1, hi, params, positions, coverage)?;
                 // Paper Eq. 3: the parent filter is the OR of its children.
                 let filter = BloomFilter::union(&lf, &rf).map_err(|_| BmtError::ParamsMismatch)?;
                 Ok((internal_hash(&lh, &rh, &filter), filter))
@@ -459,12 +454,7 @@ mod tests {
 
     /// Builds the paper's Fig. 3 tree: four leaf sets A–D.
     fn fig3_tree() -> Bmt {
-        let sets: [&[&[u8]]; 4] = [
-            &[b"a1", b"a2"],
-            &[b"b1"],
-            &[b"c1", b"c2", b"c3"],
-            &[b"d1"],
-        ];
+        let sets: [&[&[u8]]; 4] = [&[b"a1", b"a2"], &[b"b1"], &[b"c1", b"c2", b"c3"], &[b"d1"]];
         let leaves = sets
             .iter()
             .map(|set| {

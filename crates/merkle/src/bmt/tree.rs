@@ -159,8 +159,7 @@ mod tests {
         );
         let other = BloomParams::new(17, 2).unwrap();
         assert_eq!(
-            Bmt::build(1, vec![BloomFilter::new(params()), BloomFilter::new(other)])
-                .unwrap_err(),
+            Bmt::build(1, vec![BloomFilter::new(params()), BloomFilter::new(other)]).unwrap_err(),
             BmtError::ParamsMismatch
         );
     }

@@ -36,6 +36,9 @@ pub mod bmt;
 pub mod mt;
 pub mod smt;
 
-pub use bmt::{Bmt, BmtBuilder, BmtCoverage, BmtError, BmtProof, BmtProofStats, BmtSource};
+pub use bmt::{
+    Bmt, BmtBatchProof, BmtBatchProofStats, BmtBuilder, BmtCoverage, BmtError, BmtProof,
+    BmtProofStats, BmtSource,
+};
 pub use mt::{MerkleBranch, MerkleTree};
 pub use smt::{SmtBranch, SmtError, SmtProof, SmtProofKind, SortedMerkleTree};

@@ -187,7 +187,9 @@ mod tests {
     use proptest::prelude::*;
 
     fn leaves(n: usize) -> Vec<Hash256> {
-        (0..n).map(|i| Hash256::hash(&(i as u64).to_le_bytes())).collect()
+        (0..n)
+            .map(|i| Hash256::hash(&(i as u64).to_le_bytes()))
+            .collect()
     }
 
     #[test]

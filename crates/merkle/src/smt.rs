@@ -127,8 +127,7 @@ impl SortedMerkleTree {
 
         let mut levels = Vec::new();
         if !entries.is_empty() {
-            let leaf_level: Vec<Hash256> =
-                entries.iter().map(|(k, v)| leaf_hash(k, *v)).collect();
+            let leaf_level: Vec<Hash256> = entries.iter().map(|(k, v)| leaf_hash(k, *v)).collect();
             levels.push(leaf_level);
             while levels.last().expect("non-empty").len() > 1 {
                 let prev = levels.last().expect("non-empty");
@@ -701,10 +700,7 @@ mod tests {
             assert_eq!(decode_exact::<SmtProof>(&bytes).unwrap(), proof);
         }
         let empty = SortedMerkleTree::empty().prove(b"x");
-        assert_eq!(
-            decode_exact::<SmtProof>(&empty.encode()).unwrap(),
-            empty
-        );
+        assert_eq!(decode_exact::<SmtProof>(&empty.encode()).unwrap(), empty);
     }
 
     #[test]

@@ -1,10 +1,32 @@
 //! The full node.
 
-use lvq_chain::Chain;
+use std::cell::Cell;
+
+use lvq_chain::{Chain, ChainCacheStats};
 use lvq_codec::{decode_exact, Encodable};
 use lvq_core::{Prover, ProverStats, SchemeConfig};
 
 use crate::message::{Message, NodeError};
+
+/// A point-in-time snapshot of a full node's query engine.
+///
+/// Combines the node's own request counters with the underlying chain's
+/// memo-cache statistics ([`Chain::cache_stats`]), so experiment
+/// harnesses can relate query throughput to cache behaviour.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryEngineStats {
+    /// Single-address queries answered.
+    pub queries: u64,
+    /// Batched queries answered.
+    pub batch_queries: u64,
+    /// Total addresses across all batched queries.
+    pub batch_addresses: u64,
+    /// Prover statistics of the most recent successfully answered
+    /// query (single or batched).
+    pub last: Option<ProverStats>,
+    /// Span-filter and per-block SMT cache statistics.
+    pub cache: ChainCacheStats,
+}
 
 /// A full node: the complete chain plus the query-answering engine.
 ///
@@ -15,7 +37,10 @@ pub struct FullNode {
     chain: Chain,
     config: SchemeConfig,
     /// Statistics of the most recent query, for experiment harnesses.
-    last_stats: std::cell::Cell<Option<ProverStats>>,
+    last_stats: Cell<Option<ProverStats>>,
+    queries: Cell<u64>,
+    batch_queries: Cell<u64>,
+    batch_addresses: Cell<u64>,
 }
 
 impl FullNode {
@@ -26,12 +51,15 @@ impl FullNode {
     /// Returns [`NodeError::UnknownScheme`] if the chain's commitments
     /// match none of the four schemes.
     pub fn new(chain: Chain) -> Result<Self, NodeError> {
-        let config = SchemeConfig::from_chain_params(chain.params())
-            .ok_or(NodeError::UnknownScheme)?;
+        let config =
+            SchemeConfig::from_chain_params(chain.params()).ok_or(NodeError::UnknownScheme)?;
         Ok(FullNode {
             chain,
             config,
-            last_stats: std::cell::Cell::new(None),
+            last_stats: Cell::new(None),
+            queries: Cell::new(0),
+            batch_queries: Cell::new(0),
+            batch_addresses: Cell::new(0),
         })
     }
 
@@ -49,6 +77,18 @@ impl FullNode {
     /// Prover statistics of the most recent successfully answered query.
     pub fn last_stats(&self) -> Option<ProverStats> {
         self.last_stats.get()
+    }
+
+    /// Snapshot of the query engine: request counters plus chain-cache
+    /// hit/miss statistics.
+    pub fn engine_stats(&self) -> QueryEngineStats {
+        QueryEngineStats {
+            queries: self.queries.get(),
+            batch_queries: self.batch_queries.get(),
+            batch_addresses: self.batch_addresses.get(),
+            last: self.last_stats.get(),
+            cache: self.chain.cache_stats(),
+        }
     }
 
     /// Handles one encoded request, returning the encoded response.
@@ -69,9 +109,19 @@ impl FullNode {
                     Some((lo, hi)) => prover.respond_range(&address, lo, hi)?,
                 };
                 self.last_stats.set(Some(stats));
+                self.queries.set(self.queries.get() + 1);
                 Message::QueryResponse(Box::new(response))
             }
-            Message::Headers(_) | Message::QueryResponse(_) => {
+            Message::BatchQueryRequest { addresses } => {
+                let prover = Prover::new(&self.chain, self.config)?;
+                let (response, stats) = prover.respond_batch(&addresses)?;
+                self.last_stats.set(Some(stats));
+                self.batch_queries.set(self.batch_queries.get() + 1);
+                self.batch_addresses
+                    .set(self.batch_addresses.get() + addresses.len() as u64);
+                Message::BatchQueryResponse(Box::new(response))
+            }
+            Message::Headers(_) | Message::QueryResponse(_) | Message::BatchQueryResponse(_) => {
                 return Err(NodeError::UnexpectedMessage)
             }
         };

@@ -29,7 +29,7 @@
 //!     builder.push_block(vec![Transaction::coinbase(Address::new("1Miner"), 50, h)])?;
 //! }
 //! let full = FullNode::new(builder.finish())?;
-//! let mut light = LightNode::sync_from(&full)?;
+//! let mut light = LightNode::sync_from(&full, config)?;
 //!
 //! let outcome = light.query(&full, &Address::new("1Miner"))?;
 //! assert_eq!(outcome.history.transactions.len(), 4);
@@ -49,8 +49,8 @@ mod pipe;
 mod quorum;
 
 pub use bandwidth::BandwidthModel;
-pub use full::FullNode;
-pub use light::{LightNode, QueryOutcome};
+pub use full::{FullNode, QueryEngineStats};
+pub use light::{BatchQueryOutcome, LightNode, QueryOutcome};
 pub use message::{Message, NodeError};
 pub use pipe::{MeteredPipe, Traffic};
 pub use quorum::{query_quorum, QueryPeer, QuorumOutcome};

@@ -8,6 +8,15 @@ use crate::full::FullNode;
 use crate::message::{Message, NodeError};
 use crate::pipe::{MeteredPipe, Traffic};
 
+/// What one verified batched query produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchQueryOutcome {
+    /// One verified history per queried address, in request order.
+    pub histories: Vec<VerifiedHistory>,
+    /// Bytes that crossed the wire for the whole batch.
+    pub traffic: Traffic,
+}
+
 /// What one verified query produced.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QueryOutcome {
@@ -41,18 +50,42 @@ impl LightNode {
     /// Bootstraps a light node by downloading headers from `full` over
     /// the metered wire (initial block download, headers only).
     ///
+    /// `config` is the light node's **out-of-band trust anchor** — the
+    /// scheme, Bloom parameters, and segment length it obtained when
+    /// the network was set up, never from the peer it is syncing from.
+    /// (Trusting the peer's advertised configuration would let a
+    /// malicious full node substitute a weaker scheme — e.g. one whose
+    /// headers carry no SMT commitment — and then "prove" histories
+    /// that omit transactions.) The downloaded headers are checked to
+    /// carry exactly the commitments `config`'s scheme requires.
+    ///
     /// # Errors
     ///
-    /// Returns a [`NodeError`] if the exchange fails or the reply is not
-    /// a header list.
-    pub fn sync_from(full: &FullNode) -> Result<Self, NodeError> {
+    /// Returns a [`NodeError`] if the exchange fails or the reply is
+    /// not a header list, and [`NodeError::ConfigMismatch`] if any
+    /// header's commitments do not match `config`'s policy.
+    pub fn sync_from(full: &FullNode, config: SchemeConfig) -> Result<Self, NodeError> {
         let mut pipe = MeteredPipe::new();
         let request = Message::GetHeaders.encode();
         let (reply, _) = pipe.exchange(&request, |bytes| full.handle(bytes))?;
         let Message::Headers(headers) = decode_exact::<Message>(&reply)? else {
             return Err(NodeError::UnexpectedMessage);
         };
-        let client = LightClient::new(full.config(), headers);
+        // The served headers must carry exactly the commitments the
+        // trusted configuration's scheme requires.
+        let policy = config.scheme().policy();
+        for (i, header) in headers.iter().enumerate() {
+            let c = &header.commitments;
+            if c.bf_hash.is_some() != policy.bf_hash
+                || c.bmt_root.is_some() != policy.bmt
+                || c.smt_commitment.is_some() != policy.smt
+            {
+                return Err(NodeError::ConfigMismatch {
+                    height: i as u64 + 1,
+                });
+            }
+        }
+        let client = LightClient::new(config, headers);
         // SPV sanity: the downloaded headers must form a hash chain.
         client.validate_header_chain()?;
         Ok(LightNode { client, pipe })
@@ -96,6 +129,34 @@ impl LightNode {
         hi: u64,
     ) -> Result<QueryOutcome, NodeError> {
         self.query_inner(full, address, Some((lo, hi)))
+    }
+
+    /// Queries `full` for the histories of several addresses in one
+    /// round trip and verifies every per-address section.
+    ///
+    /// Under the BMT schemes, the response shares one descent per
+    /// segment across all addresses, so the batch moves fewer bytes
+    /// than the equivalent sequence of [`LightNode::query`] calls.
+    ///
+    /// # Errors
+    ///
+    /// As [`LightNode::query`]; an empty `addresses` list is rejected
+    /// by the prover ([`NodeError::Prove`]).
+    pub fn query_batch(
+        &mut self,
+        full: &FullNode,
+        addresses: &[Address],
+    ) -> Result<BatchQueryOutcome, NodeError> {
+        let request = Message::BatchQueryRequest {
+            addresses: addresses.to_vec(),
+        }
+        .encode();
+        let (reply, traffic) = self.pipe.exchange(&request, |bytes| full.handle(bytes))?;
+        let Message::BatchQueryResponse(response) = decode_exact::<Message>(&reply)? else {
+            return Err(NodeError::UnexpectedMessage);
+        };
+        let histories = self.client.verify_batch(addresses, &response)?;
+        Ok(BatchQueryOutcome { histories, traffic })
     }
 
     fn query_inner(
@@ -148,8 +209,12 @@ mod tests {
         }
     }
 
+    fn config_for(scheme: Scheme) -> SchemeConfig {
+        SchemeConfig::new(scheme, BloomParams::new(64, 2).unwrap(), 8).unwrap()
+    }
+
     fn full_node(scheme: Scheme, blocks: u64) -> FullNode {
-        let config = SchemeConfig::new(scheme, BloomParams::new(64, 2).unwrap(), 8).unwrap();
+        let config = config_for(scheme);
         let mut builder = ChainBuilder::new(config.chain_params()).unwrap();
         for h in 1..=blocks {
             let mut txs = vec![Transaction::coinbase(Address::new("1Miner"), 50, h as u32)];
@@ -165,7 +230,7 @@ mod tests {
     fn end_to_end_all_schemes() {
         for scheme in Scheme::ALL {
             let full = full_node(scheme, 10);
-            let mut light = LightNode::sync_from(&full).unwrap();
+            let mut light = LightNode::sync_from(&full, config_for(scheme)).unwrap();
             let outcome = light.query(&full, &Address::new("1Shop")).unwrap();
             assert_eq!(
                 outcome.history.transactions.len(),
@@ -187,7 +252,7 @@ mod tests {
     fn absent_address_yields_empty_complete_history() {
         for scheme in Scheme::ALL {
             let full = full_node(scheme, 10);
-            let mut light = LightNode::sync_from(&full).unwrap();
+            let mut light = LightNode::sync_from(&full, config_for(scheme)).unwrap();
             let outcome = light.query(&full, &Address::new("1Ghost")).unwrap();
             assert!(outcome.history.transactions.is_empty(), "scheme {scheme}");
             assert_eq!(outcome.history.balance.net(), 0);
@@ -197,7 +262,7 @@ mod tests {
     #[test]
     fn traffic_accumulates_across_queries() {
         let full = full_node(Scheme::Lvq, 8);
-        let mut light = LightNode::sync_from(&full).unwrap();
+        let mut light = LightNode::sync_from(&full, config_for(Scheme::Lvq)).unwrap();
         let t0 = light.cumulative_traffic();
         light.query(&full, &Address::new("1Shop")).unwrap();
         light.query(&full, &Address::new("1Miner")).unwrap();
@@ -208,16 +273,29 @@ mod tests {
     #[test]
     fn light_node_stores_headers_only() {
         let full = full_node(Scheme::Lvq, 8);
-        let light = LightNode::sync_from(&full).unwrap();
-        // 80 base bytes + 3 presence bytes + 2×32 commitment bytes.
-        assert_eq!(light.client().storage_bytes(), 8 * (83 + 64));
+        let light = LightNode::sync_from(&full, config_for(Scheme::Lvq)).unwrap();
+        // The light node stores exactly the header bytes the chain's
+        // own headers occupy — derived, not hard-coded, so changes to
+        // the header layout don't silently break this test.
+        let expected: u64 = full
+            .chain()
+            .headers()
+            .iter()
+            .map(|h| h.storage_len() as u64)
+            .sum();
+        assert_eq!(light.client().storage_bytes(), expected);
+        // And that is much less than storing the blocks themselves.
+        let chain_bytes: u64 = (1..=8)
+            .map(|h| full.chain().block(h).unwrap().encoded_len() as u64)
+            .sum();
+        assert!(light.client().storage_bytes() < chain_bytes);
     }
 
     #[test]
     fn range_queries_verify_per_scheme() {
         for scheme in Scheme::ALL {
             let full = full_node(scheme, 10);
-            let mut light = LightNode::sync_from(&full).unwrap();
+            let mut light = LightNode::sync_from(&full, config_for(scheme)).unwrap();
             // "1Shop" receives in blocks 2,4,6,8,10; range 3..=7 covers 4,6.
             let outcome = light
                 .query_range(&full, &Address::new("1Shop"), 3, 7)
@@ -238,7 +316,7 @@ mod tests {
     #[test]
     fn invalid_range_rejected() {
         let full = full_node(Scheme::Lvq, 4);
-        let mut light = LightNode::sync_from(&full).unwrap();
+        let mut light = LightNode::sync_from(&full, config_for(Scheme::Lvq)).unwrap();
         for (lo, hi) in [(0u64, 2u64), (3, 2), (1, 9)] {
             assert!(
                 light
@@ -247,6 +325,90 @@ mod tests {
                 "range {lo}..={hi}"
             );
         }
+    }
+
+    #[test]
+    fn batch_query_matches_singles_across_schemes() {
+        for scheme in Scheme::ALL {
+            let full = full_node(scheme, 10);
+            let mut light = LightNode::sync_from(&full, config_for(scheme)).unwrap();
+            let addresses = [
+                Address::new("1Shop"),
+                Address::new("1Miner"),
+                Address::new("1Ghost"),
+            ];
+            let batch = light.query_batch(&full, &addresses).unwrap();
+            assert_eq!(batch.histories.len(), addresses.len());
+            for (address, history) in addresses.iter().zip(&batch.histories) {
+                let single = light.query(&full, address).unwrap();
+                assert_eq!(
+                    history, &single.history,
+                    "scheme {scheme}, address {address}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_moves_fewer_bytes_than_singles_under_lvq() {
+        let full = full_node(Scheme::Lvq, 10);
+        let mut light = LightNode::sync_from(&full, config_for(Scheme::Lvq)).unwrap();
+        let addresses: Vec<Address> =
+            ["1Shop", "1Miner", "1Payer", "1GhostA", "1GhostB", "1GhostC"]
+                .iter()
+                .map(|s| Address::new(*s))
+                .collect();
+        let batch = light.query_batch(&full, &addresses).unwrap();
+        let singles: u64 = addresses
+            .iter()
+            .map(|a| light.query(&full, a).unwrap().traffic.response_bytes)
+            .sum();
+        assert!(
+            batch.traffic.response_bytes < singles,
+            "batch of {} must beat {} singles on the wire ({} vs {})",
+            addresses.len(),
+            addresses.len(),
+            batch.traffic.response_bytes,
+            singles
+        );
+    }
+
+    #[test]
+    fn engine_stats_track_queries_and_cache() {
+        let full = full_node(Scheme::Lvq, 10);
+        let mut light = LightNode::sync_from(&full, config_for(Scheme::Lvq)).unwrap();
+        assert_eq!(full.engine_stats().queries, 0);
+        light.query(&full, &Address::new("1Shop")).unwrap();
+        light
+            .query_batch(&full, &[Address::new("1Shop"), Address::new("1Miner")])
+            .unwrap();
+        let stats = full.engine_stats();
+        assert_eq!(stats.queries, 1);
+        assert_eq!(stats.batch_queries, 1);
+        assert_eq!(stats.batch_addresses, 2);
+        assert!(stats.last.is_some());
+        // The span-filter cache saw traffic, and repeat descents hit it.
+        assert!(stats.cache.filters.misses > 0);
+        assert!(stats.cache.filters.hits > 0);
+    }
+
+    #[test]
+    fn mismatched_config_rejected() {
+        // A full node on a weaker scheme (no SMT commitments in its
+        // headers) cannot pass itself off to an LVQ-configured light
+        // node: the out-of-band trust anchor catches it at sync time.
+        let strawman_full = full_node(Scheme::Strawman, 6);
+        assert!(matches!(
+            LightNode::sync_from(&strawman_full, config_for(Scheme::Lvq)).unwrap_err(),
+            NodeError::ConfigMismatch { height: 1 }
+        ));
+        // And in the other direction: unexpected commitments are just
+        // as much of a mismatch as missing ones.
+        let lvq_full = full_node(Scheme::Lvq, 6);
+        assert!(matches!(
+            LightNode::sync_from(&lvq_full, config_for(Scheme::Strawman)).unwrap_err(),
+            NodeError::ConfigMismatch { height: 1 }
+        ));
     }
 
     #[test]

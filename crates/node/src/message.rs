@@ -5,7 +5,7 @@ use std::fmt;
 
 use lvq_chain::{Address, BlockHeader};
 use lvq_codec::{Decodable, DecodeError, Encodable, Reader};
-use lvq_core::{ProveError, QueryError, QueryResponse};
+use lvq_core::{BatchQueryResponse, ProveError, QueryError, QueryResponse};
 
 /// The wire protocol between a light node and a full node.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,12 +25,23 @@ pub enum Message {
     },
     /// The scheme-specific proof bundle.
     QueryResponse(Box<QueryResponse>),
+    /// Ask for the verifiable histories of several addresses in one
+    /// round trip (whole-chain; always non-empty).
+    BatchQueryRequest {
+        /// The requested addresses, in response-section order.
+        addresses: Vec<Address>,
+    },
+    /// The batched proof bundle: shared BMT descents (or shared
+    /// per-block filters) plus one fragment section per address.
+    BatchQueryResponse(Box<BatchQueryResponse>),
 }
 
 const TAG_GET_HEADERS: u8 = 0;
 const TAG_HEADERS: u8 = 1;
 const TAG_QUERY_REQ: u8 = 2;
 const TAG_QUERY_RESP: u8 = 3;
+const TAG_BATCH_QUERY_REQ: u8 = 4;
+const TAG_BATCH_QUERY_RESP: u8 = 5;
 
 impl Encodable for Message {
     fn encode_into(&self, out: &mut Vec<u8>) {
@@ -49,6 +60,14 @@ impl Encodable for Message {
                 out.push(TAG_QUERY_RESP);
                 response.encode_into(out);
             }
+            Message::BatchQueryRequest { addresses } => {
+                out.push(TAG_BATCH_QUERY_REQ);
+                addresses.encode_into(out);
+            }
+            Message::BatchQueryResponse(response) => {
+                out.push(TAG_BATCH_QUERY_RESP);
+                response.encode_into(out);
+            }
         }
     }
 
@@ -56,10 +75,10 @@ impl Encodable for Message {
         1 + match self {
             Message::GetHeaders => 0,
             Message::Headers(headers) => headers.encoded_len(),
-            Message::QueryRequest { address, range } => {
-                address.encoded_len() + range.encoded_len()
-            }
+            Message::QueryRequest { address, range } => address.encoded_len() + range.encoded_len(),
             Message::QueryResponse(response) => response.encoded_len(),
+            Message::BatchQueryRequest { addresses } => addresses.encoded_len(),
+            Message::BatchQueryResponse(response) => response.encoded_len(),
         }
     }
 }
@@ -73,8 +92,12 @@ impl Decodable for Message {
                 address: Address::decode_from(reader)?,
                 range: Option::<(u64, u64)>::decode_from(reader)?,
             },
-            TAG_QUERY_RESP => {
-                Message::QueryResponse(Box::new(QueryResponse::decode_from(reader)?))
+            TAG_QUERY_RESP => Message::QueryResponse(Box::new(QueryResponse::decode_from(reader)?)),
+            TAG_BATCH_QUERY_REQ => Message::BatchQueryRequest {
+                addresses: Vec::<Address>::decode_from(reader)?,
+            },
+            TAG_BATCH_QUERY_RESP => {
+                Message::BatchQueryResponse(Box::new(BatchQueryResponse::decode_from(reader)?))
             }
             other => {
                 return Err(DecodeError::InvalidValue {
@@ -100,6 +123,13 @@ pub enum NodeError {
     Verify(QueryError),
     /// The full node's chain does not correspond to a known scheme.
     UnknownScheme,
+    /// The headers a full node served do not carry the commitments the
+    /// light node's out-of-band scheme configuration requires — the
+    /// peer is on a different scheme (or lying about it).
+    ConfigMismatch {
+        /// Height of the first non-conforming header.
+        height: u64,
+    },
 }
 
 impl fmt::Display for NodeError {
@@ -110,6 +140,10 @@ impl fmt::Display for NodeError {
             NodeError::Prove(e) => write!(f, "prover failed: {e}"),
             NodeError::Verify(e) => write!(f, "verification failed: {e}"),
             NodeError::UnknownScheme => f.write_str("chain matches no known scheme"),
+            NodeError::ConfigMismatch { height } => write!(
+                f,
+                "header {height} does not carry the commitments the configured scheme requires"
+            ),
         }
     }
 }
@@ -160,6 +194,9 @@ mod tests {
             Message::QueryRequest {
                 address: Address::new("1Probe"),
                 range: Some((3, 17)),
+            },
+            Message::BatchQueryRequest {
+                addresses: vec![Address::new("1Probe"), Address::new("1Other")],
             },
         ];
         for m in messages {

@@ -186,8 +186,7 @@ mod tests {
         let a = full_node(Scheme::Lvq);
         let b = full_node(Scheme::Lvq);
         let client = LightClient::new(a.config(), a.chain().headers());
-        let outcome =
-            query_quorum(&client, &[&a, &b], &Address::new("1Victim")).unwrap();
+        let outcome = query_quorum(&client, &[&a, &b], &Address::new("1Victim")).unwrap();
         assert_eq!(outcome.history.transactions.len(), 8);
         assert!(outcome.withholding_peers.is_empty());
         assert!(outcome.rejected_peers.is_empty());
@@ -224,8 +223,7 @@ mod tests {
         let client = LightClient::new(honest.config(), honest.chain().headers());
         let broken_fn = |_req: &[u8]| -> Result<Vec<u8>, NodeError> { Ok(vec![0xFF, 0xFF]) };
         let broken: &dyn QueryPeer = &broken_fn;
-        let outcome =
-            query_quorum(&client, &[broken, &honest], &Address::new("1Victim")).unwrap();
+        let outcome = query_quorum(&client, &[broken, &honest], &Address::new("1Victim")).unwrap();
         assert_eq!(outcome.rejected_peers, vec![0]);
         assert_eq!(outcome.history.transactions.len(), 8);
     }

@@ -23,8 +23,7 @@ use lvq_chain::{
 use crate::probes::ProbeSpec;
 use crate::traffic::TrafficModel;
 
-const BASE58_ALPHABET: &[u8; 58] =
-    b"123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz";
+const BASE58_ALPHABET: &[u8; 58] = b"123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz";
 
 /// Outputs per coinbase: early Bitcoin-era pools paid out with wide
 /// coinbases; here the fan-out also bootstraps on-chain liquidity.
@@ -144,7 +143,8 @@ impl WorkloadBuilder {
     ///
     /// Panics on infeasible counts (see [`ProbeSpec::new`]).
     pub fn probe(mut self, address: impl Into<Address>, tx_count: u64, block_count: u64) -> Self {
-        self.probes.push(ProbeSpec::new(address, tx_count, block_count));
+        self.probes
+            .push(ProbeSpec::new(address, tx_count, block_count));
         self
     }
 
@@ -189,7 +189,10 @@ impl WorkloadBuilder {
                 counts[slot] += 1;
             }
             for (height, count) in heights.iter().zip(&counts) {
-                per_block.entry(*height).or_default().push((probe_idx, *count));
+                per_block
+                    .entry(*height)
+                    .or_default()
+                    .push((probe_idx, *count));
             }
             planted.push(PlantedProbe {
                 address: spec.address.clone(),
@@ -581,9 +584,7 @@ mod tests {
             .seed(5)
             .build()
             .unwrap();
-        let total: usize = (1..=8)
-            .map(|h| w.chain.addr_counts(h).unwrap().len())
-            .sum();
+        let total: usize = (1..=8).map(|h| w.chain.addr_counts(h).unwrap().len()).sum();
         let avg = total / 8;
         assert!(
             (300..=900).contains(&avg),

@@ -69,7 +69,9 @@ pub fn table3_scaled(blocks: u64) -> Vec<ProbeSpec> {
     table3()
         .into_iter()
         .map(|spec| {
-            let block_count = spec.block_count.min(blocks.saturating_mul(spec.block_count) / 4096);
+            let block_count = spec
+                .block_count
+                .min(blocks.saturating_mul(spec.block_count) / 4096);
             let block_count = if spec.block_count > 0 {
                 block_count.max(1).min(blocks)
             } else {
@@ -96,16 +98,20 @@ mod tests {
     #[test]
     fn table3_matches_paper() {
         let t = table3();
-        let expected = [(0u64, 0u64), (1, 1), (10, 5), (60, 44), (324, 289), (929, 410)];
+        let expected = [
+            (0u64, 0u64),
+            (1, 1),
+            (10, 5),
+            (60, 44),
+            (324, 289),
+            (929, 410),
+        ];
         for (spec, (txs, blocks)) in t.iter().zip(expected) {
             assert_eq!(spec.tx_count, txs);
             assert_eq!(spec.block_count, blocks);
         }
         // The paper's address strings are preserved verbatim.
-        assert_eq!(
-            t[0].address.as_str(),
-            "1GuLyHTpL6U121Ewe5h31jP4HPC8s4mLTs"
-        );
+        assert_eq!(t[0].address.as_str(), "1GuLyHTpL6U121Ewe5h31jP4HPC8s4mLTs");
     }
 
     #[test]

@@ -77,6 +77,9 @@ mod tests {
 
     #[test]
     fn with_txs_per_block_overrides() {
-        assert_eq!(TrafficModel::tiny().with_txs_per_block(99).txs_per_block, 99);
+        assert_eq!(
+            TrafficModel::tiny().with_txs_per_block(99).txs_per_block,
+            99
+        );
     }
 }

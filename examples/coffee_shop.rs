@@ -76,7 +76,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let full = FullNode::new(builder.finish())?;
 
     // --- Honest full node -------------------------------------------
-    let mut light = LightNode::sync_from(&full)?;
+    let mut light = LightNode::sync_from(&full, config)?;
     let outcome = light.query(&full, &customer)?;
     println!(
         "honest node: balance = {} satoshi ({} transactions, {:?})",
@@ -117,7 +117,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Err(err) => {
             println!("malicious node rejected: {err}");
             assert!(matches!(err, QueryError::FragmentSetMismatch));
-            println!("=> the BMT proof pins block 9 as a failed leaf; omitting its fragment is detected");
+            println!(
+                "=> the BMT proof pins block 9 as a failed leaf; omitting its fragment is detected"
+            );
         }
     }
     Ok(())

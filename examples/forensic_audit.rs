@@ -25,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let exchange = workload.probes[0].address.clone();
 
     let full = FullNode::new(workload.chain)?;
-    let mut light = LightNode::sync_from(&full)?;
+    let mut light = LightNode::sync_from(&full, config)?;
     let outcome = light.query(&full, &exchange)?;
     let history = &outcome.history;
     assert_eq!(history.completeness, Completeness::Complete);

@@ -20,7 +20,11 @@ fn mine_blocks(
     for h in from..=to {
         let mut txs = vec![Transaction::coinbase(Address::new("1Miner"), 50, h)];
         if h % 4 == 0 {
-            txs.push(Transaction::coinbase(merchant.clone(), u64::from(h), 9_000 + h));
+            txs.push(Transaction::coinbase(
+                merchant.clone(),
+                u64::from(h),
+                9_000 + h,
+            ));
         }
         builder.push_block(txs)?;
     }
@@ -55,7 +59,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         response.total_bytes()
     );
     assert_eq!(
-        fresh.transactions.iter().map(|(h, _)| *h).collect::<Vec<_>>(),
+        fresh
+            .transactions
+            .iter()
+            .map(|(h, _)| *h)
+            .collect::<Vec<_>>(),
         vec![20, 24, 28]
     );
 

@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Stand up a full node and a header-only light node.
     let full = FullNode::new(chain)?;
-    let mut light = LightNode::sync_from(&full)?;
+    let mut light = LightNode::sync_from(&full, config)?;
     println!(
         "light node stores {} bytes of headers for {} blocks",
         light.client().storage_bytes(),

@@ -34,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .build()?;
 
         let full = FullNode::new(workload.chain)?;
-        let mut light = LightNode::sync_from(&full)?;
+        let mut light = LightNode::sync_from(&full, config)?;
         let header_bytes = light.client().storage_bytes() / blocks;
 
         let mut sizes = Vec::new();

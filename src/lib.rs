@@ -48,7 +48,7 @@
 //!
 //! // Full node answers; light node verifies against headers only.
 //! let full = FullNode::new(builder.finish())?;
-//! let mut light = LightNode::sync_from(&full)?;
+//! let mut light = LightNode::sync_from(&full, config)?;
 //! let outcome = light.query(&full, &shop)?;
 //! assert_eq!(outcome.history.balance.net(), 20);
 //! assert_eq!(outcome.history.completeness, Completeness::Complete);
@@ -85,7 +85,8 @@ pub mod prelude {
     pub use lvq_crypto::Hash256;
     pub use lvq_merkle::{Bmt, BmtProof, MerkleBranch, MerkleTree, SmtProof, SortedMerkleTree};
     pub use lvq_node::{
-        query_quorum, BandwidthModel, FullNode, LightNode, QueryOutcome, QueryPeer, QuorumOutcome,
+        query_quorum, BandwidthModel, BatchQueryOutcome, FullNode, LightNode, QueryEngineStats,
+        QueryOutcome, QueryPeer, QuorumOutcome,
     };
     pub use lvq_workload::{probes, TrafficModel, Workload, WorkloadBuilder};
 }

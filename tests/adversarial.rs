@@ -4,9 +4,7 @@
 //! verdict — including the one *documented gap*: the strawman cannot
 //! detect omitted transactions (Challenge 3).
 
-use lvq::core::{
-    BlockFragment, ExistenceProof, QueryError, QueryResponse, SegmentedResponse,
-};
+use lvq::core::{BlockFragment, ExistenceProof, QueryError, QueryResponse, SegmentedResponse};
 use lvq::merkle::bmt::BmtProofNode;
 use lvq::merkle::{BmtProof, SmtProofKind};
 use lvq::prelude::*;
@@ -14,8 +12,7 @@ use lvq::prelude::*;
 /// A workload where `Addr4`-class probes give blocks with multiple
 /// matching transactions.
 fn workload_for(scheme: Scheme) -> Workload {
-    let config =
-        SchemeConfig::new(scheme, BloomParams::new(640, 2).unwrap(), 16).unwrap();
+    let config = SchemeConfig::new(scheme, BloomParams::new(640, 2).unwrap(), 16).unwrap();
     WorkloadBuilder::new(config.chain_params())
         .blocks(32)
         .traffic(TrafficModel::tiny())
@@ -332,7 +329,9 @@ fn duplicated_transaction_rejected() {
     if existence.transactions.len() < 2 {
         // Fall back: duplicate the only transaction and bump nothing —
         // count check fires first, which is also a rejection.
-        existence.transactions.push(existence.transactions[0].clone());
+        existence
+            .transactions
+            .push(existence.transactions[0].clone());
         let err = s.client.verify(&s.address, &s.response).unwrap_err();
         assert!(matches!(
             err,
@@ -344,7 +343,10 @@ fn duplicated_transaction_rejected() {
     // count matches but the Merkle slots collide.
     existence.transactions[1] = existence.transactions[0].clone();
     let err = s.client.verify(&s.address, &s.response).unwrap_err();
-    assert!(matches!(err, QueryError::DuplicateTransaction { .. }), "{err}");
+    assert!(
+        matches!(err, QueryError::DuplicateTransaction { .. }),
+        "{err}"
+    );
 }
 
 // --- (j) cross-address response replay ----------------------------------
@@ -361,4 +363,124 @@ fn response_for_another_address_rejected() {
         err,
         QueryError::Bmt { .. } | QueryError::FragmentSetMismatch | QueryError::Smt { .. }
     ));
+}
+
+// --- (k) batch forgeries ------------------------------------------------
+
+struct BatchScenario {
+    addresses: Vec<Address>,
+    response: lvq::core::BatchQueryResponse,
+    client: LightClient,
+}
+
+fn batch_scenario() -> BatchScenario {
+    let workload = workload_for(Scheme::Lvq);
+    let addresses = vec![
+        workload.probes[0].address.clone(),
+        Address::new("1SecondVictim"), // absent: empty sections
+    ];
+    let prover = Prover::from_chain(&workload.chain).unwrap();
+    let (response, _) = prover.respond_batch(&addresses).unwrap();
+    let client = LightClient::new(prover.config(), workload.chain.headers());
+    // Sanity: the honest batch verifies.
+    client.verify_batch(&addresses, &response).unwrap();
+    BatchScenario {
+        addresses,
+        response,
+        client,
+    }
+}
+
+fn as_batch_segmented(
+    response: &mut lvq::core::BatchQueryResponse,
+) -> &mut lvq::core::BatchSegmentedResponse {
+    match response {
+        lvq::core::BatchQueryResponse::Segmented(s) => s,
+        lvq::core::BatchQueryResponse::PerBlock(_) => panic!("expected a segmented batch"),
+    }
+}
+
+#[test]
+fn batch_dropped_address_section_rejected() {
+    // Serving one fewer fragment section than there are addresses must
+    // fail before any per-address interpretation happens.
+    let mut s = batch_scenario();
+    as_batch_segmented(&mut s.response).segments[0]
+        .sections
+        .pop();
+    let err = s
+        .client
+        .verify_batch(&s.addresses, &s.response)
+        .unwrap_err();
+    assert!(
+        matches!(err, QueryError::SectionCountMismatch { .. }),
+        "{err}"
+    );
+}
+
+#[test]
+fn batch_emptied_address_section_rejected() {
+    // Keeping the section count but censoring one address's fragments:
+    // the shared proof's failed leaves for that address go unanswered.
+    let mut s = batch_scenario();
+    let segmented = as_batch_segmented(&mut s.response);
+    let section = segmented
+        .segments
+        .iter_mut()
+        .flat_map(|b| b.sections.iter_mut())
+        .find(|section| !section.is_empty())
+        .expect("victim appears somewhere");
+    section.clear();
+    let err = s
+        .client
+        .verify_batch(&s.addresses, &s.response)
+        .unwrap_err();
+    assert_eq!(err, QueryError::FragmentSetMismatch);
+}
+
+#[test]
+fn batch_cross_address_splice_rejected() {
+    // Swapping two addresses' sections inside a bundle: the absent
+    // address suddenly "owns" fragments while the present one has none.
+    // Both sides of the swap violate the proof's per-address coverage.
+    let mut s = batch_scenario();
+    let segmented = as_batch_segmented(&mut s.response);
+    let bundle = segmented
+        .segments
+        .iter_mut()
+        .find(|b| b.sections.iter().any(|section| !section.is_empty()))
+        .expect("victim appears somewhere");
+    bundle.sections.swap(0, 1);
+    let err = s
+        .client
+        .verify_batch(&s.addresses, &s.response)
+        .unwrap_err();
+    assert_eq!(err, QueryError::FragmentSetMismatch);
+}
+
+#[test]
+fn batch_single_response_splice_rejected() {
+    // Splicing a *single-address* proof bundle for one address into the
+    // batch (replacing the shared batch proof wholesale) cannot work:
+    // the batch verifier re-derives every address's coverage from the
+    // batch proof itself, and a single-address descent does not carry
+    // the other addresses' evidence.
+    let s = batch_scenario();
+    let workload = workload_for(Scheme::Lvq);
+    let prover = Prover::from_chain(&workload.chain).unwrap();
+    // An honest batch for [absent, victim] — i.e. the right addresses in
+    // the wrong order — must not verify for [victim, absent].
+    let reversed: Vec<Address> = s.addresses.iter().rev().cloned().collect();
+    let (reversed_response, _) = prover.respond_batch(&reversed).unwrap();
+    let err = s
+        .client
+        .verify_batch(&s.addresses, &reversed_response)
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            QueryError::FragmentSetMismatch | QueryError::Bmt { .. } | QueryError::Smt { .. }
+        ),
+        "{err}"
+    );
 }

@@ -6,8 +6,8 @@ use lvq::core::QueryResponse;
 use lvq::prelude::*;
 
 fn workload_for(scheme: Scheme, bf_bytes: u32, segment_len: u64, blocks: u64) -> Workload {
-    let config = SchemeConfig::new(scheme, BloomParams::new(bf_bytes, 2).unwrap(), segment_len)
-        .unwrap();
+    let config =
+        SchemeConfig::new(scheme, BloomParams::new(bf_bytes, 2).unwrap(), segment_len).unwrap();
     WorkloadBuilder::new(config.chain_params())
         .blocks(blocks)
         .traffic(TrafficModel::tiny())
@@ -21,8 +21,9 @@ fn workload_for(scheme: Scheme, bf_bytes: u32, segment_len: u64, blocks: u64) ->
 fn all_schemes_verify_all_probes() {
     for scheme in Scheme::ALL {
         let workload = workload_for(scheme, 640, 16, 48);
+        let config = SchemeConfig::new(scheme, BloomParams::new(640, 2).unwrap(), 16).unwrap();
         let full = FullNode::new(workload.chain).unwrap();
-        let mut light = LightNode::sync_from(&full).unwrap();
+        let mut light = LightNode::sync_from(&full, config).unwrap();
         for probe in &workload.probes {
             let outcome = light.query(&full, &probe.address).unwrap();
             assert_eq!(
@@ -32,8 +33,12 @@ fn all_schemes_verify_all_probes() {
                 probe.address
             );
             // Heights must match the planting exactly.
-            let mut heights: Vec<u64> =
-                outcome.history.transactions.iter().map(|(h, _)| *h).collect();
+            let mut heights: Vec<u64> = outcome
+                .history
+                .transactions
+                .iter()
+                .map(|(h, _)| *h)
+                .collect();
             heights.dedup();
             assert_eq!(heights, probe.block_heights);
             // Balance agrees with ground truth Eq. 1.

@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 
 use lvq::codec::{decode_exact, Encodable};
-use lvq::core::QueryResponse;
+use lvq::core::{BatchQueryResponse, QueryResponse};
 use lvq::prelude::*;
 
 /// Builds a small chain from a proptest-chosen shape.
@@ -16,8 +16,7 @@ fn build(
     probe_txs: u64,
     probe_blocks: u64,
 ) -> Workload {
-    let config =
-        SchemeConfig::new(scheme, BloomParams::new(512, 2).unwrap(), segment_len).unwrap();
+    let config = SchemeConfig::new(scheme, BloomParams::new(512, 2).unwrap(), segment_len).unwrap();
     WorkloadBuilder::new(config.chain_params())
         .blocks(blocks)
         .traffic(TrafficModel {
@@ -107,6 +106,42 @@ proptest! {
         let prover = Prover::from_chain(&workload.chain).unwrap();
         let (response, _) = prover.respond(&address).unwrap();
         prop_assert_eq!(response.size_breakdown().total(), response.total_bytes());
+    }
+
+    /// A batched query over several addresses — one present, two absent
+    /// — verifies to exactly the histories the single-address protocol
+    /// yields, and the batch response is wire-stable.
+    #[test]
+    fn batch_equals_singles(
+        scheme in scheme_strategy(),
+        blocks in 1u64..32,
+        seg_exp in 0u32..5,
+        seed in 0u64..500,
+        probe_blocks in 0u64..6,
+    ) {
+        let probe_blocks = probe_blocks.min(blocks);
+        let workload = build(scheme, blocks, 1 << seg_exp, seed, probe_blocks * 2, probe_blocks);
+        let addresses = vec![
+            workload.probes[0].address.clone(),
+            Address::new("1BatchAbsentA"),
+            Address::new("1BatchAbsentB"),
+        ];
+
+        let prover = Prover::from_chain(&workload.chain).unwrap();
+        let (response, _) = prover.respond_batch(&addresses).unwrap();
+        let client = LightClient::new(prover.config(), workload.chain.headers());
+        let histories = client.verify_batch(&addresses, &response).unwrap();
+        prop_assert_eq!(histories.len(), addresses.len());
+        for (address, batched) in addresses.iter().zip(&histories) {
+            let (single, _) = prover.respond(address).unwrap();
+            let single = client.verify(address, &single).unwrap();
+            prop_assert_eq!(batched, &single);
+        }
+
+        let bytes = response.encode();
+        prop_assert_eq!(bytes.len(), response.encoded_len());
+        let decoded: BatchQueryResponse = decode_exact(&bytes).unwrap();
+        prop_assert_eq!(&decoded, &response);
     }
 
     /// Corrupting any single byte of an encoded response never panics

@@ -1,0 +1,40 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only scoped threads are needed here, and `std::thread::scope`
+//! (stable since Rust 1.63) provides the same borrow-friendly
+//! semantics, so this stub delegates to it behind crossbeam's module
+//! layout. Unlike crossbeam's `scope`, panics in spawned threads
+//! propagate when the scope joins rather than being collected into a
+//! `Result` — `scope` therefore returns the closure's value directly.
+
+#![forbid(unsafe_code)]
+
+/// Scoped thread support.
+pub mod thread {
+    pub use std::thread::{Scope, ScopedJoinHandle};
+
+    /// Runs `f` with a scope in which borrowed-data threads can be
+    /// spawned; joins them all before returning.
+    pub fn scope<'env, F, T>(f: F) -> T
+    where
+        F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> T,
+    {
+        std::thread::scope(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = crate::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move || chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert_eq!(total, 10);
+    }
+}

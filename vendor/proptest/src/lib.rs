@@ -1,0 +1,524 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so the workspace
+//! vendors the slice of proptest's API its tests use: the
+//! [`Strategy`] trait with `prop_map`/`prop_flat_map`, [`any`],
+//! [`Just`], integer-range strategies, [`collection::vec`] /
+//! [`collection::btree_map`], `prop_oneof!`, and the `proptest!` test
+//! macro with `prop_assert*` / `prop_assume!`.
+//!
+//! Semantics: each test function runs `ProptestConfig::cases`
+//! deterministic random cases (seeded from the test name, overridable
+//! with `PROPTEST_SEED`). Failures panic with the ordinary assert
+//! message; there is **no shrinking** — rerun with the printed seed to
+//! reproduce.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-test configuration (subset of proptest's `ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Builds the deterministic RNG for one test run (seeded from the test
+/// name; `PROPTEST_SEED` overrides for reproduction).
+pub fn test_rng(test_name: &str) -> StdRng {
+    let seed = match std::env::var("PROPTEST_SEED") {
+        Ok(v) => v.parse().unwrap_or(0),
+        Err(_) => {
+            // FNV-1a over the test name: stable across runs and
+            // platforms, distinct per test.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            h
+        }
+    };
+    StdRng::seed_from_u64(seed)
+}
+
+/// A value generator (subset of proptest's `Strategy`; no shrinking).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` builds
+    /// out of it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        let inner = self;
+        BoxedStrategy(Box::new(move |rng| inner.generate(rng)))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Fn(&mut StdRng) -> T>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut StdRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed strategies (built by `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over `options`; panics if empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let idx = rng.gen_range(0..self.options.len());
+        self.options[idx].generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// Types with a default generation strategy (see [`any`]).
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+impl_int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for String {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        let len = rng.gen_range(0usize..24);
+        (0..len)
+            .map(|_| {
+                // Mostly ASCII with occasional multi-byte characters so
+                // encoders see non-trivial UTF-8.
+                if rng.gen_bool(0.9) {
+                    char::from(rng.gen_range(0x20u8..0x7F))
+                } else {
+                    char::from_u32(rng.gen_range(0xA0u32..0x2FF)).unwrap_or('¤')
+                }
+            })
+            .collect()
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Vec<T> {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        let len = rng.gen_range(0usize..32);
+        (0..len).map(|_| T::arbitrary(rng)).collect()
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Option<T> {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        if rng.gen_bool(0.5) {
+            Some(T::arbitrary(rng))
+        } else {
+            None
+        }
+    }
+}
+
+macro_rules! impl_tuple_arbitrary {
+    ($($name:ident),+) => {
+        impl<$($name: Arbitrary),+> Arbitrary for ($($name,)+) {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                ($($name::arbitrary(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_arbitrary!(A);
+impl_tuple_arbitrary!(A, B);
+impl_tuple_arbitrary!(A, B, C);
+impl_tuple_arbitrary!(A, B, C, D);
+
+/// Strategy generating [`Arbitrary`] values — proptest's `any::<T>()`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// See [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+
+    /// Size specifications accepted by the collection strategies.
+    pub trait SizeRange: Clone {
+        /// Draws a size.
+        fn pick(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy for `Vec`s of `element` values with a size in `size`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap`s with up to `size` entries (duplicate
+    /// keys collapse, as in proptest).
+    pub fn btree_map<K: Strategy, V: Strategy, R: SizeRange>(
+        key: K,
+        value: V,
+        size: R,
+    ) -> BTreeMapStrategy<K, V, R> {
+        BTreeMapStrategy { key, value, size }
+    }
+
+    /// See [`btree_map`].
+    pub struct BTreeMapStrategy<K, V, R> {
+        key: K,
+        value: V,
+        size: R,
+    }
+
+    impl<K: Strategy, V: Strategy, R: SizeRange> Strategy for BTreeMapStrategy<K, V, R>
+    where
+        K::Value: Ord,
+    {
+        type Value = std::collections::BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = self.size.pick(rng);
+            (0..len)
+                .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+                .collect()
+        }
+    }
+}
+
+/// The common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Skips the current case (without counting it) unless the condition
+/// holds. Only valid directly inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Uniform choice between strategies of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Declares property tests (subset of proptest's `proptest!` macro).
+///
+/// Parameters are either `pattern in strategy` or `name: Type`
+/// (shorthand for `name in any::<Type>()`).
+#[macro_export]
+macro_rules! proptest {
+    // Entry with a config override.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @funcs ($cfg) $($rest)* }
+    };
+
+    (@funcs ($cfg:expr)) => {};
+    (@funcs ($cfg:expr) $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        #[test]
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_rng(stringify!($name));
+            let mut __done: u32 = 0;
+            let mut __attempts: u32 = 0;
+            while __done < __cfg.cases {
+                __attempts += 1;
+                assert!(
+                    __attempts <= __cfg.cases.saturating_mul(20) + 100,
+                    "too many cases rejected by prop_assume!"
+                );
+                $crate::proptest!(@bind __rng, $($params)*);
+                { $body }
+                __done += 1;
+            }
+        }
+        $crate::proptest! { @funcs ($cfg) $($rest)* }
+    };
+
+    (@bind $rng:ident,) => {};
+    (@bind $rng:ident, $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name: $ty = <$ty as $crate::Arbitrary>::arbitrary(&mut $rng);
+        $crate::proptest!(@bind $rng, $($rest)*);
+    };
+    (@bind $rng:ident, $name:ident : $ty:ty) => {
+        let $name: $ty = <$ty as $crate::Arbitrary>::arbitrary(&mut $rng);
+    };
+    (@bind $rng:ident, $pat:pat in $strategy:expr, $($rest:tt)*) => {
+        let $pat = $crate::Strategy::generate(&($strategy), &mut $rng);
+        $crate::proptest!(@bind $rng, $($rest)*);
+    };
+    (@bind $rng:ident, $pat:pat in $strategy:expr) => {
+        let $pat = $crate::Strategy::generate(&($strategy), &mut $rng);
+    };
+
+    // Entry without a config override.
+    ($($rest:tt)*) => {
+        $crate::proptest! { @funcs ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Range strategies stay in bounds.
+        #[test]
+        fn ranges_in_bounds(a in 3u64..9, b in 0usize..=4) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!(b <= 4);
+        }
+
+        /// The `name: Type` shorthand and collections generate.
+        #[test]
+        fn shorthand_and_collections(
+            x: u8,
+            v in crate::collection::vec(any::<u8>(), 2..5),
+        ) {
+            let _ = x;
+            prop_assert!((2..5).contains(&v.len()));
+        }
+
+        /// prop_assume skips cases without failing.
+        #[test]
+        fn assume_filters(n in 0u32..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        /// Tuple patterns destructure strategy output.
+        #[test]
+        fn tuple_pattern((a, b) in (0u8..5, 5u8..10)) {
+            prop_assert!(a < b);
+        }
+    }
+
+    proptest! {
+        /// Default config entry point also compiles.
+        #[test]
+        fn oneof_picks_an_arm(v in prop_oneof![Just(1u8), Just(2u8)]) {
+            prop_assert!(v == 1 || v == 2);
+        }
+    }
+
+    #[test]
+    fn flat_map_and_map_compose() {
+        let strat = (1usize..4).prop_flat_map(|n| {
+            crate::collection::vec(any::<u8>(), n..=n).prop_map(move |v| (n, v))
+        });
+        let mut rng = crate::test_rng("flat_map_and_map_compose");
+        for _ in 0..50 {
+            let (n, v) = strat.generate(&mut rng);
+            assert_eq!(v.len(), n);
+        }
+    }
+}

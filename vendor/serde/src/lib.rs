@@ -1,0 +1,10 @@
+//! Offline placeholder for the `serde` crate.
+//!
+//! The workspace's `serde` cargo features are optional and disabled by
+//! default; this placeholder exists only so dependency resolution
+//! succeeds without registry access. It intentionally provides **no**
+//! derive macros: enabling a `serde` feature of a workspace crate in
+//! this offline environment is a compile error by design, pointing
+//! here.
+
+#![forbid(unsafe_code)]
