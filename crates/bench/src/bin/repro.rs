@@ -4,7 +4,8 @@
 //! repro <experiment> [--scale small|paper] [--seed N]
 //!
 //! experiments: all, table1, table2, table3, fig12, fig13, fig14,
-//!              fig15, fig16, storage
+//!              fig15, fig16, storage, ksweep, latency, throughput,
+//!              concurrent
 //! ```
 //!
 //! `fig13`/`fig14`/`fig15` share one filter-size sweep; asking for any
@@ -14,7 +15,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use lvq_bench::experiments::{
-    bf_sweep, fig12, fig16, k_sweep, latency, storage, tables, throughput,
+    bf_sweep, concurrent, fig12, fig16, k_sweep, latency, storage, tables, throughput,
 };
 use lvq_bench::Scale;
 
@@ -52,7 +53,7 @@ fn parse_args() -> Result<Options, String> {
 }
 
 const USAGE: &str =
-    "usage: repro <all|table1|table2|table3|fig12|fig13|fig14|fig15|fig16|storage|ksweep|latency|throughput> \
+    "usage: repro <all|table1|table2|table3|fig12|fig13|fig14|fig15|fig16|storage|ksweep|latency|throughput|concurrent> \
                      [--scale small|paper] [--seed N]";
 
 fn main() -> ExitCode {
@@ -133,6 +134,11 @@ fn main() -> ExitCode {
     if want("throughput") {
         matched = true;
         println!("{}", throughput::run(opts.scale, opts.seed));
+        println!();
+    }
+    if want("concurrent") {
+        matched = true;
+        println!("{}", concurrent::run(opts.scale, opts.seed));
         println!();
     }
 

@@ -1,0 +1,219 @@
+//! Extra experiment: concurrent TCP serving (`repro concurrent`).
+//!
+//! The ROADMAP's north star is a full node answering "heavy traffic
+//! from millions of users". This experiment stands up one
+//! [`NodeServer`] over loopback TCP and compares a single light client
+//! against several querying concurrently:
+//!
+//! 1. **Aggregate throughput** — total verified queries per second with
+//!    `CLIENTS` threads versus one, both against warm caches so the
+//!    comparison measures serving concurrency and not cache warm-up;
+//! 2. **Cache sharing** — all connections share one `Arc<FullNode>`,
+//!    so the span-filter memo cache hit rate stays high even though
+//!    every client arrives over its own socket.
+//!
+//! Every response is verified by the light node against headers only
+//! and checked against the chain's ground truth, so the measurement
+//! doubles as an end-to-end correctness check of the TCP path.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lvq_chain::Address;
+use lvq_core::{Scheme, SchemeConfig};
+use lvq_node::{FullNode, LightNode, NodeServer, ServerConfig, ServerStats, TcpTransport};
+
+use crate::report::Table;
+use crate::scale::Scale;
+use crate::workloads::{build_workload, built_probes, WorkloadSpec};
+
+/// Concurrent client threads in the fan-out phase.
+const CLIENTS: u32 = 4;
+
+/// Rounds over the six probe addresses per measured phase and client.
+const ROUNDS: u32 = 6;
+
+/// The experiment data.
+#[derive(Debug, Clone)]
+pub struct Concurrent {
+    /// Client threads in the concurrent phase.
+    pub clients: u32,
+    /// Verified queries per second with a single client.
+    pub baseline_qps: f64,
+    /// Aggregate verified queries per second with [`Concurrent::clients`]
+    /// clients.
+    pub concurrent_qps: f64,
+    /// Wall time of the single-client phase.
+    pub baseline_time: Duration,
+    /// Wall time of the concurrent phase.
+    pub concurrent_time: Duration,
+    /// Span-filter cache hit rate during the concurrent phase.
+    pub filter_hit_rate: f64,
+    /// The server's own accounting over the whole run.
+    pub server: ServerStats,
+}
+
+impl Concurrent {
+    /// Concurrent-over-baseline throughput scaling factor.
+    pub fn scaling(&self) -> f64 {
+        self.concurrent_qps / self.baseline_qps
+    }
+}
+
+/// One client session: connect, sync headers, then run `rounds` rounds
+/// of verified queries over all probe addresses, checking every history
+/// against ground truth. Returns the number of queries issued.
+fn client_session(
+    addr: SocketAddr,
+    config: SchemeConfig,
+    addresses: &[Address],
+    truth: &[usize],
+    rounds: u32,
+) -> u32 {
+    let mut transport = TcpTransport::connect(addr).expect("server is listening");
+    let mut light = LightNode::sync_from(&mut transport, config).expect("honest server");
+    let mut queried = 0;
+    for _ in 0..rounds {
+        for (address, expected) in addresses.iter().zip(truth) {
+            let outcome = light
+                .query(&mut transport, address)
+                .expect("honest response");
+            assert_eq!(
+                outcome.history.transactions.len(),
+                *expected,
+                "verified history must match ground truth"
+            );
+            queried += 1;
+        }
+    }
+    queried
+}
+
+/// Runs the experiment under full LVQ at the Fig. 12 configuration.
+pub fn run(scale: Scale, seed: u64) -> Concurrent {
+    let spec = WorkloadSpec {
+        seed,
+        ..WorkloadSpec::paper_default(Scheme::Lvq, scale)
+    };
+    let config = spec.config();
+    let workload = build_workload(spec);
+    let addresses: Vec<Address> = built_probes(&workload)
+        .into_iter()
+        .map(|(_, address)| address)
+        .collect();
+    let truth: Vec<usize> = addresses
+        .iter()
+        .map(|a| workload.chain.history_of(a).len())
+        .collect();
+
+    let full = Arc::new(FullNode::new(workload.chain).expect("known scheme"));
+    let server = NodeServer::bind(Arc::clone(&full), "127.0.0.1:0", ServerConfig::default())
+        .expect("loopback bind");
+    let addr = server.local_addr();
+
+    // Warm the shared caches so both phases measure the steady state.
+    client_session(addr, config, &addresses, &truth, 1);
+
+    // Phase 1 — one client, warm caches.
+    let started = Instant::now();
+    let baseline_queries = client_session(addr, config, &addresses, &truth, ROUNDS);
+    let baseline_time = started.elapsed();
+    let baseline_qps = f64::from(baseline_queries) / baseline_time.as_secs_f64();
+
+    // Phase 2 — CLIENTS clients in parallel against the same server.
+    let before = full.engine_stats().cache;
+    let started = Instant::now();
+    let concurrent_queries: u32 = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| scope.spawn(|| client_session(addr, config, &addresses, &truth, ROUNDS)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .sum()
+    });
+    let concurrent_time = started.elapsed();
+    let concurrent_qps = f64::from(concurrent_queries) / concurrent_time.as_secs_f64();
+
+    let after = full.engine_stats().cache;
+    let hits = after.filters.hits - before.filters.hits;
+    let misses = after.filters.misses - before.filters.misses;
+    let lookups = hits + misses;
+
+    let server_stats = server.shutdown();
+    Concurrent {
+        clients: CLIENTS,
+        baseline_qps,
+        concurrent_qps,
+        baseline_time,
+        concurrent_time,
+        filter_hit_rate: if lookups == 0 {
+            0.0
+        } else {
+            hits as f64 / lookups as f64
+        },
+        server: server_stats,
+    }
+}
+
+impl std::fmt::Display for Concurrent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Concurrent TCP serving — LVQ, six Table III probes, {ROUNDS} rounds per client"
+        )?;
+        let mut table = Table::new(&["Measurement", "Value"]);
+        table.row(vec![
+            "1 client".to_string(),
+            format!("{:.0} queries/s", self.baseline_qps),
+        ]);
+        table.row(vec![
+            format!("{} clients", self.clients),
+            format!(
+                "{:.0} queries/s aggregate ({:.1}x one client)",
+                self.concurrent_qps,
+                self.scaling()
+            ),
+        ]);
+        table.row(vec![
+            "shared filter-cache hit rate".to_string(),
+            crate::report::percent(self.filter_hit_rate),
+        ]);
+        table.row(vec![
+            "server".to_string(),
+            format!(
+                "{} requests over {} connections, {} errors",
+                self.server.requests, self.server.connections, self.server.errors
+            ),
+        ]);
+        write!(f, "{table}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concurrent_clients_share_caches_and_scale() {
+        let result = run(Scale::Small, 11);
+        assert_eq!(result.clients, CLIENTS);
+        assert!(result.clients >= 4);
+        // All connections hit one Arc<FullNode>, so the concurrent
+        // phase must observe the shared warm cache.
+        assert!(result.filter_hit_rate > 0.5, "{}", result.filter_hit_rate);
+        // Four clients must outrun one; the magnitude is left to the
+        // report (asserting a hard factor would be flaky on loaded CI).
+        assert!(
+            result.concurrent_qps > result.baseline_qps,
+            "concurrent {} qps vs baseline {} qps",
+            result.concurrent_qps,
+            result.baseline_qps
+        );
+        // A clean run: every frame parsed, every response written.
+        assert_eq!(result.server.errors, 0);
+        // 1 warm-up + 1 baseline + CLIENTS concurrent sessions.
+        assert_eq!(result.server.connections, u64::from(CLIENTS) + 2);
+    }
+}

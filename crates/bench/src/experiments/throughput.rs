@@ -20,7 +20,7 @@ use std::time::{Duration, Instant};
 
 use lvq_chain::Address;
 use lvq_core::Scheme;
-use lvq_node::{FullNode, LightNode};
+use lvq_node::{FullNode, LightNode, LocalTransport};
 
 use crate::report::{bytes, Table};
 use crate::scale::Scale;
@@ -79,7 +79,8 @@ pub fn run(scale: Scale, seed: u64) -> Throughput {
         .map(|a| workload.chain.history_of(a).len())
         .collect();
     let full = FullNode::new(workload.chain).expect("known scheme");
-    let mut light = LightNode::sync_from(&full, config).expect("honest peer");
+    let mut peer = LocalTransport::new(&full);
+    let mut light = LightNode::sync_from(&mut peer, config).expect("honest peer");
 
     // Phase 1 — cold vs. warm single-address throughput.
     let mut queried = 0u32;
@@ -87,7 +88,7 @@ pub fn run(scale: Scale, seed: u64) -> Throughput {
     for _ in 0..ROUNDS {
         for address in &addresses {
             full.chain().clear_caches();
-            light.query(&full, address).expect("honest response");
+            light.query(&mut peer, address).expect("honest response");
             queried += 1;
         }
     }
@@ -96,7 +97,7 @@ pub fn run(scale: Scale, seed: u64) -> Throughput {
     // Prime the caches once, then measure the steady state. Hit-rate
     // accounting starts here — the cold phase above misses on purpose.
     for address in &addresses {
-        light.query(&full, address).expect("honest response");
+        light.query(&mut peer, address).expect("honest response");
     }
     let primed = full.engine_stats().cache;
     let mut queried = 0u32;
@@ -104,7 +105,7 @@ pub fn run(scale: Scale, seed: u64) -> Throughput {
     let warm_started = Instant::now();
     for round in 0..ROUNDS {
         for address in &addresses {
-            let outcome = light.query(&full, address).expect("honest response");
+            let outcome = light.query(&mut peer, address).expect("honest response");
             if round == 0 {
                 singles_bytes += outcome.traffic.response_bytes;
             }
@@ -119,7 +120,7 @@ pub fn run(scale: Scale, seed: u64) -> Throughput {
     let batch_started = Instant::now();
     for _ in 0..ROUNDS {
         let outcome = light
-            .query_batch(&full, &addresses)
+            .query_batch(&mut peer, &addresses)
             .expect("honest batch response");
         batch_bytes = outcome.traffic.response_bytes;
         for (history, expected) in outcome.histories.iter().zip(&truth) {

@@ -16,14 +16,7 @@ use crate::address::Address;
 use crate::block::Block;
 use crate::error::ChainError;
 use crate::header::BlockHeader;
-use crate::params::ChainParams;
-
-/// Default byte budget for the span-filter cache (filters beyond this
-/// are recomputed from address sets on demand).
-const DEFAULT_FILTER_CACHE_BYTES: usize = 256 * 1024 * 1024;
-
-/// Default byte budget for the per-block SMT cache.
-const DEFAULT_SMT_CACHE_BYTES: usize = 64 * 1024 * 1024;
+use crate::params::{CacheConfig, ChainParams};
 
 /// Hit/miss and occupancy counters of one of the chain's memo caches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -130,6 +123,13 @@ impl<K: Eq + Hash + Copy, V: Clone> MemoCache<K, V> {
         self.used_bytes = 0;
     }
 
+    /// Drops every entry and adopts a new byte budget; the hit/miss
+    /// counters keep counting across the resize.
+    fn reset_with_budget(&mut self, budget_bytes: usize) {
+        self.clear();
+        self.budget_bytes = budget_bytes;
+    }
+
     fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits,
@@ -170,19 +170,36 @@ impl Chain {
         addr_counts: Vec<Arc<Vec<(Address, u64)>>>,
         span_hashes: HashMap<(u64, u64), Hash256>,
     ) -> Self {
+        let cache = params.cache_config();
         Chain {
             params,
             blocks,
             addr_counts,
             span_hashes,
-            filter_cache: Mutex::new(MemoCache::new(DEFAULT_FILTER_CACHE_BYTES)),
-            smt_cache: Mutex::new(MemoCache::new(DEFAULT_SMT_CACHE_BYTES)),
+            filter_cache: Mutex::new(MemoCache::new(cache.filter_cache_bytes)),
+            smt_cache: Mutex::new(MemoCache::new(cache.smt_cache_bytes)),
         }
     }
 
     /// The chain's configuration.
     pub fn params(&self) -> ChainParams {
         self.params
+    }
+
+    /// Re-sizes both memo caches to `cache`'s budgets, dropping every
+    /// cached entry (the hit/miss counters keep counting).
+    ///
+    /// Cache budgets are operational, not protocol: a chain loaded from
+    /// disk starts with [`CacheConfig::default`], and a server operator
+    /// re-sizes it here before serving.
+    pub fn set_cache_config(&mut self, cache: CacheConfig) {
+        self.params = self.params.with_cache_config(cache);
+        self.filter_cache
+            .lock()
+            .reset_with_budget(cache.filter_cache_bytes);
+        self.smt_cache
+            .lock()
+            .reset_with_budget(cache.smt_cache_bytes);
     }
 
     /// Height of the latest block (`0` for an empty chain).
@@ -482,5 +499,66 @@ impl BmtSource for SegmentBmtSource<'_> {
         self.chain
             .span_hash(lo, hi)
             .expect("dyadic span hash stored at build time")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ChainBuilder;
+    use crate::params::CommitmentPolicy;
+    use crate::transaction::Transaction;
+    use lvq_bloom::BloomParams;
+
+    fn small_chain(cache: CacheConfig) -> Chain {
+        let params = ChainParams::new(
+            BloomParams::new(128, 2).unwrap(),
+            8,
+            CommitmentPolicy::lvq(),
+        )
+        .unwrap()
+        .with_cache_config(cache);
+        let mut builder = ChainBuilder::new(params).unwrap();
+        for h in 1..=8u32 {
+            builder
+                .push_block(vec![Transaction::coinbase(Address::new("1Miner"), 50, h)])
+                .unwrap();
+        }
+        builder.finish()
+    }
+
+    #[test]
+    fn cache_budgets_come_from_params() {
+        let chain = small_chain(CacheConfig::disabled());
+        // With zero budgets nothing is retained: every lookup misses,
+        // but results stay correct.
+        let a = chain.span_filter(1, 8).unwrap();
+        let b = chain.span_filter(1, 8).unwrap();
+        assert_eq!(a, b);
+        let stats = chain.cache_stats();
+        assert_eq!(stats.filters.hits, 0);
+        assert_eq!(stats.filters.entries, 0);
+        assert!(stats.filters.misses > 0);
+    }
+
+    #[test]
+    fn set_cache_config_resizes_and_keeps_counters() {
+        let mut chain = small_chain(CacheConfig::default());
+        chain.span_filter(1, 8).unwrap();
+        chain.span_filter(1, 8).unwrap();
+        let before = chain.cache_stats();
+        assert!(before.filters.hits > 0);
+        assert!(before.filters.entries > 0);
+
+        chain.set_cache_config(CacheConfig::new(1, 1));
+        let after = chain.cache_stats();
+        // Entries dropped, budgets shrunk, counters preserved.
+        assert_eq!(after.filters.entries, 0);
+        assert_eq!(after.filters.hits, before.filters.hits);
+        assert_eq!(after.filters.misses, before.filters.misses);
+        assert_eq!(chain.params().cache_config(), CacheConfig::new(1, 1));
+        // Too small to hold a filter: still correct, never caches.
+        chain.span_filter(1, 8).unwrap();
+        assert_eq!(chain.cache_stats().filters.entries, 0);
     }
 }

@@ -57,6 +57,6 @@ pub use builder::ChainBuilder;
 pub use chain::{CacheStats, Chain, ChainCacheStats, SegmentBmtSource};
 pub use error::ChainError;
 pub use header::{BlockHeader, HeaderCommitments, BASE_HEADER_LEN};
-pub use params::{ChainParams, CommitmentPolicy};
+pub use params::{CacheConfig, ChainParams, CommitmentPolicy};
 pub use transaction::{Transaction, TxInput, TxOutPoint, TxOutput};
 pub use utxo::{UtxoEntry, UtxoSet};

@@ -56,13 +56,67 @@ impl CommitmentPolicy {
     }
 }
 
+/// Byte budgets for the chain's memo caches.
+///
+/// The span-filter cache holds recomputed dyadic-span Bloom filters;
+/// the SMT cache holds per-block sorted Merkle trees. Both are pure
+/// memoisation — any budget (including zero) yields identical query
+/// results, only recomputation cost changes — so a server operator can
+/// size them to the workload instead of accepting fixed defaults.
+///
+/// # Examples
+///
+/// ```
+/// use lvq_chain::CacheConfig;
+///
+/// // A memory-constrained edge node: 16 MB of filters, 4 MB of SMTs.
+/// let cfg = CacheConfig::new(16 << 20, 4 << 20);
+/// assert!(cfg.filter_cache_bytes < CacheConfig::default().filter_cache_bytes);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Byte budget for the dyadic-span Bloom filter cache.
+    pub filter_cache_bytes: usize,
+    /// Byte budget for the per-block SMT cache.
+    pub smt_cache_bytes: usize,
+}
+
+impl CacheConfig {
+    /// Creates a cache configuration from explicit byte budgets.
+    pub const fn new(filter_cache_bytes: usize, smt_cache_bytes: usize) -> Self {
+        CacheConfig {
+            filter_cache_bytes,
+            smt_cache_bytes,
+        }
+    }
+
+    /// Disables both caches (every lookup recomputes) — useful for
+    /// cold-path measurements and memory-starved environments.
+    pub const fn disabled() -> Self {
+        CacheConfig::new(0, 0)
+    }
+}
+
+impl Default for CacheConfig {
+    /// The historical defaults: 256 MB of span filters, 64 MB of SMTs.
+    fn default() -> Self {
+        CacheConfig::new(256 * 1024 * 1024, 64 * 1024 * 1024)
+    }
+}
+
 /// Parameters fixed for the lifetime of a chain.
+///
+/// Equality compares only the *protocol* parameters (Bloom layout,
+/// segment length, commitment policy) — the [`CacheConfig`] is an
+/// operational knob that never changes what a chain commits to or what
+/// a query returns, so two chains differing only in cache budgets are
+/// the same chain.
 ///
 /// # Examples
 ///
 /// ```
 /// use lvq_bloom::BloomParams;
-/// use lvq_chain::{ChainParams, CommitmentPolicy};
+/// use lvq_chain::{CacheConfig, ChainParams, CommitmentPolicy};
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// // The paper's full-LVQ configuration: 30 KB filters, M = 4096.
@@ -72,15 +126,30 @@ impl CommitmentPolicy {
 ///     CommitmentPolicy::lvq(),
 /// )?;
 /// assert_eq!(params.segment_len(), 4096);
+/// // Cache sizing is operational: it does not affect equality.
+/// let tuned = params.with_cache_config(CacheConfig::new(1 << 20, 1 << 20));
+/// assert_eq!(params, tuned);
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy)]
 pub struct ChainParams {
     bloom: BloomParams,
     segment_len: u64,
     policy: CommitmentPolicy,
+    cache: CacheConfig,
 }
+
+impl PartialEq for ChainParams {
+    fn eq(&self, other: &Self) -> bool {
+        // Deliberately ignores `cache`: see the type-level docs.
+        self.bloom == other.bloom
+            && self.segment_len == other.segment_len
+            && self.policy == other.policy
+    }
+}
+
+impl Eq for ChainParams {}
 
 impl ChainParams {
     /// Creates chain parameters.
@@ -101,7 +170,15 @@ impl ChainParams {
             bloom,
             segment_len,
             policy,
+            cache: CacheConfig::default(),
         })
+    }
+
+    /// Returns the same protocol parameters with `cache` as the memo
+    /// cache budgets (builder style).
+    pub fn with_cache_config(mut self, cache: CacheConfig) -> Self {
+        self.cache = cache;
+        self
     }
 
     /// Bloom filter parameters shared by every block.
@@ -118,6 +195,12 @@ impl ChainParams {
     /// Which commitments headers carry.
     pub fn policy(&self) -> CommitmentPolicy {
         self.policy
+    }
+
+    /// The memo cache budgets a [`crate::Chain`] built from these
+    /// parameters starts with.
+    pub fn cache_config(&self) -> CacheConfig {
+        self.cache
     }
 }
 
@@ -169,5 +252,18 @@ mod tests {
         assert_eq!(p.bloom().size_bytes(), 30_000);
         assert_eq!(p.segment_len(), 4096);
         assert_eq!(p.policy(), CommitmentPolicy::lvq());
+        assert_eq!(p.cache_config(), CacheConfig::default());
+    }
+
+    #[test]
+    fn cache_config_is_operational_not_protocol() {
+        let base = ChainParams::default();
+        let tuned = base.with_cache_config(CacheConfig::new(1024, 512));
+        assert_eq!(tuned.cache_config().filter_cache_bytes, 1024);
+        assert_eq!(tuned.cache_config().smt_cache_bytes, 512);
+        // Scheme identity is unchanged: provers/verifiers built from
+        // either parameter set interoperate.
+        assert_eq!(base, tuned);
+        assert_eq!(CacheConfig::disabled(), CacheConfig::new(0, 0));
     }
 }

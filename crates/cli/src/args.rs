@@ -132,11 +132,40 @@ impl GenerateOptions {
     }
 }
 
+/// Where `lvq query` gets its proofs from.
+#[derive(Debug, Clone)]
+pub enum QuerySource {
+    /// Prove locally against a persisted chain file.
+    File(String),
+    /// Query a remote [`lvq_node::NodeServer`] over TCP.
+    Remote(RemoteEndpoint),
+}
+
+/// A remote full node plus the out-of-band trust anchor.
+///
+/// Over TCP the client has no chain file, so the scheme parameters —
+/// which a real deployment would pin out of band, like Bitcoin's
+/// consensus rules — come from flags and are enforced against the
+/// synced headers' commitment policy.
+#[derive(Debug, Clone)]
+pub struct RemoteEndpoint {
+    /// `HOST:PORT` of the serving node.
+    pub addr: String,
+    /// Expected query scheme.
+    pub scheme: Scheme,
+    /// Expected Bloom filter size in bytes.
+    pub bf_bytes: u32,
+    /// Expected Bloom hash functions.
+    pub hashes: u32,
+    /// Expected segment length `M`.
+    pub segment_len: u64,
+}
+
 /// Options of `lvq query`.
 #[derive(Debug, Clone)]
 pub struct QueryOptions {
-    /// Chain file path.
-    pub file: String,
+    /// Local chain file or remote node.
+    pub source: QuerySource,
     /// Queried address.
     pub address: String,
     /// Optional height range.
@@ -155,13 +184,22 @@ impl QueryOptions {
         let mut positional = Vec::new();
         let mut range = None;
         let mut breakdown = false;
+        let mut addr = None;
+        let mut scheme = Scheme::Lvq;
+        let mut bf_bytes = 1_920;
+        let mut hashes = 2;
+        let mut segment_len = None;
+        let mut scheme_flag_seen = false;
         let mut iter = args.iter();
         while let Some(arg) = iter.next() {
+            let mut value = |name: &str| {
+                iter.next()
+                    .cloned()
+                    .ok_or_else(|| CliError::Usage(format!("{name} needs a value")))
+            };
             match arg.as_str() {
                 "--range" => {
-                    let value = iter
-                        .next()
-                        .ok_or_else(|| CliError::Usage("--range needs LO:HI".into()))?;
+                    let value = value("--range")?;
                     let Some((lo, hi)) = value.split_once(':') else {
                         return Err(CliError::Usage(format!(
                             "--range expects LO:HI, got '{value}'"
@@ -170,20 +208,141 @@ impl QueryOptions {
                     range = Some((parse_u64("--range LO", lo)?, parse_u64("--range HI", hi)?));
                 }
                 "--breakdown" => breakdown = true,
+                "--addr" => addr = Some(value("--addr")?),
+                "--scheme" => {
+                    scheme = parse_scheme(&value("--scheme")?)?;
+                    scheme_flag_seen = true;
+                }
+                "--bf" => {
+                    bf_bytes = parse_u32("--bf", &value("--bf")?)?;
+                    scheme_flag_seen = true;
+                }
+                "--k" => {
+                    hashes = parse_u32("--k", &value("--k")?)?;
+                    scheme_flag_seen = true;
+                }
+                "--segment" => {
+                    segment_len = Some(parse_u64("--segment", &value("--segment")?)?);
+                    scheme_flag_seen = true;
+                }
                 other if !other.starts_with("--") => positional.push(other.to_string()),
                 other => return Err(CliError::Usage(format!("unknown flag '{other}'"))),
             }
         }
-        let [file, address] = positional.as_slice() else {
-            return Err(CliError::Usage(
-                "query takes a chain file and an address".into(),
-            ));
+        let (source, address) = match addr {
+            Some(addr) => {
+                let [address] = positional.as_slice() else {
+                    return Err(CliError::Usage(
+                        "query --addr takes exactly one address".into(),
+                    ));
+                };
+                let Some(segment_len) = segment_len else {
+                    return Err(CliError::Usage(
+                        "query --addr requires --segment M (the scheme parameters \
+                         are the client's out-of-band trust anchor)"
+                            .into(),
+                    ));
+                };
+                if breakdown {
+                    return Err(CliError::Usage(
+                        "--breakdown needs the raw response; it is only available \
+                         with a local chain file"
+                            .into(),
+                    ));
+                }
+                let endpoint = RemoteEndpoint {
+                    addr,
+                    scheme,
+                    bf_bytes,
+                    hashes,
+                    segment_len,
+                };
+                (QuerySource::Remote(endpoint), address.clone())
+            }
+            None => {
+                if scheme_flag_seen {
+                    return Err(CliError::Usage(
+                        "--scheme/--bf/--k/--segment only apply with --addr \
+                         (a chain file carries its own parameters)"
+                            .into(),
+                    ));
+                }
+                let [file, address] = positional.as_slice() else {
+                    return Err(CliError::Usage(
+                        "query takes a chain file and an address".into(),
+                    ));
+                };
+                (QuerySource::File(file.clone()), address.clone())
+            }
         };
         Ok(QueryOptions {
-            file: file.clone(),
-            address: address.clone(),
+            source,
+            address,
             range,
             breakdown,
+        })
+    }
+}
+
+/// Options of `lvq serve`.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Chain file path.
+    pub file: String,
+    /// Listen address (`HOST:PORT`; port 0 picks a free port).
+    pub addr: String,
+    /// Stop after this many requests (for scripted runs and tests).
+    pub max_requests: Option<u64>,
+    /// Byte budget for the dyadic-span Bloom filter cache.
+    pub filter_cache: Option<usize>,
+    /// Byte budget for the per-block SMT cache.
+    pub smt_cache: Option<usize>,
+}
+
+impl ServeOptions {
+    /// Parses the arguments after `serve`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] for unknown flags or bad values.
+    pub fn parse(args: &[String]) -> Result<Self, CliError> {
+        let mut positional = Vec::new();
+        let mut addr = "127.0.0.1:0".to_string();
+        let mut max_requests = None;
+        let mut filter_cache = None;
+        let mut smt_cache = None;
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            let mut value = |name: &str| {
+                iter.next()
+                    .cloned()
+                    .ok_or_else(|| CliError::Usage(format!("{name} needs a value")))
+            };
+            match arg.as_str() {
+                "--addr" => addr = value("--addr")?,
+                "--max-requests" => {
+                    max_requests = Some(parse_u64("--max-requests", &value("--max-requests")?)?)
+                }
+                "--filter-cache" => {
+                    filter_cache =
+                        Some(parse_u64("--filter-cache", &value("--filter-cache")?)? as usize)
+                }
+                "--smt-cache" => {
+                    smt_cache = Some(parse_u64("--smt-cache", &value("--smt-cache")?)? as usize)
+                }
+                other if !other.starts_with("--") => positional.push(other.to_string()),
+                other => return Err(CliError::Usage(format!("unknown flag '{other}'"))),
+            }
+        }
+        let [file] = positional.as_slice() else {
+            return Err(CliError::Usage("serve takes exactly one chain file".into()));
+        };
+        Ok(ServeOptions {
+            file: file.clone(),
+            addr,
+            max_requests,
+            filter_cache,
+            smt_cache,
         })
     }
 }
@@ -242,12 +401,90 @@ mod tests {
             "--breakdown",
         ]))
         .unwrap();
-        assert_eq!(q.file, "c.lvq");
+        assert!(matches!(&q.source, QuerySource::File(f) if f == "c.lvq"));
         assert_eq!(q.address, "1Addr");
         assert_eq!(q.range, Some((5, 9)));
         assert!(q.breakdown);
         assert!(QueryOptions::parse(&strings(&["c.lvq"])).is_err());
         assert!(QueryOptions::parse(&strings(&["c.lvq", "1A", "--range", "5"])).is_err());
+    }
+
+    #[test]
+    fn query_remote_parsing() {
+        let q = QueryOptions::parse(&strings(&[
+            "1Addr",
+            "--addr",
+            "127.0.0.1:4000",
+            "--segment",
+            "16",
+            "--bf",
+            "640",
+        ]))
+        .unwrap();
+        let QuerySource::Remote(remote) = &q.source else {
+            panic!("--addr selects the remote source");
+        };
+        assert_eq!(remote.addr, "127.0.0.1:4000");
+        assert_eq!(remote.scheme, Scheme::Lvq);
+        assert_eq!(remote.bf_bytes, 640);
+        assert_eq!(remote.hashes, 2);
+        assert_eq!(remote.segment_len, 16);
+        assert_eq!(q.address, "1Addr");
+
+        // --segment is the mandatory part of the trust anchor.
+        assert!(QueryOptions::parse(&strings(&["1Addr", "--addr", "h:1"])).is_err());
+        // --breakdown needs the raw response.
+        assert!(QueryOptions::parse(&strings(&[
+            "1Addr",
+            "--addr",
+            "h:1",
+            "--segment",
+            "8",
+            "--breakdown"
+        ]))
+        .is_err());
+        // Scheme flags without --addr are a mistake, not noise.
+        assert!(QueryOptions::parse(&strings(&["c.lvq", "1Addr", "--segment", "8"])).is_err());
+        // Remote mode takes one positional, not a file.
+        assert!(QueryOptions::parse(&strings(&[
+            "c.lvq",
+            "1Addr",
+            "--addr",
+            "h:1",
+            "--segment",
+            "8"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn serve_parsing() {
+        let s = ServeOptions::parse(&strings(&["c.lvq"])).unwrap();
+        assert_eq!(s.file, "c.lvq");
+        assert_eq!(s.addr, "127.0.0.1:0");
+        assert_eq!(s.max_requests, None);
+        assert_eq!(s.filter_cache, None);
+
+        let s = ServeOptions::parse(&strings(&[
+            "c.lvq",
+            "--addr",
+            "0.0.0.0:4000",
+            "--max-requests",
+            "12",
+            "--filter-cache",
+            "1048576",
+            "--smt-cache",
+            "65536",
+        ]))
+        .unwrap();
+        assert_eq!(s.addr, "0.0.0.0:4000");
+        assert_eq!(s.max_requests, Some(12));
+        assert_eq!(s.filter_cache, Some(1_048_576));
+        assert_eq!(s.smt_cache, Some(65_536));
+
+        assert!(ServeOptions::parse(&strings(&[])).is_err());
+        assert!(ServeOptions::parse(&strings(&["a.lvq", "b.lvq"])).is_err());
+        assert!(ServeOptions::parse(&strings(&["a.lvq", "--max-requests", "x"])).is_err());
     }
 
     #[test]

@@ -1,13 +1,16 @@
 //! The command implementations.
 
 use std::io::Write;
+use std::sync::Arc;
+use std::time::Duration;
 
 use lvq_bloom::BloomParams;
-use lvq_chain::{file as chain_file, Address, Chain};
-use lvq_core::{Completeness, LightClient, Prover, SchemeConfig};
+use lvq_chain::{file as chain_file, Address, CacheConfig, Chain};
+use lvq_core::{Completeness, LightClient, Prover, SchemeConfig, VerifiedHistory};
+use lvq_node::{FullNode, LightNode, NodeServer, ServerConfig, TcpTransport};
 use lvq_workload::{TrafficModel, WorkloadBuilder};
 
-use crate::args::{GenerateOptions, QueryOptions};
+use crate::args::{GenerateOptions, QueryOptions, QuerySource, RemoteEndpoint, ServeOptions};
 use crate::error::CliError;
 
 fn human_bytes(n: u64) -> String {
@@ -112,29 +115,20 @@ pub fn validate(path: &str, out: &mut impl Write) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `lvq query`: verifiable history query against the persisted chain.
-pub fn query(opts: &QueryOptions, out: &mut impl Write) -> Result<(), CliError> {
-    let (chain, config) = load_with_config(&opts.file)?;
-    let address = Address::new(opts.address.as_str());
-
-    let prover = Prover::new(&chain, config)?;
-    let (response, stats) = match opts.range {
-        None => prover.respond(&address)?,
-        Some((lo, hi)) => prover.respond_range(&address, lo, hi)?,
-    };
-
-    let client = LightClient::new(config, chain.headers());
-    let history = match opts.range {
-        None => client.verify(&address, &response)?,
-        Some((lo, hi)) => client.verify_range(&address, lo, hi, &response)?,
-    };
-
+/// Prints the part of a query report that local and remote queries
+/// share: the verified history and its completeness level.
+fn print_history(
+    out: &mut impl Write,
+    address: &Address,
+    range: Option<(u64, u64)>,
+    history: &VerifiedHistory,
+) -> Result<(), CliError> {
     let completeness = match history.completeness {
         Completeness::Complete => "complete (no omissions possible)",
         Completeness::CorrectnessOnly => "correctness only (strawman cannot prove completeness)",
     };
     writeln!(out, "address      : {address}")?;
-    if let Some((lo, hi)) = opts.range {
+    if let Some((lo, hi)) = range {
         writeln!(out, "range        : blocks {lo}..={hi}")?;
     }
     writeln!(out, "transactions : {}", history.transactions.len())?;
@@ -149,6 +143,35 @@ pub fn query(opts: &QueryOptions, out: &mut impl Write) -> Result<(), CliError> 
         history.balance.spent
     )?;
     writeln!(out, "verification : {completeness}")?;
+    Ok(())
+}
+
+/// `lvq query`: verifiable history query, locally proved from a chain
+/// file or fetched from a remote node over TCP.
+pub fn query(opts: &QueryOptions, out: &mut impl Write) -> Result<(), CliError> {
+    match &opts.source {
+        QuerySource::File(path) => query_local(path, opts, out),
+        QuerySource::Remote(remote) => query_remote(remote, opts, out),
+    }
+}
+
+fn query_local(path: &str, opts: &QueryOptions, out: &mut impl Write) -> Result<(), CliError> {
+    let (chain, config) = load_with_config(path)?;
+    let address = Address::new(opts.address.as_str());
+
+    let prover = Prover::new(&chain, config)?;
+    let (response, stats) = match opts.range {
+        None => prover.respond(&address)?,
+        Some((lo, hi)) => prover.respond_range(&address, lo, hi)?,
+    };
+
+    let client = LightClient::new(config, chain.headers());
+    let history = match opts.range {
+        None => client.verify(&address, &response)?,
+        Some((lo, hi)) => client.verify_range(&address, lo, hi, &response)?,
+    };
+
+    print_history(out, &address, opts.range, &history)?;
     writeln!(
         out,
         "proof size   : {} ({} endpoint filters, {} blocks resolved)",
@@ -167,6 +190,89 @@ pub fn query(opts: &QueryOptions, out: &mut impl Write) -> Result<(), CliError> 
         writeln!(out, "  integral blocks {}", human_bytes(b.integral_blocks))?;
         writeln!(out, "  framing         {}", human_bytes(b.framing))?;
     }
+    Ok(())
+}
+
+fn query_remote(
+    remote: &RemoteEndpoint,
+    opts: &QueryOptions,
+    out: &mut impl Write,
+) -> Result<(), CliError> {
+    let bloom = BloomParams::new(remote.bf_bytes, remote.hashes)
+        .map_err(|e| CliError::Usage(format!("bad bloom parameters: {e}")))?;
+    let config = SchemeConfig::new(remote.scheme, bloom, remote.segment_len)?;
+    let address = Address::new(opts.address.as_str());
+
+    let mut transport = TcpTransport::connect(remote.addr.as_str())?;
+    let mut light = LightNode::sync_from(&mut transport, config)?;
+    let outcome = match opts.range {
+        None => light.query(&mut transport, &address)?,
+        Some((lo, hi)) => light.query_range(&mut transport, &address, lo, hi)?,
+    };
+
+    writeln!(out, "peer         : {}", remote.addr)?;
+    writeln!(
+        out,
+        "synced       : {} headers ({} scheme)",
+        light.client().tip_height(),
+        remote.scheme
+    )?;
+    print_history(out, &address, opts.range, &outcome.history)?;
+    writeln!(
+        out,
+        "traffic      : {} sent, {} received ({} round trips incl. sync)",
+        human_bytes(light.cumulative_traffic().request_bytes),
+        human_bytes(light.cumulative_traffic().response_bytes),
+        light.exchanges()
+    )?;
+    Ok(())
+}
+
+/// `lvq serve`: load a chain file and answer queries over TCP until
+/// interrupted (or until `--max-requests` have been handled).
+pub fn serve(opts: &ServeOptions, out: &mut impl Write) -> Result<(), CliError> {
+    let (mut chain, config) = load_with_config(&opts.file)?;
+    if opts.filter_cache.is_some() || opts.smt_cache.is_some() {
+        let default = CacheConfig::default();
+        chain.set_cache_config(CacheConfig::new(
+            opts.filter_cache.unwrap_or(default.filter_cache_bytes),
+            opts.smt_cache.unwrap_or(default.smt_cache_bytes),
+        ));
+    }
+    let blocks = chain.tip_height();
+    let full = Arc::new(FullNode::new(chain)?);
+    let server = NodeServer::bind(
+        Arc::clone(&full),
+        opts.addr.as_str(),
+        ServerConfig::default(),
+    )?;
+    writeln!(
+        out,
+        "serving {} blocks ({} scheme) on {}",
+        blocks,
+        config.scheme(),
+        server.local_addr()
+    )?;
+    out.flush()?;
+
+    loop {
+        std::thread::sleep(Duration::from_millis(10));
+        if let Some(max) = opts.max_requests {
+            if server.stats().requests >= max {
+                break;
+            }
+        }
+    }
+    let stats = server.shutdown();
+    writeln!(
+        out,
+        "served {} requests over {} connections ({} in, {} out, {} errors)",
+        stats.requests,
+        stats.connections,
+        human_bytes(stats.request_bytes),
+        human_bytes(stats.response_bytes),
+        stats.errors
+    )?;
     Ok(())
 }
 
@@ -277,6 +383,132 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("transactions : 0"));
         assert!(text.contains("balance      : 0"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// A `Write` that can be handed to a server thread and read from
+    /// the test thread (to learn the bound port).
+    #[derive(Clone, Default)]
+    struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl SharedBuf {
+        fn text(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+    }
+
+    #[test]
+    fn serve_and_query_over_tcp() {
+        let path = temp_path("serve.lvq");
+        run(
+            &strings(&[
+                "generate",
+                "--out",
+                &path,
+                "--blocks",
+                "16",
+                "--txs",
+                "4",
+                "--segment",
+                "8",
+                "--bf",
+                "256",
+                "--probe",
+                "1TcpProbe:4:3",
+            ]),
+            &mut Vec::new(),
+        )
+        .unwrap();
+
+        // Each remote query run is one connection doing a header sync
+        // plus one query: two full + one ranged query = 4 requests.
+        let server_out = SharedBuf::default();
+        let server_thread = {
+            let mut out = server_out.clone();
+            let path = path.clone();
+            std::thread::spawn(move || {
+                run(
+                    &strings(&[
+                        "serve",
+                        &path,
+                        "--addr",
+                        "127.0.0.1:0",
+                        "--max-requests",
+                        "4",
+                        "--filter-cache",
+                        "1048576",
+                    ]),
+                    &mut out,
+                )
+                .unwrap();
+            })
+        };
+
+        // The OS picked the port; learn it from the banner line.
+        let addr = loop {
+            if let Some(line) = server_out.text().lines().find(|l| l.starts_with("serving")) {
+                break line.rsplit(' ').next().unwrap().to_string();
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        };
+
+        let mut out = Vec::new();
+        run(
+            &strings(&[
+                "query",
+                "1TcpProbe",
+                "--addr",
+                &addr,
+                "--segment",
+                "8",
+                "--bf",
+                "256",
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("synced       : 16 headers"), "{text}");
+        assert!(text.contains("transactions : 4"), "{text}");
+        assert!(text.contains("complete (no omissions possible)"), "{text}");
+        assert!(text.contains("traffic      :"), "{text}");
+
+        let mut out = Vec::new();
+        run(
+            &strings(&[
+                "query",
+                "1TcpProbe",
+                "--addr",
+                &addr,
+                "--segment",
+                "8",
+                "--bf",
+                "256",
+                "--range",
+                "1:8",
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("range        : blocks 1..=8"), "{text}");
+
+        server_thread.join().unwrap();
+        let text = server_out.text();
+        assert!(
+            text.contains("served 4 requests over 2 connections"),
+            "{text}"
+        );
         std::fs::remove_file(&path).ok();
     }
 

@@ -22,6 +22,8 @@ pub enum CliError {
     /// The verifier rejected the (locally generated) response — only
     /// possible if the chain file is inconsistent.
     Verify(lvq_core::QueryError),
+    /// Node/transport problems while serving or querying over TCP.
+    Node(lvq_node::NodeError),
 }
 
 impl fmt::Display for CliError {
@@ -34,6 +36,7 @@ impl fmt::Display for CliError {
             CliError::Workload(e) => write!(f, "workload: {e}"),
             CliError::Prove(e) => write!(f, "prover: {e}"),
             CliError::Verify(e) => write!(f, "verification: {e}"),
+            CliError::Node(e) => write!(f, "node: {e}"),
         }
     }
 }
@@ -47,6 +50,7 @@ impl Error for CliError {
             CliError::Workload(e) => Some(e),
             CliError::Prove(e) => Some(e),
             CliError::Verify(e) => Some(e),
+            CliError::Node(e) => Some(e),
             CliError::Usage(_) => None,
         }
     }
@@ -85,5 +89,11 @@ impl From<lvq_core::ProveError> for CliError {
 impl From<lvq_core::QueryError> for CliError {
     fn from(e: lvq_core::QueryError) -> Self {
         CliError::Verify(e)
+    }
+}
+
+impl From<lvq_node::NodeError> for CliError {
+    fn from(e: lvq_node::NodeError) -> Self {
+        CliError::Node(e)
     }
 }

@@ -10,7 +10,9 @@ mod args;
 mod commands;
 mod error;
 
-pub use args::{parse_probe_spec, GenerateOptions, QueryOptions};
+pub use args::{
+    parse_probe_spec, GenerateOptions, QueryOptions, QuerySource, RemoteEndpoint, ServeOptions,
+};
 pub use error::CliError;
 
 use std::io::Write;
@@ -24,6 +26,10 @@ usage:
   lvq info FILE
   lvq validate FILE
   lvq query FILE ADDRESS [--range LO:HI] [--breakdown]
+  lvq query ADDRESS --addr HOST:PORT --segment M [--scheme NAME] [--bf BYTES]
+            [--k N] [--range LO:HI]
+  lvq serve FILE [--addr HOST:PORT] [--max-requests N]
+            [--filter-cache BYTES] [--smt-cache BYTES]
   lvq balance FILE ADDRESS";
 
 /// Dispatches a full command line (without the program name).
@@ -47,6 +53,7 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
             _ => Err(CliError::Usage("validate takes exactly one file".into())),
         },
         "query" => commands::query(&args::QueryOptions::parse(rest)?, out),
+        "serve" => commands::serve(&args::ServeOptions::parse(rest)?, out),
         "balance" => match rest {
             [file, address] => commands::balance(file, address, out),
             _ => Err(CliError::Usage(

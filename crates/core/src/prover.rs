@@ -205,6 +205,42 @@ impl<'a> Prover<'a> {
         &self,
         addresses: &[Address],
     ) -> Result<(BatchQueryResponse, ProverStats), ProveError> {
+        self.respond_batch_over(addresses, 1, self.chain.tip_height())
+    }
+
+    /// Answers a batched query restricted to blocks `lo..=hi` — the
+    /// multi-address counterpart of [`Prover::respond_range`], with the
+    /// same boundary rule: a left-boundary segment's proof may cover
+    /// blocks below `lo`, whose failed leaves then need no block-level
+    /// fragment for any address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProveError::EmptyBatch`] for an empty address list and
+    /// [`ProveError::InvalidRange`] unless `1 ≤ lo ≤ hi ≤ tip`.
+    pub fn respond_batch_range(
+        &self,
+        addresses: &[Address],
+        lo: u64,
+        hi: u64,
+    ) -> Result<(BatchQueryResponse, ProverStats), ProveError> {
+        if lo == 0 || lo > hi || hi > self.chain.tip_height() {
+            return Err(ProveError::InvalidRange {
+                lo,
+                hi,
+                tip: self.chain.tip_height(),
+            });
+        }
+        self.respond_batch_over(addresses, lo, hi)
+    }
+
+    /// Shared implementation; `lo = 1, hi = 0` encodes the empty chain.
+    fn respond_batch_over(
+        &self,
+        addresses: &[Address],
+        lo: u64,
+        hi: u64,
+    ) -> Result<(BatchQueryResponse, ProverStats), ProveError> {
         if addresses.is_empty() {
             return Err(ProveError::EmptyBatch);
         }
@@ -212,19 +248,20 @@ impl<'a> Prover<'a> {
             .iter()
             .map(|a| BloomFilter::bit_positions(self.config.bloom(), a.as_bytes()))
             .collect();
-        let tip = self.chain.tip_height();
         let mut stats = ProverStats::default();
         let response = if self.config.scheme().is_per_block() {
             BatchQueryResponse::PerBlock(self.respond_batch_per_block(
                 addresses,
-                tip,
+                lo,
+                hi,
                 &position_sets,
                 &mut stats,
             )?)
         } else {
             BatchQueryResponse::Segmented(self.respond_batch_segmented(
                 addresses,
-                tip,
+                lo,
+                hi,
                 &position_sets,
                 &mut stats,
             )?)
@@ -237,12 +274,13 @@ impl<'a> Prover<'a> {
     fn respond_batch_per_block(
         &self,
         addresses: &[Address],
-        tip: u64,
+        lo: u64,
+        hi: u64,
         position_sets: &[Vec<u64>],
         stats: &mut ProverStats,
     ) -> Result<BatchPerBlockResponse, ProveError> {
-        let mut entries = Vec::with_capacity(tip as usize);
-        for height in 1..=tip {
+        let mut entries = Vec::with_capacity(hi.saturating_sub(lo) as usize + 1);
+        for height in lo..=hi {
             let filter = self.chain.leaf_filter(height)?;
             let mut fragments = Vec::with_capacity(addresses.len());
             for (address, positions) in addresses.iter().zip(position_sets) {
@@ -261,14 +299,23 @@ impl<'a> Prover<'a> {
 
     /// BMT schemes: one shared multi-address proof per (sub-)segment,
     /// then per-address fragment sections for its matched leaves.
+    ///
+    /// Only segments intersecting `lo..=hi` are included, and failed
+    /// leaves below `lo` (a boundary segment's prefix) are owed no
+    /// fragment — the batch analogue of [`Prover::respond_range`]'s
+    /// boundary rule.
     fn respond_batch_segmented(
         &self,
         addresses: &[Address],
-        tip: u64,
+        lo: u64,
+        hi: u64,
         position_sets: &[Vec<u64>],
         stats: &mut ProverStats,
     ) -> Result<BatchSegmentedResponse, ProveError> {
-        let segs = segments(tip, self.config.segment_len());
+        let segs: Vec<Segment> = segments(hi, self.config.segment_len())
+            .into_iter()
+            .filter(|seg| seg.hi >= lo)
+            .collect();
         let proofs = self.batch_segment_proofs(&segs, position_sets)?;
 
         let mut bundles = Vec::with_capacity(segs.len());
@@ -278,6 +325,11 @@ impl<'a> Prover<'a> {
             for (j, address) in addresses.iter().enumerate() {
                 let mut section = Vec::new();
                 for height in batch_failed_leaves(proof.root(), seg.lo, seg.hi, position_sets, j) {
+                    if height < lo {
+                        // Proven to match, but outside the queried
+                        // range: no block-level resolution is owed.
+                        continue;
+                    }
                     let fragment = self.resolve_block(height, address, stats)?;
                     stats.fragments.record(&fragment);
                     section.push((height, fragment));

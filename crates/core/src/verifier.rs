@@ -5,12 +5,45 @@ use std::collections::BTreeSet;
 use lvq_bloom::BloomFilter;
 use lvq_chain::{balance_of, Address, BalanceBreakdown, BlockHeader, Transaction};
 
-use crate::batch::BatchQueryResponse;
+use crate::batch::{BatchQueryResponse, BatchSegmentBundle};
 use crate::error::QueryError;
 use crate::fragment::BlockFragment;
-use crate::result::QueryResponse;
+use crate::result::{QueryResponse, SegmentBundle};
 use crate::scheme::{Scheme, SchemeConfig};
-use crate::segment::segments;
+use crate::segment::{segments, Segment};
+
+/// Runs `f` over `0..count`, preserving order.
+///
+/// With the `parallel` feature the items run on scoped worker threads
+/// (one per segment; segments are few and coarse-grained) — the
+/// light-side counterpart of the prover's parallel segment proofs.
+#[cfg(not(feature = "parallel"))]
+fn map_segments<T, F>(count: usize, f: F) -> Vec<Result<T, QueryError>>
+where
+    F: Fn(usize) -> Result<T, QueryError>,
+{
+    (0..count).map(f).collect()
+}
+
+/// Parallel variant: see the sequential twin above.
+#[cfg(feature = "parallel")]
+fn map_segments<T, F>(count: usize, f: F) -> Vec<Result<T, QueryError>>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T, QueryError> + Sync,
+{
+    if count <= 1 {
+        return (0..count).map(f).collect();
+    }
+    let f = &f;
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..count).map(|i| scope.spawn(move || f(i))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("segment verify worker panicked"))
+            .collect()
+    })
+}
 
 /// How much the verification established.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -190,6 +223,43 @@ impl LightClient {
         addresses: &[Address],
         response: &BatchQueryResponse,
     ) -> Result<Vec<VerifiedHistory>, QueryError> {
+        self.verify_batch_over(addresses, response, 1, self.tip_height())
+    }
+
+    /// Verifies a batched response restricted to blocks `lo..=hi` — the
+    /// batch counterpart of [`LightClient::verify_range`], applying the
+    /// same boundary rule (failed leaves below `lo` are owed no
+    /// fragment in any address's section).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QueryError::InvalidRange`] unless `1 ≤ lo ≤ hi ≤ tip`,
+    /// and otherwise errors exactly as [`LightClient::verify_batch`].
+    pub fn verify_batch_range(
+        &self,
+        addresses: &[Address],
+        lo: u64,
+        hi: u64,
+        response: &BatchQueryResponse,
+    ) -> Result<Vec<VerifiedHistory>, QueryError> {
+        if lo == 0 || lo > hi || hi > self.tip_height() {
+            return Err(QueryError::InvalidRange {
+                lo,
+                hi,
+                tip: self.tip_height(),
+            });
+        }
+        self.verify_batch_over(addresses, response, lo, hi)
+    }
+
+    /// Shared implementation; `lo = 1, hi = 0` encodes the empty chain.
+    fn verify_batch_over(
+        &self,
+        addresses: &[Address],
+        response: &BatchQueryResponse,
+        lo: u64,
+        hi: u64,
+    ) -> Result<Vec<VerifiedHistory>, QueryError> {
         if addresses.is_empty() {
             return Err(QueryError::EmptyBatch);
         }
@@ -198,27 +268,27 @@ impl LightClient {
             .map(|a| BloomFilter::bit_positions(self.config.bloom(), a.as_bytes()))
             .collect();
         let n = addresses.len();
-        let tip = self.tip_height();
         let mut collected: Vec<Vec<(u64, Transaction)>> = vec![Vec::new(); n];
         let mut correctness_only = vec![false; n];
 
         match (self.config.scheme().is_per_block(), response) {
             (true, BatchQueryResponse::PerBlock(r)) => {
-                if r.entries.len() as u64 != tip {
+                let expected = hi.saturating_sub(lo.saturating_sub(1));
+                if r.entries.len() as u64 != expected {
                     return Err(QueryError::WrongEntryCount {
                         got: r.entries.len() as u64,
-                        expected: tip,
+                        expected,
                     });
                 }
                 for (i, entry) in r.entries.iter().enumerate() {
-                    let height = i as u64 + 1;
+                    let height = lo + i as u64;
                     if entry.fragments.len() != n {
                         return Err(QueryError::SectionCountMismatch {
                             got: entry.fragments.len() as u64,
                             expected: n as u64,
                         });
                     }
-                    let header = &self.headers[i];
+                    let header = &self.headers[(height - 1) as usize];
                     let committed =
                         header
                             .commitments
@@ -252,55 +322,27 @@ impl LightClient {
                 }
             }
             (false, BatchQueryResponse::Segmented(r)) => {
-                let segs = segments(tip, self.config.segment_len());
+                let segs: Vec<Segment> = segments(hi, self.config.segment_len())
+                    .into_iter()
+                    .filter(|seg| seg.hi >= lo)
+                    .collect();
                 if r.segments.len() != segs.len() {
                     return Err(QueryError::SegmentMismatch);
                 }
-                for (seg, bundle) in segs.iter().zip(&r.segments) {
-                    if bundle.sections.len() != n {
-                        return Err(QueryError::SectionCountMismatch {
-                            got: bundle.sections.len() as u64,
-                            expected: n as u64,
-                        });
-                    }
-                    let header = &self.headers[(seg.hi - 1) as usize];
-                    let root =
-                        header
-                            .commitments
-                            .bmt_root
-                            .ok_or(QueryError::MissingCommitment {
-                                height: seg.hi,
-                                what: "bmt root",
-                            })?;
-                    let coverages = bundle
-                        .proof
-                        .verify(
-                            seg.lo,
-                            seg.len(),
-                            &root,
-                            self.config.bloom(),
-                            &position_sets,
-                        )
-                        .map_err(|source| QueryError::Bmt {
-                            segment_hi: seg.hi,
-                            source,
-                        })?;
-                    for (j, (address, coverage)) in addresses.iter().zip(&coverages).enumerate() {
-                        // Per address: the supplied section must account
-                        // for exactly the leaves the shared proof shows
-                        // matching this address's positions.
-                        let section = &bundle.sections[j];
-                        let supplied: Vec<u64> = section.iter().map(|(h, _)| *h).collect();
-                        if supplied != coverage.failed_leaves {
-                            return Err(QueryError::FragmentSetMismatch);
-                        }
-                        for (height, fragment) in section {
-                            let txs = self.verify_fragment(*height, address, fragment)?;
-                            if matches!(fragment, BlockFragment::MerkleBranches(_)) {
-                                correctness_only[j] = true;
-                            }
-                            collected[j].extend(txs.into_iter().map(|t| (*height, t)));
-                        }
+                let per_segment = map_segments(segs.len(), |i| {
+                    self.verify_batch_segment(
+                        addresses,
+                        &position_sets,
+                        &segs[i],
+                        &r.segments[i],
+                        lo,
+                    )
+                });
+                for result in per_segment {
+                    let (sections, flags) = result?;
+                    for (j, (txs, flag)) in sections.into_iter().zip(flags).enumerate() {
+                        collected[j].extend(txs);
+                        correctness_only[j] |= flag;
                     }
                 }
             }
@@ -325,6 +367,127 @@ impl LightClient {
                 }
             })
             .collect())
+    }
+
+    /// Verifies one segment of a single-address segmented response.
+    ///
+    /// Returns the `(height, transaction)` list the segment proves plus
+    /// a correctness-only flag.
+    fn verify_segment(
+        &self,
+        address: &Address,
+        positions: &[u64],
+        seg: &Segment,
+        bundle: &SegmentBundle,
+        lo: u64,
+    ) -> Result<(Vec<(u64, Transaction)>, bool), QueryError> {
+        let header = &self.headers[(seg.hi - 1) as usize];
+        let root = header
+            .commitments
+            .bmt_root
+            .ok_or(QueryError::MissingCommitment {
+                height: seg.hi,
+                what: "bmt root",
+            })?;
+        let coverage = bundle
+            .proof
+            .verify(seg.lo, seg.len(), &root, self.config.bloom(), positions)
+            .map_err(|source| QueryError::Bmt {
+                segment_hi: seg.hi,
+                source,
+            })?;
+        // The failed leaves inside the queried range and the supplied
+        // fragments must agree exactly — a prover cannot silently drop
+        // a block whose filter matched. (Failed leaves below `lo`
+        // belong to a boundary segment's prefix and are outside the
+        // query.)
+        let supplied: Vec<u64> = bundle.fragments.iter().map(|(h, _)| *h).collect();
+        let owed: Vec<u64> = coverage
+            .failed_leaves
+            .iter()
+            .copied()
+            .filter(|&h| h >= lo)
+            .collect();
+        if supplied != owed {
+            return Err(QueryError::FragmentSetMismatch);
+        }
+        let mut collected = Vec::new();
+        let mut correctness_only = false;
+        for (height, fragment) in &bundle.fragments {
+            let txs = self.verify_fragment(*height, address, fragment)?;
+            if matches!(fragment, BlockFragment::MerkleBranches(_)) {
+                correctness_only = true;
+            }
+            collected.extend(txs.into_iter().map(|t| (*height, t)));
+        }
+        Ok((collected, correctness_only))
+    }
+
+    /// Verifies one segment of a batched segmented response: the shared
+    /// proof against every address's positions, then each address's
+    /// fragment section against exactly its in-range matched leaves.
+    ///
+    /// Returns per-address `(height, transaction)` lists plus a
+    /// per-address correctness-only flag.
+    #[allow(clippy::type_complexity)]
+    fn verify_batch_segment(
+        &self,
+        addresses: &[Address],
+        position_sets: &[Vec<u64>],
+        seg: &Segment,
+        bundle: &BatchSegmentBundle,
+        lo: u64,
+    ) -> Result<(Vec<Vec<(u64, Transaction)>>, Vec<bool>), QueryError> {
+        let n = addresses.len();
+        if bundle.sections.len() != n {
+            return Err(QueryError::SectionCountMismatch {
+                got: bundle.sections.len() as u64,
+                expected: n as u64,
+            });
+        }
+        let header = &self.headers[(seg.hi - 1) as usize];
+        let root = header
+            .commitments
+            .bmt_root
+            .ok_or(QueryError::MissingCommitment {
+                height: seg.hi,
+                what: "bmt root",
+            })?;
+        let coverages = bundle
+            .proof
+            .verify(seg.lo, seg.len(), &root, self.config.bloom(), position_sets)
+            .map_err(|source| QueryError::Bmt {
+                segment_hi: seg.hi,
+                source,
+            })?;
+        let mut collected = vec![Vec::new(); n];
+        let mut correctness_only = vec![false; n];
+        for (j, (address, coverage)) in addresses.iter().zip(&coverages).enumerate() {
+            // Per address: the supplied section must account for
+            // exactly the in-range leaves the shared proof shows
+            // matching this address's positions. (Failed leaves below
+            // `lo` belong to a boundary segment's prefix and are
+            // outside the query.)
+            let section = &bundle.sections[j];
+            let supplied: Vec<u64> = section.iter().map(|(h, _)| *h).collect();
+            let owed: Vec<u64> = coverage
+                .failed_leaves
+                .iter()
+                .copied()
+                .filter(|&h| h >= lo)
+                .collect();
+            if supplied != owed {
+                return Err(QueryError::FragmentSetMismatch);
+            }
+            for (height, fragment) in section {
+                let txs = self.verify_fragment(*height, address, fragment)?;
+                if matches!(fragment, BlockFragment::MerkleBranches(_)) {
+                    correctness_only[j] = true;
+                }
+                collected[j].extend(txs.into_iter().map(|t| (*height, t)));
+            }
+        }
+        Ok((collected, correctness_only))
     }
 
     /// Shared implementation; `lo = 1, hi = 0` encodes the empty chain.
@@ -379,52 +542,20 @@ impl LightClient {
                 }
             }
             (false, QueryResponse::Segmented(r)) => {
-                let segs: Vec<_> = segments(hi, self.config.segment_len())
+                let segs: Vec<Segment> = segments(hi, self.config.segment_len())
                     .into_iter()
                     .filter(|seg| seg.hi >= lo)
                     .collect();
                 if r.segments.len() != segs.len() {
                     return Err(QueryError::SegmentMismatch);
                 }
-                for (seg, bundle) in segs.iter().zip(&r.segments) {
-                    let header = &self.headers[(seg.hi - 1) as usize];
-                    let root =
-                        header
-                            .commitments
-                            .bmt_root
-                            .ok_or(QueryError::MissingCommitment {
-                                height: seg.hi,
-                                what: "bmt root",
-                            })?;
-                    let coverage = bundle
-                        .proof
-                        .verify(seg.lo, seg.len(), &root, self.config.bloom(), &positions)
-                        .map_err(|source| QueryError::Bmt {
-                            segment_hi: seg.hi,
-                            source,
-                        })?;
-                    // The failed leaves inside the queried range and the
-                    // supplied fragments must agree exactly — a prover
-                    // cannot silently drop a block whose filter matched.
-                    // (Failed leaves below `lo` belong to a boundary
-                    // segment's prefix and are outside the query.)
-                    let supplied: Vec<u64> = bundle.fragments.iter().map(|(h, _)| *h).collect();
-                    let owed: Vec<u64> = coverage
-                        .failed_leaves
-                        .iter()
-                        .copied()
-                        .filter(|&h| h >= lo)
-                        .collect();
-                    if supplied != owed {
-                        return Err(QueryError::FragmentSetMismatch);
-                    }
-                    for (height, fragment) in &bundle.fragments {
-                        let txs = self.verify_fragment(*height, address, fragment)?;
-                        if matches!(fragment, BlockFragment::MerkleBranches(_)) {
-                            correctness_only = true;
-                        }
-                        collected.extend(txs.into_iter().map(|t| (*height, t)));
-                    }
+                let per_segment = map_segments(segs.len(), |i| {
+                    self.verify_segment(address, &positions, &segs[i], &r.segments[i], lo)
+                });
+                for result in per_segment {
+                    let (txs, flag) = result?;
+                    collected.extend(txs);
+                    correctness_only |= flag;
                 }
             }
             _ => return Err(QueryError::WrongResponseKind),

@@ -1,10 +1,11 @@
 //! The full node.
 
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use lvq_chain::{Chain, ChainCacheStats};
 use lvq_codec::{decode_exact, Encodable};
 use lvq_core::{Prover, ProverStats, SchemeConfig};
+use parking_lot::Mutex;
 
 use crate::message::{Message, NodeError};
 
@@ -30,17 +31,20 @@ pub struct QueryEngineStats {
 
 /// A full node: the complete chain plus the query-answering engine.
 ///
-/// The byte-level entry point is [`FullNode::handle`], which a
-/// [`crate::MeteredPipe`] calls with raw request bytes.
+/// The byte-level entry point is [`FullNode::handle`], which transports
+/// ([`crate::LocalTransport`], the [`crate::NodeServer`] connection
+/// threads) call with raw request bytes. `handle` takes `&self` and the
+/// node is `Sync`: one `Arc<FullNode>` can serve many concurrent
+/// connections, all sharing the chain's memo caches.
 #[derive(Debug)]
 pub struct FullNode {
     chain: Chain,
     config: SchemeConfig,
     /// Statistics of the most recent query, for experiment harnesses.
-    last_stats: Cell<Option<ProverStats>>,
-    queries: Cell<u64>,
-    batch_queries: Cell<u64>,
-    batch_addresses: Cell<u64>,
+    last_stats: Mutex<Option<ProverStats>>,
+    queries: AtomicU64,
+    batch_queries: AtomicU64,
+    batch_addresses: AtomicU64,
 }
 
 impl FullNode {
@@ -56,10 +60,10 @@ impl FullNode {
         Ok(FullNode {
             chain,
             config,
-            last_stats: Cell::new(None),
-            queries: Cell::new(0),
-            batch_queries: Cell::new(0),
-            batch_addresses: Cell::new(0),
+            last_stats: Mutex::new(None),
+            queries: AtomicU64::new(0),
+            batch_queries: AtomicU64::new(0),
+            batch_addresses: AtomicU64::new(0),
         })
     }
 
@@ -76,17 +80,17 @@ impl FullNode {
 
     /// Prover statistics of the most recent successfully answered query.
     pub fn last_stats(&self) -> Option<ProverStats> {
-        self.last_stats.get()
+        *self.last_stats.lock()
     }
 
     /// Snapshot of the query engine: request counters plus chain-cache
     /// hit/miss statistics.
     pub fn engine_stats(&self) -> QueryEngineStats {
         QueryEngineStats {
-            queries: self.queries.get(),
-            batch_queries: self.batch_queries.get(),
-            batch_addresses: self.batch_addresses.get(),
-            last: self.last_stats.get(),
+            queries: self.queries.load(Ordering::Relaxed),
+            batch_queries: self.batch_queries.load(Ordering::Relaxed),
+            batch_addresses: self.batch_addresses.load(Ordering::Relaxed),
+            last: *self.last_stats.lock(),
             cache: self.chain.cache_stats(),
         }
     }
@@ -108,17 +112,20 @@ impl FullNode {
                     None => prover.respond(&address)?,
                     Some((lo, hi)) => prover.respond_range(&address, lo, hi)?,
                 };
-                self.last_stats.set(Some(stats));
-                self.queries.set(self.queries.get() + 1);
+                *self.last_stats.lock() = Some(stats);
+                self.queries.fetch_add(1, Ordering::Relaxed);
                 Message::QueryResponse(Box::new(response))
             }
-            Message::BatchQueryRequest { addresses } => {
+            Message::BatchQueryRequest { addresses, range } => {
                 let prover = Prover::new(&self.chain, self.config)?;
-                let (response, stats) = prover.respond_batch(&addresses)?;
-                self.last_stats.set(Some(stats));
-                self.batch_queries.set(self.batch_queries.get() + 1);
+                let (response, stats) = match range {
+                    None => prover.respond_batch(&addresses)?,
+                    Some((lo, hi)) => prover.respond_batch_range(&addresses, lo, hi)?,
+                };
+                *self.last_stats.lock() = Some(stats);
+                self.batch_queries.fetch_add(1, Ordering::Relaxed);
                 self.batch_addresses
-                    .set(self.batch_addresses.get() + addresses.len() as u64);
+                    .fetch_add(addresses.len() as u64, Ordering::Relaxed);
                 Message::BatchQueryResponse(Box::new(response))
             }
             Message::Headers(_) | Message::QueryResponse(_) | Message::BatchQueryResponse(_) => {

@@ -1,16 +1,29 @@
-//! Full-node / light-node pair with a simulated, byte-metered RPC wire.
+//! Full-node / light-node pair with a transport-agnostic, byte-metered
+//! serving layer.
 //!
 //! The paper's prototype runs the query client and server as RPC peers
 //! on two machines and measures the size of the query results. This
-//! crate reproduces that setup in-process with full fidelity at the
-//! byte level: every request and response is really encoded through
-//! [`lvq_codec`], shipped as bytes across a [`MeteredPipe`], decoded on
-//! the far side, and the pipe records exactly what crossed it.
+//! crate reproduces that setup with full fidelity at the byte level:
+//! every request and response is really encoded through [`lvq_codec`],
+//! shipped as bytes across a [`Transport`], decoded on the far side,
+//! and the transport records exactly what crossed it.
 //!
 //! * [`FullNode`] — owns a [`lvq_chain::Chain`] and answers
 //!   [`Message::QueryRequest`]s with proofs from [`lvq_core::Prover`];
-//! * [`LightNode`] — stores only headers, issues requests, and verifies
-//!   responses with [`lvq_core::LightClient`];
+//!   `Sync`, so one node can serve many concurrent connections;
+//! * [`LightNode`] — stores only headers, issues requests over any
+//!   [`Transport`], and verifies responses with
+//!   [`lvq_core::LightClient`];
+//! * [`Transport`] — the serving abstraction, with two
+//!   interchangeable implementations: [`LocalTransport`] (the
+//!   in-process simulated wire, a [`MeteredPipe`] in front of the
+//!   node) and [`TcpTransport`] (length-prefixed frames over a real
+//!   socket, speaking to a [`NodeServer`]). Both count [`Traffic`] as
+//!   payload bytes only, so measurements agree exactly;
+//! * [`NodeServer`] — a thread-per-connection TCP server sharing one
+//!   `Arc<FullNode>` (and thus its memo caches) across clients;
+//! * [`query_quorum`] / [`query_quorum_batch`] — cross-check several
+//!   peers and merge their verified answers;
 //! * [`BandwidthModel`] — converts measured bytes into estimated
 //!   transfer times for reporting.
 //!
@@ -20,7 +33,7 @@
 //! use lvq_bloom::BloomParams;
 //! use lvq_chain::{Address, ChainBuilder, Transaction};
 //! use lvq_core::{Scheme, SchemeConfig};
-//! use lvq_node::{FullNode, LightNode};
+//! use lvq_node::{FullNode, LightNode, LocalTransport};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let config = SchemeConfig::new(Scheme::Lvq, BloomParams::new(128, 2)?, 4)?;
@@ -29,28 +42,38 @@
 //!     builder.push_block(vec![Transaction::coinbase(Address::new("1Miner"), 50, h)])?;
 //! }
 //! let full = FullNode::new(builder.finish())?;
-//! let mut light = LightNode::sync_from(&full, config)?;
+//! let mut peer = LocalTransport::new(&full);
+//! let mut light = LightNode::sync_from(&mut peer, config)?;
 //!
-//! let outcome = light.query(&full, &Address::new("1Miner"))?;
+//! let outcome = light.query(&mut peer, &Address::new("1Miner"))?;
 //! assert_eq!(outcome.history.transactions.len(), 4);
 //! assert!(outcome.traffic.response_bytes > 0);
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! For the TCP side of the same flow, see [`NodeServer`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod bandwidth;
+pub mod frame;
 mod full;
 mod light;
 mod message;
 mod pipe;
 mod quorum;
+mod server;
+mod tcp;
+mod transport;
 
 pub use bandwidth::BandwidthModel;
 pub use full::{FullNode, QueryEngineStats};
 pub use light::{BatchQueryOutcome, LightNode, QueryOutcome};
 pub use message::{Message, NodeError};
 pub use pipe::{MeteredPipe, Traffic};
-pub use quorum::{query_quorum, QueryPeer, QuorumOutcome};
+pub use quorum::{query_quorum, query_quorum_batch, QueryPeer, QuorumBatchOutcome, QuorumOutcome};
+pub use server::{NodeServer, ServerConfig, ServerStats};
+pub use tcp::TcpTransport;
+pub use transport::{LocalTransport, Transport};

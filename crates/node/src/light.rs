@@ -4,9 +4,9 @@ use lvq_chain::Address;
 use lvq_codec::{decode_exact, Encodable};
 use lvq_core::{LightClient, SchemeConfig, VerifiedHistory};
 
-use crate::full::FullNode;
 use crate::message::{Message, NodeError};
-use crate::pipe::{MeteredPipe, Traffic};
+use crate::pipe::Traffic;
+use crate::transport::Transport;
 
 /// What one verified batched query produced.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,13 +28,19 @@ pub struct QueryOutcome {
 
 /// A light node: headers only, plus the verification engine.
 ///
+/// Every networked operation takes a [`Transport`] — the same light
+/// node can query an in-process [`crate::LocalTransport`] or a remote
+/// [`crate::TcpTransport`] interchangeably, and the byte accounting is
+/// identical either way.
+///
 /// # Examples
 ///
 /// See the [crate-level example](crate).
 #[derive(Debug)]
 pub struct LightNode {
     client: LightClient,
-    pipe: MeteredPipe,
+    cumulative: Traffic,
+    exchanges: u64,
 }
 
 impl LightNode {
@@ -43,12 +49,13 @@ impl LightNode {
     pub fn new(config: SchemeConfig, headers: Vec<lvq_chain::BlockHeader>) -> Self {
         LightNode {
             client: LightClient::new(config, headers),
-            pipe: MeteredPipe::new(),
+            cumulative: Traffic::default(),
+            exchanges: 0,
         }
     }
 
-    /// Bootstraps a light node by downloading headers from `full` over
-    /// the metered wire (initial block download, headers only).
+    /// Bootstraps a light node by downloading headers over `transport`
+    /// (initial block download, headers only).
     ///
     /// `config` is the light node's **out-of-band trust anchor** — the
     /// scheme, Bloom parameters, and segment length it obtained when
@@ -64,10 +71,12 @@ impl LightNode {
     /// Returns a [`NodeError`] if the exchange fails or the reply is
     /// not a header list, and [`NodeError::ConfigMismatch`] if any
     /// header's commitments do not match `config`'s policy.
-    pub fn sync_from(full: &FullNode, config: SchemeConfig) -> Result<Self, NodeError> {
-        let mut pipe = MeteredPipe::new();
+    pub fn sync_from<T: Transport + ?Sized>(
+        transport: &mut T,
+        config: SchemeConfig,
+    ) -> Result<Self, NodeError> {
         let request = Message::GetHeaders.encode();
-        let (reply, _) = pipe.exchange(&request, |bytes| full.handle(bytes))?;
+        let (reply, traffic) = transport.exchange(&request)?;
         let Message::Headers(headers) = decode_exact::<Message>(&reply)? else {
             return Err(NodeError::UnexpectedMessage);
         };
@@ -88,7 +97,11 @@ impl LightNode {
         let client = LightClient::new(config, headers);
         // SPV sanity: the downloaded headers must form a hash chain.
         client.validate_header_chain()?;
-        Ok(LightNode { client, pipe })
+        Ok(LightNode {
+            client,
+            cumulative: traffic,
+            exchanges: 1,
+        })
     }
 
     /// The verification engine (e.g. to inspect
@@ -97,42 +110,52 @@ impl LightNode {
         &self.client
     }
 
-    /// Cumulative traffic across all exchanges this node performed.
+    /// Cumulative traffic across all exchanges this node performed
+    /// (including its initial header sync), on any transport.
     pub fn cumulative_traffic(&self) -> Traffic {
-        self.pipe.cumulative
+        self.cumulative
     }
 
-    /// Queries `full` for the history of `address` and verifies the
-    /// response.
+    /// Number of request/response exchanges this node performed.
+    pub fn exchanges(&self) -> u64 {
+        self.exchanges
+    }
+
+    /// Queries the peer behind `transport` for the history of `address`
+    /// and verifies the response.
     ///
     /// # Errors
     ///
     /// Returns [`NodeError::Verify`] if the response fails verification
     /// — the caller should treat the full node as faulty or malicious —
     /// and other [`NodeError`] variants for transport-level problems.
-    pub fn query(&mut self, full: &FullNode, address: &Address) -> Result<QueryOutcome, NodeError> {
-        self.query_inner(full, address, None)
+    pub fn query<T: Transport + ?Sized>(
+        &mut self,
+        transport: &mut T,
+        address: &Address,
+    ) -> Result<QueryOutcome, NodeError> {
+        self.query_inner(transport, address, None)
     }
 
-    /// Queries `full` for the history of `address` restricted to blocks
+    /// Queries for the history of `address` restricted to blocks
     /// `lo..=hi` and verifies the response over exactly that range.
     ///
     /// # Errors
     ///
     /// As [`LightNode::query`], plus verification rejects ranges outside
     /// `1..=tip`.
-    pub fn query_range(
+    pub fn query_range<T: Transport + ?Sized>(
         &mut self,
-        full: &FullNode,
+        transport: &mut T,
         address: &Address,
         lo: u64,
         hi: u64,
     ) -> Result<QueryOutcome, NodeError> {
-        self.query_inner(full, address, Some((lo, hi)))
+        self.query_inner(transport, address, Some((lo, hi)))
     }
 
-    /// Queries `full` for the histories of several addresses in one
-    /// round trip and verifies every per-address section.
+    /// Queries for the histories of several addresses in one round trip
+    /// and verifies every per-address section.
     ///
     /// Under the BMT schemes, the response shares one descent per
     /// segment across all addresses, so the batch moves fewer bytes
@@ -142,26 +165,59 @@ impl LightNode {
     ///
     /// As [`LightNode::query`]; an empty `addresses` list is rejected
     /// by the prover ([`NodeError::Prove`]).
-    pub fn query_batch(
+    pub fn query_batch<T: Transport + ?Sized>(
         &mut self,
-        full: &FullNode,
+        transport: &mut T,
         addresses: &[Address],
+    ) -> Result<BatchQueryOutcome, NodeError> {
+        self.query_batch_inner(transport, addresses, None)
+    }
+
+    /// Queries for the histories of several addresses restricted to
+    /// blocks `lo..=hi` in one round trip — the batch counterpart of
+    /// [`LightNode::query_range`].
+    ///
+    /// # Errors
+    ///
+    /// As [`LightNode::query_batch`], plus verification rejects ranges
+    /// outside `1..=tip`.
+    pub fn query_batch_range<T: Transport + ?Sized>(
+        &mut self,
+        transport: &mut T,
+        addresses: &[Address],
+        lo: u64,
+        hi: u64,
+    ) -> Result<BatchQueryOutcome, NodeError> {
+        self.query_batch_inner(transport, addresses, Some((lo, hi)))
+    }
+
+    fn query_batch_inner<T: Transport + ?Sized>(
+        &mut self,
+        transport: &mut T,
+        addresses: &[Address],
+        range: Option<(u64, u64)>,
     ) -> Result<BatchQueryOutcome, NodeError> {
         let request = Message::BatchQueryRequest {
             addresses: addresses.to_vec(),
+            range,
         }
         .encode();
-        let (reply, traffic) = self.pipe.exchange(&request, |bytes| full.handle(bytes))?;
+        let (reply, traffic) = self.metered_exchange(transport, &request)?;
         let Message::BatchQueryResponse(response) = decode_exact::<Message>(&reply)? else {
             return Err(NodeError::UnexpectedMessage);
         };
-        let histories = self.client.verify_batch(addresses, &response)?;
+        let histories = match range {
+            None => self.client.verify_batch(addresses, &response)?,
+            Some((lo, hi)) => self
+                .client
+                .verify_batch_range(addresses, lo, hi, &response)?,
+        };
         Ok(BatchQueryOutcome { histories, traffic })
     }
 
-    fn query_inner(
+    fn query_inner<T: Transport + ?Sized>(
         &mut self,
-        full: &FullNode,
+        transport: &mut T,
         address: &Address,
         range: Option<(u64, u64)>,
     ) -> Result<QueryOutcome, NodeError> {
@@ -170,7 +226,7 @@ impl LightNode {
             range,
         }
         .encode();
-        let (reply, traffic) = self.pipe.exchange(&request, |bytes| full.handle(bytes))?;
+        let (reply, traffic) = self.metered_exchange(transport, &request)?;
         let Message::QueryResponse(response) = decode_exact::<Message>(&reply)? else {
             return Err(NodeError::UnexpectedMessage);
         };
@@ -180,11 +236,26 @@ impl LightNode {
         };
         Ok(QueryOutcome { history, traffic })
     }
+
+    /// One exchange, folded into this node's cumulative accounting.
+    fn metered_exchange<T: Transport + ?Sized>(
+        &mut self,
+        transport: &mut T,
+        request: &[u8],
+    ) -> Result<(Vec<u8>, Traffic), NodeError> {
+        let (reply, traffic) = transport.exchange(request)?;
+        self.cumulative.request_bytes += traffic.request_bytes;
+        self.cumulative.response_bytes += traffic.response_bytes;
+        self.exchanges += 1;
+        Ok((reply, traffic))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::full::FullNode;
+    use crate::transport::LocalTransport;
     use lvq_bloom::BloomParams;
     use lvq_chain::{ChainBuilder, Transaction, TxInput, TxOutPoint, TxOutput};
     use lvq_core::{Completeness, Scheme};
@@ -230,8 +301,9 @@ mod tests {
     fn end_to_end_all_schemes() {
         for scheme in Scheme::ALL {
             let full = full_node(scheme, 10);
-            let mut light = LightNode::sync_from(&full, config_for(scheme)).unwrap();
-            let outcome = light.query(&full, &Address::new("1Shop")).unwrap();
+            let mut peer = LocalTransport::new(&full);
+            let mut light = LightNode::sync_from(&mut peer, config_for(scheme)).unwrap();
+            let outcome = light.query(&mut peer, &Address::new("1Shop")).unwrap();
             assert_eq!(
                 outcome.history.transactions.len(),
                 5,
@@ -252,28 +324,41 @@ mod tests {
     fn absent_address_yields_empty_complete_history() {
         for scheme in Scheme::ALL {
             let full = full_node(scheme, 10);
-            let mut light = LightNode::sync_from(&full, config_for(scheme)).unwrap();
-            let outcome = light.query(&full, &Address::new("1Ghost")).unwrap();
+            let mut peer = LocalTransport::new(&full);
+            let mut light = LightNode::sync_from(&mut peer, config_for(scheme)).unwrap();
+            let outcome = light.query(&mut peer, &Address::new("1Ghost")).unwrap();
             assert!(outcome.history.transactions.is_empty(), "scheme {scheme}");
             assert_eq!(outcome.history.balance.net(), 0);
         }
     }
 
     #[test]
-    fn traffic_accumulates_across_queries() {
+    fn traffic_accumulates_across_queries_and_transports() {
         let full = full_node(Scheme::Lvq, 8);
-        let mut light = LightNode::sync_from(&full, config_for(Scheme::Lvq)).unwrap();
+        let mut peer = LocalTransport::new(&full);
+        let mut light = LightNode::sync_from(&mut peer, config_for(Scheme::Lvq)).unwrap();
         let t0 = light.cumulative_traffic();
-        light.query(&full, &Address::new("1Shop")).unwrap();
-        light.query(&full, &Address::new("1Miner")).unwrap();
+        assert!(t0.response_bytes > 0, "header sync is metered");
+        light.query(&mut peer, &Address::new("1Shop")).unwrap();
+        // A second transport to the same node: the light node's own
+        // accounting spans transports.
+        let mut other = LocalTransport::new(&full);
+        light.query(&mut other, &Address::new("1Miner")).unwrap();
         let t1 = light.cumulative_traffic();
         assert!(t1.total() > t0.total());
+        assert_eq!(light.exchanges(), 3);
+        // And the per-transport view splits the same totals.
+        assert_eq!(
+            peer.cumulative_traffic().total() + other.cumulative_traffic().total(),
+            t1.total()
+        );
     }
 
     #[test]
     fn light_node_stores_headers_only() {
         let full = full_node(Scheme::Lvq, 8);
-        let light = LightNode::sync_from(&full, config_for(Scheme::Lvq)).unwrap();
+        let mut peer = LocalTransport::new(&full);
+        let light = LightNode::sync_from(&mut peer, config_for(Scheme::Lvq)).unwrap();
         // The light node stores exactly the header bytes the chain's
         // own headers occupy — derived, not hard-coded, so changes to
         // the header layout don't silently break this test.
@@ -295,10 +380,11 @@ mod tests {
     fn range_queries_verify_per_scheme() {
         for scheme in Scheme::ALL {
             let full = full_node(scheme, 10);
-            let mut light = LightNode::sync_from(&full, config_for(scheme)).unwrap();
+            let mut peer = LocalTransport::new(&full);
+            let mut light = LightNode::sync_from(&mut peer, config_for(scheme)).unwrap();
             // "1Shop" receives in blocks 2,4,6,8,10; range 3..=7 covers 4,6.
             let outcome = light
-                .query_range(&full, &Address::new("1Shop"), 3, 7)
+                .query_range(&mut peer, &Address::new("1Shop"), 3, 7)
                 .unwrap();
             let heights: Vec<u64> = outcome
                 .history
@@ -308,7 +394,7 @@ mod tests {
                 .collect();
             assert_eq!(heights, vec![4, 6], "scheme {scheme}");
             // A range query moves fewer bytes than the full query.
-            let full_outcome = light.query(&full, &Address::new("1Shop")).unwrap();
+            let full_outcome = light.query(&mut peer, &Address::new("1Shop")).unwrap();
             assert!(outcome.traffic.response_bytes <= full_outcome.traffic.response_bytes);
         }
     }
@@ -316,13 +402,20 @@ mod tests {
     #[test]
     fn invalid_range_rejected() {
         let full = full_node(Scheme::Lvq, 4);
-        let mut light = LightNode::sync_from(&full, config_for(Scheme::Lvq)).unwrap();
+        let mut peer = LocalTransport::new(&full);
+        let mut light = LightNode::sync_from(&mut peer, config_for(Scheme::Lvq)).unwrap();
         for (lo, hi) in [(0u64, 2u64), (3, 2), (1, 9)] {
             assert!(
                 light
-                    .query_range(&full, &Address::new("1Shop"), lo, hi)
+                    .query_range(&mut peer, &Address::new("1Shop"), lo, hi)
                     .is_err(),
                 "range {lo}..={hi}"
+            );
+            assert!(
+                light
+                    .query_batch_range(&mut peer, &[Address::new("1Shop")], lo, hi)
+                    .is_err(),
+                "batch range {lo}..={hi}"
             );
         }
     }
@@ -331,16 +424,38 @@ mod tests {
     fn batch_query_matches_singles_across_schemes() {
         for scheme in Scheme::ALL {
             let full = full_node(scheme, 10);
-            let mut light = LightNode::sync_from(&full, config_for(scheme)).unwrap();
+            let mut peer = LocalTransport::new(&full);
+            let mut light = LightNode::sync_from(&mut peer, config_for(scheme)).unwrap();
             let addresses = [
                 Address::new("1Shop"),
                 Address::new("1Miner"),
                 Address::new("1Ghost"),
             ];
-            let batch = light.query_batch(&full, &addresses).unwrap();
+            let batch = light.query_batch(&mut peer, &addresses).unwrap();
             assert_eq!(batch.histories.len(), addresses.len());
             for (address, history) in addresses.iter().zip(&batch.histories) {
-                let single = light.query(&full, address).unwrap();
+                let single = light.query(&mut peer, address).unwrap();
+                assert_eq!(
+                    history, &single.history,
+                    "scheme {scheme}, address {address}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_range_matches_single_ranges_across_schemes() {
+        for scheme in Scheme::ALL {
+            let full = full_node(scheme, 10);
+            let mut peer = LocalTransport::new(&full);
+            let mut light = LightNode::sync_from(&mut peer, config_for(scheme)).unwrap();
+            let addresses = [Address::new("1Shop"), Address::new("1Miner")];
+            let (lo, hi) = (3u64, 7u64);
+            let batch = light
+                .query_batch_range(&mut peer, &addresses, lo, hi)
+                .unwrap();
+            for (address, history) in addresses.iter().zip(&batch.histories) {
+                let single = light.query_range(&mut peer, address, lo, hi).unwrap();
                 assert_eq!(
                     history, &single.history,
                     "scheme {scheme}, address {address}"
@@ -352,16 +467,17 @@ mod tests {
     #[test]
     fn batch_moves_fewer_bytes_than_singles_under_lvq() {
         let full = full_node(Scheme::Lvq, 10);
-        let mut light = LightNode::sync_from(&full, config_for(Scheme::Lvq)).unwrap();
+        let mut peer = LocalTransport::new(&full);
+        let mut light = LightNode::sync_from(&mut peer, config_for(Scheme::Lvq)).unwrap();
         let addresses: Vec<Address> =
             ["1Shop", "1Miner", "1Payer", "1GhostA", "1GhostB", "1GhostC"]
                 .iter()
                 .map(|s| Address::new(*s))
                 .collect();
-        let batch = light.query_batch(&full, &addresses).unwrap();
+        let batch = light.query_batch(&mut peer, &addresses).unwrap();
         let singles: u64 = addresses
             .iter()
-            .map(|a| light.query(&full, a).unwrap().traffic.response_bytes)
+            .map(|a| light.query(&mut peer, a).unwrap().traffic.response_bytes)
             .sum();
         assert!(
             batch.traffic.response_bytes < singles,
@@ -376,11 +492,12 @@ mod tests {
     #[test]
     fn engine_stats_track_queries_and_cache() {
         let full = full_node(Scheme::Lvq, 10);
-        let mut light = LightNode::sync_from(&full, config_for(Scheme::Lvq)).unwrap();
+        let mut peer = LocalTransport::new(&full);
+        let mut light = LightNode::sync_from(&mut peer, config_for(Scheme::Lvq)).unwrap();
         assert_eq!(full.engine_stats().queries, 0);
-        light.query(&full, &Address::new("1Shop")).unwrap();
+        light.query(&mut peer, &Address::new("1Shop")).unwrap();
         light
-            .query_batch(&full, &[Address::new("1Shop"), Address::new("1Miner")])
+            .query_batch(&mut peer, &[Address::new("1Shop"), Address::new("1Miner")])
             .unwrap();
         let stats = full.engine_stats();
         assert_eq!(stats.queries, 1);
@@ -399,14 +516,22 @@ mod tests {
         // node: the out-of-band trust anchor catches it at sync time.
         let strawman_full = full_node(Scheme::Strawman, 6);
         assert!(matches!(
-            LightNode::sync_from(&strawman_full, config_for(Scheme::Lvq)).unwrap_err(),
+            LightNode::sync_from(
+                &mut LocalTransport::new(&strawman_full),
+                config_for(Scheme::Lvq)
+            )
+            .unwrap_err(),
             NodeError::ConfigMismatch { height: 1 }
         ));
         // And in the other direction: unexpected commitments are just
         // as much of a mismatch as missing ones.
         let lvq_full = full_node(Scheme::Lvq, 6);
         assert!(matches!(
-            LightNode::sync_from(&lvq_full, config_for(Scheme::Strawman)).unwrap_err(),
+            LightNode::sync_from(
+                &mut LocalTransport::new(&lvq_full),
+                config_for(Scheme::Strawman)
+            )
+            .unwrap_err(),
             NodeError::ConfigMismatch { height: 1 }
         ));
     }

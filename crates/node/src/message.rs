@@ -26,10 +26,14 @@ pub enum Message {
     /// The scheme-specific proof bundle.
     QueryResponse(Box<QueryResponse>),
     /// Ask for the verifiable histories of several addresses in one
-    /// round trip (whole-chain; always non-empty).
+    /// round trip (always non-empty), optionally restricted to a
+    /// block-height range.
     BatchQueryRequest {
         /// The requested addresses, in response-section order.
         addresses: Vec<Address>,
+        /// `Some((lo, hi))` restricts the batch to blocks `lo..=hi`;
+        /// `None` queries the whole chain.
+        range: Option<(u64, u64)>,
     },
     /// The batched proof bundle: shared BMT descents (or shared
     /// per-block filters) plus one fragment section per address.
@@ -60,9 +64,10 @@ impl Encodable for Message {
                 out.push(TAG_QUERY_RESP);
                 response.encode_into(out);
             }
-            Message::BatchQueryRequest { addresses } => {
+            Message::BatchQueryRequest { addresses, range } => {
                 out.push(TAG_BATCH_QUERY_REQ);
                 addresses.encode_into(out);
+                range.encode_into(out);
             }
             Message::BatchQueryResponse(response) => {
                 out.push(TAG_BATCH_QUERY_RESP);
@@ -77,7 +82,9 @@ impl Encodable for Message {
             Message::Headers(headers) => headers.encoded_len(),
             Message::QueryRequest { address, range } => address.encoded_len() + range.encoded_len(),
             Message::QueryResponse(response) => response.encoded_len(),
-            Message::BatchQueryRequest { addresses } => addresses.encoded_len(),
+            Message::BatchQueryRequest { addresses, range } => {
+                addresses.encoded_len() + range.encoded_len()
+            }
             Message::BatchQueryResponse(response) => response.encoded_len(),
         }
     }
@@ -95,6 +102,7 @@ impl Decodable for Message {
             TAG_QUERY_RESP => Message::QueryResponse(Box::new(QueryResponse::decode_from(reader)?)),
             TAG_BATCH_QUERY_REQ => Message::BatchQueryRequest {
                 addresses: Vec::<Address>::decode_from(reader)?,
+                range: Option::<(u64, u64)>::decode_from(reader)?,
             },
             TAG_BATCH_QUERY_RESP => {
                 Message::BatchQueryResponse(Box::new(BatchQueryResponse::decode_from(reader)?))
@@ -130,6 +138,30 @@ pub enum NodeError {
         /// Height of the first non-conforming header.
         height: u64,
     },
+    /// A transport-level I/O operation failed.
+    ///
+    /// Carries the [`std::io::ErrorKind`] rather than the
+    /// [`std::io::Error`] itself so the error stays `Clone + PartialEq`
+    /// like every other node error.
+    Io {
+        /// What the transport was doing (e.g. `"connect"`).
+        context: &'static str,
+        /// The kind of I/O failure.
+        kind: std::io::ErrorKind,
+    },
+    /// A peer announced a frame longer than the transport accepts —
+    /// either a protocol violation or a resource-exhaustion attempt.
+    FrameTooLarge {
+        /// The announced payload length.
+        len: u64,
+        /// The transport's limit.
+        max: u64,
+    },
+    /// The connection closed in the middle of a frame.
+    Disconnected {
+        /// What the transport was doing when the peer vanished.
+        context: &'static str,
+    },
 }
 
 impl fmt::Display for NodeError {
@@ -144,6 +176,15 @@ impl fmt::Display for NodeError {
                 f,
                 "header {height} does not carry the commitments the configured scheme requires"
             ),
+            NodeError::Io { context, kind } => {
+                write!(f, "transport i/o failed ({context}): {kind}")
+            }
+            NodeError::FrameTooLarge { len, max } => {
+                write!(f, "peer announced a {len}-byte frame (limit {max})")
+            }
+            NodeError::Disconnected { context } => {
+                write!(f, "peer disconnected mid-frame ({context})")
+            }
         }
     }
 }
@@ -197,6 +238,11 @@ mod tests {
             },
             Message::BatchQueryRequest {
                 addresses: vec![Address::new("1Probe"), Address::new("1Other")],
+                range: None,
+            },
+            Message::BatchQueryRequest {
+                addresses: vec![Address::new("1Probe")],
+                range: Some((2, 9)),
             },
         ];
         for m in messages {

@@ -7,6 +7,10 @@
 //! the union over peers is correct too and strictly closer to complete
 //! — and any peer whose answer is a strict subset of the union is
 //! provably withholding transactions.
+//!
+//! Peers are addressed as [`crate::Transport`]s, so a quorum can mix
+//! in-process nodes ([`crate::LocalTransport`]) and remote ones
+//! ([`crate::TcpTransport`]) freely.
 
 use lvq_chain::{balance_of, Address, Transaction};
 use lvq_codec::{decode_exact, Encodable};
@@ -15,10 +19,13 @@ use lvq_crypto::Hash256;
 
 use crate::full::FullNode;
 use crate::message::{Message, NodeError};
-use crate::pipe::{MeteredPipe, Traffic};
+use crate::pipe::Traffic;
+use crate::transport::Transport;
 
-/// Anything that can answer encoded requests — a [`FullNode`], or a
-/// test double wrapping one (e.g. a censoring adversary).
+/// Anything that can answer encoded requests in-process — a
+/// [`FullNode`], or a test double wrapping one (e.g. a censoring
+/// adversary). Wrap it in a [`crate::LocalTransport`] to use it where
+/// a [`Transport`] is expected.
 pub trait QueryPeer {
     /// Handles one encoded request, returning the encoded response.
     ///
@@ -30,6 +37,12 @@ pub trait QueryPeer {
 }
 
 impl QueryPeer for FullNode {
+    fn handle_request(&self, request: &[u8]) -> Result<Vec<u8>, NodeError> {
+        self.handle(request)
+    }
+}
+
+impl QueryPeer for &FullNode {
     fn handle_request(&self, request: &[u8]) -> Result<Vec<u8>, NodeError> {
         self.handle(request)
     }
@@ -57,6 +70,21 @@ pub struct QuorumOutcome {
     pub rejected_peers: Vec<usize>,
 }
 
+/// What a batched quorum query established.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuorumBatchOutcome {
+    /// One merged verified history per queried address, in request
+    /// order.
+    pub histories: Vec<VerifiedHistory>,
+    /// Total traffic across all peers.
+    pub traffic: Traffic,
+    /// Indices of peers that withheld transactions for at least one
+    /// address (sorted, deduplicated).
+    pub withholding_peers: Vec<usize>,
+    /// Indices of peers whose response failed verification outright.
+    pub rejected_peers: Vec<usize>,
+}
+
 /// Queries every peer and merges the verified answers.
 ///
 /// At least one peer must produce a verifiable response.
@@ -66,23 +94,24 @@ pub struct QuorumOutcome {
 /// Returns the last peer error if *all* peers fail.
 pub fn query_quorum(
     client: &LightClient,
-    peers: &[&dyn QueryPeer],
+    peers: &mut [&mut dyn Transport],
     address: &Address,
 ) -> Result<QuorumOutcome, NodeError> {
-    let mut pipe = MeteredPipe::new();
     let request = Message::QueryRequest {
         address: address.clone(),
         range: None,
     }
     .encode();
 
+    let mut traffic = Traffic::default();
     let mut histories: Vec<(usize, VerifiedHistory)> = Vec::new();
     let mut rejected_peers = Vec::new();
     let mut last_error = None;
 
-    for (index, peer) in peers.iter().enumerate() {
-        let exchanged = pipe.exchange(&request, |bytes| peer.handle_request(bytes));
-        let verified = exchanged.and_then(|(reply, _)| {
+    for (index, peer) in peers.iter_mut().enumerate() {
+        let verified = peer.exchange(&request).and_then(|(reply, t)| {
+            traffic.request_bytes += t.request_bytes;
+            traffic.response_bytes += t.response_bytes;
             let Message::QueryResponse(response) = decode_exact::<Message>(&reply)? else {
                 return Err(NodeError::UnexpectedMessage);
             };
@@ -101,12 +130,94 @@ pub fn query_quorum(
         return Err(last_error.expect("no histories implies at least one error"));
     }
 
-    // Union by (height, txid): each constituent history is verified
-    // correct, so every element of the union is on-chain.
+    let (history, withholding_peers) = merge_histories(address, &histories);
+    Ok(QuorumOutcome {
+        history,
+        traffic,
+        withholding_peers,
+        rejected_peers,
+    })
+}
+
+/// Queries every peer for a whole address batch in one round trip each
+/// and merges the verified answers address by address.
+///
+/// At least one peer must produce a verifiable response; `addresses`
+/// must be non-empty (the prover rejects empty batches).
+///
+/// # Errors
+///
+/// Returns the last peer error if *all* peers fail.
+pub fn query_quorum_batch(
+    client: &LightClient,
+    peers: &mut [&mut dyn Transport],
+    addresses: &[Address],
+) -> Result<QuorumBatchOutcome, NodeError> {
+    let request = Message::BatchQueryRequest {
+        addresses: addresses.to_vec(),
+        range: None,
+    }
+    .encode();
+
+    let mut traffic = Traffic::default();
+    let mut verified_batches: Vec<(usize, Vec<VerifiedHistory>)> = Vec::new();
+    let mut rejected_peers = Vec::new();
+    let mut last_error = None;
+
+    for (index, peer) in peers.iter_mut().enumerate() {
+        let verified = peer.exchange(&request).and_then(|(reply, t)| {
+            traffic.request_bytes += t.request_bytes;
+            traffic.response_bytes += t.response_bytes;
+            let Message::BatchQueryResponse(response) = decode_exact::<Message>(&reply)? else {
+                return Err(NodeError::UnexpectedMessage);
+            };
+            Ok(client.verify_batch(addresses, &response)?)
+        });
+        match verified {
+            Ok(histories) => verified_batches.push((index, histories)),
+            Err(err) => {
+                rejected_peers.push(index);
+                last_error = Some(err);
+            }
+        }
+    }
+
+    if verified_batches.is_empty() {
+        return Err(last_error.expect("no histories implies at least one error"));
+    }
+
+    let mut histories = Vec::with_capacity(addresses.len());
+    let mut withholding = std::collections::BTreeSet::new();
+    for (k, address) in addresses.iter().enumerate() {
+        let per_peer: Vec<(usize, VerifiedHistory)> = verified_batches
+            .iter()
+            .map(|(index, batch)| (*index, batch[k].clone()))
+            .collect();
+        let (merged, withholders) = merge_histories(address, &per_peer);
+        histories.push(merged);
+        withholding.extend(withholders);
+    }
+
+    Ok(QuorumBatchOutcome {
+        histories,
+        traffic,
+        withholding_peers: withholding.into_iter().collect(),
+        rejected_peers,
+    })
+}
+
+/// Unions verified histories for one address by `(height, txid)` —
+/// each constituent is verified correct, so every element of the union
+/// is on-chain. Returns the merged history plus the indices of peers
+/// whose answer was a strict subset of it.
+fn merge_histories(
+    address: &Address,
+    histories: &[(usize, VerifiedHistory)],
+) -> (VerifiedHistory, Vec<usize>) {
     let mut merged: Vec<(u64, Transaction)> = Vec::new();
     let mut seen: std::collections::BTreeSet<(u64, Hash256)> = Default::default();
     let mut completeness = Completeness::CorrectnessOnly;
-    for (_, history) in &histories {
+    for (_, history) in histories {
         if history.completeness == Completeness::Complete {
             completeness = Completeness::Complete;
         }
@@ -118,28 +229,27 @@ pub fn query_quorum(
     }
     merged.sort_by_key(|(h, _)| *h);
 
-    let withholding_peers = histories
+    let withholding = histories
         .iter()
         .filter(|(_, h)| h.transactions.len() < merged.len())
         .map(|(i, _)| *i)
         .collect();
 
     let balance = balance_of(address, merged.iter().map(|(_, t)| t));
-    Ok(QuorumOutcome {
-        history: VerifiedHistory {
+    (
+        VerifiedHistory {
             transactions: merged,
             balance,
             completeness,
         },
-        traffic: pipe.cumulative,
-        withholding_peers,
-        rejected_peers,
-    })
+        withholding,
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transport::LocalTransport;
     use lvq_bloom::BloomParams;
     use lvq_chain::{ChainBuilder, Transaction};
     use lvq_core::{QueryResponse, Scheme, SchemeConfig};
@@ -181,36 +291,70 @@ mod tests {
         }
     }
 
+    /// Like [`censoring`], but for batched responses: drops one
+    /// Merkle-branch transaction from every multi-transaction fragment
+    /// section.
+    fn censoring_batch(full: &FullNode) -> impl Fn(&[u8]) -> Result<Vec<u8>, NodeError> + '_ {
+        move |request: &[u8]| {
+            let reply = full.handle(request)?;
+            let Message::BatchQueryResponse(mut response) = decode_exact::<Message>(&reply)? else {
+                return Ok(reply);
+            };
+            if let lvq_core::BatchQueryResponse::PerBlock(per_block) = response.as_mut() {
+                for entry in &mut per_block.entries {
+                    for fragment in &mut entry.fragments {
+                        if let lvq_core::BlockFragment::MerkleBranches(txs) = fragment {
+                            if txs.len() > 1 {
+                                txs.pop();
+                            }
+                        }
+                    }
+                }
+            }
+            Ok(Message::BatchQueryResponse(response).encode())
+        }
+    }
+
     #[test]
     fn quorum_of_honest_peers_agrees() {
         let a = full_node(Scheme::Lvq);
         let b = full_node(Scheme::Lvq);
         let client = LightClient::new(a.config(), a.chain().headers());
-        let outcome = query_quorum(&client, &[&a, &b], &Address::new("1Victim")).unwrap();
+        let mut ta = LocalTransport::new(&a);
+        let mut tb = LocalTransport::new(&b);
+        let outcome =
+            query_quorum(&client, &mut [&mut ta, &mut tb], &Address::new("1Victim")).unwrap();
         assert_eq!(outcome.history.transactions.len(), 8);
         assert!(outcome.withholding_peers.is_empty());
         assert!(outcome.rejected_peers.is_empty());
         assert_eq!(outcome.history.completeness, Completeness::Complete);
+        // Per-peer accounting survives the quorum sweep.
+        assert_eq!(ta.exchanges(), 1);
+        assert_eq!(tb.exchanges(), 1);
+        assert_eq!(
+            outcome.traffic.total(),
+            ta.cumulative_traffic().total() + tb.cumulative_traffic().total()
+        );
     }
 
     #[test]
     fn quorum_exposes_strawman_withholding() {
         let honest = full_node(Scheme::Strawman);
         let client = LightClient::new(honest.config(), honest.chain().headers());
-        let censor_fn = censoring(&honest);
-        let censor: &dyn QueryPeer = &censor_fn;
         let victim = Address::new("1Victim");
 
         // Alone, the censoring peer gets away with it (Challenge 3):
         // one of the two transactions per even block disappears and the
         // response still verifies as correct.
-        let alone = query_quorum(&client, &[censor], &victim).unwrap();
+        let mut censor = LocalTransport::new(censoring(&honest));
+        let alone = query_quorum(&client, &mut [&mut censor], &victim).unwrap();
         assert_eq!(alone.history.transactions.len(), 4);
         assert!(alone.withholding_peers.is_empty(), "undetectable alone");
 
         // Next to an honest peer the union restores the truth and the
         // censor is identified by index.
-        let both = query_quorum(&client, &[censor, &honest], &victim).unwrap();
+        let mut honest_t = LocalTransport::new(&honest);
+        let both = query_quorum(&client, &mut [&mut censor, &mut honest_t], &victim).unwrap();
         assert_eq!(both.history.transactions.len(), 8);
         assert_eq!(both.withholding_peers, vec![0]);
         // Strawman never claims completeness.
@@ -222,8 +366,14 @@ mod tests {
         let honest = full_node(Scheme::Lvq);
         let client = LightClient::new(honest.config(), honest.chain().headers());
         let broken_fn = |_req: &[u8]| -> Result<Vec<u8>, NodeError> { Ok(vec![0xFF, 0xFF]) };
-        let broken: &dyn QueryPeer = &broken_fn;
-        let outcome = query_quorum(&client, &[broken, &honest], &Address::new("1Victim")).unwrap();
+        let mut broken = LocalTransport::new(broken_fn);
+        let mut honest_t = LocalTransport::new(&honest);
+        let outcome = query_quorum(
+            &client,
+            &mut [&mut broken, &mut honest_t],
+            &Address::new("1Victim"),
+        )
+        .unwrap();
         assert_eq!(outcome.rejected_peers, vec![0]);
         assert_eq!(outcome.history.transactions.len(), 8);
     }
@@ -233,7 +383,45 @@ mod tests {
         let honest = full_node(Scheme::Lvq);
         let client = LightClient::new(honest.config(), honest.chain().headers());
         let broken_fn = |_req: &[u8]| -> Result<Vec<u8>, NodeError> { Ok(vec![0xFF]) };
-        let broken: &dyn QueryPeer = &broken_fn;
-        assert!(query_quorum(&client, &[broken], &Address::new("1Victim")).is_err());
+        let mut broken = LocalTransport::new(broken_fn);
+        assert!(query_quorum(&client, &mut [&mut broken], &Address::new("1Victim")).is_err());
+    }
+
+    #[test]
+    fn batch_quorum_merges_per_address() {
+        let honest = full_node(Scheme::Strawman);
+        let client = LightClient::new(honest.config(), honest.chain().headers());
+        let addresses = [
+            Address::new("1Victim"),
+            Address::new("1Miner"),
+            Address::new("1Ghost"),
+        ];
+        let mut honest_t = LocalTransport::new(&honest);
+        let outcome = query_quorum_batch(&client, &mut [&mut honest_t], &addresses).unwrap();
+        assert_eq!(outcome.histories.len(), 3);
+        assert_eq!(outcome.histories[0].transactions.len(), 8);
+        assert_eq!(outcome.histories[1].transactions.len(), 8);
+        assert!(outcome.histories[2].transactions.is_empty());
+        assert!(outcome.rejected_peers.is_empty());
+        assert!(outcome.withholding_peers.is_empty());
+        // One round trip for the whole batch.
+        assert_eq!(honest_t.exchanges(), 1);
+    }
+
+    #[test]
+    fn batch_quorum_exposes_withholding_on_any_address() {
+        // The censor only drops 1Victim transactions (strawman Merkle
+        // branches); the batch also asks for 1Miner. One withheld
+        // address is enough to flag the peer.
+        let honest = full_node(Scheme::Strawman);
+        let client = LightClient::new(honest.config(), honest.chain().headers());
+        let addresses = [Address::new("1Victim"), Address::new("1Miner")];
+        let mut censor = LocalTransport::new(censoring_batch(&honest));
+        let mut honest_t = LocalTransport::new(&honest);
+        let outcome =
+            query_quorum_batch(&client, &mut [&mut censor, &mut honest_t], &addresses).unwrap();
+        assert_eq!(outcome.histories[0].transactions.len(), 8);
+        assert_eq!(outcome.withholding_peers, vec![0]);
+        assert!(outcome.rejected_peers.is_empty());
     }
 }

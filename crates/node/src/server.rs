@@ -1,0 +1,290 @@
+//! A concurrent TCP server around one shared [`FullNode`].
+//!
+//! Thread-per-connection: an accept thread hands each connection to a
+//! worker that loops `read frame → FullNode::handle → write frame`.
+//! Every worker shares one `Arc<FullNode>`, so concurrent clients warm
+//! (and profit from) the same span-filter and SMT memo caches — the
+//! effect the `repro concurrent` experiment measures.
+
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::frame::{read_frame_or_event, write_frame, FrameEvent, MAX_FRAME_LEN};
+use crate::full::FullNode;
+use crate::message::NodeError;
+
+/// Tuning knobs for a [`NodeServer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Socket read timeout per connection. Doubles as the stop-flag
+    /// polling interval for idle connections, and as the stall limit
+    /// for a peer that goes silent mid-frame.
+    pub read_timeout: Duration,
+    /// Socket write timeout per connection.
+    pub write_timeout: Duration,
+    /// Largest request frame accepted; oversized announcements close
+    /// the connection without allocating.
+    pub max_frame_len: u32,
+}
+
+impl Default for ServerConfig {
+    /// 200 ms timeouts (snappy shutdown on loopback), 64 MiB frames.
+    fn default() -> Self {
+        ServerConfig {
+            read_timeout: Duration::from_millis(200),
+            write_timeout: Duration::from_millis(200),
+            max_frame_len: MAX_FRAME_LEN,
+        }
+    }
+}
+
+/// Point-in-time counters of a running (or stopped) server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServerStats {
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// Requests answered successfully.
+    pub requests: u64,
+    /// Connections terminated on an error: malformed or oversized
+    /// frames, mid-frame disconnects, handler failures, write failures.
+    pub errors: u64,
+    /// Request payload bytes received (framing excluded).
+    pub request_bytes: u64,
+    /// Response payload bytes sent (framing excluded).
+    pub response_bytes: u64,
+}
+
+#[derive(Debug)]
+struct Shared {
+    full: Arc<FullNode>,
+    config: ServerConfig,
+    stop: AtomicBool,
+    connections: AtomicU64,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    request_bytes: AtomicU64,
+    response_bytes: AtomicU64,
+}
+
+impl Shared {
+    fn stats(&self) -> ServerStats {
+        ServerStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            request_bytes: self.request_bytes.load(Ordering::Relaxed),
+            response_bytes: self.response_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A running TCP query server.
+///
+/// Created with [`NodeServer::bind`]; serves until [`shutdown`]
+/// (graceful: joins every thread) or drop (same, implicitly).
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use lvq_bloom::BloomParams;
+/// use lvq_chain::{Address, ChainBuilder, Transaction};
+/// use lvq_core::{Scheme, SchemeConfig};
+/// use lvq_node::{FullNode, LightNode, NodeServer, ServerConfig, TcpTransport};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let config = SchemeConfig::new(Scheme::Lvq, BloomParams::new(128, 2)?, 4)?;
+/// let mut builder = ChainBuilder::new(config.chain_params())?;
+/// builder.push_block(vec![Transaction::coinbase(Address::new("1Miner"), 50, 1)])?;
+/// let full = Arc::new(FullNode::new(builder.finish())?);
+///
+/// let server = NodeServer::bind(full, "127.0.0.1:0", ServerConfig::default())?;
+/// let mut peer = TcpTransport::connect(server.local_addr())?;
+/// let mut light = LightNode::sync_from(&mut peer, config)?;
+/// let outcome = light.query(&mut peer, &Address::new("1Miner"))?;
+/// assert_eq!(outcome.history.transactions.len(), 1);
+/// drop(peer);
+/// let stats = server.shutdown();
+/// assert_eq!(stats.requests, 2); // headers + query
+/// # Ok(())
+/// # }
+/// ```
+///
+/// [`shutdown`]: NodeServer::shutdown
+#[derive(Debug)]
+pub struct NodeServer {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl NodeServer {
+    /// Binds `addr` (use port 0 for an OS-assigned port, then
+    /// [`NodeServer::local_addr`]) and starts accepting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NodeError::Io`] if the listener cannot be bound.
+    pub fn bind(
+        full: Arc<FullNode>,
+        addr: impl ToSocketAddrs,
+        config: ServerConfig,
+    ) -> Result<Self, NodeError> {
+        let bind_err = |context: &'static str| {
+            move |e: std::io::Error| NodeError::Io {
+                context,
+                kind: e.kind(),
+            }
+        };
+        let listener = TcpListener::bind(addr).map_err(bind_err("bind"))?;
+        // Nonblocking accept so the loop can poll the stop flag.
+        listener.set_nonblocking(true).map_err(bind_err("bind"))?;
+        let local_addr = listener.local_addr().map_err(bind_err("bind"))?;
+
+        let shared = Arc::new(Shared {
+            full,
+            config,
+            stop: AtomicBool::new(false),
+            connections: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            request_bytes: AtomicU64::new(0),
+            response_bytes: AtomicU64::new(0),
+        });
+        let workers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_workers = Arc::clone(&workers);
+        let accept_thread = std::thread::spawn(move || {
+            accept_loop(&listener, &accept_shared, &accept_workers);
+        });
+
+        Ok(NodeServer {
+            shared,
+            local_addr,
+            accept_thread: Some(accept_thread),
+            workers,
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Live counters (callable while serving).
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats()
+    }
+
+    /// The served full node, e.g. to read
+    /// [`FullNode::engine_stats`] alongside [`NodeServer::stats`].
+    pub fn full(&self) -> &Arc<FullNode> {
+        &self.shared.full
+    }
+
+    /// Stops accepting, joins every connection thread, and returns the
+    /// final counters. In-flight requests complete; idle connections
+    /// close within roughly one read timeout.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.stop_and_join();
+        self.shared.stats()
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        for handle in self.workers.lock().drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for NodeServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    shared: &Arc<Shared>,
+    workers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared.connections.fetch_add(1, Ordering::Relaxed);
+                let conn_shared = Arc::clone(shared);
+                let handle = std::thread::spawn(move || serve_connection(&conn_shared, stream));
+                workers.lock().push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => {
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+}
+
+fn serve_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
+    // The accept listener is nonblocking; accepted sockets inherit
+    // nothing on some platforms and everything on others, so set the
+    // mode explicitly and rely on timeouts for stop-flag polling.
+    let configured = stream
+        .set_nonblocking(false)
+        .and_then(|()| stream.set_read_timeout(Some(shared.config.read_timeout)))
+        .and_then(|()| stream.set_write_timeout(Some(shared.config.write_timeout)));
+    if configured.is_err() {
+        shared.errors.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let request = match read_frame_or_event(&mut stream, shared.config.max_frame_len) {
+            Ok(FrameEvent::Frame(payload)) => payload,
+            Ok(FrameEvent::Idle) => continue,
+            Ok(FrameEvent::Eof) => return,
+            Err(_) => {
+                // Malformed, oversized, or truncated frame: drop the
+                // connection — there is no way to resynchronise a
+                // length-prefixed stream after a bad prefix.
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        shared
+            .request_bytes
+            .fetch_add(request.len() as u64, Ordering::Relaxed);
+        let response = match shared.full.handle(&request) {
+            Ok(response) => response,
+            Err(_) => {
+                // An undecodable or unanswerable request poisons the
+                // stream just like a bad frame.
+                shared.errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        };
+        shared
+            .response_bytes
+            .fetch_add(response.len() as u64, Ordering::Relaxed);
+        if write_frame(&mut stream, &response).is_err() {
+            shared.errors.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,102 @@
+//! The TCP transport: length-prefixed frames over a real socket.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::frame::{read_frame, write_frame, MAX_FRAME_LEN};
+use crate::message::NodeError;
+use crate::pipe::Traffic;
+use crate::transport::Transport;
+
+/// A [`Transport`] over one TCP connection to a [`crate::NodeServer`].
+///
+/// Frames requests and responses with a 4-byte length prefix
+/// ([`crate::frame`]). [`Traffic`] counts payload bytes only — the
+/// prefix is transport overhead — so measurements over TCP agree
+/// byte-for-byte with [`crate::LocalTransport`].
+///
+/// The connection is persistent: one transport can carry any number of
+/// sequential exchanges, which is what lets a server-side connection
+/// thread keep its warm view of the shared caches.
+#[derive(Debug)]
+pub struct TcpTransport {
+    stream: TcpStream,
+    cumulative: Traffic,
+    exchanges: u64,
+    max_frame_len: u32,
+}
+
+impl TcpTransport {
+    /// Connects to a serving full node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NodeError::Io`] if the connection cannot be
+    /// established.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, NodeError> {
+        let stream = TcpStream::connect(addr).map_err(|e| NodeError::Io {
+            context: "connect",
+            kind: e.kind(),
+        })?;
+        Ok(TcpTransport::from_stream(stream))
+    }
+
+    /// Wraps an already-connected stream.
+    pub fn from_stream(stream: TcpStream) -> Self {
+        TcpTransport {
+            stream,
+            cumulative: Traffic::default(),
+            exchanges: 0,
+            max_frame_len: MAX_FRAME_LEN,
+        }
+    }
+
+    /// Applies read/write timeouts to the underlying socket. `None`
+    /// blocks indefinitely.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NodeError::Io`] if the socket rejects the option.
+    pub fn set_timeouts(
+        &mut self,
+        read: Option<Duration>,
+        write: Option<Duration>,
+    ) -> Result<(), NodeError> {
+        self.stream
+            .set_read_timeout(read)
+            .and_then(|()| self.stream.set_write_timeout(write))
+            .map_err(|e| NodeError::Io {
+                context: "set timeouts",
+                kind: e.kind(),
+            })
+    }
+
+    /// Lowers (or raises) the largest response frame this client will
+    /// accept.
+    pub fn set_max_frame_len(&mut self, max: u32) {
+        self.max_frame_len = max;
+    }
+}
+
+impl Transport for TcpTransport {
+    fn exchange(&mut self, request: &[u8]) -> Result<(Vec<u8>, Traffic), NodeError> {
+        write_frame(&mut self.stream, request)?;
+        let response = read_frame(&mut self.stream, self.max_frame_len)?;
+        let traffic = Traffic {
+            request_bytes: request.len() as u64,
+            response_bytes: response.len() as u64,
+        };
+        self.cumulative.request_bytes += traffic.request_bytes;
+        self.cumulative.response_bytes += traffic.response_bytes;
+        self.exchanges += 1;
+        Ok((response, traffic))
+    }
+
+    fn cumulative_traffic(&self) -> Traffic {
+        self.cumulative
+    }
+
+    fn exchanges(&self) -> u64 {
+        self.exchanges
+    }
+}

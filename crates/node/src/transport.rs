@@ -1,0 +1,134 @@
+//! The transport abstraction: request bytes in, response bytes out.
+//!
+//! Everything above this layer ([`crate::LightNode`], the quorum
+//! helpers) speaks encoded [`crate::Message`] payloads and never cares
+//! how they reach the full node. Everything below it decides: in the
+//! same process through a [`crate::MeteredPipe`]
+//! ([`LocalTransport`], the original simulated wire), or over a real
+//! socket with length-prefixed frames ([`crate::TcpTransport`]).
+//!
+//! Both transports account [`Traffic`] identically — **payload bytes
+//! only**, never framing overhead — so an experiment measured over TCP
+//! reports exactly the byte counts the in-process simulation does, and
+//! both match the paper's "size of query results".
+
+use crate::message::NodeError;
+use crate::pipe::{MeteredPipe, Traffic};
+use crate::quorum::QueryPeer;
+
+/// A bidirectional request/response channel to one full node.
+///
+/// Implementations are stateful (they accumulate cumulative traffic,
+/// and a TCP transport owns its socket), hence `&mut self`.
+pub trait Transport {
+    /// Ships one encoded request and returns the encoded response plus
+    /// the payload bytes that crossed in each direction.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`NodeError`] for transport failures (I/O, framing)
+    /// or, for in-process transports, whatever the peer's handler
+    /// returned.
+    fn exchange(&mut self, request: &[u8]) -> Result<(Vec<u8>, Traffic), NodeError>;
+
+    /// Payload bytes accumulated across all exchanges on this
+    /// transport.
+    fn cumulative_traffic(&self) -> Traffic;
+
+    /// Number of completed exchanges on this transport.
+    fn exchanges(&self) -> u64;
+}
+
+/// The in-process transport: a [`QueryPeer`] (typically a
+/// [`crate::FullNode`]) behind a [`MeteredPipe`].
+///
+/// This is the original simulated wire of the reproduction, unchanged
+/// at the byte level: requests and responses really encode and decode,
+/// and the pipe records exactly their payload lengths.
+///
+/// # Examples
+///
+/// ```
+/// use lvq_bloom::BloomParams;
+/// use lvq_chain::{Address, ChainBuilder, Transaction};
+/// use lvq_core::{Scheme, SchemeConfig};
+/// use lvq_node::{FullNode, LightNode, LocalTransport};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let config = SchemeConfig::new(Scheme::Lvq, BloomParams::new(128, 2)?, 4)?;
+/// let mut builder = ChainBuilder::new(config.chain_params())?;
+/// builder.push_block(vec![Transaction::coinbase(Address::new("1Miner"), 50, 1)])?;
+/// let full = FullNode::new(builder.finish())?;
+///
+/// let mut peer = LocalTransport::new(&full);
+/// let mut light = LightNode::sync_from(&mut peer, config)?;
+/// let outcome = light.query(&mut peer, &Address::new("1Miner"))?;
+/// assert_eq!(outcome.history.transactions.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct LocalTransport<P> {
+    peer: P,
+    pipe: MeteredPipe,
+}
+
+impl<P: QueryPeer> LocalTransport<P> {
+    /// Wraps a peer (usually `&FullNode`, or a closure test double)
+    /// behind a fresh metered pipe.
+    pub fn new(peer: P) -> Self {
+        LocalTransport {
+            peer,
+            pipe: MeteredPipe::new(),
+        }
+    }
+
+    /// The wrapped peer.
+    pub fn peer(&self) -> &P {
+        &self.peer
+    }
+}
+
+impl<P: QueryPeer> Transport for LocalTransport<P> {
+    fn exchange(&mut self, request: &[u8]) -> Result<(Vec<u8>, Traffic), NodeError> {
+        self.pipe
+            .exchange(request, |bytes| self.peer.handle_request(bytes))
+    }
+
+    fn cumulative_traffic(&self) -> Traffic {
+        self.pipe.cumulative
+    }
+
+    fn exchanges(&self) -> u64 {
+        self.pipe.exchanges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn local_transport_counts_payload_bytes() {
+        let echo = |req: &[u8]| -> Result<Vec<u8>, NodeError> { Ok(req.repeat(3)) };
+        let mut t = LocalTransport::new(echo);
+        let (resp, traffic) = t.exchange(b"ab").unwrap();
+        assert_eq!(resp, b"ababab");
+        assert_eq!(traffic.request_bytes, 2);
+        assert_eq!(traffic.response_bytes, 6);
+        t.exchange(b"xyz").unwrap();
+        assert_eq!(t.exchanges(), 2);
+        assert_eq!(t.cumulative_traffic().request_bytes, 5);
+        assert_eq!(t.cumulative_traffic().response_bytes, 15);
+    }
+
+    #[test]
+    fn peer_error_propagates_without_counting() {
+        let broken =
+            |_req: &[u8]| -> Result<Vec<u8>, NodeError> { Err(NodeError::UnexpectedMessage) };
+        let mut t = LocalTransport::new(broken);
+        assert!(t.exchange(b"hello").is_err());
+        assert_eq!(t.exchanges(), 0);
+        assert_eq!(t.cumulative_traffic().total(), 0);
+    }
+}

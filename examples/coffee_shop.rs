@@ -74,10 +74,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         builder.push_block(txs)?;
     }
     let full = FullNode::new(builder.finish())?;
+    let mut peer = LocalTransport::new(&full);
 
     // --- Honest full node -------------------------------------------
-    let mut light = LightNode::sync_from(&full, config)?;
-    let outcome = light.query(&full, &customer)?;
+    let mut light = LightNode::sync_from(&mut peer, config)?;
+    let outcome = light.query(&mut peer, &customer)?;
     println!(
         "honest node: balance = {} satoshi ({} transactions, {:?})",
         outcome.history.balance.net(),

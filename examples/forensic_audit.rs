@@ -25,8 +25,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let exchange = workload.probes[0].address.clone();
 
     let full = FullNode::new(workload.chain)?;
-    let mut light = LightNode::sync_from(&full, config)?;
-    let outcome = light.query(&full, &exchange)?;
+    let mut peer = LocalTransport::new(&full);
+    let mut light = LightNode::sync_from(&mut peer, config)?;
+    let outcome = light.query(&mut peer, &exchange)?;
     let history = &outcome.history;
     assert_eq!(history.completeness, Completeness::Complete);
 

@@ -27,7 +27,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Stand up a full node and a header-only light node.
     let full = FullNode::new(chain)?;
-    let mut light = LightNode::sync_from(&full, config)?;
+    let mut peer = LocalTransport::new(&full);
+    let mut light = LightNode::sync_from(&mut peer, config)?;
     println!(
         "light node stores {} bytes of headers for {} blocks",
         light.client().storage_bytes(),
@@ -35,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 4. Query and verify Alice's history.
-    let outcome = light.query(&full, &alice)?;
+    let outcome = light.query(&mut peer, &alice)?;
     println!(
         "verified history: {} transactions, balance {} satoshi, completeness {:?}",
         outcome.history.transactions.len(),

@@ -34,12 +34,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .build()?;
 
         let full = FullNode::new(workload.chain)?;
-        let mut light = LightNode::sync_from(&full, config)?;
+        let mut peer = LocalTransport::new(&full);
+        let mut light = LightNode::sync_from(&mut peer, config)?;
         let header_bytes = light.client().storage_bytes() / blocks;
 
         let mut sizes = Vec::new();
         for probe in &workload.probes {
-            let outcome = light.query(&full, &probe.address)?;
+            let outcome = light.query(&mut peer, &probe.address)?;
             sizes.push(outcome.traffic.response_bytes);
         }
         println!(

@@ -25,7 +25,7 @@
 //! | [`merkle`] | `lvq-merkle` | MT, SMT and BMT trees with their proof systems |
 //! | [`chain`] | `lvq-chain` | the Bitcoin-like substrate: blocks, headers, chain building |
 //! | [`core`] | `lvq-core` | the LVQ protocol: schemes, segmenting, prover, light client |
-//! | [`node`] | `lvq-node` | full/light node pair over a byte-metered simulated wire |
+//! | [`node`] | `lvq-node` | full/light node pair over pluggable transports: in-process metered pipe or framed TCP with a concurrent server |
 //! | [`workload`] | `lvq-workload` | deterministic mainnet-like workloads, Table III probes |
 //!
 //! # Quickstart
@@ -47,9 +47,13 @@
 //! }
 //!
 //! // Full node answers; light node verifies against headers only.
+//! // The transport is pluggable: LocalTransport stays in-process,
+//! // TcpTransport speaks to a NodeServer over a socket — byte counts
+//! // are identical either way.
 //! let full = FullNode::new(builder.finish())?;
-//! let mut light = LightNode::sync_from(&full, config)?;
-//! let outcome = light.query(&full, &shop)?;
+//! let mut peer = LocalTransport::new(&full);
+//! let mut light = LightNode::sync_from(&mut peer, config)?;
+//! let outcome = light.query(&mut peer, &shop)?;
 //! assert_eq!(outcome.history.balance.net(), 20);
 //! assert_eq!(outcome.history.completeness, Completeness::Complete);
 //! # Ok(())
@@ -85,8 +89,9 @@ pub mod prelude {
     pub use lvq_crypto::Hash256;
     pub use lvq_merkle::{Bmt, BmtProof, MerkleBranch, MerkleTree, SmtProof, SortedMerkleTree};
     pub use lvq_node::{
-        query_quorum, BandwidthModel, BatchQueryOutcome, FullNode, LightNode, QueryEngineStats,
-        QueryOutcome, QueryPeer, QuorumOutcome,
+        query_quorum, query_quorum_batch, BandwidthModel, BatchQueryOutcome, FullNode, LightNode,
+        LocalTransport, NodeServer, QueryEngineStats, QueryOutcome, QueryPeer, QuorumBatchOutcome,
+        QuorumOutcome, ServerConfig, ServerStats, TcpTransport, Transport,
     };
     pub use lvq_workload::{probes, TrafficModel, Workload, WorkloadBuilder};
 }

@@ -23,9 +23,10 @@ fn all_schemes_verify_all_probes() {
         let workload = workload_for(scheme, 640, 16, 48);
         let config = SchemeConfig::new(scheme, BloomParams::new(640, 2).unwrap(), 16).unwrap();
         let full = FullNode::new(workload.chain).unwrap();
-        let mut light = LightNode::sync_from(&full, config).unwrap();
+        let mut peer = LocalTransport::new(&full);
+        let mut light = LightNode::sync_from(&mut peer, config).unwrap();
         for probe in &workload.probes {
-            let outcome = light.query(&full, &probe.address).unwrap();
+            let outcome = light.query(&mut peer, &probe.address).unwrap();
             assert_eq!(
                 outcome.history.transactions.len() as u64,
                 probe.tx_count,
@@ -162,6 +163,37 @@ fn range_queries_match_full_queries() {
                 assert_eq!(got, expected, "scheme {scheme} range {lo}..={hi}");
             }
         }
+    }
+}
+
+#[test]
+fn batch_range_queries_match_single_range_queries() {
+    // A batched range query must agree, address by address, with the
+    // dedicated single-address range query (same boundary rules, same
+    // verified histories) — while sharing one BMT proof per segment.
+    for scheme in Scheme::ALL {
+        let workload = workload_for(scheme, 640, 16, 45);
+        let prover = Prover::from_chain(&workload.chain).unwrap();
+        let client = LightClient::new(prover.config(), workload.chain.headers());
+        let addresses: Vec<Address> = workload.probes.iter().map(|p| p.address.clone()).collect();
+        for (lo, hi) in [(1u64, 45u64), (1, 16), (17, 45), (5, 29), (40, 40)] {
+            let (response, _) = prover.respond_batch_range(&addresses, lo, hi).unwrap();
+            let histories = client
+                .verify_batch_range(&addresses, lo, hi, &response)
+                .unwrap();
+            assert_eq!(histories.len(), addresses.len());
+            for (probe, history) in workload.probes.iter().zip(&histories) {
+                let (single, _) = prover.respond_range(&probe.address, lo, hi).unwrap();
+                let expected = client
+                    .verify_range(&probe.address, lo, hi, &single)
+                    .unwrap();
+                assert_eq!(history, &expected, "scheme {scheme} range {lo}..={hi}");
+            }
+        }
+        // Degenerate ranges are rejected on both sides.
+        assert!(prover.respond_batch_range(&addresses, 0, 10).is_err());
+        assert!(prover.respond_batch_range(&addresses, 9, 5).is_err());
+        assert!(prover.respond_batch_range(&addresses, 1, 99).is_err());
     }
 }
 

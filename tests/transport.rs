@@ -1,0 +1,236 @@
+//! Transport-layer tests: the in-process [`LocalTransport`] and the
+//! framed-TCP [`TcpTransport`] must be observationally identical —
+//! byte-for-byte equal responses and byte-for-byte equal [`Traffic`]
+//! accounting — and a [`NodeServer`] must survive adversarial clients.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+
+use lvq::codec::Encodable;
+use lvq::node::Message;
+use lvq::prelude::*;
+
+fn workload_for(scheme: Scheme, segment_len: u64, blocks: u64, seed: u64) -> Workload {
+    let config = SchemeConfig::new(scheme, BloomParams::new(512, 2).unwrap(), segment_len).unwrap();
+    WorkloadBuilder::new(config.chain_params())
+        .blocks(blocks)
+        .traffic(TrafficModel::tiny())
+        .seed(seed)
+        .probe("1WireProbe", 6, 4.min(blocks))
+        .build()
+        .unwrap()
+}
+
+fn scheme_strategy() -> impl Strategy<Value = Scheme> {
+    prop_oneof![
+        Just(Scheme::Strawman),
+        Just(Scheme::LvqWithoutBmt),
+        Just(Scheme::LvqWithoutSmt),
+        Just(Scheme::Lvq),
+    ]
+}
+
+/// Polls `cond` until it holds or two seconds elapse.
+fn wait_for(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The same request bytes through a `LocalTransport` and through a
+    /// `TcpTransport`-to-`NodeServer` pair must produce byte-identical
+    /// response payloads and identical `Traffic` — the frame prefix is
+    /// wire overhead, never measurement.
+    #[test]
+    fn tcp_and_local_transports_are_byte_identical(
+        scheme in scheme_strategy(),
+        blocks in 4u64..32,
+        seg_exp in 1u32..5,
+        seed in 0u64..1_000,
+    ) {
+        let segment_len = 1u64 << seg_exp;
+        let workload = workload_for(scheme, segment_len, blocks, seed);
+        let addresses: Vec<Address> =
+            vec![Address::new("1WireProbe"), Address::new("1Nobody")];
+
+        let full = Arc::new(FullNode::new(workload.chain).unwrap());
+        let server =
+            NodeServer::bind(Arc::clone(&full), "127.0.0.1:0", ServerConfig::default()).unwrap();
+        let mut tcp = TcpTransport::connect(server.local_addr()).unwrap();
+        let mut local = LocalTransport::new(full.as_ref());
+
+        let lo = 1 + seed % blocks;
+        let hi = (lo + segment_len).min(blocks);
+        let requests = vec![
+            Message::GetHeaders,
+            Message::QueryRequest { address: addresses[0].clone(), range: None },
+            Message::QueryRequest { address: addresses[1].clone(), range: Some((lo, hi)) },
+            Message::BatchQueryRequest { addresses: addresses.clone(), range: None },
+            Message::BatchQueryRequest { addresses: addresses.clone(), range: Some((lo, hi)) },
+        ];
+        for request in &requests {
+            let bytes = request.encode();
+            let (tcp_reply, tcp_traffic) = tcp.exchange(&bytes).unwrap();
+            let (local_reply, local_traffic) = local.exchange(&bytes).unwrap();
+            prop_assert_eq!(&tcp_reply, &local_reply);
+            prop_assert_eq!(tcp_traffic, local_traffic);
+            prop_assert_eq!(tcp_traffic.request_bytes, bytes.len() as u64);
+            prop_assert_eq!(tcp_traffic.response_bytes, tcp_reply.len() as u64);
+        }
+        prop_assert_eq!(tcp.cumulative_traffic(), local.cumulative_traffic());
+        prop_assert_eq!(tcp.exchanges(), requests.len() as u64);
+        prop_assert_eq!(tcp.exchanges(), local.exchanges());
+
+        let stats = server.shutdown();
+        prop_assert_eq!(stats.requests, requests.len() as u64);
+        prop_assert_eq!(stats.errors, 0);
+        prop_assert_eq!(stats.request_bytes, tcp.cumulative_traffic().request_bytes);
+        prop_assert_eq!(stats.response_bytes, tcp.cumulative_traffic().response_bytes);
+    }
+
+    /// A full verified light-node session behaves identically over both
+    /// transports: same histories, same measured traffic.
+    #[test]
+    fn light_sessions_agree_across_transports(
+        scheme in scheme_strategy(),
+        blocks in 4u64..24,
+        seed in 0u64..1_000,
+    ) {
+        let workload = workload_for(scheme, 8, blocks, seed);
+        let config = SchemeConfig::new(scheme, BloomParams::new(512, 2).unwrap(), 8).unwrap();
+        let address = Address::new("1WireProbe");
+
+        let full = Arc::new(FullNode::new(workload.chain).unwrap());
+        let server =
+            NodeServer::bind(Arc::clone(&full), "127.0.0.1:0", ServerConfig::default()).unwrap();
+        let mut tcp = TcpTransport::connect(server.local_addr()).unwrap();
+        let mut local = LocalTransport::new(full.as_ref());
+
+        let mut light_tcp = LightNode::sync_from(&mut tcp, config).unwrap();
+        let mut light_local = LightNode::sync_from(&mut local, config).unwrap();
+        let over_tcp = light_tcp.query(&mut tcp, &address).unwrap();
+        let over_local = light_local.query(&mut local, &address).unwrap();
+        prop_assert_eq!(over_tcp.history, over_local.history);
+        prop_assert_eq!(over_tcp.traffic, over_local.traffic);
+        prop_assert_eq!(
+            light_tcp.cumulative_traffic(),
+            light_local.cumulative_traffic()
+        );
+    }
+}
+
+/// Spins up a small server for the adversarial tests.
+fn adversarial_server() -> (NodeServer, SchemeConfig, Address) {
+    let config = SchemeConfig::new(Scheme::Lvq, BloomParams::new(512, 2).unwrap(), 8).unwrap();
+    let workload = workload_for(Scheme::Lvq, 8, 16, 7);
+    let full = Arc::new(FullNode::new(workload.chain).unwrap());
+    let server = NodeServer::bind(full, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    (server, config, Address::new("1WireProbe"))
+}
+
+/// After the adversary is done, an honest client must still be served.
+fn assert_still_serving(server: &NodeServer, config: SchemeConfig, address: &Address) {
+    let mut tcp = TcpTransport::connect(server.local_addr()).unwrap();
+    let mut light = LightNode::sync_from(&mut tcp, config).unwrap();
+    let outcome = light.query(&mut tcp, address).unwrap();
+    assert_eq!(outcome.history.transactions.len(), 6);
+}
+
+#[test]
+fn garbage_payload_closes_the_connection_not_the_server() {
+    let (server, config, address) = adversarial_server();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    // A well-formed frame whose payload is not a decodable Message.
+    stream.write_all(&5u32.to_le_bytes()).unwrap();
+    stream.write_all(b"\xffhel\x01").unwrap();
+    // The server replies by closing; the read observes EOF.
+    let mut sink = Vec::new();
+    let _ = stream.read_to_end(&mut sink);
+    assert!(sink.is_empty());
+    wait_for("decode error to be counted", || server.stats().errors == 1);
+    assert_still_serving(&server, config, &address);
+}
+
+#[test]
+fn oversized_frame_is_rejected_before_allocation() {
+    let (server, config, address) = adversarial_server();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    // Announce a frame just over the server's limit and keep the
+    // connection open: the rejection must come from the header alone.
+    stream.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    let mut sink = Vec::new();
+    let _ = stream.read_to_end(&mut sink);
+    assert!(sink.is_empty());
+    wait_for("oversized frame to be counted", || {
+        server.stats().errors == 1
+    });
+    assert_still_serving(&server, config, &address);
+}
+
+#[test]
+fn truncated_frame_is_a_mid_request_disconnect() {
+    let (server, config, address) = adversarial_server();
+    {
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        // Promise 100 bytes, deliver 10, vanish.
+        stream.write_all(&100u32.to_le_bytes()).unwrap();
+        stream.write_all(&[0u8; 10]).unwrap();
+    }
+    wait_for("disconnect to be counted", || server.stats().errors == 1);
+    assert_still_serving(&server, config, &address);
+}
+
+#[test]
+fn clean_disconnect_is_not_an_error() {
+    let (server, config, address) = adversarial_server();
+    drop(TcpStream::connect(server.local_addr()).unwrap());
+    wait_for("connection to be accepted", || {
+        server.stats().connections == 1
+    });
+    // Give the worker time to observe EOF; a clean close between
+    // requests is the normal end of a session, not a fault.
+    std::thread::sleep(Duration::from_millis(50));
+    assert_eq!(server.stats().errors, 0);
+    assert_still_serving(&server, config, &address);
+    let stats = server.shutdown();
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.connections, 2);
+}
+
+#[test]
+fn several_adversaries_cannot_starve_honest_clients() {
+    let (server, config, address) = adversarial_server();
+    for round in 0..3u32 {
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        match round % 3 {
+            0 => stream.write_all(&u32::MAX.to_le_bytes()).unwrap(),
+            1 => {
+                stream.write_all(&64u32.to_le_bytes()).unwrap();
+                stream.write_all(&[7u8; 8]).unwrap();
+            }
+            _ => {
+                stream.write_all(&1u32.to_le_bytes()).unwrap();
+                stream.write_all(&[0xEE]).unwrap();
+            }
+        }
+        drop(stream);
+        assert_still_serving(&server, config, &address);
+    }
+    wait_for("all three faults to be counted", || {
+        server.stats().errors == 3
+    });
+    let stats = server.shutdown();
+    assert_eq!(stats.errors, 3);
+    // Three honest sessions, each a header sync plus one query; the
+    // adversaries never got a single request through.
+    assert_eq!(stats.requests, 3 * 2);
+}
