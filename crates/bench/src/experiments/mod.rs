@@ -6,6 +6,8 @@ pub mod fig12;
 pub mod fig16;
 pub mod k_sweep;
 pub mod latency;
+pub mod pool;
+pub mod quorum;
 pub mod storage;
 pub mod tables;
 pub mod throughput;

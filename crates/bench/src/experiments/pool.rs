@@ -1,0 +1,274 @@
+//! Extra experiment: worker-pool sizing (`repro pool`).
+//!
+//! The [`lvq_node::NodeServer`] serves connections from a bounded pool
+//! of worker threads behind an accept queue. This experiment sweeps the
+//! pool width against a fixed fan-out of [`CLIENTS`] concurrent light
+//! clients and reports, per width:
+//!
+//! 1. **Aggregate throughput** — verified queries per second across all
+//!    clients (best of [`REPS`] repetitions, so a scheduler hiccup in
+//!    one run does not distort the sweep);
+//! 2. **Request latency** — the server's own p50/p95/p99/max digest,
+//!    measured from frame-read completion to response-ready;
+//! 3. **Queue pressure** — the accept queue's high-water mark and how
+//!    many connections were shed with [`lvq_node::Message::Busy`].
+//!
+//! Every response is verified by the light node against headers only
+//! and checked against the chain's ground truth, so the sweep doubles
+//! as a stress test of the pool's frame handling under contention.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lvq_chain::Address;
+use lvq_core::{Scheme, SchemeConfig};
+use lvq_node::{
+    FullNode, LightNode, NodeServer, QuerySpec, ServerConfig, ServerStats, TcpTransport,
+};
+
+use crate::report::Table;
+use crate::scale::Scale;
+use crate::workloads::{build_workload, built_probes, WorkloadSpec};
+
+/// Concurrent client threads at every pool width.
+pub const CLIENTS: u32 = 16;
+
+/// Pool widths swept, in order.
+pub const WIDTHS: [usize; 4] = [1, 2, 4, 16];
+
+/// Repetitions per width; the reported row is the fastest one.
+const REPS: u32 = 3;
+
+/// Rounds over the six probe addresses per client and repetition.
+const ROUNDS: u32 = 2;
+
+/// One row of the sweep: a pool width and what it measured.
+#[derive(Debug, Clone)]
+pub struct PoolPoint {
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Aggregate verified queries per second (best of [`REPS`] reps).
+    pub qps: f64,
+    /// Wall time of the best repetition.
+    pub time: Duration,
+    /// The server's accounting for the best repetition.
+    pub server: ServerStats,
+}
+
+/// The experiment data.
+#[derive(Debug, Clone)]
+pub struct Pool {
+    /// Client threads at every width.
+    pub clients: u32,
+    /// One measurement per entry of [`WIDTHS`], in order.
+    pub points: Vec<PoolPoint>,
+}
+
+impl Pool {
+    /// The measured point for a given pool width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` was not part of the sweep.
+    pub fn at(&self, workers: usize) -> &PoolPoint {
+        self.points
+            .iter()
+            .find(|p| p.workers == workers)
+            .expect("width was swept")
+    }
+}
+
+/// One client session: connect, sync headers, then `rounds` rounds of
+/// verified queries over all probe addresses, checked against ground
+/// truth. Returns the number of queries issued.
+fn client_session(
+    addr: SocketAddr,
+    config: SchemeConfig,
+    addresses: &[Address],
+    truth: &[usize],
+    rounds: u32,
+) -> u32 {
+    let mut transport = TcpTransport::connect(addr).expect("server is listening");
+    let mut light = LightNode::sync_from(&mut transport, config).expect("honest server");
+    let mut queried = 0;
+    for _ in 0..rounds {
+        for (address, expected) in addresses.iter().zip(truth) {
+            let history = light
+                .run(&QuerySpec::address(address.clone()), &mut transport)
+                .expect("honest response")
+                .into_single();
+            assert_eq!(
+                history.transactions.len(),
+                *expected,
+                "verified history must match ground truth"
+            );
+            queried += 1;
+        }
+    }
+    queried
+}
+
+/// One repetition at one pool width: bind a fresh server over the
+/// shared full node, fan out [`CLIENTS`] sessions, shut down, return
+/// (queries, wall time, stats).
+fn repetition(
+    full: &Arc<FullNode>,
+    config: SchemeConfig,
+    addresses: &[Address],
+    truth: &[usize],
+    workers: usize,
+) -> (u32, Duration, ServerStats) {
+    let server_config = ServerConfig {
+        workers,
+        // Deep enough that all sessions wait for a worker instead of
+        // being shed — the sweep measures throughput, not shedding.
+        accept_queue: CLIENTS as usize * 2,
+        ..ServerConfig::default()
+    };
+    let server =
+        NodeServer::bind(Arc::clone(full), "127.0.0.1:0", server_config).expect("loopback bind");
+    let addr = server.local_addr();
+
+    let started = Instant::now();
+    let queried: u32 = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| scope.spawn(|| client_session(addr, config, addresses, truth, ROUNDS)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .sum()
+    });
+    let time = started.elapsed();
+    (queried, time, server.shutdown())
+}
+
+/// Runs the sweep under full LVQ at the Fig. 12 configuration.
+///
+/// # Panics
+///
+/// Panics if widening the pool from one to four workers *loses*
+/// throughput (beyond a 10 % tolerance for machine noise) — on any
+/// machine more workers may merely tie one (a single core serialises
+/// the CPU-bound proving anyway), but they must never hurt.
+pub fn run(scale: Scale, seed: u64) -> Pool {
+    let spec = WorkloadSpec {
+        seed,
+        ..WorkloadSpec::paper_default(Scheme::Lvq, scale)
+    };
+    let config = spec.config();
+    let workload = build_workload(spec);
+    let addresses: Vec<Address> = built_probes(&workload)
+        .into_iter()
+        .map(|(_, address)| address)
+        .collect();
+    let truth: Vec<usize> = addresses
+        .iter()
+        .map(|a| workload.chain.history_of(a).len())
+        .collect();
+    let full = Arc::new(FullNode::new(workload.chain).expect("known scheme"));
+
+    // Warm the shared caches so every width measures the steady state.
+    {
+        let warm = NodeServer::bind(Arc::clone(&full), "127.0.0.1:0", ServerConfig::default())
+            .expect("loopback bind");
+        client_session(warm.local_addr(), config, &addresses, &truth, 1);
+        warm.shutdown();
+    }
+
+    let points = WIDTHS
+        .iter()
+        .map(|&workers| {
+            let mut best: Option<PoolPoint> = None;
+            for _ in 0..REPS {
+                let (queried, time, server) =
+                    repetition(&full, config, &addresses, &truth, workers);
+                assert_eq!(server.errors, 0, "clean run at {workers} workers");
+                assert_eq!(u64::from(queried), server.by_kind.queries);
+                let qps = f64::from(queried) / time.as_secs_f64();
+                if best.as_ref().is_none_or(|b| qps > b.qps) {
+                    best = Some(PoolPoint {
+                        workers,
+                        qps,
+                        time,
+                        server,
+                    });
+                }
+            }
+            best.expect("at least one repetition")
+        })
+        .collect();
+
+    let pool = Pool {
+        clients: CLIENTS,
+        points,
+    };
+    let (one, four) = (pool.at(1).qps, pool.at(4).qps);
+    assert!(
+        four >= one * 0.9,
+        "pool of 4 lost throughput against 1 worker: {four:.0} vs {one:.0} qps"
+    );
+    pool
+}
+
+impl std::fmt::Display for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Worker-pool sweep — LVQ, {} concurrent clients, six Table III probes, \
+             {ROUNDS} rounds per client, best of {REPS} reps",
+            self.clients
+        )?;
+        let mut table = Table::new(&[
+            "Workers",
+            "Throughput",
+            "p50/p95/p99 (us)",
+            "Max (us)",
+            "Queue high-water",
+            "Shed busy",
+        ]);
+        for point in &self.points {
+            let l = point.server.latency;
+            table.row(vec![
+                point.workers.to_string(),
+                format!("{:.0} queries/s", point.qps),
+                format!("{}/{}/{}", l.p50_us, l.p95_us, l.p99_us),
+                l.max_us.to_string(),
+                point.server.queue_highwater.to_string(),
+                point.server.busy.to_string(),
+            ]);
+        }
+        write!(f, "{table}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_sweep_holds_throughput_and_accounts_for_queueing() {
+        let result = run(Scale::Small, 11);
+        assert_eq!(result.points.len(), WIDTHS.len());
+        for point in &result.points {
+            // Every session syncs once and queries 6 addresses for
+            // ROUNDS rounds; the server's books must agree.
+            let expected = u64::from(CLIENTS) * u64::from(ROUNDS) * 6;
+            assert_eq!(point.server.by_kind.queries, expected);
+            assert_eq!(point.server.workers, point.workers as u64);
+            assert_eq!(point.server.connections, u64::from(CLIENTS));
+            assert_eq!(point.server.busy, 0, "queue was sized to avoid shedding");
+            assert!(point.server.latency.count > 0);
+            assert!(point.server.latency.p50_us <= point.server.latency.p95_us);
+            assert!(point.server.latency.p99_us <= point.server.latency.max_us);
+        }
+        // 16 clients against one worker serialise behind the accept
+        // queue, so the high-water mark must show real queueing.
+        assert!(
+            result.at(1).server.queue_highwater >= 1,
+            "single worker never saw a queued connection"
+        );
+        // run() already asserts the 1 -> 4 throughput direction.
+    }
+}

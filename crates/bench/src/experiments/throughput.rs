@@ -20,7 +20,7 @@ use std::time::{Duration, Instant};
 
 use lvq_chain::Address;
 use lvq_core::Scheme;
-use lvq_node::{FullNode, LightNode, LocalTransport};
+use lvq_node::{FullNode, LightNode, LocalTransport, QuerySpec};
 
 use crate::report::{bytes, Table};
 use crate::scale::Scale;
@@ -88,7 +88,9 @@ pub fn run(scale: Scale, seed: u64) -> Throughput {
     for _ in 0..ROUNDS {
         for address in &addresses {
             full.chain().clear_caches();
-            light.query(&mut peer, address).expect("honest response");
+            light
+                .run(&QuerySpec::address(address.clone()), &mut peer)
+                .expect("honest response");
             queried += 1;
         }
     }
@@ -97,7 +99,9 @@ pub fn run(scale: Scale, seed: u64) -> Throughput {
     // Prime the caches once, then measure the steady state. Hit-rate
     // accounting starts here — the cold phase above misses on purpose.
     for address in &addresses {
-        light.query(&mut peer, address).expect("honest response");
+        light
+            .run(&QuerySpec::address(address.clone()), &mut peer)
+            .expect("honest response");
     }
     let primed = full.engine_stats().cache;
     let mut queried = 0u32;
@@ -105,9 +109,11 @@ pub fn run(scale: Scale, seed: u64) -> Throughput {
     let warm_started = Instant::now();
     for round in 0..ROUNDS {
         for address in &addresses {
-            let outcome = light.query(&mut peer, address).expect("honest response");
+            let run = light
+                .run(&QuerySpec::address(address.clone()), &mut peer)
+                .expect("honest response");
             if round == 0 {
-                singles_bytes += outcome.traffic.response_bytes;
+                singles_bytes += run.traffic.response_bytes;
             }
             queried += 1;
         }
@@ -118,9 +124,10 @@ pub fn run(scale: Scale, seed: u64) -> Throughput {
     // Phase 2 — one batch of six vs. six singles (both warm).
     let mut batch_bytes = 0;
     let batch_started = Instant::now();
+    let batch_spec = QuerySpec::addresses(addresses.clone());
     for _ in 0..ROUNDS {
         let outcome = light
-            .query_batch(&mut peer, &addresses)
+            .run(&batch_spec, &mut peer)
             .expect("honest batch response");
         batch_bytes = outcome.traffic.response_bytes;
         for (history, expected) in outcome.histories.iter().zip(&truth) {

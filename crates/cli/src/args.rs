@@ -297,6 +297,12 @@ pub struct ServeOptions {
     pub filter_cache: Option<usize>,
     /// Byte budget for the per-block SMT cache.
     pub smt_cache: Option<usize>,
+    /// Worker threads in the serving pool (0 = one per CPU).
+    pub workers: usize,
+    /// Accept-queue depth before connections are shed with `Busy`.
+    pub queue: Option<usize>,
+    /// Per-request deadline in milliseconds (0 = none).
+    pub deadline_ms: Option<u64>,
 }
 
 impl ServeOptions {
@@ -311,6 +317,9 @@ impl ServeOptions {
         let mut max_requests = None;
         let mut filter_cache = None;
         let mut smt_cache = None;
+        let mut workers = 0;
+        let mut queue = None;
+        let mut deadline_ms = None;
         let mut iter = args.iter();
         while let Some(arg) = iter.next() {
             let mut value = |name: &str| {
@@ -330,6 +339,17 @@ impl ServeOptions {
                 "--smt-cache" => {
                     smt_cache = Some(parse_u64("--smt-cache", &value("--smt-cache")?)? as usize)
                 }
+                "--workers" => workers = parse_u64("--workers", &value("--workers")?)? as usize,
+                "--queue" => {
+                    let depth = parse_u64("--queue", &value("--queue")?)? as usize;
+                    if depth == 0 {
+                        return Err(CliError::Usage("--queue must be at least 1".into()));
+                    }
+                    queue = Some(depth);
+                }
+                "--deadline-ms" => {
+                    deadline_ms = Some(parse_u64("--deadline-ms", &value("--deadline-ms")?)?)
+                }
                 other if !other.starts_with("--") => positional.push(other.to_string()),
                 other => return Err(CliError::Usage(format!("unknown flag '{other}'"))),
             }
@@ -343,6 +363,9 @@ impl ServeOptions {
             max_requests,
             filter_cache,
             smt_cache,
+            workers,
+            queue,
+            deadline_ms,
         })
     }
 }
@@ -464,6 +487,9 @@ mod tests {
         assert_eq!(s.addr, "127.0.0.1:0");
         assert_eq!(s.max_requests, None);
         assert_eq!(s.filter_cache, None);
+        assert_eq!(s.workers, 0);
+        assert_eq!(s.queue, None);
+        assert_eq!(s.deadline_ms, None);
 
         let s = ServeOptions::parse(&strings(&[
             "c.lvq",
@@ -475,16 +501,26 @@ mod tests {
             "1048576",
             "--smt-cache",
             "65536",
+            "--workers",
+            "4",
+            "--queue",
+            "32",
+            "--deadline-ms",
+            "250",
         ]))
         .unwrap();
         assert_eq!(s.addr, "0.0.0.0:4000");
         assert_eq!(s.max_requests, Some(12));
         assert_eq!(s.filter_cache, Some(1_048_576));
         assert_eq!(s.smt_cache, Some(65_536));
+        assert_eq!(s.workers, 4);
+        assert_eq!(s.queue, Some(32));
+        assert_eq!(s.deadline_ms, Some(250));
 
         assert!(ServeOptions::parse(&strings(&[])).is_err());
         assert!(ServeOptions::parse(&strings(&["a.lvq", "b.lvq"])).is_err());
         assert!(ServeOptions::parse(&strings(&["a.lvq", "--max-requests", "x"])).is_err());
+        assert!(ServeOptions::parse(&strings(&["a.lvq", "--queue", "0"])).is_err());
     }
 
     #[test]

@@ -7,7 +7,7 @@ use std::time::Duration;
 use lvq_bloom::BloomParams;
 use lvq_chain::{file as chain_file, Address, CacheConfig, Chain};
 use lvq_core::{Completeness, LightClient, Prover, SchemeConfig, VerifiedHistory};
-use lvq_node::{FullNode, LightNode, NodeServer, ServerConfig, TcpTransport};
+use lvq_node::{FullNode, LightNode, NodeServer, QuerySpec, ServerConfig, TcpTransport};
 use lvq_workload::{TrafficModel, WorkloadBuilder};
 
 use crate::args::{GenerateOptions, QueryOptions, QuerySource, RemoteEndpoint, ServeOptions};
@@ -205,19 +205,29 @@ fn query_remote(
 
     let mut transport = TcpTransport::connect(remote.addr.as_str())?;
     let mut light = LightNode::sync_from(&mut transport, config)?;
-    let outcome = match opts.range {
-        None => light.query(&mut transport, &address)?,
-        Some((lo, hi)) => light.query_range(&mut transport, &address, lo, hi)?,
-    };
+    let synced = light.client().tip_height();
+    let mut spec = QuerySpec::address(address.clone());
+    if let Some((lo, hi)) = opts.range {
+        spec = spec.range(lo, hi);
+    }
+    let run = light.run(&spec, &mut transport)?;
+    // Incremental tip check: fetch (cheaply) any headers the chain grew
+    // while we were querying, so the session ends at the peer's tip.
+    let new_headers = light.sync_new(&mut transport)?;
 
     writeln!(out, "peer         : {}", remote.addr)?;
     writeln!(
         out,
-        "synced       : {} headers ({} scheme)",
-        light.client().tip_height(),
+        "synced       : {synced} headers ({} scheme)",
         remote.scheme
     )?;
-    print_history(out, &address, opts.range, &outcome.history)?;
+    print_history(out, &address, opts.range, &run.histories[0])?;
+    writeln!(
+        out,
+        "tip check    : {} new headers (tip {})",
+        new_headers,
+        light.client().tip_height()
+    )?;
     writeln!(
         out,
         "traffic      : {} sent, {} received ({} round trips incl. sync)",
@@ -241,16 +251,24 @@ pub fn serve(opts: &ServeOptions, out: &mut impl Write) -> Result<(), CliError> 
     }
     let blocks = chain.tip_height();
     let full = Arc::new(FullNode::new(chain)?);
-    let server = NodeServer::bind(
-        Arc::clone(&full),
-        opts.addr.as_str(),
-        ServerConfig::default(),
-    )?;
+    let mut server_config = ServerConfig {
+        workers: opts.workers,
+        request_deadline: opts
+            .deadline_ms
+            .filter(|&ms| ms > 0)
+            .map(Duration::from_millis),
+        ..ServerConfig::default()
+    };
+    if let Some(queue) = opts.queue {
+        server_config.accept_queue = queue;
+    }
+    let server = NodeServer::bind(Arc::clone(&full), opts.addr.as_str(), server_config)?;
     writeln!(
         out,
-        "serving {} blocks ({} scheme) on {}",
+        "serving {} blocks ({} scheme) with {} workers on {}",
         blocks,
         config.scheme(),
+        server_config.effective_workers(),
         server.local_addr()
     )?;
     out.flush()?;
@@ -272,6 +290,30 @@ pub fn serve(opts: &ServeOptions, out: &mut impl Write) -> Result<(), CliError> 
         human_bytes(stats.request_bytes),
         human_bytes(stats.response_bytes),
         stats.errors
+    )?;
+    writeln!(
+        out,
+        "pool         : {} workers, queue high-water {}, {} shed busy, {} deadline misses",
+        stats.workers, stats.queue_highwater, stats.busy, stats.deadline_misses
+    )?;
+    writeln!(
+        out,
+        "kinds        : {} headers, {} incremental, {} queries, {} batches, {} invalid",
+        stats.by_kind.get_headers,
+        stats.by_kind.get_headers_from,
+        stats.by_kind.queries,
+        stats.by_kind.batch_queries,
+        stats.by_kind.invalid
+    )?;
+    writeln!(
+        out,
+        "latency      : p50 {}us p95 {}us p99 {}us max {}us (mean {}us over {})",
+        stats.latency.p50_us,
+        stats.latency.p95_us,
+        stats.latency.p99_us,
+        stats.latency.max_us,
+        stats.latency.mean_us,
+        stats.latency.count
     )?;
     Ok(())
 }
@@ -430,8 +472,9 @@ mod tests {
         )
         .unwrap();
 
-        // Each remote query run is one connection doing a header sync
-        // plus one query: two full + one ranged query = 4 requests.
+        // Each remote query run is one connection doing a header sync,
+        // one query, and one incremental tip check: two runs = 6
+        // requests.
         let server_out = SharedBuf::default();
         let server_thread = {
             let mut out = server_out.clone();
@@ -444,9 +487,15 @@ mod tests {
                         "--addr",
                         "127.0.0.1:0",
                         "--max-requests",
-                        "4",
+                        "6",
                         "--filter-cache",
                         "1048576",
+                        "--workers",
+                        "2",
+                        "--queue",
+                        "8",
+                        "--deadline-ms",
+                        "60000",
                     ]),
                     &mut out,
                 )
@@ -481,6 +530,10 @@ mod tests {
         assert!(text.contains("synced       : 16 headers"), "{text}");
         assert!(text.contains("transactions : 4"), "{text}");
         assert!(text.contains("complete (no omissions possible)"), "{text}");
+        assert!(
+            text.contains("tip check    : 0 new headers (tip 16)"),
+            "{text}"
+        );
         assert!(text.contains("traffic      :"), "{text}");
 
         let mut out = Vec::new();
@@ -506,9 +559,21 @@ mod tests {
         server_thread.join().unwrap();
         let text = server_out.text();
         assert!(
-            text.contains("served 4 requests over 2 connections"),
+            text.contains("served 6 requests over 2 connections"),
             "{text}"
         );
+        assert!(text.contains("with 2 workers"), "{text}");
+        assert!(
+            text.contains("pool         : 2 workers, queue high-water"),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "kinds        : 2 headers, 2 incremental, 2 queries, 0 batches, 0 invalid"
+            ),
+            "{text}"
+        );
+        assert!(text.contains("latency      : p50 "), "{text}");
         std::fs::remove_file(&path).ok();
     }
 

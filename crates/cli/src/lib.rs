@@ -28,7 +28,8 @@ usage:
   lvq query FILE ADDRESS [--range LO:HI] [--breakdown]
   lvq query ADDRESS --addr HOST:PORT --segment M [--scheme NAME] [--bf BYTES]
             [--k N] [--range LO:HI]
-  lvq serve FILE [--addr HOST:PORT] [--max-requests N]
+  lvq serve FILE [--addr HOST:PORT] [--max-requests N] [--workers N]
+            [--queue N] [--deadline-ms MS]
             [--filter-cache BYTES] [--smt-cache BYTES]
   lvq balance FILE ADDRESS";
 

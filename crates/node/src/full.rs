@@ -3,11 +3,53 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use lvq_chain::{Chain, ChainCacheStats};
-use lvq_codec::{decode_exact, Encodable};
+use lvq_codec::Encodable;
 use lvq_core::{Prover, ProverStats, SchemeConfig};
 use parking_lot::Mutex;
 
-use crate::message::{Message, NodeError};
+use crate::message::{Message, NodeError, WireError, WireErrorCode};
+
+/// What kind of request one handled exchange was, for the server's
+/// per-message-type counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RequestKind {
+    /// [`Message::GetHeaders`] — full header sync.
+    GetHeaders,
+    /// [`Message::GetHeadersFrom`] — incremental header sync.
+    GetHeadersFrom,
+    /// [`Message::QueryRequest`] — single-address query.
+    Query,
+    /// [`Message::BatchQueryRequest`] — batched query.
+    BatchQuery,
+    /// Anything that never classified as a request: undecodable bytes,
+    /// an unsupported version, or a response-kind message.
+    Invalid,
+}
+
+/// The outcome of classifying and handling one request: the encoded
+/// response to write back, what kind of request it answered, and —
+/// when the response is a [`Message::Error`] — which refusal it
+/// carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Handled {
+    /// What the request classified as.
+    pub kind: RequestKind,
+    /// The encoded response payload (a real response or an encoded
+    /// [`Message::Error`]).
+    pub bytes: Vec<u8>,
+    /// `Some` iff `bytes` encodes a [`Message::Error`].
+    pub error: Option<WireErrorCode>,
+}
+
+impl Handled {
+    fn refusal(kind: RequestKind, error: WireError) -> Self {
+        Handled {
+            kind,
+            bytes: Message::Error(error).encode(),
+            error: Some(error.code),
+        }
+    }
+}
 
 /// A point-in-time snapshot of a full node's query engine.
 ///
@@ -95,43 +137,109 @@ impl FullNode {
         }
     }
 
+    /// Classifies and handles one encoded request.
+    ///
+    /// Never fails: every fault — undecodable bytes, an unsupported
+    /// protocol version, a response-kind message, a prover refusal —
+    /// becomes an encoded [`Message::Error`] response, so a server can
+    /// answer the client and keep the connection alive instead of
+    /// dropping it. The [`Handled::kind`] and [`Handled::error`] fields
+    /// feed the server's per-type and error counters.
+    pub fn handle_classified(&self, request: &[u8]) -> Handled {
+        let message = match Message::decode_classified(request) {
+            Ok(m) => m,
+            Err(e) => return Handled::refusal(RequestKind::Invalid, e),
+        };
+        let (kind, reply) = match message {
+            Message::GetHeaders => (
+                RequestKind::GetHeaders,
+                Message::Headers(self.chain.headers()),
+            ),
+            Message::GetHeadersFrom { height } => {
+                let mut headers = self.chain.headers();
+                let skip = (height.min(headers.len() as u64)) as usize;
+                headers.drain(..skip);
+                (RequestKind::GetHeadersFrom, Message::Headers(headers))
+            }
+            Message::QueryRequest { address, range } => {
+                let outcome =
+                    Prover::new(&self.chain, self.config).and_then(|prover| match range {
+                        None => prover.respond(&address),
+                        Some((lo, hi)) => prover.respond_range(&address, lo, hi),
+                    });
+                match outcome {
+                    Ok((response, stats)) => {
+                        *self.last_stats.lock() = Some(stats);
+                        self.queries.fetch_add(1, Ordering::Relaxed);
+                        (
+                            RequestKind::Query,
+                            Message::QueryResponse(Box::new(response)),
+                        )
+                    }
+                    Err(_) => {
+                        return Handled::refusal(
+                            RequestKind::Query,
+                            WireError::new(WireErrorCode::Unanswerable),
+                        )
+                    }
+                }
+            }
+            Message::BatchQueryRequest { addresses, range } => {
+                let outcome =
+                    Prover::new(&self.chain, self.config).and_then(|prover| match range {
+                        None => prover.respond_batch(&addresses),
+                        Some((lo, hi)) => prover.respond_batch_range(&addresses, lo, hi),
+                    });
+                match outcome {
+                    Ok((response, stats)) => {
+                        *self.last_stats.lock() = Some(stats);
+                        self.batch_queries.fetch_add(1, Ordering::Relaxed);
+                        self.batch_addresses
+                            .fetch_add(addresses.len() as u64, Ordering::Relaxed);
+                        (
+                            RequestKind::BatchQuery,
+                            Message::BatchQueryResponse(Box::new(response)),
+                        )
+                    }
+                    Err(_) => {
+                        return Handled::refusal(
+                            RequestKind::BatchQuery,
+                            WireError::new(WireErrorCode::Unanswerable),
+                        )
+                    }
+                }
+            }
+            Message::Headers(_)
+            | Message::QueryResponse(_)
+            | Message::BatchQueryResponse(_)
+            | Message::Busy
+            | Message::Error(_) => {
+                return Handled::refusal(
+                    RequestKind::Invalid,
+                    WireError::new(WireErrorCode::UnexpectedKind),
+                )
+            }
+        };
+        Handled {
+            kind,
+            bytes: reply.encode(),
+            error: None,
+        }
+    }
+
     /// Handles one encoded request, returning the encoded response.
+    ///
+    /// Thin compatibility wrapper around [`FullNode::handle_classified`]:
+    /// faults come back as an encoded [`Message::Error`] payload in
+    /// `Ok`, exactly the bytes a [`crate::NodeServer`] would put on the
+    /// wire, so in-process and TCP transports observe identical
+    /// responses.
     ///
     /// # Errors
     ///
-    /// Returns [`NodeError::Wire`] for undecodable requests,
-    /// [`NodeError::UnexpectedMessage`] for response-kind messages, and
-    /// [`NodeError::Prove`] if proof generation fails.
+    /// Currently infallible; the `Result` is kept for the
+    /// [`crate::QueryPeer`] contract.
     pub fn handle(&self, request: &[u8]) -> Result<Vec<u8>, NodeError> {
-        let message: Message = decode_exact(request)?;
-        let reply = match message {
-            Message::GetHeaders => Message::Headers(self.chain.headers()),
-            Message::QueryRequest { address, range } => {
-                let prover = Prover::new(&self.chain, self.config)?;
-                let (response, stats) = match range {
-                    None => prover.respond(&address)?,
-                    Some((lo, hi)) => prover.respond_range(&address, lo, hi)?,
-                };
-                *self.last_stats.lock() = Some(stats);
-                self.queries.fetch_add(1, Ordering::Relaxed);
-                Message::QueryResponse(Box::new(response))
-            }
-            Message::BatchQueryRequest { addresses, range } => {
-                let prover = Prover::new(&self.chain, self.config)?;
-                let (response, stats) = match range {
-                    None => prover.respond_batch(&addresses)?,
-                    Some((lo, hi)) => prover.respond_batch_range(&addresses, lo, hi)?,
-                };
-                *self.last_stats.lock() = Some(stats);
-                self.batch_queries.fetch_add(1, Ordering::Relaxed);
-                self.batch_addresses
-                    .fetch_add(addresses.len() as u64, Ordering::Relaxed);
-                Message::BatchQueryResponse(Box::new(response))
-            }
-            Message::Headers(_) | Message::QueryResponse(_) | Message::BatchQueryResponse(_) => {
-                return Err(NodeError::UnexpectedMessage)
-            }
-        };
-        Ok(reply.encode())
+        Ok(self.handle_classified(request).bytes)
     }
 }

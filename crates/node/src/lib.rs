@@ -33,7 +33,7 @@
 //! use lvq_bloom::BloomParams;
 //! use lvq_chain::{Address, ChainBuilder, Transaction};
 //! use lvq_core::{Scheme, SchemeConfig};
-//! use lvq_node::{FullNode, LightNode, LocalTransport};
+//! use lvq_node::{FullNode, LightNode, LocalTransport, QuerySpec};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let config = SchemeConfig::new(Scheme::Lvq, BloomParams::new(128, 2)?, 4)?;
@@ -45,9 +45,9 @@
 //! let mut peer = LocalTransport::new(&full);
 //! let mut light = LightNode::sync_from(&mut peer, config)?;
 //!
-//! let outcome = light.query(&mut peer, &Address::new("1Miner"))?;
-//! assert_eq!(outcome.history.transactions.len(), 4);
-//! assert!(outcome.traffic.response_bytes > 0);
+//! let run = light.run(&QuerySpec::address(Address::new("1Miner")), &mut peer)?;
+//! assert_eq!(run.histories[0].transactions.len(), 4);
+//! assert!(run.traffic.response_bytes > 0);
 //! # Ok(())
 //! # }
 //! ```
@@ -69,11 +69,13 @@ mod tcp;
 mod transport;
 
 pub use bandwidth::BandwidthModel;
-pub use full::{FullNode, QueryEngineStats};
-pub use light::{BatchQueryOutcome, LightNode, QueryOutcome};
-pub use message::{Message, NodeError};
+pub use full::{FullNode, Handled, QueryEngineStats, RequestKind};
+pub use light::{BatchQueryOutcome, LightNode, QueryOutcome, QueryRun, QuerySpec};
+pub use message::{Message, NodeError, WireError, WireErrorCode, PROTOCOL_VERSION};
 pub use pipe::{MeteredPipe, Traffic};
 pub use quorum::{query_quorum, query_quorum_batch, QueryPeer, QuorumBatchOutcome, QuorumOutcome};
-pub use server::{NodeServer, ServerConfig, ServerStats};
+pub use server::{
+    LatencySummary, NodeServer, RequestCounters, ServeNode, ServerConfig, ServerStats,
+};
 pub use tcp::TcpTransport;
 pub use transport::{LocalTransport, Transport};

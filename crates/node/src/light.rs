@@ -1,12 +1,133 @@
 //! The light node.
 
-use lvq_chain::Address;
+use lvq_chain::{Address, BlockHeader};
 use lvq_codec::{decode_exact, Encodable};
 use lvq_core::{LightClient, SchemeConfig, VerifiedHistory};
 
 use crate::message::{Message, NodeError};
 use crate::pipe::Traffic;
 use crate::transport::Transport;
+
+/// A declarative description of one verifiable query: which addresses,
+/// over which block-height range.
+///
+/// `QuerySpec` is the single entry point that replaced the four
+/// near-duplicate `query*` methods: build a spec, hand it to
+/// [`LightNode::run`]. A single-address spec goes on the wire as
+/// [`Message::QueryRequest`] and a multi-address spec as
+/// [`Message::BatchQueryRequest`], so the bytes (and therefore the
+/// [`Traffic`] accounting) are exactly what the deprecated methods
+/// produced.
+///
+/// # Examples
+///
+/// ```
+/// use lvq_chain::Address;
+/// use lvq_node::QuerySpec;
+///
+/// let single = QuerySpec::address(Address::new("1Shop"));
+/// let windowed = QuerySpec::address(Address::new("1Shop")).range(3, 7);
+/// let batch = QuerySpec::addresses(vec![Address::new("1Shop"), Address::new("1Miner")]);
+/// assert!(!single.is_batch());
+/// assert!(batch.is_batch());
+/// assert_eq!(windowed.height_range(), Some((3, 7)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuerySpec {
+    targets: Vec<Address>,
+    batch: bool,
+    range: Option<(u64, u64)>,
+}
+
+impl QuerySpec {
+    /// A query for the full history of one address.
+    pub fn address(address: Address) -> Self {
+        QuerySpec {
+            targets: vec![address],
+            batch: false,
+            range: None,
+        }
+    }
+
+    /// A batched query for the histories of several addresses in one
+    /// round trip (must be non-empty; the prover rejects an empty
+    /// batch).
+    ///
+    /// A one-element batch is still a batch on the wire — use
+    /// [`QuerySpec::address`] for the single-address message shape.
+    pub fn addresses(addresses: impl Into<Vec<Address>>) -> Self {
+        QuerySpec {
+            targets: addresses.into(),
+            batch: true,
+            range: None,
+        }
+    }
+
+    /// Restricts the query to blocks `lo..=hi` (verification rejects
+    /// ranges outside `1..=tip`).
+    #[must_use]
+    pub fn range(mut self, lo: u64, hi: u64) -> Self {
+        self.range = Some((lo, hi));
+        self
+    }
+
+    /// The queried addresses, in response-section order.
+    pub fn targets(&self) -> &[Address] {
+        &self.targets
+    }
+
+    /// Whether this spec goes on the wire as a batched request.
+    pub fn is_batch(&self) -> bool {
+        self.batch
+    }
+
+    /// The block-height restriction, if any.
+    pub fn height_range(&self) -> Option<(u64, u64)> {
+        self.range
+    }
+
+    /// The request message this spec encodes to.
+    fn to_message(&self) -> Message {
+        if self.batch {
+            Message::BatchQueryRequest {
+                addresses: self.targets.clone(),
+                range: self.range,
+            }
+        } else {
+            Message::QueryRequest {
+                address: self.targets[0].clone(),
+                range: self.range,
+            }
+        }
+    }
+}
+
+/// What one [`LightNode::run`] produced: one verified history per
+/// queried address, plus the bytes that crossed the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryRun {
+    /// One verified history per [`QuerySpec`] target, in spec order.
+    pub histories: Vec<VerifiedHistory>,
+    /// Bytes that crossed the wire for this run.
+    pub traffic: Traffic,
+}
+
+impl QueryRun {
+    /// The only history of a single-address run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run answered a multi-address spec.
+    pub fn into_single(mut self) -> VerifiedHistory {
+        assert_eq!(
+            self.histories.len(),
+            1,
+            "into_single on a {}-address run",
+            self.histories.len()
+        );
+        self.histories.pop().expect("length checked above")
+    }
+}
 
 /// What one verified batched query produced.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -77,23 +198,12 @@ impl LightNode {
     ) -> Result<Self, NodeError> {
         let request = Message::GetHeaders.encode();
         let (reply, traffic) = transport.exchange(&request)?;
-        let Message::Headers(headers) = decode_exact::<Message>(&reply)? else {
+        let Message::Headers(headers) = Self::decode_reply(&reply)? else {
             return Err(NodeError::UnexpectedMessage);
         };
         // The served headers must carry exactly the commitments the
         // trusted configuration's scheme requires.
-        let policy = config.scheme().policy();
-        for (i, header) in headers.iter().enumerate() {
-            let c = &header.commitments;
-            if c.bf_hash.is_some() != policy.bf_hash
-                || c.bmt_root.is_some() != policy.bmt
-                || c.smt_commitment.is_some() != policy.smt
-            {
-                return Err(NodeError::ConfigMismatch {
-                    height: i as u64 + 1,
-                });
-            }
-        }
+        Self::check_commitment_policy(&headers, 0, config)?;
         let client = LightClient::new(config, headers);
         // SPV sanity: the downloaded headers must form a hash chain.
         client.validate_header_chain()?;
@@ -121,20 +231,94 @@ impl LightNode {
         self.exchanges
     }
 
+    /// Fetches only the headers above this node's current tip via
+    /// [`Message::GetHeadersFrom`] and appends them — the incremental
+    /// sync a long-lived client uses instead of a full re-download.
+    ///
+    /// Returns the number of new headers appended (zero when already
+    /// at the peer's tip).
+    ///
+    /// # Errors
+    ///
+    /// As [`LightNode::sync_from`]: transport failures, a wrong reply
+    /// kind, [`NodeError::ConfigMismatch`] if a new header's
+    /// commitments break the trust anchor's policy, and
+    /// [`NodeError::Verify`] if the new headers do not chain onto the
+    /// current tip.
+    pub fn sync_new<T: Transport + ?Sized>(&mut self, transport: &mut T) -> Result<u64, NodeError> {
+        let tip = self.client.tip_height();
+        let request = Message::GetHeadersFrom { height: tip }.encode();
+        let (reply, _) = self.metered_exchange(transport, &request)?;
+        let Message::Headers(new_headers) = Self::decode_reply(&reply)? else {
+            return Err(NodeError::UnexpectedMessage);
+        };
+        Self::check_commitment_policy(&new_headers, tip, self.client.config())?;
+        let count = new_headers.len() as u64;
+        self.client.append_headers(new_headers)?;
+        Ok(count)
+    }
+
+    /// Runs one query described by `spec` and verifies the response.
+    ///
+    /// This is the single query entry point: a single-address spec
+    /// ([`QuerySpec::address`]) exchanges a [`Message::QueryRequest`],
+    /// a batched spec ([`QuerySpec::addresses`]) a
+    /// [`Message::BatchQueryRequest`] — byte-for-byte the requests the
+    /// deprecated `query*` methods sent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NodeError::Verify`] if the response fails verification
+    /// — the caller should treat the full node as faulty or malicious;
+    /// [`NodeError::Busy`] / [`NodeError::Server`] if the peer shed or
+    /// refused the request; and other [`NodeError`] variants for
+    /// transport-level problems. An empty batch spec and ranges outside
+    /// `1..=tip` are rejected.
+    pub fn run<T: Transport + ?Sized>(
+        &mut self,
+        spec: &QuerySpec,
+        transport: &mut T,
+    ) -> Result<QueryRun, NodeError> {
+        let request = spec.to_message().encode();
+        let (reply, traffic) = self.metered_exchange(transport, &request)?;
+        let range = spec.height_range();
+        let histories = match (Self::decode_reply(&reply)?, spec.is_batch()) {
+            (Message::QueryResponse(response), false) => {
+                let address = &spec.targets()[0];
+                vec![match range {
+                    None => self.client.verify(address, &response)?,
+                    Some((lo, hi)) => self.client.verify_range(address, lo, hi, &response)?,
+                }]
+            }
+            (Message::BatchQueryResponse(response), true) => match range {
+                None => self.client.verify_batch(spec.targets(), &response)?,
+                Some((lo, hi)) => {
+                    self.client
+                        .verify_batch_range(spec.targets(), lo, hi, &response)?
+                }
+            },
+            _ => return Err(NodeError::UnexpectedMessage),
+        };
+        Ok(QueryRun { histories, traffic })
+    }
+
     /// Queries the peer behind `transport` for the history of `address`
     /// and verifies the response.
     ///
     /// # Errors
     ///
-    /// Returns [`NodeError::Verify`] if the response fails verification
-    /// — the caller should treat the full node as faulty or malicious —
-    /// and other [`NodeError`] variants for transport-level problems.
+    /// As [`LightNode::run`].
+    #[deprecated(note = "build a `QuerySpec` and call `LightNode::run`")]
     pub fn query<T: Transport + ?Sized>(
         &mut self,
         transport: &mut T,
         address: &Address,
     ) -> Result<QueryOutcome, NodeError> {
-        self.query_inner(transport, address, None)
+        let run = self.run(&QuerySpec::address(address.clone()), transport)?;
+        Ok(QueryOutcome {
+            traffic: run.traffic,
+            history: run.into_single(),
+        })
     }
 
     /// Queries for the history of `address` restricted to blocks
@@ -142,8 +326,8 @@ impl LightNode {
     ///
     /// # Errors
     ///
-    /// As [`LightNode::query`], plus verification rejects ranges outside
-    /// `1..=tip`.
+    /// As [`LightNode::run`].
+    #[deprecated(note = "build a `QuerySpec` with `.range(lo, hi)` and call `LightNode::run`")]
     pub fn query_range<T: Transport + ?Sized>(
         &mut self,
         transport: &mut T,
@@ -151,7 +335,14 @@ impl LightNode {
         lo: u64,
         hi: u64,
     ) -> Result<QueryOutcome, NodeError> {
-        self.query_inner(transport, address, Some((lo, hi)))
+        let run = self.run(
+            &QuerySpec::address(address.clone()).range(lo, hi),
+            transport,
+        )?;
+        Ok(QueryOutcome {
+            traffic: run.traffic,
+            history: run.into_single(),
+        })
     }
 
     /// Queries for the histories of several addresses in one round trip
@@ -159,28 +350,33 @@ impl LightNode {
     ///
     /// Under the BMT schemes, the response shares one descent per
     /// segment across all addresses, so the batch moves fewer bytes
-    /// than the equivalent sequence of [`LightNode::query`] calls.
+    /// than the equivalent sequence of single-address runs.
     ///
     /// # Errors
     ///
-    /// As [`LightNode::query`]; an empty `addresses` list is rejected
-    /// by the prover ([`NodeError::Prove`]).
+    /// As [`LightNode::run`].
+    #[deprecated(note = "build a `QuerySpec::addresses` and call `LightNode::run`")]
     pub fn query_batch<T: Transport + ?Sized>(
         &mut self,
         transport: &mut T,
         addresses: &[Address],
     ) -> Result<BatchQueryOutcome, NodeError> {
-        self.query_batch_inner(transport, addresses, None)
+        let run = self.run(&QuerySpec::addresses(addresses), transport)?;
+        Ok(BatchQueryOutcome {
+            histories: run.histories,
+            traffic: run.traffic,
+        })
     }
 
     /// Queries for the histories of several addresses restricted to
-    /// blocks `lo..=hi` in one round trip — the batch counterpart of
-    /// [`LightNode::query_range`].
+    /// blocks `lo..=hi` in one round trip.
     ///
     /// # Errors
     ///
-    /// As [`LightNode::query_batch`], plus verification rejects ranges
-    /// outside `1..=tip`.
+    /// As [`LightNode::run`].
+    #[deprecated(
+        note = "build a `QuerySpec::addresses` with `.range(lo, hi)` and call `LightNode::run`"
+    )]
     pub fn query_batch_range<T: Transport + ?Sized>(
         &mut self,
         transport: &mut T,
@@ -188,53 +384,44 @@ impl LightNode {
         lo: u64,
         hi: u64,
     ) -> Result<BatchQueryOutcome, NodeError> {
-        self.query_batch_inner(transport, addresses, Some((lo, hi)))
+        let run = self.run(&QuerySpec::addresses(addresses).range(lo, hi), transport)?;
+        Ok(BatchQueryOutcome {
+            histories: run.histories,
+            traffic: run.traffic,
+        })
     }
 
-    fn query_batch_inner<T: Transport + ?Sized>(
-        &mut self,
-        transport: &mut T,
-        addresses: &[Address],
-        range: Option<(u64, u64)>,
-    ) -> Result<BatchQueryOutcome, NodeError> {
-        let request = Message::BatchQueryRequest {
-            addresses: addresses.to_vec(),
-            range,
+    /// Decodes a reply, surfacing the server's flow-control and refusal
+    /// messages as the matching [`NodeError`]s.
+    fn decode_reply(reply: &[u8]) -> Result<Message, NodeError> {
+        match decode_exact::<Message>(reply)? {
+            Message::Busy => Err(NodeError::Busy),
+            Message::Error(e) => Err(NodeError::Server(e)),
+            message => Ok(message),
         }
-        .encode();
-        let (reply, traffic) = self.metered_exchange(transport, &request)?;
-        let Message::BatchQueryResponse(response) = decode_exact::<Message>(&reply)? else {
-            return Err(NodeError::UnexpectedMessage);
-        };
-        let histories = match range {
-            None => self.client.verify_batch(addresses, &response)?,
-            Some((lo, hi)) => self
-                .client
-                .verify_batch_range(addresses, lo, hi, &response)?,
-        };
-        Ok(BatchQueryOutcome { histories, traffic })
     }
 
-    fn query_inner<T: Transport + ?Sized>(
-        &mut self,
-        transport: &mut T,
-        address: &Address,
-        range: Option<(u64, u64)>,
-    ) -> Result<QueryOutcome, NodeError> {
-        let request = Message::QueryRequest {
-            address: address.clone(),
-            range,
+    /// Checks that `headers` (starting at chain height `offset + 1`)
+    /// carry exactly the commitments the trusted configuration's scheme
+    /// requires.
+    fn check_commitment_policy(
+        headers: &[BlockHeader],
+        offset: u64,
+        config: SchemeConfig,
+    ) -> Result<(), NodeError> {
+        let policy = config.scheme().policy();
+        for (i, header) in headers.iter().enumerate() {
+            let c = &header.commitments;
+            if c.bf_hash.is_some() != policy.bf_hash
+                || c.bmt_root.is_some() != policy.bmt
+                || c.smt_commitment.is_some() != policy.smt
+            {
+                return Err(NodeError::ConfigMismatch {
+                    height: offset + i as u64 + 1,
+                });
+            }
         }
-        .encode();
-        let (reply, traffic) = self.metered_exchange(transport, &request)?;
-        let Message::QueryResponse(response) = decode_exact::<Message>(&reply)? else {
-            return Err(NodeError::UnexpectedMessage);
-        };
-        let history = match range {
-            None => self.client.verify(address, &response)?,
-            Some((lo, hi)) => self.client.verify_range(address, lo, hi, &response)?,
-        };
-        Ok(QueryOutcome { history, traffic })
+        Ok(())
     }
 
     /// One exchange, folded into this node's cumulative accounting.
@@ -253,8 +440,14 @@ impl LightNode {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated `query*` wrappers must keep working until they are
+    // removed; exercising them here keeps that guarantee tested while
+    // the rest of the workspace speaks `QuerySpec`.
+    #![allow(deprecated)]
+
     use super::*;
-    use crate::full::FullNode;
+    use crate::full::{FullNode, RequestKind};
+    use crate::message::{WireError, WireErrorCode};
     use crate::transport::LocalTransport;
     use lvq_bloom::BloomParams;
     use lvq_chain::{ChainBuilder, Transaction, TxInput, TxOutPoint, TxOutput};
@@ -537,17 +730,176 @@ mod tests {
     }
 
     #[test]
-    fn garbage_request_rejected() {
+    fn garbage_request_answered_with_structured_error() {
         let full = full_node(Scheme::Lvq, 2);
-        assert!(matches!(
-            full.handle(&[0xFF, 0x00]).unwrap_err(),
-            NodeError::Wire(_)
-        ));
+        // Byte 0xFF reads as an unsupported protocol version; the node
+        // answers with a structured refusal instead of failing.
+        let handled = full.handle_classified(&[0xFF, 0x00]);
+        assert_eq!(handled.kind, RequestKind::Invalid);
+        assert_eq!(handled.error, Some(WireErrorCode::UnsupportedVersion));
+        assert_eq!(
+            decode_exact::<Message>(&handled.bytes).unwrap(),
+            Message::Error(WireError::with_detail(
+                WireErrorCode::UnsupportedVersion,
+                0xFF
+            ))
+        );
         // A response-kind message is not a valid request either.
         let msg = Message::Headers(Vec::new()).encode();
+        let handled = full.handle_classified(&msg);
+        assert_eq!(handled.error, Some(WireErrorCode::UnexpectedKind));
+        // The compat wrapper hands back the same refusal bytes in `Ok`.
+        assert_eq!(full.handle(&msg).unwrap(), handled.bytes);
+    }
+
+    #[test]
+    fn light_node_surfaces_server_refusals_and_busy() {
+        let full = full_node(Scheme::Lvq, 4);
+        let mut peer = LocalTransport::new(&full);
+        let mut light = LightNode::sync_from(&mut peer, config_for(Scheme::Lvq)).unwrap();
+        // An empty batch is a well-formed request the prover refuses.
+        assert_eq!(
+            light
+                .run(&QuerySpec::addresses(Vec::new()), &mut peer)
+                .unwrap_err(),
+            NodeError::Server(WireError::new(WireErrorCode::Unanswerable))
+        );
+        // A peer that sheds load surfaces as `NodeError::Busy`.
+        let busy = |_req: &[u8]| -> Result<Vec<u8>, NodeError> { Ok(Message::Busy.encode()) };
+        let mut shed = LocalTransport::new(busy);
+        assert_eq!(
+            light
+                .run(&QuerySpec::address(Address::new("1Shop")), &mut shed)
+                .unwrap_err(),
+            NodeError::Busy
+        );
+    }
+
+    #[test]
+    fn run_matches_deprecated_wrappers_byte_for_byte() {
+        let full = full_node(Scheme::Lvq, 10);
+        let shop = Address::new("1Shop");
+        let pair = [Address::new("1Shop"), Address::new("1Miner")];
+        let config = config_for(Scheme::Lvq);
+
+        // Two identical light nodes, one per API generation; every
+        // paired call must move exactly the same bytes.
+        let mut old_peer = LocalTransport::new(&full);
+        let mut new_peer = LocalTransport::new(&full);
+        let mut old = LightNode::sync_from(&mut old_peer, config).unwrap();
+        let mut new = LightNode::sync_from(&mut new_peer, config).unwrap();
+
+        let a = old.query(&mut old_peer, &shop).unwrap();
+        let b = new
+            .run(&QuerySpec::address(shop.clone()), &mut new_peer)
+            .unwrap();
+        assert_eq!(a.traffic, b.traffic);
+        assert_eq!(vec![a.history], b.histories);
+
+        let a = old.query_range(&mut old_peer, &shop, 3, 7).unwrap();
+        let b = new
+            .run(&QuerySpec::address(shop.clone()).range(3, 7), &mut new_peer)
+            .unwrap();
+        assert_eq!(a.traffic, b.traffic);
+
+        let a = old.query_batch(&mut old_peer, &pair).unwrap();
+        let b = new
+            .run(&QuerySpec::addresses(pair.clone()), &mut new_peer)
+            .unwrap();
+        assert_eq!(a.traffic, b.traffic);
+        assert_eq!(a.histories, b.histories);
+
+        let a = old.query_batch_range(&mut old_peer, &pair, 2, 9).unwrap();
+        let b = new
+            .run(
+                &QuerySpec::addresses(pair.clone()).range(2, 9),
+                &mut new_peer,
+            )
+            .unwrap();
+        assert_eq!(a.traffic, b.traffic);
+
+        assert_eq!(old.cumulative_traffic(), new.cumulative_traffic());
+        assert_eq!(old.exchanges(), new.exchanges());
+    }
+
+    #[test]
+    fn sync_new_appends_only_the_missing_headers() {
+        let config = config_for(Scheme::Lvq);
+        let mut builder = ChainBuilder::new(config.chain_params()).unwrap();
+        for h in 1..=6u64 {
+            builder
+                .push_block(vec![Transaction::coinbase(
+                    Address::new("1Miner"),
+                    50,
+                    h as u32,
+                )])
+                .unwrap();
+        }
+        let short = FullNode::new(builder.finish()).unwrap();
+        let mut peer = LocalTransport::new(&short);
+        let mut light = LightNode::sync_from(&mut peer, config).unwrap();
+        assert_eq!(light.client().tip_height(), 6);
+
+        // The chain grows by four blocks; resume from the same prefix
+        // so the first six headers stay identical.
+        let mut builder = ChainBuilder::new(config.chain_params()).unwrap();
+        for h in 1..=10u64 {
+            builder
+                .push_block(vec![Transaction::coinbase(
+                    Address::new("1Miner"),
+                    50,
+                    h as u32,
+                )])
+                .unwrap();
+        }
+        let grown = FullNode::new(builder.finish()).unwrap();
+        let mut grown_peer = LocalTransport::new(&grown);
+        let synced_before = light.cumulative_traffic();
+        assert_eq!(light.sync_new(&mut grown_peer).unwrap(), 4);
+        assert_eq!(light.client().tip_height(), 10);
+        // Only the four new headers crossed the wire — far less than a
+        // full re-sync.
+        let incremental = light.cumulative_traffic().response_bytes - synced_before.response_bytes;
+        let full_sync = LightNode::sync_from(&mut LocalTransport::new(&grown), config)
+            .unwrap()
+            .cumulative_traffic()
+            .response_bytes;
+        assert!(incremental < full_sync / 2);
+        // Already at the tip: a no-op.
+        assert_eq!(light.sync_new(&mut grown_peer).unwrap(), 0);
+        // And the grown history verifies end to end.
+        let run = light
+            .run(&QuerySpec::address(Address::new("1Miner")), &mut grown_peer)
+            .unwrap();
+        assert_eq!(run.histories[0].transactions.len(), 10);
+    }
+
+    #[test]
+    fn sync_new_rejects_headers_that_do_not_chain() {
+        let config = config_for(Scheme::Lvq);
+        let full_a = full_node(Scheme::Lvq, 6);
+        let mut peer_a = LocalTransport::new(&full_a);
+        let mut light = LightNode::sync_from(&mut peer_a, config).unwrap();
+        // A different chain of the same scheme: its headers above
+        // height 6 do not chain onto ours.
+        let mut builder = ChainBuilder::new(config.chain_params()).unwrap();
+        for h in 1..=9u64 {
+            builder
+                .push_block(vec![Transaction::coinbase(
+                    Address::new("1Other"),
+                    50,
+                    h as u32,
+                )])
+                .unwrap();
+        }
+        let full_b = FullNode::new(builder.finish()).unwrap();
         assert!(matches!(
-            full.handle(&msg).unwrap_err(),
-            NodeError::UnexpectedMessage
+            light
+                .sync_new(&mut LocalTransport::new(&full_b))
+                .unwrap_err(),
+            NodeError::Verify(_)
         ));
+        // The failed sync appended nothing.
+        assert_eq!(light.client().tip_height(), 6);
     }
 }

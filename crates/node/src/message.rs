@@ -1,11 +1,24 @@
 //! RPC message envelope and node-level errors.
+//!
+//! Every encoded [`Message`] begins with a one-byte protocol version
+//! ([`PROTOCOL_VERSION`]) followed by a one-byte message tag. The
+//! version byte lives in the *payload*, not the transport frame
+//! header, so both the in-process and the TCP transport carry it and
+//! `Traffic` accounting stays byte-identical across transports. A
+//! server that receives an unsupported version or an unknown tag
+//! answers with a structured [`Message::Error`] instead of dropping
+//! the connection.
 
 use std::error::Error;
 use std::fmt;
 
 use lvq_chain::{Address, BlockHeader};
-use lvq_codec::{Decodable, DecodeError, Encodable, Reader};
+use lvq_codec::{decode_exact, Decodable, DecodeError, Encodable, Reader};
 use lvq_core::{BatchQueryResponse, ProveError, QueryError, QueryResponse};
+
+/// The wire-protocol version every encoded [`Message`] is prefixed
+/// with. Bump on any incompatible change to the message layout.
+pub const PROTOCOL_VERSION: u8 = 1;
 
 /// The wire protocol between a light node and a full node.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,6 +51,20 @@ pub enum Message {
     /// The batched proof bundle: shared BMT descents (or shared
     /// per-block filters) plus one fragment section per address.
     BatchQueryResponse(Box<BatchQueryResponse>),
+    /// Ask only for the headers at heights strictly above `height`
+    /// (incremental sync for a long-lived light client).
+    GetHeadersFrom {
+        /// The client's current tip height; the response continues
+        /// from `height + 1`.
+        height: u64,
+    },
+    /// The server's accept queue is full; retry later. Sent instead of
+    /// letting the connection hang when the worker pool sheds load.
+    Busy,
+    /// A structured server-side refusal: the request was received but
+    /// cannot be answered (bad version, unknown tag, malformed
+    /// payload, missed deadline, ...). The connection stays open.
+    Error(WireError),
 }
 
 const TAG_GET_HEADERS: u8 = 0;
@@ -46,9 +73,121 @@ const TAG_QUERY_REQ: u8 = 2;
 const TAG_QUERY_RESP: u8 = 3;
 const TAG_BATCH_QUERY_REQ: u8 = 4;
 const TAG_BATCH_QUERY_RESP: u8 = 5;
+const TAG_GET_HEADERS_FROM: u8 = 6;
+const TAG_BUSY: u8 = 7;
+const TAG_ERROR: u8 = 8;
+
+/// Why a server refused a request, carried inside [`Message::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum WireErrorCode {
+    /// The request's protocol-version byte is not one this server
+    /// speaks; `detail` is the offending version.
+    UnsupportedVersion = 0,
+    /// The request's message tag is not one this server knows;
+    /// `detail` is the offending tag.
+    UnknownTag = 1,
+    /// The version and tag were fine but the payload body did not
+    /// decode.
+    Malformed = 2,
+    /// The message decoded but is a response kind, not a request.
+    UnexpectedKind = 3,
+    /// A well-formed request the prover could not answer.
+    Unanswerable = 4,
+    /// The response was ready only after the server's per-request
+    /// deadline had passed, so the payload was withheld.
+    DeadlineExceeded = 5,
+}
+
+impl WireErrorCode {
+    fn from_u8(value: u8) -> Option<Self> {
+        Some(match value {
+            0 => WireErrorCode::UnsupportedVersion,
+            1 => WireErrorCode::UnknownTag,
+            2 => WireErrorCode::Malformed,
+            3 => WireErrorCode::UnexpectedKind,
+            4 => WireErrorCode::Unanswerable,
+            5 => WireErrorCode::DeadlineExceeded,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for WireErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            WireErrorCode::UnsupportedVersion => "unsupported protocol version",
+            WireErrorCode::UnknownTag => "unknown message tag",
+            WireErrorCode::Malformed => "malformed payload",
+            WireErrorCode::UnexpectedKind => "unexpected message kind",
+            WireErrorCode::Unanswerable => "unanswerable request",
+            WireErrorCode::DeadlineExceeded => "request deadline exceeded",
+        })
+    }
+}
+
+/// A structured server-side refusal: a coarse [`WireErrorCode`] plus
+/// one code-specific detail value (offending version byte, offending
+/// tag, ... — zero when the code has nothing to pin down).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WireError {
+    /// What went wrong.
+    pub code: WireErrorCode,
+    /// Code-specific detail (offending byte value, zero otherwise).
+    pub detail: u64,
+}
+
+impl WireError {
+    /// A refusal with no meaningful detail value.
+    pub fn new(code: WireErrorCode) -> Self {
+        WireError { code, detail: 0 }
+    }
+
+    /// A refusal pinning down the offending value.
+    pub fn with_detail(code: WireErrorCode, detail: u64) -> Self {
+        WireError { code, detail }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.code {
+            WireErrorCode::UnsupportedVersion | WireErrorCode::UnknownTag => {
+                write!(f, "{} ({})", self.code, self.detail)
+            }
+            _ => self.code.fmt(f),
+        }
+    }
+}
+
+impl Encodable for WireError {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(self.code as u8);
+        self.detail.encode_into(out);
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + self.detail.encoded_len()
+    }
+}
+
+impl Decodable for WireError {
+    fn decode_from(reader: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let raw = reader.read_u8()?;
+        let code = WireErrorCode::from_u8(raw).ok_or(DecodeError::InvalidValue {
+            what: "wire error code",
+            found: u64::from(raw),
+        })?;
+        Ok(WireError {
+            code,
+            detail: u64::decode_from(reader)?,
+        })
+    }
+}
 
 impl Encodable for Message {
     fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(PROTOCOL_VERSION);
         match self {
             Message::GetHeaders => out.push(TAG_GET_HEADERS),
             Message::Headers(headers) => {
@@ -73,12 +212,21 @@ impl Encodable for Message {
                 out.push(TAG_BATCH_QUERY_RESP);
                 response.encode_into(out);
             }
+            Message::GetHeadersFrom { height } => {
+                out.push(TAG_GET_HEADERS_FROM);
+                height.encode_into(out);
+            }
+            Message::Busy => out.push(TAG_BUSY),
+            Message::Error(error) => {
+                out.push(TAG_ERROR);
+                error.encode_into(out);
+            }
         }
     }
 
     fn encoded_len(&self) -> usize {
-        1 + match self {
-            Message::GetHeaders => 0,
+        2 + match self {
+            Message::GetHeaders | Message::Busy => 0,
             Message::Headers(headers) => headers.encoded_len(),
             Message::QueryRequest { address, range } => address.encoded_len() + range.encoded_len(),
             Message::QueryResponse(response) => response.encoded_len(),
@@ -86,12 +234,21 @@ impl Encodable for Message {
                 addresses.encoded_len() + range.encoded_len()
             }
             Message::BatchQueryResponse(response) => response.encoded_len(),
+            Message::GetHeadersFrom { height } => height.encoded_len(),
+            Message::Error(error) => error.encoded_len(),
         }
     }
 }
 
 impl Decodable for Message {
     fn decode_from(reader: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let version = reader.read_u8()?;
+        if version != PROTOCOL_VERSION {
+            return Err(DecodeError::InvalidValue {
+                what: "protocol version",
+                found: u64::from(version),
+            });
+        }
         Ok(match reader.read_u8()? {
             TAG_GET_HEADERS => Message::GetHeaders,
             TAG_HEADERS => Message::Headers(Vec::<BlockHeader>::decode_from(reader)?),
@@ -107,12 +264,42 @@ impl Decodable for Message {
             TAG_BATCH_QUERY_RESP => {
                 Message::BatchQueryResponse(Box::new(BatchQueryResponse::decode_from(reader)?))
             }
+            TAG_GET_HEADERS_FROM => Message::GetHeadersFrom {
+                height: u64::decode_from(reader)?,
+            },
+            TAG_BUSY => Message::Busy,
+            TAG_ERROR => Message::Error(WireError::decode_from(reader)?),
             other => {
                 return Err(DecodeError::InvalidValue {
                     what: "message tag",
                     found: u64::from(other),
                 })
             }
+        })
+    }
+}
+
+impl Message {
+    /// Decodes request bytes, mapping every decode failure to the
+    /// structured [`WireError`] a server should answer with: an
+    /// unsupported version byte, an unknown tag, or (for anything
+    /// deeper) a malformed payload.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] with [`WireErrorCode::UnsupportedVersion`],
+    /// [`WireErrorCode::UnknownTag`], or [`WireErrorCode::Malformed`].
+    pub fn decode_classified(bytes: &[u8]) -> Result<Message, WireError> {
+        decode_exact::<Message>(bytes).map_err(|e| match e {
+            DecodeError::InvalidValue {
+                what: "protocol version",
+                found,
+            } => WireError::with_detail(WireErrorCode::UnsupportedVersion, found),
+            DecodeError::InvalidValue {
+                what: "message tag",
+                found,
+            } => WireError::with_detail(WireErrorCode::UnknownTag, found),
+            _ => WireError::new(WireErrorCode::Malformed),
         })
     }
 }
@@ -162,6 +349,13 @@ pub enum NodeError {
         /// What the transport was doing when the peer vanished.
         context: &'static str,
     },
+    /// The server shed this connection with [`Message::Busy`] — its
+    /// accept queue was full. The request was never processed; retry
+    /// on a fresh connection.
+    Busy,
+    /// The server answered with a structured [`Message::Error`]
+    /// refusal instead of the expected response.
+    Server(WireError),
 }
 
 impl fmt::Display for NodeError {
@@ -185,6 +379,8 @@ impl fmt::Display for NodeError {
             NodeError::Disconnected { context } => {
                 write!(f, "peer disconnected mid-frame ({context})")
             }
+            NodeError::Busy => f.write_str("server is at capacity (busy); retry later"),
+            NodeError::Server(e) => write!(f, "server refused the request: {e}"),
         }
     }
 }
@@ -244,16 +440,54 @@ mod tests {
                 addresses: vec![Address::new("1Probe")],
                 range: Some((2, 9)),
             },
+            Message::GetHeadersFrom { height: 42 },
+            Message::Busy,
+            Message::Error(WireError::with_detail(WireErrorCode::UnknownTag, 200)),
+            Message::Error(WireError::new(WireErrorCode::DeadlineExceeded)),
         ];
         for m in messages {
             let bytes = m.encode();
             assert_eq!(bytes.len(), m.encoded_len());
+            assert_eq!(bytes[0], PROTOCOL_VERSION);
             assert_eq!(decode_exact::<Message>(&bytes).unwrap(), m);
         }
     }
 
     #[test]
-    fn bad_tag_rejected() {
+    fn bad_version_rejected() {
+        // Byte 200 is read as the protocol version, not a tag.
         assert!(decode_exact::<Message>(&[200]).is_err());
+        assert_eq!(
+            Message::decode_classified(&[200, 0]),
+            Err(WireError::with_detail(
+                WireErrorCode::UnsupportedVersion,
+                200
+            ))
+        );
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        assert!(decode_exact::<Message>(&[PROTOCOL_VERSION, 200]).is_err());
+        assert_eq!(
+            Message::decode_classified(&[PROTOCOL_VERSION, 200]),
+            Err(WireError::with_detail(WireErrorCode::UnknownTag, 200))
+        );
+    }
+
+    #[test]
+    fn deep_decode_faults_classify_as_malformed() {
+        // Version and tag fine, body truncated.
+        assert_eq!(
+            Message::decode_classified(&[PROTOCOL_VERSION, TAG_QUERY_REQ, 0xFF]),
+            Err(WireError::new(WireErrorCode::Malformed))
+        );
+        // Trailing garbage after a complete message is also malformed.
+        let mut bytes = Message::GetHeaders.encode();
+        bytes.push(0);
+        assert_eq!(
+            Message::decode_classified(&bytes),
+            Err(WireError::new(WireErrorCode::Malformed))
+        );
     }
 }

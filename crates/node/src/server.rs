@@ -1,22 +1,56 @@
-//! A concurrent TCP server around one shared [`FullNode`].
+//! A bounded worker-pool TCP server around one shared [`FullNode`].
 //!
-//! Thread-per-connection: an accept thread hands each connection to a
-//! worker that loops `read frame → FullNode::handle → write frame`.
-//! Every worker shares one `Arc<FullNode>`, so concurrent clients warm
-//! (and profit from) the same span-filter and SMT memo caches — the
-//! effect the `repro concurrent` experiment measures.
+//! An acceptor thread pushes accepted connections into a bounded
+//! channel consumed by N worker threads; each worker owns a connection
+//! for the lifetime of its session and loops `read frame →
+//! handle_classified → write frame`. When the queue is full the
+//! acceptor sheds load by answering [`Message::Busy`] and closing,
+//! instead of letting the client hang. Every worker shares one
+//! `Arc<FullNode>`, so concurrent clients warm (and profit from) the
+//! same span-filter and SMT memo caches — the effect the
+//! `repro concurrent` experiment measures; `repro pool` sweeps the
+//! worker count.
+//!
+//! Faults are split by layer: payload-level faults (bad version,
+//! unknown tag, malformed body, prover refusal) are answered with a
+//! structured [`Message::Error`] and the connection stays open;
+//! frame-level faults (oversized announcement, truncated frame) still
+//! drop the connection, because a length-prefixed stream cannot be
+//! resynchronised after a bad prefix.
 
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use crossbeam::channel::{self, Receiver, Sender, TrySendError};
+use lvq_codec::Encodable;
 
 use crate::frame::{read_frame_or_event, write_frame, FrameEvent, MAX_FRAME_LEN};
-use crate::full::FullNode;
-use crate::message::NodeError;
+use crate::full::{FullNode, Handled, RequestKind};
+use crate::message::{Message, NodeError, WireError, WireErrorCode};
+
+/// How often parked workers and the acceptor re-check the stop flag.
+const STOP_POLL: Duration = Duration::from_millis(25);
+
+/// Something a [`NodeServer`] can put behind its worker pool.
+///
+/// [`FullNode`] is the production implementation; experiment harnesses
+/// substitute adversarial nodes (e.g. a withholding peer for the
+/// `repro quorum` experiment).
+pub trait ServeNode: Send + Sync + 'static {
+    /// Classifies and handles one request; never fails (faults become
+    /// encoded [`Message::Error`] responses). See
+    /// [`FullNode::handle_classified`].
+    fn handle_classified(&self, request: &[u8]) -> Handled;
+}
+
+impl ServeNode for FullNode {
+    fn handle_classified(&self, request: &[u8]) -> Handled {
+        FullNode::handle_classified(self, request)
+    }
+}
 
 /// Tuning knobs for a [`NodeServer`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,63 +64,266 @@ pub struct ServerConfig {
     /// Largest request frame accepted; oversized announcements close
     /// the connection without allocating.
     pub max_frame_len: u32,
+    /// Worker threads in the pool; `0` means one per available CPU.
+    /// A worker owns a connection for its whole session, so this is
+    /// also the number of *simultaneously served* connections.
+    pub workers: usize,
+    /// Accepted connections that may wait for a free worker before the
+    /// acceptor sheds new ones with [`Message::Busy`] (minimum 1).
+    pub accept_queue: usize,
+    /// Per-request deadline, distinct from the per-connection idle
+    /// `read_timeout`: when the response to a request is ready only
+    /// after this long, the server sends a small
+    /// [`WireErrorCode::DeadlineExceeded`] error instead of the
+    /// payload. `None` disables the deadline.
+    pub request_deadline: Option<Duration>,
 }
 
 impl Default for ServerConfig {
-    /// 200 ms timeouts (snappy shutdown on loopback), 64 MiB frames.
+    /// 200 ms timeouts (snappy shutdown on loopback), 64 MiB frames,
+    /// auto-sized pool, 64-deep accept queue, no request deadline.
+    ///
+    /// The `LVQ_SERVER_WORKERS` environment variable, when set to a
+    /// positive integer, overrides the auto-sized pool — the hook CI
+    /// uses to run the whole test suite against a fixed pool width.
     fn default() -> Self {
+        let workers = std::env::var("LVQ_SERVER_WORKERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
         ServerConfig {
             read_timeout: Duration::from_millis(200),
             write_timeout: Duration::from_millis(200),
             max_frame_len: MAX_FRAME_LEN,
+            workers,
+            accept_queue: 64,
+            request_deadline: None,
         }
     }
+}
+
+impl ServerConfig {
+    /// The pool width this configuration resolves to: `workers`, or
+    /// one per available CPU when `workers` is zero.
+    pub fn effective_workers(&self) -> usize {
+        if self.workers == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            self.workers
+        }
+    }
+}
+
+/// Requests answered, broken down by request kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RequestCounters {
+    /// [`Message::GetHeaders`] requests.
+    pub get_headers: u64,
+    /// [`Message::GetHeadersFrom`] requests.
+    pub get_headers_from: u64,
+    /// Single-address [`Message::QueryRequest`]s.
+    pub queries: u64,
+    /// [`Message::BatchQueryRequest`]s.
+    pub batch_queries: u64,
+    /// Payloads that never classified as a request (bad version,
+    /// unknown tag, malformed body, response-kind message).
+    pub invalid: u64,
+}
+
+impl RequestCounters {
+    /// All requests read off the wire, valid or not.
+    pub fn total(&self) -> u64 {
+        self.get_headers + self.get_headers_from + self.queries + self.batch_queries + self.invalid
+    }
+}
+
+/// A digest of the request-latency histogram, in microseconds from
+/// frame-read completion to response-ready. Only successfully answered
+/// requests are recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LatencySummary {
+    /// Requests recorded.
+    pub count: u64,
+    /// Mean latency.
+    pub mean_us: u64,
+    /// Median latency (log₂-bucket interpolation).
+    pub p50_us: u64,
+    /// 95th-percentile latency.
+    pub p95_us: u64,
+    /// 99th-percentile latency.
+    pub p99_us: u64,
+    /// Exact maximum latency.
+    pub max_us: u64,
 }
 
 /// Point-in-time counters of a running (or stopped) server.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ServerStats {
-    /// Connections accepted over the server's lifetime.
+    /// Connections accepted over the server's lifetime (including
+    /// those shed with [`Message::Busy`]).
     pub connections: u64,
     /// Requests answered successfully.
     pub requests: u64,
-    /// Connections terminated on an error: malformed or oversized
-    /// frames, mid-frame disconnects, handler failures, write failures.
+    /// Faulty exchanges: structured [`Message::Error`] responses plus
+    /// connections dropped on frame-level faults (malformed prefix,
+    /// oversized announcement, mid-frame disconnect, write failure).
     pub errors: u64,
     /// Request payload bytes received (framing excluded).
     pub request_bytes: u64,
     /// Response payload bytes sent (framing excluded).
     pub response_bytes: u64,
+    /// Connections shed with [`Message::Busy`] because the accept
+    /// queue was full.
+    pub busy: u64,
+    /// Requests whose response was ready only after the per-request
+    /// deadline and was therefore replaced with a
+    /// [`WireErrorCode::DeadlineExceeded`] error.
+    pub deadline_misses: u64,
+    /// High-water mark of connections waiting in the accept queue.
+    pub queue_highwater: u64,
+    /// Worker threads in the pool.
+    pub workers: u64,
+    /// Requests broken down by kind.
+    pub by_kind: RequestCounters,
+    /// Latency digest of successfully answered requests.
+    pub latency: LatencySummary,
+}
+
+/// Lock-free log₂-bucketed histogram of microsecond latencies.
+///
+/// Bucket 0 holds exactly 0 µs; bucket `i ≥ 1` holds `[2^(i-1), 2^i)`.
+/// Percentiles interpolate linearly inside the hit bucket, and the
+/// exact maximum is tracked separately, so tail estimates never exceed
+/// an observed value.
+#[derive(Debug)]
+struct LatencyHistogram {
+    buckets: [AtomicU64; 64],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl LatencyHistogram {
+    fn new() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_of(us: u64) -> usize {
+        (u64::BITS - us.leading_zeros()) as usize
+    }
+
+    fn record(&self, us: u64) {
+        self.buckets[Self::bucket_of(us)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    fn summary(&self) -> LatencySummary {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count: u64 = counts.iter().sum();
+        let max_us = self.max_us.load(Ordering::Relaxed);
+        if count == 0 {
+            return LatencySummary::default();
+        }
+        let percentile = |p: f64| -> u64 {
+            let target = ((p * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (i, &c) in counts.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                if seen + c >= target {
+                    let lower = if i == 0 { 0 } else { 1u64 << (i - 1) };
+                    let upper = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                    let within = (target - seen) as f64 / c as f64;
+                    let estimate = lower + ((upper - lower) as f64 * within) as u64;
+                    return estimate.min(max_us);
+                }
+                seen += c;
+            }
+            max_us
+        };
+        LatencySummary {
+            count,
+            mean_us: self.sum_us.load(Ordering::Relaxed) / count,
+            p50_us: percentile(0.50),
+            p95_us: percentile(0.95),
+            p99_us: percentile(0.99),
+            max_us,
+        }
+    }
 }
 
 #[derive(Debug)]
-struct Shared {
-    full: Arc<FullNode>,
+struct Shared<P> {
+    node: Arc<P>,
     config: ServerConfig,
+    pool_size: usize,
     stop: AtomicBool,
     connections: AtomicU64,
     requests: AtomicU64,
     errors: AtomicU64,
     request_bytes: AtomicU64,
     response_bytes: AtomicU64,
+    busy: AtomicU64,
+    deadline_misses: AtomicU64,
+    queue_highwater: AtomicU64,
+    /// One counter per [`RequestKind`], indexed by `kind_index`.
+    by_kind: [AtomicU64; 5],
+    latency: LatencyHistogram,
 }
 
-impl Shared {
+fn kind_index(kind: RequestKind) -> usize {
+    match kind {
+        RequestKind::GetHeaders => 0,
+        RequestKind::GetHeadersFrom => 1,
+        RequestKind::Query => 2,
+        RequestKind::BatchQuery => 3,
+        RequestKind::Invalid => 4,
+    }
+}
+
+impl<P> Shared<P> {
     fn stats(&self) -> ServerStats {
+        let kind = |k: RequestKind| self.by_kind[kind_index(k)].load(Ordering::Relaxed);
         ServerStats {
             connections: self.connections.load(Ordering::Relaxed),
             requests: self.requests.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             request_bytes: self.request_bytes.load(Ordering::Relaxed),
             response_bytes: self.response_bytes.load(Ordering::Relaxed),
+            busy: self.busy.load(Ordering::Relaxed),
+            deadline_misses: self.deadline_misses.load(Ordering::Relaxed),
+            queue_highwater: self.queue_highwater.load(Ordering::Relaxed),
+            workers: self.pool_size as u64,
+            by_kind: RequestCounters {
+                get_headers: kind(RequestKind::GetHeaders),
+                get_headers_from: kind(RequestKind::GetHeadersFrom),
+                queries: kind(RequestKind::Query),
+                batch_queries: kind(RequestKind::BatchQuery),
+                invalid: kind(RequestKind::Invalid),
+            },
+            latency: self.latency.summary(),
         }
     }
 }
 
-/// A running TCP query server.
+/// A running TCP query server with a bounded worker pool.
 ///
 /// Created with [`NodeServer::bind`]; serves until [`shutdown`]
-/// (graceful: joins every thread) or drop (same, implicitly).
+/// (graceful: in-flight requests complete, every thread joins) or drop
+/// (same, implicitly). Generic over the served node so experiment
+/// harnesses can stand up adversarial peers; defaults to [`FullNode`].
 ///
 /// # Examples
 ///
@@ -95,7 +332,7 @@ impl Shared {
 /// use lvq_bloom::BloomParams;
 /// use lvq_chain::{Address, ChainBuilder, Transaction};
 /// use lvq_core::{Scheme, SchemeConfig};
-/// use lvq_node::{FullNode, LightNode, NodeServer, ServerConfig, TcpTransport};
+/// use lvq_node::{FullNode, LightNode, NodeServer, QuerySpec, ServerConfig, TcpTransport};
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let config = SchemeConfig::new(Scheme::Lvq, BloomParams::new(128, 2)?, 4)?;
@@ -106,33 +343,37 @@ impl Shared {
 /// let server = NodeServer::bind(full, "127.0.0.1:0", ServerConfig::default())?;
 /// let mut peer = TcpTransport::connect(server.local_addr())?;
 /// let mut light = LightNode::sync_from(&mut peer, config)?;
-/// let outcome = light.query(&mut peer, &Address::new("1Miner"))?;
-/// assert_eq!(outcome.history.transactions.len(), 1);
+/// let run = light.run(&QuerySpec::address(Address::new("1Miner")), &mut peer)?;
+/// assert_eq!(run.histories[0].transactions.len(), 1);
 /// drop(peer);
 /// let stats = server.shutdown();
 /// assert_eq!(stats.requests, 2); // headers + query
+/// assert_eq!(stats.by_kind.get_headers, 1);
+/// assert_eq!(stats.by_kind.queries, 1);
+/// assert_eq!(stats.latency.count, 2);
 /// # Ok(())
 /// # }
 /// ```
 ///
 /// [`shutdown`]: NodeServer::shutdown
 #[derive(Debug)]
-pub struct NodeServer {
-    shared: Arc<Shared>,
+pub struct NodeServer<P: ServeNode = FullNode> {
+    shared: Arc<Shared<P>>,
     local_addr: SocketAddr,
     accept_thread: Option<JoinHandle<()>>,
-    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
-impl NodeServer {
+impl<P: ServeNode> NodeServer<P> {
     /// Binds `addr` (use port 0 for an OS-assigned port, then
-    /// [`NodeServer::local_addr`]) and starts accepting.
+    /// [`NodeServer::local_addr`]), spawns the worker pool, and starts
+    /// accepting.
     ///
     /// # Errors
     ///
     /// Returns [`NodeError::Io`] if the listener cannot be bound.
     pub fn bind(
-        full: Arc<FullNode>,
+        node: Arc<P>,
         addr: impl ToSocketAddrs,
         config: ServerConfig,
     ) -> Result<Self, NodeError> {
@@ -147,22 +388,36 @@ impl NodeServer {
         listener.set_nonblocking(true).map_err(bind_err("bind"))?;
         let local_addr = listener.local_addr().map_err(bind_err("bind"))?;
 
+        let pool_size = config.effective_workers();
         let shared = Arc::new(Shared {
-            full,
+            node,
             config,
+            pool_size,
             stop: AtomicBool::new(false),
             connections: AtomicU64::new(0),
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             request_bytes: AtomicU64::new(0),
             response_bytes: AtomicU64::new(0),
+            busy: AtomicU64::new(0),
+            deadline_misses: AtomicU64::new(0),
+            queue_highwater: AtomicU64::new(0),
+            by_kind: std::array::from_fn(|_| AtomicU64::new(0)),
+            latency: LatencyHistogram::new(),
         });
-        let workers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let (tx, rx) = channel::bounded::<TcpStream>(config.accept_queue.max(1));
+
+        let workers = (0..pool_size)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let rx = rx.clone();
+                std::thread::spawn(move || worker_loop(&shared, &rx))
+            })
+            .collect();
 
         let accept_shared = Arc::clone(&shared);
-        let accept_workers = Arc::clone(&workers);
         let accept_thread = std::thread::spawn(move || {
-            accept_loop(&listener, &accept_shared, &accept_workers);
+            accept_loop(&listener, &accept_shared, &tx);
         });
 
         Ok(NodeServer {
@@ -183,15 +438,17 @@ impl NodeServer {
         self.shared.stats()
     }
 
-    /// The served full node, e.g. to read
-    /// [`FullNode::engine_stats`] alongside [`NodeServer::stats`].
-    pub fn full(&self) -> &Arc<FullNode> {
-        &self.shared.full
+    /// The served node, e.g. to read [`FullNode::engine_stats`]
+    /// alongside [`NodeServer::stats`].
+    pub fn full(&self) -> &Arc<P> {
+        &self.shared.node
     }
 
-    /// Stops accepting, joins every connection thread, and returns the
-    /// final counters. In-flight requests complete; idle connections
-    /// close within roughly one read timeout.
+    /// Stops accepting, drains in-flight requests, joins every thread,
+    /// and returns the final counters. A request already read off a
+    /// socket is answered before its worker exits; connections still
+    /// waiting in the accept queue are closed unserved; idle
+    /// connections close within roughly one read timeout.
     pub fn shutdown(mut self) -> ServerStats {
         self.stop_and_join();
         self.shared.stats()
@@ -202,30 +459,42 @@ impl NodeServer {
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
         }
-        for handle in self.workers.lock().drain(..) {
+        for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
     }
 }
 
-impl Drop for NodeServer {
+impl<P: ServeNode> Drop for NodeServer<P> {
     fn drop(&mut self) {
         self.stop_and_join();
     }
 }
 
-fn accept_loop(
+fn accept_loop<P: ServeNode>(
     listener: &TcpListener,
-    shared: &Arc<Shared>,
-    workers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    shared: &Arc<Shared<P>>,
+    tx: &Sender<TcpStream>,
 ) {
     while !shared.stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
+                // Responses are written as header + payload; without
+                // nodelay, Nagle delays the payload a full ACK round
+                // trip. Best-effort, as on the client side.
+                let _ = stream.set_nodelay(true);
                 shared.connections.fetch_add(1, Ordering::Relaxed);
-                let conn_shared = Arc::clone(shared);
-                let handle = std::thread::spawn(move || serve_connection(&conn_shared, stream));
-                workers.lock().push(handle);
+                match tx.try_send(stream) {
+                    Ok(()) => {
+                        shared
+                            .queue_highwater
+                            .fetch_max(tx.len() as u64, Ordering::Relaxed);
+                    }
+                    Err(TrySendError::Full(stream)) => shed(shared, stream),
+                    // All workers gone: nothing can serve, stop
+                    // accepting.
+                    Err(TrySendError::Disconnected(_)) => return,
+                }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(2));
@@ -236,9 +505,37 @@ fn accept_loop(
             }
         }
     }
+    // Dropping `tx` (with its per-worker clones already consumed by the
+    // pool) leaves queued, never-served connections to be closed when
+    // the last worker drops the channel.
 }
 
-fn serve_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
+/// Backpressure: answer an over-quota connection with one `Busy` frame
+/// and close it, so the client learns to retry instead of hanging.
+fn shed<P: ServeNode>(shared: &Arc<Shared<P>>, mut stream: TcpStream) {
+    shared.busy.fetch_add(1, Ordering::Relaxed);
+    let payload = Message::Busy.encode();
+    let configured = stream
+        .set_nonblocking(false)
+        .and_then(|()| stream.set_write_timeout(Some(shared.config.write_timeout)));
+    if configured.is_ok() && write_frame(&mut stream, &payload).is_ok() {
+        shared
+            .response_bytes
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+    }
+}
+
+fn worker_loop<P: ServeNode>(shared: &Arc<Shared<P>>, rx: &Receiver<TcpStream>) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        match rx.recv_timeout(STOP_POLL) {
+            Ok(stream) => serve_connection(shared, stream),
+            Err(channel::RecvTimeoutError::Timeout) => {}
+            Err(channel::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+fn serve_connection<P: ServeNode>(shared: &Arc<Shared<P>>, mut stream: TcpStream) {
     // The accept listener is nonblocking; accepted sockets inherit
     // nothing on some platforms and everything on others, so set the
     // mode explicitly and rely on timeouts for stop-flag polling.
@@ -269,22 +566,93 @@ fn serve_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
         shared
             .request_bytes
             .fetch_add(request.len() as u64, Ordering::Relaxed);
-        let response = match shared.full.handle(&request) {
-            Ok(response) => response,
-            Err(_) => {
-                // An undecodable or unanswerable request poisons the
-                // stream just like a bad frame.
-                shared.errors.fetch_add(1, Ordering::Relaxed);
-                return;
+
+        let started = Instant::now();
+        let handled = shared.node.handle_classified(&request);
+        let elapsed = started.elapsed();
+        shared.by_kind[kind_index(handled.kind)].fetch_add(1, Ordering::Relaxed);
+
+        // The deadline is enforced when the response is ready — one
+        // prover call cannot be preempted — so a missed deadline turns
+        // a large late payload into a small, immediate error frame.
+        let missed_deadline = shared
+            .config
+            .request_deadline
+            .is_some_and(|deadline| handled.error.is_none() && elapsed > deadline);
+        let response = if missed_deadline {
+            shared.deadline_misses.fetch_add(1, Ordering::Relaxed);
+            Handled {
+                kind: handled.kind,
+                bytes: Message::Error(WireError::new(WireErrorCode::DeadlineExceeded)).encode(),
+                error: Some(WireErrorCode::DeadlineExceeded),
             }
+        } else {
+            handled
         };
+
         shared
             .response_bytes
-            .fetch_add(response.len() as u64, Ordering::Relaxed);
-        if write_frame(&mut stream, &response).is_err() {
+            .fetch_add(response.bytes.len() as u64, Ordering::Relaxed);
+        if write_frame(&mut stream, &response.bytes).is_err() {
             shared.errors.fetch_add(1, Ordering::Relaxed);
             return;
         }
-        shared.requests.fetch_add(1, Ordering::Relaxed);
+        if response.error.is_some() {
+            // A structured refusal was delivered; the connection
+            // survives, but the exchange counts as an error, not a
+            // served request.
+            shared.errors.fetch_add(1, Ordering::Relaxed);
+        } else {
+            shared.requests.fetch_add(1, Ordering::Relaxed);
+            shared
+                .latency
+                .record(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let h = LatencyHistogram::new();
+        assert_eq!(LatencyHistogram::bucket_of(0), 0);
+        assert_eq!(LatencyHistogram::bucket_of(1), 1);
+        assert_eq!(LatencyHistogram::bucket_of(2), 2);
+        assert_eq!(LatencyHistogram::bucket_of(3), 2);
+        assert_eq!(LatencyHistogram::bucket_of(1024), 11);
+
+        // 100 samples at ~100 µs, one straggler at 10 ms.
+        for _ in 0..100 {
+            h.record(100);
+        }
+        h.record(10_000);
+        let s = h.summary();
+        assert_eq!(s.count, 101);
+        assert_eq!(s.max_us, 10_000);
+        // The p50/p95 live in the [64, 127] bucket of the fast cluster.
+        assert!((64..=127).contains(&s.p50_us), "p50 = {}", s.p50_us);
+        assert!((64..=127).contains(&s.p95_us), "p95 = {}", s.p95_us);
+        // The p99 must not exceed the observed maximum.
+        assert!(s.p99_us <= s.max_us);
+        assert!(s.mean_us >= 100);
+    }
+
+    #[test]
+    fn empty_histogram_summarises_to_zero() {
+        assert_eq!(LatencyHistogram::new().summary(), LatencySummary::default());
+    }
+
+    #[test]
+    fn config_resolves_worker_count() {
+        let mut config = ServerConfig {
+            workers: 3,
+            ..ServerConfig::default()
+        };
+        assert_eq!(config.effective_workers(), 3);
+        config.workers = 0;
+        assert!(config.effective_workers() >= 1);
     }
 }

@@ -43,6 +43,11 @@ impl TcpTransport {
 
     /// Wraps an already-connected stream.
     pub fn from_stream(stream: TcpStream) -> Self {
+        // A frame is written as header + payload; without nodelay,
+        // Nagle holds the payload until the header is acknowledged
+        // (tens of milliseconds per exchange on loopback). Best-effort:
+        // a socket that rejects the option still works, just slower.
+        let _ = stream.set_nodelay(true);
         TcpTransport {
             stream,
             cumulative: Traffic::default(),

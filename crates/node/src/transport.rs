@@ -52,7 +52,7 @@ pub trait Transport {
 /// use lvq_bloom::BloomParams;
 /// use lvq_chain::{Address, ChainBuilder, Transaction};
 /// use lvq_core::{Scheme, SchemeConfig};
-/// use lvq_node::{FullNode, LightNode, LocalTransport};
+/// use lvq_node::{FullNode, LightNode, LocalTransport, QuerySpec};
 ///
 /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// let config = SchemeConfig::new(Scheme::Lvq, BloomParams::new(128, 2)?, 4)?;
@@ -62,8 +62,8 @@ pub trait Transport {
 ///
 /// let mut peer = LocalTransport::new(&full);
 /// let mut light = LightNode::sync_from(&mut peer, config)?;
-/// let outcome = light.query(&mut peer, &Address::new("1Miner"))?;
-/// assert_eq!(outcome.history.transactions.len(), 1);
+/// let run = light.run(&QuerySpec::address(Address::new("1Miner")), &mut peer)?;
+/// assert_eq!(run.histories[0].transactions.len(), 1);
 /// # Ok(())
 /// # }
 /// ```

@@ -78,14 +78,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Honest full node -------------------------------------------
     let mut light = LightNode::sync_from(&mut peer, config)?;
-    let outcome = light.query(&mut peer, &customer)?;
+    let run = light.run(&QuerySpec::address(customer.clone()), &mut peer)?;
+    let history = &run.histories[0];
     println!(
         "honest node: balance = {} satoshi ({} transactions, {:?})",
-        outcome.history.balance.net(),
-        outcome.history.transactions.len(),
-        outcome.history.completeness,
+        history.balance.net(),
+        history.transactions.len(),
+        history.completeness,
     );
-    assert_eq!(outcome.history.balance.net(), 5);
+    assert_eq!(history.balance.net(), 5);
     println!("=> the shop owner sees the customer cannot afford a 50-satoshi coffee\n");
 
     // --- Malicious full node: hide the spend in block 9 --------------

@@ -27,8 +27,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let full = FullNode::new(workload.chain)?;
     let mut peer = LocalTransport::new(&full);
     let mut light = LightNode::sync_from(&mut peer, config)?;
-    let outcome = light.query(&mut peer, &exchange)?;
-    let history = &outcome.history;
+    let run = light.run(&QuerySpec::address(exchange.clone()), &mut peer)?;
+    let history = &run.histories[0];
     assert_eq!(history.completeness, Completeness::Complete);
 
     println!("forensic profile of {exchange}");
@@ -83,7 +83,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!(
         "\nproof cost: {} response bytes for the complete profile",
-        outcome.traffic.response_bytes
+        run.traffic.response_bytes
     );
     Ok(())
 }

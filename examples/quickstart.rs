@@ -36,14 +36,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 4. Query and verify Alice's history.
-    let outcome = light.query(&mut peer, &alice)?;
+    let run = light.run(&QuerySpec::address(alice), &mut peer)?;
+    let history = &run.histories[0];
     println!(
         "verified history: {} transactions, balance {} satoshi, completeness {:?}",
-        outcome.history.transactions.len(),
-        outcome.history.balance.net(),
-        outcome.history.completeness,
+        history.transactions.len(),
+        history.balance.net(),
+        history.completeness,
     );
-    for (height, tx) in &outcome.history.transactions {
+    for (height, tx) in &history.transactions {
         println!("  block {height}: txid {}", tx.txid());
     }
 
@@ -51,12 +52,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    is about.
     println!(
         "wire traffic: {} request bytes, {} response bytes",
-        outcome.traffic.request_bytes, outcome.traffic.response_bytes,
+        run.traffic.request_bytes, run.traffic.response_bytes,
     );
-    let estimate = BandwidthModel::mobile().transfer_time(outcome.traffic.total());
+    let estimate = BandwidthModel::mobile().transfer_time(run.traffic.total());
     println!("estimated transfer on a mobile link: {estimate:?}");
 
-    assert_eq!(outcome.history.balance.net(), 14);
-    assert_eq!(outcome.history.completeness, Completeness::Complete);
+    assert_eq!(history.balance.net(), 14);
+    assert_eq!(history.completeness, Completeness::Complete);
     Ok(())
 }

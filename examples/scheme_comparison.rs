@@ -40,8 +40,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         let mut sizes = Vec::new();
         for probe in &workload.probes {
-            let outcome = light.query(&mut peer, &probe.address)?;
-            sizes.push(outcome.traffic.response_bytes);
+            let run = light.run(&QuerySpec::address(probe.address.clone()), &mut peer)?;
+            sizes.push(run.traffic.response_bytes);
         }
         println!(
             "{:<14} {:>9} {:>12} B {:>12} B {:>12} B",

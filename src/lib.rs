@@ -25,7 +25,7 @@
 //! | [`merkle`] | `lvq-merkle` | MT, SMT and BMT trees with their proof systems |
 //! | [`chain`] | `lvq-chain` | the Bitcoin-like substrate: blocks, headers, chain building |
 //! | [`core`] | `lvq-core` | the LVQ protocol: schemes, segmenting, prover, light client |
-//! | [`node`] | `lvq-node` | full/light node pair over pluggable transports: in-process metered pipe or framed TCP with a concurrent server |
+//! | [`node`] | `lvq-node` | full/light node pair over pluggable transports: in-process metered pipe or framed TCP with a bounded worker-pool server |
 //! | [`workload`] | `lvq-workload` | deterministic mainnet-like workloads, Table III probes |
 //!
 //! # Quickstart
@@ -53,9 +53,9 @@
 //! let full = FullNode::new(builder.finish())?;
 //! let mut peer = LocalTransport::new(&full);
 //! let mut light = LightNode::sync_from(&mut peer, config)?;
-//! let outcome = light.query(&mut peer, &shop)?;
-//! assert_eq!(outcome.history.balance.net(), 20);
-//! assert_eq!(outcome.history.completeness, Completeness::Complete);
+//! let history = light.run(&QuerySpec::address(shop), &mut peer)?.into_single();
+//! assert_eq!(history.balance.net(), 20);
+//! assert_eq!(history.completeness, Completeness::Complete);
 //! # Ok(())
 //! # }
 //! ```
@@ -90,8 +90,9 @@ pub mod prelude {
     pub use lvq_merkle::{Bmt, BmtProof, MerkleBranch, MerkleTree, SmtProof, SortedMerkleTree};
     pub use lvq_node::{
         query_quorum, query_quorum_batch, BandwidthModel, BatchQueryOutcome, FullNode, LightNode,
-        LocalTransport, NodeServer, QueryEngineStats, QueryOutcome, QueryPeer, QuorumBatchOutcome,
-        QuorumOutcome, ServerConfig, ServerStats, TcpTransport, Transport,
+        LocalTransport, NodeServer, QueryEngineStats, QueryOutcome, QueryPeer, QueryRun, QuerySpec,
+        QuorumBatchOutcome, QuorumOutcome, ServeNode, ServerConfig, ServerStats, TcpTransport,
+        Transport,
     };
     pub use lvq_workload::{probes, TrafficModel, Workload, WorkloadBuilder};
 }

@@ -26,29 +26,24 @@ fn all_schemes_verify_all_probes() {
         let mut peer = LocalTransport::new(&full);
         let mut light = LightNode::sync_from(&mut peer, config).unwrap();
         for probe in &workload.probes {
-            let outcome = light.query(&mut peer, &probe.address).unwrap();
+            let history = light
+                .run(&QuerySpec::address(probe.address.clone()), &mut peer)
+                .unwrap()
+                .into_single();
             assert_eq!(
-                outcome.history.transactions.len() as u64,
+                history.transactions.len() as u64,
                 probe.tx_count,
                 "scheme {scheme}, probe {}",
                 probe.address
             );
             // Heights must match the planting exactly.
-            let mut heights: Vec<u64> = outcome
-                .history
-                .transactions
-                .iter()
-                .map(|(h, _)| *h)
-                .collect();
+            let mut heights: Vec<u64> = history.transactions.iter().map(|(h, _)| *h).collect();
             heights.dedup();
             assert_eq!(heights, probe.block_heights);
             // Balance agrees with ground truth Eq. 1.
             let truth = full.chain().history_of(&probe.address);
             let txs: Vec<Transaction> = truth.into_iter().map(|(_, t)| t).collect();
-            assert_eq!(
-                outcome.history.balance,
-                balance_of(&probe.address, txs.iter())
-            );
+            assert_eq!(history.balance, balance_of(&probe.address, txs.iter()));
         }
     }
 }

@@ -1,0 +1,167 @@
+//! Worker-pool tests: a saturated [`NodeServer`] must shed load with
+//! [`Message::Busy`] — never hang a client, never emit a torn frame —
+//! and its [`ServerStats`] books must agree with what clients observed.
+
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use proptest::prelude::*;
+
+use lvq::codec::{decode_exact, Encodable};
+use lvq::node::{Message, NodeError, WireErrorCode};
+use lvq::prelude::*;
+
+fn pool_server(workers: usize, accept_queue: usize) -> (NodeServer, SchemeConfig, Address) {
+    let config = SchemeConfig::new(Scheme::Lvq, BloomParams::new(512, 2).unwrap(), 8).unwrap();
+    let workload = WorkloadBuilder::new(config.chain_params())
+        .blocks(8)
+        .traffic(TrafficModel::tiny())
+        .seed(3)
+        .probe("1PoolProbe", 4, 4)
+        .build()
+        .unwrap();
+    let full = Arc::new(FullNode::new(workload.chain).unwrap());
+    let server_config = ServerConfig {
+        workers,
+        accept_queue,
+        ..ServerConfig::default()
+    };
+    let server = NodeServer::bind(full, "127.0.0.1:0", server_config).unwrap();
+    (server, config, Address::new("1PoolProbe"))
+}
+
+/// Polls `cond` until it holds or two seconds elapse.
+fn wait_for(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(2);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Saturation: with every worker owned by a held-open session and
+    /// the accept queue full, each further client receives exactly one
+    /// well-formed `Busy` frame — no hang, no torn frame — and once
+    /// the held sessions leave, the queued clients are served. At the
+    /// end, the server's request total equals the exchanges the
+    /// clients observed succeeding, and its busy total the sheds.
+    #[test]
+    fn saturated_pool_sheds_busy_and_recovers(
+        workers in 1usize..=3,
+        queue in 1usize..=3,
+        overflow in 1usize..=4,
+    ) {
+        let (server, config, address) = pool_server(workers, queue);
+        let get_headers = Message::GetHeaders.encode();
+        let mut served_exchanges = 0u64;
+
+        // Occupy every worker with a session held open mid-stream. The
+        // completed exchange proves the connection is owned by a
+        // worker, not waiting in the queue.
+        let mut held: Vec<TcpTransport> = Vec::new();
+        for _ in 0..workers {
+            let mut t = TcpTransport::connect(server.local_addr()).unwrap();
+            let (reply, _) = t.exchange(&get_headers).unwrap();
+            prop_assert!(matches!(
+                decode_exact::<Message>(&reply).unwrap(),
+                Message::Headers(_)
+            ));
+            served_exchanges += 1;
+            held.push(t);
+        }
+
+        // Fill the accept queue: these connections are accepted but no
+        // worker is free to serve them.
+        let queued: Vec<TcpStream> = (0..queue)
+            .map(|_| TcpStream::connect(server.local_addr()).unwrap())
+            .collect();
+        wait_for("queued connections to be accepted", || {
+            server.stats().connections == (workers + queue) as u64
+        });
+        wait_for("queue high-water to reach capacity", || {
+            server.stats().queue_highwater == queue as u64
+        });
+
+        // Every further client is shed with one structured Busy frame.
+        for _ in 0..overflow {
+            let mut t = TcpTransport::connect(server.local_addr()).unwrap();
+            let (reply, _) = t.exchange(&get_headers).unwrap();
+            prop_assert!(matches!(
+                decode_exact::<Message>(&reply).unwrap(),
+                Message::Busy
+            ));
+            // The shed connection is closed, not left dangling: a
+            // further exchange fails (EOF, or a broken-pipe write,
+            // depending on who notices the close first).
+            prop_assert!(t.exchange(&get_headers).is_err());
+        }
+        wait_for("sheds to be counted", || {
+            server.stats().busy == overflow as u64
+        });
+
+        // Release the workers; the queued clients get served after all.
+        drop(held);
+        for stream in queued {
+            let mut t = TcpTransport::from_stream(stream);
+            let (reply, _) = t.exchange(&get_headers).unwrap();
+            prop_assert!(matches!(
+                decode_exact::<Message>(&reply).unwrap(),
+                Message::Headers(_)
+            ));
+            served_exchanges += 1;
+        }
+
+        // And an honest end-to-end session still verifies.
+        let mut tcp = TcpTransport::connect(server.local_addr()).unwrap();
+        let mut light = LightNode::sync_from(&mut tcp, config).unwrap();
+        let history = light
+            .run(&QuerySpec::address(address), &mut tcp)
+            .unwrap()
+            .into_single();
+        prop_assert_eq!(history.transactions.len(), 4);
+        served_exchanges += 2;
+        drop(tcp);
+
+        let stats = server.shutdown();
+        prop_assert_eq!(stats.requests, served_exchanges);
+        prop_assert_eq!(stats.busy, overflow as u64);
+        prop_assert_eq!(stats.errors, 0);
+        prop_assert_eq!(stats.connections, (workers + queue + overflow + 1) as u64);
+        prop_assert_eq!(stats.workers, workers as u64);
+    }
+}
+
+#[test]
+fn zero_deadline_turns_every_response_into_a_deadline_error() {
+    let config = SchemeConfig::new(Scheme::Lvq, BloomParams::new(512, 2).unwrap(), 8).unwrap();
+    let workload = WorkloadBuilder::new(config.chain_params())
+        .blocks(8)
+        .traffic(TrafficModel::tiny())
+        .seed(3)
+        .build()
+        .unwrap();
+    let full = Arc::new(FullNode::new(workload.chain).unwrap());
+    let server_config = ServerConfig {
+        request_deadline: Some(Duration::ZERO),
+        ..ServerConfig::default()
+    };
+    let server = NodeServer::bind(full, "127.0.0.1:0", server_config).unwrap();
+
+    // No response can beat a zero deadline, so the client receives a
+    // small structured DeadlineExceeded error instead of the payload.
+    let mut tcp = TcpTransport::connect(server.local_addr()).unwrap();
+    match LightNode::sync_from(&mut tcp, config) {
+        Err(NodeError::Server(e)) => assert_eq!(e.code, WireErrorCode::DeadlineExceeded),
+        other => panic!("expected a deadline refusal, got {other:?}"),
+    }
+    drop(tcp);
+
+    let stats = server.shutdown();
+    assert_eq!(stats.deadline_misses, 1);
+    assert_eq!(stats.requests, 0);
+    assert_eq!(stats.errors, 1);
+}

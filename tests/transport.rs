@@ -10,8 +10,8 @@ use std::time::{Duration, Instant};
 
 use proptest::prelude::*;
 
-use lvq::codec::Encodable;
-use lvq::node::Message;
+use lvq::codec::{decode_exact, Encodable};
+use lvq::node::{Message, WireError, WireErrorCode, PROTOCOL_VERSION};
 use lvq::prelude::*;
 
 fn workload_for(scheme: Scheme, segment_len: u64, blocks: u64, seed: u64) -> Workload {
@@ -117,9 +117,10 @@ proptest! {
 
         let mut light_tcp = LightNode::sync_from(&mut tcp, config).unwrap();
         let mut light_local = LightNode::sync_from(&mut local, config).unwrap();
-        let over_tcp = light_tcp.query(&mut tcp, &address).unwrap();
-        let over_local = light_local.query(&mut local, &address).unwrap();
-        prop_assert_eq!(over_tcp.history, over_local.history);
+        let spec = QuerySpec::address(address);
+        let over_tcp = light_tcp.run(&spec, &mut tcp).unwrap();
+        let over_local = light_local.run(&spec, &mut local).unwrap();
+        prop_assert_eq!(over_tcp.histories, over_local.histories);
         prop_assert_eq!(over_tcp.traffic, over_local.traffic);
         prop_assert_eq!(
             light_tcp.cumulative_traffic(),
@@ -141,23 +142,75 @@ fn adversarial_server() -> (NodeServer, SchemeConfig, Address) {
 fn assert_still_serving(server: &NodeServer, config: SchemeConfig, address: &Address) {
     let mut tcp = TcpTransport::connect(server.local_addr()).unwrap();
     let mut light = LightNode::sync_from(&mut tcp, config).unwrap();
-    let outcome = light.query(&mut tcp, address).unwrap();
-    assert_eq!(outcome.history.transactions.len(), 6);
+    let history = light
+        .run(&QuerySpec::address(address.clone()), &mut tcp)
+        .unwrap()
+        .into_single();
+    assert_eq!(history.transactions.len(), 6);
+}
+
+/// Reads one length-prefixed frame and decodes it as a [`Message`].
+fn read_message(stream: &mut TcpStream) -> Message {
+    let mut header = [0u8; 4];
+    stream.read_exact(&mut header).unwrap();
+    let mut payload = vec![0u8; u32::from_le_bytes(header) as usize];
+    stream.read_exact(&mut payload).unwrap();
+    decode_exact::<Message>(&payload).unwrap()
 }
 
 #[test]
-fn garbage_payload_closes_the_connection_not_the_server() {
+fn garbage_payload_gets_a_structured_error_and_the_connection_survives() {
     let (server, config, address) = adversarial_server();
     let mut stream = TcpStream::connect(server.local_addr()).unwrap();
-    // A well-formed frame whose payload is not a decodable Message.
+    // A well-formed frame whose payload names the right protocol
+    // version but an unknown message tag.
     stream.write_all(&5u32.to_le_bytes()).unwrap();
-    stream.write_all(b"\xffhel\x01").unwrap();
-    // The server replies by closing; the read observes EOF.
-    let mut sink = Vec::new();
-    let _ = stream.read_to_end(&mut sink);
-    assert!(sink.is_empty());
+    stream
+        .write_all(&[PROTOCOL_VERSION, 0xEE, b'h', b'i', 0x01])
+        .unwrap();
+    // The server answers with a structured refusal on the SAME
+    // connection instead of dropping it...
+    assert_eq!(
+        read_message(&mut stream),
+        Message::Error(WireError::with_detail(WireErrorCode::UnknownTag, 0xEE))
+    );
+    // ...which still works for real requests afterwards.
+    let get_headers = Message::GetHeaders.encode();
+    stream
+        .write_all(&u32::try_from(get_headers.len()).unwrap().to_le_bytes())
+        .unwrap();
+    stream.write_all(&get_headers).unwrap();
+    assert!(matches!(read_message(&mut stream), Message::Headers(_)));
+    drop(stream);
     wait_for("decode error to be counted", || server.stats().errors == 1);
     assert_still_serving(&server, config, &address);
+}
+
+#[test]
+fn future_protocol_version_is_refused_not_dropped() {
+    let (server, config, address) = adversarial_server();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    // A client from the future: a perfectly formed request whose
+    // version byte says 255.
+    let mut payload = Message::GetHeaders.encode();
+    payload[0] = 255;
+    stream
+        .write_all(&u32::try_from(payload.len()).unwrap().to_le_bytes())
+        .unwrap();
+    stream.write_all(&payload).unwrap();
+    assert_eq!(
+        read_message(&mut stream),
+        Message::Error(WireError::with_detail(
+            WireErrorCode::UnsupportedVersion,
+            255
+        ))
+    );
+    drop(stream);
+    wait_for("version error to be counted", || server.stats().errors == 1);
+    assert_still_serving(&server, config, &address);
+    let stats = server.shutdown();
+    assert_eq!(stats.errors, 1);
+    assert_eq!(stats.by_kind.invalid, 1);
 }
 
 #[test]
@@ -212,14 +265,21 @@ fn several_adversaries_cannot_starve_honest_clients() {
     for round in 0..3u32 {
         let mut stream = TcpStream::connect(server.local_addr()).unwrap();
         match round % 3 {
+            // Frame-level faults: the server can only drop the
+            // connection (a length-prefixed stream cannot resync).
             0 => stream.write_all(&u32::MAX.to_le_bytes()).unwrap(),
             1 => {
                 stream.write_all(&64u32.to_le_bytes()).unwrap();
                 stream.write_all(&[7u8; 8]).unwrap();
             }
+            // Payload-level fault: a one-byte payload whose version
+            // byte is garbage earns a structured refusal, which the
+            // adversary politely reads before vanishing (so the close
+            // is a clean EOF, not a write race).
             _ => {
                 stream.write_all(&1u32.to_le_bytes()).unwrap();
                 stream.write_all(&[0xEE]).unwrap();
+                assert!(matches!(read_message(&mut stream), Message::Error(_)));
             }
         }
         drop(stream);
@@ -233,4 +293,55 @@ fn several_adversaries_cannot_starve_honest_clients() {
     // Three honest sessions, each a header sync plus one query; the
     // adversaries never got a single request through.
     assert_eq!(stats.requests, 3 * 2);
+    assert_eq!(stats.by_kind.invalid, 1);
+}
+
+/// A chain of coinbase-only blocks up to `blocks`; equal prefixes give
+/// equal headers, so a longer chain is a true extension of a shorter
+/// one.
+fn miner_chain(config: SchemeConfig, blocks: u32) -> Chain {
+    let mut builder = ChainBuilder::new(config.chain_params()).unwrap();
+    for h in 1..=blocks {
+        builder
+            .push_block(vec![Transaction::coinbase(Address::new("1Miner"), 50, h)])
+            .unwrap();
+    }
+    builder.finish()
+}
+
+#[test]
+fn incremental_sync_follows_a_growing_chain_over_tcp() {
+    let config = SchemeConfig::new(Scheme::Lvq, BloomParams::new(512, 2).unwrap(), 4).unwrap();
+    let miner = Address::new("1Miner");
+
+    // Day one: the chain is 8 blocks long.
+    let full = Arc::new(FullNode::new(miner_chain(config, 8)).unwrap());
+    let server = NodeServer::bind(full, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut tcp = TcpTransport::connect(server.local_addr()).unwrap();
+    let mut light = LightNode::sync_from(&mut tcp, config).unwrap();
+    assert_eq!(light.client().tip_height(), 8);
+    drop(tcp);
+    server.shutdown();
+
+    // Day two: the same chain has grown to 12 blocks; the light node
+    // fetches only the 4 headers it is missing.
+    let grown = Arc::new(FullNode::new(miner_chain(config, 12)).unwrap());
+    let server = NodeServer::bind(grown, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut tcp = TcpTransport::connect(server.local_addr()).unwrap();
+    assert_eq!(light.sync_new(&mut tcp).unwrap(), 4);
+    assert_eq!(light.client().tip_height(), 12);
+    // Caught up: a second incremental sync fetches nothing.
+    assert_eq!(light.sync_new(&mut tcp).unwrap(), 0);
+
+    // The freshly appended headers verify queries over the new blocks.
+    let history = light
+        .run(&QuerySpec::address(miner), &mut tcp)
+        .unwrap()
+        .into_single();
+    assert_eq!(history.transactions.len(), 12);
+
+    drop(tcp);
+    let stats = server.shutdown();
+    assert_eq!(stats.by_kind.get_headers_from, 2);
+    assert_eq!(stats.errors, 0);
 }

@@ -1,11 +1,20 @@
 //! Offline stand-in for the `crossbeam` crate.
 //!
-//! Only scoped threads are needed here, and `std::thread::scope`
-//! (stable since Rust 1.63) provides the same borrow-friendly
-//! semantics, so this stub delegates to it behind crossbeam's module
-//! layout. Unlike crossbeam's `scope`, panics in spawned threads
-//! propagate when the scope joins rather than being collected into a
-//! `Result` — `scope` therefore returns the closure's value directly.
+//! Two pieces of crossbeam's surface are needed here, both rebuilt on
+//! `std` so the workspace builds with no registry access:
+//!
+//! * [`thread::scope`] — `std::thread::scope` (stable since Rust 1.63)
+//!   provides the same borrow-friendly semantics behind crossbeam's
+//!   module layout. Unlike crossbeam's `scope`, panics in spawned
+//!   threads propagate when the scope joins rather than being collected
+//!   into a `Result` — `scope` therefore returns the closure's value
+//!   directly.
+//! * [`channel::bounded`] — a bounded MPMC queue on a
+//!   `Mutex<VecDeque>` plus two `Condvar`s, with the subset of
+//!   crossbeam-channel's API the workspace uses (`send`, `try_send`,
+//!   `recv_timeout`, `try_recv`, `len`, disconnect detection). A
+//!   capacity of zero is not a rendezvous channel here; it is rounded
+//!   up to one.
 
 #![forbid(unsafe_code)]
 
@@ -23,6 +32,267 @@ pub mod thread {
     }
 }
 
+/// Bounded multi-producer multi-consumer channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    /// The error of [`Sender::try_send`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity; the value is handed back.
+        Full(T),
+        /// Every receiver is gone; the value is handed back.
+        Disconnected(T),
+    }
+
+    /// The error of [`Sender::send`]: every receiver is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// The error of [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// Nothing arrived before the deadline.
+        Timeout,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    /// The error of [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    struct Inner<T> {
+        queue: Mutex<Shared<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+        capacity: usize,
+    }
+
+    struct Shared<T> {
+        items: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// The sending half of a bounded channel. Cloning adds a producer.
+    pub struct Sender<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// The receiving half of a bounded channel. Cloning adds a consumer.
+    pub struct Receiver<T> {
+        inner: Arc<Inner<T>>,
+    }
+
+    /// Creates a bounded channel holding at most `capacity` queued
+    /// items (a capacity of zero is rounded up to one; rendezvous
+    /// semantics are not provided by this stand-in).
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(Shared {
+                items: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        });
+        (
+            Sender {
+                inner: Arc::clone(&inner),
+            },
+            Receiver { inner },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues without blocking, failing if the channel is full or
+        /// every receiver is gone.
+        ///
+        /// # Errors
+        ///
+        /// [`TrySendError::Full`] / [`TrySendError::Disconnected`],
+        /// returning the value either way.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut shared = self.inner.queue.lock().expect("channel lock");
+            if shared.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if shared.items.len() >= self.inner.capacity {
+                return Err(TrySendError::Full(value));
+            }
+            shared.items.push_back(value);
+            drop(shared);
+            self.inner.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Enqueues, blocking while the channel is full.
+        ///
+        /// # Errors
+        ///
+        /// [`SendError`] if every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut shared = self.inner.queue.lock().expect("channel lock");
+            loop {
+                if shared.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if shared.items.len() < self.inner.capacity {
+                    shared.items.push_back(value);
+                    drop(shared);
+                    self.inner.not_empty.notify_one();
+                    return Ok(());
+                }
+                shared = self
+                    .inner
+                    .not_full
+                    .wait(shared)
+                    .expect("channel lock poisoned");
+            }
+        }
+
+        /// Number of items currently queued.
+        pub fn len(&self) -> usize {
+            self.inner.queue.lock().expect("channel lock").items.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues without blocking.
+        ///
+        /// # Errors
+        ///
+        /// [`TryRecvError::Empty`] / [`TryRecvError::Disconnected`].
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut shared = self.inner.queue.lock().expect("channel lock");
+            match shared.items.pop_front() {
+                Some(value) => {
+                    drop(shared);
+                    self.inner.not_full.notify_one();
+                    Ok(value)
+                }
+                None if shared.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Dequeues, blocking up to `timeout`.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvTimeoutError::Timeout`] /
+        /// [`RecvTimeoutError::Disconnected`].
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut shared = self.inner.queue.lock().expect("channel lock");
+            loop {
+                if let Some(value) = shared.items.pop_front() {
+                    drop(shared);
+                    self.inner.not_full.notify_one();
+                    return Ok(value);
+                }
+                if shared.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, result) = self
+                    .inner
+                    .not_empty
+                    .wait_timeout(shared, remaining)
+                    .expect("channel lock poisoned");
+                shared = guard;
+                if result.timed_out() && shared.items.is_empty() {
+                    return if shared.senders == 0 {
+                        Err(RecvTimeoutError::Disconnected)
+                    } else {
+                        Err(RecvTimeoutError::Timeout)
+                    };
+                }
+            }
+        }
+
+        /// Number of items currently queued.
+        pub fn len(&self) -> usize {
+            self.inner.queue.lock().expect("channel lock").items.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.inner.queue.lock().expect("channel lock").senders += 1;
+            Sender {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.inner.queue.lock().expect("channel lock").receivers += 1;
+            Receiver {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut shared = self.inner.queue.lock().expect("channel lock");
+            shared.senders -= 1;
+            if shared.senders == 0 {
+                drop(shared);
+                self.inner.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut shared = self.inner.queue.lock().expect("channel lock");
+            shared.receivers -= 1;
+            if shared.receivers == 0 {
+                drop(shared);
+                self.inner.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Sender").finish_non_exhaustive()
+        }
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("Receiver").finish_non_exhaustive()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -36,5 +306,59 @@ mod tests {
             handles.into_iter().map(|h| h.join().unwrap()).sum()
         });
         assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn bounded_channel_sheds_and_disconnects() {
+        use crate::channel::{self, RecvTimeoutError, TryRecvError, TrySendError};
+        use std::time::Duration;
+
+        let (tx, rx) = channel::bounded::<u32>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(tx.len(), 2);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Ok(3));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+
+        let (tx, rx) = channel::bounded::<u32>(0);
+        tx.send(9).unwrap();
+        drop(rx);
+        assert_eq!(tx.try_send(1), Err(TrySendError::Disconnected(1)));
+    }
+
+    #[test]
+    fn bounded_channel_crosses_threads() {
+        use crate::channel;
+        use std::time::Duration;
+
+        let (tx, rx) = channel::bounded::<u64>(4);
+        let consumer = std::thread::spawn(move || {
+            let mut total = 0;
+            while let Ok(v) = rx.recv_timeout(Duration::from_secs(2)) {
+                total += v;
+            }
+            total
+        });
+        for producer in [tx.clone(), tx] {
+            std::thread::spawn(move || {
+                for v in 1..=50u64 {
+                    producer.send(v).unwrap();
+                }
+            });
+        }
+        assert_eq!(consumer.join().unwrap(), 2 * (50 * 51) / 2);
     }
 }
