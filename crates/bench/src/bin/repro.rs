@@ -5,7 +5,7 @@
 //!
 //! experiments: all, table1, table2, table3, fig12, fig13, fig14,
 //!              fig15, fig16, storage, ksweep, latency, throughput,
-//!              concurrent, pool, quorum
+//!              concurrent, pool, quorum, coldstart
 //! ```
 //!
 //! `fig13`/`fig14`/`fig15` share one filter-size sweep; asking for any
@@ -15,7 +15,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use lvq_bench::experiments::{
-    bf_sweep, concurrent, fig12, fig16, k_sweep, latency, pool, quorum, storage, tables, throughput,
+    bf_sweep, coldstart, concurrent, fig12, fig16, k_sweep, latency, pool, quorum, storage, tables,
+    throughput,
 };
 use lvq_bench::Scale;
 
@@ -53,7 +54,7 @@ fn parse_args() -> Result<Options, String> {
 }
 
 const USAGE: &str =
-    "usage: repro <all|table1|table2|table3|fig12|fig13|fig14|fig15|fig16|storage|ksweep|latency|throughput|concurrent|pool|quorum> \
+    "usage: repro <all|table1|table2|table3|fig12|fig13|fig14|fig15|fig16|storage|ksweep|latency|throughput|concurrent|pool|quorum|coldstart> \
                      [--scale small|paper] [--seed N]";
 
 fn main() -> ExitCode {
@@ -149,6 +150,11 @@ fn main() -> ExitCode {
     if want("quorum") {
         matched = true;
         println!("{}", quorum::run(opts.scale, opts.seed));
+        println!();
+    }
+    if want("coldstart") {
+        matched = true;
+        println!("{}", coldstart::run(opts.scale, opts.seed));
         println!();
     }
 

@@ -120,11 +120,12 @@ impl ChainBuilder {
         };
 
         let Chain {
-            blocks,
+            source,
             addr_counts,
             span_hashes,
             ..
         } = chain;
+        let blocks = source.into_blocks();
         Ok(ChainBuilder {
             params,
             blocks,
@@ -489,7 +490,7 @@ mod tests {
         let mut chain = build_chain(CommitmentPolicy::lvq(), 4);
         chain.validate().unwrap();
         // Tamper a transaction value without refreshing commitments.
-        chain.blocks[1].transactions[0].outputs[0].value += 1;
+        Arc::make_mut(&mut chain.source.blocks[1]).transactions[0].outputs[0].value += 1;
         assert!(matches!(
             chain.validate().unwrap_err(),
             ChainError::CommitmentMismatch { height: 2, .. }

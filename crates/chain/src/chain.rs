@@ -17,6 +17,7 @@ use crate::block::Block;
 use crate::error::ChainError;
 use crate::header::BlockHeader;
 use crate::params::{CacheConfig, ChainParams};
+use crate::source::{BlockSource, InMemoryBlocks};
 
 /// Hit/miss and occupancy counters of one of the chain's memo caches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -50,6 +51,9 @@ pub struct ChainCacheStats {
     pub filters: CacheStats,
     /// The per-block SMT cache.
     pub smts: CacheStats,
+    /// The block source's own cache (all zeros for a fully in-memory
+    /// source, which never misses and never caches).
+    pub blocks: CacheStats,
 }
 
 /// A bounded FIFO memo cache with hit/miss counters.
@@ -140,23 +144,32 @@ impl<K: Eq + Hash + Copy, V: Clone> MemoCache<K, V> {
     }
 }
 
-/// An assembled blockchain: blocks at heights `1..=tip`, pre-computed
-/// per-block address tables, and the hash of every dyadic BMT span.
+/// An assembled blockchain: blocks at heights `1..=tip` behind a
+/// [`BlockSource`], pre-computed per-block address tables, and the hash
+/// of every dyadic BMT span.
+///
+/// Headers, address tables, and span hashes always live in memory — they
+/// are the derived state every query touches. The blocks themselves sit
+/// behind the source type parameter: [`InMemoryBlocks`] (the default,
+/// what [`crate::ChainBuilder`] produces) keeps them all deserialized,
+/// while a disk-backed source materializes them lazily through a bounded
+/// cache.
 ///
 /// Bloom filters are *not* stored (a 4,096-block chain of 500 KB filters
 /// would need 2 GB); they are recomputed from the address tables on
 /// demand through a bounded cache. Recomputation is exact: a filter is a
 /// pure function of the address set and the shared [`lvq_bloom::BloomParams`].
-///
-/// Constructed by [`crate::ChainBuilder`].
 #[derive(Debug)]
-pub struct Chain {
+pub struct Chain<S: BlockSource = InMemoryBlocks> {
     pub(crate) params: ChainParams,
-    pub(crate) blocks: Vec<Block>,
+    /// Every block header, heights 1-based.
+    pub(crate) headers: Vec<BlockHeader>,
     /// Sorted `(address, distinct-tx count)` per block, heights 1-based.
     pub(crate) addr_counts: Vec<Arc<Vec<(Address, u64)>>>,
     /// BMT node hash for every finalised dyadic span `(lo, hi)`.
     pub(crate) span_hashes: HashMap<(u64, u64), Hash256>,
+    /// Block storage.
+    pub(crate) source: S,
     /// Memoised Bloom filters, keyed by span (`(h, h)` for leaves).
     filter_cache: Mutex<MemoCache<(u64, u64), BloomFilter>>,
     /// Memoised per-block SMTs, keyed by height.
@@ -171,19 +184,89 @@ impl Chain {
         span_hashes: HashMap<(u64, u64), Hash256>,
     ) -> Self {
         let cache = params.cache_config();
+        let headers = blocks.iter().map(|b| b.header).collect();
         Chain {
             params,
-            blocks,
+            headers,
             addr_counts,
             span_hashes,
+            source: InMemoryBlocks::new(blocks),
             filter_cache: Mutex::new(MemoCache::new(cache.filter_cache_bytes)),
             smt_cache: Mutex::new(MemoCache::new(cache.smt_cache_bytes)),
         }
+    }
+}
+
+impl<S: BlockSource> Chain<S> {
+    /// Assembles a chain over `source` without replaying commitments.
+    ///
+    /// One streaming pass over the blocks rebuilds the derived state a
+    /// chain needs to answer queries: headers, per-block address tables,
+    /// and — when the policy commits a BMT — the dyadic span hashes,
+    /// regenerated through the same incremental [`BmtBuilder`] the
+    /// original build used. Header chaining (each block's
+    /// `prev_block` hash) is still checked, but transaction Merkle
+    /// roots, SMT commitments, and filter content hashes are *trusted*:
+    /// use this only on storage you own, where record checksums (or an
+    /// earlier full validation) already vouch for the bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::BrokenChainLink`] if the headers do not
+    /// chain, or any error from the source or the BMT builder.
+    pub fn assemble_trusted(params: ChainParams, source: S) -> Result<Self, ChainError> {
+        let mut headers: Vec<BlockHeader> = Vec::new();
+        let mut addr_counts: Vec<Arc<Vec<(Address, u64)>>> = Vec::new();
+        let mut span_hashes: HashMap<(u64, u64), Hash256> = HashMap::new();
+        let mut bmt_builder = if params.policy().bmt {
+            Some(BmtBuilder::new(params.bloom(), params.segment_len(), 1)?)
+        } else {
+            None
+        };
+        let mut prev_hash = Hash256::ZERO;
+
+        source.scan(&mut |height, block| {
+            if block.header.prev_block != prev_hash {
+                return Err(ChainError::BrokenChainLink { height });
+            }
+            prev_hash = block.header.block_hash();
+            let counts = block.address_counts();
+            if let Some(builder) = bmt_builder.as_mut() {
+                let mut filter = BloomFilter::new(params.bloom());
+                for (addr, _) in &counts {
+                    filter.insert(addr.as_bytes());
+                }
+                let commit = builder.push_leaf(filter)?;
+                for span in commit.new_spans {
+                    span_hashes.insert((span.lo, span.hi), span.hash);
+                }
+            }
+            headers.push(block.header);
+            addr_counts.push(Arc::new(counts));
+            Ok(())
+        })?;
+
+        let cache = params.cache_config();
+        Ok(Chain {
+            params,
+            headers,
+            addr_counts,
+            span_hashes,
+            source,
+            filter_cache: Mutex::new(MemoCache::new(cache.filter_cache_bytes)),
+            smt_cache: Mutex::new(MemoCache::new(cache.smt_cache_bytes)),
+        })
     }
 
     /// The chain's configuration.
     pub fn params(&self) -> ChainParams {
         self.params
+    }
+
+    /// Read access to the block source (e.g. to report its resident
+    /// footprint).
+    pub fn source(&self) -> &S {
+        &self.source
     }
 
     /// Re-sizes both memo caches to `cache`'s budgets, dropping every
@@ -204,17 +287,19 @@ impl Chain {
 
     /// Height of the latest block (`0` for an empty chain).
     pub fn tip_height(&self) -> u64 {
-        self.blocks.len() as u64
+        self.headers.len() as u64
     }
 
     /// The block at `height` (heights are 1-based, like the paper's
-    /// Table II examples).
+    /// Table II examples), materialized from the block source.
     ///
     /// # Errors
     ///
-    /// Returns [`ChainError::UnknownHeight`] outside `1..=tip`.
-    pub fn block(&self, height: u64) -> Result<&Block, ChainError> {
-        self.index(height).map(|i| &self.blocks[i])
+    /// Returns [`ChainError::UnknownHeight`] outside `1..=tip` and
+    /// [`ChainError::Source`] if the backing storage fails.
+    pub fn block(&self, height: u64) -> Result<Arc<Block>, ChainError> {
+        self.index(height)?;
+        self.source.block(height)
     }
 
     /// The header at `height`.
@@ -223,12 +308,12 @@ impl Chain {
     ///
     /// Returns [`ChainError::UnknownHeight`] outside `1..=tip`.
     pub fn header(&self, height: u64) -> Result<&BlockHeader, ChainError> {
-        self.block(height).map(|b| &b.header)
+        self.index(height).map(|i| &self.headers[i])
     }
 
     /// Copies every header — the download a light node performs.
     pub fn headers(&self) -> Vec<BlockHeader> {
-        self.blocks.iter().map(|b| b.header).collect()
+        self.headers.clone()
     }
 
     /// The sorted `(address, count)` table of the block at `height`.
@@ -303,7 +388,8 @@ impl Chain {
         if let Some(hit) = self.smt_cache.lock().get(&height) {
             return Ok(hit);
         }
-        let smt = Arc::new(self.blocks[idx].address_smt().map_err(ChainError::Smt)?);
+        let block = self.source.block(height)?;
+        let smt = Arc::new(block.address_smt().map_err(ChainError::Smt)?);
         // Approximate footprint: keys + counts + two hash levels per
         // entry. Only used to bound the cache, not for accounting.
         let size = self.addr_counts[idx]
@@ -315,11 +401,13 @@ impl Chain {
         Ok(smt)
     }
 
-    /// Hit/miss and occupancy statistics of the chain's memo caches.
+    /// Hit/miss and occupancy statistics of the chain's memo caches and
+    /// the block source's cache.
     pub fn cache_stats(&self) -> ChainCacheStats {
         ChainCacheStats {
             filters: self.filter_cache.lock().stats(),
             smts: self.smt_cache.lock().stats(),
+            blocks: self.source.cache_stats(),
         }
     }
 
@@ -343,7 +431,7 @@ impl Chain {
     ///
     /// Returns [`ChainError::UnknownHeight`] if the range leaves the
     /// chain and [`ChainError::Bmt`] if the range is not dyadic.
-    pub fn segment_source(&self, lo: u64, hi: u64) -> Result<SegmentBmtSource<'_>, ChainError> {
+    pub fn segment_source(&self, lo: u64, hi: u64) -> Result<SegmentBmtSource<'_, S>, ChainError> {
         self.index(lo)?;
         self.index(hi)?;
         let count = hi - lo + 1;
@@ -361,15 +449,21 @@ impl Chain {
 
     /// Every transaction involving `address`, with heights — ground
     /// truth for tests and the full node's own index.
+    ///
+    /// Streams through the block source (a disk-backed source scans
+    /// sequentially without populating its cache).
     pub fn history_of(&self, address: &Address) -> Vec<(u64, crate::Transaction)> {
         let mut out = Vec::new();
-        for (i, block) in self.blocks.iter().enumerate() {
-            for tx in &block.transactions {
-                if tx.involves(address) {
-                    out.push((i as u64 + 1, tx.clone()));
+        self.source
+            .scan(&mut |height, block| {
+                for tx in &block.transactions {
+                    if tx.involves(address) {
+                        out.push((height, tx.clone()));
+                    }
                 }
-            }
-        }
+                Ok(())
+            })
+            .expect("in-range sequential scan");
         out
     }
 
@@ -392,8 +486,14 @@ impl Chain {
             None
         };
 
-        for (i, block) in self.blocks.iter().enumerate() {
-            let height = i as u64 + 1;
+        self.source.scan(&mut |height, block| {
+            let i = (height - 1) as usize;
+            if block.header != self.headers[i] {
+                return Err(ChainError::CommitmentMismatch {
+                    height,
+                    what: "stored header",
+                });
+            }
             if block.header.prev_block != prev_hash {
                 return Err(ChainError::BrokenChainLink { height });
             }
@@ -438,8 +538,8 @@ impl Chain {
                     what: "address table",
                 });
             }
-        }
-        Ok(())
+            Ok(())
+        })
     }
 
     /// In-segment position (1-based) of `height` given the chain's `M` —
@@ -473,14 +573,22 @@ impl Chain {
 ///
 /// `filter` recomputes node filters from address sets; `node_hash` serves
 /// the hashes the chain stored while building.
-#[derive(Debug, Clone, Copy)]
-pub struct SegmentBmtSource<'a> {
-    chain: &'a Chain,
+#[derive(Debug)]
+pub struct SegmentBmtSource<'a, S: BlockSource = InMemoryBlocks> {
+    chain: &'a Chain<S>,
     lo: u64,
     hi: u64,
 }
 
-impl BmtSource for SegmentBmtSource<'_> {
+impl<S: BlockSource> Clone for SegmentBmtSource<'_, S> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<S: BlockSource> Copy for SegmentBmtSource<'_, S> {}
+
+impl<S: BlockSource> BmtSource for SegmentBmtSource<'_, S> {
     fn params(&self) -> lvq_bloom::BloomParams {
         self.chain.params.bloom()
     }
@@ -560,5 +668,64 @@ mod tests {
         // Too small to hold a filter: still correct, never caches.
         chain.span_filter(1, 8).unwrap();
         assert_eq!(chain.cache_stats().filters.entries, 0);
+    }
+
+    #[test]
+    fn in_memory_source_reports_resident_bytes() {
+        let chain = small_chain(CacheConfig::default());
+        let total: u64 = (1..=chain.tip_height())
+            .map(|h| chain.block(h).unwrap().integral_size() as u64)
+            .sum();
+        assert_eq!(chain.source().resident_bytes(), total);
+        // No block cache on the in-memory source.
+        assert_eq!(chain.cache_stats().blocks, CacheStats::default());
+    }
+
+    #[test]
+    fn assemble_trusted_matches_full_build() {
+        for policy in [
+            CommitmentPolicy::strawman(),
+            CommitmentPolicy::lvq_without_bmt(),
+            CommitmentPolicy::lvq_without_smt(),
+            CommitmentPolicy::lvq(),
+        ] {
+            let params = ChainParams::new(BloomParams::new(128, 2).unwrap(), 8, policy).unwrap();
+            let mut builder = ChainBuilder::new(params).unwrap();
+            for h in 1..=13u32 {
+                builder
+                    .push_block(vec![Transaction::coinbase(Address::new("1Miner"), 50, h)])
+                    .unwrap();
+            }
+            let built = builder.finish();
+
+            let blocks: Vec<Block> = (1..=built.tip_height())
+                .map(|h| (*built.block(h).unwrap()).clone())
+                .collect();
+            let trusted = Chain::assemble_trusted(params, InMemoryBlocks::new(blocks)).unwrap();
+
+            assert_eq!(trusted.tip_height(), built.tip_height());
+            assert_eq!(trusted.headers(), built.headers());
+            assert_eq!(trusted.span_hashes, built.span_hashes);
+            for h in 1..=built.tip_height() {
+                assert_eq!(
+                    trusted.addr_counts(h).unwrap(),
+                    built.addr_counts(h).unwrap(),
+                    "policy {policy:?} height {h}"
+                );
+            }
+            // The trusted chain still passes a full validation.
+            trusted.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn assemble_trusted_rejects_broken_chaining() {
+        let built = small_chain(CacheConfig::default());
+        let mut blocks: Vec<Block> = (1..=built.tip_height())
+            .map(|h| (*built.block(h).unwrap()).clone())
+            .collect();
+        blocks[3].header.prev_block = Hash256::hash(b"not the parent");
+        let err = Chain::assemble_trusted(built.params(), InMemoryBlocks::new(blocks)).unwrap_err();
+        assert_eq!(err, ChainError::BrokenChainLink { height: 4 });
     }
 }

@@ -51,6 +51,12 @@ pub enum ChainError {
     Bmt(BmtError),
     /// An underlying SMT operation failed.
     Smt(SmtError),
+    /// The chain's block source failed to materialize a block (e.g. an
+    /// I/O error or checksum failure in a disk-backed store).
+    Source {
+        /// Human-readable description of the storage failure.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ChainError {
@@ -75,6 +81,7 @@ impl fmt::Display for ChainError {
             }
             ChainError::Bmt(e) => write!(f, "bmt error: {e}"),
             ChainError::Smt(e) => write!(f, "smt error: {e}"),
+            ChainError::Source { detail } => write!(f, "block source error: {detail}"),
         }
     }
 }

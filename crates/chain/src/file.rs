@@ -27,6 +27,7 @@ use crate::builder::ChainBuilder;
 use crate::chain::Chain;
 use crate::error::ChainError;
 use crate::params::{ChainParams, CommitmentPolicy};
+use crate::source::{BlockSource, InMemoryBlocks};
 
 const MAGIC: [u8; 4] = *b"LVQC";
 const VERSION: u32 = 1;
@@ -153,7 +154,7 @@ impl Decodable for ChainParams {
 /// # Errors
 ///
 /// Returns [`ChainFileError::Io`] on write failure.
-pub fn save<W: Write>(chain: &Chain, writer: W) -> Result<(), ChainFileError> {
+pub fn save<S: BlockSource, W: Write>(chain: &Chain<S>, writer: W) -> Result<(), ChainFileError> {
     let mut w = BufWriter::new(writer);
     w.write_all(&MAGIC)?;
     w.write_all(&VERSION.to_le_bytes())?;
@@ -174,7 +175,10 @@ pub fn save<W: Write>(chain: &Chain, writer: W) -> Result<(), ChainFileError> {
 /// # Errors
 ///
 /// As [`save`].
-pub fn save_to_path(chain: &Chain, path: impl AsRef<Path>) -> Result<(), ChainFileError> {
+pub fn save_to_path<S: BlockSource>(
+    chain: &Chain<S>,
+    path: impl AsRef<Path>,
+) -> Result<(), ChainFileError> {
     save(chain, File::create(path)?)
 }
 
@@ -223,6 +227,54 @@ pub fn load<R: Read>(reader: R) -> Result<Chain, ChainFileError> {
 /// As [`load`].
 pub fn load_from_path(path: impl AsRef<Path>) -> Result<Chain, ChainFileError> {
     load(File::open(path)?)
+}
+
+/// Reads a chain *without* replaying commitments.
+///
+/// Blocks are decoded and assembled through
+/// [`Chain::assemble_trusted`]: header chaining is still checked, but
+/// transaction Merkle roots, Bloom filter hashes, and SMT commitments
+/// are taken at face value, skipping the O(chain length × block size)
+/// recomputation [`load`] performs. Only use this on files you wrote
+/// yourself (the CLI gates it behind an explicit `--trust-file` flag).
+///
+/// # Errors
+///
+/// Returns a [`ChainFileError`] for I/O problems, corrupt bytes, or
+/// headers that do not chain.
+pub fn load_trusted<R: Read>(reader: R) -> Result<Chain, ChainFileError> {
+    let mut r = BufReader::new(reader);
+    let mut bytes = Vec::new();
+    r.read_to_end(&mut bytes)?;
+    if bytes.len() < 8 || bytes[..4] != MAGIC {
+        return Err(ChainFileError::BadMagic);
+    }
+    let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    if version != VERSION {
+        return Err(ChainFileError::UnsupportedVersion { found: version });
+    }
+
+    let mut reader = Reader::new(&bytes[8..]);
+    let params = ChainParams::decode_from(&mut reader)?;
+    let count = reader.read_len()? as u64;
+    let mut blocks = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        blocks.push(Block::decode_from(&mut reader)?);
+    }
+    reader.finish()?;
+    Ok(Chain::assemble_trusted(
+        params,
+        InMemoryBlocks::new(blocks),
+    )?)
+}
+
+/// Reads a chain from a file at `path` without replaying commitments.
+///
+/// # Errors
+///
+/// As [`load_trusted`].
+pub fn load_from_path_trusted(path: impl AsRef<Path>) -> Result<Chain, ChainFileError> {
+    load_trusted(File::open(path)?)
 }
 
 #[cfg(test)]
@@ -314,6 +366,30 @@ mod tests {
             .push_block(vec![Transaction::coinbase(Address::new("1Miner"), 50, 7)])
             .unwrap();
         builder.finish().validate().unwrap();
+    }
+
+    #[test]
+    fn trusted_load_matches_full_load() {
+        let chain = sample_chain();
+        let bytes = roundtrip_bytes(&chain);
+        let trusted = load_trusted(&bytes[..]).unwrap();
+        assert_eq!(trusted.headers(), chain.headers());
+        assert_eq!(trusted.params(), chain.params());
+        // Trusted assembly still leaves a fully consistent chain.
+        trusted.validate().unwrap();
+    }
+
+    #[test]
+    fn trusted_load_still_rejects_framing_faults() {
+        let bytes = roundtrip_bytes(&sample_chain());
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(
+            load_trusted(&bad_magic[..]),
+            Err(ChainFileError::BadMagic)
+        ));
+        // Truncation inside the block area fails to decode.
+        assert!(load_trusted(&bytes[..bytes.len() - 3]).is_err());
     }
 
     #[test]

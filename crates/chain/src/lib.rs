@@ -47,6 +47,7 @@ mod error;
 pub mod file;
 mod header;
 mod params;
+mod source;
 mod transaction;
 mod utxo;
 
@@ -58,5 +59,6 @@ pub use chain::{CacheStats, Chain, ChainCacheStats, SegmentBmtSource};
 pub use error::ChainError;
 pub use header::{BlockHeader, HeaderCommitments, BASE_HEADER_LEN};
 pub use params::{CacheConfig, ChainParams, CommitmentPolicy};
+pub use source::{BlockSource, InMemoryBlocks};
 pub use transaction::{Transaction, TxInput, TxOutPoint, TxOutput};
 pub use utxo::{UtxoEntry, UtxoSet};

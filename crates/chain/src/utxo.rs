@@ -143,7 +143,7 @@ impl UtxoSet {
     }
 }
 
-impl Chain {
+impl<S: crate::BlockSource> Chain<S> {
     /// Replays the whole chain through a [`UtxoSet`], verifying every
     /// spend — the economic half of full-node validation
     /// ([`Chain::validate`] covers the cryptographic half).
@@ -157,7 +157,8 @@ impl Chain {
     pub fn validate_utxo(&self) -> Result<UtxoSet, ChainError> {
         let mut set = UtxoSet::new();
         for height in 1..=self.tip_height() {
-            set.apply_block(self.block(height)?, height)?;
+            let block = self.block(height)?;
+            set.apply_block(&block, height)?;
         }
         Ok(set)
     }

@@ -284,11 +284,27 @@ impl QueryOptions {
     }
 }
 
+/// Where `lvq serve` gets its chain from.
+#[derive(Debug, Clone)]
+pub enum ServeSource {
+    /// Deserialize a chain file into memory.
+    File {
+        /// Chain file path.
+        path: String,
+        /// Skip the full commitment replay (`--trust-file`): record
+        /// checksums vouch for the bytes, derived state is rebuilt in
+        /// one streaming pass.
+        trusted: bool,
+    },
+    /// Serve straight from an on-disk block store directory.
+    Store(String),
+}
+
 /// Options of `lvq serve`.
 #[derive(Debug, Clone)]
 pub struct ServeOptions {
-    /// Chain file path.
-    pub file: String,
+    /// Chain file or store directory.
+    pub source: ServeSource,
     /// Listen address (`HOST:PORT`; port 0 picks a free port).
     pub addr: String,
     /// Stop after this many requests (for scripted runs and tests).
@@ -303,6 +319,8 @@ pub struct ServeOptions {
     pub queue: Option<usize>,
     /// Per-request deadline in milliseconds (0 = none).
     pub deadline_ms: Option<u64>,
+    /// Byte budget for the decoded-block LRU cache (`--store` only).
+    pub block_cache: Option<usize>,
 }
 
 impl ServeOptions {
@@ -320,6 +338,9 @@ impl ServeOptions {
         let mut workers = 0;
         let mut queue = None;
         let mut deadline_ms = None;
+        let mut store = None;
+        let mut trusted = false;
+        let mut block_cache = None;
         let mut iter = args.iter();
         while let Some(arg) = iter.next() {
             let mut value = |name: &str| {
@@ -350,15 +371,48 @@ impl ServeOptions {
                 "--deadline-ms" => {
                     deadline_ms = Some(parse_u64("--deadline-ms", &value("--deadline-ms")?)?)
                 }
+                "--store" => store = Some(value("--store")?),
+                "--trust-file" => trusted = true,
+                "--block-cache" => {
+                    block_cache =
+                        Some(parse_u64("--block-cache", &value("--block-cache")?)? as usize)
+                }
                 other if !other.starts_with("--") => positional.push(other.to_string()),
                 other => return Err(CliError::Usage(format!("unknown flag '{other}'"))),
             }
         }
-        let [file] = positional.as_slice() else {
-            return Err(CliError::Usage("serve takes exactly one chain file".into()));
+        let source = match (store, positional.as_slice()) {
+            (Some(dir), []) => {
+                if trusted {
+                    return Err(CliError::Usage(
+                        "--trust-file applies to chain files; a store is always \
+                         opened via its checksums"
+                            .into(),
+                    ));
+                }
+                ServeSource::Store(dir)
+            }
+            (None, [file]) => {
+                if block_cache.is_some() {
+                    return Err(CliError::Usage(
+                        "--block-cache only applies with --store (a chain file \
+                         is fully resident)"
+                            .into(),
+                    ));
+                }
+                ServeSource::File {
+                    path: file.clone(),
+                    trusted,
+                }
+            }
+            _ => {
+                return Err(CliError::Usage(
+                    "serve takes exactly one chain file, or --store DIR".into(),
+                ))
+            }
         };
         Ok(ServeOptions {
-            file: file.clone(),
+            source,
             addr,
             max_requests,
             filter_cache,
@@ -366,6 +420,70 @@ impl ServeOptions {
             workers,
             queue,
             deadline_ms,
+            block_cache,
+        })
+    }
+}
+
+/// Options of `lvq ingest`.
+#[derive(Debug, Clone)]
+pub struct IngestOptions {
+    /// Input chain file.
+    pub file: String,
+    /// Destination store directory (must not already be a store).
+    pub store: String,
+    /// Load the chain file with checksum-only verification
+    /// (`--trust-file`) instead of the full commitment replay.
+    pub trusted: bool,
+    /// Target segment size in bytes before rotation.
+    pub segment_bytes: Option<u64>,
+}
+
+impl IngestOptions {
+    /// Parses the arguments after `ingest`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] for unknown flags or bad values.
+    pub fn parse(args: &[String]) -> Result<Self, CliError> {
+        let mut positional = Vec::new();
+        let mut store = None;
+        let mut trusted = false;
+        let mut segment_bytes = None;
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            let mut value = |name: &str| {
+                iter.next()
+                    .cloned()
+                    .ok_or_else(|| CliError::Usage(format!("{name} needs a value")))
+            };
+            match arg.as_str() {
+                "--store" => store = Some(value("--store")?),
+                "--trust-file" => trusted = true,
+                "--segment-bytes" => {
+                    let bytes = parse_u64("--segment-bytes", &value("--segment-bytes")?)?;
+                    if bytes == 0 {
+                        return Err(CliError::Usage("--segment-bytes must be at least 1".into()));
+                    }
+                    segment_bytes = Some(bytes);
+                }
+                other if !other.starts_with("--") => positional.push(other.to_string()),
+                other => return Err(CliError::Usage(format!("unknown flag '{other}'"))),
+            }
+        }
+        let [file] = positional.as_slice() else {
+            return Err(CliError::Usage(
+                "ingest takes exactly one chain file".into(),
+            ));
+        };
+        let Some(store) = store else {
+            return Err(CliError::Usage("ingest requires --store DIR".into()));
+        };
+        Ok(IngestOptions {
+            file: file.clone(),
+            store,
+            trusted,
+            segment_bytes,
         })
     }
 }
@@ -483,13 +601,14 @@ mod tests {
     #[test]
     fn serve_parsing() {
         let s = ServeOptions::parse(&strings(&["c.lvq"])).unwrap();
-        assert_eq!(s.file, "c.lvq");
+        assert!(matches!(&s.source, ServeSource::File { path, trusted: false } if path == "c.lvq"));
         assert_eq!(s.addr, "127.0.0.1:0");
         assert_eq!(s.max_requests, None);
         assert_eq!(s.filter_cache, None);
         assert_eq!(s.workers, 0);
         assert_eq!(s.queue, None);
         assert_eq!(s.deadline_ms, None);
+        assert_eq!(s.block_cache, None);
 
         let s = ServeOptions::parse(&strings(&[
             "c.lvq",
@@ -521,6 +640,52 @@ mod tests {
         assert!(ServeOptions::parse(&strings(&["a.lvq", "b.lvq"])).is_err());
         assert!(ServeOptions::parse(&strings(&["a.lvq", "--max-requests", "x"])).is_err());
         assert!(ServeOptions::parse(&strings(&["a.lvq", "--queue", "0"])).is_err());
+    }
+
+    #[test]
+    fn serve_source_parsing() {
+        let s = ServeOptions::parse(&strings(&["c.lvq", "--trust-file"])).unwrap();
+        assert!(matches!(&s.source, ServeSource::File { trusted: true, .. }));
+
+        let s =
+            ServeOptions::parse(&strings(&["--store", "dir", "--block-cache", "4096"])).unwrap();
+        assert!(matches!(&s.source, ServeSource::Store(dir) if dir == "dir"));
+        assert_eq!(s.block_cache, Some(4096));
+
+        // A file and a store are mutually exclusive sources.
+        assert!(ServeOptions::parse(&strings(&["c.lvq", "--store", "dir"])).is_err());
+        // --trust-file is meaningless for a store.
+        assert!(ServeOptions::parse(&strings(&["--store", "dir", "--trust-file"])).is_err());
+        // --block-cache is meaningless for a fully resident file.
+        assert!(ServeOptions::parse(&strings(&["c.lvq", "--block-cache", "1"])).is_err());
+    }
+
+    #[test]
+    fn ingest_parsing() {
+        let i = IngestOptions::parse(&strings(&["c.lvq", "--store", "dir"])).unwrap();
+        assert_eq!(i.file, "c.lvq");
+        assert_eq!(i.store, "dir");
+        assert!(!i.trusted);
+        assert_eq!(i.segment_bytes, None);
+
+        let i = IngestOptions::parse(&strings(&[
+            "c.lvq",
+            "--store",
+            "dir",
+            "--trust-file",
+            "--segment-bytes",
+            "1048576",
+        ]))
+        .unwrap();
+        assert!(i.trusted);
+        assert_eq!(i.segment_bytes, Some(1_048_576));
+
+        assert!(IngestOptions::parse(&strings(&["c.lvq"])).is_err());
+        assert!(IngestOptions::parse(&strings(&["--store", "dir"])).is_err());
+        assert!(IngestOptions::parse(&strings(&["a", "b", "--store", "dir"])).is_err());
+        assert!(
+            IngestOptions::parse(&strings(&["a", "--store", "d", "--segment-bytes", "0"])).is_err()
+        );
     }
 
     #[test]

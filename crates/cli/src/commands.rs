@@ -5,12 +5,16 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use lvq_bloom::BloomParams;
-use lvq_chain::{file as chain_file, Address, CacheConfig, Chain};
+use lvq_chain::{file as chain_file, Address, BlockSource, CacheConfig, CacheStats, Chain};
 use lvq_core::{Completeness, LightClient, Prover, SchemeConfig, VerifiedHistory};
 use lvq_node::{FullNode, LightNode, NodeServer, QuerySpec, ServerConfig, TcpTransport};
+use lvq_store::StoreConfig;
 use lvq_workload::{TrafficModel, WorkloadBuilder};
 
-use crate::args::{GenerateOptions, QueryOptions, QuerySource, RemoteEndpoint, ServeOptions};
+use crate::args::{
+    GenerateOptions, IngestOptions, QueryOptions, QuerySource, RemoteEndpoint, ServeOptions,
+    ServeSource,
+};
 use crate::error::CliError;
 
 fn human_bytes(n: u64) -> String {
@@ -238,10 +242,74 @@ fn query_remote(
     Ok(())
 }
 
-/// `lvq serve`: load a chain file and answer queries over TCP until
-/// interrupted (or until `--max-requests` have been handled).
+/// Loads a chain file, optionally via the trusted (checksum-only,
+/// commitments not replayed) fast path.
+fn load_chain_file(path: &str, trusted: bool) -> Result<Chain, CliError> {
+    Ok(if trusted {
+        chain_file::load_from_path_trusted(path)?
+    } else {
+        chain_file::load_from_path(path)?
+    })
+}
+
+/// `lvq ingest`: copy a chain file into an on-disk block store.
+pub fn ingest(opts: &IngestOptions, out: &mut impl Write) -> Result<(), CliError> {
+    let chain = load_chain_file(&opts.file, opts.trusted)?;
+    let mut config = StoreConfig::default();
+    if let Some(bytes) = opts.segment_bytes {
+        config.segment_target_bytes = bytes;
+    }
+    let store = lvq_store::ingest_chain(&chain, &opts.store, config)?;
+    writeln!(
+        out,
+        "ingested {} blocks from {} into {} ({} segments)",
+        store.len(),
+        opts.file,
+        opts.store,
+        store.segment_count()
+    )?;
+    Ok(())
+}
+
+/// `lvq serve`: answer queries over TCP until interrupted (or until
+/// `--max-requests` have been handled), from a loaded chain file or
+/// straight off an on-disk block store.
 pub fn serve(opts: &ServeOptions, out: &mut impl Write) -> Result<(), CliError> {
-    let (mut chain, config) = load_with_config(&opts.file)?;
+    match &opts.source {
+        ServeSource::File { path, trusted } => {
+            serve_chain(load_chain_file(path, *trusted)?, opts, out)
+        }
+        ServeSource::Store(dir) => {
+            let mut config = StoreConfig::default();
+            if let Some(bytes) = opts.block_cache {
+                config.cache_bytes = bytes;
+            }
+            let (chain, report) = lvq_store::open_chain(dir, config)?;
+            if !report.is_clean() {
+                writeln!(
+                    out,
+                    "recovered    : {} re-indexed records, {} torn tail bytes truncated{}",
+                    report.recovered_records,
+                    report.truncated_tail_bytes,
+                    if report.rebuilt_index {
+                        ", index rebuilt"
+                    } else {
+                        ""
+                    }
+                )?;
+            }
+            serve_chain(chain, opts, out)
+        }
+    }
+}
+
+fn serve_chain<S: BlockSource + 'static>(
+    mut chain: Chain<S>,
+    opts: &ServeOptions,
+    out: &mut impl Write,
+) -> Result<(), CliError> {
+    let config = SchemeConfig::from_chain_params(chain.params())
+        .ok_or_else(|| CliError::Usage("chain commitments match no known scheme".into()))?;
     if opts.filter_cache.is_some() || opts.smt_cache.is_some() {
         let default = CacheConfig::default();
         chain.set_cache_config(CacheConfig::new(
@@ -314,6 +382,22 @@ pub fn serve(opts: &ServeOptions, out: &mut impl Write) -> Result<(), CliError> 
         stats.latency.max_us,
         stats.latency.mean_us,
         stats.latency.count
+    )?;
+    let caches = full.chain().cache_stats();
+    let cache_cell = |s: &CacheStats| {
+        format!(
+            "{}h/{}m {} held",
+            s.hits,
+            s.misses,
+            human_bytes(s.used_bytes)
+        )
+    };
+    writeln!(
+        out,
+        "caches       : filters {}, smts {}, blocks {}",
+        cache_cell(&caches.filters),
+        cache_cell(&caches.smts),
+        cache_cell(&caches.blocks)
     )?;
     Ok(())
 }
@@ -574,6 +658,192 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("latency      : p50 "), "{text}");
+        assert!(text.contains("caches       : filters "), "{text}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn ingest_then_serve_from_store() {
+        let path = temp_path("ingest.lvq");
+        let dir = temp_path("ingest-store");
+        std::fs::remove_dir_all(&dir).ok();
+        run(
+            &strings(&[
+                "generate",
+                "--out",
+                &path,
+                "--blocks",
+                "16",
+                "--txs",
+                "4",
+                "--segment",
+                "8",
+                "--bf",
+                "256",
+                "--probe",
+                "1StoreProbe:4:3",
+            ]),
+            &mut Vec::new(),
+        )
+        .unwrap();
+
+        let mut out = Vec::new();
+        run(
+            &strings(&[
+                "ingest",
+                &path,
+                "--store",
+                &dir,
+                "--trust-file",
+                "--segment-bytes",
+                "4096",
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("ingested 16 blocks"), "{text}");
+
+        // Ingesting into the same directory again must refuse.
+        assert!(matches!(
+            run(
+                &strings(&["ingest", &path, "--store", &dir]),
+                &mut Vec::new()
+            ),
+            Err(CliError::Store(_))
+        ));
+
+        // One remote query run = header sync + query + tip check.
+        let server_out = SharedBuf::default();
+        let server_thread = {
+            let mut out = server_out.clone();
+            let dir = dir.clone();
+            std::thread::spawn(move || {
+                run(
+                    &strings(&[
+                        "serve",
+                        "--store",
+                        &dir,
+                        "--addr",
+                        "127.0.0.1:0",
+                        "--max-requests",
+                        "3",
+                        "--workers",
+                        "2",
+                    ]),
+                    &mut out,
+                )
+                .unwrap();
+            })
+        };
+        let addr = loop {
+            if let Some(line) = server_out.text().lines().find(|l| l.starts_with("serving")) {
+                break line.rsplit(' ').next().unwrap().to_string();
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        };
+
+        let mut out = Vec::new();
+        run(
+            &strings(&[
+                "query",
+                "1StoreProbe",
+                "--addr",
+                &addr,
+                "--segment",
+                "8",
+                "--bf",
+                "256",
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("synced       : 16 headers"), "{text}");
+        assert!(text.contains("transactions : 4"), "{text}");
+        assert!(text.contains("complete (no omissions possible)"), "{text}");
+
+        server_thread.join().unwrap();
+        let text = server_out.text();
+        assert!(text.contains("served 3 requests"), "{text}");
+        assert!(text.contains("caches       : filters "), "{text}");
+        // A disk-backed server actually exercises the block cache.
+        assert!(!text.contains("blocks 0h/0m"), "{text}");
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_trusted_file_answers_queries() {
+        let path = temp_path("trusted.lvq");
+        run(
+            &strings(&[
+                "generate",
+                "--out",
+                &path,
+                "--blocks",
+                "8",
+                "--txs",
+                "3",
+                "--segment",
+                "8",
+                "--bf",
+                "256",
+                "--probe",
+                "1TrustProbe:3:2",
+            ]),
+            &mut Vec::new(),
+        )
+        .unwrap();
+
+        let server_out = SharedBuf::default();
+        let server_thread = {
+            let mut out = server_out.clone();
+            let path = path.clone();
+            std::thread::spawn(move || {
+                run(
+                    &strings(&[
+                        "serve",
+                        &path,
+                        "--trust-file",
+                        "--addr",
+                        "127.0.0.1:0",
+                        "--max-requests",
+                        "3",
+                    ]),
+                    &mut out,
+                )
+                .unwrap();
+            })
+        };
+        let addr = loop {
+            if let Some(line) = server_out.text().lines().find(|l| l.starts_with("serving")) {
+                break line.rsplit(' ').next().unwrap().to_string();
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        };
+
+        let mut out = Vec::new();
+        run(
+            &strings(&[
+                "query",
+                "1TrustProbe",
+                "--addr",
+                &addr,
+                "--segment",
+                "8",
+                "--bf",
+                "256",
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("transactions : 3"), "{text}");
+        assert!(text.contains("complete (no omissions possible)"), "{text}");
+
+        server_thread.join().unwrap();
         std::fs::remove_file(&path).ok();
     }
 

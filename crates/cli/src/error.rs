@@ -24,6 +24,8 @@ pub enum CliError {
     Verify(lvq_core::QueryError),
     /// Node/transport problems while serving or querying over TCP.
     Node(lvq_node::NodeError),
+    /// On-disk block store problems.
+    Store(lvq_store::StoreError),
 }
 
 impl fmt::Display for CliError {
@@ -37,6 +39,7 @@ impl fmt::Display for CliError {
             CliError::Prove(e) => write!(f, "prover: {e}"),
             CliError::Verify(e) => write!(f, "verification: {e}"),
             CliError::Node(e) => write!(f, "node: {e}"),
+            CliError::Store(e) => write!(f, "store: {e}"),
         }
     }
 }
@@ -51,6 +54,7 @@ impl Error for CliError {
             CliError::Prove(e) => Some(e),
             CliError::Verify(e) => Some(e),
             CliError::Node(e) => Some(e),
+            CliError::Store(e) => Some(e),
             CliError::Usage(_) => None,
         }
     }
@@ -95,5 +99,11 @@ impl From<lvq_core::QueryError> for CliError {
 impl From<lvq_node::NodeError> for CliError {
     fn from(e: lvq_node::NodeError) -> Self {
         CliError::Node(e)
+    }
+}
+
+impl From<lvq_store::StoreError> for CliError {
+    fn from(e: lvq_store::StoreError) -> Self {
+        CliError::Store(e)
     }
 }

@@ -11,7 +11,8 @@ mod commands;
 mod error;
 
 pub use args::{
-    parse_probe_spec, GenerateOptions, QueryOptions, QuerySource, RemoteEndpoint, ServeOptions,
+    parse_probe_spec, GenerateOptions, IngestOptions, QueryOptions, QuerySource, RemoteEndpoint,
+    ServeOptions, ServeSource,
 };
 pub use error::CliError;
 
@@ -28,9 +29,11 @@ usage:
   lvq query FILE ADDRESS [--range LO:HI] [--breakdown]
   lvq query ADDRESS --addr HOST:PORT --segment M [--scheme NAME] [--bf BYTES]
             [--k N] [--range LO:HI]
-  lvq serve FILE [--addr HOST:PORT] [--max-requests N] [--workers N]
+  lvq serve (FILE [--trust-file] | --store DIR [--block-cache BYTES])
+            [--addr HOST:PORT] [--max-requests N] [--workers N]
             [--queue N] [--deadline-ms MS]
             [--filter-cache BYTES] [--smt-cache BYTES]
+  lvq ingest FILE --store DIR [--trust-file] [--segment-bytes N]
   lvq balance FILE ADDRESS";
 
 /// Dispatches a full command line (without the program name).
@@ -55,6 +58,7 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         },
         "query" => commands::query(&args::QueryOptions::parse(rest)?, out),
         "serve" => commands::serve(&args::ServeOptions::parse(rest)?, out),
+        "ingest" => commands::ingest(&args::IngestOptions::parse(rest)?, out),
         "balance" => match rest {
             [file, address] => commands::balance(file, address, out),
             _ => Err(CliError::Usage(

@@ -1,7 +1,7 @@
 //! The full-node side: response generation (paper §V).
 
 use lvq_bloom::BloomFilter;
-use lvq_chain::{Address, Chain};
+use lvq_chain::{Address, BlockSource, Chain, InMemoryBlocks};
 use lvq_merkle::bmt::{self, BmtBatchNode, BmtBatchProof, BmtProofNode};
 
 use crate::batch::{
@@ -23,23 +23,36 @@ use crate::stats::ProverStats;
 /// scheme's [`QueryResponse`] together with [`ProverStats`] describing
 /// what it cost (endpoint counts, FPM hits, fragment census).
 ///
+/// The prover is generic over the chain's [`BlockSource`]: against the
+/// default in-memory source block bodies are already deserialized, while
+/// against a disk-backed source they are materialized lazily — only for
+/// the (few) blocks whose filters actually matched.
+///
 /// # Examples
 ///
 /// See the [crate-level example](crate).
-#[derive(Debug, Clone, Copy)]
-pub struct Prover<'a> {
-    chain: &'a Chain,
+#[derive(Debug)]
+pub struct Prover<'a, S: BlockSource = InMemoryBlocks> {
+    chain: &'a Chain<S>,
     config: SchemeConfig,
 }
 
-impl<'a> Prover<'a> {
+impl<S: BlockSource> Clone for Prover<'_, S> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<S: BlockSource> Copy for Prover<'_, S> {}
+
+impl<'a, S: BlockSource> Prover<'a, S> {
     /// Creates a prover for `chain` with an explicit configuration.
     ///
     /// # Errors
     ///
     /// Returns [`ProveError::SchemeMismatch`] if the chain was built
     /// with different parameters than `config` implies.
-    pub fn new(chain: &'a Chain, config: SchemeConfig) -> Result<Self, ProveError> {
+    pub fn new(chain: &'a Chain<S>, config: SchemeConfig) -> Result<Self, ProveError> {
         if chain.params() != config.chain_params() {
             return Err(ProveError::SchemeMismatch);
         }
@@ -52,7 +65,7 @@ impl<'a> Prover<'a> {
     ///
     /// Returns [`ProveError::SchemeMismatch`] if the chain's commitment
     /// policy matches none of the four schemes.
-    pub fn from_chain(chain: &'a Chain) -> Result<Self, ProveError> {
+    pub fn from_chain(chain: &'a Chain<S>) -> Result<Self, ProveError> {
         let config =
             SchemeConfig::from_chain_params(chain.params()).ok_or(ProveError::SchemeMismatch)?;
         Ok(Prover { chain, config })
@@ -403,19 +416,21 @@ impl<'a> Prover<'a> {
         Ok(match (self.config.scheme(), existent) {
             // Existent cases.
             (Scheme::Strawman, true) => {
-                BlockFragment::MerkleBranches(self.branches_for(block, &indices))
+                BlockFragment::MerkleBranches(self.branches_for(&block, &indices))
             }
             (Scheme::LvqWithoutBmt | Scheme::Lvq, true) => {
                 let smt = self.chain.address_smt(height)?;
                 BlockFragment::Existence(ExistenceProof {
                     smt: smt.prove(address.as_bytes()),
-                    transactions: self.branches_for(block, &indices),
+                    transactions: self.branches_for(&block, &indices),
                 })
             }
-            (Scheme::LvqWithoutSmt, true) => BlockFragment::IntegralBlock(Box::new(block.clone())),
+            (Scheme::LvqWithoutSmt, true) => {
+                BlockFragment::IntegralBlock(Box::new((*block).clone()))
+            }
             // FPM cases.
             (Scheme::Strawman | Scheme::LvqWithoutSmt, false) => {
-                BlockFragment::IntegralBlock(Box::new(block.clone()))
+                BlockFragment::IntegralBlock(Box::new((*block).clone()))
             }
             (Scheme::LvqWithoutBmt | Scheme::Lvq, false) => {
                 let smt = self.chain.address_smt(height)?;

@@ -2,7 +2,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use lvq_chain::{Chain, ChainCacheStats};
+use lvq_chain::{BlockSource, Chain, ChainCacheStats, InMemoryBlocks};
 use lvq_codec::Encodable;
 use lvq_core::{Prover, ProverStats, SchemeConfig};
 use parking_lot::Mutex;
@@ -78,9 +78,13 @@ pub struct QueryEngineStats {
 /// threads) call with raw request bytes. `handle` takes `&self` and the
 /// node is `Sync`: one `Arc<FullNode>` can serve many concurrent
 /// connections, all sharing the chain's memo caches.
+///
+/// Generic over the chain's [`BlockSource`]: the default keeps every
+/// block in memory, while a disk-backed source (the `lvq-store` crate)
+/// materializes only the blocks a proof actually touches.
 #[derive(Debug)]
-pub struct FullNode {
-    chain: Chain,
+pub struct FullNode<S: BlockSource = InMemoryBlocks> {
+    chain: Chain<S>,
     config: SchemeConfig,
     /// Statistics of the most recent query, for experiment harnesses.
     last_stats: Mutex<Option<ProverStats>>,
@@ -89,14 +93,14 @@ pub struct FullNode {
     batch_addresses: AtomicU64,
 }
 
-impl FullNode {
+impl<S: BlockSource> FullNode<S> {
     /// Wraps a chain.
     ///
     /// # Errors
     ///
     /// Returns [`NodeError::UnknownScheme`] if the chain's commitments
     /// match none of the four schemes.
-    pub fn new(chain: Chain) -> Result<Self, NodeError> {
+    pub fn new(chain: Chain<S>) -> Result<Self, NodeError> {
         let config =
             SchemeConfig::from_chain_params(chain.params()).ok_or(NodeError::UnknownScheme)?;
         Ok(FullNode {
@@ -116,7 +120,7 @@ impl FullNode {
 
     /// Read access to the underlying chain (e.g. for ground-truth checks
     /// in tests).
-    pub fn chain(&self) -> &Chain {
+    pub fn chain(&self) -> &Chain<S> {
         &self.chain
     }
 

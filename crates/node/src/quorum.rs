@@ -36,13 +36,13 @@ pub trait QueryPeer {
     fn handle_request(&self, request: &[u8]) -> Result<Vec<u8>, NodeError>;
 }
 
-impl QueryPeer for FullNode {
+impl<S: lvq_chain::BlockSource> QueryPeer for FullNode<S> {
     fn handle_request(&self, request: &[u8]) -> Result<Vec<u8>, NodeError> {
         self.handle(request)
     }
 }
 
-impl QueryPeer for &FullNode {
+impl<S: lvq_chain::BlockSource> QueryPeer for &FullNode<S> {
     fn handle_request(&self, request: &[u8]) -> Result<Vec<u8>, NodeError> {
         self.handle(request)
     }

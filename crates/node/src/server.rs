@@ -46,7 +46,7 @@ pub trait ServeNode: Send + Sync + 'static {
     fn handle_classified(&self, request: &[u8]) -> Handled;
 }
 
-impl ServeNode for FullNode {
+impl<S: lvq_chain::BlockSource + 'static> ServeNode for FullNode<S> {
     fn handle_classified(&self, request: &[u8]) -> Handled {
         FullNode::handle_classified(self, request)
     }

@@ -1,0 +1,145 @@
+//! A bounded LRU cache with byte accounting and hit/miss counters.
+//!
+//! Unlike the chain's FIFO memo caches, the block cache is LRU: serving
+//! workloads skew heavily toward a hot set of recently matched blocks
+//! (the paper's busy addresses), and an LRU keeps exactly those decoded.
+//! Recency is tracked with a monotone tick per entry and a
+//! `BTreeMap<tick, key>` index, so touch and evict are both O(log n).
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+use lvq_chain::CacheStats;
+
+#[derive(Debug)]
+struct Entry<V> {
+    value: V,
+    size: usize,
+    tick: u64,
+}
+
+/// Least-recently-used cache bounded by a byte budget.
+#[derive(Debug)]
+pub(crate) struct LruCache<K, V> {
+    budget_bytes: usize,
+    used_bytes: usize,
+    tick: u64,
+    entries: HashMap<K, Entry<V>>,
+    /// Recency index: oldest tick first.
+    recency: BTreeMap<u64, K>,
+    hits: u64,
+    misses: u64,
+}
+
+impl<K: Eq + Hash + Copy, V: Clone> LruCache<K, V> {
+    pub(crate) fn new(budget_bytes: usize) -> Self {
+        LruCache {
+            budget_bytes,
+            used_bytes: 0,
+            tick: 0,
+            entries: HashMap::new(),
+            recency: BTreeMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit.
+    pub(crate) fn get(&mut self, key: &K) -> Option<V> {
+        match self.entries.get_mut(key) {
+            Some(entry) => {
+                self.hits += 1;
+                self.recency.remove(&entry.tick);
+                self.tick += 1;
+                entry.tick = self.tick;
+                self.recency.insert(self.tick, *key);
+                Some(entry.value.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts `key`, evicting least-recently-used entries past the
+    /// budget. Values larger than the whole budget are not cached.
+    pub(crate) fn put(&mut self, key: K, value: V, size: usize) {
+        if size > self.budget_bytes {
+            return;
+        }
+        self.tick += 1;
+        if let Some(old) = self.entries.insert(
+            key,
+            Entry {
+                value,
+                size,
+                tick: self.tick,
+            },
+        ) {
+            self.used_bytes -= old.size;
+            self.recency.remove(&old.tick);
+        }
+        self.used_bytes += size;
+        self.recency.insert(self.tick, key);
+        while self.used_bytes > self.budget_bytes {
+            let Some((&oldest, _)) = self.recency.iter().next() else {
+                break;
+            };
+            let key = self.recency.remove(&oldest).expect("just observed");
+            if let Some(evicted) = self.entries.remove(&key) {
+                self.used_bytes -= evicted.size;
+            }
+        }
+    }
+
+    pub(crate) fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            entries: self.entries.len() as u64,
+            used_bytes: self.used_bytes as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut cache: LruCache<u64, u64> = LruCache::new(30);
+        cache.put(1, 10, 10);
+        cache.put(2, 20, 10);
+        cache.put(3, 30, 10);
+        // Touch 1 so 2 becomes the LRU entry.
+        assert_eq!(cache.get(&1), Some(10));
+        cache.put(4, 40, 10);
+        assert_eq!(cache.get(&2), None, "LRU entry evicted");
+        assert_eq!(cache.get(&1), Some(10));
+        assert_eq!(cache.get(&3), Some(30));
+        assert_eq!(cache.get(&4), Some(40));
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 3);
+        assert_eq!(stats.used_bytes, 30);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn oversized_values_are_not_cached() {
+        let mut cache: LruCache<u64, u64> = LruCache::new(8);
+        cache.put(1, 1, 9);
+        assert_eq!(cache.get(&1), None);
+        assert_eq!(cache.stats().used_bytes, 0);
+    }
+
+    #[test]
+    fn reinsert_updates_size_accounting() {
+        let mut cache: LruCache<u64, u64> = LruCache::new(20);
+        cache.put(1, 1, 10);
+        cache.put(1, 2, 5);
+        assert_eq!(cache.stats().used_bytes, 5);
+        assert_eq!(cache.get(&1), Some(2));
+    }
+}

@@ -1,0 +1,57 @@
+//! Crash-safe on-disk block storage for the LVQ reproduction.
+//!
+//! A real LVQ full node holds far more block data than RAM; this crate
+//! is the storage layer that lets the reproduction serve queries
+//! without deserializing the whole chain first:
+//!
+//! * [`BlockStore`] — an append-only, segmented store
+//!   (`segment-NNNN.blk` files) with per-record CRC-32 framing, a
+//!   rebuildable `(height → segment, offset, len)` index, and torn-tail
+//!   recovery on reopen (a partial final record is truncated away
+//!   instead of refusing to load; see [`RecoveryReport`]);
+//! * [`DiskBlockSource`] — the store behind
+//!   [`lvq_chain::BlockSource`], materializing blocks lazily through a
+//!   bounded LRU cache so hot blocks decode once;
+//! * [`open_chain`] — opens a store and assembles a serve-from-disk
+//!   [`lvq_chain::Chain`] via `Chain::assemble_trusted`, skipping the
+//!   full commitment replay a chain-file load performs;
+//! * [`ingest_chain`] — bulk-copies an existing chain into a store
+//!   (the CLI's `lvq ingest`).
+//!
+//! # Examples
+//!
+//! ```
+//! use lvq_chain::{Address, BlockSource, ChainBuilder, ChainParams, Transaction};
+//! use lvq_store::{ingest_chain, open_chain, StoreConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut builder = ChainBuilder::new(ChainParams::default())?;
+//! for height in 1..=4u32 {
+//!     builder.push_block(vec![Transaction::coinbase(Address::new("1Miner"), 50, height)])?;
+//! }
+//! let chain = builder.finish();
+//!
+//! let dir = std::env::temp_dir().join(format!("lvq-store-doc-{}", std::process::id()));
+//! ingest_chain(&chain, &dir, StoreConfig::default())?;
+//! let (served, report) = open_chain(&dir, StoreConfig::default())?;
+//! assert!(report.is_clean());
+//! assert_eq!(served.tip_height(), 4);
+//! assert_eq!(served.headers(), chain.headers());
+//! # std::fs::remove_dir_all(&dir)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod crc32;
+mod error;
+mod source;
+mod store;
+
+pub use crc32::crc32;
+pub use error::StoreError;
+pub use source::{ingest_chain, open_chain, DiskBlockSource};
+pub use store::{BlockStore, RecoveryReport, StoreConfig};

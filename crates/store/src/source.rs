@@ -1,0 +1,136 @@
+//! The store as a [`BlockSource`]: serve-from-disk chains.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use lvq_chain::{Block, BlockSource, CacheStats, Chain, ChainError};
+
+use crate::cache::LruCache;
+use crate::error::StoreError;
+use crate::store::{BlockStore, RecoveryReport, StoreConfig};
+
+fn source_error(e: StoreError) -> ChainError {
+    ChainError::Source {
+        detail: e.to_string(),
+    }
+}
+
+/// A [`BlockSource`] that materializes blocks lazily from a
+/// [`BlockStore`], keeping the hot set decoded in a bounded LRU cache.
+#[derive(Debug)]
+pub struct DiskBlockSource {
+    store: Arc<BlockStore>,
+    cache: Mutex<LruCache<u64, Arc<Block>>>,
+}
+
+impl DiskBlockSource {
+    /// Wraps a store with a decoded-block LRU budget of
+    /// `store.config().cache_bytes`.
+    pub fn new(store: Arc<BlockStore>) -> Self {
+        let budget = store.config().cache_bytes;
+        DiskBlockSource {
+            store,
+            cache: Mutex::new(LruCache::new(budget)),
+        }
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &Arc<BlockStore> {
+        &self.store
+    }
+}
+
+impl BlockSource for DiskBlockSource {
+    fn len(&self) -> u64 {
+        self.store.len()
+    }
+
+    fn block(&self, height: u64) -> Result<Arc<Block>, ChainError> {
+        if height == 0 || height > self.store.len() {
+            return Err(ChainError::UnknownHeight { height });
+        }
+        if let Some(hit) = self.cache.lock().get(&height) {
+            return Ok(hit);
+        }
+        let block = Arc::new(self.store.read_block(height).map_err(source_error)?);
+        let size = block.integral_size();
+        self.cache.lock().put(height, block.clone(), size);
+        Ok(block)
+    }
+
+    /// Sequential full scan straight off the segments, *bypassing* the
+    /// LRU so a chain-length pass (trusted assembly, `history_of`)
+    /// cannot evict the serving hot set.
+    fn scan(
+        &self,
+        visit: &mut dyn FnMut(u64, &Block) -> Result<(), ChainError>,
+    ) -> Result<(), ChainError> {
+        let mut failed = None;
+        self.store
+            .scan_blocks(&mut |height, block| match visit(height, block) {
+                Ok(()) => Ok(()),
+                Err(e) => {
+                    failed = Some(e);
+                    // Any sentinel stops the store scan; the chain error
+                    // is re-raised below.
+                    Err(StoreError::UnknownHeight { height })
+                }
+            })
+            .map_err(|e| match failed.take() {
+                Some(chain_error) => chain_error,
+                None => source_error(e),
+            })
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        self.cache.lock().stats().used_bytes
+    }
+
+    fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().stats()
+    }
+}
+
+/// Opens the store in `dir` and assembles a serve-from-disk
+/// [`Chain`] over it via [`Chain::assemble_trusted`] — record CRCs
+/// vouch for the bytes, so commitments are not replayed.
+///
+/// Returns the chain together with the [`RecoveryReport`] from opening
+/// the store.
+///
+/// # Errors
+///
+/// Any [`StoreError`] from opening, or [`StoreError::Chain`] if the
+/// stored blocks do not form a well-linked chain.
+pub fn open_chain(
+    dir: impl AsRef<Path>,
+    config: StoreConfig,
+) -> Result<(Chain<DiskBlockSource>, RecoveryReport), StoreError> {
+    let (store, report) = BlockStore::open(dir, config)?;
+    let params = store.params();
+    let source = DiskBlockSource::new(Arc::new(store));
+    let chain = Chain::assemble_trusted(params, source).map_err(StoreError::Chain)?;
+    Ok((chain, report))
+}
+
+/// Copies every block of `chain` into a fresh store at `dir` and syncs
+/// it — the bulk path behind `lvq ingest`.
+///
+/// # Errors
+///
+/// As [`BlockStore::create`] and [`BlockStore::append`].
+pub fn ingest_chain<S: BlockSource>(
+    chain: &Chain<S>,
+    dir: impl AsRef<Path>,
+    config: StoreConfig,
+) -> Result<BlockStore, StoreError> {
+    let store = BlockStore::create(dir, chain.params(), config)?;
+    for height in 1..=chain.tip_height() {
+        let block = chain.block(height)?;
+        store.append(&block)?;
+    }
+    store.sync()?;
+    Ok(store)
+}

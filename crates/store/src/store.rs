@@ -1,0 +1,739 @@
+//! The append-only segmented block store.
+//!
+//! # On-disk layout
+//!
+//! A store is a directory:
+//!
+//! ```text
+//! store.meta          magic "LVQM" | version u32 | ChainParams | crc32
+//! segment-0000.blk    magic "LVQS" | version u32 | segment u32 | records…
+//! segment-0001.blk    …
+//! index.idx           magic "LVQI" | version u32 | count u64
+//!                     | count × (segment u32, offset u64, len u32) | crc32
+//! ```
+//!
+//! Each record frames one encoded [`Block`]:
+//!
+//! ```text
+//! len u32 LE | crc32(payload) u32 LE | payload (len bytes)
+//! ```
+//!
+//! All integers are little-endian; record `offset`s point at the `len`
+//! field. Record *N* of the store (0-based, across segments in order)
+//! is the block at height *N + 1*.
+//!
+//! # Crash safety
+//!
+//! Appends go to the tail of the last segment; the index file is a pure
+//! cache, rewritten on [`BlockStore::sync`] and rebuilt from the
+//! segments whenever it is missing, stale, or fails its checksum. On
+//! reopen, any unindexed tail records are re-adopted after passing their
+//! CRC, and a final record that is incomplete or fails its CRC exactly
+//! at end-of-file is treated as a torn write and truncated away
+//! ([`RecoveryReport`]). A bad CRC anywhere *before* the tail is real
+//! corruption and refuses loudly with [`StoreError::CorruptRecord`].
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use lvq_chain::{Block, ChainParams};
+use lvq_codec::{Decodable, Encodable, Reader};
+
+use crate::crc32::crc32;
+use crate::error::StoreError;
+
+const META_MAGIC: [u8; 4] = *b"LVQM";
+const SEGMENT_MAGIC: [u8; 4] = *b"LVQS";
+const INDEX_MAGIC: [u8; 4] = *b"LVQI";
+const VERSION: u32 = 1;
+
+const META_FILE: &str = "store.meta";
+const INDEX_FILE: &str = "index.idx";
+
+/// Bytes of segment header: magic, version, segment number.
+const SEGMENT_HEADER_LEN: u64 = 12;
+/// Bytes of record framing before the payload: length and CRC.
+const RECORD_HEADER_LEN: u64 = 8;
+
+/// Operational knobs of a [`BlockStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// Rotate to a new segment file once the current one reaches this
+    /// many bytes (the last record may overshoot).
+    pub segment_target_bytes: u64,
+    /// Byte budget of the decoded-block LRU cache in front of the store.
+    pub cache_bytes: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            segment_target_bytes: 8 * 1024 * 1024,
+            cache_bytes: 16 * 1024 * 1024,
+        }
+    }
+}
+
+/// What [`BlockStore::open`] had to repair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Bytes of torn tail truncated from the last segment.
+    pub truncated_tail_bytes: u64,
+    /// Records re-adopted from segment tails that the stored index did
+    /// not cover (e.g. appended after the last `sync`).
+    pub recovered_records: u64,
+    /// The index file was missing, stale, or corrupt and was rebuilt by
+    /// scanning the segments.
+    pub rebuilt_index: bool,
+}
+
+impl RecoveryReport {
+    /// `true` if the store opened exactly as it was left.
+    pub fn is_clean(&self) -> bool {
+        *self == RecoveryReport::default()
+    }
+}
+
+/// Where one record lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RecordLoc {
+    segment: u32,
+    /// Offset of the record header within the segment file.
+    offset: u64,
+    /// Payload length in bytes.
+    len: u32,
+}
+
+impl RecordLoc {
+    fn end(&self) -> u64 {
+        self.offset + RECORD_HEADER_LEN + self.len as u64
+    }
+}
+
+#[derive(Debug)]
+struct Writer {
+    file: File,
+    segment: u32,
+    offset: u64,
+}
+
+/// One open segment: a shared read handle plus its path (the path is
+/// the portable fallback when positional reads are unavailable).
+#[derive(Debug, Clone)]
+struct SegmentHandle {
+    file: Arc<File>,
+    path: PathBuf,
+}
+
+/// An append-only, CRC-framed, segmented store of encoded blocks.
+///
+/// Reads take `&self` and are safe from many threads at once
+/// (positional reads on shared handles); appends serialize on an
+/// internal writer lock.
+#[derive(Debug)]
+pub struct BlockStore {
+    dir: PathBuf,
+    params: ChainParams,
+    config: StoreConfig,
+    index: RwLock<Vec<RecordLoc>>,
+    segments: RwLock<Vec<SegmentHandle>>,
+    writer: Mutex<Writer>,
+}
+
+fn segment_file_name(segment: u32) -> String {
+    format!("segment-{segment:04}.blk")
+}
+
+fn segment_header(segment: u32) -> [u8; SEGMENT_HEADER_LEN as usize] {
+    let mut header = [0u8; SEGMENT_HEADER_LEN as usize];
+    header[..4].copy_from_slice(&SEGMENT_MAGIC);
+    header[4..8].copy_from_slice(&VERSION.to_le_bytes());
+    header[8..12].copy_from_slice(&segment.to_le_bytes());
+    header
+}
+
+/// Positional read of `buf.len()` bytes at `offset`.
+#[cfg(unix)]
+fn read_exact_at(handle: &SegmentHandle, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    handle.file.read_exact_at(buf, offset)
+}
+
+/// Portable fallback: a fresh handle per read keeps `&self` reads
+/// seek-free on the shared descriptor.
+#[cfg(not(unix))]
+fn read_exact_at(handle: &SegmentHandle, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
+    let mut file = File::open(&handle.path)?;
+    file.seek(SeekFrom::Start(offset))?;
+    file.read_exact(buf)
+}
+
+impl BlockStore {
+    /// Creates a fresh store in `dir` (creating the directory if
+    /// needed) for blocks of a chain configured by `params`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::AlreadyExists`] if `dir` already holds a
+    /// store, or [`StoreError::Io`] on filesystem failure.
+    pub fn create(
+        dir: impl AsRef<Path>,
+        params: ChainParams,
+        config: StoreConfig,
+    ) -> Result<Self, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let meta_path = dir.join(META_FILE);
+        if meta_path.exists() {
+            return Err(StoreError::AlreadyExists { path: dir });
+        }
+
+        let mut meta = Vec::new();
+        meta.extend_from_slice(&META_MAGIC);
+        meta.extend_from_slice(&VERSION.to_le_bytes());
+        params.encode_into(&mut meta);
+        let crc = crc32(&meta);
+        meta.extend_from_slice(&crc.to_le_bytes());
+        let mut meta_file = File::create(&meta_path)?;
+        meta_file.write_all(&meta)?;
+        meta_file.sync_all()?;
+
+        let seg_path = dir.join(segment_file_name(0));
+        let mut seg_file = OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .read(true)
+            .write(true)
+            .open(&seg_path)?;
+        seg_file.write_all(&segment_header(0))?;
+        seg_file.sync_all()?;
+
+        let store = BlockStore {
+            dir,
+            params,
+            config,
+            index: RwLock::new(Vec::new()),
+            segments: RwLock::new(vec![SegmentHandle {
+                file: Arc::new(File::open(&seg_path)?),
+                path: seg_path,
+            }]),
+            writer: Mutex::new(Writer {
+                file: seg_file,
+                segment: 0,
+                offset: SEGMENT_HEADER_LEN,
+            }),
+        };
+        store.save_index()?;
+        Ok(store)
+    }
+
+    /// Opens an existing store, recovering from a torn tail if needed.
+    ///
+    /// See the [module docs](self) for the recovery rules; the returned
+    /// [`RecoveryReport`] says what, if anything, was repaired.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::NotAStore`] if `dir` has no `store.meta`,
+    /// [`StoreError::CorruptRecord`] for corruption anywhere except a
+    /// torn tail, and [`StoreError::Io`] on filesystem failure.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        config: StoreConfig,
+    ) -> Result<(Self, RecoveryReport), StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        let meta_path = dir.join(META_FILE);
+        if !meta_path.exists() {
+            return Err(StoreError::NotAStore { path: dir });
+        }
+        let params = read_meta(&meta_path)?;
+
+        let mut segment_count = 0u32;
+        while dir.join(segment_file_name(segment_count)).exists() {
+            segment_count += 1;
+        }
+        if segment_count == 0 {
+            return Err(StoreError::MissingSegment { segment: 0 });
+        }
+
+        let mut report = RecoveryReport::default();
+
+        // A crash between creating a segment file and writing its
+        // 12-byte header leaves a short final segment: repair it in
+        // place (it cannot have held any records).
+        let last = segment_count - 1;
+        let last_path = dir.join(segment_file_name(last));
+        if fs::metadata(&last_path)?.len() < SEGMENT_HEADER_LEN {
+            let mut f = OpenOptions::new().write(true).open(&last_path)?;
+            f.set_len(0)?;
+            f.write_all(&segment_header(last))?;
+            f.sync_all()?;
+            report.rebuilt_index = true;
+        }
+
+        let mut segments = Vec::with_capacity(segment_count as usize);
+        for seg in 0..segment_count {
+            let path = dir.join(segment_file_name(seg));
+            let handle = SegmentHandle {
+                file: Arc::new(File::open(&path)?),
+                path,
+            };
+            let mut header = [0u8; SEGMENT_HEADER_LEN as usize];
+            read_exact_at(&handle, &mut header, 0)?;
+            if header[..4] != SEGMENT_MAGIC {
+                return Err(StoreError::BadMagic { file: "segment" });
+            }
+            let version = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+            if version != VERSION {
+                return Err(StoreError::UnsupportedVersion {
+                    file: "segment",
+                    found: version,
+                });
+            }
+            let stored_seg = u32::from_le_bytes([header[8], header[9], header[10], header[11]]);
+            if stored_seg != seg {
+                return Err(StoreError::CorruptRecord {
+                    segment: seg,
+                    offset: 8,
+                    detail: "segment header numbers itself differently",
+                });
+            }
+            segments.push(handle);
+        }
+
+        // The index is a cache: adopt it when consistent, rebuild when
+        // not.
+        let mut index = match load_index(&dir.join(INDEX_FILE), &segments) {
+            Some(index) => index,
+            None => {
+                report.rebuilt_index = true;
+                Vec::new()
+            }
+        };
+
+        // Scan every segment's unindexed tail. Only the final segment
+        // may legitimately end mid-record (a torn append); anywhere
+        // else a bad record is corruption.
+        for seg in 0..segment_count {
+            let handle = &segments[seg as usize];
+            let file_len = fs::metadata(&handle.path)?.len();
+            let mut offset = index
+                .iter()
+                .rev()
+                .find(|loc| loc.segment == seg)
+                .map(|loc| loc.end())
+                .unwrap_or(SEGMENT_HEADER_LEN);
+            while offset < file_len {
+                match scan_record(handle, seg, offset, file_len)? {
+                    ScannedRecord::Valid(loc) => {
+                        offset = loc.end();
+                        index.push(loc);
+                        report.recovered_records += 1;
+                    }
+                    ScannedRecord::Torn => {
+                        if seg != last {
+                            return Err(StoreError::CorruptRecord {
+                                segment: seg,
+                                offset,
+                                detail: "torn record before the final segment",
+                            });
+                        }
+                        report.truncated_tail_bytes = file_len - offset;
+                        let f = OpenOptions::new().write(true).open(&handle.path)?;
+                        f.set_len(offset)?;
+                        f.sync_all()?;
+                        break;
+                    }
+                }
+            }
+        }
+
+        let writer_path = dir.join(segment_file_name(last));
+        let mut writer_file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&writer_path)?;
+        let offset = writer_file.seek(SeekFrom::End(0))?;
+        let store = BlockStore {
+            dir,
+            params,
+            config,
+            index: RwLock::new(index),
+            segments: RwLock::new(segments),
+            writer: Mutex::new(Writer {
+                file: writer_file,
+                segment: last,
+                offset,
+            }),
+        };
+        if !report.is_clean() {
+            store.save_index()?;
+        }
+        Ok((store, report))
+    }
+
+    /// The chain parameters recorded at creation.
+    pub fn params(&self) -> ChainParams {
+        self.params
+    }
+
+    /// The store's configuration.
+    pub fn config(&self) -> StoreConfig {
+        self.config
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of blocks stored.
+    pub fn len(&self) -> u64 {
+        self.index.read().len() as u64
+    }
+
+    /// `true` if no blocks are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of segment files.
+    pub fn segment_count(&self) -> u32 {
+        self.segments.read().len() as u32
+    }
+
+    /// Total bytes across all segment files.
+    pub fn data_bytes(&self) -> u64 {
+        let index = self.index.read();
+        let segments = self.segments.read().len() as u64;
+        segments * SEGMENT_HEADER_LEN
+            + index
+                .iter()
+                .map(|loc| RECORD_HEADER_LEN + loc.len as u64)
+                .sum::<u64>()
+    }
+
+    /// Appends a block, returning its height (1-based).
+    ///
+    /// The record is written with a single `write` syscall; durability
+    /// is deferred to [`BlockStore::sync`] (or segment rotation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on write failure.
+    pub fn append(&self, block: &Block) -> Result<u64, StoreError> {
+        let payload = block.encode();
+        let mut record = Vec::with_capacity(RECORD_HEADER_LEN as usize + payload.len());
+        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        record.extend_from_slice(&crc32(&payload).to_le_bytes());
+        record.extend_from_slice(&payload);
+
+        let mut writer = self.writer.lock();
+        if writer.offset >= self.config.segment_target_bytes && writer.offset > SEGMENT_HEADER_LEN {
+            self.rotate(&mut writer)?;
+        }
+        writer.file.write_all(&record)?;
+        let loc = RecordLoc {
+            segment: writer.segment,
+            offset: writer.offset,
+            len: payload.len() as u32,
+        };
+        writer.offset += record.len() as u64;
+        let mut index = self.index.write();
+        index.push(loc);
+        Ok(index.len() as u64)
+    }
+
+    /// Finishes the current segment and starts the next; called with
+    /// the writer lock held.
+    fn rotate(&self, writer: &mut Writer) -> Result<(), StoreError> {
+        writer.file.sync_all()?;
+        let next = writer.segment + 1;
+        let path = self.dir.join(segment_file_name(next));
+        let mut file = OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .read(true)
+            .write(true)
+            .open(&path)?;
+        file.write_all(&segment_header(next))?;
+        self.segments.write().push(SegmentHandle {
+            file: Arc::new(File::open(&path)?),
+            path,
+        });
+        writer.file = file;
+        writer.segment = next;
+        writer.offset = SEGMENT_HEADER_LEN;
+        Ok(())
+    }
+
+    /// Reads and decodes the block at `height` (1-based), verifying the
+    /// record's CRC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::UnknownHeight`] outside `1..=len`,
+    /// [`StoreError::CorruptRecord`] if the record fails its CRC, and
+    /// [`StoreError::Decode`] if the payload does not decode.
+    pub fn read_block(&self, height: u64) -> Result<Block, StoreError> {
+        let loc = {
+            let index = self.index.read();
+            if height == 0 || height > index.len() as u64 {
+                return Err(StoreError::UnknownHeight { height });
+            }
+            index[(height - 1) as usize]
+        };
+        let payload = self.read_record(loc)?;
+        Ok(lvq_codec::decode_exact::<Block>(&payload)?)
+    }
+
+    fn read_record(&self, loc: RecordLoc) -> Result<Vec<u8>, StoreError> {
+        let handle = self.segments.read()[loc.segment as usize].clone();
+        let mut buf = vec![0u8; (RECORD_HEADER_LEN + loc.len as u64) as usize];
+        read_exact_at(&handle, &mut buf, loc.offset)?;
+        let stored_len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
+        let stored_crc = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]);
+        if stored_len != loc.len {
+            return Err(StoreError::CorruptRecord {
+                segment: loc.segment,
+                offset: loc.offset,
+                detail: "length field disagrees with index",
+            });
+        }
+        let payload = &buf[RECORD_HEADER_LEN as usize..];
+        if crc32(payload) != stored_crc {
+            return Err(StoreError::CorruptRecord {
+                segment: loc.segment,
+                offset: loc.offset,
+                detail: "crc mismatch",
+            });
+        }
+        Ok(payload.to_vec())
+    }
+
+    /// Visits every stored block in height order, re-verifying each
+    /// record's CRC on the way.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error from storage or from `visit`.
+    pub fn scan_blocks(
+        &self,
+        visit: &mut dyn FnMut(u64, &Block) -> Result<(), StoreError>,
+    ) -> Result<(), StoreError> {
+        let locs: Vec<RecordLoc> = self.index.read().clone();
+        for (i, loc) in locs.iter().enumerate() {
+            let payload = self.read_record(*loc)?;
+            let block = lvq_codec::decode_exact::<Block>(&payload)?;
+            visit(i as u64 + 1, &block)?;
+        }
+        Ok(())
+    }
+
+    /// Re-reads and CRC-checks every record, returning how many blocks
+    /// passed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::CorruptRecord`] at the first bad record.
+    pub fn verify_all(&self) -> Result<u64, StoreError> {
+        let mut count = 0u64;
+        self.scan_blocks(&mut |_, _| {
+            count += 1;
+            Ok(())
+        })?;
+        Ok(count)
+    }
+
+    /// Flushes the current segment to disk and rewrites the index file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on failure.
+    pub fn sync(&self) -> Result<(), StoreError> {
+        self.writer.lock().file.sync_all()?;
+        self.save_index()
+    }
+
+    /// Atomically rewrites `index.idx` (write to a temporary, rename).
+    fn save_index(&self) -> Result<(), StoreError> {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&INDEX_MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        {
+            let index = self.index.read();
+            bytes.extend_from_slice(&(index.len() as u64).to_le_bytes());
+            for loc in index.iter() {
+                bytes.extend_from_slice(&loc.segment.to_le_bytes());
+                bytes.extend_from_slice(&loc.offset.to_le_bytes());
+                bytes.extend_from_slice(&loc.len.to_le_bytes());
+            }
+        }
+        let crc = crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+
+        let tmp = self.dir.join("index.idx.tmp");
+        let mut file = File::create(&tmp)?;
+        file.write_all(&bytes)?;
+        file.sync_all()?;
+        fs::rename(&tmp, self.dir.join(INDEX_FILE))?;
+        Ok(())
+    }
+}
+
+impl Drop for BlockStore {
+    fn drop(&mut self) {
+        // Best effort: leave a fresh index behind so the next open
+        // needs no tail scan.
+        let _ = self.sync();
+    }
+}
+
+fn read_meta(path: &Path) -> Result<ChainParams, StoreError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    if bytes.len() < 12 {
+        return Err(StoreError::CorruptMeta);
+    }
+    if bytes[..4] != META_MAGIC {
+        return Err(StoreError::BadMagic { file: META_FILE });
+    }
+    let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    if version != VERSION {
+        return Err(StoreError::UnsupportedVersion {
+            file: META_FILE,
+            found: version,
+        });
+    }
+    let body_len = bytes.len() - 4;
+    let stored_crc = u32::from_le_bytes([
+        bytes[body_len],
+        bytes[body_len + 1],
+        bytes[body_len + 2],
+        bytes[body_len + 3],
+    ]);
+    if crc32(&bytes[..body_len]) != stored_crc {
+        return Err(StoreError::CorruptMeta);
+    }
+    let mut reader = Reader::new(&bytes[8..body_len]);
+    let params = ChainParams::decode_from(&mut reader).map_err(|_| StoreError::CorruptMeta)?;
+    reader.finish().map_err(|_| StoreError::CorruptMeta)?;
+    Ok(params)
+}
+
+/// Parses `index.idx`, returning `None` (rebuild) for any
+/// inconsistency: bad magic/version/CRC, out-of-range segments, or
+/// records that do not tile their segment contiguously.
+fn load_index(path: &Path, segments: &[SegmentHandle]) -> Option<Vec<RecordLoc>> {
+    let mut bytes = Vec::new();
+    File::open(path).ok()?.read_to_end(&mut bytes).ok()?;
+    if bytes.len() < 20 || bytes[..4] != INDEX_MAGIC {
+        return None;
+    }
+    if u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]) != VERSION {
+        return None;
+    }
+    let body_len = bytes.len() - 4;
+    let stored_crc = u32::from_le_bytes([
+        bytes[body_len],
+        bytes[body_len + 1],
+        bytes[body_len + 2],
+        bytes[body_len + 3],
+    ]);
+    if crc32(&bytes[..body_len]) != stored_crc {
+        return None;
+    }
+    let count = u64::from_le_bytes(bytes[8..16].try_into().ok()?) as usize;
+    if body_len != 16 + count * 16 {
+        return None;
+    }
+
+    let mut index = Vec::with_capacity(count);
+    let mut expected: Vec<u64> = vec![SEGMENT_HEADER_LEN; segments.len()];
+    let mut current_segment = 0u32;
+    for i in 0..count {
+        let at = 16 + i * 16;
+        let segment = u32::from_le_bytes(bytes[at..at + 4].try_into().ok()?);
+        let offset = u64::from_le_bytes(bytes[at + 4..at + 12].try_into().ok()?);
+        let len = u32::from_le_bytes(bytes[at + 12..at + 16].try_into().ok()?);
+        if (segment as usize) >= segments.len() || segment < current_segment {
+            return None;
+        }
+        current_segment = segment;
+        let loc = RecordLoc {
+            segment,
+            offset,
+            len,
+        };
+        // Records must tile each segment contiguously from its header.
+        if offset != expected[segment as usize] {
+            return None;
+        }
+        expected[segment as usize] = loc.end();
+        index.push(loc);
+    }
+    // Every indexed byte must exist on disk, and — since any honest
+    // index is a prefix of the append order — every segment before the
+    // last indexed one must be fully tiled.
+    let max_indexed_segment = index.last().map(|loc| loc.segment).unwrap_or(0);
+    for (seg, handle) in segments.iter().enumerate() {
+        let file_len = fs::metadata(&handle.path).ok()?.len();
+        if expected[seg] > file_len {
+            return None;
+        }
+        if (seg as u32) < max_indexed_segment && expected[seg] != file_len {
+            return None;
+        }
+    }
+    Some(index)
+}
+
+enum ScannedRecord {
+    Valid(RecordLoc),
+    /// Incomplete or CRC-failed exactly at end-of-file.
+    Torn,
+}
+
+/// Examines the record starting at `offset` during the reopen scan.
+fn scan_record(
+    handle: &SegmentHandle,
+    segment: u32,
+    offset: u64,
+    file_len: u64,
+) -> Result<ScannedRecord, StoreError> {
+    if offset + RECORD_HEADER_LEN > file_len {
+        return Ok(ScannedRecord::Torn);
+    }
+    let mut header = [0u8; RECORD_HEADER_LEN as usize];
+    read_exact_at(handle, &mut header, offset)?;
+    let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
+    let stored_crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
+    let end = offset + RECORD_HEADER_LEN + len as u64;
+    if end > file_len {
+        return Ok(ScannedRecord::Torn);
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_exact_at(handle, &mut payload, offset + RECORD_HEADER_LEN)?;
+    if crc32(&payload) != stored_crc {
+        return if end == file_len {
+            // All bytes present but wrong checksum at the very tail: a
+            // torn write whose data pages never hit disk. Truncate.
+            Ok(ScannedRecord::Torn)
+        } else {
+            Err(StoreError::CorruptRecord {
+                segment,
+                offset,
+                detail: "crc mismatch",
+            })
+        };
+    }
+    Ok(ScannedRecord::Valid(RecordLoc {
+        segment,
+        offset,
+        len,
+    }))
+}

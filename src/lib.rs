@@ -24,6 +24,7 @@
 //! | [`bloom`] | `lvq-bloom` | BIP 37-style Bloom filters with union and FPR analysis |
 //! | [`merkle`] | `lvq-merkle` | MT, SMT and BMT trees with their proof systems |
 //! | [`chain`] | `lvq-chain` | the Bitcoin-like substrate: blocks, headers, chain building |
+//! | [`store`] | `lvq-store` | crash-safe on-disk block store: segmented CRC-framed files, torn-tail recovery, serve-from-disk [`chain::BlockSource`] |
 //! | [`core`] | `lvq-core` | the LVQ protocol: schemes, segmenting, prover, light client |
 //! | [`node`] | `lvq-node` | full/light node pair over pluggable transports: in-process metered pipe or framed TCP with a bounded worker-pool server |
 //! | [`workload`] | `lvq-workload` | deterministic mainnet-like workloads, Table III probes |
@@ -70,6 +71,7 @@ pub use lvq_core as core;
 pub use lvq_crypto as crypto;
 pub use lvq_merkle as merkle;
 pub use lvq_node as node;
+pub use lvq_store as store;
 pub use lvq_workload as workload;
 
 pub use lvq_crypto::Hash256;
@@ -78,8 +80,9 @@ pub use lvq_crypto::Hash256;
 pub mod prelude {
     pub use lvq_bloom::{BloomFilter, BloomParams, CheckOutcome};
     pub use lvq_chain::{
-        balance_of, Address, BalanceBreakdown, Block, BlockHeader, Chain, ChainBuilder,
-        ChainParams, CommitmentPolicy, Transaction, TxInput, TxOutPoint, TxOutput, UtxoSet,
+        balance_of, Address, BalanceBreakdown, Block, BlockHeader, BlockSource, Chain,
+        ChainBuilder, ChainParams, CommitmentPolicy, InMemoryBlocks, Transaction, TxInput,
+        TxOutPoint, TxOutput, UtxoSet,
     };
     pub use lvq_codec::{Decodable, Encodable};
     pub use lvq_core::{
@@ -94,5 +97,6 @@ pub mod prelude {
         QuorumBatchOutcome, QuorumOutcome, ServeNode, ServerConfig, ServerStats, TcpTransport,
         Transport,
     };
+    pub use lvq_store::{ingest_chain, open_chain, BlockStore, DiskBlockSource, StoreConfig};
     pub use lvq_workload::{probes, TrafficModel, Workload, WorkloadBuilder};
 }

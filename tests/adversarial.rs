@@ -305,7 +305,7 @@ fn integral_block_from_wrong_height_rejected() {
     let mut s = scenario(Scheme::LvqWithoutSmt);
     let segmented = as_segmented(&mut s.response);
     // Replace some integral block with the block from height 1.
-    let substitute = s.workload.chain.block(1).unwrap().clone();
+    let substitute = (*s.workload.chain.block(1).unwrap()).clone();
     let mut replaced = false;
     for bundle in &mut segmented.segments {
         for (height, fragment) in &mut bundle.fragments {
