@@ -1,6 +1,7 @@
 //! One module per regenerated table/figure.
 
 pub mod bf_sweep;
+pub mod chaos;
 pub mod coldstart;
 pub mod concurrent;
 pub mod fig12;

@@ -172,6 +172,16 @@ pub struct QueryOptions {
     pub range: Option<(u64, u64)>,
     /// Print the size breakdown.
     pub breakdown: bool,
+    /// Retries after the first attempt on transient failures (`Busy`,
+    /// disconnects, timeouts). Remote queries only.
+    pub retries: u32,
+    /// Base backoff between retries in milliseconds (decorrelated
+    /// jitter grows it, capped at 2 s). Remote queries only.
+    pub backoff_ms: u64,
+    /// When set, injects reproducible transport faults (5% composite
+    /// rate) seeded with this value, and seeds the retry jitter — a
+    /// self-healing demo and debugging aid. Remote queries only.
+    pub chaos_seed: Option<u64>,
 }
 
 impl QueryOptions {
@@ -190,6 +200,10 @@ impl QueryOptions {
         let mut hashes = 2;
         let mut segment_len = None;
         let mut scheme_flag_seen = false;
+        let mut retries = 4u32;
+        let mut backoff_ms = 50u64;
+        let mut chaos_seed = None;
+        let mut retry_flag_seen = false;
         let mut iter = args.iter();
         while let Some(arg) = iter.next() {
             let mut value = |name: &str| {
@@ -224,6 +238,18 @@ impl QueryOptions {
                 "--segment" => {
                     segment_len = Some(parse_u64("--segment", &value("--segment")?)?);
                     scheme_flag_seen = true;
+                }
+                "--retries" => {
+                    retries = parse_u32("--retries", &value("--retries")?)?;
+                    retry_flag_seen = true;
+                }
+                "--backoff-ms" => {
+                    backoff_ms = parse_u64("--backoff-ms", &value("--backoff-ms")?)?;
+                    retry_flag_seen = true;
+                }
+                "--chaos-seed" => {
+                    chaos_seed = Some(parse_u64("--chaos-seed", &value("--chaos-seed")?)?);
+                    retry_flag_seen = true;
                 }
                 other if !other.starts_with("--") => positional.push(other.to_string()),
                 other => return Err(CliError::Usage(format!("unknown flag '{other}'"))),
@@ -267,6 +293,13 @@ impl QueryOptions {
                             .into(),
                     ));
                 }
+                if retry_flag_seen {
+                    return Err(CliError::Usage(
+                        "--retries/--backoff-ms/--chaos-seed only apply with --addr \
+                         (a local proof has no transport to fail)"
+                            .into(),
+                    ));
+                }
                 let [file, address] = positional.as_slice() else {
                     return Err(CliError::Usage(
                         "query takes a chain file and an address".into(),
@@ -280,6 +313,9 @@ impl QueryOptions {
             address,
             range,
             breakdown,
+            retries,
+            backoff_ms,
+            chaos_seed,
         })
     }
 }
@@ -596,6 +632,38 @@ mod tests {
             "8"
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn query_retry_flags() {
+        let q = QueryOptions::parse(&strings(&[
+            "1Addr",
+            "--addr",
+            "127.0.0.1:4000",
+            "--segment",
+            "16",
+            "--retries",
+            "8",
+            "--backoff-ms",
+            "25",
+            "--chaos-seed",
+            "42",
+        ]))
+        .unwrap();
+        assert_eq!(q.retries, 8);
+        assert_eq!(q.backoff_ms, 25);
+        assert_eq!(q.chaos_seed, Some(42));
+
+        // Defaults: a handful of retries, modest backoff, no chaos.
+        let q =
+            QueryOptions::parse(&strings(&["1Addr", "--addr", "h:1", "--segment", "8"])).unwrap();
+        assert_eq!(q.retries, 4);
+        assert_eq!(q.backoff_ms, 50);
+        assert_eq!(q.chaos_seed, None);
+
+        // Retry flags without a transport are a mistake, not noise.
+        assert!(QueryOptions::parse(&strings(&["c.lvq", "1Addr", "--retries", "3"])).is_err());
+        assert!(QueryOptions::parse(&strings(&["c.lvq", "1Addr", "--chaos-seed", "1"])).is_err());
     }
 
     #[test]

@@ -7,7 +7,10 @@ use std::time::Duration;
 use lvq_bloom::BloomParams;
 use lvq_chain::{file as chain_file, Address, BlockSource, CacheConfig, CacheStats, Chain};
 use lvq_core::{Completeness, LightClient, Prover, SchemeConfig, VerifiedHistory};
-use lvq_node::{FullNode, LightNode, NodeServer, QuerySpec, ServerConfig, TcpTransport};
+use lvq_node::{
+    FaultPlan, FaultyTransport, FullNode, LightNode, NodeServer, QueryRun, QuerySpec,
+    ReconnectingTcpTransport, Retrier, RetryPolicy, ServerConfig, Transport,
+};
 use lvq_store::StoreConfig;
 use lvq_workload::{TrafficModel, WorkloadBuilder};
 
@@ -197,6 +200,28 @@ fn query_local(path: &str, opts: &QueryOptions, out: &mut impl Write) -> Result<
     Ok(())
 }
 
+/// Composite fault rate `--chaos-seed` injects: noticeable (the retry
+/// machinery visibly works) without threatening the retry budget.
+const CHAOS_RATE: f64 = 0.05;
+
+/// The resilient remote session: header sync, the query, and the final
+/// tip check, each retried under `retrier`'s policy. `Busy` sheds,
+/// disconnects, and timeouts are ridden out with backoff; verification
+/// failures abort immediately.
+fn run_remote_session<T: Transport>(
+    transport: &mut T,
+    config: SchemeConfig,
+    spec: &QuerySpec,
+    retrier: &mut Retrier,
+) -> Result<(LightNode, QueryRun, u64), CliError> {
+    let mut light = retrier.run(|_| LightNode::sync_from(transport, config))?;
+    let run = light.run_with_retry(spec, transport, retrier)?;
+    // Incremental tip check: fetch (cheaply) any headers the chain grew
+    // while we were querying, so the session ends at the peer's tip.
+    let new_headers = retrier.run(|_| light.sync_new(transport))?;
+    Ok((light, run, new_headers))
+}
+
 fn query_remote(
     remote: &RemoteEndpoint,
     opts: &QueryOptions,
@@ -206,18 +231,42 @@ fn query_remote(
         .map_err(|e| CliError::Usage(format!("bad bloom parameters: {e}")))?;
     let config = SchemeConfig::new(remote.scheme, bloom, remote.segment_len)?;
     let address = Address::new(opts.address.as_str());
-
-    let mut transport = TcpTransport::connect(remote.addr.as_str())?;
-    let mut light = LightNode::sync_from(&mut transport, config)?;
-    let synced = light.client().tip_height();
     let mut spec = QuerySpec::address(address.clone());
     if let Some((lo, hi)) = opts.range {
         spec = spec.range(lo, hi);
     }
-    let run = light.run(&spec, &mut transport)?;
-    // Incremental tip check: fetch (cheaply) any headers the chain grew
-    // while we were querying, so the session ends at the peer's tip.
-    let new_headers = light.sync_new(&mut transport)?;
+
+    let base = Duration::from_millis(opts.backoff_ms);
+    let policy = RetryPolicy::new(opts.retries + 1).backoff(base, Duration::from_secs(2));
+    let mut retrier = Retrier::new(policy, opts.chaos_seed.unwrap_or(0xC1A0));
+
+    // The transport stack, bottom up: a self-healing TCP connection,
+    // optionally (under --chaos-seed) mistreated by a seeded fault
+    // injector so the healing is observable.
+    let reconnecting = ReconnectingTcpTransport::connect(remote.addr.as_str())?;
+    let (light, run, new_headers, reconnects, faults) = match opts.chaos_seed {
+        Some(seed) => {
+            let mut chaotic =
+                FaultyTransport::new(reconnecting, FaultPlan::composite(CHAOS_RATE), seed);
+            let (light, run, new_headers) =
+                run_remote_session(&mut chaotic, config, &spec, &mut retrier)?;
+            let injected = chaotic.stats().injected();
+            (
+                light,
+                run,
+                new_headers,
+                chaotic.inner().reconnects(),
+                Some(injected),
+            )
+        }
+        None => {
+            let mut transport = reconnecting;
+            let (light, run, new_headers) =
+                run_remote_session(&mut transport, config, &spec, &mut retrier)?;
+            (light, run, new_headers, transport.reconnects(), None)
+        }
+    };
+    let synced = light.client().tip_height() - new_headers;
 
     writeln!(out, "peer         : {}", remote.addr)?;
     writeln!(
@@ -239,6 +288,20 @@ fn query_remote(
         human_bytes(light.cumulative_traffic().response_bytes),
         light.exchanges()
     )?;
+    let stats = retrier.stats();
+    writeln!(
+        out,
+        "resilience   : {} attempts, {} retries, {} reconnects",
+        stats.attempts, stats.retries, reconnects
+    )?;
+    if let Some(injected) = faults {
+        writeln!(
+            out,
+            "chaos        : {injected} faults injected ({}% composite, seed {})",
+            CHAOS_RATE * 100.0,
+            opts.chaos_seed.unwrap_or_default()
+        )?;
+    }
     Ok(())
 }
 

@@ -1,0 +1,498 @@
+//! Deterministic fault injection for any [`Transport`].
+//!
+//! [`FaultyTransport`] wraps a real transport and, driven by a seeded
+//! RNG and a [`FaultPlan`], perturbs individual exchanges the way a
+//! misbehaving network or peer would: injected latency, connections
+//! dropped before or after the request reached the peer, truncated
+//! reply frames, payload bit flips, spurious [`Message::Busy`] sheds,
+//! and stale replies (the previous response replayed). Any test,
+//! experiment, or CLI run can therefore execute under *reproducible*
+//! chaos — the same seed and plan produce the same fault schedule,
+//! byte for byte.
+//!
+//! The wrapper sits **above** framing: it perturbs request/response
+//! payloads, never the transport's own length prefixes, so it composes
+//! with both [`crate::LocalTransport`] and [`crate::TcpTransport`]
+//! (and with [`crate::ReconnectingTcpTransport`], whose self-healing
+//! it exists to exercise).
+//!
+//! Soundness is the point: the verification layer must treat every
+//! perturbed reply as either a decode failure or a verification
+//! failure — never as an acceptable answer. The chaos proptest in the
+//! integration suite and the `repro chaos` experiment both lean on
+//! this module for that guarantee.
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use lvq_codec::Encodable;
+
+use crate::message::{Message, NodeError};
+use crate::pipe::Traffic;
+use crate::transport::Transport;
+
+/// Per-exchange fault probabilities and magnitudes.
+///
+/// All probabilities are independent per exchange and must lie in
+/// `0.0..=1.0`. At most one *corruption* fault (drop, busy, stale,
+/// truncate, flip) fires per exchange — they are drawn from one roll
+/// against cumulative thresholds, so their probabilities should sum to
+/// at most 1. Latency is rolled independently and stacks with any
+/// corruption.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Probability of injecting extra latency into an exchange.
+    pub latency_prob: f64,
+    /// Injected latency range in milliseconds (uniform, inclusive).
+    pub latency_ms: (u64, u64),
+    /// Probability of dropping the connection (half before the request
+    /// is forwarded — the peer never saw it — and half after — the
+    /// peer processed it but the reply was lost, the case that makes
+    /// idempotent replay interesting).
+    pub drop_prob: f64,
+    /// Probability of answering with a spurious [`Message::Busy`]
+    /// without consulting the peer.
+    pub busy_prob: f64,
+    /// Probability of delivering a stale reply: the previous response
+    /// seen on this transport (or garbage bytes on the first
+    /// exchange).
+    pub stale_prob: f64,
+    /// Probability of truncating the reply payload.
+    pub truncate_prob: f64,
+    /// Probability of flipping 1–3 random bits in the reply payload.
+    pub flip_prob: f64,
+}
+
+impl FaultPlan {
+    /// No faults at all: the wrapper becomes a transparent pass-through
+    /// (useful as the 0% point of a sweep).
+    pub fn none() -> Self {
+        FaultPlan {
+            latency_prob: 0.0,
+            latency_ms: (0, 0),
+            drop_prob: 0.0,
+            busy_prob: 0.0,
+            stale_prob: 0.0,
+            truncate_prob: 0.0,
+            flip_prob: 0.0,
+        }
+    }
+
+    /// A composite plan: each exchange is corrupted with probability
+    /// `rate` (split evenly across drops, spurious busy, stale
+    /// replies, truncations, and bit flips) and delayed 1–3 ms with
+    /// probability `rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= rate <= 1.0`.
+    pub fn composite(rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "fault rate out of range");
+        let each = rate / 5.0;
+        FaultPlan {
+            latency_prob: rate,
+            latency_ms: (1, 3),
+            drop_prob: each,
+            busy_prob: each,
+            stale_prob: each,
+            truncate_prob: each,
+            flip_prob: each,
+        }
+    }
+
+    /// The summed probability that an exchange is corrupted (latency
+    /// excluded — a late clean reply is still a clean reply).
+    pub fn corruption_prob(&self) -> f64 {
+        self.drop_prob + self.busy_prob + self.stale_prob + self.truncate_prob + self.flip_prob
+    }
+
+    fn validate(&self) {
+        for (name, p) in [
+            ("latency_prob", self.latency_prob),
+            ("drop_prob", self.drop_prob),
+            ("busy_prob", self.busy_prob),
+            ("stale_prob", self.stale_prob),
+            ("truncate_prob", self.truncate_prob),
+            ("flip_prob", self.flip_prob),
+        ] {
+            assert!((0.0..=1.0).contains(&p), "{name} out of range: {p}");
+        }
+        assert!(
+            self.corruption_prob() <= 1.0 + 1e-9,
+            "corruption probabilities must sum to at most 1"
+        );
+    }
+}
+
+/// How many of each fault kind a [`FaultyTransport`] actually injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultStats {
+    /// Exchanges attempted through the wrapper.
+    pub exchanges: u64,
+    /// Exchanges delivered unperturbed (latency-only counts as clean).
+    pub clean: u64,
+    /// Latency injections.
+    pub delayed: u64,
+    /// Connections dropped before the request reached the peer.
+    pub dropped_before: u64,
+    /// Connections dropped after the peer processed the request.
+    pub dropped_after: u64,
+    /// Spurious busy replies fabricated.
+    pub spurious_busy: u64,
+    /// Stale replies delivered.
+    pub stale: u64,
+    /// Reply payloads truncated.
+    pub truncated: u64,
+    /// Reply payloads bit-flipped.
+    pub flipped: u64,
+}
+
+impl FaultStats {
+    /// Total corruptions injected (latency excluded).
+    pub fn injected(&self) -> u64 {
+        self.dropped_before
+            + self.dropped_after
+            + self.spurious_busy
+            + self.stale
+            + self.truncated
+            + self.flipped
+    }
+}
+
+/// Which corruption (if any) one exchange drew.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Corruption {
+    None,
+    Drop,
+    Busy,
+    Stale,
+    Truncate,
+    Flip,
+}
+
+/// A [`Transport`] wrapper that injects seeded, reproducible faults.
+///
+/// # Examples
+///
+/// ```
+/// use lvq_bloom::BloomParams;
+/// use lvq_chain::{Address, ChainBuilder, Transaction};
+/// use lvq_core::{Scheme, SchemeConfig};
+/// use lvq_node::{FaultPlan, FaultyTransport, FullNode, LightNode, LocalTransport, QuerySpec};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let config = SchemeConfig::new(Scheme::Lvq, BloomParams::new(128, 2)?, 4)?;
+/// let mut builder = ChainBuilder::new(config.chain_params())?;
+/// builder.push_block(vec![Transaction::coinbase(Address::new("1Miner"), 50, 1)])?;
+/// let full = FullNode::new(builder.finish())?;
+///
+/// // A fault-free plan is a transparent pass-through.
+/// let mut peer = FaultyTransport::new(LocalTransport::new(&full), FaultPlan::none(), 7);
+/// let mut light = LightNode::sync_from(&mut peer, config)?;
+/// let run = light.run(&QuerySpec::address(Address::new("1Miner")), &mut peer)?;
+/// assert_eq!(run.histories[0].transactions.len(), 1);
+/// assert_eq!(peer.stats().injected(), 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct FaultyTransport<T> {
+    inner: T,
+    plan: FaultPlan,
+    rng: StdRng,
+    stats: FaultStats,
+    cumulative: Traffic,
+    exchanges: u64,
+    last_reply: Option<Vec<u8>>,
+}
+
+impl<T: Transport> FaultyTransport<T> {
+    /// Wraps `inner` under `plan`, with the whole fault schedule
+    /// derived from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability in `plan` is outside `0.0..=1.0` or
+    /// the corruption probabilities sum past 1.
+    pub fn new(inner: T, plan: FaultPlan, seed: u64) -> Self {
+        plan.validate();
+        FaultyTransport {
+            inner,
+            plan,
+            rng: StdRng::seed_from_u64(seed),
+            stats: FaultStats::default(),
+            cumulative: Traffic::default(),
+            exchanges: 0,
+            last_reply: None,
+        }
+    }
+
+    /// Counters of the faults injected so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// The plan this wrapper runs under.
+    pub fn plan(&self) -> FaultPlan {
+        self.plan
+    }
+
+    /// The wrapped transport.
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// Unwraps back into the inner transport.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+
+    /// Draws this exchange's corruption from one roll against the
+    /// plan's cumulative thresholds, so at most one fires and the RNG
+    /// stream stays identical across runs of the same plan and seed.
+    fn draw_corruption(&mut self) -> Corruption {
+        let roll: f64 = self.rng.gen();
+        let mut threshold = self.plan.drop_prob;
+        if roll < threshold {
+            return Corruption::Drop;
+        }
+        threshold += self.plan.busy_prob;
+        if roll < threshold {
+            return Corruption::Busy;
+        }
+        threshold += self.plan.stale_prob;
+        if roll < threshold {
+            return Corruption::Stale;
+        }
+        threshold += self.plan.truncate_prob;
+        if roll < threshold {
+            return Corruption::Truncate;
+        }
+        threshold += self.plan.flip_prob;
+        if roll < threshold {
+            return Corruption::Flip;
+        }
+        Corruption::None
+    }
+
+    /// Accounts and returns one delivered reply.
+    fn deliver(&mut self, request_len: usize, reply: Vec<u8>) -> (Vec<u8>, Traffic) {
+        let traffic = Traffic {
+            request_bytes: request_len as u64,
+            response_bytes: reply.len() as u64,
+        };
+        self.cumulative.request_bytes += traffic.request_bytes;
+        self.cumulative.response_bytes += traffic.response_bytes;
+        self.exchanges += 1;
+        (reply, traffic)
+    }
+}
+
+impl<T: Transport> Transport for FaultyTransport<T> {
+    fn exchange(&mut self, request: &[u8]) -> Result<(Vec<u8>, Traffic), NodeError> {
+        self.stats.exchanges += 1;
+
+        // Latency is independent of corruption and stacks with it.
+        if self.plan.latency_prob > 0.0 && self.rng.gen_bool(self.plan.latency_prob) {
+            self.stats.delayed += 1;
+            let (lo, hi) = self.plan.latency_ms;
+            let ms = if hi > lo {
+                self.rng.gen_range(lo..=hi)
+            } else {
+                lo
+            };
+            if ms > 0 {
+                std::thread::sleep(Duration::from_millis(ms));
+            }
+        }
+
+        let corruption = self.draw_corruption();
+
+        // A drop-before never reaches the peer at all.
+        if corruption == Corruption::Drop && self.rng.gen_bool(0.5) {
+            self.stats.dropped_before += 1;
+            return Err(NodeError::Disconnected {
+                context: "fault: connection dropped before send",
+            });
+        }
+        // A spurious busy is fabricated locally; the peer is never
+        // consulted, exactly like an accept-queue shed.
+        if corruption == Corruption::Busy {
+            self.stats.spurious_busy += 1;
+            let reply = Message::Busy.encode();
+            return Ok(self.deliver(request.len(), reply));
+        }
+
+        // Every other outcome forwards the request — the peer really
+        // does the work; the network then mistreats the reply.
+        let (reply, _) = self.inner.exchange(request)?;
+        let fresh = reply.clone();
+
+        let delivered = match corruption {
+            Corruption::None => {
+                self.stats.clean += 1;
+                reply
+            }
+            Corruption::Drop => {
+                self.stats.dropped_after += 1;
+                self.last_reply = Some(fresh);
+                return Err(NodeError::Disconnected {
+                    context: "fault: connection dropped before reply",
+                });
+            }
+            Corruption::Stale => {
+                self.stats.stale += 1;
+                // Replay the previous reply; garbage on the first
+                // exchange (nothing to replay yet).
+                self.last_reply.clone().unwrap_or_else(|| vec![0xFF; 8])
+            }
+            Corruption::Truncate => {
+                self.stats.truncated += 1;
+                let cut = if reply.is_empty() {
+                    0
+                } else {
+                    self.rng.gen_range(0..reply.len())
+                };
+                let mut truncated = reply;
+                truncated.truncate(cut);
+                truncated
+            }
+            Corruption::Flip => {
+                self.stats.flipped += 1;
+                let mut flipped = reply;
+                if !flipped.is_empty() {
+                    let flips = self.rng.gen_range(1..=3usize);
+                    for _ in 0..flips {
+                        let at = self.rng.gen_range(0..flipped.len());
+                        let bit = self.rng.gen_range(0..8u32);
+                        flipped[at] ^= 1 << bit;
+                    }
+                }
+                flipped
+            }
+            Corruption::Busy => unreachable!("handled before forwarding"),
+        };
+        self.last_reply = Some(fresh);
+        Ok(self.deliver(request.len(), delivered))
+    }
+
+    fn cumulative_traffic(&self) -> Traffic {
+        self.cumulative
+    }
+
+    fn exchanges(&self) -> u64 {
+        self.exchanges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::LocalTransport;
+
+    fn echo_transport() -> LocalTransport<impl Fn(&[u8]) -> Result<Vec<u8>, NodeError>> {
+        LocalTransport::new(|req: &[u8]| Ok(req.repeat(4)))
+    }
+
+    #[test]
+    fn no_faults_is_a_pass_through() {
+        let mut t = FaultyTransport::new(echo_transport(), FaultPlan::none(), 1);
+        for _ in 0..50 {
+            let (reply, traffic) = t.exchange(b"ping").unwrap();
+            assert_eq!(reply, b"pingpingpingping");
+            assert_eq!(traffic.request_bytes, 4);
+            assert_eq!(traffic.response_bytes, 16);
+        }
+        assert_eq!(t.stats().injected(), 0);
+        assert_eq!(t.stats().clean, 50);
+        assert_eq!(t.exchanges(), 50);
+        assert_eq!(t.cumulative_traffic().response_bytes, 800);
+    }
+
+    #[test]
+    fn fault_schedule_is_reproducible() {
+        let run = |seed: u64| {
+            let mut t = FaultyTransport::new(echo_transport(), FaultPlan::composite(0.4), seed);
+            let mut outcomes = Vec::new();
+            for i in 0..200u32 {
+                let request = i.to_le_bytes();
+                outcomes.push(match t.exchange(&request) {
+                    Ok((reply, _)) => Ok(reply),
+                    Err(e) => Err(e),
+                });
+            }
+            (outcomes, t.stats())
+        };
+        let (a_out, a_stats) = run(42);
+        let (b_out, b_stats) = run(42);
+        assert_eq!(a_out, b_out, "same seed, same schedule, same bytes");
+        assert_eq!(a_stats, b_stats);
+        let (c_out, _) = run(43);
+        assert_ne!(a_out, c_out, "different seeds diverge");
+    }
+
+    #[test]
+    fn composite_rate_injects_roughly_that_many_faults() {
+        let mut t = FaultyTransport::new(echo_transport(), FaultPlan::composite(0.2), 7);
+        let n = 1000;
+        for i in 0..n as u32 {
+            let _ = t.exchange(&i.to_le_bytes());
+        }
+        let injected = t.stats().injected();
+        // 20% ± a generous margin; the point is "some but not all".
+        assert!(
+            (100..=320).contains(&injected),
+            "expected ~200 corruptions of {n}, got {injected}"
+        );
+        // Every kind fired at a 20% composite rate over 1000 tries.
+        let s = t.stats();
+        for (name, count) in [
+            ("drop before", s.dropped_before),
+            ("drop after", s.dropped_after),
+            ("busy", s.spurious_busy),
+            ("stale", s.stale),
+            ("truncate", s.truncated),
+            ("flip", s.flipped),
+        ] {
+            assert!(count > 0, "{name} never fired");
+        }
+        assert_eq!(
+            s.exchanges,
+            s.clean + s.injected(),
+            "every exchange is either clean or injected"
+        );
+    }
+
+    #[test]
+    fn stale_replays_the_previous_reply() {
+        let plan = FaultPlan {
+            stale_prob: 1.0,
+            ..FaultPlan::none()
+        };
+        let mut t = FaultyTransport::new(echo_transport(), plan, 3);
+        // First exchange: nothing to replay, delivers garbage.
+        let (first, _) = t.exchange(b"a").unwrap();
+        assert_eq!(first, vec![0xFF; 8]);
+        // Second: replays the real reply of the first request.
+        let (second, _) = t.exchange(b"b").unwrap();
+        assert_eq!(second, b"aaaa");
+        assert_eq!(t.stats().stale, 2);
+    }
+
+    #[test]
+    fn invalid_plans_are_rejected() {
+        let mut plan = FaultPlan::none();
+        plan.drop_prob = 1.5;
+        assert!(
+            std::panic::catch_unwind(|| FaultyTransport::new(echo_transport(), plan, 0)).is_err()
+        );
+        let mut plan = FaultPlan::none();
+        plan.drop_prob = 0.6;
+        plan.flip_prob = 0.6;
+        assert!(
+            std::panic::catch_unwind(|| FaultyTransport::new(echo_transport(), plan, 0)).is_err()
+        );
+    }
+}

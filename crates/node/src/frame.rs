@@ -6,6 +6,7 @@
 //! in-process [`crate::LocalTransport`] exactly.
 
 use std::io::{ErrorKind, Read, Write};
+use std::time::Instant;
 
 use crate::message::NodeError;
 
@@ -48,17 +49,20 @@ pub fn write_frame(writer: &mut impl Write, payload: &[u8]) -> Result<(), NodeEr
 ///
 /// Returns [`NodeError::FrameTooLarge`] for oversized announcements,
 /// [`NodeError::Disconnected`] if the peer closes mid-frame (or before
-/// the first header byte), and [`NodeError::Io`] for other socket
+/// the first header byte), [`NodeError::Timeout`] (with the measured
+/// wait) if the read deadline expires before the first header byte —
+/// the peer is idle, and a retrying client wants to know that, not a
+/// generic I/O failure — and [`NodeError::Io`] for other socket
 /// failures, including a read timeout striking mid-frame.
 pub fn read_frame(reader: &mut impl Read, max_len: u32) -> Result<Vec<u8>, NodeError> {
+    let started = Instant::now();
     match read_frame_or_event(reader, max_len)? {
         FrameEvent::Frame(payload) => Ok(payload),
         FrameEvent::Eof => Err(NodeError::Disconnected {
             context: "read frame header",
         }),
-        FrameEvent::Idle => Err(NodeError::Io {
-            context: "read frame header",
-            kind: ErrorKind::TimedOut,
+        FrameEvent::Idle => Err(NodeError::Timeout {
+            elapsed: started.elapsed(),
         }),
     }
 }
@@ -166,6 +170,40 @@ mod tests {
                 max: 1024
             }
         );
+    }
+
+    #[test]
+    fn idle_timeout_is_typed() {
+        // A reader whose deadline has already expired: the client-side
+        // read surfaces a typed Timeout carrying the measured wait.
+        struct TimedOutReader;
+        impl Read for TimedOutReader {
+            fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+                Err(ErrorKind::TimedOut.into())
+            }
+        }
+        assert!(matches!(
+            read_frame(&mut TimedOutReader, MAX_FRAME_LEN).unwrap_err(),
+            NodeError::Timeout { .. }
+        ));
+        // Mid-frame timeouts stay hard I/O errors: the stream cannot be
+        // resynchronised once header bytes have been consumed.
+        struct HeaderThenTimeout(bool);
+        impl Read for HeaderThenTimeout {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.0 {
+                    Err(ErrorKind::TimedOut.into())
+                } else {
+                    self.0 = true;
+                    buf[0] = 5;
+                    Ok(1)
+                }
+            }
+        }
+        assert!(matches!(
+            read_frame(&mut HeaderThenTimeout(false), MAX_FRAME_LEN).unwrap_err(),
+            NodeError::Io { .. }
+        ));
     }
 
     #[test]

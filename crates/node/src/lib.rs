@@ -58,22 +58,31 @@
 #![warn(missing_docs)]
 
 mod bandwidth;
+mod faults;
 pub mod frame;
 mod full;
 mod light;
 mod message;
 mod pipe;
 mod quorum;
+mod reconnect;
+mod retry;
 mod server;
 mod tcp;
 mod transport;
 
 pub use bandwidth::BandwidthModel;
+pub use faults::{FaultPlan, FaultStats, FaultyTransport};
 pub use full::{FullNode, Handled, QueryEngineStats, RequestKind};
 pub use light::{BatchQueryOutcome, LightNode, QueryOutcome, QueryRun, QuerySpec};
 pub use message::{Message, NodeError, WireError, WireErrorCode, PROTOCOL_VERSION};
 pub use pipe::{MeteredPipe, Traffic};
-pub use quorum::{query_quorum, query_quorum_batch, QueryPeer, QuorumBatchOutcome, QuorumOutcome};
+pub use quorum::{
+    query_quorum, query_quorum_batch, query_quorum_spec, PeerHealth, PeerOutcome, QueryPeer,
+    QuorumBatchOutcome, QuorumOutcome, QuorumReport,
+};
+pub use reconnect::ReconnectingTcpTransport;
+pub use retry::{Retrier, RetryPolicy, RetryStats};
 pub use server::{
     LatencySummary, NodeServer, RequestCounters, ServeNode, ServerConfig, ServerStats,
 };

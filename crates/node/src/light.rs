@@ -87,7 +87,7 @@ impl QuerySpec {
     }
 
     /// The request message this spec encodes to.
-    fn to_message(&self) -> Message {
+    pub(crate) fn to_message(&self) -> Message {
         if self.batch {
             Message::BatchQueryRequest {
                 addresses: self.targets.clone(),
@@ -300,6 +300,50 @@ impl LightNode {
             _ => return Err(NodeError::UnexpectedMessage),
         };
         Ok(QueryRun { histories, traffic })
+    }
+
+    /// Runs one query under a retry policy: transient failures (a shed
+    /// [`NodeError::Busy`], a dropped connection, a timeout, a server
+    /// deadline miss) are retried with the retrier's seeded backoff;
+    /// fatal errors — above all verification failures — are returned
+    /// immediately and never replayed against the same peer.
+    ///
+    /// Replaying is sound because every request this node sends is a
+    /// pure read; see [`NodeError::retryable`] for the full taxonomy.
+    /// After a connection-shaped transient (disconnect, timeout, I/O)
+    /// the node re-checks the peer's tip with [`LightNode::sync_new`]
+    /// before retrying, so a peer that restarted with a longer chain
+    /// still produces proofs this node can verify.
+    ///
+    /// # Errors
+    ///
+    /// As [`LightNode::run`], except that a transient error surfaces
+    /// only once the retrier's attempt cap or deadline budget is spent.
+    pub fn run_with_retry<T: Transport + ?Sized>(
+        &mut self,
+        spec: &QuerySpec,
+        transport: &mut T,
+        retrier: &mut crate::retry::Retrier,
+    ) -> Result<QueryRun, NodeError> {
+        let mut resync = false;
+        retrier.run(|_attempt| {
+            if std::mem::take(&mut resync) {
+                // Best-effort tip re-check: the peer may have restarted
+                // with a longer chain. A failure here is folded into
+                // the query retry rather than surfaced on its own.
+                let _ = self.sync_new(transport);
+            }
+            let outcome = self.run(spec, transport);
+            if matches!(
+                outcome,
+                Err(NodeError::Disconnected { .. })
+                    | Err(NodeError::Timeout { .. })
+                    | Err(NodeError::Io { .. })
+            ) {
+                resync = true;
+            }
+            outcome
+        })
     }
 
     /// Queries the peer behind `transport` for the history of `address`
@@ -773,6 +817,59 @@ mod tests {
                 .unwrap_err(),
             NodeError::Busy
         );
+    }
+
+    #[test]
+    fn run_with_retry_rides_out_transient_busy() {
+        use crate::retry::{Retrier, RetryPolicy};
+        use std::cell::Cell;
+        use std::time::Duration;
+
+        let full = full_node(Scheme::Lvq, 8);
+        // A peer that sheds the first two query requests and then
+        // behaves — exactly a saturated worker pool draining.
+        let sheds = Cell::new(2u32);
+        let flaky = |req: &[u8]| -> Result<Vec<u8>, NodeError> {
+            let is_query = matches!(
+                decode_exact::<Message>(req),
+                Ok(Message::QueryRequest { .. } | Message::BatchQueryRequest { .. })
+            );
+            if is_query && sheds.get() > 0 {
+                sheds.set(sheds.get() - 1);
+                return Ok(Message::Busy.encode());
+            }
+            full.handle(req)
+        };
+        let mut peer = LocalTransport::new(flaky);
+        let mut light = LightNode::sync_from(&mut peer, config_for(Scheme::Lvq)).unwrap();
+        let policy =
+            RetryPolicy::new(5).backoff(Duration::from_micros(10), Duration::from_micros(50));
+        let mut retrier = Retrier::new(policy, 11);
+        let spec = QuerySpec::address(Address::new("1Shop"));
+        let run = light
+            .run_with_retry(&spec, &mut peer, &mut retrier)
+            .unwrap();
+        assert_eq!(run.histories[0].transactions.len(), 4);
+        assert_eq!(retrier.stats().attempts, 3, "two sheds, one success");
+
+        // The same history a fault-free peer serves.
+        let mut clean_peer = LocalTransport::new(&full);
+        let mut clean = LightNode::sync_from(&mut clean_peer, config_for(Scheme::Lvq)).unwrap();
+        assert_eq!(
+            run.histories,
+            clean.run(&spec, &mut clean_peer).unwrap().histories
+        );
+
+        // And a fatal error still short-circuits: a peer proving from
+        // a different chain fails verification and is never retried.
+        let liar = full_node(Scheme::Lvq, 4);
+        let mut lying_peer = LocalTransport::new(&liar);
+        let mut retrier = Retrier::new(policy, 12);
+        assert!(light
+            .run_with_retry(&spec, &mut lying_peer, &mut retrier)
+            .is_err());
+        assert_eq!(retrier.stats().attempts, 1);
+        assert_eq!(retrier.stats().fatal, 1);
     }
 
     #[test]

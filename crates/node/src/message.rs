@@ -11,6 +11,7 @@
 
 use std::error::Error;
 use std::fmt;
+use std::time::Duration;
 
 use lvq_chain::{Address, BlockHeader};
 use lvq_codec::{decode_exact, Decodable, DecodeError, Encodable, Reader};
@@ -349,6 +350,13 @@ pub enum NodeError {
         /// What the transport was doing when the peer vanished.
         context: &'static str,
     },
+    /// A read deadline expired before the peer produced a frame. The
+    /// typed sibling of `Io { kind: TimedOut }`: retry classification
+    /// and user-facing messages can name the elapsed wait precisely.
+    Timeout {
+        /// How long the transport waited before giving up.
+        elapsed: Duration,
+    },
     /// The server shed this connection with [`Message::Busy`] — its
     /// accept queue was full. The request was never processed; retry
     /// on a fresh connection.
@@ -356,6 +364,59 @@ pub enum NodeError {
     /// The server answered with a structured [`Message::Error`]
     /// refusal instead of the expected response.
     Server(WireError),
+}
+
+impl NodeError {
+    /// Whether retrying the same request can plausibly succeed.
+    ///
+    /// The split is the client's whole failure model in one method:
+    ///
+    /// * **Transient** (`true`) — the *transport or scheduling* failed,
+    ///   not the protocol: the server shed load ([`NodeError::Busy`]),
+    ///   the connection dropped ([`NodeError::Disconnected`]), a read
+    ///   deadline passed ([`NodeError::Timeout`], I/O timeouts), the
+    ///   server answered after its own deadline
+    ///   ([`WireErrorCode::DeadlineExceeded`]), or the reply was
+    ///   corrupted in flight ([`NodeError::Wire`],
+    ///   [`NodeError::UnexpectedMessage`], [`NodeError::FrameTooLarge`]
+    ///   — a garbled frame is refused, never trusted, so asking again
+    ///   is sound). Every request in the protocol is a pure read, so
+    ///   replaying one is idempotent.
+    /// * **Fatal** (`false`) — the *content* failed: a response that
+    ///   decoded cleanly but did not verify ([`NodeError::Verify`]),
+    ///   headers that break the out-of-band trust anchor
+    ///   ([`NodeError::ConfigMismatch`], [`NodeError::UnknownScheme`]),
+    ///   a structured refusal the server will deterministically repeat
+    ///   (bad version, unknown tag, unanswerable request), or a local
+    ///   prover failure. Retrying the same peer cannot help; a caller
+    ///   holding several peers should fail over instead (see
+    ///   [`crate::query_quorum_spec`]).
+    pub fn retryable(&self) -> bool {
+        match self {
+            NodeError::Busy
+            | NodeError::Disconnected { .. }
+            | NodeError::Timeout { .. }
+            | NodeError::Io { .. }
+            | NodeError::Wire(_)
+            | NodeError::UnexpectedMessage
+            | NodeError::FrameTooLarge { .. } => true,
+            NodeError::Server(e) => e.code == WireErrorCode::DeadlineExceeded,
+            NodeError::Prove(_)
+            | NodeError::Verify(_)
+            | NodeError::UnknownScheme
+            | NodeError::ConfigMismatch { .. } => false,
+        }
+    }
+
+    /// Whether this error means a peer served content that failed
+    /// verification — the never-retry class that should also mark the
+    /// peer unhealthy in a quorum.
+    pub fn is_verification_failure(&self) -> bool {
+        matches!(
+            self,
+            NodeError::Verify(_) | NodeError::ConfigMismatch { .. }
+        )
+    }
 }
 
 impl fmt::Display for NodeError {
@@ -378,6 +439,9 @@ impl fmt::Display for NodeError {
             }
             NodeError::Disconnected { context } => {
                 write!(f, "peer disconnected mid-frame ({context})")
+            }
+            NodeError::Timeout { elapsed } => {
+                write!(f, "peer produced no frame within {elapsed:?}")
             }
             NodeError::Busy => f.write_str("server is at capacity (busy); retry later"),
             NodeError::Server(e) => write!(f, "server refused the request: {e}"),
@@ -473,6 +537,42 @@ mod tests {
             Message::decode_classified(&[PROTOCOL_VERSION, 200]),
             Err(WireError::with_detail(WireErrorCode::UnknownTag, 200))
         );
+    }
+
+    #[test]
+    fn retry_classification_splits_transport_from_content() {
+        let transient = [
+            NodeError::Busy,
+            NodeError::Disconnected { context: "read" },
+            NodeError::Timeout {
+                elapsed: Duration::from_millis(200),
+            },
+            NodeError::Io {
+                context: "connect",
+                kind: std::io::ErrorKind::ConnectionRefused,
+            },
+            NodeError::Wire(DecodeError::UnexpectedEof {
+                needed: 4,
+                remaining: 0,
+            }),
+            NodeError::UnexpectedMessage,
+            NodeError::FrameTooLarge { len: 9, max: 4 },
+            NodeError::Server(WireError::new(WireErrorCode::DeadlineExceeded)),
+        ];
+        for e in transient {
+            assert!(e.retryable(), "{e} must be retryable");
+            assert!(!e.is_verification_failure(), "{e}");
+        }
+        let fatal = [
+            NodeError::UnknownScheme,
+            NodeError::ConfigMismatch { height: 3 },
+            NodeError::Server(WireError::new(WireErrorCode::Unanswerable)),
+            NodeError::Server(WireError::with_detail(WireErrorCode::UnsupportedVersion, 9)),
+        ];
+        for e in fatal {
+            assert!(!e.retryable(), "{e} must be fatal");
+        }
+        assert!(NodeError::ConfigMismatch { height: 3 }.is_verification_failure());
     }
 
     #[test]

@@ -18,8 +18,10 @@ use lvq_core::{Completeness, LightClient, VerifiedHistory};
 use lvq_crypto::Hash256;
 
 use crate::full::FullNode;
+use crate::light::QuerySpec;
 use crate::message::{Message, NodeError};
 use crate::pipe::Traffic;
+use crate::retry::{Retrier, RetryPolicy};
 use crate::transport::Transport;
 
 /// Anything that can answer encoded requests in-process — a
@@ -206,6 +208,184 @@ pub fn query_quorum_batch(
     })
 }
 
+/// How one peer fared across a whole quorum query, retries included.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PeerOutcome {
+    /// The peer produced a verifiable response (possibly after
+    /// transient retries).
+    Served,
+    /// Every attempt failed transiently — the peer is down or
+    /// unreachable, not provably misbehaving.
+    Unreachable(NodeError),
+    /// The peer answered and the answer was rejected (verification
+    /// failure, refusal) — fatal, never retried.
+    Rejected(NodeError),
+}
+
+/// Per-peer health across one quorum query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerHealth {
+    /// Attempts made against this peer (at least 1).
+    pub attempts: u64,
+    /// Attempts beyond the first — how hard the retry policy worked.
+    pub retries: u64,
+    /// How the peer's participation ended.
+    pub outcome: PeerOutcome,
+}
+
+impl PeerHealth {
+    /// Whether this peer ended up contributing a verified answer.
+    pub fn served(&self) -> bool {
+        self.outcome == PeerOutcome::Served
+    }
+}
+
+/// What a fault-tolerant quorum query established: merged histories
+/// plus per-peer health, instead of aborting when some peers die.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuorumReport {
+    /// One merged verified history per [`QuerySpec`] target, in spec
+    /// order (union over all serving peers' proven transactions).
+    pub histories: Vec<VerifiedHistory>,
+    /// Total traffic across all peers, retries included.
+    pub traffic: Traffic,
+    /// One health record per peer, in peer order.
+    pub peers: Vec<PeerHealth>,
+    /// Indices of peers whose verified answer was a strict subset of
+    /// the merged one for at least one address (sorted, deduplicated).
+    pub withholding_peers: Vec<usize>,
+}
+
+impl QuorumReport {
+    /// How many peers contributed a verified answer.
+    pub fn served(&self) -> usize {
+        self.peers.iter().filter(|p| p.served()).count()
+    }
+
+    /// Whether the quorum degraded — answered, but with at least one
+    /// peer lost to failures.
+    pub fn is_degraded(&self) -> bool {
+        self.served() < self.peers.len()
+    }
+}
+
+/// Queries every peer for `spec` under a retry policy and merges the
+/// verified answers, degrading gracefully when peers die.
+///
+/// Each peer gets its own [`Retrier`] (jitter stream derived from
+/// `seed` and the peer index, so a run is reproducible): transient
+/// failures — [`NodeError::Busy`], disconnects, timeouts — are retried
+/// up to the policy's caps, while fatal ones (a verification failure
+/// above all) take the peer out of the quorum on the spot. The outcome
+/// is a [`QuorumReport`] with per-peer health instead of an
+/// all-or-nothing answer: k-of-n peers lost mid-query still yields the
+/// merged history of the n−k that served.
+///
+/// # Errors
+///
+/// Returns the last peer error only if *no* peer produced a
+/// verifiable response.
+pub fn query_quorum_spec(
+    client: &LightClient,
+    peers: &mut [&mut dyn Transport],
+    spec: &QuerySpec,
+    policy: &RetryPolicy,
+    seed: u64,
+) -> Result<QuorumReport, NodeError> {
+    let request = spec.to_message().encode();
+    let mut traffic = Traffic::default();
+    let mut health = Vec::with_capacity(peers.len());
+    let mut verified_batches: Vec<(usize, Vec<VerifiedHistory>)> = Vec::new();
+    let mut last_error = None;
+
+    for (index, peer) in peers.iter_mut().enumerate() {
+        // Each peer draws its own jitter stream: peers back off
+        // independently, and the whole sweep replays bit-for-bit under
+        // the same seed.
+        let mut retrier =
+            Retrier::new(*policy, seed ^ (index as u64 + 1).wrapping_mul(0x9E37_79B9));
+        let verified = retrier.run(|_attempt| {
+            let (reply, t) = peer.exchange(&request)?;
+            traffic.request_bytes += t.request_bytes;
+            traffic.response_bytes += t.response_bytes;
+            verify_reply(client, spec, &reply)
+        });
+        let stats = retrier.stats();
+        let outcome = match verified {
+            Ok(histories) => {
+                verified_batches.push((index, histories));
+                PeerOutcome::Served
+            }
+            Err(err) => {
+                last_error = Some(err.clone());
+                if err.retryable() {
+                    PeerOutcome::Unreachable(err)
+                } else {
+                    PeerOutcome::Rejected(err)
+                }
+            }
+        };
+        health.push(PeerHealth {
+            attempts: stats.attempts,
+            retries: stats.retries,
+            outcome,
+        });
+    }
+
+    if verified_batches.is_empty() {
+        return Err(last_error.expect("no histories implies at least one error"));
+    }
+
+    let mut histories = Vec::with_capacity(spec.targets().len());
+    let mut withholding = std::collections::BTreeSet::new();
+    for (k, address) in spec.targets().iter().enumerate() {
+        let per_peer: Vec<(usize, VerifiedHistory)> = verified_batches
+            .iter()
+            .map(|(index, batch)| (*index, batch[k].clone()))
+            .collect();
+        let (merged, withholders) = merge_histories(address, &per_peer);
+        histories.push(merged);
+        withholding.extend(withholders);
+    }
+
+    Ok(QuorumReport {
+        histories,
+        traffic,
+        peers: health,
+        withholding_peers: withholding.into_iter().collect(),
+    })
+}
+
+/// Decodes and verifies one reply against `spec`, surfacing sheds and
+/// refusals as their typed [`NodeError`]s (so the retry policy can
+/// classify them).
+fn verify_reply(
+    client: &LightClient,
+    spec: &QuerySpec,
+    reply: &[u8],
+) -> Result<Vec<VerifiedHistory>, NodeError> {
+    let message = match decode_exact::<Message>(reply)? {
+        Message::Busy => return Err(NodeError::Busy),
+        Message::Error(e) => return Err(NodeError::Server(e)),
+        message => message,
+    };
+    let range = spec.height_range();
+    match (message, spec.is_batch()) {
+        (Message::QueryResponse(response), false) => {
+            let address = &spec.targets()[0];
+            Ok(vec![match range {
+                None => client.verify(address, &response)?,
+                Some((lo, hi)) => client.verify_range(address, lo, hi, &response)?,
+            }])
+        }
+        (Message::BatchQueryResponse(response), true) => match range {
+            None => Ok(client.verify_batch(spec.targets(), &response)?),
+            Some((lo, hi)) => Ok(client.verify_batch_range(spec.targets(), lo, hi, &response)?),
+        },
+        _ => Err(NodeError::UnexpectedMessage),
+    }
+}
+
 /// Unions verified histories for one address by `(height, txid)` —
 /// each constituent is verified correct, so every element of the union
 /// is on-chain. Returns the merged history plus the indices of peers
@@ -385,6 +565,125 @@ mod tests {
         let broken_fn = |_req: &[u8]| -> Result<Vec<u8>, NodeError> { Ok(vec![0xFF]) };
         let mut broken = LocalTransport::new(broken_fn);
         assert!(query_quorum(&client, &mut [&mut broken], &Address::new("1Victim")).is_err());
+    }
+
+    #[test]
+    fn quorum_spec_degrades_gracefully_when_peers_die() {
+        use std::cell::Cell;
+        use std::time::Duration;
+
+        let honest = full_node(Scheme::Lvq);
+        let client = LightClient::new(honest.config(), honest.chain().headers());
+        let policy =
+            RetryPolicy::new(3).backoff(Duration::from_micros(10), Duration::from_micros(50));
+
+        // Peer 0 is dead for good; peer 1 sheds twice then serves;
+        // peer 2 proves from a different chain and is rejected outright.
+        let dead = |_req: &[u8]| -> Result<Vec<u8>, NodeError> {
+            Err(NodeError::Disconnected {
+                context: "test peer down",
+            })
+        };
+        let sheds = Cell::new(2u32);
+        let flaky = |req: &[u8]| -> Result<Vec<u8>, NodeError> {
+            if sheds.get() > 0 {
+                sheds.set(sheds.get() - 1);
+                return Ok(Message::Busy.encode());
+            }
+            honest.handle(req)
+        };
+        let other_config =
+            SchemeConfig::new(Scheme::Lvq, BloomParams::new(64, 2).unwrap(), 8).unwrap();
+        let mut builder = ChainBuilder::new(other_config.chain_params()).unwrap();
+        for h in 1..=4u32 {
+            builder
+                .push_block(vec![Transaction::coinbase(Address::new("1Other"), 50, h)])
+                .unwrap();
+        }
+        let liar = FullNode::new(builder.finish()).unwrap();
+
+        let mut t0 = LocalTransport::new(dead);
+        let mut t1 = LocalTransport::new(flaky);
+        let mut t2 = LocalTransport::new(&liar);
+        let spec = QuerySpec::address(Address::new("1Victim"));
+        let report = query_quorum_spec(
+            &client,
+            &mut [&mut t0, &mut t1, &mut t2],
+            &spec,
+            &policy,
+            99,
+        )
+        .unwrap();
+
+        // One of three peers served — degraded, but answered fully.
+        assert_eq!(report.histories[0].transactions.len(), 8);
+        assert_eq!(report.served(), 1);
+        assert!(report.is_degraded());
+
+        // Per-peer health tells the three stories apart.
+        assert!(matches!(
+            report.peers[0].outcome,
+            PeerOutcome::Unreachable(_)
+        ));
+        assert_eq!(report.peers[0].attempts, 3, "dead peer exhausts the cap");
+        assert!(report.peers[1].served());
+        assert_eq!(report.peers[1].retries, 2, "two sheds ridden out");
+        assert!(matches!(
+            report.peers[2].outcome,
+            PeerOutcome::Rejected(NodeError::Verify(_))
+        ));
+        assert_eq!(report.peers[2].attempts, 1, "fatal errors never retried");
+
+        // Same seed, same report (modulo nothing — it is all data).
+        sheds.set(2);
+        let mut u0 = LocalTransport::new(dead);
+        let mut u1 = LocalTransport::new(flaky);
+        let mut u2 = LocalTransport::new(&liar);
+        let again = query_quorum_spec(
+            &client,
+            &mut [&mut u0, &mut u1, &mut u2],
+            &spec,
+            &policy,
+            99,
+        )
+        .unwrap();
+        assert_eq!(report, again);
+    }
+
+    #[test]
+    fn quorum_spec_fails_only_when_every_peer_does() {
+        use std::time::Duration;
+
+        let honest = full_node(Scheme::Lvq);
+        let client = LightClient::new(honest.config(), honest.chain().headers());
+        let policy =
+            RetryPolicy::new(2).backoff(Duration::from_micros(10), Duration::from_micros(20));
+        let dead = |_req: &[u8]| -> Result<Vec<u8>, NodeError> {
+            Err(NodeError::Disconnected { context: "down" })
+        };
+        let mut t0 = LocalTransport::new(dead);
+        let mut t1 = LocalTransport::new(dead);
+        let spec = QuerySpec::address(Address::new("1Victim"));
+        assert!(
+            query_quorum_spec(&client, &mut [&mut t0, &mut t1], &spec, &policy, 1).is_err(),
+            "no serving peer means no answer"
+        );
+
+        // A batched spec flows through the same failover machinery.
+        let mut honest_t = LocalTransport::new(&honest);
+        let mut dead_t = LocalTransport::new(dead);
+        let spec = QuerySpec::addresses(vec![Address::new("1Victim"), Address::new("1Miner")]);
+        let report = query_quorum_spec(
+            &client,
+            &mut [&mut dead_t, &mut honest_t],
+            &spec,
+            &policy,
+            1,
+        )
+        .unwrap();
+        assert_eq!(report.histories.len(), 2);
+        assert_eq!(report.histories[0].transactions.len(), 8);
+        assert_eq!(report.served(), 1);
     }
 
     #[test]
