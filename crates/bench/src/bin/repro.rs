@@ -5,7 +5,7 @@
 //!
 //! experiments: all, table1, table2, table3, fig12, fig13, fig14,
 //!              fig15, fig16, storage, ksweep, latency, throughput,
-//!              concurrent, pool, quorum, coldstart
+//!              concurrent, pool, quorum, coldstart, chaos, ingest
 //! ```
 //!
 //! `fig13`/`fig14`/`fig15` share one filter-size sweep; asking for any
@@ -15,8 +15,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use lvq_bench::experiments::{
-    bf_sweep, chaos, coldstart, concurrent, fig12, fig16, k_sweep, latency, pool, quorum, storage,
-    tables, throughput,
+    bf_sweep, chaos, coldstart, concurrent, fig12, fig16, ingest, k_sweep, latency, pool, quorum,
+    storage, tables, throughput,
 };
 use lvq_bench::Scale;
 
@@ -54,7 +54,7 @@ fn parse_args() -> Result<Options, String> {
 }
 
 const USAGE: &str =
-    "usage: repro <all|table1|table2|table3|fig12|fig13|fig14|fig15|fig16|storage|ksweep|latency|throughput|concurrent|pool|quorum|coldstart|chaos> \
+    "usage: repro <all|table1|table2|table3|fig12|fig13|fig14|fig15|fig16|storage|ksweep|latency|throughput|concurrent|pool|quorum|coldstart|chaos|ingest> \
                      [--scale small|paper] [--seed N]";
 
 fn main() -> ExitCode {
@@ -160,6 +160,11 @@ fn main() -> ExitCode {
     if want("chaos") {
         matched = true;
         println!("{}", chaos::run(opts.scale, opts.seed));
+        println!();
+    }
+    if want("ingest") {
+        matched = true;
+        println!("{}", ingest::run(opts.scale, opts.seed));
         println!();
     }
 

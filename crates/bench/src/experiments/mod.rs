@@ -6,6 +6,7 @@ pub mod coldstart;
 pub mod concurrent;
 pub mod fig12;
 pub mod fig16;
+pub mod ingest;
 pub mod k_sweep;
 pub mod latency;
 pub mod pool;

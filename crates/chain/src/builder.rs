@@ -86,7 +86,7 @@ impl ChainBuilder {
     ///
     /// Returns [`ChainError::Bmt`] if the chain's recorded span hashes
     /// are inconsistent (i.e. the chain was corrupted).
-    pub fn resume(chain: Chain) -> Result<Self, ChainError> {
+    pub fn resume(mut chain: Chain) -> Result<Self, ChainError> {
         let params = chain.params();
         let tip = chain.tip_height();
         let prev_hash = if tip == 0 {
@@ -95,29 +95,10 @@ impl ChainBuilder {
             chain.header(tip)?.block_hash()
         };
 
-        let bmt_builder = if params.policy().bmt {
-            // Dyadic decomposition of the partial segment, widest first.
-            let m = params.segment_len();
-            let mut rem = tip % m;
-            let mut start = tip - rem + 1;
-            let mut stack = Vec::new();
-            while rem > 0 {
-                let width = 1u64 << (63 - rem.leading_zeros());
-                let (lo, hi) = (start, start + width - 1);
-                let hash = chain.span_hash(lo, hi).ok_or(ChainError::Bmt(
-                    lvq_merkle::BmtError::MalformedProof {
-                        reason: "missing span hash while resuming",
-                    },
-                ))?;
-                let filter = chain.span_filter(lo, hi)?;
-                stack.push((lo, hi, hash, filter));
-                start += width;
-                rem -= width;
-            }
-            Some(BmtBuilder::resume(params.bloom(), m, 1, tip + 1, stack)?)
-        } else {
-            None
-        };
+        // The chain hands back its live builder when it kept one,
+        // reconstructing the partial segment from stored span hashes
+        // otherwise.
+        let bmt_builder = chain.take_or_rebuild_bmt_builder()?;
 
         let Chain {
             source,
@@ -228,9 +209,17 @@ impl ChainBuilder {
         Ok(height)
     }
 
-    /// Finishes construction.
+    /// Finishes construction. The live BMT builder is carried into the
+    /// chain so a later [`Chain::extend_one`] continues the partial
+    /// segment without replaying it.
     pub fn finish(self) -> Chain {
-        Chain::from_parts(self.params, self.blocks, self.addr_counts, self.span_hashes)
+        Chain::from_parts(
+            self.params,
+            self.blocks,
+            self.addr_counts,
+            self.span_hashes,
+            self.bmt_builder,
+        )
     }
 }
 

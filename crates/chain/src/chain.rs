@@ -170,6 +170,12 @@ pub struct Chain<S: BlockSource = InMemoryBlocks> {
     pub(crate) span_hashes: HashMap<(u64, u64), Hash256>,
     /// Block storage.
     pub(crate) source: S,
+    /// The live BMT builder positioned at `tip + 1`, retained so
+    /// [`Chain::extend_one`] appends without replaying the segment.
+    /// `None` either because the policy commits no BMT or because the
+    /// chain was produced by a path that did not keep one; in the
+    /// latter case extension rebuilds it from the stored span hashes.
+    pub(crate) bmt_builder: Option<BmtBuilder>,
     /// Memoised Bloom filters, keyed by span (`(h, h)` for leaves).
     filter_cache: Mutex<MemoCache<(u64, u64), BloomFilter>>,
     /// Memoised per-block SMTs, keyed by height.
@@ -182,6 +188,7 @@ impl Chain {
         blocks: Vec<Block>,
         addr_counts: Vec<Arc<Vec<(Address, u64)>>>,
         span_hashes: HashMap<(u64, u64), Hash256>,
+        bmt_builder: Option<BmtBuilder>,
     ) -> Self {
         let cache = params.cache_config();
         let headers = blocks.iter().map(|b| b.header).collect();
@@ -191,6 +198,7 @@ impl Chain {
             addr_counts,
             span_hashes,
             source: InMemoryBlocks::new(blocks),
+            bmt_builder,
             filter_cache: Mutex::new(MemoCache::new(cache.filter_cache_bytes)),
             smt_cache: Mutex::new(MemoCache::new(cache.smt_cache_bytes)),
         }
@@ -253,9 +261,109 @@ impl<S: BlockSource> Chain<S> {
             addr_counts,
             span_hashes,
             source,
+            bmt_builder,
             filter_cache: Mutex::new(MemoCache::new(cache.filter_cache_bytes)),
             smt_cache: Mutex::new(MemoCache::new(cache.smt_cache_bytes)),
         })
+    }
+
+    /// Absorbs the block at `tip + 1` from the source into the derived
+    /// state (header, address table, BMT span hashes), returning the new
+    /// tip height.
+    ///
+    /// The block must already be durable in the source — append to the
+    /// store *first*, then extend. On a crash between the two, the store
+    /// leads the derived state and a restart re-assembles from it, so
+    /// nothing is lost and nothing is double-counted.
+    ///
+    /// Commitments are trusted exactly as in
+    /// [`Chain::assemble_trusted`]; header chaining is still checked.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::UnknownHeight`] if the source has no block
+    /// beyond the current tip, [`ChainError::BrokenChainLink`] if the
+    /// next block does not chain onto the tip header, or any source or
+    /// BMT builder error.
+    pub fn extend_one(&mut self) -> Result<u64, ChainError> {
+        let height = self.tip_height() + 1;
+        let block = self.source.block(height)?;
+        if block.header.prev_block != self.tip_hash() {
+            return Err(ChainError::BrokenChainLink { height });
+        }
+        let counts = block.address_counts();
+        if self.params.policy().bmt && self.bmt_builder.is_none() {
+            self.bmt_builder = self.take_or_rebuild_bmt_builder()?;
+        }
+        if let Some(builder) = self.bmt_builder.as_mut() {
+            let mut filter = BloomFilter::new(self.params.bloom());
+            for (addr, _) in &counts {
+                filter.insert(addr.as_bytes());
+            }
+            let commit = builder.push_leaf(filter)?;
+            for span in commit.new_spans {
+                self.span_hashes.insert((span.lo, span.hi), span.hash);
+            }
+        }
+        self.headers.push(block.header);
+        self.addr_counts.push(Arc::new(counts));
+        Ok(height)
+    }
+
+    /// Absorbs up to `max` blocks the source holds beyond the current
+    /// tip, returning how many were absorbed (zero when already caught
+    /// up). Repeated [`Chain::extend_one`] — see there for the
+    /// durability contract.
+    ///
+    /// # Errors
+    ///
+    /// As [`Chain::extend_one`]; the chain keeps every block absorbed
+    /// before the failing one.
+    pub fn extend_batch(&mut self, max: u64) -> Result<u64, ChainError> {
+        let mut absorbed = 0;
+        while absorbed < max && self.tip_height() < self.source.len() {
+            self.extend_one()?;
+            absorbed += 1;
+        }
+        Ok(absorbed)
+    }
+
+    /// Hands out the live BMT builder, rebuilding it from stored span
+    /// hashes and recomputed span filters when no builder was retained —
+    /// the dyadic decomposition of the partial segment, widest first.
+    /// Returns `None` iff the policy commits no BMT.
+    pub(crate) fn take_or_rebuild_bmt_builder(&mut self) -> Result<Option<BmtBuilder>, ChainError> {
+        if !self.params.policy().bmt {
+            return Ok(None);
+        }
+        if let Some(builder) = self.bmt_builder.take() {
+            return Ok(Some(builder));
+        }
+        let tip = self.tip_height();
+        let m = self.params.segment_len();
+        let mut rem = tip % m;
+        let mut start = tip - rem + 1;
+        let mut stack = Vec::new();
+        while rem > 0 {
+            let width = 1u64 << (63 - rem.leading_zeros());
+            let (lo, hi) = (start, start + width - 1);
+            let hash = self.span_hash(lo, hi).ok_or(ChainError::Bmt(
+                lvq_merkle::BmtError::MalformedProof {
+                    reason: "missing span hash while resuming",
+                },
+            ))?;
+            let filter = self.span_filter(lo, hi)?;
+            stack.push((lo, hi, hash, filter));
+            start += width;
+            rem -= width;
+        }
+        Ok(Some(BmtBuilder::resume(
+            self.params.bloom(),
+            m,
+            1,
+            tip + 1,
+            stack,
+        )?))
     }
 
     /// The chain's configuration.
@@ -288,6 +396,16 @@ impl<S: BlockSource> Chain<S> {
     /// Height of the latest block (`0` for an empty chain).
     pub fn tip_height(&self) -> u64 {
         self.headers.len() as u64
+    }
+
+    /// Hash of the latest block's header ([`Hash256::ZERO`] for an
+    /// empty chain) — the value the next block's `prev_block` must
+    /// carry, so ingest pipelines can validate linkage before
+    /// persisting anything.
+    pub fn tip_hash(&self) -> Hash256 {
+        self.headers
+            .last()
+            .map_or(Hash256::ZERO, BlockHeader::block_hash)
     }
 
     /// The block at `height` (heights are 1-based, like the paper's
@@ -716,6 +834,102 @@ mod tests {
             // The trusted chain still passes a full validation.
             trusted.validate().unwrap();
         }
+    }
+
+    fn varied_blocks(policy: CommitmentPolicy, count: u64) -> (ChainParams, Vec<Block>, Chain) {
+        let params = ChainParams::new(BloomParams::new(128, 2).unwrap(), 8, policy).unwrap();
+        let mut builder = ChainBuilder::new(params).unwrap();
+        for h in 1..=count {
+            builder
+                .push_block(vec![Transaction::coinbase(
+                    Address::new(format!("1Miner{}", h % 3).as_str()),
+                    50,
+                    h as u32,
+                )])
+                .unwrap();
+        }
+        let built = builder.finish();
+        let blocks: Vec<Block> = (1..=count)
+            .map(|h| (*built.block(h).unwrap()).clone())
+            .collect();
+        (params, blocks, built)
+    }
+
+    #[test]
+    fn extend_matches_straight_build() {
+        for policy in [
+            CommitmentPolicy::strawman(),
+            CommitmentPolicy::lvq_without_bmt(),
+            CommitmentPolicy::lvq_without_smt(),
+            CommitmentPolicy::lvq(),
+        ] {
+            let (params, blocks, built) = varied_blocks(policy, 13);
+            let mut chain =
+                Chain::assemble_trusted(params, InMemoryBlocks::new(blocks[..9].to_vec())).unwrap();
+            // Caught up: nothing beyond the tip, extend_one refuses.
+            assert_eq!(chain.extend_batch(64).unwrap(), 0);
+            assert_eq!(
+                chain.extend_one().unwrap_err(),
+                ChainError::UnknownHeight { height: 10 }
+            );
+            for b in &blocks[9..] {
+                chain.source.blocks.push(Arc::new(b.clone()));
+            }
+            assert_eq!(chain.extend_one().unwrap(), 10);
+            assert_eq!(chain.extend_batch(64).unwrap(), 3);
+            assert_eq!(chain.tip_height(), 13);
+            assert_eq!(chain.headers(), built.headers());
+            assert_eq!(chain.span_hashes, built.span_hashes, "policy {policy:?}");
+            chain.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn extend_crosses_segment_boundary() {
+        // M = 8: extending 6 -> 10 closes segment one and opens the next.
+        let (params, blocks, built) = varied_blocks(CommitmentPolicy::lvq(), 10);
+        let mut chain =
+            Chain::assemble_trusted(params, InMemoryBlocks::new(blocks[..6].to_vec())).unwrap();
+        for b in &blocks[6..] {
+            chain.source.blocks.push(Arc::new(b.clone()));
+        }
+        assert_eq!(chain.extend_batch(u64::MAX).unwrap(), 4);
+        assert_eq!(chain.headers(), built.headers());
+        assert_eq!(chain.span_hashes, built.span_hashes);
+        chain.validate().unwrap();
+    }
+
+    #[test]
+    fn extend_rebuilds_a_dropped_bmt_builder() {
+        // A chain without a retained builder (e.g. reconstructed from
+        // storage by an older path) rebuilds it from span hashes.
+        let (params, blocks, built) = varied_blocks(CommitmentPolicy::lvq(), 13);
+        let mut chain =
+            Chain::assemble_trusted(params, InMemoryBlocks::new(blocks[..9].to_vec())).unwrap();
+        chain.bmt_builder = None;
+        for b in &blocks[9..] {
+            chain.source.blocks.push(Arc::new(b.clone()));
+        }
+        assert_eq!(chain.extend_batch(u64::MAX).unwrap(), 4);
+        assert_eq!(chain.headers(), built.headers());
+        assert_eq!(chain.span_hashes, built.span_hashes);
+        chain.validate().unwrap();
+    }
+
+    #[test]
+    fn extend_rejects_broken_chaining() {
+        let (params, blocks, _) = varied_blocks(CommitmentPolicy::lvq(), 10);
+        let mut chain =
+            Chain::assemble_trusted(params, InMemoryBlocks::new(blocks[..9].to_vec())).unwrap();
+        let mut bad = blocks[9].clone();
+        bad.header.prev_block = Hash256::hash(b"not the parent");
+        chain.source.blocks.push(Arc::new(bad));
+        assert_eq!(
+            chain.extend_one().unwrap_err(),
+            ChainError::BrokenChainLink { height: 10 }
+        );
+        // The rejected block is not absorbed.
+        assert_eq!(chain.tip_height(), 9);
     }
 
     #[test]

@@ -357,6 +357,10 @@ pub struct ServeOptions {
     pub deadline_ms: Option<u64>,
     /// Byte budget for the decoded-block LRU cache (`--store` only).
     pub block_cache: Option<usize>,
+    /// Chain file to follow while serving (`--store` only): blocks the
+    /// store does not have yet are ingested live, growing the served
+    /// tip while queries keep being answered.
+    pub follow: Option<String>,
 }
 
 impl ServeOptions {
@@ -377,6 +381,7 @@ impl ServeOptions {
         let mut store = None;
         let mut trusted = false;
         let mut block_cache = None;
+        let mut follow = None;
         let mut iter = args.iter();
         while let Some(arg) = iter.next() {
             let mut value = |name: &str| {
@@ -413,6 +418,7 @@ impl ServeOptions {
                     block_cache =
                         Some(parse_u64("--block-cache", &value("--block-cache")?)? as usize)
                 }
+                "--follow" => follow = Some(value("--follow")?),
                 other if !other.starts_with("--") => positional.push(other.to_string()),
                 other => return Err(CliError::Usage(format!("unknown flag '{other}'"))),
             }
@@ -433,6 +439,13 @@ impl ServeOptions {
                     return Err(CliError::Usage(
                         "--block-cache only applies with --store (a chain file \
                          is fully resident)"
+                            .into(),
+                    ));
+                }
+                if follow.is_some() {
+                    return Err(CliError::Usage(
+                        "--follow only applies with --store (live ingest needs \
+                         a durable store to append into)"
                             .into(),
                     ));
                 }
@@ -457,6 +470,7 @@ impl ServeOptions {
             queue,
             deadline_ms,
             block_cache,
+            follow,
         })
     }
 }
@@ -720,8 +734,14 @@ mod tests {
         assert!(matches!(&s.source, ServeSource::Store(dir) if dir == "dir"));
         assert_eq!(s.block_cache, Some(4096));
 
+        let s = ServeOptions::parse(&strings(&["--store", "dir", "--follow", "tip.lvq"])).unwrap();
+        assert!(matches!(&s.source, ServeSource::Store(dir) if dir == "dir"));
+        assert_eq!(s.follow.as_deref(), Some("tip.lvq"));
+
         // A file and a store are mutually exclusive sources.
         assert!(ServeOptions::parse(&strings(&["c.lvq", "--store", "dir"])).is_err());
+        // --follow needs a durable store to append into.
+        assert!(ServeOptions::parse(&strings(&["c.lvq", "--follow", "tip.lvq"])).is_err());
         // --trust-file is meaningless for a store.
         assert!(ServeOptions::parse(&strings(&["--store", "dir", "--trust-file"])).is_err());
         // --block-cache is meaningless for a fully resident file.

@@ -8,8 +8,9 @@ use lvq_bloom::BloomParams;
 use lvq_chain::{file as chain_file, Address, BlockSource, CacheConfig, CacheStats, Chain};
 use lvq_core::{Completeness, LightClient, Prover, SchemeConfig, VerifiedHistory};
 use lvq_node::{
-    FaultPlan, FaultyTransport, FullNode, LightNode, NodeServer, QueryRun, QuerySpec,
-    ReconnectingTcpTransport, Retrier, RetryPolicy, ServerConfig, Transport,
+    FaultPlan, FaultyTransport, FullNode, IngestConfig, LightNode, LiveNode, MemoryFeed,
+    NodeServer, QueryRun, QuerySpec, ReconnectingTcpTransport, Retrier, RetryPolicy, ServerConfig,
+    TipIngester, Transport,
 };
 use lvq_store::StoreConfig;
 use lvq_workload::{TrafficModel, WorkloadBuilder};
@@ -336,7 +337,8 @@ pub fn ingest(opts: &IngestOptions, out: &mut impl Write) -> Result<(), CliError
 
 /// `lvq serve`: answer queries over TCP until interrupted (or until
 /// `--max-requests` have been handled), from a loaded chain file or
-/// straight off an on-disk block store.
+/// straight off an on-disk block store — optionally following a chain
+/// file's tip live (`--store DIR --follow FILE`).
 pub fn serve(opts: &ServeOptions, out: &mut impl Write) -> Result<(), CliError> {
     match &opts.source {
         ServeSource::File { path, trusted } => {
@@ -348,29 +350,47 @@ pub fn serve(opts: &ServeOptions, out: &mut impl Write) -> Result<(), CliError> 
                 config.cache_bytes = bytes;
             }
             let (chain, report) = lvq_store::open_chain(dir, config)?;
-            if !report.is_clean() {
-                writeln!(
-                    out,
-                    "recovered    : {} re-indexed records, {} torn tail bytes truncated{}",
-                    report.recovered_records,
-                    report.truncated_tail_bytes,
-                    if report.rebuilt_index {
-                        ", index rebuilt"
-                    } else {
-                        ""
-                    }
-                )?;
+            print_recovery(&report, out)?;
+            match &opts.follow {
+                Some(follow) => serve_following(chain, follow, opts, out),
+                None => serve_chain(chain, opts, out),
             }
-            serve_chain(chain, opts, out)
         }
     }
 }
 
-fn serve_chain<S: BlockSource + 'static>(
-    mut chain: Chain<S>,
-    opts: &ServeOptions,
+/// One line per non-clean store open, naming every repair performed.
+fn print_recovery(
+    report: &lvq_store::RecoveryReport,
     out: &mut impl Write,
 ) -> Result<(), CliError> {
+    if report.is_clean() {
+        return Ok(());
+    }
+    writeln!(
+        out,
+        "recovered    : {} re-indexed records, {} torn tail bytes truncated{}{}",
+        report.recovered_records,
+        report.truncated_tail_bytes,
+        if report.rebuilt_index {
+            ", index rebuilt"
+        } else {
+            ""
+        },
+        if report.repaired_segment_header {
+            ", segment header repaired"
+        } else {
+            ""
+        }
+    )?;
+    Ok(())
+}
+
+/// Applies `--filter-cache`/`--smt-cache` and resolves the scheme.
+fn prepare_chain<S: BlockSource>(
+    chain: &mut Chain<S>,
+    opts: &ServeOptions,
+) -> Result<SchemeConfig, CliError> {
     let config = SchemeConfig::from_chain_params(chain.params())
         .ok_or_else(|| CliError::Usage("chain commitments match no known scheme".into()))?;
     if opts.filter_cache.is_some() || opts.smt_cache.is_some() {
@@ -380,8 +400,10 @@ fn serve_chain<S: BlockSource + 'static>(
             opts.smt_cache.unwrap_or(default.smt_cache_bytes),
         ));
     }
-    let blocks = chain.tip_height();
-    let full = Arc::new(FullNode::new(chain)?);
+    Ok(config)
+}
+
+fn server_config_from(opts: &ServeOptions) -> ServerConfig {
     let mut server_config = ServerConfig {
         workers: opts.workers,
         request_deadline: opts
@@ -393,6 +415,93 @@ fn serve_chain<S: BlockSource + 'static>(
     if let Some(queue) = opts.queue {
         server_config.accept_queue = queue;
     }
+    server_config
+}
+
+/// Sleeps until `--max-requests` is reached (forever without it).
+fn wait_for_max_requests<P: lvq_node::ServeNode>(server: &NodeServer<P>, opts: &ServeOptions) {
+    loop {
+        std::thread::sleep(Duration::from_millis(10));
+        if let Some(max) = opts.max_requests {
+            if server.stats().requests >= max {
+                return;
+            }
+        }
+    }
+}
+
+/// `lvq serve --store DIR --follow FILE`: serve from the store while a
+/// [`TipIngester`] appends the follow file's missing blocks into it,
+/// growing the served tip live.
+fn serve_following(
+    mut chain: Chain<lvq_store::DiskBlockSource>,
+    follow: &str,
+    opts: &ServeOptions,
+    out: &mut impl Write,
+) -> Result<(), CliError> {
+    let config = prepare_chain(&mut chain, opts)?;
+    // The follow file is a feed, not a trust anchor: checksum-only
+    // loading suffices because the ingester re-validates header
+    // linkage and the chain recomputes every commitment as it extends.
+    let follow_chain = chain_file::load_from_path_trusted(follow)?;
+    if follow_chain.params() != chain.params() {
+        return Err(CliError::Usage(format!(
+            "--follow {follow} carries different scheme parameters than the store"
+        )));
+    }
+    let target = follow_chain.tip_height();
+    let mut blocks = Vec::with_capacity(target as usize);
+    for h in 1..=target {
+        blocks.push((*follow_chain.block(h)?).clone());
+    }
+    drop(follow_chain);
+
+    let store = Arc::clone(chain.source().store());
+    let resume = chain.tip_height();
+    let live = Arc::new(LiveNode::new(FullNode::new(chain)?));
+    let server_config = server_config_from(opts);
+    let server = NodeServer::bind(Arc::clone(&live), opts.addr.as_str(), server_config)?;
+    let feed = MemoryFeed::new(blocks);
+    feed.publisher().publish_all();
+    let ingest = TipIngester::spawn(Arc::clone(&live), store, feed, IngestConfig::default());
+    server.attach_ingest(ingest.monitor());
+    writeln!(
+        out,
+        "serving {} blocks ({} scheme) with {} workers on {}, following {} to height {}",
+        resume,
+        config.scheme(),
+        server_config.effective_workers(),
+        server.local_addr(),
+        follow,
+        target
+    )?;
+    out.flush()?;
+
+    wait_for_max_requests(&server, opts);
+    let stats = server.shutdown();
+    let ingest_stats = ingest.stop()?;
+    writeln!(
+        out,
+        "ingested     : {} blocks in {} batches ({} retries), resumed at {}, tip {}",
+        ingest_stats.blocks_appended,
+        ingest_stats.batches,
+        ingest_stats.retries,
+        ingest_stats.resume_height,
+        ingest_stats.tip_height
+    )?;
+    let caches = live.with_node(|node| node.chain().cache_stats());
+    print_serve_report(&stats, &caches, out)
+}
+
+fn serve_chain<S: BlockSource + 'static>(
+    mut chain: Chain<S>,
+    opts: &ServeOptions,
+    out: &mut impl Write,
+) -> Result<(), CliError> {
+    let config = prepare_chain(&mut chain, opts)?;
+    let blocks = chain.tip_height();
+    let full = Arc::new(FullNode::new(chain)?);
+    let server_config = server_config_from(opts);
     let server = NodeServer::bind(Arc::clone(&full), opts.addr.as_str(), server_config)?;
     writeln!(
         out,
@@ -404,15 +513,17 @@ fn serve_chain<S: BlockSource + 'static>(
     )?;
     out.flush()?;
 
-    loop {
-        std::thread::sleep(Duration::from_millis(10));
-        if let Some(max) = opts.max_requests {
-            if server.stats().requests >= max {
-                break;
-            }
-        }
-    }
+    wait_for_max_requests(&server, opts);
     let stats = server.shutdown();
+    let caches = full.chain().cache_stats();
+    print_serve_report(&stats, &caches, out)
+}
+
+fn print_serve_report(
+    stats: &lvq_node::ServerStats,
+    caches: &lvq_chain::ChainCacheStats,
+    out: &mut impl Write,
+) -> Result<(), CliError> {
     writeln!(
         out,
         "served {} requests over {} connections ({} in, {} out, {} errors)",
@@ -446,7 +557,6 @@ fn serve_chain<S: BlockSource + 'static>(
         stats.latency.mean_us,
         stats.latency.count
     )?;
-    let caches = full.chain().cache_stats();
     let cache_cell = |s: &CacheStats| {
         format!(
             "{}h/{}m {} held",
@@ -832,6 +942,115 @@ mod tests {
         assert!(text.contains("caches       : filters "), "{text}");
         // A disk-backed server actually exercises the block cache.
         assert!(!text.contains("blocks 0h/0m"), "{text}");
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_store_following_a_chain_file_grows_the_tip() {
+        let path = temp_path("follow.lvq");
+        let dir = temp_path("follow-store");
+        std::fs::remove_dir_all(&dir).ok();
+        run(
+            &strings(&[
+                "generate",
+                "--out",
+                &path,
+                "--blocks",
+                "16",
+                "--txs",
+                "4",
+                "--segment",
+                "8",
+                "--bf",
+                "256",
+                "--probe",
+                "1FollowProbe:4:3",
+            ]),
+            &mut Vec::new(),
+        )
+        .unwrap();
+
+        // Persist only the first 6 blocks: the store lags the file by
+        // 10, which the follow ingester must close while serving.
+        let truth = chain_file::load_from_path_trusted(&path).unwrap();
+        {
+            let store = lvq_store::BlockStore::create(&dir, truth.params(), StoreConfig::default())
+                .unwrap();
+            for h in 1..=6 {
+                store.append(&truth.block(h).unwrap()).unwrap();
+            }
+        }
+
+        let server_out = SharedBuf::default();
+        let server_thread = {
+            let mut out = server_out.clone();
+            let dir = dir.clone();
+            let path = path.clone();
+            std::thread::spawn(move || {
+                run(
+                    &strings(&[
+                        "serve",
+                        "--store",
+                        &dir,
+                        "--follow",
+                        &path,
+                        "--addr",
+                        "127.0.0.1:0",
+                        "--max-requests",
+                        "3",
+                        "--workers",
+                        "2",
+                    ]),
+                    &mut out,
+                )
+                .unwrap();
+            })
+        };
+        let banner = loop {
+            if let Some(line) = server_out.text().lines().find(|l| l.starts_with("serving")) {
+                break line.to_string();
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        };
+        assert!(banner.contains("serving 6 blocks"), "{banner}");
+        assert!(banner.contains("to height 16"), "{banner}");
+        let addr = banner
+            .split(" on ")
+            .nth(1)
+            .unwrap()
+            .split(',')
+            .next()
+            .unwrap()
+            .to_string();
+
+        // Give the ingester a moment to close the 10-block gap, then
+        // query: the client must see the grown tip, not the frozen one.
+        std::thread::sleep(std::time::Duration::from_millis(500));
+        let mut out = Vec::new();
+        run(
+            &strings(&[
+                "query",
+                "1FollowProbe",
+                "--addr",
+                &addr,
+                "--segment",
+                "8",
+                "--bf",
+                "256",
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("synced       : 16 headers"), "{text}");
+        assert!(text.contains("transactions : 4"), "{text}");
+
+        server_thread.join().unwrap();
+        let text = server_out.text();
+        assert!(text.contains("ingested     : 10 blocks in"), "{text}");
+        assert!(text.contains("resumed at 6, tip 16"), "{text}");
 
         std::fs::remove_file(&path).ok();
         std::fs::remove_dir_all(&dir).ok();

@@ -26,6 +26,8 @@ pub enum CliError {
     Node(lvq_node::NodeError),
     /// On-disk block store problems.
     Store(lvq_store::StoreError),
+    /// The follow-the-tip ingest pipeline died.
+    Ingest(lvq_node::IngestError),
 }
 
 impl fmt::Display for CliError {
@@ -40,6 +42,7 @@ impl fmt::Display for CliError {
             CliError::Verify(e) => write!(f, "verification: {e}"),
             CliError::Node(e) => write!(f, "node: {e}"),
             CliError::Store(e) => write!(f, "store: {e}"),
+            CliError::Ingest(e) => write!(f, "ingest: {e}"),
         }
     }
 }
@@ -55,6 +58,7 @@ impl Error for CliError {
             CliError::Verify(e) => Some(e),
             CliError::Node(e) => Some(e),
             CliError::Store(e) => Some(e),
+            CliError::Ingest(e) => Some(e),
             CliError::Usage(_) => None,
         }
     }
@@ -105,5 +109,11 @@ impl From<lvq_node::NodeError> for CliError {
 impl From<lvq_store::StoreError> for CliError {
     fn from(e: lvq_store::StoreError) -> Self {
         CliError::Store(e)
+    }
+}
+
+impl From<lvq_node::IngestError> for CliError {
+    fn from(e: lvq_node::IngestError) -> Self {
+        CliError::Ingest(e)
     }
 }

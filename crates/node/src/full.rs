@@ -2,7 +2,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use lvq_chain::{BlockSource, Chain, ChainCacheStats, InMemoryBlocks};
+use lvq_chain::{BlockSource, Chain, ChainCacheStats, ChainError, InMemoryBlocks};
 use lvq_codec::Encodable;
 use lvq_core::{Prover, ProverStats, SchemeConfig};
 use parking_lot::Mutex;
@@ -139,6 +139,24 @@ impl<S: BlockSource> FullNode<S> {
             last: *self.last_stats.lock(),
             cache: self.chain.cache_stats(),
         }
+    }
+
+    /// Absorbs up to `max` blocks the node's block source has gained
+    /// since the chain was assembled (see [`Chain::extend_batch`]),
+    /// returning how many were absorbed.
+    ///
+    /// Takes `&mut self`, so a node serving concurrent readers cannot
+    /// extend in place — wrap it in a [`crate::LiveNode`], whose
+    /// reader-writer discipline is exactly this method behind a write
+    /// lock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ChainError`] from the source or from a block whose
+    /// `prev_block` does not chain onto the current tip; the chain is
+    /// left at the last successfully absorbed height.
+    pub fn extend_batch(&mut self, max: u64) -> Result<u64, ChainError> {
+        self.chain.extend_batch(max)
     }
 
     /// Classifies and handles one encoded request.

@@ -11,6 +11,11 @@
 //! * [`FullNode`] — owns a [`lvq_chain::Chain`] and answers
 //!   [`Message::QueryRequest`]s with proofs from [`lvq_core::Prover`];
 //!   `Sync`, so one node can serve many concurrent connections;
+//! * [`LiveNode`] / [`TipIngester`] — the follow-the-tip pair: a full
+//!   node behind a reader-writer lock so every query proves against a
+//!   pinned tip, plus the background ingest thread that appends new
+//!   blocks to an `lvq-store` [`lvq_store::BlockStore`] and extends
+//!   the chain while the server keeps answering;
 //! * [`LightNode`] — stores only headers, issues requests over any
 //!   [`Transport`], and verifies responses with
 //!   [`lvq_core::LightClient`];
@@ -61,7 +66,9 @@ mod bandwidth;
 mod faults;
 pub mod frame;
 mod full;
+mod ingest;
 mod light;
+mod live;
 mod message;
 mod pipe;
 mod quorum;
@@ -69,12 +76,19 @@ mod reconnect;
 mod retry;
 mod server;
 mod tcp;
+#[cfg(test)]
+mod testutil;
 mod transport;
 
 pub use bandwidth::BandwidthModel;
 pub use faults::{FaultPlan, FaultStats, FaultyTransport};
 pub use full::{FullNode, Handled, QueryEngineStats, RequestKind};
+pub use ingest::{
+    BlockFeed, FeedError, FeedPublisher, FlakyFeed, IngestConfig, IngestError, IngestHandle,
+    IngestMonitor, IngestStats, MemoryFeed, TipIngester,
+};
 pub use light::{BatchQueryOutcome, LightNode, QueryOutcome, QueryRun, QuerySpec};
+pub use live::LiveNode;
 pub use message::{Message, NodeError, WireError, WireErrorCode, PROTOCOL_VERSION};
 pub use pipe::{MeteredPipe, Traffic};
 pub use quorum::{
@@ -82,7 +96,7 @@ pub use quorum::{
     QuorumBatchOutcome, QuorumOutcome, QuorumReport,
 };
 pub use reconnect::ReconnectingTcpTransport;
-pub use retry::{Retrier, RetryPolicy, RetryStats};
+pub use retry::{ResyncOutcome, Retrier, RetryPolicy, RetryStats};
 pub use server::{
     LatencySummary, NodeServer, RequestCounters, ServeNode, ServerConfig, ServerStats,
 };

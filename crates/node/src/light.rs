@@ -313,7 +313,11 @@ impl LightNode {
     /// After a connection-shaped transient (disconnect, timeout, I/O)
     /// the node re-checks the peer's tip with [`LightNode::sync_new`]
     /// before retrying, so a peer that restarted with a longer chain
-    /// still produces proofs this node can verify.
+    /// still produces proofs this node can verify. Each re-check's
+    /// typed outcome ([`crate::ResyncOutcome`]: synced N headers,
+    /// peer-behind, or failed) is recorded in the retrier's
+    /// [`crate::RetryStats`] — a failed re-check never fails the
+    /// operation on its own, but it is no longer silent either.
     ///
     /// # Errors
     ///
@@ -325,13 +329,16 @@ impl LightNode {
         transport: &mut T,
         retrier: &mut crate::retry::Retrier,
     ) -> Result<QueryRun, NodeError> {
+        use crate::retry::ResyncOutcome;
+
         let mut resync = false;
-        retrier.run(|_attempt| {
+        retrier.run_ctx(|_attempt, stats| {
             if std::mem::take(&mut resync) {
-                // Best-effort tip re-check: the peer may have restarted
-                // with a longer chain. A failure here is folded into
-                // the query retry rather than surfaced on its own.
-                let _ = self.sync_new(transport);
+                stats.record_resync(match self.sync_new(transport) {
+                    Ok(0) => ResyncOutcome::PeerBehind,
+                    Ok(headers) => ResyncOutcome::Synced(headers),
+                    Err(_) => ResyncOutcome::Failed,
+                });
             }
             let outcome = self.run(spec, transport);
             if matches!(
@@ -870,6 +877,91 @@ mod tests {
             .is_err());
         assert_eq!(retrier.stats().attempts, 1);
         assert_eq!(retrier.stats().fatal, 1);
+    }
+
+    #[test]
+    fn run_with_retry_records_typed_resync_outcomes() {
+        use crate::retry::{ResyncOutcome, Retrier, RetryPolicy};
+        use std::cell::Cell;
+        use std::time::Duration;
+
+        let config = config_for(Scheme::Lvq);
+        let build = |blocks: u64| {
+            let mut builder = ChainBuilder::new(config.chain_params()).unwrap();
+            for h in 1..=blocks {
+                builder
+                    .push_block(vec![Transaction::coinbase(
+                        Address::new("1Miner"),
+                        50,
+                        h as u32,
+                    )])
+                    .unwrap();
+            }
+            FullNode::new(builder.finish()).unwrap()
+        };
+        let short = build(6);
+        let grown = build(10);
+        let policy =
+            RetryPolicy::new(5).backoff(Duration::from_micros(10), Duration::from_micros(50));
+        let spec = QuerySpec::address(Address::new("1Miner"));
+
+        let mut light = LightNode::sync_from(&mut LocalTransport::new(&short), config).unwrap();
+        assert_eq!(light.client().tip_height(), 6);
+
+        // The grown peer drops the first query; the retry's tip
+        // re-check must surface the four new headers, typed.
+        let drops = Cell::new(1u32);
+        let flaky = |req: &[u8]| -> Result<Vec<u8>, NodeError> {
+            let is_query = matches!(
+                decode_exact::<Message>(req),
+                Ok(Message::QueryRequest { .. } | Message::BatchQueryRequest { .. })
+            );
+            if is_query && drops.get() > 0 {
+                drops.set(drops.get() - 1);
+                return Err(NodeError::Disconnected { context: "test" });
+            }
+            grown.handle(req)
+        };
+        let mut peer = LocalTransport::new(flaky);
+        let mut retrier = Retrier::new(policy, 21);
+        let run = light
+            .run_with_retry(&spec, &mut peer, &mut retrier)
+            .unwrap();
+        assert_eq!(run.histories[0].transactions.len(), 10);
+        let stats = retrier.stats();
+        assert_eq!(stats.resyncs, 1);
+        assert_eq!(stats.resync_headers, 4);
+        assert_eq!(stats.last_resync, Some(ResyncOutcome::Synced(4)));
+
+        // Already at the peer's tip: the next re-check is peer-behind.
+        drops.set(1);
+        let mut retrier = Retrier::new(policy, 22);
+        light
+            .run_with_retry(&spec, &mut peer, &mut retrier)
+            .unwrap();
+        assert_eq!(retrier.stats().resyncs_peer_behind, 1);
+        assert_eq!(retrier.stats().last_resync, Some(ResyncOutcome::PeerBehind));
+
+        // A re-check that itself fails is recorded — not silent, and
+        // not fatal: the operation still succeeds once the peer heals.
+        let failures = Cell::new(2u32); // first query, then the re-check
+        let flaky2 = |req: &[u8]| -> Result<Vec<u8>, NodeError> {
+            if failures.get() > 0 {
+                failures.set(failures.get() - 1);
+                return Err(NodeError::Disconnected { context: "test" });
+            }
+            grown.handle(req)
+        };
+        let mut peer2 = LocalTransport::new(flaky2);
+        let mut retrier = Retrier::new(policy, 23);
+        let run = light
+            .run_with_retry(&spec, &mut peer2, &mut retrier)
+            .unwrap();
+        assert_eq!(run.histories[0].transactions.len(), 10);
+        let stats = retrier.stats();
+        assert_eq!(stats.resyncs, 1);
+        assert_eq!(stats.resyncs_failed, 1);
+        assert_eq!(stats.last_resync, Some(ResyncOutcome::Failed));
     }
 
     #[test]

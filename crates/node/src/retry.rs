@@ -101,6 +101,18 @@ impl RetryPolicy {
     }
 }
 
+/// What one best-effort tip re-check (the `sync_new` a retrying client
+/// performs after a connection-shaped transient) actually found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResyncOutcome {
+    /// The peer served this many new headers (always non-zero).
+    Synced(u64),
+    /// The peer reported nothing above our tip — at or behind us.
+    PeerBehind,
+    /// The re-check itself failed; the query retry proceeds regardless.
+    Failed,
+}
+
 /// Counters of what a [`Retrier`] actually did, for reporting.
 ///
 /// Everything here is deterministic under a fixed seed and policy
@@ -121,6 +133,29 @@ pub struct RetryStats {
     pub fatal: u64,
     /// Total time slept in backoff.
     pub backoff_total: Duration,
+    /// Tip re-checks performed after connection-shaped transients.
+    pub resyncs: u64,
+    /// New headers gained across all re-checks.
+    pub resync_headers: u64,
+    /// Re-checks that found the peer at or behind our tip.
+    pub resyncs_peer_behind: u64,
+    /// Re-checks that themselves failed (never fatal on their own).
+    pub resyncs_failed: u64,
+    /// Outcome of the most recent re-check, `None` before the first.
+    pub last_resync: Option<ResyncOutcome>,
+}
+
+impl RetryStats {
+    /// Folds one tip re-check into the counters.
+    pub fn record_resync(&mut self, outcome: ResyncOutcome) {
+        self.resyncs += 1;
+        match outcome {
+            ResyncOutcome::Synced(headers) => self.resync_headers += headers,
+            ResyncOutcome::PeerBehind => self.resyncs_peer_behind += 1,
+            ResyncOutcome::Failed => self.resyncs_failed += 1,
+        }
+        self.last_resync = Some(outcome);
+    }
 }
 
 /// Drives operations under a [`RetryPolicy`] with a seeded jitter
@@ -187,6 +222,21 @@ impl Retrier {
     where
         F: FnMut(u32) -> Result<R, NodeError>,
     {
+        self.run_ctx(|attempt, _| op(attempt))
+    }
+
+    /// Like [`Retrier::run`], but the operation also receives the live
+    /// [`RetryStats`] so it can record side observations (e.g.
+    /// [`RetryStats::record_resync`]) while the retrier itself is
+    /// mutably borrowed by the loop.
+    ///
+    /// # Errors
+    ///
+    /// As [`Retrier::run`].
+    pub fn run_ctx<R, F>(&mut self, mut op: F) -> Result<R, NodeError>
+    where
+        F: FnMut(u32, &mut RetryStats) -> Result<R, NodeError>,
+    {
         let started = Instant::now();
         self.stats.operations += 1;
         let mut prev_sleep = self.policy.base_backoff;
@@ -195,7 +245,7 @@ impl Retrier {
             if attempt > 1 {
                 self.stats.retries += 1;
             }
-            let error = match op(attempt) {
+            let error = match op(attempt, &mut self.stats) {
                 Ok(value) => return Ok(value),
                 Err(e) => e,
             };

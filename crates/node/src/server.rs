@@ -29,6 +29,7 @@ use lvq_codec::Encodable;
 
 use crate::frame::{read_frame_or_event, write_frame, FrameEvent, MAX_FRAME_LEN};
 use crate::full::{FullNode, Handled, RequestKind};
+use crate::ingest::{IngestMonitor, IngestStats};
 use crate::message::{Message, NodeError, WireError, WireErrorCode};
 
 /// How often parked workers and the acceptor re-check the stop flag.
@@ -187,6 +188,10 @@ pub struct ServerStats {
     pub by_kind: RequestCounters,
     /// Latency digest of successfully answered requests.
     pub latency: LatencySummary,
+    /// Counters of the ingest pipeline growing the served chain, when
+    /// one is attached ([`NodeServer::attach_ingest`]); all zeros for a
+    /// frozen-chain server.
+    pub ingest: IngestStats,
 }
 
 /// Lock-free log₂-bucketed histogram of microsecond latencies.
@@ -281,6 +286,8 @@ struct Shared<P> {
     /// One counter per [`RequestKind`], indexed by `kind_index`.
     by_kind: [AtomicU64; 5],
     latency: LatencyHistogram,
+    /// Counters of an attached ingest pipeline, if any.
+    ingest: parking_lot::Mutex<Option<IngestMonitor>>,
 }
 
 fn kind_index(kind: RequestKind) -> usize {
@@ -314,6 +321,12 @@ impl<P> Shared<P> {
                 invalid: kind(RequestKind::Invalid),
             },
             latency: self.latency.summary(),
+            ingest: self
+                .ingest
+                .lock()
+                .as_ref()
+                .map(IngestMonitor::snapshot)
+                .unwrap_or_default(),
         }
     }
 }
@@ -404,6 +417,7 @@ impl<P: ServeNode> NodeServer<P> {
             queue_highwater: AtomicU64::new(0),
             by_kind: std::array::from_fn(|_| AtomicU64::new(0)),
             latency: LatencyHistogram::new(),
+            ingest: parking_lot::Mutex::new(None),
         });
         let (tx, rx) = channel::bounded::<TcpStream>(config.accept_queue.max(1));
 
@@ -436,6 +450,14 @@ impl<P: ServeNode> NodeServer<P> {
     /// Live counters (callable while serving).
     pub fn stats(&self) -> ServerStats {
         self.shared.stats()
+    }
+
+    /// Attaches the counters of an ingest pipeline growing this
+    /// server's chain ([`crate::IngestHandle::monitor`]), so
+    /// [`ServerStats::ingest`] reports ingest progress alongside the
+    /// serving counters.
+    pub fn attach_ingest(&self, monitor: IngestMonitor) {
+        *self.shared.ingest.lock() = Some(monitor);
     }
 
     /// The served node, e.g. to read [`FullNode::engine_stats`]

@@ -1,0 +1,95 @@
+//! Shared helpers for the crate's unit tests.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use lvq_bloom::BloomParams;
+use lvq_chain::{Address, Block, ChainBuilder, Transaction};
+use lvq_core::{Scheme, SchemeConfig};
+use lvq_store::{BlockStore, DiskBlockSource, StoreConfig};
+
+use crate::full::FullNode;
+use crate::live::LiveNode;
+
+static NEXT_DIR: AtomicU64 = AtomicU64::new(0);
+
+/// A unique temp directory removed on drop.
+pub struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    pub fn new(tag: &str) -> Self {
+        let n = NEXT_DIR.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("lvq-node-{tag}-{}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        ScratchDir(dir)
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+/// A live node serving the first `assembled` of `total` ground-truth
+/// blocks off a disk store — the serve-while-growing setup shared by
+/// the live-node and ingest tests.
+pub struct LiveFixture {
+    pub scratch: ScratchDir,
+    pub live: Arc<LiveNode<DiskBlockSource>>,
+    pub store: Arc<BlockStore>,
+    /// The full ground-truth sequence, heights `1..=total`.
+    pub blocks: Vec<Block>,
+    pub assembled: u64,
+}
+
+impl LiveFixture {
+    /// The not-yet-persisted tail, heights `assembled + 1..=total`.
+    pub fn pending(&self) -> &[Block] {
+        &self.blocks[self.assembled as usize..]
+    }
+}
+
+pub fn live_fixture(tag: &str, assembled: u64, total: u64) -> LiveFixture {
+    let config = SchemeConfig::new(Scheme::Lvq, BloomParams::new(128, 2).unwrap(), 16).unwrap();
+    let mut builder = ChainBuilder::new(config.chain_params()).unwrap();
+    for h in 1..=total {
+        let mut txs = vec![Transaction::coinbase(Address::new("1Miner"), 50, h as u32)];
+        if h % 3 == 0 {
+            txs.push(Transaction::coinbase(
+                Address::new("1Sparse"),
+                1,
+                (1000 + h) as u32,
+            ));
+        }
+        builder.push_block(txs).unwrap();
+    }
+    let truth = builder.finish();
+    let blocks: Vec<Block> = (1..=total)
+        .map(|h| (*truth.block(h).unwrap()).clone())
+        .collect();
+
+    let scratch = ScratchDir::new(tag);
+    let store = BlockStore::create(scratch.path(), truth.params(), StoreConfig::default()).unwrap();
+    for block in &blocks[..assembled as usize] {
+        store.append(block).unwrap();
+    }
+    drop(store);
+    let (chain, report) = lvq_store::open_chain(scratch.path(), StoreConfig::default()).unwrap();
+    assert!(report.is_clean());
+    let store = Arc::clone(chain.source().store());
+    let live = Arc::new(LiveNode::new(FullNode::new(chain).unwrap()));
+    LiveFixture {
+        scratch,
+        live,
+        store,
+        blocks,
+        assembled,
+    }
+}

@@ -81,7 +81,10 @@ impl Default for StoreConfig {
 /// What [`BlockStore::open`] had to repair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RecoveryReport {
-    /// Bytes of torn tail truncated from the last segment.
+    /// Bytes of torn tail truncated — a partial final record, or a
+    /// partial final segment *header* torn mid-rotation. Zero when the
+    /// last segment ended exactly on a record boundary (a clean end),
+    /// even if unindexed records had to be re-adopted.
     pub truncated_tail_bytes: u64,
     /// Records re-adopted from segment tails that the stored index did
     /// not cover (e.g. appended after the last `sync`).
@@ -89,6 +92,12 @@ pub struct RecoveryReport {
     /// The index file was missing, stale, or corrupt and was rebuilt by
     /// scanning the segments.
     pub rebuilt_index: bool,
+    /// The final segment file was shorter than its 12-byte header (a
+    /// crash between creating the file at rotation and writing its
+    /// header) and was re-initialised in place. It cannot have held any
+    /// records, so the index — which never covered the unborn segment —
+    /// is not implicated.
+    pub repaired_segment_header: bool,
 }
 
 impl RecoveryReport {
@@ -267,12 +276,14 @@ impl BlockStore {
         // place (it cannot have held any records).
         let last = segment_count - 1;
         let last_path = dir.join(segment_file_name(last));
-        if fs::metadata(&last_path)?.len() < SEGMENT_HEADER_LEN {
+        let last_len = fs::metadata(&last_path)?.len();
+        if last_len < SEGMENT_HEADER_LEN {
             let mut f = OpenOptions::new().write(true).open(&last_path)?;
             f.set_len(0)?;
             f.write_all(&segment_header(last))?;
             f.sync_all()?;
-            report.rebuilt_index = true;
+            report.truncated_tail_bytes += last_len;
+            report.repaired_segment_header = true;
         }
 
         let mut segments = Vec::with_capacity(segment_count as usize);
@@ -342,7 +353,7 @@ impl BlockStore {
                                 detail: "torn record before the final segment",
                             });
                         }
-                        report.truncated_tail_bytes = file_len - offset;
+                        report.truncated_tail_bytes += file_len - offset;
                         let f = OpenOptions::new().write(true).open(&handle.path)?;
                         f.set_len(offset)?;
                         f.sync_all()?;

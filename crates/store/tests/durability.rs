@@ -167,6 +167,96 @@ fn torn_header_recovers_too() {
 }
 
 #[test]
+fn torn_tail_on_exact_record_boundary_reports_clean_end() {
+    // A torn append whose bytes never reached the disk at all leaves
+    // the segment ending exactly on a record boundary. That is a clean
+    // end: the report must show zero truncated bytes even though the
+    // over-long stale index forces a rebuild.
+    let chain = build_chain(6, 17);
+    let scratch = ScratchDir::new("boundary");
+    let config = small_segments(64 * 1024);
+    drop(ingest_chain(&chain, scratch.path(), config).unwrap());
+
+    // Cut the file back to the end of record 4 — exactly a boundary.
+    let seg = last_segment_path(scratch.path());
+    let full = fs::read(&seg).unwrap();
+    let mut offset = 12u64; // segment header
+    for _ in 0..4 {
+        let at = offset as usize;
+        let len = u32::from_le_bytes(full[at..at + 4].try_into().unwrap());
+        offset += 8 + len as u64;
+    }
+    OpenOptions::new()
+        .write(true)
+        .open(&seg)
+        .unwrap()
+        .set_len(offset)
+        .unwrap();
+
+    let (store, report) = BlockStore::open(scratch.path(), config).unwrap();
+    assert_eq!(
+        report.truncated_tail_bytes, 0,
+        "a record-boundary end is clean, nothing was torn: {report:?}"
+    );
+    assert!(!report.repaired_segment_header);
+    assert!(
+        report.rebuilt_index,
+        "the stale index covers records past end-of-file"
+    );
+    assert_eq!(store.len(), 4);
+    assert_eq!(store.verify_all().unwrap(), 4);
+}
+
+#[test]
+fn torn_segment_header_at_rollover_reports_torn_tail_not_rebuilt_index() {
+    // A crash between creating `segment-0001.blk` at rotation and
+    // writing its 12-byte header leaves a short file. That is a torn
+    // tail of the store — the index, which never covered the unborn
+    // segment, is NOT rebuilt.
+    let chain = build_chain(5, 23);
+    let scratch = ScratchDir::new("rollover-torn");
+    let config = small_segments(64 * 1024);
+    drop(ingest_chain(&chain, scratch.path(), config).unwrap());
+
+    fs::write(scratch.path().join("segment-0001.blk"), [0xAB; 5]).unwrap();
+
+    let (store, report) = BlockStore::open(scratch.path(), config).unwrap();
+    assert!(report.repaired_segment_header);
+    assert_eq!(report.truncated_tail_bytes, 5);
+    assert!(!report.rebuilt_index, "the index is still a valid prefix");
+    assert!(!report.is_clean());
+    assert_eq!(store.len(), 5);
+
+    // The repaired segment is a first-class tail: appends land in it.
+    assert_eq!(store.append(&chain.block(1).unwrap()).unwrap(), 6);
+    assert_eq!(store.verify_all().unwrap(), 6);
+    drop(store);
+    let (_, report) = BlockStore::open(scratch.path(), config).unwrap();
+    assert!(report.is_clean(), "repair is durable: {report:?}");
+}
+
+#[test]
+fn empty_segment_file_at_rollover_is_repaired_and_reported() {
+    // Same crash, even earlier: the file exists but holds zero bytes.
+    // Nothing was truncated, but the open must still say it repaired
+    // the header rather than claiming a perfectly clean end.
+    let chain = build_chain(4, 29);
+    let scratch = ScratchDir::new("rollover-empty");
+    let config = small_segments(64 * 1024);
+    drop(ingest_chain(&chain, scratch.path(), config).unwrap());
+
+    fs::write(scratch.path().join("segment-0001.blk"), []).unwrap();
+
+    let (store, report) = BlockStore::open(scratch.path(), config).unwrap();
+    assert!(report.repaired_segment_header);
+    assert_eq!(report.truncated_tail_bytes, 0);
+    assert!(!report.rebuilt_index);
+    assert!(!report.is_clean());
+    assert_eq!(store.len(), 4);
+    assert_eq!(store.verify_all().unwrap(), 4);
+}
+
+#[test]
 fn stale_index_readopts_tail_records() {
     let chain = build_chain(8, 11);
     let scratch = ScratchDir::new("stale-index");
