@@ -5,7 +5,8 @@
 //!
 //! experiments: all, table1, table2, table3, fig12, fig13, fig14,
 //!              fig15, fig16, storage, ksweep, latency, throughput,
-//!              concurrent, pool, quorum, coldstart, chaos, ingest
+//!              concurrent, pool, quorum, coldstart, chaos, ingest,
+//!              reopen
 //! ```
 //!
 //! `fig13`/`fig14`/`fig15` share one filter-size sweep; asking for any
@@ -16,7 +17,7 @@ use std::time::Instant;
 
 use lvq_bench::experiments::{
     bf_sweep, chaos, coldstart, concurrent, fig12, fig16, ingest, k_sweep, latency, pool, quorum,
-    storage, tables, throughput,
+    reopen, storage, tables, throughput,
 };
 use lvq_bench::Scale;
 
@@ -54,7 +55,7 @@ fn parse_args() -> Result<Options, String> {
 }
 
 const USAGE: &str =
-    "usage: repro <all|table1|table2|table3|fig12|fig13|fig14|fig15|fig16|storage|ksweep|latency|throughput|concurrent|pool|quorum|coldstart|chaos|ingest> \
+    "usage: repro <all|table1|table2|table3|fig12|fig13|fig14|fig15|fig16|storage|ksweep|latency|throughput|concurrent|pool|quorum|coldstart|chaos|ingest|reopen> \
                      [--scale small|paper] [--seed N]";
 
 fn main() -> ExitCode {
@@ -165,6 +166,11 @@ fn main() -> ExitCode {
     if want("ingest") {
         matched = true;
         println!("{}", ingest::run(opts.scale, opts.seed));
+        println!();
+    }
+    if want("reopen") {
+        matched = true;
+        println!("{}", reopen::run(opts.scale, opts.seed));
         println!();
     }
 

@@ -11,6 +11,7 @@ pub mod k_sweep;
 pub mod latency;
 pub mod pool;
 pub mod quorum;
+pub mod reopen;
 pub mod storage;
 pub mod tables;
 pub mod throughput;

@@ -102,7 +102,7 @@ impl ChainBuilder {
 
         let Chain {
             source,
-            addr_counts,
+            tables,
             span_hashes,
             ..
         } = chain;
@@ -110,7 +110,7 @@ impl ChainBuilder {
         Ok(ChainBuilder {
             params,
             blocks,
-            addr_counts,
+            addr_counts: tables.into_tables(),
             span_hashes,
             bmt_builder,
             prev_hash,

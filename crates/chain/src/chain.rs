@@ -18,6 +18,7 @@ use crate::error::ChainError;
 use crate::header::BlockHeader;
 use crate::params::{CacheConfig, ChainParams};
 use crate::source::{BlockSource, InMemoryBlocks};
+use crate::tables::{InMemoryTables, SpanRecord, TableSource, TableUpdate};
 
 /// Hit/miss and occupancy counters of one of the chain's memo caches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -54,6 +55,9 @@ pub struct ChainCacheStats {
     /// The block source's own cache (all zeros for a fully in-memory
     /// source, which never misses and never caches).
     pub blocks: CacheStats,
+    /// The table source's index node cache (all zeros for the
+    /// in-memory table source, which keeps everything resident).
+    pub index_nodes: CacheStats,
 }
 
 /// A bounded FIFO memo cache with hit/miss counters.
@@ -145,27 +149,30 @@ impl<K: Eq + Hash + Copy, V: Clone> MemoCache<K, V> {
 }
 
 /// An assembled blockchain: blocks at heights `1..=tip` behind a
-/// [`BlockSource`], pre-computed per-block address tables, and the hash
-/// of every dyadic BMT span.
+/// [`BlockSource`], per-block address tables behind a [`TableSource`],
+/// and the hash of every dyadic BMT span.
 ///
-/// Headers, address tables, and span hashes always live in memory — they
-/// are the derived state every query touches. The blocks themselves sit
-/// behind the source type parameter: [`InMemoryBlocks`] (the default,
-/// what [`crate::ChainBuilder`] produces) keeps them all deserialized,
-/// while a disk-backed source materializes them lazily through a bounded
-/// cache.
+/// Headers and span hashes always live in memory — they are small and
+/// every query touches them. The blocks sit behind the `S` parameter:
+/// [`InMemoryBlocks`] (the default, what [`crate::ChainBuilder`]
+/// produces) keeps them all deserialized, while a disk-backed source
+/// materializes them lazily through a bounded cache. The per-block
+/// address tables sit behind the `T` parameter the same way:
+/// [`InMemoryTables`] keeps them all resident, while a persistent
+/// authenticated index serves them from point reads.
 ///
 /// Bloom filters are *not* stored (a 4,096-block chain of 500 KB filters
 /// would need 2 GB); they are recomputed from the address tables on
 /// demand through a bounded cache. Recomputation is exact: a filter is a
 /// pure function of the address set and the shared [`lvq_bloom::BloomParams`].
 #[derive(Debug)]
-pub struct Chain<S: BlockSource = InMemoryBlocks> {
+pub struct Chain<S: BlockSource = InMemoryBlocks, T: TableSource = InMemoryTables> {
     pub(crate) params: ChainParams,
     /// Every block header, heights 1-based.
     pub(crate) headers: Vec<BlockHeader>,
-    /// Sorted `(address, distinct-tx count)` per block, heights 1-based.
-    pub(crate) addr_counts: Vec<Arc<Vec<(Address, u64)>>>,
+    /// Per-block sorted `(address, distinct-tx count)` tables; always
+    /// consistent with `headers` (`tables.len() == headers.len()`).
+    pub(crate) tables: T,
     /// BMT node hash for every finalised dyadic span `(lo, hi)`.
     pub(crate) span_hashes: HashMap<(u64, u64), Hash256>,
     /// Block storage.
@@ -195,7 +202,7 @@ impl Chain {
         Chain {
             params,
             headers,
-            addr_counts,
+            tables: InMemoryTables::from_tables(addr_counts),
             span_hashes,
             source: InMemoryBlocks::new(blocks),
             bmt_builder,
@@ -258,10 +265,61 @@ impl<S: BlockSource> Chain<S> {
         Ok(Chain {
             params,
             headers,
-            addr_counts,
+            tables: InMemoryTables::from_tables(addr_counts),
             span_hashes,
             source,
             bmt_builder,
+            filter_cache: Mutex::new(MemoCache::new(cache.filter_cache_bytes)),
+            smt_cache: Mutex::new(MemoCache::new(cache.smt_cache_bytes)),
+        })
+    }
+}
+
+impl<S: BlockSource, T: TableSource> Chain<S, T> {
+    /// Reassembles a chain from already-verified restored state: headers
+    /// and span hashes (from a trusted on-disk record), a block source,
+    /// and a table source that is consistent with exactly
+    /// `headers.len()` blocks. Nothing is replayed; callers absorb any
+    /// delta the source holds beyond the restored tip with
+    /// [`Chain::extend_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::Source`] if `tables.len() != headers.len()`
+    /// or the block source holds fewer blocks than the restored tip.
+    pub fn from_restored_parts(
+        params: ChainParams,
+        headers: Vec<BlockHeader>,
+        span_hashes: HashMap<(u64, u64), Hash256>,
+        source: S,
+        tables: T,
+    ) -> Result<Self, ChainError> {
+        if tables.len() != headers.len() as u64 {
+            return Err(ChainError::Source {
+                detail: format!(
+                    "table source at height {} does not match restored tip {}",
+                    tables.len(),
+                    headers.len()
+                ),
+            });
+        }
+        if source.len() < headers.len() as u64 {
+            return Err(ChainError::Source {
+                detail: format!(
+                    "block source at height {} is behind restored tip {}",
+                    source.len(),
+                    headers.len()
+                ),
+            });
+        }
+        let cache = params.cache_config();
+        Ok(Chain {
+            params,
+            headers,
+            tables,
+            span_hashes,
+            source,
+            bmt_builder: None,
             filter_cache: Mutex::new(MemoCache::new(cache.filter_cache_bytes)),
             smt_cache: Mutex::new(MemoCache::new(cache.smt_cache_bytes)),
         })
@@ -291,22 +349,42 @@ impl<S: BlockSource> Chain<S> {
         if block.header.prev_block != self.tip_hash() {
             return Err(ChainError::BrokenChainLink { height });
         }
-        let counts = block.address_counts();
+        let counts = Arc::new(block.address_counts());
         if self.params.policy().bmt && self.bmt_builder.is_none() {
             self.bmt_builder = self.take_or_rebuild_bmt_builder()?;
         }
+        let mut new_spans: Vec<SpanRecord> = Vec::new();
         if let Some(builder) = self.bmt_builder.as_mut() {
             let mut filter = BloomFilter::new(self.params.bloom());
-            for (addr, _) in &counts {
+            for (addr, _) in counts.iter() {
                 filter.insert(addr.as_bytes());
             }
             let commit = builder.push_leaf(filter)?;
             for span in commit.new_spans {
-                self.span_hashes.insert((span.lo, span.hi), span.hash);
+                new_spans.push(SpanRecord {
+                    lo: span.lo,
+                    hi: span.hi,
+                    hash: span.hash,
+                });
             }
         }
+        if let Err(e) = self.tables.push(TableUpdate {
+            height,
+            header: &block.header,
+            table: counts,
+            new_spans: &new_spans,
+        }) {
+            // The builder already consumed this block's leaf; drop it so
+            // a retry rebuilds it from the span hashes at the old tip.
+            self.bmt_builder = None;
+            return Err(e);
+        }
+        // Only after the table source accepted the block does the chain
+        // adopt it: a failed push leaves the previous tip intact.
+        for span in &new_spans {
+            self.span_hashes.insert((span.lo, span.hi), span.hash);
+        }
         self.headers.push(block.header);
-        self.addr_counts.push(Arc::new(counts));
         Ok(height)
     }
 
@@ -391,6 +469,7 @@ impl<S: BlockSource> Chain<S> {
         self.smt_cache
             .lock()
             .reset_with_budget(cache.smt_cache_bytes);
+        self.tables.set_cache_budget(cache.index_node_cache_bytes);
     }
 
     /// Height of the latest block (`0` for an empty chain).
@@ -434,13 +513,34 @@ impl<S: BlockSource> Chain<S> {
         self.headers.clone()
     }
 
-    /// The sorted `(address, count)` table of the block at `height`.
+    /// The sorted `(address, count)` table of the block at `height`,
+    /// served from the table source (a point read for an indexed
+    /// source, a vector lookup for the in-memory one).
     ///
     /// # Errors
     ///
-    /// Returns [`ChainError::UnknownHeight`] outside `1..=tip`.
-    pub fn addr_counts(&self, height: u64) -> Result<&Arc<Vec<(Address, u64)>>, ChainError> {
-        self.index(height).map(|i| &self.addr_counts[i])
+    /// Returns [`ChainError::UnknownHeight`] outside `1..=tip` and
+    /// [`ChainError::Source`] if the table source fails.
+    pub fn addr_counts(&self, height: u64) -> Result<Arc<Vec<(Address, u64)>>, ChainError> {
+        self.index(height)?;
+        self.tables.table(height)
+    }
+
+    /// Read access to the table source (e.g. to report its resident
+    /// footprint or per-address index).
+    pub fn tables(&self) -> &T {
+        &self.tables
+    }
+
+    /// Flushes the table source and anchors it at the current tip — call
+    /// after the corresponding blocks are durable in the block store so
+    /// the index never leads the chain. A no-op for in-memory tables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::Source`] on storage failure.
+    pub fn sync_derived(&self) -> Result<(), ChainError> {
+        self.tables.sync(self.tip_height())
     }
 
     /// The Bloom filter of the block at `height`, recomputed or served
@@ -468,49 +568,63 @@ impl<S: BlockSource> Chain<S> {
     pub fn span_filter(&self, lo: u64, hi: u64) -> Result<BloomFilter, ChainError> {
         self.index(lo)?;
         self.index(hi)?;
-        Ok(self.span_filter_memo(lo, hi))
+        self.span_filter_memo(lo, hi)
     }
 
     /// Memoised recursion behind [`Chain::span_filter`]; bounds already
     /// checked.
-    fn span_filter_memo(&self, lo: u64, hi: u64) -> BloomFilter {
+    fn span_filter_memo(&self, lo: u64, hi: u64) -> Result<BloomFilter, ChainError> {
         if let Some(hit) = self.filter_cache.lock().get(&(lo, hi)) {
-            return hit;
+            return Ok(hit);
         }
         let filter = if lo == hi {
             let mut filter = BloomFilter::new(self.params.bloom());
-            for (addr, _) in self.addr_counts[(lo - 1) as usize].iter() {
+            for (addr, _) in self.tables.table(lo)?.iter() {
                 filter.insert(addr.as_bytes());
             }
             filter
         } else {
             let mid = lo + (hi - lo) / 2;
-            let left = self.span_filter_memo(lo, mid);
-            let right = self.span_filter_memo(mid + 1, hi);
+            let left = self.span_filter_memo(lo, mid)?;
+            let right = self.span_filter_memo(mid + 1, hi)?;
             BloomFilter::union(&left, &right).expect("halves share the chain's params")
         };
         let size = filter.params().size_bytes() as usize;
         self.filter_cache.lock().put((lo, hi), filter.clone(), size);
-        filter
+        Ok(filter)
     }
 
     /// The sorted Merkle tree over the address-count table of the block
     /// at `height`, served from the bounded SMT memo cache.
+    ///
+    /// Built from the stored table, not from block data — with an
+    /// indexed table source this is a handful of point reads, never a
+    /// block deserialization. The construction is byte-identical to
+    /// [`Block::address_smt`] because the stored table *is*
+    /// `Block::address_counts()`.
     ///
     /// # Errors
     ///
     /// Returns [`ChainError::UnknownHeight`] outside `1..=tip` and
     /// [`ChainError::Smt`] if the block's table cannot form a tree.
     pub fn address_smt(&self, height: u64) -> Result<Arc<SortedMerkleTree>, ChainError> {
-        let idx = self.index(height)?;
+        self.index(height)?;
         if let Some(hit) = self.smt_cache.lock().get(&height) {
             return Ok(hit);
         }
-        let block = self.source.block(height)?;
-        let smt = Arc::new(block.address_smt().map_err(ChainError::Smt)?);
+        let table = self.tables.table(height)?;
+        let smt = Arc::new(
+            SortedMerkleTree::new(
+                table
+                    .iter()
+                    .map(|(a, c)| (a.as_bytes().to_vec(), *c))
+                    .collect(),
+            )
+            .map_err(ChainError::Smt)?,
+        );
         // Approximate footprint: keys + counts + two hash levels per
         // entry. Only used to bound the cache, not for accounting.
-        let size = self.addr_counts[idx]
+        let size = table
             .iter()
             .map(|(addr, _)| addr.as_bytes().len() + 8 + 64)
             .sum::<usize>()
@@ -526,14 +640,17 @@ impl<S: BlockSource> Chain<S> {
             filters: self.filter_cache.lock().stats(),
             smts: self.smt_cache.lock().stats(),
             blocks: self.source.cache_stats(),
+            index_nodes: self.tables.cache_stats(),
         }
     }
 
-    /// Empties both memo caches (the hit/miss counters keep counting) —
+    /// Empties every chain-side cache — the two memo caches and the
+    /// table source's node cache (hit/miss counters keep counting) —
     /// lets experiments measure cold-cache behaviour on a warm chain.
     pub fn clear_caches(&self) {
         self.filter_cache.lock().clear();
         self.smt_cache.lock().clear();
+        self.tables.clear_cache();
     }
 
     /// The stored BMT node hash of the dyadic span `(lo, hi)`, if the
@@ -549,7 +666,11 @@ impl<S: BlockSource> Chain<S> {
     ///
     /// Returns [`ChainError::UnknownHeight`] if the range leaves the
     /// chain and [`ChainError::Bmt`] if the range is not dyadic.
-    pub fn segment_source(&self, lo: u64, hi: u64) -> Result<SegmentBmtSource<'_, S>, ChainError> {
+    pub fn segment_source(
+        &self,
+        lo: u64,
+        hi: u64,
+    ) -> Result<SegmentBmtSource<'_, S, T>, ChainError> {
         self.index(lo)?;
         self.index(hi)?;
         let count = hi - lo + 1;
@@ -568,9 +689,17 @@ impl<S: BlockSource> Chain<S> {
     /// Every transaction involving `address`, with heights — ground
     /// truth for tests and the full node's own index.
     ///
-    /// Streams through the block source (a disk-backed source scans
-    /// sequentially without populating its cache).
+    /// When the table source keeps a per-address presence index, only
+    /// the blocks the address actually appears in are read; otherwise
+    /// (or if the index read fails) this streams through the whole
+    /// block source (a disk-backed source scans sequentially without
+    /// populating its cache).
     pub fn history_of(&self, address: &Address) -> Vec<(u64, crate::Transaction)> {
+        if let Ok(Some(presence)) = self.tables.presence(address) {
+            if let Ok(out) = self.history_from_presence(address, &presence) {
+                return out;
+            }
+        }
         let mut out = Vec::new();
         self.source
             .scan(&mut |height, block| {
@@ -583,6 +712,29 @@ impl<S: BlockSource> Chain<S> {
             })
             .expect("in-range sequential scan");
         out
+    }
+
+    /// Point-read path behind [`Chain::history_of`]: fetch only the
+    /// blocks the presence index names. Heights beyond the pinned tip
+    /// are skipped so reads stay tip-consistent.
+    fn history_from_presence(
+        &self,
+        address: &Address,
+        presence: &[(u64, u64)],
+    ) -> Result<Vec<(u64, crate::Transaction)>, ChainError> {
+        let mut out = Vec::new();
+        for &(height, _count) in presence {
+            if height == 0 || height > self.tip_height() {
+                continue;
+            }
+            let block = self.source.block(height)?;
+            for tx in &block.transactions {
+                if tx.involves(address) {
+                    out.push((height, tx.clone()));
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// Full integrity check: header chaining, Merkle roots, and every
@@ -650,7 +802,7 @@ impl<S: BlockSource> Chain<S> {
                 }
             }
             // Recomputed address table must match the stored one.
-            if block.address_counts() != **self.addr_counts[i] {
+            if block.address_counts() != *self.tables.table(height)? {
                 return Err(ChainError::CommitmentMismatch {
                     height,
                     what: "address table",
@@ -692,21 +844,21 @@ impl<S: BlockSource> Chain<S> {
 /// `filter` recomputes node filters from address sets; `node_hash` serves
 /// the hashes the chain stored while building.
 #[derive(Debug)]
-pub struct SegmentBmtSource<'a, S: BlockSource = InMemoryBlocks> {
-    chain: &'a Chain<S>,
+pub struct SegmentBmtSource<'a, S: BlockSource = InMemoryBlocks, T: TableSource = InMemoryTables> {
+    chain: &'a Chain<S, T>,
     lo: u64,
     hi: u64,
 }
 
-impl<S: BlockSource> Clone for SegmentBmtSource<'_, S> {
+impl<S: BlockSource, T: TableSource> Clone for SegmentBmtSource<'_, S, T> {
     fn clone(&self) -> Self {
         *self
     }
 }
 
-impl<S: BlockSource> Copy for SegmentBmtSource<'_, S> {}
+impl<S: BlockSource, T: TableSource> Copy for SegmentBmtSource<'_, S, T> {}
 
-impl<S: BlockSource> BmtSource for SegmentBmtSource<'_, S> {
+impl<S: BlockSource, T: TableSource> BmtSource for SegmentBmtSource<'_, S, T> {
     fn params(&self) -> lvq_bloom::BloomParams {
         self.chain.params.bloom()
     }

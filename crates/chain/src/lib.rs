@@ -48,6 +48,7 @@ pub mod file;
 mod header;
 mod params;
 mod source;
+mod tables;
 mod transaction;
 mod utxo;
 
@@ -60,5 +61,6 @@ pub use error::ChainError;
 pub use header::{BlockHeader, HeaderCommitments, BASE_HEADER_LEN};
 pub use params::{CacheConfig, ChainParams, CommitmentPolicy};
 pub use source::{BlockSource, InMemoryBlocks};
+pub use tables::{InMemoryTables, SpanRecord, TableSource, TableUpdate};
 pub use transaction::{Transaction, TxInput, TxOutPoint, TxOutput};
 pub use utxo::{UtxoEntry, UtxoSet};

@@ -79,26 +79,44 @@ pub struct CacheConfig {
     pub filter_cache_bytes: usize,
     /// Byte budget for the per-block SMT cache.
     pub smt_cache_bytes: usize,
+    /// Byte budget for the authenticated index's node cache (ignored by
+    /// table sources without one, e.g. the in-memory default).
+    pub index_node_cache_bytes: usize,
 }
 
+/// Default byte budget for the index node cache.
+const DEFAULT_INDEX_NODE_CACHE_BYTES: usize = 64 * 1024 * 1024;
+
 impl CacheConfig {
-    /// Creates a cache configuration from explicit byte budgets.
+    /// Creates a cache configuration from explicit filter and SMT byte
+    /// budgets; the index node cache keeps its default budget (override
+    /// with [`CacheConfig::with_index_node_cache_bytes`]).
     pub const fn new(filter_cache_bytes: usize, smt_cache_bytes: usize) -> Self {
         CacheConfig {
             filter_cache_bytes,
             smt_cache_bytes,
+            index_node_cache_bytes: DEFAULT_INDEX_NODE_CACHE_BYTES,
         }
     }
 
-    /// Disables both caches (every lookup recomputes) — useful for
-    /// cold-path measurements and memory-starved environments.
+    /// Returns the same configuration with `bytes` as the index node
+    /// cache budget (builder style).
+    pub const fn with_index_node_cache_bytes(mut self, bytes: usize) -> Self {
+        self.index_node_cache_bytes = bytes;
+        self
+    }
+
+    /// Disables every cache (every lookup recomputes or re-reads) —
+    /// useful for cold-path measurements and memory-starved
+    /// environments.
     pub const fn disabled() -> Self {
-        CacheConfig::new(0, 0)
+        CacheConfig::new(0, 0).with_index_node_cache_bytes(0)
     }
 }
 
 impl Default for CacheConfig {
-    /// The historical defaults: 256 MB of span filters, 64 MB of SMTs.
+    /// The historical defaults: 256 MB of span filters, 64 MB of SMTs,
+    /// 64 MB of index nodes.
     fn default() -> Self {
         CacheConfig::new(256 * 1024 * 1024, 64 * 1024 * 1024)
     }
@@ -264,6 +282,14 @@ mod tests {
         // Scheme identity is unchanged: provers/verifiers built from
         // either parameter set interoperate.
         assert_eq!(base, tuned);
-        assert_eq!(CacheConfig::disabled(), CacheConfig::new(0, 0));
+        assert_eq!(
+            CacheConfig::disabled(),
+            CacheConfig::new(0, 0).with_index_node_cache_bytes(0)
+        );
+        // `new` leaves the index node budget at its default.
+        assert_eq!(
+            CacheConfig::new(0, 0).index_node_cache_bytes,
+            CacheConfig::default().index_node_cache_bytes
+        );
     }
 }

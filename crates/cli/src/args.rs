@@ -361,6 +361,12 @@ pub struct ServeOptions {
     /// store does not have yet are ingested live, growing the served
     /// tip while queries keep being answered.
     pub follow: Option<String>,
+    /// Serve through the persistent address index (`--store` only):
+    /// reopen becomes point reads off the index's anchored root, built
+    /// automatically on first open.
+    pub index: bool,
+    /// Byte budget for the index node LRU cache (`--index` only).
+    pub index_cache: Option<usize>,
 }
 
 impl ServeOptions {
@@ -382,6 +388,8 @@ impl ServeOptions {
         let mut trusted = false;
         let mut block_cache = None;
         let mut follow = None;
+        let mut index = false;
+        let mut index_cache = None;
         let mut iter = args.iter();
         while let Some(arg) = iter.next() {
             let mut value = |name: &str| {
@@ -419,9 +427,19 @@ impl ServeOptions {
                         Some(parse_u64("--block-cache", &value("--block-cache")?)? as usize)
                 }
                 "--follow" => follow = Some(value("--follow")?),
+                "--index" => index = true,
+                "--index-cache" => {
+                    index_cache =
+                        Some(parse_u64("--index-cache", &value("--index-cache")?)? as usize)
+                }
                 other if !other.starts_with("--") => positional.push(other.to_string()),
                 other => return Err(CliError::Usage(format!("unknown flag '{other}'"))),
             }
+        }
+        if index_cache.is_some() && !index {
+            return Err(CliError::Usage(
+                "--index-cache only applies with --index".into(),
+            ));
         }
         let source = match (store, positional.as_slice()) {
             (Some(dir), []) => {
@@ -449,6 +467,13 @@ impl ServeOptions {
                             .into(),
                     ));
                 }
+                if index {
+                    return Err(CliError::Usage(
+                        "--index only applies with --store (the address index \
+                         lives inside the store directory)"
+                            .into(),
+                    ));
+                }
                 ServeSource::File {
                     path: file.clone(),
                     trusted,
@@ -471,6 +496,8 @@ impl ServeOptions {
             deadline_ms,
             block_cache,
             follow,
+            index,
+            index_cache,
         })
     }
 }
@@ -487,6 +514,10 @@ pub struct IngestOptions {
     pub trusted: bool,
     /// Target segment size in bytes before rotation.
     pub segment_bytes: Option<u64>,
+    /// Also build the persistent address index, so the first
+    /// `serve --store --index` starts with point reads instead of a
+    /// build pass.
+    pub index: bool,
 }
 
 impl IngestOptions {
@@ -500,6 +531,7 @@ impl IngestOptions {
         let mut store = None;
         let mut trusted = false;
         let mut segment_bytes = None;
+        let mut index = false;
         let mut iter = args.iter();
         while let Some(arg) = iter.next() {
             let mut value = |name: &str| {
@@ -517,6 +549,7 @@ impl IngestOptions {
                     }
                     segment_bytes = Some(bytes);
                 }
+                "--index" => index = true,
                 other if !other.starts_with("--") => positional.push(other.to_string()),
                 other => return Err(CliError::Usage(format!("unknown flag '{other}'"))),
             }
@@ -534,6 +567,7 @@ impl IngestOptions {
             store,
             trusted,
             segment_bytes,
+            index,
         })
     }
 }
@@ -749,6 +783,30 @@ mod tests {
     }
 
     #[test]
+    fn serve_index_parsing() {
+        let s = ServeOptions::parse(&strings(&["--store", "dir", "--index"])).unwrap();
+        assert!(matches!(&s.source, ServeSource::Store(dir) if dir == "dir"));
+        assert!(s.index);
+        assert_eq!(s.index_cache, None);
+
+        let s = ServeOptions::parse(&strings(&[
+            "--store",
+            "dir",
+            "--index",
+            "--index-cache",
+            "1048576",
+        ]))
+        .unwrap();
+        assert!(s.index);
+        assert_eq!(s.index_cache, Some(1_048_576));
+
+        // The index lives inside the store directory — never with a file.
+        assert!(ServeOptions::parse(&strings(&["c.lvq", "--index"])).is_err());
+        // A cache budget for an index that is not opened is a mistake.
+        assert!(ServeOptions::parse(&strings(&["--store", "dir", "--index-cache", "1"])).is_err());
+    }
+
+    #[test]
     fn ingest_parsing() {
         let i = IngestOptions::parse(&strings(&["c.lvq", "--store", "dir"])).unwrap();
         assert_eq!(i.file, "c.lvq");
@@ -767,6 +825,10 @@ mod tests {
         .unwrap();
         assert!(i.trusted);
         assert_eq!(i.segment_bytes, Some(1_048_576));
+        assert!(!i.index);
+
+        let i = IngestOptions::parse(&strings(&["c.lvq", "--store", "dir", "--index"])).unwrap();
+        assert!(i.index);
 
         assert!(IngestOptions::parse(&strings(&["c.lvq"])).is_err());
         assert!(IngestOptions::parse(&strings(&["--store", "dir"])).is_err());

@@ -5,7 +5,9 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use lvq_bloom::BloomParams;
-use lvq_chain::{file as chain_file, Address, BlockSource, CacheConfig, CacheStats, Chain};
+use lvq_chain::{
+    file as chain_file, Address, BlockSource, CacheConfig, CacheStats, Chain, TableSource,
+};
 use lvq_core::{Completeness, LightClient, Prover, SchemeConfig, VerifiedHistory};
 use lvq_node::{
     FaultPlan, FaultyTransport, FullNode, IngestConfig, LightNode, LiveNode, MemoryFeed,
@@ -332,6 +334,16 @@ pub fn ingest(opts: &IngestOptions, out: &mut impl Write) -> Result<(), CliError
         opts.store,
         store.segment_count()
     )?;
+    if opts.index {
+        drop(store);
+        let (indexed, _) = lvq_store::open_chain_indexed(&opts.store, config)?;
+        writeln!(
+            out,
+            "indexed      : address index built to height {} ({} on disk)",
+            indexed.tip_height(),
+            human_bytes(indexed.tables().data_bytes())
+        )?;
+    }
     Ok(())
 }
 
@@ -349,11 +361,20 @@ pub fn serve(opts: &ServeOptions, out: &mut impl Write) -> Result<(), CliError> 
             if let Some(bytes) = opts.block_cache {
                 config.cache_bytes = bytes;
             }
-            let (chain, report) = lvq_store::open_chain(dir, config)?;
-            print_recovery(&report, out)?;
-            match &opts.follow {
-                Some(follow) => serve_following(chain, follow, opts, out),
-                None => serve_chain(chain, opts, out),
+            if opts.index {
+                let (chain, report) = lvq_store::open_chain_indexed(dir, config)?;
+                print_recovery(&report, out)?;
+                match &opts.follow {
+                    Some(follow) => serve_following(chain, follow, opts, out),
+                    None => serve_chain(chain, opts, out),
+                }
+            } else {
+                let (chain, report) = lvq_store::open_chain(dir, config)?;
+                print_recovery(&report, out)?;
+                match &opts.follow {
+                    Some(follow) => serve_following(chain, follow, opts, out),
+                    None => serve_chain(chain, opts, out),
+                }
             }
         }
     }
@@ -367,9 +388,20 @@ fn print_recovery(
     if report.is_clean() {
         return Ok(());
     }
+    let addr_index = match report.addr_index {
+        lvq_store::AddrIndexRecovery::NotOpened | lvq_store::AddrIndexRecovery::Intact => {
+            String::new()
+        }
+        lvq_store::AddrIndexRecovery::CaughtUp { from, to } => {
+            format!(", address index caught up {from} -> {to}")
+        }
+        lvq_store::AddrIndexRecovery::Rebuilt { reason } => {
+            format!(", address index rebuilt ({reason})")
+        }
+    };
     writeln!(
         out,
-        "recovered    : {} re-indexed records, {} torn tail bytes truncated{}{}",
+        "recovered    : {} re-indexed records, {} torn tail bytes truncated{}{}{}",
         report.recovered_records,
         report.truncated_tail_bytes,
         if report.rebuilt_index {
@@ -381,24 +413,31 @@ fn print_recovery(
             ", segment header repaired"
         } else {
             ""
-        }
+        },
+        addr_index
     )?;
     Ok(())
 }
 
-/// Applies `--filter-cache`/`--smt-cache` and resolves the scheme.
-fn prepare_chain<S: BlockSource>(
-    chain: &mut Chain<S>,
+/// Applies `--filter-cache`/`--smt-cache`/`--index-cache` and resolves
+/// the scheme.
+fn prepare_chain<S: BlockSource, T: TableSource>(
+    chain: &mut Chain<S, T>,
     opts: &ServeOptions,
 ) -> Result<SchemeConfig, CliError> {
     let config = SchemeConfig::from_chain_params(chain.params())
         .ok_or_else(|| CliError::Usage("chain commitments match no known scheme".into()))?;
-    if opts.filter_cache.is_some() || opts.smt_cache.is_some() {
+    if opts.filter_cache.is_some() || opts.smt_cache.is_some() || opts.index_cache.is_some() {
         let default = CacheConfig::default();
-        chain.set_cache_config(CacheConfig::new(
-            opts.filter_cache.unwrap_or(default.filter_cache_bytes),
-            opts.smt_cache.unwrap_or(default.smt_cache_bytes),
-        ));
+        chain.set_cache_config(
+            CacheConfig::new(
+                opts.filter_cache.unwrap_or(default.filter_cache_bytes),
+                opts.smt_cache.unwrap_or(default.smt_cache_bytes),
+            )
+            .with_index_node_cache_bytes(
+                opts.index_cache.unwrap_or(default.index_node_cache_bytes),
+            ),
+        );
     }
     Ok(config)
 }
@@ -433,8 +472,8 @@ fn wait_for_max_requests<P: lvq_node::ServeNode>(server: &NodeServer<P>, opts: &
 /// `lvq serve --store DIR --follow FILE`: serve from the store while a
 /// [`TipIngester`] appends the follow file's missing blocks into it,
 /// growing the served tip live.
-fn serve_following(
-    mut chain: Chain<lvq_store::DiskBlockSource>,
+fn serve_following<T: TableSource + 'static>(
+    mut chain: Chain<lvq_store::DiskBlockSource, T>,
     follow: &str,
     opts: &ServeOptions,
     out: &mut impl Write,
@@ -493,8 +532,8 @@ fn serve_following(
     print_serve_report(&stats, &caches, out)
 }
 
-fn serve_chain<S: BlockSource + 'static>(
-    mut chain: Chain<S>,
+fn serve_chain<S: BlockSource + 'static, T: TableSource + 'static>(
+    mut chain: Chain<S, T>,
     opts: &ServeOptions,
     out: &mut impl Write,
 ) -> Result<(), CliError> {
@@ -567,10 +606,11 @@ fn print_serve_report(
     };
     writeln!(
         out,
-        "caches       : filters {}, smts {}, blocks {}",
+        "caches       : filters {}, smts {}, blocks {}, index {}",
         cache_cell(&caches.filters),
         cache_cell(&caches.smts),
-        cache_cell(&caches.blocks)
+        cache_cell(&caches.blocks),
+        cache_cell(&caches.index_nodes)
     )?;
     Ok(())
 }
@@ -942,6 +982,109 @@ mod tests {
         assert!(text.contains("caches       : filters "), "{text}");
         // A disk-backed server actually exercises the block cache.
         assert!(!text.contains("blocks 0h/0m"), "{text}");
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ingest_with_index_then_serve_indexed() {
+        let path = temp_path("idx.lvq");
+        let dir = temp_path("idx-store");
+        std::fs::remove_dir_all(&dir).ok();
+        run(
+            &strings(&[
+                "generate",
+                "--out",
+                &path,
+                "--blocks",
+                "16",
+                "--txs",
+                "4",
+                "--segment",
+                "8",
+                "--bf",
+                "256",
+                "--probe",
+                "1IdxProbe:4:3",
+            ]),
+            &mut Vec::new(),
+        )
+        .unwrap();
+
+        let mut out = Vec::new();
+        run(
+            &strings(&["ingest", &path, "--store", &dir, "--trust-file", "--index"]),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("ingested 16 blocks"), "{text}");
+        assert!(
+            text.contains("indexed      : address index built to height 16"),
+            "{text}"
+        );
+
+        let server_out = SharedBuf::default();
+        let server_thread = {
+            let mut out = server_out.clone();
+            let dir = dir.clone();
+            std::thread::spawn(move || {
+                run(
+                    &strings(&[
+                        "serve",
+                        "--store",
+                        &dir,
+                        "--index",
+                        "--index-cache",
+                        "1048576",
+                        "--addr",
+                        "127.0.0.1:0",
+                        "--max-requests",
+                        "3",
+                        "--workers",
+                        "2",
+                    ]),
+                    &mut out,
+                )
+                .unwrap();
+            })
+        };
+        let addr = loop {
+            if let Some(line) = server_out.text().lines().find(|l| l.starts_with("serving")) {
+                break line.rsplit(' ').next().unwrap().to_string();
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        };
+
+        let mut out = Vec::new();
+        run(
+            &strings(&[
+                "query",
+                "1IdxProbe",
+                "--addr",
+                &addr,
+                "--segment",
+                "8",
+                "--bf",
+                "256",
+            ]),
+            &mut out,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("synced       : 16 headers"), "{text}");
+        assert!(text.contains("transactions : 4"), "{text}");
+        assert!(text.contains("complete (no omissions possible)"), "{text}");
+
+        server_thread.join().unwrap();
+        let text = server_out.text();
+        // The index was built by ingest, so the serve reopen is clean —
+        // no recovery line — and index reads flow through the node cache.
+        assert!(!text.contains("recovered    :"), "{text}");
+        assert!(text.contains("served 3 requests"), "{text}");
+        assert!(text.contains(", index "), "{text}");
+        assert!(!text.contains("index 0h/0m"), "{text}");
 
         std::fs::remove_file(&path).ok();
         std::fs::remove_dir_all(&dir).ok();

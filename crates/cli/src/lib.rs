@@ -29,11 +29,12 @@ usage:
   lvq query FILE ADDRESS [--range LO:HI] [--breakdown]
   lvq query ADDRESS --addr HOST:PORT --segment M [--scheme NAME] [--bf BYTES]
             [--k N] [--range LO:HI]
-  lvq serve (FILE [--trust-file] | --store DIR [--block-cache BYTES])
+  lvq serve (FILE [--trust-file] | --store DIR [--block-cache BYTES]
+            [--index [--index-cache BYTES]] [--follow FILE])
             [--addr HOST:PORT] [--max-requests N] [--workers N]
             [--queue N] [--deadline-ms MS]
             [--filter-cache BYTES] [--smt-cache BYTES]
-  lvq ingest FILE --store DIR [--trust-file] [--segment-bytes N]
+  lvq ingest FILE --store DIR [--trust-file] [--segment-bytes N] [--index]
   lvq balance FILE ADDRESS";
 
 /// Dispatches a full command line (without the program name).

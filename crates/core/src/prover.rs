@@ -1,7 +1,7 @@
 //! The full-node side: response generation (paper §V).
 
 use lvq_bloom::BloomFilter;
-use lvq_chain::{Address, BlockSource, Chain, InMemoryBlocks};
+use lvq_chain::{Address, BlockSource, Chain, InMemoryBlocks, InMemoryTables, TableSource};
 use lvq_merkle::bmt::{self, BmtBatchNode, BmtBatchProof, BmtProofNode};
 
 use crate::batch::{
@@ -32,27 +32,27 @@ use crate::stats::ProverStats;
 ///
 /// See the [crate-level example](crate).
 #[derive(Debug)]
-pub struct Prover<'a, S: BlockSource = InMemoryBlocks> {
-    chain: &'a Chain<S>,
+pub struct Prover<'a, S: BlockSource = InMemoryBlocks, T: TableSource = InMemoryTables> {
+    chain: &'a Chain<S, T>,
     config: SchemeConfig,
 }
 
-impl<S: BlockSource> Clone for Prover<'_, S> {
+impl<S: BlockSource, T: TableSource> Clone for Prover<'_, S, T> {
     fn clone(&self) -> Self {
         *self
     }
 }
 
-impl<S: BlockSource> Copy for Prover<'_, S> {}
+impl<S: BlockSource, T: TableSource> Copy for Prover<'_, S, T> {}
 
-impl<'a, S: BlockSource> Prover<'a, S> {
+impl<'a, S: BlockSource, T: TableSource> Prover<'a, S, T> {
     /// Creates a prover for `chain` with an explicit configuration.
     ///
     /// # Errors
     ///
     /// Returns [`ProveError::SchemeMismatch`] if the chain was built
     /// with different parameters than `config` implies.
-    pub fn new(chain: &'a Chain<S>, config: SchemeConfig) -> Result<Self, ProveError> {
+    pub fn new(chain: &'a Chain<S, T>, config: SchemeConfig) -> Result<Self, ProveError> {
         if chain.params() != config.chain_params() {
             return Err(ProveError::SchemeMismatch);
         }
@@ -65,7 +65,7 @@ impl<'a, S: BlockSource> Prover<'a, S> {
     ///
     /// Returns [`ProveError::SchemeMismatch`] if the chain's commitment
     /// policy matches none of the four schemes.
-    pub fn from_chain(chain: &'a Chain<S>) -> Result<Self, ProveError> {
+    pub fn from_chain(chain: &'a Chain<S, T>) -> Result<Self, ProveError> {
         let config =
             SchemeConfig::from_chain_params(chain.params()).ok_or(ProveError::SchemeMismatch)?;
         Ok(Prover { chain, config })

@@ -32,10 +32,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod avl;
 pub mod bmt;
 pub mod mt;
 pub mod smt;
 
+pub use avl::{
+    AvlError, AvlLink, AvlNode, AvlNodeStore, AvlProof, AvlProofStep, AvlTree, MemoryNodes,
+};
 pub use bmt::{
     Bmt, BmtBatchProof, BmtBatchProofStats, BmtBuilder, BmtCoverage, BmtError, BmtProof,
     BmtProofStats, BmtSource,

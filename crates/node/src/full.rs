@@ -2,7 +2,9 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use lvq_chain::{BlockSource, Chain, ChainCacheStats, ChainError, InMemoryBlocks};
+use lvq_chain::{
+    BlockSource, Chain, ChainCacheStats, ChainError, InMemoryBlocks, InMemoryTables, TableSource,
+};
 use lvq_codec::Encodable;
 use lvq_core::{Prover, ProverStats, SchemeConfig};
 use parking_lot::Mutex;
@@ -83,8 +85,8 @@ pub struct QueryEngineStats {
 /// block in memory, while a disk-backed source (the `lvq-store` crate)
 /// materializes only the blocks a proof actually touches.
 #[derive(Debug)]
-pub struct FullNode<S: BlockSource = InMemoryBlocks> {
-    chain: Chain<S>,
+pub struct FullNode<S: BlockSource = InMemoryBlocks, T: TableSource = InMemoryTables> {
+    chain: Chain<S, T>,
     config: SchemeConfig,
     /// Statistics of the most recent query, for experiment harnesses.
     last_stats: Mutex<Option<ProverStats>>,
@@ -93,14 +95,14 @@ pub struct FullNode<S: BlockSource = InMemoryBlocks> {
     batch_addresses: AtomicU64,
 }
 
-impl<S: BlockSource> FullNode<S> {
+impl<S: BlockSource, T: TableSource> FullNode<S, T> {
     /// Wraps a chain.
     ///
     /// # Errors
     ///
     /// Returns [`NodeError::UnknownScheme`] if the chain's commitments
     /// match none of the four schemes.
-    pub fn new(chain: Chain<S>) -> Result<Self, NodeError> {
+    pub fn new(chain: Chain<S, T>) -> Result<Self, NodeError> {
         let config =
             SchemeConfig::from_chain_params(chain.params()).ok_or(NodeError::UnknownScheme)?;
         Ok(FullNode {
@@ -120,7 +122,7 @@ impl<S: BlockSource> FullNode<S> {
 
     /// Read access to the underlying chain (e.g. for ground-truth checks
     /// in tests).
-    pub fn chain(&self) -> &Chain<S> {
+    pub fn chain(&self) -> &Chain<S, T> {
         &self.chain
     }
 
@@ -157,6 +159,16 @@ impl<S: BlockSource> FullNode<S> {
     /// left at the last successfully absorbed height.
     pub fn extend_batch(&mut self, max: u64) -> Result<u64, ChainError> {
         self.chain.extend_batch(max)
+    }
+
+    /// Flushes the chain's table source and anchors it at the current
+    /// tip (see [`Chain::sync_derived`]). A no-op for in-memory tables.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ChainError::Source`] on storage failure.
+    pub fn sync_derived(&self) -> Result<(), ChainError> {
+        self.chain.sync_derived()
     }
 
     /// Classifies and handles one encoded request.

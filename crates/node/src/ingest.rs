@@ -35,7 +35,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use lvq_chain::{Block, BlockSource, ChainError};
+use lvq_chain::{Block, BlockSource, ChainError, TableSource};
 use lvq_store::{BlockStore, StoreError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -352,14 +352,15 @@ impl TipIngester {
     /// same `Arc<BlockStore>` (what [`lvq_store::open_chain`]
     /// produces). The ingester resumes from the store's persisted
     /// height; it never re-appends or skips a block.
-    pub fn spawn<S, F>(
-        node: Arc<LiveNode<S>>,
+    pub fn spawn<S, T, F>(
+        node: Arc<LiveNode<S, T>>,
         store: Arc<BlockStore>,
         feed: F,
         config: IngestConfig,
     ) -> IngestHandle
     where
         S: BlockSource + 'static,
+        T: TableSource + 'static,
         F: BlockFeed,
     {
         let shared = Arc::new(IngestShared::default());
@@ -440,8 +441,8 @@ fn interruptible_sleep(total: Duration, stop: &AtomicBool) {
     }
 }
 
-fn ingest_loop<S, F>(
-    node: &LiveNode<S>,
+fn ingest_loop<S, T, F>(
+    node: &LiveNode<S, T>,
     store: &BlockStore,
     mut feed: F,
     config: IngestConfig,
@@ -450,6 +451,7 @@ fn ingest_loop<S, F>(
 ) -> Result<(), IngestError>
 where
     S: BlockSource + 'static,
+    T: TableSource + 'static,
     F: BlockFeed,
 {
     let min_batch = config.min_batch.max(1);
@@ -463,6 +465,7 @@ where
     shared.resume_height.store(resume, Ordering::Relaxed);
     shared.tip_height.store(resume, Ordering::Relaxed);
     node.extend_batch(u64::MAX)?;
+    node.sync_derived()?;
 
     let mut batch = min_batch;
     let mut consecutive_failures = 0u32;
@@ -490,11 +493,15 @@ where
                     prev = block.header.block_hash();
                 }
 
-                // Durable first, visible second: store, then chain.
+                // Durable first, visible second: store, then chain —
+                // and only once the blocks are in the store does the
+                // derived index anchor at the new tip, so the index can
+                // never lead the durable chain.
                 for block in &blocks {
                     store.append(block)?;
                 }
                 node.extend_batch(u64::MAX)?;
+                node.sync_derived()?;
 
                 shared
                     .blocks_appended

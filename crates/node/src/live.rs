@@ -24,7 +24,7 @@
 //! server keeps growing underneath, but everything at or below `T` is
 //! immutable.
 
-use lvq_chain::{BlockSource, ChainError, InMemoryBlocks};
+use lvq_chain::{BlockSource, ChainError, InMemoryBlocks, InMemoryTables, TableSource};
 use lvq_core::SchemeConfig;
 use lvq_crypto::Hash256;
 use parking_lot::RwLock;
@@ -36,13 +36,13 @@ use crate::server::ServeNode;
 /// access, the ingester extends the chain under write access. See the
 /// module docs for the consistency discipline.
 #[derive(Debug)]
-pub struct LiveNode<S: BlockSource = InMemoryBlocks> {
-    inner: RwLock<FullNode<S>>,
+pub struct LiveNode<S: BlockSource = InMemoryBlocks, T: TableSource = InMemoryTables> {
+    inner: RwLock<FullNode<S, T>>,
 }
 
-impl<S: BlockSource> LiveNode<S> {
+impl<S: BlockSource, T: TableSource> LiveNode<S, T> {
     /// Wraps a full node for concurrent serve-while-growing use.
-    pub fn new(node: FullNode<S>) -> Self {
+    pub fn new(node: FullNode<S, T>) -> Self {
         LiveNode {
             inner: RwLock::new(node),
         }
@@ -67,7 +67,7 @@ impl<S: BlockSource> LiveNode<S> {
     /// Runs `f` against the node under the read lock — e.g. for
     /// ground-truth checks or [`FullNode::engine_stats`]. The chain
     /// cannot advance while `f` runs; keep it short.
-    pub fn with_node<R>(&self, f: impl FnOnce(&FullNode<S>) -> R) -> R {
+    pub fn with_node<R>(&self, f: impl FnOnce(&FullNode<S, T>) -> R) -> R {
         f(&self.inner.read())
     }
 
@@ -83,13 +83,25 @@ impl<S: BlockSource> LiveNode<S> {
         self.inner.write().extend_batch(max)
     }
 
+    /// Flushes the chain's table source and anchors it at the served
+    /// tip, under the read lock (durability needs no exclusivity — the
+    /// table source synchronizes internally, and extension only happens
+    /// under the write lock, which excludes this).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ChainError::Source`] on storage failure.
+    pub fn sync_derived(&self) -> Result<(), ChainError> {
+        self.inner.read().sync_derived()
+    }
+
     /// Unwraps the inner full node (e.g. after ingest has stopped).
-    pub fn into_inner(self) -> FullNode<S> {
+    pub fn into_inner(self) -> FullNode<S, T> {
         self.inner.into_inner()
     }
 }
 
-impl<S: BlockSource + 'static> ServeNode for LiveNode<S> {
+impl<S: BlockSource + 'static, T: TableSource + 'static> ServeNode for LiveNode<S, T> {
     /// Answers under the read lock held for the whole exchange, so the
     /// proving height is pinned for this request.
     fn handle_classified(&self, request: &[u8]) -> Handled {

@@ -47,7 +47,9 @@ pub trait ServeNode: Send + Sync + 'static {
     fn handle_classified(&self, request: &[u8]) -> Handled;
 }
 
-impl<S: lvq_chain::BlockSource + 'static> ServeNode for FullNode<S> {
+impl<S: lvq_chain::BlockSource + 'static, T: lvq_chain::TableSource + 'static> ServeNode
+    for FullNode<S, T>
+{
     fn handle_classified(&self, request: &[u8]) -> Handled {
         FullNode::handle_classified(self, request)
     }

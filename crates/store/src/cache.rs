@@ -82,6 +82,10 @@ impl<K: Eq + Hash + Copy, V: Clone> LruCache<K, V> {
         }
         self.used_bytes += size;
         self.recency.insert(self.tick, key);
+        self.evict_to_budget();
+    }
+
+    fn evict_to_budget(&mut self) {
         while self.used_bytes > self.budget_bytes {
             let Some((&oldest, _)) = self.recency.iter().next() else {
                 break;
@@ -91,6 +95,19 @@ impl<K: Eq + Hash + Copy, V: Clone> LruCache<K, V> {
                 self.used_bytes -= evicted.size;
             }
         }
+    }
+
+    /// Drops every entry; hit/miss counters keep counting.
+    pub(crate) fn clear(&mut self) {
+        self.entries.clear();
+        self.recency.clear();
+        self.used_bytes = 0;
+    }
+
+    /// Re-budgets the cache, evicting LRU entries past the new budget.
+    pub(crate) fn set_budget(&mut self, budget_bytes: usize) {
+        self.budget_bytes = budget_bytes;
+        self.evict_to_budget();
     }
 
     pub(crate) fn stats(&self) -> CacheStats {
@@ -141,5 +158,69 @@ mod tests {
         cache.put(1, 2, 5);
         assert_eq!(cache.stats().used_bytes, 5);
         assert_eq!(cache.get(&1), Some(2));
+    }
+
+    /// Byte accounting stays *exact* — `used_bytes` equals the sum of
+    /// resident entry sizes and never exceeds the budget — across a
+    /// random storm of puts (with key collisions and varying sizes),
+    /// gets, re-budgets, and clears.
+    #[test]
+    fn accounting_stays_exact_under_stress() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        use std::collections::HashMap;
+
+        let mut rng = StdRng::seed_from_u64(0xacc0);
+        let mut cache: LruCache<u64, u64> = LruCache::new(500);
+        // Shadow model: what *should* be resident, sans recency.
+        let mut model: HashMap<u64, usize> = HashMap::new();
+        let mut budget = 500usize;
+
+        for step in 0..20_000u64 {
+            match rng.gen_range(0..100) {
+                0..=59 => {
+                    let key = rng.gen_range(0..40);
+                    let size = rng.gen_range(0..80);
+                    cache.put(key, step, size);
+                    if size <= budget {
+                        model.insert(key, size);
+                    }
+                }
+                60..=89 => {
+                    let key = rng.gen_range(0..40);
+                    if cache.get(&key).is_some() {
+                        assert!(model.contains_key(&key), "hit on a key never inserted");
+                    } else {
+                        model.remove(&key);
+                    }
+                }
+                90..=97 => {
+                    budget = rng.gen_range(0..800);
+                    cache.set_budget(budget);
+                }
+                _ => {
+                    cache.clear();
+                    model.clear();
+                }
+            }
+            // Evictions shrink the real cache below the model; prune the
+            // model down to what actually survived.
+            let stats = cache.stats();
+            assert!(
+                stats.used_bytes <= budget as u64,
+                "step {step}: {} bytes resident over budget {budget}",
+                stats.used_bytes
+            );
+            assert!(stats.entries as usize <= model.len());
+            // Exactness: re-derive the byte total from the surviving
+            // entries and compare. (get() counts misses; probe via the
+            // entries map directly to keep counters meaningful above.)
+            let derived: usize = cache.entries.values().map(|e| e.size).sum();
+            assert_eq!(
+                stats.used_bytes, derived as u64,
+                "step {step}: used_bytes drifted from the per-entry sum"
+            );
+            assert_eq!(stats.entries as usize, cache.recency.len());
+        }
     }
 }

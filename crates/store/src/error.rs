@@ -52,6 +52,25 @@ pub enum StoreError {
         /// First missing segment number.
         segment: u32,
     },
+    /// The address index's checksummed root record anchors a different
+    /// tip height than the block store holds — the index is out of step
+    /// with the chain (distinct from [`StoreError::CorruptRecord`]: the
+    /// bytes are intact, the *anchoring* is wrong). A root behind the
+    /// store is caught up incrementally; a root ahead of the store
+    /// references blocks the store lost and forces a rebuild.
+    StaleIndexRoot {
+        /// Tip height the index root record anchors.
+        root_tip: u64,
+        /// Tip height the block store actually holds.
+        store_tip: u64,
+    },
+    /// The address index's root record failed validation (bad CRC,
+    /// truncated, or internally inconsistent). A missing root file
+    /// surfaces as [`StoreError::Io`].
+    CorruptIndexRoot {
+        /// What exactly failed.
+        detail: &'static str,
+    },
     /// A height outside `1..=len` was requested.
     UnknownHeight {
         /// The requested height.
@@ -88,6 +107,16 @@ impl fmt::Display for StoreError {
             ),
             StoreError::MissingSegment { segment } => {
                 write!(f, "segment {segment} is missing")
+            }
+            StoreError::StaleIndexRoot {
+                root_tip,
+                store_tip,
+            } => write!(
+                f,
+                "address-index root anchors height {root_tip} but the store tip is {store_tip}"
+            ),
+            StoreError::CorruptIndexRoot { detail } => {
+                write!(f, "address-index root record is corrupt: {detail}")
             }
             StoreError::UnknownHeight { height } => write!(f, "no block at height {height}"),
             StoreError::Decode(e) => write!(f, "stored block does not decode: {e}"),

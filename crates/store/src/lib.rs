@@ -48,10 +48,16 @@
 mod cache;
 mod crc32;
 mod error;
+mod frame;
+mod index;
 mod source;
 mod store;
 
 pub use crc32::crc32;
 pub use error::StoreError;
-pub use source::{ingest_chain, open_chain, DiskBlockSource};
-pub use store::{BlockStore, RecoveryReport, StoreConfig};
+pub use index::IndexedTables;
+pub use source::{
+    ingest_chain, open_chain, open_chain_indexed, open_chain_indexed_verified, DiskBlockSource,
+    IndexedChain,
+};
+pub use store::{AddrIndexRecovery, BlockStore, RecoveryReport, StoreConfig};

@@ -1,5 +1,6 @@
 //! The store as a [`BlockSource`]: serve-from-disk chains.
 
+use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
 
@@ -9,7 +10,15 @@ use lvq_chain::{Block, BlockSource, CacheStats, Chain, ChainError};
 
 use crate::cache::LruCache;
 use crate::error::StoreError;
-use crate::store::{BlockStore, RecoveryReport, StoreConfig};
+use crate::index::IndexedTables;
+use crate::store::{AddrIndexRecovery, BlockStore, RecoveryReport, StoreConfig};
+
+/// Subdirectory of a block store holding the persistent address index.
+pub(crate) const INDEX_DIR: &str = "addr-index";
+
+/// Blocks absorbed between index anchors during a rebuild, bounding the
+/// transient dirty set.
+const REBUILD_BATCH: u64 = 512;
 
 fn source_error(e: StoreError) -> ChainError {
     ChainError::Source {
@@ -113,6 +122,168 @@ pub fn open_chain(
     let source = DiskBlockSource::new(Arc::new(store));
     let chain = Chain::assemble_trusted(params, source).map_err(StoreError::Chain)?;
     Ok((chain, report))
+}
+
+/// An indexed serve-from-disk chain: blocks from the store, derived
+/// state from the persistent address index.
+pub type IndexedChain = Chain<DiskBlockSource, IndexedTables>;
+
+/// Opens the store in `dir` together with its persistent address index
+/// (`addr-index/`), building the index on first open.
+///
+/// Restoration is point reads: the index's checksummed root record is
+/// read back, headers and span hashes are restored through verified
+/// tree lookups, and the restored tip header is cross-checked against
+/// the stored tip block. An index root *behind* the store tip is caught
+/// up from the blocks; a root *ahead* of the store
+/// ([`StoreError::StaleIndexRoot`]), a corrupt root record, or any
+/// verification failure triggers a loud full rebuild from the
+/// CRC-verified blocks — never a wrong answer. The outcome is reported
+/// in [`RecoveryReport::addr_index`].
+///
+/// # Errors
+///
+/// Any [`StoreError`] from opening the block store itself, or from the
+/// rebuild if even that fails (e.g. the blocks do not decode).
+pub fn open_chain_indexed(
+    dir: impl AsRef<Path>,
+    config: StoreConfig,
+) -> Result<(IndexedChain, RecoveryReport), StoreError> {
+    open_chain_indexed_inner(dir, config, false)
+}
+
+/// Like [`open_chain_indexed`], but additionally verifies the *entire*
+/// index (every node hash, key order, and balance) before serving,
+/// rebuilding on any violation. Reopen cost becomes a full index read
+/// — the full-paranoia path for operators who do not trust the disk.
+///
+/// # Errors
+///
+/// As [`open_chain_indexed`].
+pub fn open_chain_indexed_verified(
+    dir: impl AsRef<Path>,
+    config: StoreConfig,
+) -> Result<(IndexedChain, RecoveryReport), StoreError> {
+    open_chain_indexed_inner(dir, config, true)
+}
+
+fn open_chain_indexed_inner(
+    dir: impl AsRef<Path>,
+    config: StoreConfig,
+    verify: bool,
+) -> Result<(IndexedChain, RecoveryReport), StoreError> {
+    let (store, mut report) = BlockStore::open(dir, config)?;
+    let store = Arc::new(store);
+    match try_restore(&store, config, verify) {
+        Ok((chain, status)) => {
+            report.addr_index = status;
+            Ok((chain, report))
+        }
+        Err(e) => {
+            let chain = rebuild_index(&store, config)?;
+            report.addr_index = AddrIndexRecovery::Rebuilt {
+                reason: rebuild_reason(&e),
+            };
+            Ok((chain, report))
+        }
+    }
+}
+
+fn rebuild_reason(e: &StoreError) -> &'static str {
+    match e {
+        StoreError::Io(io) if io.kind() == std::io::ErrorKind::NotFound => "no index present",
+        StoreError::Io(_) => "index unreadable",
+        StoreError::StaleIndexRoot { .. } => "index root anchored ahead of the store",
+        StoreError::CorruptIndexRoot { .. } => "index root record corrupt",
+        _ => "index failed verification",
+    }
+}
+
+fn index_budget(store: &BlockStore) -> usize {
+    store.params().cache_config().index_node_cache_bytes
+}
+
+/// Opens the existing index and restores a chain from it, catching up
+/// a root that lags the store. Any failure is returned to the caller,
+/// which rebuilds.
+fn try_restore(
+    store: &Arc<BlockStore>,
+    config: StoreConfig,
+    verify: bool,
+) -> Result<(IndexedChain, AddrIndexRecovery), StoreError> {
+    let index_dir = store.dir().join(INDEX_DIR);
+    let store_tip = store.len();
+    let tables = IndexedTables::open(&index_dir, index_budget(store), config.segment_target_bytes)?;
+    let root_tip = tables.tip();
+    if root_tip > store_tip {
+        // The index references blocks the store no longer holds — its
+        // anchoring cannot be trusted.
+        return Err(StoreError::StaleIndexRoot {
+            root_tip,
+            store_tip,
+        });
+    }
+    if verify {
+        tables.verify_all()?;
+    }
+    let mut chain = restore_chain(store, tables)?;
+    if root_tip < store_tip {
+        chain.extend_batch(u64::MAX).map_err(StoreError::Chain)?;
+        chain.sync_derived().map_err(StoreError::Chain)?;
+        Ok((
+            chain,
+            AddrIndexRecovery::CaughtUp {
+                from: root_tip,
+                to: store_tip,
+            },
+        ))
+    } else {
+        Ok((chain, AddrIndexRecovery::Intact))
+    }
+}
+
+fn restore_chain(
+    store: &Arc<BlockStore>,
+    tables: IndexedTables,
+) -> Result<IndexedChain, StoreError> {
+    let headers = tables.restore_headers()?;
+    let span_hashes = tables.restore_span_hashes()?;
+    // One block read pins the restored state to the durable chain: the
+    // index's idea of the tip must be the block the store actually has.
+    if let Some(last) = headers.last() {
+        let tip_block = store.read_block(headers.len() as u64)?;
+        if tip_block.header != *last {
+            return Err(StoreError::CorruptIndexRoot {
+                detail: "restored tip header disagrees with the stored tip block",
+            });
+        }
+    }
+    let source = DiskBlockSource::new(Arc::clone(store));
+    Chain::from_restored_parts(store.params(), headers, span_hashes, source, tables)
+        .map_err(StoreError::Chain)
+}
+
+/// Rebuilds the index from scratch off the CRC-verified blocks,
+/// anchoring every [`REBUILD_BATCH`] blocks so the transient dirty set
+/// stays bounded regardless of chain length.
+fn rebuild_index(store: &Arc<BlockStore>, config: StoreConfig) -> Result<IndexedChain, StoreError> {
+    let index_dir = store.dir().join(INDEX_DIR);
+    let tables =
+        IndexedTables::create(&index_dir, index_budget(store), config.segment_target_bytes)?;
+    let source = DiskBlockSource::new(Arc::clone(store));
+    let mut chain =
+        Chain::from_restored_parts(store.params(), Vec::new(), HashMap::new(), source, tables)
+            .map_err(StoreError::Chain)?;
+    loop {
+        let absorbed = chain
+            .extend_batch(REBUILD_BATCH)
+            .map_err(StoreError::Chain)?;
+        chain.sync_derived().map_err(StoreError::Chain)?;
+        if absorbed < REBUILD_BATCH {
+            break;
+        }
+    }
+    Ok(chain)
 }
 
 /// Copies every block of `chain` into a fresh store at `dir` and syncs

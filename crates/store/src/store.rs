@@ -45,6 +45,10 @@ use lvq_codec::{Decodable, Encodable, Reader};
 
 use crate::crc32::crc32;
 use crate::error::StoreError;
+use crate::frame::{
+    frame_record, read_exact_at, read_record_payload, scan_record, segment_header, FrameError,
+    RecordLoc, ScannedRecord, SegmentHandle, RECORD_HEADER_LEN, SEGMENT_HEADER_LEN,
+};
 
 const META_MAGIC: [u8; 4] = *b"LVQM";
 const SEGMENT_MAGIC: [u8; 4] = *b"LVQS";
@@ -53,11 +57,6 @@ const VERSION: u32 = 1;
 
 const META_FILE: &str = "store.meta";
 const INDEX_FILE: &str = "index.idx";
-
-/// Bytes of segment header: magic, version, segment number.
-const SEGMENT_HEADER_LEN: u64 = 12;
-/// Bytes of record framing before the payload: length and CRC.
-const RECORD_HEADER_LEN: u64 = 8;
 
 /// Operational knobs of a [`BlockStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,6 +75,35 @@ impl Default for StoreConfig {
             cache_bytes: 16 * 1024 * 1024,
         }
     }
+}
+
+/// What opening a persistent address index found, when one was opened
+/// alongside the store (see `open_chain_indexed` in this crate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AddrIndexRecovery {
+    /// No address index was opened (plain `open_chain`, or bare
+    /// [`BlockStore::open`]).
+    #[default]
+    NotOpened,
+    /// The index's root record anchored exactly at the store tip and
+    /// its restored state verified — reopen was point reads only.
+    Intact,
+    /// The root record anchored *behind* the store tip
+    /// ([`StoreError::StaleIndexRoot`]); the missing blocks were
+    /// re-absorbed incrementally and the index re-anchored.
+    CaughtUp {
+        /// Tip height the root record anchored.
+        from: u64,
+        /// Store tip the index was caught up to.
+        to: u64,
+    },
+    /// The index was missing, corrupt, or anchored ahead of the store,
+    /// and was rebuilt from the (CRC-verified) blocks. Loud but safe:
+    /// a rebuilt index can never serve a wrong answer.
+    Rebuilt {
+        /// Why the index could not be adopted.
+        reason: &'static str,
+    },
 }
 
 /// What [`BlockStore::open`] had to repair.
@@ -98,28 +126,23 @@ pub struct RecoveryReport {
     /// records, so the index — which never covered the unborn segment —
     /// is not implicated.
     pub repaired_segment_header: bool,
+    /// What opening the address index alongside the store found, when
+    /// one was opened.
+    pub addr_index: AddrIndexRecovery,
 }
 
 impl RecoveryReport {
-    /// `true` if the store opened exactly as it was left.
+    /// `true` if the store (and the address index, if one was opened)
+    /// came back exactly as it was left.
     pub fn is_clean(&self) -> bool {
-        *self == RecoveryReport::default()
-    }
-}
-
-/// Where one record lives.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct RecordLoc {
-    segment: u32,
-    /// Offset of the record header within the segment file.
-    offset: u64,
-    /// Payload length in bytes.
-    len: u32,
-}
-
-impl RecordLoc {
-    fn end(&self) -> u64 {
-        self.offset + RECORD_HEADER_LEN + self.len as u64
+        self.truncated_tail_bytes == 0
+            && self.recovered_records == 0
+            && !self.rebuilt_index
+            && !self.repaired_segment_header
+            && matches!(
+                self.addr_index,
+                AddrIndexRecovery::NotOpened | AddrIndexRecovery::Intact
+            )
     }
 }
 
@@ -128,14 +151,6 @@ struct Writer {
     file: File,
     segment: u32,
     offset: u64,
-}
-
-/// One open segment: a shared read handle plus its path (the path is
-/// the portable fallback when positional reads are unavailable).
-#[derive(Debug, Clone)]
-struct SegmentHandle {
-    file: Arc<File>,
-    path: PathBuf,
 }
 
 /// An append-only, CRC-framed, segmented store of encoded blocks.
@@ -155,30 +170,6 @@ pub struct BlockStore {
 
 fn segment_file_name(segment: u32) -> String {
     format!("segment-{segment:04}.blk")
-}
-
-fn segment_header(segment: u32) -> [u8; SEGMENT_HEADER_LEN as usize] {
-    let mut header = [0u8; SEGMENT_HEADER_LEN as usize];
-    header[..4].copy_from_slice(&SEGMENT_MAGIC);
-    header[4..8].copy_from_slice(&VERSION.to_le_bytes());
-    header[8..12].copy_from_slice(&segment.to_le_bytes());
-    header
-}
-
-/// Positional read of `buf.len()` bytes at `offset`.
-#[cfg(unix)]
-fn read_exact_at(handle: &SegmentHandle, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
-    use std::os::unix::fs::FileExt;
-    handle.file.read_exact_at(buf, offset)
-}
-
-/// Portable fallback: a fresh handle per read keeps `&self` reads
-/// seek-free on the shared descriptor.
-#[cfg(not(unix))]
-fn read_exact_at(handle: &SegmentHandle, buf: &mut [u8], offset: u64) -> std::io::Result<()> {
-    let mut file = File::open(&handle.path)?;
-    file.seek(SeekFrom::Start(offset))?;
-    file.read_exact(buf)
 }
 
 impl BlockStore {
@@ -218,7 +209,7 @@ impl BlockStore {
             .read(true)
             .write(true)
             .open(&seg_path)?;
-        seg_file.write_all(&segment_header(0))?;
+        seg_file.write_all(&segment_header(SEGMENT_MAGIC, VERSION, 0))?;
         seg_file.sync_all()?;
 
         let store = BlockStore {
@@ -280,7 +271,7 @@ impl BlockStore {
         if last_len < SEGMENT_HEADER_LEN {
             let mut f = OpenOptions::new().write(true).open(&last_path)?;
             f.set_len(0)?;
-            f.write_all(&segment_header(last))?;
+            f.write_all(&segment_header(SEGMENT_MAGIC, VERSION, last))?;
             f.sync_all()?;
             report.truncated_tail_bytes += last_len;
             report.repaired_segment_header = true;
@@ -344,6 +335,13 @@ impl BlockStore {
                         offset = loc.end();
                         index.push(loc);
                         report.recovered_records += 1;
+                    }
+                    ScannedRecord::Corrupt { offset, detail } => {
+                        return Err(StoreError::CorruptRecord {
+                            segment: seg,
+                            offset,
+                            detail,
+                        });
                     }
                     ScannedRecord::Torn => {
                         if seg != last {
@@ -438,10 +436,7 @@ impl BlockStore {
     /// Returns [`StoreError::Io`] on write failure.
     pub fn append(&self, block: &Block) -> Result<u64, StoreError> {
         let payload = block.encode();
-        let mut record = Vec::with_capacity(RECORD_HEADER_LEN as usize + payload.len());
-        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        record.extend_from_slice(&crc32(&payload).to_le_bytes());
-        record.extend_from_slice(&payload);
+        let record = frame_record(&payload);
 
         let mut writer = self.writer.lock();
         if writer.offset >= self.config.segment_target_bytes && writer.offset > SEGMENT_HEADER_LEN {
@@ -471,7 +466,7 @@ impl BlockStore {
             .read(true)
             .write(true)
             .open(&path)?;
-        file.write_all(&segment_header(next))?;
+        file.write_all(&segment_header(SEGMENT_MAGIC, VERSION, next))?;
         self.segments.write().push(SegmentHandle {
             file: Arc::new(File::open(&path)?),
             path,
@@ -504,26 +499,14 @@ impl BlockStore {
 
     fn read_record(&self, loc: RecordLoc) -> Result<Vec<u8>, StoreError> {
         let handle = self.segments.read()[loc.segment as usize].clone();
-        let mut buf = vec![0u8; (RECORD_HEADER_LEN + loc.len as u64) as usize];
-        read_exact_at(&handle, &mut buf, loc.offset)?;
-        let stored_len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
-        let stored_crc = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]);
-        if stored_len != loc.len {
-            return Err(StoreError::CorruptRecord {
+        read_record_payload(&handle, loc).map_err(|e| match e {
+            FrameError::Io(e) => StoreError::Io(e),
+            FrameError::Corrupt { detail } => StoreError::CorruptRecord {
                 segment: loc.segment,
                 offset: loc.offset,
-                detail: "length field disagrees with index",
-            });
-        }
-        let payload = &buf[RECORD_HEADER_LEN as usize..];
-        if crc32(payload) != stored_crc {
-            return Err(StoreError::CorruptRecord {
-                segment: loc.segment,
-                offset: loc.offset,
-                detail: "crc mismatch",
-            });
-        }
-        Ok(payload.to_vec())
+                detail,
+            },
+        })
     }
 
     /// Visits every stored block in height order, re-verifying each
@@ -701,50 +684,4 @@ fn load_index(path: &Path, segments: &[SegmentHandle]) -> Option<Vec<RecordLoc>>
         }
     }
     Some(index)
-}
-
-enum ScannedRecord {
-    Valid(RecordLoc),
-    /// Incomplete or CRC-failed exactly at end-of-file.
-    Torn,
-}
-
-/// Examines the record starting at `offset` during the reopen scan.
-fn scan_record(
-    handle: &SegmentHandle,
-    segment: u32,
-    offset: u64,
-    file_len: u64,
-) -> Result<ScannedRecord, StoreError> {
-    if offset + RECORD_HEADER_LEN > file_len {
-        return Ok(ScannedRecord::Torn);
-    }
-    let mut header = [0u8; RECORD_HEADER_LEN as usize];
-    read_exact_at(handle, &mut header, offset)?;
-    let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
-    let stored_crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
-    let end = offset + RECORD_HEADER_LEN + len as u64;
-    if end > file_len {
-        return Ok(ScannedRecord::Torn);
-    }
-    let mut payload = vec![0u8; len as usize];
-    read_exact_at(handle, &mut payload, offset + RECORD_HEADER_LEN)?;
-    if crc32(&payload) != stored_crc {
-        return if end == file_len {
-            // All bytes present but wrong checksum at the very tail: a
-            // torn write whose data pages never hit disk. Truncate.
-            Ok(ScannedRecord::Torn)
-        } else {
-            Err(StoreError::CorruptRecord {
-                segment,
-                offset,
-                detail: "crc mismatch",
-            })
-        };
-    }
-    Ok(ScannedRecord::Valid(RecordLoc {
-        segment,
-        offset,
-        len,
-    }))
 }

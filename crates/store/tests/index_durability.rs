@@ -1,0 +1,387 @@
+//! Durability and equivalence of the persistent address index.
+//!
+//! The contract under test: query traffic served through the index is
+//! *byte-identical* to the rebuild path, and no damage to the index —
+//! torn node-log tail, flipped bit, stale or corrupt root record — ever
+//! produces a wrong answer. Damage is detected and answered with a loud
+//! rebuild.
+
+use std::fs::{self, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proptest::prelude::*;
+
+use lvq_bloom::BloomParams;
+use lvq_chain::{
+    Address, BlockSource, Chain, ChainBuilder, ChainParams, CommitmentPolicy, TableSource,
+    Transaction,
+};
+use lvq_codec::Encodable;
+use lvq_core::Prover;
+use lvq_store::{
+    crc32, ingest_chain, open_chain_indexed, open_chain_indexed_verified, AddrIndexRecovery,
+    BlockStore, StoreConfig,
+};
+
+static NEXT_DIR: AtomicU64 = AtomicU64::new(0);
+
+/// A unique scratch directory, removed on drop.
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> Self {
+        let n = NEXT_DIR.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("lvq-index-test-{tag}-{}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        ScratchDir(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn params() -> ChainParams {
+    ChainParams::new(
+        BloomParams::new(256, 2).unwrap(),
+        8,
+        CommitmentPolicy::lvq(),
+    )
+    .unwrap()
+}
+
+fn build_chain(blocks: u64, seed: u64) -> Chain {
+    let mut builder = ChainBuilder::new(params()).unwrap();
+    for h in 1..=blocks {
+        let mut txs = vec![Transaction::coinbase(Address::new("1Miner"), 50, h as u32)];
+        for t in 0..(seed + h) % 4 {
+            txs.push(Transaction::coinbase(
+                Address::new(format!("1Addr{seed}x{h}x{t}").as_str()),
+                1,
+                (h * 100 + t) as u32,
+            ));
+        }
+        builder.push_block(txs).unwrap();
+    }
+    builder.finish()
+}
+
+/// Probe set: the ubiquitous miner, a handful of one-shot addresses
+/// that exist at known heights, and two that exist nowhere.
+fn probes(blocks: u64, seed: u64) -> Vec<Address> {
+    let mut out = vec![Address::new("1Miner")];
+    for h in [1, blocks / 2 + 1, blocks] {
+        out.push(Address::new(format!("1Addr{seed}x{h}x0").as_str()));
+    }
+    out.push(Address::new("1Nobody"));
+    out.push(Address::new(format!("1Addr{seed}x0x9").as_str()));
+    out
+}
+
+/// Full wire bytes of the prover's answer for `address` — the quantity
+/// pinned byte-for-byte between the index path and the rebuild path.
+fn respond_bytes<S, T>(chain: &Chain<S, T>, address: &Address) -> Vec<u8>
+where
+    S: BlockSource,
+    T: TableSource,
+{
+    let prover = Prover::from_chain(chain).expect("known scheme");
+    let (response, _) = prover.respond(address).expect("prover never fails");
+    response.encode()
+}
+
+fn assert_equivalent<S, T>(truth: &Chain, served: &Chain<S, T>, blocks: u64, seed: u64)
+where
+    S: BlockSource,
+    T: TableSource,
+{
+    assert_eq!(served.tip_height(), truth.tip_height());
+    assert_eq!(served.headers(), truth.headers());
+    for address in probes(blocks, seed) {
+        assert_eq!(
+            respond_bytes(truth, &address),
+            respond_bytes(served, &address),
+            "response bytes diverge for {address:?}"
+        );
+        assert_eq!(
+            truth.history_of(&address),
+            served.history_of(&address),
+            "history diverges for {address:?}"
+        );
+    }
+}
+
+fn index_root_path(dir: &Path) -> PathBuf {
+    dir.join("addr-index").join("root.idx")
+}
+
+/// Path of the highest-numbered node-log segment.
+fn last_node_segment(dir: &Path) -> PathBuf {
+    let index = dir.join("addr-index");
+    let mut seg = 0u32;
+    while index.join(format!("nodes-{:04}.seg", seg + 1)).exists() {
+        seg += 1;
+    }
+    index.join(format!("nodes-{seg:04}.seg"))
+}
+
+/// Rewrites the root record's anchored tip in place, re-sealing the CRC
+/// — the record stays *valid*, only its anchoring becomes a lie.
+fn patch_root_tip(dir: &Path, new_tip: u64) {
+    let path = index_root_path(dir);
+    let mut bytes = fs::read(&path).unwrap();
+    bytes[8..16].copy_from_slice(&new_tip.to_le_bytes());
+    let body_len = bytes.len() - 4;
+    let crc = crc32(&bytes[..body_len]);
+    bytes[body_len..].copy_from_slice(&crc.to_le_bytes());
+    fs::write(&path, bytes).unwrap();
+}
+
+fn flip_byte(path: &Path, offset: u64) {
+    let mut file = OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(path)
+        .unwrap();
+    let mut byte = [0u8; 1];
+    file.seek(SeekFrom::Start(offset)).unwrap();
+    file.read_exact(&mut byte).unwrap();
+    byte[0] ^= 0xFF;
+    file.seek(SeekFrom::Start(offset)).unwrap();
+    file.write_all(&byte).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The tentpole guarantee: for random chains, the response bytes a
+    /// client receives through the persistent index — first open
+    /// (rebuild), then reopen (pure point reads) — are identical to the
+    /// in-memory rebuild path's.
+    #[test]
+    fn index_query_traffic_is_byte_identical_to_rebuild(
+        blocks in 1u64..20,
+        seed in 0u64..500,
+    ) {
+        let truth = build_chain(blocks, seed);
+        let scratch = ScratchDir::new("byteident");
+        let config = StoreConfig::default();
+        drop(ingest_chain(&truth, scratch.path(), config).unwrap());
+
+        // First open: no index yet — built from the blocks.
+        {
+            let (served, report) = open_chain_indexed(scratch.path(), config).unwrap();
+            prop_assert!(matches!(
+                report.addr_index,
+                AddrIndexRecovery::Rebuilt { reason: "no index present" }
+            ), "unexpected first-open outcome: {:?}", report.addr_index);
+            assert_equivalent(&truth, &served, blocks, seed);
+        }
+
+        // Reopen: restored from the anchored root, no replay.
+        let (served, report) = open_chain_indexed(scratch.path(), config).unwrap();
+        prop_assert_eq!(report.addr_index, AddrIndexRecovery::Intact);
+        prop_assert!(report.is_clean(), "unexpected recovery: {report:?}");
+        assert_equivalent(&truth, &served, blocks, seed);
+    }
+
+    /// A flipped byte anywhere in the node log never changes an answer:
+    /// the verified reopen either proves the flip harmless (it landed in
+    /// an unreferenced record) or detects it and rebuilds. Both paths
+    /// serve byte-identical traffic.
+    #[test]
+    fn bit_flip_in_node_log_never_lies(
+        blocks in 4u64..16,
+        seed in 0u64..500,
+        flip in any::<u64>(),
+    ) {
+        let truth = build_chain(blocks, seed);
+        let scratch = ScratchDir::new("bitflip");
+        let config = StoreConfig::default();
+        drop(ingest_chain(&truth, scratch.path(), config).unwrap());
+        drop(open_chain_indexed(scratch.path(), config).unwrap());
+
+        let victim = last_node_segment(scratch.path());
+        let len = fs::metadata(&victim).unwrap().len();
+        // Skip the 12-byte segment header: damaging it refuses the whole
+        // log (also a rebuild, but trivially so).
+        flip_byte(&victim, 12 + flip % (len - 12));
+
+        let (served, report) = open_chain_indexed_verified(scratch.path(), config).unwrap();
+        prop_assert!(matches!(
+            report.addr_index,
+            AddrIndexRecovery::Intact | AddrIndexRecovery::Rebuilt { .. }
+        ));
+        assert_equivalent(&truth, &served, blocks, seed);
+    }
+}
+
+#[test]
+fn stale_root_behind_store_catches_up_without_rebuild() {
+    let truth = build_chain(14, 3);
+    let scratch = ScratchDir::new("stale");
+    let config = StoreConfig::default();
+
+    // Persist only the first 10 blocks, index them…
+    let store = BlockStore::create(scratch.path(), truth.params(), config).unwrap();
+    for h in 1..=10 {
+        store.append(&truth.block(h).unwrap()).unwrap();
+    }
+    store.sync().unwrap();
+    drop(store);
+    drop(open_chain_indexed(scratch.path(), config).unwrap());
+
+    // …then extend the store to 14 behind the index's back.
+    let (store, _) = BlockStore::open(scratch.path(), config).unwrap();
+    for h in 11..=14 {
+        store.append(&truth.block(h).unwrap()).unwrap();
+    }
+    store.sync().unwrap();
+    drop(store);
+
+    let (served, report) = open_chain_indexed(scratch.path(), config).unwrap();
+    assert_eq!(
+        report.addr_index,
+        AddrIndexRecovery::CaughtUp { from: 10, to: 14 }
+    );
+    assert!(
+        !report.is_clean(),
+        "a catch-up is recovery, not a clean open"
+    );
+    assert_equivalent(&truth, &served, 14, 3);
+    drop(served);
+
+    // The catch-up re-anchored: the next open is clean.
+    let (_, report) = open_chain_indexed(scratch.path(), config).unwrap();
+    assert_eq!(report.addr_index, AddrIndexRecovery::Intact);
+}
+
+#[test]
+fn root_ahead_of_store_forces_rebuild() {
+    let truth = build_chain(10, 7);
+    let scratch = ScratchDir::new("ahead");
+    let config = StoreConfig::default();
+    drop(ingest_chain(&truth, scratch.path(), config).unwrap());
+    drop(open_chain_indexed(scratch.path(), config).unwrap());
+
+    // A valid root record claiming three blocks the store never had:
+    // its anchoring cannot be trusted, so everything is rebuilt.
+    patch_root_tip(scratch.path(), 13);
+
+    let (served, report) = open_chain_indexed(scratch.path(), config).unwrap();
+    assert_eq!(
+        report.addr_index,
+        AddrIndexRecovery::Rebuilt {
+            reason: "index root anchored ahead of the store"
+        }
+    );
+    assert_equivalent(&truth, &served, 10, 7);
+}
+
+#[test]
+fn corrupt_root_record_forces_rebuild() {
+    let truth = build_chain(8, 11);
+    let scratch = ScratchDir::new("rootflip");
+    let config = StoreConfig::default();
+    drop(ingest_chain(&truth, scratch.path(), config).unwrap());
+    drop(open_chain_indexed(scratch.path(), config).unwrap());
+
+    flip_byte(&index_root_path(scratch.path()), 20);
+
+    let (served, report) = open_chain_indexed(scratch.path(), config).unwrap();
+    assert_eq!(
+        report.addr_index,
+        AddrIndexRecovery::Rebuilt {
+            reason: "index root record corrupt"
+        }
+    );
+    assert_equivalent(&truth, &served, 8, 11);
+}
+
+#[test]
+fn torn_node_log_tail_is_unreferenced_waste() {
+    let truth = build_chain(9, 5);
+    let scratch = ScratchDir::new("torn-tail");
+    let config = StoreConfig::default();
+    drop(ingest_chain(&truth, scratch.path(), config).unwrap());
+    drop(open_chain_indexed(scratch.path(), config).unwrap());
+
+    // A crash between a log append and the root rewrite leaves bytes
+    // past the last anchored node. They are not referenced, so even the
+    // full-verification reopen is Intact.
+    let victim = last_node_segment(scratch.path());
+    let mut file = OpenOptions::new().append(true).open(&victim).unwrap();
+    file.write_all(&[0xAB; 200]).unwrap();
+    drop(file);
+
+    let (served, report) = open_chain_indexed_verified(scratch.path(), config).unwrap();
+    assert_eq!(report.addr_index, AddrIndexRecovery::Intact);
+    assert_equivalent(&truth, &served, 9, 5);
+    drop(served);
+
+    // Truncation, by contrast, cuts into *referenced* records: detected
+    // and rebuilt, never served wrong. (Take off the 200 garbage bytes
+    // plus a slice of real records.)
+    let len = fs::metadata(&victim).unwrap().len();
+    OpenOptions::new()
+        .write(true)
+        .open(&victim)
+        .unwrap()
+        .set_len(len - 230)
+        .unwrap();
+
+    let (served, report) = open_chain_indexed_verified(scratch.path(), config).unwrap();
+    assert!(
+        matches!(report.addr_index, AddrIndexRecovery::Rebuilt { .. }),
+        "truncated log must rebuild, got {:?}",
+        report.addr_index
+    );
+    assert_equivalent(&truth, &served, 9, 5);
+}
+
+#[test]
+fn index_cache_reports_clears_and_rebudgets() {
+    let truth = build_chain(12, 2);
+    let scratch = ScratchDir::new("idxcache");
+    let config = StoreConfig::default();
+    drop(ingest_chain(&truth, scratch.path(), config).unwrap());
+    drop(open_chain_indexed(scratch.path(), config).unwrap());
+
+    let (served, _) = open_chain_indexed(scratch.path(), config).unwrap();
+    for address in probes(12, 2) {
+        let _ = served.history_of(&address);
+    }
+    let stats = served.cache_stats();
+    assert!(
+        stats.index_nodes.hits + stats.index_nodes.misses > 0,
+        "index reads must flow through the node cache: {stats:?}"
+    );
+    assert!(stats.index_nodes.used_bytes > 0);
+
+    served.tables().clear_cache();
+    let cleared = served.cache_stats().index_nodes;
+    assert_eq!(cleared.entries, 0);
+    assert_eq!(cleared.used_bytes, 0);
+    assert!(
+        cleared.hits + cleared.misses > 0,
+        "counters survive a clear"
+    );
+
+    // Starve the cache: reads still work (and still verify), they just
+    // stop retaining.
+    served.tables().set_cache_budget(0);
+    for address in probes(12, 2) {
+        let _ = served.history_of(&address);
+    }
+    assert_eq!(served.cache_stats().index_nodes.used_bytes, 0);
+    assert_equivalent(&truth, &served, 12, 2);
+}
