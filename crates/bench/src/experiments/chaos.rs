@@ -144,10 +144,7 @@ pub fn run(scale: Scale, seed: u64) -> Chaos {
     // A worker owns its connection for the whole session, so the pool
     // must be at least as wide as the quorum (live peers + the dead
     // one) or the peers would starve each other rather than the faults.
-    let config = ServerConfig {
-        workers: LIVE_PEERS + 1,
-        ..ServerConfig::default()
-    };
+    let config = ServerConfig::default().with_workers(LIVE_PEERS + 1);
     let server = NodeServer::bind(Arc::clone(&full), "127.0.0.1:0", config).expect("loopback bind");
     let addr = server.local_addr();
 

@@ -114,10 +114,7 @@ pub fn run(scale: Scale, seed: u64) -> Concurrent {
     // A worker owns its connection for the whole session, so the pool
     // must be at least CLIENTS wide or the fan-out phase serialises
     // (and on a single-core box the auto-sized pool is one worker).
-    let server_config = ServerConfig {
-        workers: CLIENTS as usize,
-        ..ServerConfig::default()
-    };
+    let server_config = ServerConfig::default().with_workers(CLIENTS as usize);
     let server =
         NodeServer::bind(Arc::clone(&full), "127.0.0.1:0", server_config).expect("loopback bind");
     let addr = server.local_addr();

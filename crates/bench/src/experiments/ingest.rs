@@ -209,10 +209,7 @@ pub fn run(scale: Scale, seed: u64) -> Ingest {
         Arc::clone(&live),
         Arc::clone(&store),
         feed,
-        IngestConfig {
-            seed,
-            ..IngestConfig::default()
-        },
+        IngestConfig::new().with_seed(seed),
     );
     server.attach_ingest(ingester.monitor());
 
@@ -277,10 +274,7 @@ pub fn run(scale: Scale, seed: u64) -> Ingest {
         Arc::clone(&live),
         Arc::clone(&store),
         feed,
-        IngestConfig {
-            seed: seed ^ 1,
-            ..IngestConfig::default()
-        },
+        IngestConfig::new().with_seed(seed ^ 1),
     );
     server.attach_ingest(ingester.monitor());
 

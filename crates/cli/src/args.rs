@@ -182,6 +182,14 @@ pub struct QueryOptions {
     /// rate) seeded with this value, and seeds the retry jitter — a
     /// self-healing demo and debugging aid. Remote queries only.
     pub chaos_seed: Option<u64>,
+    /// Give up dialing (and re-dialing) after this many milliseconds
+    /// instead of hanging for the OS connect default. Remote queries
+    /// only.
+    pub connect_timeout_ms: Option<u64>,
+    /// Negotiate protocol v2 and propose this in-flight window; a v1
+    /// server downgrades the connection to the blocking protocol.
+    /// Remote queries only.
+    pub pipeline: Option<u32>,
 }
 
 impl QueryOptions {
@@ -204,6 +212,9 @@ impl QueryOptions {
         let mut backoff_ms = 50u64;
         let mut chaos_seed = None;
         let mut retry_flag_seen = false;
+        let mut connect_timeout_ms = None;
+        let mut pipeline = None;
+        let mut transport_flag_seen = false;
         let mut iter = args.iter();
         while let Some(arg) = iter.next() {
             let mut value = |name: &str| {
@@ -250,6 +261,24 @@ impl QueryOptions {
                 "--chaos-seed" => {
                     chaos_seed = Some(parse_u64("--chaos-seed", &value("--chaos-seed")?)?);
                     retry_flag_seen = true;
+                }
+                "--connect-timeout-ms" => {
+                    let ms = parse_u64("--connect-timeout-ms", &value("--connect-timeout-ms")?)?;
+                    if ms == 0 {
+                        return Err(CliError::Usage(
+                            "--connect-timeout-ms must be at least 1".into(),
+                        ));
+                    }
+                    connect_timeout_ms = Some(ms);
+                    transport_flag_seen = true;
+                }
+                "--pipeline" => {
+                    let depth = parse_u32("--pipeline", &value("--pipeline")?)?;
+                    if depth == 0 {
+                        return Err(CliError::Usage("--pipeline must be at least 1".into()));
+                    }
+                    pipeline = Some(depth);
+                    transport_flag_seen = true;
                 }
                 other if !other.starts_with("--") => positional.push(other.to_string()),
                 other => return Err(CliError::Usage(format!("unknown flag '{other}'"))),
@@ -300,6 +329,13 @@ impl QueryOptions {
                             .into(),
                     ));
                 }
+                if transport_flag_seen {
+                    return Err(CliError::Usage(
+                        "--connect-timeout-ms/--pipeline only apply with --addr \
+                         (a local proof has no connection to tune)"
+                            .into(),
+                    ));
+                }
                 let [file, address] = positional.as_slice() else {
                     return Err(CliError::Usage(
                         "query takes a chain file and an address".into(),
@@ -308,6 +344,13 @@ impl QueryOptions {
                 (QuerySource::File(file.clone()), address.clone())
             }
         };
+        if pipeline.is_some() && chaos_seed.is_some() {
+            return Err(CliError::Usage(
+                "--pipeline and --chaos-seed are mutually exclusive (the fault \
+                 injector wraps the blocking transport stack)"
+                    .into(),
+            ));
+        }
         Ok(QueryOptions {
             source,
             address,
@@ -316,6 +359,8 @@ impl QueryOptions {
             retries,
             backoff_ms,
             chaos_seed,
+            connect_timeout_ms,
+            pipeline,
         })
     }
 }
@@ -355,6 +400,9 @@ pub struct ServeOptions {
     pub queue: Option<usize>,
     /// Per-request deadline in milliseconds (0 = none).
     pub deadline_ms: Option<u64>,
+    /// Largest per-connection pipelining window granted to protocol-v2
+    /// clients (requests past it are shed with `Busy`).
+    pub max_in_flight: Option<u32>,
     /// Byte budget for the decoded-block LRU cache (`--store` only).
     pub block_cache: Option<usize>,
     /// Chain file to follow while serving (`--store` only): blocks the
@@ -384,6 +432,7 @@ impl ServeOptions {
         let mut workers = 0;
         let mut queue = None;
         let mut deadline_ms = None;
+        let mut max_in_flight = None;
         let mut store = None;
         let mut trusted = false;
         let mut block_cache = None;
@@ -419,6 +468,13 @@ impl ServeOptions {
                 }
                 "--deadline-ms" => {
                     deadline_ms = Some(parse_u64("--deadline-ms", &value("--deadline-ms")?)?)
+                }
+                "--max-in-flight" => {
+                    let depth = parse_u32("--max-in-flight", &value("--max-in-flight")?)?;
+                    if depth == 0 {
+                        return Err(CliError::Usage("--max-in-flight must be at least 1".into()));
+                    }
+                    max_in_flight = Some(depth);
                 }
                 "--store" => store = Some(value("--store")?),
                 "--trust-file" => trusted = true,
@@ -494,6 +550,7 @@ impl ServeOptions {
             workers,
             queue,
             deadline_ms,
+            max_in_flight,
             block_cache,
             follow,
             index,
@@ -715,6 +772,71 @@ mod tests {
     }
 
     #[test]
+    fn query_transport_flags() {
+        let q = QueryOptions::parse(&strings(&[
+            "1Addr",
+            "--addr",
+            "127.0.0.1:4000",
+            "--segment",
+            "16",
+            "--connect-timeout-ms",
+            "500",
+            "--pipeline",
+            "8",
+        ]))
+        .unwrap();
+        assert_eq!(q.connect_timeout_ms, Some(500));
+        assert_eq!(q.pipeline, Some(8));
+
+        // Defaults: OS connect timeout, blocking v1 protocol.
+        let q =
+            QueryOptions::parse(&strings(&["1Addr", "--addr", "h:1", "--segment", "8"])).unwrap();
+        assert_eq!(q.connect_timeout_ms, None);
+        assert_eq!(q.pipeline, None);
+
+        // Zero is a mistake for both.
+        assert!(QueryOptions::parse(&strings(&[
+            "1Addr",
+            "--addr",
+            "h:1",
+            "--segment",
+            "8",
+            "--connect-timeout-ms",
+            "0"
+        ]))
+        .is_err());
+        assert!(QueryOptions::parse(&strings(&[
+            "1Addr",
+            "--addr",
+            "h:1",
+            "--segment",
+            "8",
+            "--pipeline",
+            "0"
+        ]))
+        .is_err());
+        // Transport flags without a transport are a mistake, not noise.
+        assert!(
+            QueryOptions::parse(&strings(&["c.lvq", "1Addr", "--connect-timeout-ms", "9"]))
+                .is_err()
+        );
+        assert!(QueryOptions::parse(&strings(&["c.lvq", "1Addr", "--pipeline", "4"])).is_err());
+        // Chaos wraps the blocking stack; pipelining bypasses it.
+        assert!(QueryOptions::parse(&strings(&[
+            "1Addr",
+            "--addr",
+            "h:1",
+            "--segment",
+            "8",
+            "--pipeline",
+            "4",
+            "--chaos-seed",
+            "1"
+        ]))
+        .is_err());
+    }
+
+    #[test]
     fn serve_parsing() {
         let s = ServeOptions::parse(&strings(&["c.lvq"])).unwrap();
         assert!(matches!(&s.source, ServeSource::File { path, trusted: false } if path == "c.lvq"));
@@ -742,6 +864,8 @@ mod tests {
             "32",
             "--deadline-ms",
             "250",
+            "--max-in-flight",
+            "16",
         ]))
         .unwrap();
         assert_eq!(s.addr, "0.0.0.0:4000");
@@ -751,11 +875,13 @@ mod tests {
         assert_eq!(s.workers, 4);
         assert_eq!(s.queue, Some(32));
         assert_eq!(s.deadline_ms, Some(250));
+        assert_eq!(s.max_in_flight, Some(16));
 
         assert!(ServeOptions::parse(&strings(&[])).is_err());
         assert!(ServeOptions::parse(&strings(&["a.lvq", "b.lvq"])).is_err());
         assert!(ServeOptions::parse(&strings(&["a.lvq", "--max-requests", "x"])).is_err());
         assert!(ServeOptions::parse(&strings(&["a.lvq", "--queue", "0"])).is_err());
+        assert!(ServeOptions::parse(&strings(&["a.lvq", "--max-in-flight", "0"])).is_err());
     }
 
     #[test]

@@ -11,8 +11,8 @@ use lvq_chain::{
 use lvq_core::{Completeness, LightClient, Prover, SchemeConfig, VerifiedHistory};
 use lvq_node::{
     FaultPlan, FaultyTransport, FullNode, IngestConfig, LightNode, LiveNode, MemoryFeed,
-    NodeServer, QueryRun, QuerySpec, ReconnectingTcpTransport, Retrier, RetryPolicy, ServerConfig,
-    TipIngester, Transport,
+    Negotiated, NodeServer, PipelinedTcpTransport, QueryRun, QuerySpec, ReconnectingTcpTransport,
+    Retrier, RetryPolicy, ServerConfig, TcpOptions, TipIngester, Transport,
 };
 use lvq_store::StoreConfig;
 use lvq_workload::{TrafficModel, WorkloadBuilder};
@@ -242,36 +242,70 @@ fn query_remote(
     let base = Duration::from_millis(opts.backoff_ms);
     let policy = RetryPolicy::new(opts.retries + 1).backoff(base, Duration::from_secs(2));
     let mut retrier = Retrier::new(policy, opts.chaos_seed.unwrap_or(0xC1A0));
+    let tcp_options =
+        TcpOptions::new().with_connect_timeout(opts.connect_timeout_ms.map(Duration::from_millis));
 
     // The transport stack, bottom up: a self-healing TCP connection,
     // optionally (under --chaos-seed) mistreated by a seeded fault
-    // injector so the healing is observable.
-    let reconnecting = ReconnectingTcpTransport::connect(remote.addr.as_str())?;
-    let (light, run, new_headers, reconnects, faults) = match opts.chaos_seed {
-        Some(seed) => {
-            let mut chaotic =
-                FaultyTransport::new(reconnecting, FaultPlan::composite(CHAOS_RATE), seed);
-            let (light, run, new_headers) =
-                run_remote_session(&mut chaotic, config, &spec, &mut retrier)?;
-            let injected = chaotic.stats().injected();
-            (
-                light,
-                run,
-                new_headers,
-                chaotic.inner().reconnects(),
-                Some(injected),
-            )
-        }
-        None => {
-            let mut transport = reconnecting;
-            let (light, run, new_headers) =
-                run_remote_session(&mut transport, config, &spec, &mut retrier)?;
-            (light, run, new_headers, transport.reconnects(), None)
-        }
-    };
+    // injector so the healing is observable — or, under --pipeline, a
+    // negotiated protocol-v2 connection (downgrading to blocking v1 if
+    // the server predates the Hello handshake).
+    let (light, run, new_headers, reconnects, faults, protocol) =
+        match (opts.pipeline, opts.chaos_seed) {
+            (Some(window), _) => {
+                match PipelinedTcpTransport::negotiate(remote.addr.as_str(), tcp_options, window)? {
+                    Negotiated::V2(mut transport) => {
+                        let granted = transport.granted();
+                        let (light, run, new_headers) =
+                            run_remote_session(&mut transport, config, &spec, &mut retrier)?;
+                        let label = format!("v2 (window {granted})");
+                        (light, run, new_headers, 0, None, Some(label))
+                    }
+                    Negotiated::V1(mut transport) => {
+                        let (light, run, new_headers) =
+                            run_remote_session(&mut transport, config, &spec, &mut retrier)?;
+                        (
+                            light,
+                            run,
+                            new_headers,
+                            0,
+                            None,
+                            Some("v1 (downgraded)".into()),
+                        )
+                    }
+                }
+            }
+            (None, Some(seed)) => {
+                let reconnecting =
+                    ReconnectingTcpTransport::connect_with(remote.addr.as_str(), tcp_options)?;
+                let mut chaotic =
+                    FaultyTransport::new(reconnecting, FaultPlan::composite(CHAOS_RATE), seed);
+                let (light, run, new_headers) =
+                    run_remote_session(&mut chaotic, config, &spec, &mut retrier)?;
+                let injected = chaotic.stats().injected();
+                (
+                    light,
+                    run,
+                    new_headers,
+                    chaotic.inner().reconnects(),
+                    Some(injected),
+                    None,
+                )
+            }
+            (None, None) => {
+                let mut transport =
+                    ReconnectingTcpTransport::connect_with(remote.addr.as_str(), tcp_options)?;
+                let (light, run, new_headers) =
+                    run_remote_session(&mut transport, config, &spec, &mut retrier)?;
+                (light, run, new_headers, transport.reconnects(), None, None)
+            }
+        };
     let synced = light.client().tip_height() - new_headers;
 
     writeln!(out, "peer         : {}", remote.addr)?;
+    if let Some(protocol) = &protocol {
+        writeln!(out, "protocol     : {protocol}")?;
+    }
     writeln!(
         out,
         "synced       : {synced} headers ({} scheme)",
@@ -443,16 +477,18 @@ fn prepare_chain<S: BlockSource, T: TableSource>(
 }
 
 fn server_config_from(opts: &ServeOptions) -> ServerConfig {
-    let mut server_config = ServerConfig {
-        workers: opts.workers,
-        request_deadline: opts
-            .deadline_ms
-            .filter(|&ms| ms > 0)
-            .map(Duration::from_millis),
-        ..ServerConfig::default()
-    };
+    let mut server_config = ServerConfig::default()
+        .with_workers(opts.workers)
+        .with_request_deadline(
+            opts.deadline_ms
+                .filter(|&ms| ms > 0)
+                .map(Duration::from_millis),
+        );
     if let Some(queue) = opts.queue {
-        server_config.accept_queue = queue;
+        server_config = server_config.with_accept_queue(queue);
+    }
+    if let Some(depth) = opts.max_in_flight {
+        server_config = server_config.with_max_in_flight(depth);
     }
     server_config
 }

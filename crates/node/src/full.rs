@@ -9,7 +9,12 @@ use lvq_codec::Encodable;
 use lvq_core::{Prover, ProverStats, SchemeConfig};
 use parking_lot::Mutex;
 
-use crate::message::{Message, NodeError, WireError, WireErrorCode};
+use crate::message::{envelope, HelloInfo, Message, NodeError, WireError, WireErrorCode};
+
+/// The in-flight cap a node grants when it answers a [`Message::Hello`]
+/// itself (i.e. when not behind a [`crate::NodeServer`], whose
+/// configured cap takes precedence).
+pub const DEFAULT_MAX_IN_FLIGHT: u32 = 32;
 
 /// What kind of request one handled exchange was, for the server's
 /// per-message-type counters.
@@ -23,6 +28,8 @@ pub enum RequestKind {
     Query,
     /// [`Message::BatchQueryRequest`] — batched query.
     BatchQuery,
+    /// [`Message::Hello`] — v2 feature negotiation.
+    Hello,
     /// Anything that never classified as a request: undecodable bytes,
     /// an unsupported version, or a response-kind message.
     Invalid,
@@ -171,7 +178,15 @@ impl<S: BlockSource, T: TableSource> FullNode<S, T> {
         self.chain.sync_derived()
     }
 
-    /// Classifies and handles one encoded request.
+    /// Classifies and handles one encoded request, speaking both wire
+    /// versions.
+    ///
+    /// A v2 payload (see [`envelope`]) is unwrapped, handled exactly
+    /// like its v1 equivalent, and the response is re-enveloped under
+    /// the request's id — so an in-process [`crate::LocalTransport`]
+    /// serves pipelined clients with the same bytes a TCP server would.
+    /// A [`Message::Hello`] is answered with a [`Message::HelloAck`]
+    /// granting at most [`DEFAULT_MAX_IN_FLIGHT`].
     ///
     /// Never fails: every fault — undecodable bytes, an unsupported
     /// protocol version, a response-kind message, a prover refusal —
@@ -180,6 +195,22 @@ impl<S: BlockSource, T: TableSource> FullNode<S, T> {
     /// dropping it. The [`Handled::kind`] and [`Handled::error`] fields
     /// feed the server's per-type and error counters.
     pub fn handle_classified(&self, request: &[u8]) -> Handled {
+        match envelope::unwrap_v2(request) {
+            Some((id, v1)) => {
+                let handled = self.handle_v1(&v1);
+                Handled {
+                    kind: handled.kind,
+                    bytes: envelope::wrap_v2(&handled.bytes, id),
+                    error: handled.error,
+                }
+            }
+            // Not v2 (or a truncated v2 head): the v1-strict classifier
+            // produces the right structured refusal either way.
+            None => self.handle_v1(request),
+        }
+    }
+
+    fn handle_v1(&self, request: &[u8]) -> Handled {
         let message = match Message::decode_classified(request) {
             Ok(m) => m,
             Err(e) => return Handled::refusal(RequestKind::Invalid, e),
@@ -243,11 +274,19 @@ impl<S: BlockSource, T: TableSource> FullNode<S, T> {
                     }
                 }
             }
+            Message::Hello(hello) => (
+                RequestKind::Hello,
+                Message::HelloAck(HelloInfo {
+                    max_in_flight: hello.max_in_flight.clamp(1, DEFAULT_MAX_IN_FLIGHT),
+                    features: 0,
+                }),
+            ),
             Message::Headers(_)
             | Message::QueryResponse(_)
             | Message::BatchQueryResponse(_)
             | Message::Busy
-            | Message::Error(_) => {
+            | Message::Error(_)
+            | Message::HelloAck(_) => {
                 return Handled::refusal(
                     RequestKind::Invalid,
                     WireError::new(WireErrorCode::UnexpectedKind),

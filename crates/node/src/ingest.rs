@@ -190,7 +190,12 @@ impl<F: BlockFeed> BlockFeed for FlakyFeed<F> {
 }
 
 /// Tuning knobs for a [`TipIngester`].
+///
+/// `#[non_exhaustive]`: construct with [`IngestConfig::default`] (or
+/// the [`IngestConfig::new`] alias) and chain `with_*` setters, so new
+/// knobs can be added without breaking callers.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct IngestConfig {
     /// Smallest fetch batch (also the size after repeated failures).
     pub min_batch: u64,
@@ -225,6 +230,64 @@ impl Default for IngestConfig {
             max_consecutive_failures: None,
             seed: 0,
         }
+    }
+}
+
+impl IngestConfig {
+    /// Alias for [`IngestConfig::default`], reading better at the head
+    /// of a `with_*` chain.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the smallest fetch batch.
+    #[must_use]
+    pub fn with_min_batch(mut self, min_batch: u64) -> Self {
+        self.min_batch = min_batch;
+        self
+    }
+
+    /// Sets the largest fetch batch.
+    #[must_use]
+    pub fn with_max_batch(mut self, max_batch: u64) -> Self {
+        self.max_batch = max_batch;
+        self
+    }
+
+    /// Sets the caught-up poll interval.
+    #[must_use]
+    pub fn with_poll(mut self, poll: Duration) -> Self {
+        self.poll = poll;
+        self
+    }
+
+    /// Sets the base backoff after a transient feed failure.
+    #[must_use]
+    pub fn with_backoff(mut self, backoff: Duration) -> Self {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Sets the backoff ceiling.
+    #[must_use]
+    pub fn with_max_backoff(mut self, max_backoff: Duration) -> Self {
+        self.max_backoff = max_backoff;
+        self
+    }
+
+    /// Sets how many consecutive transient failures are tolerated
+    /// before [`IngestError::FeedGaveUp`]; `None` retries forever.
+    #[must_use]
+    pub fn with_max_consecutive_failures(mut self, max: Option<u32>) -> Self {
+        self.max_consecutive_failures = max;
+        self
+    }
+
+    /// Sets the retry-jitter seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
     }
 }
 

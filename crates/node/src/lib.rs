@@ -71,6 +71,7 @@ mod light;
 mod live;
 mod message;
 mod pipe;
+mod pipelined;
 mod quorum;
 mod reconnect;
 mod retry;
@@ -82,15 +83,21 @@ mod transport;
 
 pub use bandwidth::BandwidthModel;
 pub use faults::{FaultPlan, FaultStats, FaultyTransport};
-pub use full::{FullNode, Handled, QueryEngineStats, RequestKind};
+pub use full::{FullNode, Handled, QueryEngineStats, RequestKind, DEFAULT_MAX_IN_FLIGHT};
 pub use ingest::{
     BlockFeed, FeedError, FeedPublisher, FlakyFeed, IngestConfig, IngestError, IngestHandle,
     IngestMonitor, IngestStats, MemoryFeed, TipIngester,
 };
-pub use light::{BatchQueryOutcome, LightNode, QueryOutcome, QueryRun, QuerySpec};
+pub use light::{LightNode, QueryRun, QuerySpec};
 pub use live::LiveNode;
-pub use message::{Message, NodeError, WireError, WireErrorCode, PROTOCOL_VERSION};
+pub use message::{
+    envelope, HelloInfo, Message, NodeError, WireError, WireErrorCode, PROTOCOL_V2,
+    PROTOCOL_VERSION,
+};
 pub use pipe::{MeteredPipe, Traffic};
+pub use pipelined::{
+    Negotiated, PipelinedTcpTransport, PipelinedTransport, ReqId, SequentialPipeline,
+};
 pub use quorum::{
     query_quorum, query_quorum_batch, query_quorum_spec, PeerHealth, PeerOutcome, QueryPeer,
     QuorumBatchOutcome, QuorumOutcome, QuorumReport,
@@ -100,5 +107,5 @@ pub use retry::{ResyncOutcome, Retrier, RetryPolicy, RetryStats};
 pub use server::{
     LatencySummary, NodeServer, RequestCounters, ServeNode, ServerConfig, ServerStats,
 };
-pub use tcp::TcpTransport;
+pub use tcp::{TcpOptions, TcpTransport};
 pub use transport::{LocalTransport, Transport};

@@ -4,20 +4,21 @@ use lvq_chain::{Address, BlockHeader};
 use lvq_codec::{decode_exact, Encodable};
 use lvq_core::{LightClient, SchemeConfig, VerifiedHistory};
 
+use std::collections::HashMap;
+
 use crate::message::{Message, NodeError};
 use crate::pipe::Traffic;
+use crate::pipelined::{PipelinedTransport, ReqId};
 use crate::transport::Transport;
 
 /// A declarative description of one verifiable query: which addresses,
 /// over which block-height range.
 ///
-/// `QuerySpec` is the single entry point that replaced the four
-/// near-duplicate `query*` methods: build a spec, hand it to
-/// [`LightNode::run`]. A single-address spec goes on the wire as
-/// [`Message::QueryRequest`] and a multi-address spec as
-/// [`Message::BatchQueryRequest`], so the bytes (and therefore the
-/// [`Traffic`] accounting) are exactly what the deprecated methods
-/// produced.
+/// `QuerySpec` is the single query entry point: build a spec, hand it
+/// to [`LightNode::run`] (blocking) or [`LightNode::run_pipelined`]
+/// (several specs in flight at once). A single-address spec goes on
+/// the wire as [`Message::QueryRequest`] and a multi-address spec as
+/// [`Message::BatchQueryRequest`].
 ///
 /// # Examples
 ///
@@ -127,24 +128,6 @@ impl QueryRun {
         );
         self.histories.pop().expect("length checked above")
     }
-}
-
-/// What one verified batched query produced.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct BatchQueryOutcome {
-    /// One verified history per queried address, in request order.
-    pub histories: Vec<VerifiedHistory>,
-    /// Bytes that crossed the wire for the whole batch.
-    pub traffic: Traffic,
-}
-
-/// What one verified query produced.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct QueryOutcome {
-    /// The verified, complete transaction history.
-    pub history: VerifiedHistory,
-    /// Bytes that crossed the wire for this query.
-    pub traffic: Traffic,
 }
 
 /// A light node: headers only, plus the verification engine.
@@ -263,8 +246,7 @@ impl LightNode {
     /// This is the single query entry point: a single-address spec
     /// ([`QuerySpec::address`]) exchanges a [`Message::QueryRequest`],
     /// a batched spec ([`QuerySpec::addresses`]) a
-    /// [`Message::BatchQueryRequest`] — byte-for-byte the requests the
-    /// deprecated `query*` methods sent.
+    /// [`Message::BatchQueryRequest`].
     ///
     /// # Errors
     ///
@@ -281,25 +263,86 @@ impl LightNode {
     ) -> Result<QueryRun, NodeError> {
         let request = spec.to_message().encode();
         let (reply, traffic) = self.metered_exchange(transport, &request)?;
+        let histories = self.verify_reply(spec, &reply)?;
+        Ok(QueryRun { histories, traffic })
+    }
+
+    /// Runs several queries over a [`PipelinedTransport`], keeping up
+    /// to the transport's negotiated window in flight at once.
+    ///
+    /// The requests are the same bytes [`LightNode::run`] would send
+    /// one at a time; responses are matched back by request id, so the
+    /// server may answer them in any order — a slow proof on one spec
+    /// does not stall verification of the others. The returned runs
+    /// are in `specs` order regardless of arrival order.
+    ///
+    /// # Errors
+    ///
+    /// As [`LightNode::run`], for whichever spec fails first (by
+    /// arrival). On error the remaining in-flight requests are
+    /// abandoned: the connection state is unknown and the transport
+    /// should be dropped.
+    pub fn run_pipelined<P: PipelinedTransport + ?Sized>(
+        &mut self,
+        specs: &[QuerySpec],
+        transport: &mut P,
+    ) -> Result<Vec<QueryRun>, NodeError> {
+        let window = (transport.max_in_flight().max(1) as usize)
+            .saturating_sub(transport.in_flight())
+            .max(1);
+        let mut runs: Vec<Option<QueryRun>> = specs.iter().map(|_| None).collect();
+        let mut by_id: HashMap<ReqId, usize> = HashMap::new();
+        let mut next = 0;
+        let mut done = 0;
+        while done < specs.len() {
+            while next < specs.len() && by_id.len() < window {
+                let id = transport.submit(&specs[next].to_message().encode())?;
+                by_id.insert(id, next);
+                next += 1;
+            }
+            let (id, reply, traffic) = transport.recv()?;
+            self.cumulative.request_bytes += traffic.request_bytes;
+            self.cumulative.response_bytes += traffic.response_bytes;
+            self.exchanges += 1;
+            let index = by_id
+                .remove(&id)
+                .ok_or(NodeError::UnknownRequestId { id })?;
+            let histories = self.verify_reply(&specs[index], &reply)?;
+            runs[index] = Some(QueryRun { histories, traffic });
+            done += 1;
+        }
+        Ok(runs
+            .into_iter()
+            .map(|run| run.expect("every spec was answered"))
+            .collect())
+    }
+
+    /// Decodes and verifies one reply against the spec that requested
+    /// it — the shared back half of [`LightNode::run`] and
+    /// [`LightNode::run_pipelined`].
+    fn verify_reply(
+        &self,
+        spec: &QuerySpec,
+        reply: &[u8],
+    ) -> Result<Vec<VerifiedHistory>, NodeError> {
         let range = spec.height_range();
-        let histories = match (Self::decode_reply(&reply)?, spec.is_batch()) {
+        match (Self::decode_reply(reply)?, spec.is_batch()) {
             (Message::QueryResponse(response), false) => {
                 let address = &spec.targets()[0];
-                vec![match range {
+                Ok(vec![match range {
                     None => self.client.verify(address, &response)?,
                     Some((lo, hi)) => self.client.verify_range(address, lo, hi, &response)?,
-                }]
+                }])
             }
-            (Message::BatchQueryResponse(response), true) => match range {
+            (Message::BatchQueryResponse(response), true) => Ok(match range {
                 None => self.client.verify_batch(spec.targets(), &response)?,
                 Some((lo, hi)) => {
                     self.client
                         .verify_batch_range(spec.targets(), lo, hi, &response)?
                 }
-            },
-            _ => return Err(NodeError::UnexpectedMessage),
-        };
-        Ok(QueryRun { histories, traffic })
+            }),
+            _ => Err(NodeError::UnexpectedMessage),
+        }
     }
 
     /// Runs one query under a retry policy: transient failures (a shed
@@ -353,95 +396,6 @@ impl LightNode {
         })
     }
 
-    /// Queries the peer behind `transport` for the history of `address`
-    /// and verifies the response.
-    ///
-    /// # Errors
-    ///
-    /// As [`LightNode::run`].
-    #[deprecated(note = "build a `QuerySpec` and call `LightNode::run`")]
-    pub fn query<T: Transport + ?Sized>(
-        &mut self,
-        transport: &mut T,
-        address: &Address,
-    ) -> Result<QueryOutcome, NodeError> {
-        let run = self.run(&QuerySpec::address(address.clone()), transport)?;
-        Ok(QueryOutcome {
-            traffic: run.traffic,
-            history: run.into_single(),
-        })
-    }
-
-    /// Queries for the history of `address` restricted to blocks
-    /// `lo..=hi` and verifies the response over exactly that range.
-    ///
-    /// # Errors
-    ///
-    /// As [`LightNode::run`].
-    #[deprecated(note = "build a `QuerySpec` with `.range(lo, hi)` and call `LightNode::run`")]
-    pub fn query_range<T: Transport + ?Sized>(
-        &mut self,
-        transport: &mut T,
-        address: &Address,
-        lo: u64,
-        hi: u64,
-    ) -> Result<QueryOutcome, NodeError> {
-        let run = self.run(
-            &QuerySpec::address(address.clone()).range(lo, hi),
-            transport,
-        )?;
-        Ok(QueryOutcome {
-            traffic: run.traffic,
-            history: run.into_single(),
-        })
-    }
-
-    /// Queries for the histories of several addresses in one round trip
-    /// and verifies every per-address section.
-    ///
-    /// Under the BMT schemes, the response shares one descent per
-    /// segment across all addresses, so the batch moves fewer bytes
-    /// than the equivalent sequence of single-address runs.
-    ///
-    /// # Errors
-    ///
-    /// As [`LightNode::run`].
-    #[deprecated(note = "build a `QuerySpec::addresses` and call `LightNode::run`")]
-    pub fn query_batch<T: Transport + ?Sized>(
-        &mut self,
-        transport: &mut T,
-        addresses: &[Address],
-    ) -> Result<BatchQueryOutcome, NodeError> {
-        let run = self.run(&QuerySpec::addresses(addresses), transport)?;
-        Ok(BatchQueryOutcome {
-            histories: run.histories,
-            traffic: run.traffic,
-        })
-    }
-
-    /// Queries for the histories of several addresses restricted to
-    /// blocks `lo..=hi` in one round trip.
-    ///
-    /// # Errors
-    ///
-    /// As [`LightNode::run`].
-    #[deprecated(
-        note = "build a `QuerySpec::addresses` with `.range(lo, hi)` and call `LightNode::run`"
-    )]
-    pub fn query_batch_range<T: Transport + ?Sized>(
-        &mut self,
-        transport: &mut T,
-        addresses: &[Address],
-        lo: u64,
-        hi: u64,
-    ) -> Result<BatchQueryOutcome, NodeError> {
-        let run = self.run(&QuerySpec::addresses(addresses).range(lo, hi), transport)?;
-        Ok(BatchQueryOutcome {
-            histories: run.histories,
-            traffic: run.traffic,
-        })
-    }
-
     /// Decodes a reply, surfacing the server's flow-control and refusal
     /// messages as the matching [`NodeError`]s.
     fn decode_reply(reply: &[u8]) -> Result<Message, NodeError> {
@@ -491,14 +445,9 @@ impl LightNode {
 
 #[cfg(test)]
 mod tests {
-    // The deprecated `query*` wrappers must keep working until they are
-    // removed; exercising them here keeps that guarantee tested while
-    // the rest of the workspace speaks `QuerySpec`.
-    #![allow(deprecated)]
-
     use super::*;
     use crate::full::{FullNode, RequestKind};
-    use crate::message::{WireError, WireErrorCode};
+    use crate::message::{envelope, WireError, WireErrorCode};
     use crate::transport::LocalTransport;
     use lvq_bloom::BloomParams;
     use lvq_chain::{ChainBuilder, Transaction, TxInput, TxOutPoint, TxOutput};
@@ -541,26 +490,35 @@ mod tests {
         FullNode::new(builder.finish()).unwrap()
     }
 
+    fn query<T: Transport + ?Sized>(
+        light: &mut LightNode,
+        peer: &mut T,
+        name: &str,
+    ) -> Result<QueryRun, NodeError> {
+        light.run(&QuerySpec::address(Address::new(name)), peer)
+    }
+
     #[test]
     fn end_to_end_all_schemes() {
         for scheme in Scheme::ALL {
             let full = full_node(scheme, 10);
             let mut peer = LocalTransport::new(&full);
             let mut light = LightNode::sync_from(&mut peer, config_for(scheme)).unwrap();
-            let outcome = light.query(&mut peer, &Address::new("1Shop")).unwrap();
+            let run = query(&mut light, &mut peer, "1Shop").unwrap();
+            let history = &run.histories[0];
             assert_eq!(
-                outcome.history.transactions.len(),
+                history.transactions.len(),
                 5,
                 "scheme {scheme}: heights 2,4,6,8,10"
             );
-            assert_eq!(outcome.history.balance.net(), (2 + 4 + 6 + 8 + 10) as i128);
-            assert!(outcome.traffic.response_bytes > 0);
+            assert_eq!(history.balance.net(), (2 + 4 + 6 + 8 + 10) as i128);
+            assert!(run.traffic.response_bytes > 0);
             let expected = if scheme == Scheme::Strawman {
                 Completeness::CorrectnessOnly
             } else {
                 Completeness::Complete
             };
-            assert_eq!(outcome.history.completeness, expected, "scheme {scheme}");
+            assert_eq!(history.completeness, expected, "scheme {scheme}");
         }
     }
 
@@ -570,9 +528,11 @@ mod tests {
             let full = full_node(scheme, 10);
             let mut peer = LocalTransport::new(&full);
             let mut light = LightNode::sync_from(&mut peer, config_for(scheme)).unwrap();
-            let outcome = light.query(&mut peer, &Address::new("1Ghost")).unwrap();
-            assert!(outcome.history.transactions.is_empty(), "scheme {scheme}");
-            assert_eq!(outcome.history.balance.net(), 0);
+            let history = query(&mut light, &mut peer, "1Ghost")
+                .unwrap()
+                .into_single();
+            assert!(history.transactions.is_empty(), "scheme {scheme}");
+            assert_eq!(history.balance.net(), 0);
         }
     }
 
@@ -583,11 +543,11 @@ mod tests {
         let mut light = LightNode::sync_from(&mut peer, config_for(Scheme::Lvq)).unwrap();
         let t0 = light.cumulative_traffic();
         assert!(t0.response_bytes > 0, "header sync is metered");
-        light.query(&mut peer, &Address::new("1Shop")).unwrap();
+        query(&mut light, &mut peer, "1Shop").unwrap();
         // A second transport to the same node: the light node's own
         // accounting spans transports.
         let mut other = LocalTransport::new(&full);
-        light.query(&mut other, &Address::new("1Miner")).unwrap();
+        query(&mut light, &mut other, "1Miner").unwrap();
         let t1 = light.cumulative_traffic();
         assert!(t1.total() > t0.total());
         assert_eq!(light.exchanges(), 3);
@@ -627,19 +587,21 @@ mod tests {
             let mut peer = LocalTransport::new(&full);
             let mut light = LightNode::sync_from(&mut peer, config_for(scheme)).unwrap();
             // "1Shop" receives in blocks 2,4,6,8,10; range 3..=7 covers 4,6.
-            let outcome = light
-                .query_range(&mut peer, &Address::new("1Shop"), 3, 7)
+            let run = light
+                .run(
+                    &QuerySpec::address(Address::new("1Shop")).range(3, 7),
+                    &mut peer,
+                )
                 .unwrap();
-            let heights: Vec<u64> = outcome
-                .history
+            let heights: Vec<u64> = run.histories[0]
                 .transactions
                 .iter()
                 .map(|(h, _)| *h)
                 .collect();
             assert_eq!(heights, vec![4, 6], "scheme {scheme}");
             // A range query moves fewer bytes than the full query.
-            let full_outcome = light.query(&mut peer, &Address::new("1Shop")).unwrap();
-            assert!(outcome.traffic.response_bytes <= full_outcome.traffic.response_bytes);
+            let full_run = query(&mut light, &mut peer, "1Shop").unwrap();
+            assert!(run.traffic.response_bytes <= full_run.traffic.response_bytes);
         }
     }
 
@@ -651,13 +613,19 @@ mod tests {
         for (lo, hi) in [(0u64, 2u64), (3, 2), (1, 9)] {
             assert!(
                 light
-                    .query_range(&mut peer, &Address::new("1Shop"), lo, hi)
+                    .run(
+                        &QuerySpec::address(Address::new("1Shop")).range(lo, hi),
+                        &mut peer,
+                    )
                     .is_err(),
                 "range {lo}..={hi}"
             );
             assert!(
                 light
-                    .query_batch_range(&mut peer, &[Address::new("1Shop")], lo, hi)
+                    .run(
+                        &QuerySpec::addresses(vec![Address::new("1Shop")]).range(lo, hi),
+                        &mut peer,
+                    )
                     .is_err(),
                 "batch range {lo}..={hi}"
             );
@@ -675,14 +643,15 @@ mod tests {
                 Address::new("1Miner"),
                 Address::new("1Ghost"),
             ];
-            let batch = light.query_batch(&mut peer, &addresses).unwrap();
+            let batch = light
+                .run(&QuerySpec::addresses(addresses.clone()), &mut peer)
+                .unwrap();
             assert_eq!(batch.histories.len(), addresses.len());
             for (address, history) in addresses.iter().zip(&batch.histories) {
-                let single = light.query(&mut peer, address).unwrap();
-                assert_eq!(
-                    history, &single.history,
-                    "scheme {scheme}, address {address}"
-                );
+                let single = query(&mut light, &mut peer, address.as_str())
+                    .unwrap()
+                    .into_single();
+                assert_eq!(history, &single, "scheme {scheme}, address {address}");
             }
         }
     }
@@ -696,14 +665,20 @@ mod tests {
             let addresses = [Address::new("1Shop"), Address::new("1Miner")];
             let (lo, hi) = (3u64, 7u64);
             let batch = light
-                .query_batch_range(&mut peer, &addresses, lo, hi)
+                .run(
+                    &QuerySpec::addresses(addresses.clone()).range(lo, hi),
+                    &mut peer,
+                )
                 .unwrap();
             for (address, history) in addresses.iter().zip(&batch.histories) {
-                let single = light.query_range(&mut peer, address, lo, hi).unwrap();
-                assert_eq!(
-                    history, &single.history,
-                    "scheme {scheme}, address {address}"
-                );
+                let single = light
+                    .run(
+                        &QuerySpec::address(address.clone()).range(lo, hi),
+                        &mut peer,
+                    )
+                    .unwrap()
+                    .into_single();
+                assert_eq!(history, &single, "scheme {scheme}, address {address}");
             }
         }
     }
@@ -718,10 +693,17 @@ mod tests {
                 .iter()
                 .map(|s| Address::new(*s))
                 .collect();
-        let batch = light.query_batch(&mut peer, &addresses).unwrap();
+        let batch = light
+            .run(&QuerySpec::addresses(addresses.clone()), &mut peer)
+            .unwrap();
         let singles: u64 = addresses
             .iter()
-            .map(|a| light.query(&mut peer, a).unwrap().traffic.response_bytes)
+            .map(|a| {
+                query(&mut light, &mut peer, a.as_str())
+                    .unwrap()
+                    .traffic
+                    .response_bytes
+            })
             .sum();
         assert!(
             batch.traffic.response_bytes < singles,
@@ -739,9 +721,12 @@ mod tests {
         let mut peer = LocalTransport::new(&full);
         let mut light = LightNode::sync_from(&mut peer, config_for(Scheme::Lvq)).unwrap();
         assert_eq!(full.engine_stats().queries, 0);
-        light.query(&mut peer, &Address::new("1Shop")).unwrap();
+        query(&mut light, &mut peer, "1Shop").unwrap();
         light
-            .query_batch(&mut peer, &[Address::new("1Shop"), Address::new("1Miner")])
+            .run(
+                &QuerySpec::addresses(vec![Address::new("1Shop"), Address::new("1Miner")]),
+                &mut peer,
+            )
             .unwrap();
         let stats = full.engine_stats();
         assert_eq!(stats.queries, 1);
@@ -964,51 +949,93 @@ mod tests {
         assert_eq!(stats.last_resync, Some(ResyncOutcome::Failed));
     }
 
+    /// An in-process [`PipelinedTransport`] that answers every submit
+    /// immediately (via [`FullNode::handle_classified`], which speaks
+    /// the v2 envelope) but delivers the buffered responses in
+    /// *reverse* submission order — the worst-case reordering a
+    /// readiness server could produce.
+    struct ReversingPipeline<'a> {
+        full: &'a FullNode,
+        next_id: u64,
+        window: u32,
+        ready: Vec<(ReqId, Vec<u8>, Traffic)>,
+    }
+
+    impl PipelinedTransport for ReversingPipeline<'_> {
+        fn submit(&mut self, request: &[u8]) -> Result<ReqId, NodeError> {
+            let id = self.next_id;
+            self.next_id += 1;
+            let wire = envelope::wrap_v2(request, id);
+            let reply = self.full.handle(&wire).unwrap();
+            let traffic = Traffic {
+                request_bytes: wire.len() as u64,
+                response_bytes: reply.len() as u64,
+            };
+            let (got, v1) = envelope::unwrap_v2(&reply).expect("v2 in, v2 out");
+            assert_eq!(got, id, "the node echoes the request id");
+            self.ready.push((id, v1, traffic));
+            Ok(id)
+        }
+
+        fn recv(&mut self) -> Result<(ReqId, Vec<u8>, Traffic), NodeError> {
+            // LIFO: the most recently submitted request "finishes" first.
+            self.ready.pop().ok_or(NodeError::PipelineViolation {
+                context: "recv with nothing in flight",
+            })
+        }
+
+        fn in_flight(&self) -> usize {
+            self.ready.len()
+        }
+
+        fn max_in_flight(&self) -> u32 {
+            self.window
+        }
+    }
+
     #[test]
-    fn run_matches_deprecated_wrappers_byte_for_byte() {
+    fn run_pipelined_reassembles_out_of_order_responses() {
         let full = full_node(Scheme::Lvq, 10);
-        let shop = Address::new("1Shop");
-        let pair = [Address::new("1Shop"), Address::new("1Miner")];
         let config = config_for(Scheme::Lvq);
+        let mut peer = LocalTransport::new(&full);
+        let mut light = LightNode::sync_from(&mut peer, config).unwrap();
 
-        // Two identical light nodes, one per API generation; every
-        // paired call must move exactly the same bytes.
-        let mut old_peer = LocalTransport::new(&full);
-        let mut new_peer = LocalTransport::new(&full);
-        let mut old = LightNode::sync_from(&mut old_peer, config).unwrap();
-        let mut new = LightNode::sync_from(&mut new_peer, config).unwrap();
+        let specs = vec![
+            QuerySpec::address(Address::new("1Shop")),
+            QuerySpec::addresses(vec![Address::new("1Miner"), Address::new("1Ghost")]),
+            QuerySpec::address(Address::new("1Shop")).range(3, 7),
+            QuerySpec::address(Address::new("1Payer")),
+        ];
+        // A window smaller than the spec list exercises the
+        // submit-as-you-drain loop, and LIFO delivery exercises the
+        // id-based reassembly.
+        let mut pipe = ReversingPipeline {
+            full: &full,
+            next_id: 1,
+            window: 2,
+            ready: Vec::new(),
+        };
+        let exchanges_before = light.exchanges();
+        let runs = light.run_pipelined(&specs, &mut pipe).unwrap();
+        assert_eq!(runs.len(), specs.len());
+        assert_eq!(light.exchanges() - exchanges_before, specs.len() as u64);
 
-        let a = old.query(&mut old_peer, &shop).unwrap();
-        let b = new
-            .run(&QuerySpec::address(shop.clone()), &mut new_peer)
-            .unwrap();
-        assert_eq!(a.traffic, b.traffic);
-        assert_eq!(vec![a.history], b.histories);
-
-        let a = old.query_range(&mut old_peer, &shop, 3, 7).unwrap();
-        let b = new
-            .run(&QuerySpec::address(shop.clone()).range(3, 7), &mut new_peer)
-            .unwrap();
-        assert_eq!(a.traffic, b.traffic);
-
-        let a = old.query_batch(&mut old_peer, &pair).unwrap();
-        let b = new
-            .run(&QuerySpec::addresses(pair.clone()), &mut new_peer)
-            .unwrap();
-        assert_eq!(a.traffic, b.traffic);
-        assert_eq!(a.histories, b.histories);
-
-        let a = old.query_batch_range(&mut old_peer, &pair, 2, 9).unwrap();
-        let b = new
-            .run(
-                &QuerySpec::addresses(pair.clone()).range(2, 9),
-                &mut new_peer,
-            )
-            .unwrap();
-        assert_eq!(a.traffic, b.traffic);
-
-        assert_eq!(old.cumulative_traffic(), new.cumulative_traffic());
-        assert_eq!(old.exchanges(), new.exchanges());
+        // Each pipelined run verifies to exactly what the blocking API
+        // produces, and its traffic is the v1 bytes plus the envelope
+        // overhead on both directions.
+        let overhead = (envelope::V2_HEAD - 1) as u64;
+        for (spec, run) in specs.iter().zip(&runs) {
+            let blocking = light.run(spec, &mut peer).unwrap();
+            assert_eq!(run.histories, blocking.histories);
+            assert_eq!(
+                run.traffic.request_bytes,
+                blocking.traffic.request_bytes + overhead
+            );
+            assert_eq!(
+                run.traffic.response_bytes,
+                blocking.traffic.response_bytes + overhead
+            );
+        }
     }
 
     #[test]

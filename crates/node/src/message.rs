@@ -21,6 +21,12 @@ use lvq_core::{BatchQueryResponse, ProveError, QueryError, QueryResponse};
 /// with. Bump on any incompatible change to the message layout.
 pub const PROTOCOL_VERSION: u8 = 1;
 
+/// The pipelined wire-protocol version: the same tag + body layout as
+/// v1, but with a little-endian `u64` request id between the version
+/// byte and the tag, so several requests can be in flight on one
+/// connection and responses can arrive out of order. See [`envelope`].
+pub const PROTOCOL_V2: u8 = 2;
+
 /// The wire protocol between a light node and a full node.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Message {
@@ -66,6 +72,47 @@ pub enum Message {
     /// cannot be answered (bad version, unknown tag, malformed
     /// payload, missed deadline, ...). The connection stays open.
     Error(WireError),
+    /// Feature negotiation, sent by a v2 client as the first frame on
+    /// a connection (inside a v2 [`envelope`]): the client proposes how
+    /// many requests it wants in flight. A v1 client never sends this,
+    /// which is exactly how a v2 server detects it and falls back to
+    /// one-in-flight compatibility mode.
+    Hello(HelloInfo),
+    /// The server's answer to [`Message::Hello`]: the *negotiated*
+    /// in-flight cap (`min(client proposal, server cap)`, at least 1)
+    /// and the feature bits both sides share.
+    HelloAck(HelloInfo),
+}
+
+/// The body of [`Message::Hello`] / [`Message::HelloAck`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HelloInfo {
+    /// Requests the sender wants (Hello) or grants (HelloAck) in
+    /// flight on this connection at once.
+    pub max_in_flight: u32,
+    /// Feature bit set; no bits are defined yet, so both sides send 0
+    /// and ignore unknown bits (forward compatibility).
+    pub features: u64,
+}
+
+impl Encodable for HelloInfo {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        self.max_in_flight.encode_into(out);
+        self.features.encode_into(out);
+    }
+
+    fn encoded_len(&self) -> usize {
+        self.max_in_flight.encoded_len() + self.features.encoded_len()
+    }
+}
+
+impl Decodable for HelloInfo {
+    fn decode_from(reader: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(HelloInfo {
+            max_in_flight: u32::decode_from(reader)?,
+            features: u64::decode_from(reader)?,
+        })
+    }
 }
 
 const TAG_GET_HEADERS: u8 = 0;
@@ -77,6 +124,8 @@ const TAG_BATCH_QUERY_RESP: u8 = 5;
 const TAG_GET_HEADERS_FROM: u8 = 6;
 const TAG_BUSY: u8 = 7;
 const TAG_ERROR: u8 = 8;
+const TAG_HELLO: u8 = 9;
+const TAG_HELLO_ACK: u8 = 10;
 
 /// Why a server refused a request, carried inside [`Message::Error`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -98,6 +147,9 @@ pub enum WireErrorCode {
     /// The response was ready only after the server's per-request
     /// deadline had passed, so the payload was withheld.
     DeadlineExceeded = 5,
+    /// A pipelined (v2) request reused a request id that is still in
+    /// flight on the same connection; `detail` is the offending id.
+    DuplicateRequestId = 6,
 }
 
 impl WireErrorCode {
@@ -109,6 +161,7 @@ impl WireErrorCode {
             3 => WireErrorCode::UnexpectedKind,
             4 => WireErrorCode::Unanswerable,
             5 => WireErrorCode::DeadlineExceeded,
+            6 => WireErrorCode::DuplicateRequestId,
             _ => return None,
         })
     }
@@ -123,6 +176,7 @@ impl fmt::Display for WireErrorCode {
             WireErrorCode::UnexpectedKind => "unexpected message kind",
             WireErrorCode::Unanswerable => "unanswerable request",
             WireErrorCode::DeadlineExceeded => "request deadline exceeded",
+            WireErrorCode::DuplicateRequestId => "duplicate in-flight request id",
         })
     }
 }
@@ -153,7 +207,9 @@ impl WireError {
 impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.code {
-            WireErrorCode::UnsupportedVersion | WireErrorCode::UnknownTag => {
+            WireErrorCode::UnsupportedVersion
+            | WireErrorCode::UnknownTag
+            | WireErrorCode::DuplicateRequestId => {
                 write!(f, "{} ({})", self.code, self.detail)
             }
             _ => self.code.fmt(f),
@@ -222,6 +278,14 @@ impl Encodable for Message {
                 out.push(TAG_ERROR);
                 error.encode_into(out);
             }
+            Message::Hello(info) => {
+                out.push(TAG_HELLO);
+                info.encode_into(out);
+            }
+            Message::HelloAck(info) => {
+                out.push(TAG_HELLO_ACK);
+                info.encode_into(out);
+            }
         }
     }
 
@@ -237,6 +301,7 @@ impl Encodable for Message {
             Message::BatchQueryResponse(response) => response.encoded_len(),
             Message::GetHeadersFrom { height } => height.encoded_len(),
             Message::Error(error) => error.encoded_len(),
+            Message::Hello(info) | Message::HelloAck(info) => info.encoded_len(),
         }
     }
 }
@@ -270,6 +335,8 @@ impl Decodable for Message {
             },
             TAG_BUSY => Message::Busy,
             TAG_ERROR => Message::Error(WireError::decode_from(reader)?),
+            TAG_HELLO => Message::Hello(HelloInfo::decode_from(reader)?),
+            TAG_HELLO_ACK => Message::HelloAck(HelloInfo::decode_from(reader)?),
             other => {
                 return Err(DecodeError::InvalidValue {
                     what: "message tag",
@@ -302,6 +369,83 @@ impl Message {
             } => WireError::with_detail(WireErrorCode::UnknownTag, found),
             _ => WireError::new(WireErrorCode::Malformed),
         })
+    }
+}
+
+/// The v2 request-id envelope.
+///
+/// A v2 payload is a byte-level *splice* of a v1 payload:
+///
+/// ```text
+/// v1:  [version=1][tag][body...]
+/// v2:  [version=2][request id: LE u64][tag][body...]
+/// ```
+///
+/// Tag and body bytes are identical between the two versions — the
+/// property the `v2 ≡ v1 modulo id` proptests pin — so wrapping and
+/// unwrapping never re-encode the message, and `Traffic` accounting on
+/// a v2 connection differs from v1 by exactly [`V2_HEAD`]` - 1` bytes
+/// per message.
+pub mod envelope {
+    use super::{Message, PROTOCOL_V2, PROTOCOL_VERSION};
+    use lvq_codec::Encodable;
+
+    /// Length of the v2 envelope head: one version byte plus the
+    /// little-endian `u64` request id.
+    pub const V2_HEAD: usize = 9;
+
+    /// Encodes `message` in a v2 envelope carrying `id`.
+    pub fn encode_v2(message: &Message, id: u64) -> Vec<u8> {
+        wrap_v2(&message.encode(), id)
+    }
+
+    /// Splices a v1-encoded payload into a v2 envelope carrying `id`.
+    ///
+    /// # Panics
+    ///
+    /// If `v1` is empty (a v1 payload always has a version byte).
+    #[must_use]
+    pub fn wrap_v2(v1: &[u8], id: u64) -> Vec<u8> {
+        assert!(!v1.is_empty(), "a v1 payload always has a version byte");
+        let mut out = Vec::with_capacity(v1.len() + V2_HEAD - 1);
+        out.push(PROTOCOL_V2);
+        out.extend_from_slice(&id.to_le_bytes());
+        out.extend_from_slice(&v1[1..]);
+        out
+    }
+
+    /// Splits a v2 payload into its request id and the equivalent
+    /// v1-encoded payload. Returns `None` when the payload is not v2
+    /// or too short to carry the envelope head.
+    pub fn unwrap_v2(payload: &[u8]) -> Option<(u64, Vec<u8>)> {
+        let id = request_id(payload)?;
+        let mut v1 = Vec::with_capacity(payload.len() + 1 - V2_HEAD);
+        v1.push(PROTOCOL_VERSION);
+        v1.extend_from_slice(&payload[V2_HEAD..]);
+        Some((id, v1))
+    }
+
+    /// The version byte of a payload, if it has one.
+    pub fn version(payload: &[u8]) -> Option<u8> {
+        payload.first().copied()
+    }
+
+    /// The request id of a v2 payload (`None` when not v2 or when the
+    /// envelope head is truncated).
+    pub fn request_id(payload: &[u8]) -> Option<u64> {
+        if payload.len() < V2_HEAD || payload[0] != PROTOCOL_V2 {
+            return None;
+        }
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&payload[1..V2_HEAD]);
+        Some(u64::from_le_bytes(raw))
+    }
+
+    /// Whether a v2 payload carries a [`Message::Hello`] — a cheap tag
+    /// peek, so a server can intercept negotiation without decoding
+    /// every pipelined request twice.
+    pub fn is_hello(payload: &[u8]) -> bool {
+        request_id(payload).is_some() && payload.get(V2_HEAD) == Some(&super::TAG_HELLO)
     }
 }
 
@@ -357,13 +501,27 @@ pub enum NodeError {
         /// How long the transport waited before giving up.
         elapsed: Duration,
     },
-    /// The server shed this connection with [`Message::Busy`] — its
-    /// accept queue was full. The request was never processed; retry
-    /// on a fresh connection.
+    /// The server answered a request with [`Message::Busy`] — its
+    /// dispatch queue or this connection's in-flight window was full.
+    /// The request was never processed; back off and retry.
     Busy,
     /// The server answered with a structured [`Message::Error`]
     /// refusal instead of the expected response.
     Server(WireError),
+    /// A pipelined response carried a request id that is not in
+    /// flight on this transport — the reply stream is corrupt (or the
+    /// server is confused); the exchange is refused, never trusted.
+    UnknownRequestId {
+        /// The id the response carried.
+        id: u64,
+    },
+    /// A pipelined transport was used out of protocol: a submit past
+    /// the negotiated in-flight window, or a receive with nothing in
+    /// flight. A caller bug, not a peer fault — never retried.
+    PipelineViolation {
+        /// What the caller did.
+        context: &'static str,
+    },
 }
 
 impl NodeError {
@@ -399,11 +557,13 @@ impl NodeError {
             | NodeError::Io { .. }
             | NodeError::Wire(_)
             | NodeError::UnexpectedMessage
+            | NodeError::UnknownRequestId { .. }
             | NodeError::FrameTooLarge { .. } => true,
             NodeError::Server(e) => e.code == WireErrorCode::DeadlineExceeded,
             NodeError::Prove(_)
             | NodeError::Verify(_)
             | NodeError::UnknownScheme
+            | NodeError::PipelineViolation { .. }
             | NodeError::ConfigMismatch { .. } => false,
         }
     }
@@ -445,6 +605,12 @@ impl fmt::Display for NodeError {
             }
             NodeError::Busy => f.write_str("server is at capacity (busy); retry later"),
             NodeError::Server(e) => write!(f, "server refused the request: {e}"),
+            NodeError::UnknownRequestId { id } => {
+                write!(f, "peer answered with unknown request id {id}")
+            }
+            NodeError::PipelineViolation { context } => {
+                write!(f, "pipelined transport misuse: {context}")
+            }
         }
     }
 }
@@ -508,6 +674,15 @@ mod tests {
             Message::Busy,
             Message::Error(WireError::with_detail(WireErrorCode::UnknownTag, 200)),
             Message::Error(WireError::new(WireErrorCode::DeadlineExceeded)),
+            Message::Error(WireError::with_detail(WireErrorCode::DuplicateRequestId, 7)),
+            Message::Hello(HelloInfo {
+                max_in_flight: 32,
+                features: 0,
+            }),
+            Message::HelloAck(HelloInfo {
+                max_in_flight: 8,
+                features: 0,
+            }),
         ];
         for m in messages {
             let bytes = m.encode();
@@ -558,6 +733,7 @@ mod tests {
             NodeError::UnexpectedMessage,
             NodeError::FrameTooLarge { len: 9, max: 4 },
             NodeError::Server(WireError::new(WireErrorCode::DeadlineExceeded)),
+            NodeError::UnknownRequestId { id: 7 },
         ];
         for e in transient {
             assert!(e.retryable(), "{e} must be retryable");
@@ -566,6 +742,9 @@ mod tests {
         let fatal = [
             NodeError::UnknownScheme,
             NodeError::ConfigMismatch { height: 3 },
+            NodeError::PipelineViolation {
+                context: "submit past the negotiated window",
+            },
             NodeError::Server(WireError::new(WireErrorCode::Unanswerable)),
             NodeError::Server(WireError::with_detail(WireErrorCode::UnsupportedVersion, 9)),
         ];
@@ -573,6 +752,37 @@ mod tests {
             assert!(!e.retryable(), "{e} must be fatal");
         }
         assert!(NodeError::ConfigMismatch { height: 3 }.is_verification_failure());
+    }
+
+    #[test]
+    fn v2_envelope_is_a_byte_splice_of_v1() {
+        let m = Message::QueryRequest {
+            address: Address::new("1Probe"),
+            range: Some((3, 17)),
+        };
+        let v1 = m.encode();
+        let v2 = envelope::encode_v2(&m, 0xDEAD_BEEF_0BAD_F00D);
+        assert_eq!(v2[0], PROTOCOL_V2);
+        assert_eq!(v2.len(), v1.len() + envelope::V2_HEAD - 1);
+        // Tag and body bytes are identical: v2 ≡ v1 modulo the id.
+        assert_eq!(&v2[envelope::V2_HEAD..], &v1[1..]);
+        assert_eq!(envelope::request_id(&v2), Some(0xDEAD_BEEF_0BAD_F00D));
+        let (id, back) = envelope::unwrap_v2(&v2).unwrap();
+        assert_eq!(id, 0xDEAD_BEEF_0BAD_F00D);
+        assert_eq!(back, v1);
+        // A v1 payload never unwraps; a truncated v2 head never unwraps.
+        assert_eq!(envelope::unwrap_v2(&v1), None);
+        assert_eq!(envelope::unwrap_v2(&v2[..8]), None);
+        // The v1-strict classifier refuses v2 with a structured error,
+        // which is exactly what a real v1 server answers a v2 Hello
+        // with (the downgrade trigger).
+        assert_eq!(
+            Message::decode_classified(&v2),
+            Err(WireError::with_detail(
+                WireErrorCode::UnsupportedVersion,
+                u64::from(PROTOCOL_V2)
+            ))
+        );
     }
 
     #[test]

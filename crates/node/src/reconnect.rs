@@ -25,7 +25,7 @@ use std::time::Duration;
 use crate::frame::MAX_FRAME_LEN;
 use crate::message::NodeError;
 use crate::pipe::Traffic;
-use crate::tcp::TcpTransport;
+use crate::tcp::{TcpOptions, TcpTransport};
 use crate::transport::Transport;
 
 /// A [`Transport`] that survives its connection: dead sockets are
@@ -39,8 +39,7 @@ use crate::transport::Transport;
 pub struct ReconnectingTcpTransport {
     addr: String,
     conn: Option<TcpTransport>,
-    read_timeout: Option<Duration>,
-    write_timeout: Option<Duration>,
+    options: TcpOptions,
     max_frame_len: u32,
     max_redials: u32,
     redial_delay: Duration,
@@ -60,11 +59,23 @@ impl ReconnectingTcpTransport {
     /// Returns [`NodeError::Io`] if the initial connection cannot be
     /// established.
     pub fn connect(addr: impl Into<String>) -> Result<Self, NodeError> {
+        Self::connect_with(addr, TcpOptions::default())
+    }
+
+    /// Connects with explicit socket options; the connect timeout
+    /// applies to the initial dial *and every re-dial*, so a server
+    /// that black-holes mid-run cannot stall an exchange for the OS
+    /// connect default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NodeError::Io`] if the initial connection cannot be
+    /// established within the options' connect timeout.
+    pub fn connect_with(addr: impl Into<String>, options: TcpOptions) -> Result<Self, NodeError> {
         let mut transport = ReconnectingTcpTransport {
             addr: addr.into(),
             conn: None,
-            read_timeout: None,
-            write_timeout: None,
+            options,
             max_frame_len: MAX_FRAME_LEN,
             max_redials: 3,
             redial_delay: Duration::from_millis(20),
@@ -87,8 +98,10 @@ impl ReconnectingTcpTransport {
         read: Option<Duration>,
         write: Option<Duration>,
     ) -> Result<(), NodeError> {
-        self.read_timeout = read;
-        self.write_timeout = write;
+        self.options = self
+            .options
+            .with_read_timeout(read)
+            .with_write_timeout(write);
         if let Some(conn) = &mut self.conn {
             conn.set_timeouts(read, write)?;
         }
@@ -146,8 +159,7 @@ impl ReconnectingTcpTransport {
                 kind: e.kind(),
             })?
             .collect::<Vec<_>>();
-        let mut conn = TcpTransport::connect(addrs.as_slice())?;
-        conn.set_timeouts(self.read_timeout, self.write_timeout)?;
+        let mut conn = TcpTransport::connect_with(addrs.as_slice(), self.options)?;
         conn.set_max_frame_len(self.max_frame_len);
         Ok(conn)
     }

@@ -8,6 +8,54 @@ use crate::message::NodeError;
 use crate::pipe::Traffic;
 use crate::transport::Transport;
 
+/// Socket options for dialing a peer: how long to wait for the
+/// connection itself, and the read/write timeouts applied once it is
+/// up. The defaults (`None` everywhere) keep the OS behaviour —
+/// which, for a black-holed peer, can mean hanging for minutes, so
+/// callers that need to fail fast set [`TcpOptions::with_connect_timeout`].
+///
+/// `#[non_exhaustive]`: construct with [`TcpOptions::default`] and
+/// chain `with_*` setters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub struct TcpOptions {
+    /// Give up dialing after this long (`None` = OS default).
+    pub connect_timeout: Option<Duration>,
+    /// Socket read timeout once connected (`None` = block forever).
+    pub read_timeout: Option<Duration>,
+    /// Socket write timeout once connected (`None` = block forever).
+    pub write_timeout: Option<Duration>,
+}
+
+impl TcpOptions {
+    /// Alias for [`TcpOptions::default`], reading better at the head
+    /// of a `with_*` chain.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the dial timeout.
+    #[must_use]
+    pub fn with_connect_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.connect_timeout = timeout;
+        self
+    }
+
+    /// Sets the post-connect read timeout.
+    #[must_use]
+    pub fn with_read_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.read_timeout = timeout;
+        self
+    }
+
+    /// Sets the post-connect write timeout.
+    #[must_use]
+    pub fn with_write_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.write_timeout = timeout;
+        self
+    }
+}
+
 /// A [`Transport`] over one TCP connection to a [`crate::NodeServer`].
 ///
 /// Frames requests and responses with a 4-byte length prefix
@@ -34,11 +82,59 @@ impl TcpTransport {
     /// Returns [`NodeError::Io`] if the connection cannot be
     /// established.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, NodeError> {
-        let stream = TcpStream::connect(addr).map_err(|e| NodeError::Io {
-            context: "connect",
-            kind: e.kind(),
-        })?;
-        Ok(TcpTransport::from_stream(stream))
+        Self::connect_with(addr, TcpOptions::default())
+    }
+
+    /// Connects to a serving full node with explicit dial and socket
+    /// timeouts, so a black-holed peer fails fast instead of hanging
+    /// for the OS default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NodeError::Io`] if no resolved address connects
+    /// within the dial timeout, or if the socket rejects a timeout
+    /// option.
+    pub fn connect_with(addr: impl ToSocketAddrs, options: TcpOptions) -> Result<Self, NodeError> {
+        let io_err = |context: &'static str| {
+            move |e: std::io::Error| NodeError::Io {
+                context,
+                kind: e.kind(),
+            }
+        };
+        let stream = match options.connect_timeout {
+            None => TcpStream::connect(addr).map_err(io_err("connect"))?,
+            Some(timeout) => {
+                // `connect_timeout` takes one resolved address; try
+                // each in order, like `TcpStream::connect` does.
+                let addrs = addr.to_socket_addrs().map_err(io_err("connect"))?;
+                let mut last = None;
+                let mut stream = None;
+                for resolved in addrs {
+                    match TcpStream::connect_timeout(&resolved, timeout) {
+                        Ok(s) => {
+                            stream = Some(s);
+                            break;
+                        }
+                        Err(e) => last = Some(e),
+                    }
+                }
+                match stream {
+                    Some(s) => s,
+                    None => {
+                        return Err(last.map_or(
+                            NodeError::Io {
+                                context: "connect",
+                                kind: std::io::ErrorKind::AddrNotAvailable,
+                            },
+                            |e| io_err("connect")(e),
+                        ))
+                    }
+                }
+            }
+        };
+        let mut transport = TcpTransport::from_stream(stream);
+        transport.set_timeouts(options.read_timeout, options.write_timeout)?;
+        Ok(transport)
     }
 
     /// Wraps an already-connected stream.
@@ -80,6 +176,36 @@ impl TcpTransport {
     /// accept.
     pub fn set_max_frame_len(&mut self, max: u32) {
         self.max_frame_len = max;
+    }
+
+    /// The underlying stream, for protocol negotiation preambles
+    /// ([`crate::PipelinedTcpTransport::negotiate_on`]).
+    pub(crate) fn stream_mut(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+
+    /// The configured response-frame limit.
+    pub(crate) fn max_frame(&self) -> u32 {
+        self.max_frame_len
+    }
+
+    /// Folds out-of-band exchange traffic (e.g. the negotiation
+    /// preamble) into this transport's cumulative meters.
+    pub(crate) fn record_extra(&mut self, traffic: Traffic) {
+        self.cumulative.request_bytes += traffic.request_bytes;
+        self.cumulative.response_bytes += traffic.response_bytes;
+        self.exchanges += 1;
+    }
+
+    /// Decomposes into the raw stream and the frame limit, keeping the
+    /// accumulated meters alongside.
+    pub(crate) fn into_parts(self) -> (TcpStream, u32, Traffic, u64) {
+        (
+            self.stream,
+            self.max_frame_len,
+            self.cumulative,
+            self.exchanges,
+        )
     }
 }
 

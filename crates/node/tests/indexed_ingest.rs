@@ -67,12 +67,10 @@ fn truth_chain(total: u64) -> (Chain, Vec<Block>) {
 }
 
 fn fast_config() -> IngestConfig {
-    IngestConfig {
-        min_batch: 2,
-        max_batch: 8,
-        poll: Duration::from_micros(200),
-        ..IngestConfig::default()
-    }
+    IngestConfig::new()
+        .with_min_batch(2)
+        .with_max_batch(8)
+        .with_poll(Duration::from_micros(200))
 }
 
 fn respond_bytes<S, T>(chain: &Chain<S, T>, address: &Address) -> Vec<u8>

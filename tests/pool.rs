@@ -1,18 +1,62 @@
-//! Worker-pool tests: a saturated [`NodeServer`] must shed load with
-//! [`Message::Busy`] — never hang a client, never emit a torn frame —
-//! and its [`ServerStats`] books must agree with what clients observed.
+//! Worker-pool tests under the readiness loop: a saturated
+//! [`NodeServer`] must shed load with [`Message::Busy`] — never hang a
+//! client, never close its connection, never emit a torn frame — and
+//! its [`ServerStats`] books must agree with what clients observed.
 
-use std::net::TcpStream;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use proptest::prelude::*;
 
 use lvq::codec::{decode_exact, Encodable};
-use lvq::node::{Message, NodeError, WireErrorCode};
+use lvq::node::{Handled, Message, NodeError, ServeNode, WireErrorCode};
 use lvq::prelude::*;
 
-fn pool_server(workers: usize, accept_queue: usize) -> (NodeServer, SchemeConfig, Address) {
+/// A [`FullNode`] behind a gate: every request blocks inside the proof
+/// worker until [`Gate::release`], so a test can pin all workers busy
+/// and fill the dispatch queue deterministically instead of racing a
+/// microsecond proof.
+struct GatedNode {
+    inner: FullNode,
+    gate: Arc<Gate>,
+}
+
+struct Gate {
+    released: Mutex<bool>,
+    cvar: Condvar,
+    /// Requests that have entered a proof worker (gauge of occupancy).
+    entered: AtomicUsize,
+}
+
+impl Gate {
+    fn new() -> Arc<Gate> {
+        Arc::new(Gate {
+            released: Mutex::new(false),
+            cvar: Condvar::new(),
+            entered: AtomicUsize::new(0),
+        })
+    }
+
+    fn release(&self) {
+        *self.released.lock().unwrap() = true;
+        self.cvar.notify_all();
+    }
+}
+
+impl ServeNode for GatedNode {
+    fn handle_classified(&self, request: &[u8]) -> Handled {
+        self.gate.entered.fetch_add(1, Ordering::SeqCst);
+        let mut open = self.gate.released.lock().unwrap();
+        while !*open {
+            open = self.gate.cvar.wait(open).unwrap();
+        }
+        drop(open);
+        self.inner.handle_classified(request)
+    }
+}
+
+fn pool_server(workers: usize, queue: usize) -> (NodeServer<GatedNode>, Arc<Gate>, SchemeConfig) {
     let config = SchemeConfig::new(Scheme::Lvq, BloomParams::new(512, 2).unwrap(), 8).unwrap();
     let workload = WorkloadBuilder::new(config.chain_params())
         .blocks(8)
@@ -21,14 +65,16 @@ fn pool_server(workers: usize, accept_queue: usize) -> (NodeServer, SchemeConfig
         .probe("1PoolProbe", 4, 4)
         .build()
         .unwrap();
-    let full = Arc::new(FullNode::new(workload.chain).unwrap());
-    let server_config = ServerConfig {
-        workers,
-        accept_queue,
-        ..ServerConfig::default()
+    let gate = Gate::new();
+    let node = GatedNode {
+        inner: FullNode::new(workload.chain).unwrap(),
+        gate: Arc::clone(&gate),
     };
-    let server = NodeServer::bind(full, "127.0.0.1:0", server_config).unwrap();
-    (server, config, Address::new("1PoolProbe"))
+    let server_config = ServerConfig::default()
+        .with_workers(workers)
+        .with_accept_queue(queue);
+    let server = NodeServer::bind(Arc::new(node), "127.0.0.1:0", server_config).unwrap();
+    (server, gate, config)
 }
 
 /// Polls `cond` until it holds or two seconds elapse.
@@ -43,71 +89,90 @@ fn wait_for(what: &str, mut cond: impl FnMut() -> bool) {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
-    /// Saturation: with every worker owned by a held-open session and
-    /// the accept queue full, each further client receives exactly one
-    /// well-formed `Busy` frame — no hang, no torn frame — and once
-    /// the held sessions leave, the queued clients are served. At the
-    /// end, the server's request total equals the exchanges the
-    /// clients observed succeeding, and its busy total the sheds.
+    /// Saturation: with every proof worker blocked inside a gated
+    /// request and the dispatch queue full behind them, each further
+    /// request receives exactly one well-formed `Busy` frame on a
+    /// connection that *stays open* — and once the gate lifts, the
+    /// queued requests are served and the shed clients succeed on the
+    /// same socket. At the end, the server's request total equals the
+    /// exchanges the clients observed succeeding, and its busy total
+    /// the sheds.
     #[test]
     fn saturated_pool_sheds_busy_and_recovers(
         workers in 1usize..=3,
         queue in 1usize..=3,
         overflow in 1usize..=4,
     ) {
-        let (server, config, address) = pool_server(workers, queue);
+        let (server, gate, config) = pool_server(workers, queue);
+        let addr = server.local_addr();
         let get_headers = Message::GetHeaders.encode();
         let mut served_exchanges = 0u64;
 
-        // Occupy every worker with a session held open mid-stream. The
-        // completed exchange proves the connection is owned by a
-        // worker, not waiting in the queue.
-        let mut held: Vec<TcpTransport> = Vec::new();
-        for _ in 0..workers {
-            let mut t = TcpTransport::connect(server.local_addr()).unwrap();
-            let (reply, _) = t.exchange(&get_headers).unwrap();
-            prop_assert!(matches!(
-                decode_exact::<Message>(&reply).unwrap(),
-                Message::Headers(_)
-            ));
-            served_exchanges += 1;
-            held.push(t);
-        }
+        let get_headers = get_headers.as_slice();
+        let replies = std::thread::scope(|scope| -> Result<Vec<Vec<u8>>, NodeError> {
+            // Occupy every worker, one at a time so each request has
+            // transited the (possibly single-slot) dispatch queue into
+            // a worker before the next arrives. `entered` confirms the
+            // request is inside a worker, not waiting in the queue.
+            let mut held = Vec::new();
+            for occupied in 1..=workers {
+                held.push(scope.spawn(move || -> Result<Vec<u8>, NodeError> {
+                    let mut t = TcpTransport::connect(addr)?;
+                    Ok(t.exchange(get_headers)?.0)
+                }));
+                wait_for("a worker to be occupied", || {
+                    gate.entered.load(Ordering::SeqCst) == occupied
+                });
+            }
 
-        // Fill the accept queue: these connections are accepted but no
-        // worker is free to serve them.
-        let queued: Vec<TcpStream> = (0..queue)
-            .map(|_| TcpStream::connect(server.local_addr()).unwrap())
-            .collect();
-        wait_for("queued connections to be accepted", || {
-            server.stats().connections == (workers + queue) as u64
-        });
-        wait_for("queue high-water to reach capacity", || {
-            server.stats().queue_highwater == queue as u64
-        });
+            // Fill the dispatch queue behind the blocked workers.
+            let queued: Vec<_> = (0..queue)
+                .map(|_| {
+                    scope.spawn(move || -> Result<Vec<u8>, NodeError> {
+                        let mut t = TcpTransport::connect(addr)?;
+                        Ok(t.exchange(get_headers)?.0)
+                    })
+                })
+                .collect();
+            // `dispatched` counts hand-offs to the pool; with all
+            // workers pinned at the gate, everything past the first
+            // `workers` hand-offs is sitting in the dispatch queue.
+            wait_for("dispatch queue to fill", || {
+                server.stats().dispatched == (workers + queue) as u64
+            });
 
-        // Every further client is shed with one structured Busy frame.
-        for _ in 0..overflow {
-            let mut t = TcpTransport::connect(server.local_addr()).unwrap();
-            let (reply, _) = t.exchange(&get_headers).unwrap();
-            prop_assert!(matches!(
-                decode_exact::<Message>(&reply).unwrap(),
-                Message::Busy
-            ));
-            // The shed connection is closed, not left dangling: a
-            // further exchange fails (EOF, or a broken-pipe write,
-            // depending on who notices the close first).
-            prop_assert!(t.exchange(&get_headers).is_err());
-        }
-        wait_for("sheds to be counted", || {
-            server.stats().busy == overflow as u64
-        });
+            // Every further request is shed with one structured Busy
+            // frame — and the connection stays open for later retries.
+            let mut shed: Vec<TcpTransport> = Vec::new();
+            for _ in 0..overflow {
+                let mut t = TcpTransport::connect(addr).unwrap();
+                let (reply, _) = t.exchange(get_headers).unwrap();
+                assert!(matches!(
+                    decode_exact::<Message>(&reply).unwrap(),
+                    Message::Busy
+                ));
+                shed.push(t);
+            }
+            wait_for("sheds to be counted", || {
+                server.stats().busy == overflow as u64
+            });
 
-        // Release the workers; the queued clients get served after all.
-        drop(held);
-        for stream in queued {
-            let mut t = TcpTransport::from_stream(stream);
-            let (reply, _) = t.exchange(&get_headers).unwrap();
+            // Lift the gate: the held and queued requests complete.
+            gate.release();
+            let mut replies = Vec::new();
+            for handle in held.into_iter().chain(queued) {
+                replies.push(handle.join().expect("client thread")?);
+            }
+
+            // The shed connections were never closed: the same sockets
+            // now get real answers.
+            for t in &mut shed {
+                replies.push(t.exchange(get_headers)?.0);
+            }
+            Ok(replies)
+        });
+        let replies = replies.expect("every gated client is eventually served");
+        for reply in replies {
             prop_assert!(matches!(
                 decode_exact::<Message>(&reply).unwrap(),
                 Message::Headers(_)
@@ -116,10 +181,10 @@ proptest! {
         }
 
         // And an honest end-to-end session still verifies.
-        let mut tcp = TcpTransport::connect(server.local_addr()).unwrap();
+        let mut tcp = TcpTransport::connect(addr).unwrap();
         let mut light = LightNode::sync_from(&mut tcp, config).unwrap();
         let history = light
-            .run(&QuerySpec::address(address), &mut tcp)
+            .run(&QuerySpec::address(Address::new("1PoolProbe")), &mut tcp)
             .unwrap()
             .into_single();
         prop_assert_eq!(history.transactions.len(), 4);
@@ -145,10 +210,7 @@ fn zero_deadline_turns_every_response_into_a_deadline_error() {
         .build()
         .unwrap();
     let full = Arc::new(FullNode::new(workload.chain).unwrap());
-    let server_config = ServerConfig {
-        request_deadline: Some(Duration::ZERO),
-        ..ServerConfig::default()
-    };
+    let server_config = ServerConfig::default().with_request_deadline(Some(Duration::ZERO));
     let server = NodeServer::bind(full, "127.0.0.1:0", server_config).unwrap();
 
     // No response can beat a zero deadline, so the client receives a

@@ -1,0 +1,755 @@
+//! Offline stand-in for [mio](https://docs.rs/mio): a minimal readiness
+//! API over raw file descriptors.
+//!
+//! This build environment has no registry access, so — exactly like the
+//! `vendor/crossbeam` stand-in — this crate provides only the surface
+//! the workspace actually uses:
+//!
+//! - [`Poll`]: level-triggered readiness over a set of registered file
+//!   descriptors. Backed by `epoll(7)` on Linux (O(ready) wakeups, the
+//!   whole point at C10K) and by `poll(2)` on other unix platforms
+//!   (O(registered), correct but slower — fine for CI portability).
+//! - [`Waker`]: wakes a [`Poll::poll`] call from another thread, backed
+//!   by an `eventfd(2)` on Linux and a self-pipe elsewhere.
+//! - [`rlimit`]: query and raise `RLIMIT_NOFILE`, so experiments that
+//!   open tens of thousands of sockets can lift the soft limit toward
+//!   the hard limit instead of failing with `EMFILE`.
+//!
+//! All `unsafe` in the workspace lives here: the serving crates forbid
+//! `unsafe_code`, and this crate confines it to hand-written bindings
+//! for a handful of libc symbols (libc is already linked by `std`).
+//!
+//! The API is deliberately mio-shaped ([`Token`], [`Interest`],
+//! [`Events`], `register`/`reregister`/`deregister`) so a future swap
+//! to the real crate is mechanical, but it takes [`RawFd`] instead of
+//! `&mut impl Source`: the callers own plain `std::net` sockets.
+
+#![warn(missing_docs)]
+
+use std::io;
+use std::os::raw::{c_int, c_uint, c_void};
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+#[cfg(not(unix))]
+compile_error!("the vendored mio stand-in supports unix platforms only");
+
+/// Caller-chosen identifier attached to a registered file descriptor;
+/// readiness [`Event`]s carry it back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Token(pub usize);
+
+/// Which readiness to watch for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    /// Watch for readability.
+    pub const READABLE: Interest = Interest(0b01);
+    /// Watch for writability.
+    pub const WRITABLE: Interest = Interest(0b10);
+
+    /// Combines two interests (`READABLE.add(WRITABLE)`).
+    #[must_use]
+    pub const fn add(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    /// Does this interest include readability?
+    pub const fn is_readable(self) -> bool {
+        self.0 & Self::READABLE.0 != 0
+    }
+
+    /// Does this interest include writability?
+    pub const fn is_writable(self) -> bool {
+        self.0 & Self::WRITABLE.0 != 0
+    }
+}
+
+/// One readiness event delivered by [`Poll::poll`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    token: Token,
+    readable: bool,
+    writable: bool,
+    error: bool,
+}
+
+impl Event {
+    /// The token the ready descriptor was registered with.
+    pub fn token(&self) -> Token {
+        self.token
+    }
+
+    /// Ready to read (includes peer hangup, which reads as EOF).
+    pub fn is_readable(&self) -> bool {
+        self.readable
+    }
+
+    /// Ready to write.
+    pub fn is_writable(&self) -> bool {
+        self.writable
+    }
+
+    /// An error condition was signalled (`EPOLLERR`); reading from the
+    /// descriptor surfaces the concrete error.
+    pub fn is_error(&self) -> bool {
+        self.error
+    }
+}
+
+/// Reusable buffer of readiness events.
+#[derive(Debug)]
+pub struct Events {
+    inner: Vec<Event>,
+    capacity: usize,
+}
+
+impl Events {
+    /// A buffer that delivers at most `capacity` events per poll.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events {
+            inner: Vec::with_capacity(capacity),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Iterates over the events delivered by the last poll.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.inner.iter()
+    }
+
+    /// Were any events delivered by the last poll?
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+impl<'a> IntoIterator for &'a Events {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+fn last_err() -> io::Error {
+    io::Error::last_os_error()
+}
+
+/// Milliseconds for epoll_wait/poll: `None` blocks forever; sub-ms
+/// timeouts round up so a short timeout never busy-spins.
+fn timeout_ms(timeout: Option<Duration>) -> c_int {
+    match timeout {
+        None => -1,
+        Some(d) => {
+            let ms = d.as_millis();
+            let ms = if ms == 0 && d.as_nanos() > 0 { 1 } else { ms };
+            c_int::try_from(ms).unwrap_or(c_int::MAX)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Linux backend: epoll + eventfd.
+// ---------------------------------------------------------------------
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use super::*;
+
+    const EPOLL_CLOEXEC: c_int = 0x80000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLLIN: u32 = 0x1;
+    const EPOLLOUT: u32 = 0x4;
+    const EPOLLERR: u32 = 0x8;
+    const EPOLLHUP: u32 = 0x10;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EFD_NONBLOCK: c_int = 0x800;
+    const EFD_CLOEXEC: c_int = 0x80000;
+
+    /// `struct epoll_event`; packed on x86-64, where the kernel ABI has
+    /// no padding between the 32-bit mask and the 64-bit data word.
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    }
+
+    /// Readiness selector backed by one epoll instance.
+    #[derive(Debug)]
+    pub struct Selector {
+        epfd: c_int,
+    }
+
+    // The epoll fd is used from the poll loop and (via Waker
+    // registration) at setup time only; epoll_ctl/epoll_wait are
+    // thread-safe on one instance.
+    unsafe impl Send for Selector {}
+    unsafe impl Sync for Selector {}
+
+    impl Selector {
+        pub fn new() -> io::Result<Selector> {
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(last_err());
+            }
+            Ok(Selector { epfd })
+        }
+
+        fn ctl(&self, op: c_int, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+            let mut mask = EPOLLERR | EPOLLHUP | EPOLLRDHUP;
+            if interest.is_readable() {
+                mask |= EPOLLIN;
+            }
+            if interest.is_writable() {
+                mask |= EPOLLOUT;
+            }
+            let mut ev = EpollEvent {
+                events: mask,
+                data: token.0 as u64,
+            };
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+            if rc < 0 {
+                return Err(last_err());
+            }
+            Ok(())
+        }
+
+        pub fn register(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+        }
+
+        pub fn reregister(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+        }
+
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            let mut ev = EpollEvent { events: 0, data: 0 };
+            let rc = unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut ev) };
+            if rc < 0 {
+                return Err(last_err());
+            }
+            Ok(())
+        }
+
+        pub fn poll(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+            events.inner.clear();
+            let mut buf = vec![EpollEvent { events: 0, data: 0 }; events.capacity];
+            let n = unsafe {
+                epoll_wait(
+                    self.epfd,
+                    buf.as_mut_ptr(),
+                    events.capacity as c_int,
+                    timeout_ms(timeout),
+                )
+            };
+            if n < 0 {
+                let e = last_err();
+                // A signal interrupted the wait: report an empty set and
+                // let the caller loop.
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(e);
+            }
+            for raw in buf.iter().take(n as usize) {
+                let mask = raw.events;
+                events.inner.push(Event {
+                    token: Token(raw.data as usize),
+                    readable: mask & (EPOLLIN | EPOLLHUP | EPOLLRDHUP) != 0,
+                    writable: mask & EPOLLOUT != 0,
+                    error: mask & EPOLLERR != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Selector {
+        fn drop(&mut self) {
+            unsafe { close(self.epfd) };
+        }
+    }
+
+    /// A waker fd pair; on Linux both ends are the same eventfd.
+    pub fn waker_fds() -> io::Result<(RawFd, RawFd)> {
+        let fd = unsafe { eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC) };
+        if fd < 0 {
+            return Err(last_err());
+        }
+        Ok((fd, fd))
+    }
+
+    pub const WAKER_SHARED_FD: bool = true;
+}
+
+// ---------------------------------------------------------------------
+// Portable unix backend: poll(2) + self-pipe.
+// ---------------------------------------------------------------------
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod sys {
+    use super::*;
+    use std::sync::Mutex;
+
+    const POLLIN: i16 = 0x1;
+    const POLLOUT: i16 = 0x4;
+    const POLLERR: i16 = 0x8;
+    const POLLHUP: i16 = 0x10;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: c_int,
+        events: i16,
+        revents: i16,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: c_uint, timeout: c_int) -> c_int;
+        fn pipe(fds: *mut c_int) -> c_int;
+        fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+    }
+
+    /// Readiness selector that re-builds a pollfd array per call from
+    /// the registered set. O(registered) per wakeup — portability
+    /// fallback, not the C10K path.
+    #[derive(Debug)]
+    pub struct Selector {
+        registered: Mutex<Vec<(RawFd, Token, Interest)>>,
+    }
+
+    impl Selector {
+        pub fn new() -> io::Result<Selector> {
+            Ok(Selector {
+                registered: Mutex::new(Vec::new()),
+            })
+        }
+
+        pub fn register(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+            let mut reg = self.registered.lock().unwrap();
+            if reg.iter().any(|&(f, _, _)| f == fd) {
+                return Err(io::Error::from(io::ErrorKind::AlreadyExists));
+            }
+            reg.push((fd, token, interest));
+            Ok(())
+        }
+
+        pub fn reregister(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+            let mut reg = self.registered.lock().unwrap();
+            match reg.iter_mut().find(|(f, _, _)| *f == fd) {
+                Some(slot) => {
+                    *slot = (fd, token, interest);
+                    Ok(())
+                }
+                None => Err(io::Error::from(io::ErrorKind::NotFound)),
+            }
+        }
+
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            let mut reg = self.registered.lock().unwrap();
+            let before = reg.len();
+            reg.retain(|&(f, _, _)| f != fd);
+            if reg.len() == before {
+                return Err(io::Error::from(io::ErrorKind::NotFound));
+            }
+            Ok(())
+        }
+
+        pub fn poll(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+            events.inner.clear();
+            let snapshot: Vec<(RawFd, Token, Interest)> = self.registered.lock().unwrap().clone();
+            let mut fds: Vec<PollFd> = snapshot
+                .iter()
+                .map(|&(fd, _, interest)| PollFd {
+                    fd,
+                    events: (if interest.is_readable() { POLLIN } else { 0 })
+                        | (if interest.is_writable() { POLLOUT } else { 0 }),
+                    revents: 0,
+                })
+                .collect();
+            let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_uint, timeout_ms(timeout)) };
+            if n < 0 {
+                let e = last_err();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(e);
+            }
+            for (pfd, &(_, token, _)) in fds.iter().zip(snapshot.iter()) {
+                if pfd.revents == 0 {
+                    continue;
+                }
+                events.inner.push(Event {
+                    token,
+                    readable: pfd.revents & (POLLIN | POLLHUP) != 0,
+                    writable: pfd.revents & POLLOUT != 0,
+                    error: pfd.revents & POLLERR != 0,
+                });
+                if events.inner.len() == events.capacity {
+                    break;
+                }
+            }
+            Ok(())
+        }
+    }
+
+    /// A waker fd pair: (read end registered with the poll, write end
+    /// woken from other threads).
+    pub fn waker_fds() -> io::Result<(RawFd, RawFd)> {
+        const F_SETFL: c_int = 4;
+        const O_NONBLOCK: c_int = 0x4; // BSD/macOS value
+        let mut fds = [0 as c_int; 2];
+        if unsafe { pipe(fds.as_mut_ptr()) } < 0 {
+            return Err(last_err());
+        }
+        for fd in fds {
+            if unsafe { fcntl(fd, F_SETFL, O_NONBLOCK) } < 0 {
+                let e = last_err();
+                unsafe {
+                    close(fds[0]);
+                    close(fds[1]);
+                }
+                return Err(e);
+            }
+        }
+        Ok((fds[0], fds[1]))
+    }
+
+    pub const WAKER_SHARED_FD: bool = false;
+}
+
+extern "C" {
+    fn close(fd: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+}
+
+/// Level-triggered readiness over registered file descriptors.
+///
+/// Registration takes raw fds (`AsRawFd::as_raw_fd`); the caller keeps
+/// owning and eventually closing the descriptor, and must [`Poll::deregister`]
+/// it before closing.
+#[derive(Debug)]
+pub struct Poll {
+    selector: sys::Selector,
+}
+
+impl Poll {
+    /// Creates a new selector.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error from `epoll_create1`.
+    pub fn new() -> io::Result<Poll> {
+        Ok(Poll {
+            selector: sys::Selector::new()?,
+        })
+    }
+
+    /// Starts watching `fd` with `interest`; events carry `token`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error (e.g. `EEXIST` for a double register).
+    pub fn register(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        self.selector.register(fd, token, interest)
+    }
+
+    /// Changes the interest or token of a registered `fd`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error (e.g. `ENOENT` if never registered).
+    pub fn reregister(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        self.selector.reregister(fd, token, interest)
+    }
+
+    /// Stops watching `fd`. Call before closing the descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error.
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        self.selector.deregister(fd)
+    }
+
+    /// Blocks until at least one registered descriptor is ready or the
+    /// timeout expires (`None` blocks indefinitely), filling `events`.
+    /// An interrupted wait (`EINTR`) returns an empty set, not an error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error from the underlying wait.
+    pub fn poll(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        self.selector.poll(events, timeout)
+    }
+}
+
+/// Wakes a [`Poll::poll`] call from another thread.
+///
+/// Registered with the poll at construction; when woken, the poll
+/// delivers a readable [`Event`] with the waker's token. The owner of
+/// the poll loop should call [`Waker::drain`] on that event so
+/// level-triggered polling does not spin.
+#[derive(Debug)]
+pub struct Waker {
+    read_fd: RawFd,
+    write_fd: RawFd,
+}
+
+impl Waker {
+    /// Creates a waker and registers it with `poll` under `token`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error from eventfd/pipe creation or
+    /// registration.
+    pub fn new(poll: &Poll, token: Token) -> io::Result<Waker> {
+        let (read_fd, write_fd) = sys::waker_fds()?;
+        if let Err(e) = poll.register(read_fd, token, Interest::READABLE) {
+            unsafe {
+                close(read_fd);
+                if !sys::WAKER_SHARED_FD {
+                    close(write_fd);
+                }
+            }
+            return Err(e);
+        }
+        Ok(Waker { read_fd, write_fd })
+    }
+
+    /// Wakes the poll. Safe to call from any thread, any number of
+    /// times; wakeups coalesce.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error from the underlying write (a full pipe
+    /// counts as success: the poll is already pending wakeup).
+    pub fn wake(&self) -> io::Result<()> {
+        let one: u64 = 1;
+        let rc = unsafe {
+            write(
+                self.write_fd,
+                std::ptr::addr_of!(one).cast::<c_void>(),
+                std::mem::size_of::<u64>(),
+            )
+        };
+        if rc < 0 {
+            let e = last_err();
+            if e.kind() == io::ErrorKind::WouldBlock {
+                return Ok(());
+            }
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Drains pending wakeups so a level-triggered poll stops reporting
+    /// the waker readable. Call from the poll loop when the waker's
+    /// token fires.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 8];
+        loop {
+            let rc = unsafe { read(self.read_fd, buf.as_mut_ptr().cast::<c_void>(), buf.len()) };
+            if rc <= 0 {
+                return;
+            }
+        }
+    }
+}
+
+impl Drop for Waker {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.read_fd);
+            if !sys::WAKER_SHARED_FD {
+                close(self.write_fd);
+            }
+        }
+    }
+}
+
+// Both fds outlive the struct and writes/reads are atomic at these
+// sizes; sharing across threads is the entire purpose.
+unsafe impl Send for Waker {}
+unsafe impl Sync for Waker {}
+
+/// Query and raise `RLIMIT_NOFILE`, for experiments that open tens of
+/// thousands of sockets in one process.
+pub mod rlimit {
+    use super::{c_int, last_err};
+    use std::io;
+
+    const RLIMIT_NOFILE: c_int = if cfg!(target_os = "linux") { 7 } else { 8 };
+
+    #[repr(C)]
+    struct Rlimit {
+        cur: u64,
+        max: u64,
+    }
+
+    extern "C" {
+        fn getrlimit(resource: c_int, rlim: *mut Rlimit) -> c_int;
+        fn setrlimit(resource: c_int, rlim: *const Rlimit) -> c_int;
+    }
+
+    /// The current `(soft, hard)` open-file limits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error from `getrlimit`.
+    pub fn nofile() -> io::Result<(u64, u64)> {
+        let mut lim = Rlimit { cur: 0, max: 0 };
+        if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } < 0 {
+            return Err(last_err());
+        }
+        Ok((lim.cur, lim.max))
+    }
+
+    /// Raises the soft open-file limit to `min(target, hard)` and
+    /// returns the resulting soft limit. Never lowers it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the OS error from `getrlimit`/`setrlimit`.
+    pub fn raise_nofile(target: u64) -> io::Result<u64> {
+        let (soft, hard) = nofile()?;
+        let want = target.min(hard);
+        if want <= soft {
+            return Ok(soft);
+        }
+        let lim = Rlimit {
+            cur: want,
+            max: hard,
+        };
+        if unsafe { setrlimit(RLIMIT_NOFILE, &lim) } < 0 {
+            return Err(last_err());
+        }
+        Ok(want)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+
+    const LISTENER: Token = Token(0);
+    const CLIENT: Token = Token(1);
+    const WAKER: Token = Token(9);
+
+    #[test]
+    fn accept_read_write_readiness_round_trip() {
+        let poll = Poll::new().unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        poll.register(listener.as_raw_fd(), LISTENER, Interest::READABLE)
+            .unwrap();
+
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+
+        // The pending accept makes the listener readable.
+        let mut events = Events::with_capacity(8);
+        let mut accepted = None;
+        for _ in 0..50 {
+            poll.poll(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+            if events
+                .iter()
+                .any(|e| e.token() == LISTENER && e.is_readable())
+            {
+                let (stream, _) = listener.accept().unwrap();
+                stream.set_nonblocking(true).unwrap();
+                accepted = Some(stream);
+                break;
+            }
+        }
+        let mut served = accepted.expect("listener never became readable");
+
+        // Data from the client makes the accepted socket readable.
+        poll.register(
+            served.as_raw_fd(),
+            CLIENT,
+            Interest::READABLE.add(Interest::WRITABLE),
+        )
+        .unwrap();
+        client.write_all(b"ping").unwrap();
+        let mut got = Vec::new();
+        for _ in 0..50 {
+            poll.poll(&mut events, Some(Duration::from_millis(100)))
+                .unwrap();
+            for e in &events {
+                if e.token() == CLIENT && e.is_readable() {
+                    let mut buf = [0u8; 16];
+                    let n = served.read(&mut buf).unwrap();
+                    got.extend_from_slice(&buf[..n]);
+                }
+            }
+            if !got.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(got, b"ping");
+
+        // An idle socket with WRITABLE interest reports writable.
+        assert!(events
+            .iter()
+            .any(|e| e.token() == CLIENT && e.is_writable()));
+
+        poll.deregister(served.as_raw_fd()).unwrap();
+        poll.deregister(listener.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn waker_wakes_a_blocked_poll_and_drains() {
+        let poll = Poll::new().unwrap();
+        let waker = std::sync::Arc::new(Waker::new(&poll, WAKER).unwrap());
+
+        let remote = std::sync::Arc::clone(&waker);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            remote.wake().unwrap();
+            remote.wake().unwrap(); // wakeups coalesce
+        });
+
+        let mut events = Events::with_capacity(4);
+        poll.poll(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token() == WAKER && e.is_readable()));
+        handle.join().unwrap();
+        waker.drain();
+
+        // Drained: a short subsequent poll times out empty.
+        poll.poll(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn nofile_limits_are_sane_and_raisable() {
+        let (soft, hard) = rlimit::nofile().unwrap();
+        assert!(soft > 0 && hard >= soft);
+        // Raising to the current soft limit is a no-op that succeeds.
+        assert_eq!(rlimit::raise_nofile(soft).unwrap(), soft);
+    }
+}
