@@ -6,7 +6,7 @@
 //! experiments: all, table1, table2, table3, fig12, fig13, fig14,
 //!              fig15, fig16, storage, ksweep, latency, throughput,
 //!              concurrent, pool, quorum, coldstart, chaos, ingest,
-//!              reopen
+//!              reopen, reorg
 //! ```
 //!
 //! `fig13`/`fig14`/`fig15` share one filter-size sweep; asking for any
@@ -17,7 +17,7 @@ use std::time::Instant;
 
 use lvq_bench::experiments::{
     bf_sweep, chaos, coldstart, concurrent, fig12, fig16, ingest, k_sweep, latency, pool, quorum,
-    reopen, storage, tables, throughput,
+    reopen, reorg, storage, tables, throughput,
 };
 use lvq_bench::Scale;
 
@@ -55,7 +55,7 @@ fn parse_args() -> Result<Options, String> {
 }
 
 const USAGE: &str =
-    "usage: repro <all|table1|table2|table3|fig12|fig13|fig14|fig15|fig16|storage|ksweep|latency|throughput|concurrent|pool|quorum|coldstart|chaos|ingest|reopen> \
+    "usage: repro <all|table1|table2|table3|fig12|fig13|fig14|fig15|fig16|storage|ksweep|latency|throughput|concurrent|pool|quorum|coldstart|chaos|ingest|reopen|reorg> \
                      [--scale small|paper] [--seed N]";
 
 fn main() -> ExitCode {
@@ -171,6 +171,11 @@ fn main() -> ExitCode {
     if want("reopen") {
         matched = true;
         println!("{}", reopen::run(opts.scale, opts.seed));
+        println!();
+    }
+    if want("reorg") {
+        matched = true;
+        println!("{}", reorg::run(opts.scale, opts.seed));
         println!();
     }
 

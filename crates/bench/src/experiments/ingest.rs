@@ -223,7 +223,8 @@ pub fn run(scale: Scale, seed: u64) -> Ingest {
         wait_for("the client to observe the published tip", || {
             synced_headers += light
                 .sync_new(&mut transport)
-                .expect("incremental header sync");
+                .expect("incremental header sync")
+                .new_headers();
             light.client().tip_height() >= target
         });
         assert!(

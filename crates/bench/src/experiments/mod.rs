@@ -12,6 +12,7 @@ pub mod latency;
 pub mod pool;
 pub mod quorum;
 pub mod reopen;
+pub mod reorg;
 pub mod storage;
 pub mod tables;
 pub mod throughput;

@@ -3,7 +3,7 @@
 use lvq_bloom::BloomParams;
 use lvq_chain::Address;
 use lvq_core::{Scheme, SchemeConfig};
-use lvq_workload::{Workload, WorkloadBuilder};
+use lvq_workload::{BranchSpec, ForkedWorkload, Workload, WorkloadBuilder};
 
 use crate::scale::Scale;
 
@@ -63,6 +63,18 @@ pub fn build_workload(spec: WorkloadSpec) -> Workload {
         .probes(spec.scale.probes())
         .build()
         .expect("probe specs are scaled to the chain length")
+}
+
+/// Builds the chain, plants the scaled Table III probes, and grows the
+/// requested competing branches for reorg experiments.
+pub fn build_forked_workload(spec: WorkloadSpec, branches: &[BranchSpec]) -> ForkedWorkload {
+    WorkloadBuilder::new(spec.config().chain_params())
+        .blocks(spec.scale.blocks())
+        .traffic(spec.scale.traffic())
+        .seed(spec.seed)
+        .probes(spec.scale.probes())
+        .build_forked(branches)
+        .expect("probe and branch specs are scaled to the chain length")
 }
 
 /// The probes of a built workload, labelled `Addr1..Addr6` as the paper

@@ -391,15 +391,29 @@ impl<S: BlockSource, T: TableSource> Chain<S, T> {
     /// Absorbs up to `max` blocks the source holds beyond the current
     /// tip, returning how many were absorbed (zero when already caught
     /// up). Repeated [`Chain::extend_one`] — see there for the
-    /// durability contract.
+    /// durability contract — after validating the *whole* batch's
+    /// header linkage up front, so a non-linking block anywhere in the
+    /// batch rejects it atomically: neither the chain nor its derived
+    /// state absorbs any prefix of a batch that cannot complete.
     ///
     /// # Errors
     ///
-    /// As [`Chain::extend_one`]; the chain keeps every block absorbed
-    /// before the failing one.
+    /// Returns [`ChainError::BrokenChainLink`] with the chain exactly
+    /// at its pre-batch state if any candidate block fails to link;
+    /// otherwise as [`Chain::extend_one`].
     pub fn extend_batch(&mut self, max: u64) -> Result<u64, ChainError> {
+        let start = self.tip_height();
+        let goal = self.source.len().min(start.saturating_add(max));
+        let mut prev = self.tip_hash();
+        for height in start + 1..=goal {
+            let block = self.source.block(height)?;
+            if block.header.prev_block != prev {
+                return Err(ChainError::BrokenChainLink { height });
+            }
+            prev = block.header.block_hash();
+        }
         let mut absorbed = 0;
-        while absorbed < max && self.tip_height() < self.source.len() {
+        while self.tip_height() < goal {
             self.extend_one()?;
             absorbed += 1;
         }
@@ -485,6 +499,96 @@ impl<S: BlockSource, T: TableSource> Chain<S, T> {
         self.headers
             .last()
             .map_or(Hash256::ZERO, BlockHeader::block_hash)
+    }
+
+    /// Hash of the header at `height` — [`Hash256::ZERO`] at height 0 —
+    /// which is the `prev_block` value a block at `height + 1` must
+    /// carry. This is the fork-point anchor a reorg validates against.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::UnknownHeight`] above the tip.
+    pub fn hash_at(&self, height: u64) -> Result<Hash256, ChainError> {
+        if height == 0 {
+            return Ok(Hash256::ZERO);
+        }
+        self.header(height).map(BlockHeader::block_hash)
+    }
+
+    /// Rewinds the chain to `height`, discarding every block above it
+    /// from both the block source and all derived state: headers,
+    /// address tables, BMT span hashes whose span reaches above
+    /// `height`, the live BMT builder (rebuilt lazily from the
+    /// surviving span hashes on the next extension), and both memo
+    /// caches.
+    ///
+    /// Derived state is truncated *before* the block source, mirroring
+    /// the forward durability rule (the store always leads): if the
+    /// source truncation fails midway, the chain is left in the normal
+    /// "source ahead of derived" state a restart already knows how to
+    /// absorb.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::UnknownHeight`] if `height` is above the
+    /// tip, or any error from the sources.
+    pub fn rewind_to(&mut self, height: u64) -> Result<(), ChainError> {
+        let tip = self.tip_height();
+        if height > tip {
+            return Err(ChainError::UnknownHeight { height });
+        }
+        if height == tip {
+            return Ok(());
+        }
+        self.tables.truncate(height)?;
+        self.headers.truncate(height as usize);
+        self.span_hashes.retain(|&(_, hi), _| hi <= height);
+        self.bmt_builder = None;
+        self.filter_cache.lock().clear();
+        self.smt_cache.lock().clear();
+        self.tables.clear_cache();
+        self.source.truncate(height)?;
+        Ok(())
+    }
+
+    /// Switches the chain to a competing branch: validates that
+    /// `branch` links contiguously onto the header at `fork_height`,
+    /// rewinds to the fork point ([`Chain::rewind_to`]), then appends
+    /// and absorbs every branch block in order. Returns the new tip
+    /// height.
+    ///
+    /// Linkage is validated *before* any state is touched, so a
+    /// malformed branch leaves the chain exactly as it was. Fork
+    /// *choice* (whether this branch should win) is the caller's
+    /// business — typically a `ForkTree` applying the longest-chain
+    /// rule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::UnknownHeight`] if `fork_height` is above
+    /// the tip, [`ChainError::BrokenChainLink`] if the branch does not
+    /// link, [`ChainError::Source`] on an empty branch, or any error
+    /// from the rewind or replay.
+    pub fn reorg_to(&mut self, fork_height: u64, branch: &[Arc<Block>]) -> Result<u64, ChainError> {
+        if branch.is_empty() {
+            return Err(ChainError::Source {
+                detail: "reorg branch is empty".into(),
+            });
+        }
+        let mut prev = self.hash_at(fork_height)?;
+        for (i, block) in branch.iter().enumerate() {
+            let height = fork_height + 1 + i as u64;
+            if block.header.prev_block != prev {
+                return Err(ChainError::BrokenChainLink { height });
+            }
+            prev = block.header.block_hash();
+        }
+        self.rewind_to(fork_height)?;
+        for block in branch {
+            self.source.push_block(block.clone())?;
+            self.extend_one()?;
+        }
+        Ok(self.tip_height())
     }
 
     /// The block at `height` (heights are 1-based, like the paper's
@@ -1082,6 +1186,122 @@ mod tests {
         );
         // The rejected block is not absorbed.
         assert_eq!(chain.tip_height(), 9);
+    }
+
+    #[test]
+    fn extend_batch_rejects_the_whole_batch_on_a_broken_link() {
+        // A non-linking block in the *middle* of the batch rejects the
+        // batch atomically: the valid prefix is not absorbed either.
+        let (params, blocks, _) = varied_blocks(CommitmentPolicy::lvq(), 10);
+        let mut chain =
+            Chain::assemble_trusted(params, InMemoryBlocks::new(blocks[..5].to_vec())).unwrap();
+        let before = chain.headers().to_vec();
+        for (i, b) in blocks[5..].iter().enumerate() {
+            let mut b = b.clone();
+            if i == 2 {
+                b.header.prev_block = Hash256::hash(b"not the parent");
+            }
+            chain.source.blocks.push(Arc::new(b));
+        }
+        assert_eq!(
+            chain.extend_batch(u64::MAX).unwrap_err(),
+            ChainError::BrokenChainLink { height: 8 }
+        );
+        assert_eq!(chain.tip_height(), 5);
+        assert_eq!(chain.headers(), &before[..]);
+    }
+
+    fn build_with(params: ChainParams, miners: &[&str]) -> Chain {
+        let mut builder = ChainBuilder::new(params).unwrap();
+        for (i, miner) in miners.iter().enumerate() {
+            builder
+                .push_block(vec![Transaction::coinbase(
+                    Address::new(*miner),
+                    50,
+                    i as u32 + 1,
+                )])
+                .unwrap();
+        }
+        builder.finish()
+    }
+
+    #[test]
+    fn reorg_to_matches_straight_build_of_the_winner() {
+        for policy in [
+            CommitmentPolicy::strawman(),
+            CommitmentPolicy::lvq_without_bmt(),
+            CommitmentPolicy::lvq_without_smt(),
+            CommitmentPolicy::lvq(),
+        ] {
+            let params = ChainParams::new(BloomParams::new(128, 2).unwrap(), 8, policy).unwrap();
+            // Canonical and winner share heights 1..=7, then diverge;
+            // the winner is longer and crosses the M=8 segment boundary.
+            let canonical: Vec<&str> = vec!["1A"; 10];
+            let mut winner = vec!["1A"; 7];
+            winner.extend(["1B", "1B", "1B", "1B"]);
+            let canonical = build_with(params, &canonical);
+            let winner = build_with(params, &winner);
+
+            let blocks: Vec<Block> = (1..=canonical.tip_height())
+                .map(|h| (*canonical.block(h).unwrap()).clone())
+                .collect();
+            let mut chain = Chain::assemble_trusted(params, InMemoryBlocks::new(blocks)).unwrap();
+            let branch: Vec<Arc<Block>> = (8..=winner.tip_height())
+                .map(|h| winner.block(h).unwrap())
+                .collect();
+            assert_eq!(chain.reorg_to(7, &branch).unwrap(), 11);
+            assert_eq!(chain.headers(), winner.headers());
+            assert_eq!(chain.span_hashes, winner.span_hashes, "policy {policy:?}");
+            for h in 1..=chain.tip_height() {
+                assert_eq!(
+                    chain.addr_counts(h).unwrap(),
+                    winner.addr_counts(h).unwrap()
+                );
+            }
+            chain.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn reorg_rejects_a_non_linking_branch_untouched() {
+        let (params, blocks, built) = varied_blocks(CommitmentPolicy::lvq(), 10);
+        let mut chain = Chain::assemble_trusted(params, InMemoryBlocks::new(blocks)).unwrap();
+        // Branch that links at the fork point but breaks internally.
+        let mut branch: Vec<Arc<Block>> = (8..=10).map(|h| built.block(h).unwrap()).collect();
+        let mut bad = (*branch[1]).clone();
+        bad.header.prev_block = Hash256::hash(b"not the parent");
+        branch[1] = Arc::new(bad);
+        assert_eq!(
+            chain.reorg_to(7, &branch).unwrap_err(),
+            ChainError::BrokenChainLink { height: 9 }
+        );
+        // Nothing was rewound or replayed.
+        assert_eq!(chain.tip_height(), 10);
+        assert_eq!(chain.headers(), built.headers());
+        assert!(chain.reorg_to(7, &[]).is_err());
+        assert!(matches!(
+            chain.reorg_to(11, &branch),
+            Err(ChainError::UnknownHeight { height: 11 })
+        ));
+    }
+
+    #[test]
+    fn rewind_then_extend_reabsorbs_the_same_blocks() {
+        // A rewind with no replacement branch is a cancelled reorg: the
+        // same blocks re-extend to a bit-identical chain.
+        let (params, blocks, built) = varied_blocks(CommitmentPolicy::lvq(), 13);
+        let mut chain = Chain::assemble_trusted(params, InMemoryBlocks::new(blocks)).unwrap();
+        chain.rewind_to(6).unwrap();
+        assert_eq!(chain.tip_height(), 6);
+        assert_eq!(chain.source().len(), 6);
+        assert!(chain.span_hashes.keys().all(|&(_, hi)| hi <= 6));
+        for b in (7..=13).map(|h| built.block(h).unwrap()) {
+            chain.source.push_block(b).unwrap();
+        }
+        assert_eq!(chain.extend_batch(u64::MAX).unwrap(), 7);
+        assert_eq!(chain.headers(), built.headers());
+        assert_eq!(chain.span_hashes, built.span_hashes);
+        chain.validate().unwrap();
     }
 
     #[test]

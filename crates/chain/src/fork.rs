@@ -1,0 +1,426 @@
+//! Fork storage and the best-chain rule.
+//!
+//! A live node following a real network does not see a straight line:
+//! it sees competing blocks off recent heights. [`ForkTree`] is the
+//! bookkeeping between the feed and [`Chain::reorg_to`](crate::Chain::reorg_to):
+//! it classifies every arriving block against the canonical chain,
+//! stores competing branches rooted at recent canonical heights
+//! (bounded by `max_reorg_depth`), applies the longest-chain rule to
+//! decide when a side branch becomes the best chain, and garbage
+//! collects branches whose fork point has fallen too deep to ever win.
+//!
+//! The tree holds *blocks and hashes only* — no derived state. The
+//! expensive part of switching branches (rewinding tables, span hashes
+//! and caches, replaying the winner) lives in `Chain::reorg_to`; the
+//! tree just decides *when* and hands over the branch.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use lvq_crypto::Hash256;
+
+use crate::block::Block;
+
+/// One competing branch rooted at a recent canonical height.
+#[derive(Debug, Clone)]
+pub struct SideBranch {
+    /// Height of the last block this branch shares with the canonical
+    /// chain; the branch's first block links onto the canonical header
+    /// at this height.
+    pub fork_height: u64,
+    /// The branch's blocks, in height order (`fork_height + 1` up).
+    pub blocks: Vec<Arc<Block>>,
+}
+
+impl SideBranch {
+    /// Height of the branch's last block.
+    pub fn tip_height(&self) -> u64 {
+        self.fork_height + self.blocks.len() as u64
+    }
+
+    /// Hash of the branch's last block.
+    pub fn tip_hash(&self) -> Hash256 {
+        self.blocks
+            .last()
+            .map_or(Hash256::ZERO, |b| b.header.block_hash())
+    }
+}
+
+/// What [`ForkTree::observe`] decided about one arriving block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ForkEvent {
+    /// The block links onto the canonical tip — the normal append path.
+    /// The tree did not store it; the caller extends the chain and then
+    /// reports the new tip with [`ForkTree::advance`].
+    ExtendsCanonical,
+    /// The block was stored on a side branch (freshly forked off the
+    /// canonical chain, or extending an existing branch). `best` is
+    /// `true` when that branch now out-lengths the canonical chain and
+    /// should be adopted via [`ForkTree::adopt`] + `Chain::reorg_to`.
+    Stored {
+        /// Index of the branch (stable until the next `adopt`/prune).
+        branch: usize,
+        /// Whether the branch now wins the longest-chain rule.
+        best: bool,
+    },
+    /// The block is already part of the canonical chain or a stored
+    /// branch; nothing to do.
+    Duplicate,
+    /// The block forks off a canonical height more than
+    /// `max_reorg_depth` below the tip — reorging there is refused by
+    /// policy, so the block is dropped.
+    TooDeep {
+        /// The (too-deep) canonical height the block links onto.
+        fork_height: u64,
+    },
+    /// The block's `prev_block` matches nothing the tree knows —
+    /// neither recent canonical headers nor any branch tip. Either an
+    /// ancient fork or garbage; the caller decides how hostile to be.
+    Unknown,
+}
+
+/// Bounded fork storage with the longest-chain best-tip rule.
+///
+/// The tree tracks a window of recent canonical `(height, hash)` pairs
+/// (wide enough to classify forks up to `max_reorg_depth` deep, plus
+/// slack so moderately-too-deep forks are *named* rather than lumped
+/// with garbage) and any number of live side branches inside that
+/// window.
+#[derive(Debug, Clone)]
+pub struct ForkTree {
+    max_reorg_depth: u64,
+    /// Recent canonical `(height, hash)`, ascending; back is the tip.
+    recent: VecDeque<(u64, Hash256)>,
+    branches: Vec<SideBranch>,
+}
+
+impl ForkTree {
+    /// An empty tree accepting reorgs up to `max_reorg_depth` blocks
+    /// deep (0 disables fork storage entirely: every non-linking block
+    /// is [`ForkEvent::Unknown`]).
+    pub fn new(max_reorg_depth: u64) -> Self {
+        ForkTree {
+            max_reorg_depth,
+            recent: VecDeque::new(),
+            branches: Vec::new(),
+        }
+    }
+
+    /// The configured maximum reorg depth.
+    pub fn max_reorg_depth(&self) -> u64 {
+        self.max_reorg_depth
+    }
+
+    /// The live side branches (index-addressable for [`ForkEvent::Stored`]).
+    pub fn branches(&self) -> &[SideBranch] {
+        &self.branches
+    }
+
+    /// How many canonical `(height, hash)` pairs the tree retains: the
+    /// reorgable window plus equal slack for naming too-deep forks.
+    fn window(&self) -> usize {
+        (2 * self.max_reorg_depth + 2) as usize
+    }
+
+    /// The canonical tip the tree currently believes in.
+    pub fn canonical_tip(&self) -> Option<(u64, Hash256)> {
+        self.recent.back().copied()
+    }
+
+    /// Records that the canonical chain adopted `hash` at `height`.
+    /// Call after every canonical append (and repeatedly to seed the
+    /// tree from an existing chain's recent headers). Heights must
+    /// arrive in ascending order; the window slides forward and stale
+    /// branches are pruned.
+    pub fn advance(&mut self, height: u64, hash: Hash256) {
+        debug_assert!(self.recent.back().is_none_or(|(h, _)| height == h + 1));
+        self.recent.push_back((height, hash));
+        while self.recent.len() > self.window() {
+            self.recent.pop_front();
+        }
+        self.prune();
+    }
+
+    /// Classifies `block` and stores it if it belongs on a branch. See
+    /// [`ForkEvent`] for the outcomes and required follow-ups.
+    pub fn observe(&mut self, block: Arc<Block>) -> ForkEvent {
+        let hash = block.header.block_hash();
+        let prev = block.header.prev_block;
+        let Some((tip_height, tip_hash)) = self.canonical_tip() else {
+            return ForkEvent::Unknown;
+        };
+        if self.recent.iter().any(|(_, h)| *h == hash)
+            || self
+                .branches
+                .iter()
+                .any(|b| b.blocks.iter().any(|bb| bb.header.block_hash() == hash))
+        {
+            return ForkEvent::Duplicate;
+        }
+        if prev == tip_hash {
+            return ForkEvent::ExtendsCanonical;
+        }
+        if self.max_reorg_depth == 0 {
+            return ForkEvent::Unknown;
+        }
+        // Extending an existing branch?
+        if let Some(idx) = self.branches.iter().position(|b| b.tip_hash() == prev) {
+            self.branches[idx].blocks.push(block);
+            let best = self.branches[idx].tip_height() > tip_height;
+            return ForkEvent::Stored { branch: idx, best };
+        }
+        // Forking off a recent canonical height?
+        if let Some((fork_height, _)) = self
+            .recent
+            .iter()
+            .find(|(_, h)| *h == prev)
+            .copied()
+            .filter(|(h, _)| *h < tip_height)
+        {
+            if fork_height + self.max_reorg_depth < tip_height {
+                return ForkEvent::TooDeep { fork_height };
+            }
+            self.branches.push(SideBranch {
+                fork_height,
+                blocks: vec![block],
+            });
+            let idx = self.branches.len() - 1;
+            let best = self.branches[idx].tip_height() > tip_height;
+            return ForkEvent::Stored { branch: idx, best };
+        }
+        ForkEvent::Unknown
+    }
+
+    /// The index of a branch that currently beats the canonical chain
+    /// under the longest-chain rule (ties favor the canonical chain;
+    /// among winning branches, the longest, then first-seen).
+    pub fn best_branch(&self) -> Option<usize> {
+        let (tip_height, _) = self.canonical_tip()?;
+        self.branches
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.tip_height() > tip_height)
+            .max_by_key(|(i, b)| (b.tip_height(), usize::MAX - i))
+            .map(|(i, _)| i)
+    }
+
+    /// Adopts branch `idx` as the new canonical chain after the caller
+    /// has successfully reorged: the branch is removed, the canonical
+    /// window is rolled back to its fork point and re-advanced over the
+    /// branch's blocks, and the displaced canonical suffix (`old_suffix`,
+    /// the blocks that were canonical above the fork point, in height
+    /// order) is stored as a side branch so an immediate reorg *back*
+    /// works. Returns the adopted branch.
+    pub fn adopt(&mut self, idx: usize, old_suffix: Vec<Arc<Block>>) -> SideBranch {
+        let branch = self.branches.swap_remove(idx);
+        while self
+            .recent
+            .back()
+            .is_some_and(|(h, _)| *h > branch.fork_height)
+        {
+            self.recent.pop_back();
+        }
+        for (i, block) in branch.blocks.iter().enumerate() {
+            self.advance(branch.fork_height + 1 + i as u64, block.header.block_hash());
+        }
+        if !old_suffix.is_empty() {
+            self.branches.push(SideBranch {
+                fork_height: branch.fork_height,
+                blocks: old_suffix,
+            });
+        }
+        self.prune();
+        branch
+    }
+
+    /// Drops branches whose fork point has fallen more than
+    /// `max_reorg_depth` below the canonical tip — they can no longer
+    /// be adopted, so keeping their blocks is pure waste. Returns how
+    /// many branches were collected.
+    pub fn prune(&mut self) -> usize {
+        let Some((tip_height, _)) = self.canonical_tip() else {
+            return 0;
+        };
+        let max_depth = self.max_reorg_depth;
+        let before = self.branches.len();
+        self.branches
+            .retain(|b| b.fork_height + max_depth >= tip_height);
+        before - self.branches.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::Address;
+    use crate::builder::ChainBuilder;
+    use crate::chain::Chain;
+    use crate::params::{ChainParams, CommitmentPolicy};
+    use crate::transaction::Transaction;
+    use lvq_bloom::BloomParams;
+
+    fn params() -> ChainParams {
+        ChainParams::new(
+            BloomParams::new(128, 2).unwrap(),
+            8,
+            CommitmentPolicy::lvq(),
+        )
+        .unwrap()
+    }
+
+    /// A chain whose blocks 1..=n mine to `miners[i]`.
+    fn build(miners: &[&str]) -> Chain {
+        let mut builder = ChainBuilder::new(params()).unwrap();
+        for (i, miner) in miners.iter().enumerate() {
+            builder
+                .push_block(vec![Transaction::coinbase(
+                    Address::new(*miner),
+                    50,
+                    i as u32 + 1,
+                )])
+                .unwrap();
+        }
+        builder.finish()
+    }
+
+    fn seeded_tree(chain: &Chain, max_depth: u64) -> ForkTree {
+        let mut tree = ForkTree::new(max_depth);
+        for h in 1..=chain.tip_height() {
+            tree.advance(h, chain.hash_at(h).unwrap());
+        }
+        tree
+    }
+
+    #[test]
+    fn classifies_extension_fork_and_garbage() {
+        let canonical = build(&["1A"; 8]);
+        let longer = build(&["1A", "1A", "1A", "1A", "1A", "1A", "1A", "1A", "1A"]);
+        let forked = build(&["1A", "1A", "1A", "1A", "1A", "1B", "1B", "1B"]);
+        let mut tree = seeded_tree(&canonical, 4);
+
+        // Links onto the tip: not stored, caller appends.
+        assert_eq!(
+            tree.observe(longer.block(9).unwrap()),
+            ForkEvent::ExtendsCanonical
+        );
+        // Re-delivery of a canonical block is a duplicate.
+        assert_eq!(
+            tree.observe(canonical.block(8).unwrap()),
+            ForkEvent::Duplicate
+        );
+        // Fork block off height 5: stored, not yet best.
+        assert_eq!(
+            tree.observe(forked.block(6).unwrap()),
+            ForkEvent::Stored {
+                branch: 0,
+                best: false
+            }
+        );
+        assert_eq!(tree.branches()[0].fork_height, 5);
+        // Garbage links nowhere.
+        let mut junk = (*forked.block(6).unwrap()).clone();
+        junk.header.prev_block = Hash256::hash(b"nowhere");
+        assert_eq!(tree.observe(Arc::new(junk)), ForkEvent::Unknown);
+    }
+
+    #[test]
+    fn branch_becomes_best_only_when_longer() {
+        let canonical = build(&["1A"; 8]);
+        let winner = build(&["1A", "1A", "1A", "1A", "1A", "1A", "1B", "1B", "1B", "1B"]);
+        let mut tree = seeded_tree(&canonical, 4);
+        // Branch off height 6 catches up at 7, 8, overtakes at 9.
+        for h in 7..=8 {
+            assert_eq!(
+                tree.observe(winner.block(h).unwrap()),
+                ForkEvent::Stored {
+                    branch: 0,
+                    best: false
+                },
+                "height {h} ties or trails"
+            );
+            assert_eq!(tree.best_branch(), None);
+        }
+        assert_eq!(
+            tree.observe(winner.block(9).unwrap()),
+            ForkEvent::Stored {
+                branch: 0,
+                best: true
+            }
+        );
+        assert_eq!(tree.best_branch(), Some(0));
+    }
+
+    #[test]
+    fn too_deep_forks_are_refused_and_stale_branches_pruned() {
+        let canonical = build(&["1A"; 10]);
+        let forked = build(&["1A", "1A", "1A", "1A", "1A", "1A", "1B"]);
+        let mut tree = seeded_tree(&canonical, 2);
+        // Fork off height 6 with tip at 10: depth 4 > 2, but still
+        // inside the retained window, so it is *named* too deep.
+        assert_eq!(
+            tree.observe(forked.block(7).unwrap()),
+            ForkEvent::TooDeep { fork_height: 6 }
+        );
+        // A fork below the retained window entirely is just unknown.
+        let ancient = build(&["1A", "1A", "1B"]);
+        assert_eq!(tree.observe(ancient.block(3).unwrap()), ForkEvent::Unknown);
+        // A branch inside the window goes stale as the tip advances.
+        let recent_fork = build(&["1A", "1A", "1A", "1A", "1A", "1A", "1A", "1A", "1B", "1B"]);
+        assert!(matches!(
+            tree.observe(recent_fork.block(9).unwrap()),
+            ForkEvent::Stored { .. }
+        ));
+        assert_eq!(tree.branches().len(), 1);
+        let longer = build(&["1A"; 13]);
+        for h in 11..=13 {
+            tree.advance(h, longer.hash_at(h).unwrap());
+        }
+        assert!(tree.branches().is_empty(), "stale branch pruned");
+    }
+
+    #[test]
+    fn adopt_swaps_canonical_and_keeps_the_old_suffix_reorgable() {
+        let canonical = build(&["1A"; 8]);
+        let winner = build(&["1A", "1A", "1A", "1A", "1A", "1A", "1B", "1B", "1B"]);
+        let mut tree = seeded_tree(&canonical, 4);
+        for h in 7..=9 {
+            tree.observe(winner.block(h).unwrap());
+        }
+        let idx = tree.best_branch().unwrap();
+        let old_suffix: Vec<_> = (7..=8).map(|h| canonical.block(h).unwrap()).collect();
+        let adopted = tree.adopt(idx, old_suffix);
+        assert_eq!(adopted.fork_height, 6);
+        assert_eq!(
+            tree.canonical_tip().unwrap(),
+            (9, winner.hash_at(9).unwrap())
+        );
+        // The displaced suffix is a live branch; extending it two
+        // blocks reorgs back.
+        assert_eq!(tree.branches().len(), 1);
+        assert_eq!(tree.branches()[0].fork_height, 6);
+        let back = build(&["1A"; 11]);
+        assert_eq!(
+            tree.observe(back.block(9).unwrap()),
+            ForkEvent::Stored {
+                branch: 0,
+                best: false
+            }
+        );
+        assert_eq!(
+            tree.observe(back.block(10).unwrap()),
+            ForkEvent::Stored {
+                branch: 0,
+                best: true
+            }
+        );
+    }
+
+    #[test]
+    fn depth_zero_disables_fork_storage() {
+        let canonical = build(&["1A"; 8]);
+        let forked = build(&["1A", "1A", "1A", "1A", "1A", "1A", "1A", "1B"]);
+        let mut tree = seeded_tree(&canonical, 0);
+        assert_eq!(tree.observe(forked.block(8).unwrap()), ForkEvent::Unknown);
+        assert!(tree.branches().is_empty());
+    }
+}

@@ -45,6 +45,7 @@ mod builder;
 mod chain;
 mod error;
 pub mod file;
+mod fork;
 mod header;
 mod params;
 mod source;
@@ -58,6 +59,7 @@ pub use block::Block;
 pub use builder::ChainBuilder;
 pub use chain::{CacheStats, Chain, ChainCacheStats, SegmentBmtSource};
 pub use error::ChainError;
+pub use fork::{ForkEvent, ForkTree, SideBranch};
 pub use header::{BlockHeader, HeaderCommitments, BASE_HEADER_LEN};
 pub use params::{CacheConfig, ChainParams, CommitmentPolicy};
 pub use source::{BlockSource, InMemoryBlocks};

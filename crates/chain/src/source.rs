@@ -56,6 +56,40 @@ pub trait BlockSource: Send + Sync + fmt::Debug {
         Ok(())
     }
 
+    /// Appends `block` as the new tip (height `len() + 1`).
+    ///
+    /// Linkage and content validation happen in the chain layer —
+    /// sources store whatever they are handed, exactly like the initial
+    /// build path. The default refuses, so read-only sources cannot be
+    /// grown by accident.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::Source`] if the source does not support
+    /// appends or the backing storage fails.
+    fn push_block(&mut self, block: Arc<Block>) -> Result<(), ChainError> {
+        let _ = block;
+        Err(ChainError::Source {
+            detail: "block source does not support appends".into(),
+        })
+    }
+
+    /// Discards every block above `height`, so `len()` becomes
+    /// `height`. This is the reorg rewind primitive; the default
+    /// refuses, so read-only sources cannot lose blocks by accident.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::UnknownHeight`] if `height > len()` and
+    /// [`ChainError::Source`] if the source does not support truncation
+    /// or the backing storage fails.
+    fn truncate(&mut self, height: u64) -> Result<(), ChainError> {
+        let _ = height;
+        Err(ChainError::Source {
+            detail: "block source does not support truncation".into(),
+        })
+    }
+
     /// Approximate bytes of block data currently resident in memory —
     /// the whole chain for [`InMemoryBlocks`], the cache occupancy for a
     /// disk-backed source.
@@ -120,6 +154,22 @@ impl BlockSource for InMemoryBlocks {
     ) -> Result<(), ChainError> {
         for (i, block) in self.blocks.iter().enumerate() {
             visit(i as u64 + 1, block)?;
+        }
+        Ok(())
+    }
+
+    fn push_block(&mut self, block: Arc<Block>) -> Result<(), ChainError> {
+        self.total_bytes += lvq_codec::Encodable::encoded_len(&*block) as u64;
+        self.blocks.push(block);
+        Ok(())
+    }
+
+    fn truncate(&mut self, height: u64) -> Result<(), ChainError> {
+        if height > self.len() {
+            return Err(ChainError::UnknownHeight { height });
+        }
+        for block in self.blocks.drain(height as usize..) {
+            self.total_bytes -= lvq_codec::Encodable::encoded_len(&*block) as u64;
         }
         Ok(())
     }

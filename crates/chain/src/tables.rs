@@ -106,6 +106,23 @@ pub trait TableSource: Send + Sync + fmt::Debug {
         Ok(())
     }
 
+    /// Discards every block's derived state above `height`, so `len()`
+    /// becomes `height`. This is the reorg rewind primitive; the
+    /// default refuses, so sources without rewind support cannot lose
+    /// state by accident.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::UnknownHeight`] if `height > len()` and
+    /// [`ChainError::Source`] if the source does not support truncation
+    /// or the backing storage fails.
+    fn truncate(&mut self, height: u64) -> Result<(), ChainError> {
+        let _ = height;
+        Err(ChainError::Source {
+            detail: "table source does not support truncation".into(),
+        })
+    }
+
     /// Hit/miss statistics of the source's node cache, if it has one.
     fn cache_stats(&self) -> CacheStats {
         CacheStats::default()
@@ -178,6 +195,16 @@ impl TableSource for InMemoryTables {
         debug_assert_eq!(update.height, self.len() + 1);
         self.total_bytes += table_bytes(&update.table);
         self.tables.push(update.table);
+        Ok(())
+    }
+
+    fn truncate(&mut self, height: u64) -> Result<(), ChainError> {
+        if height > self.len() {
+            return Err(ChainError::UnknownHeight { height });
+        }
+        for table in self.tables.drain(height as usize..) {
+            self.total_bytes -= table_bytes(&table);
+        }
         Ok(())
     }
 

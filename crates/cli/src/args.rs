@@ -409,6 +409,11 @@ pub struct ServeOptions {
     /// store does not have yet are ingested live, growing the served
     /// tip while queries keep being answered.
     pub follow: Option<String>,
+    /// Reorg budget for the live ingest (`--follow` only): 0 keeps the
+    /// strict extend-only feed, >0 lets the ingester store competing
+    /// branches forking at most this many blocks below the tip and
+    /// switch to whichever is longest.
+    pub max_reorg_depth: u64,
     /// Serve through the persistent address index (`--store` only):
     /// reopen becomes point reads off the index's anchored root, built
     /// automatically on first open.
@@ -437,6 +442,7 @@ impl ServeOptions {
         let mut trusted = false;
         let mut block_cache = None;
         let mut follow = None;
+        let mut max_reorg_depth = 0;
         let mut index = false;
         let mut index_cache = None;
         let mut iter = args.iter();
@@ -483,6 +489,9 @@ impl ServeOptions {
                         Some(parse_u64("--block-cache", &value("--block-cache")?)? as usize)
                 }
                 "--follow" => follow = Some(value("--follow")?),
+                "--max-reorg-depth" => {
+                    max_reorg_depth = parse_u64("--max-reorg-depth", &value("--max-reorg-depth")?)?
+                }
                 "--index" => index = true,
                 "--index-cache" => {
                     index_cache =
@@ -495,6 +504,13 @@ impl ServeOptions {
         if index_cache.is_some() && !index {
             return Err(CliError::Usage(
                 "--index-cache only applies with --index".into(),
+            ));
+        }
+        if max_reorg_depth > 0 && follow.is_none() {
+            return Err(CliError::Usage(
+                "--max-reorg-depth only applies with --follow (reorgs arrive \
+                 through the live feed)"
+                    .into(),
             ));
         }
         let source = match (store, positional.as_slice()) {
@@ -553,6 +569,7 @@ impl ServeOptions {
             max_in_flight,
             block_cache,
             follow,
+            max_reorg_depth,
             index,
             index_cache,
         })

@@ -221,7 +221,7 @@ fn run_remote_session<T: Transport>(
     let run = light.run_with_retry(spec, transport, retrier)?;
     // Incremental tip check: fetch (cheaply) any headers the chain grew
     // while we were querying, so the session ends at the peer's tip.
-    let new_headers = retrier.run(|_| light.sync_new(transport))?;
+    let new_headers = retrier.run(|_| light.sync_new(transport))?.new_headers();
     Ok((light, run, new_headers))
 }
 
@@ -538,7 +538,12 @@ fn serve_following<T: TableSource + 'static>(
     let server = NodeServer::bind(Arc::clone(&live), opts.addr.as_str(), server_config)?;
     let feed = MemoryFeed::new(blocks);
     feed.publisher().publish_all();
-    let ingest = TipIngester::spawn(Arc::clone(&live), store, feed, IngestConfig::default());
+    let ingest = TipIngester::spawn(
+        Arc::clone(&live),
+        store,
+        feed,
+        IngestConfig::default().with_max_reorg_depth(opts.max_reorg_depth),
+    );
     server.attach_ingest(ingest.monitor());
     writeln!(
         out,
@@ -564,6 +569,16 @@ fn serve_following<T: TableSource + 'static>(
         ingest_stats.resume_height,
         ingest_stats.tip_height
     )?;
+    if opts.max_reorg_depth > 0 {
+        writeln!(
+            out,
+            "forks        : {} reorgs (deepest {}), {} fork blocks journaled, {} dropped",
+            ingest_stats.reorgs,
+            ingest_stats.deepest_reorg,
+            ingest_stats.fork_blocks,
+            ingest_stats.dropped_blocks
+        )?;
+    }
     let caches = live.with_node(|node| node.chain().cache_stats());
     print_serve_report(&stats, &caches, out)
 }
@@ -608,6 +623,7 @@ fn print_serve_report(
         human_bytes(stats.response_bytes),
         stats.errors
     )?;
+    writeln!(out, "best tip     : {}", stats.tip_hash)?;
     writeln!(
         out,
         "pool         : {} workers, queue high-water {}, {} shed busy, {} deadline misses",

@@ -30,7 +30,7 @@ usage:
   lvq query ADDRESS --addr HOST:PORT --segment M [--scheme NAME] [--bf BYTES]
             [--k N] [--range LO:HI]
   lvq serve (FILE [--trust-file] | --store DIR [--block-cache BYTES]
-            [--index [--index-cache BYTES]] [--follow FILE])
+            [--index [--index-cache BYTES]] [--follow FILE [--max-reorg-depth N]])
             [--addr HOST:PORT] [--max-requests N] [--workers N]
             [--queue N] [--deadline-ms MS]
             [--filter-cache BYTES] [--smt-cache BYTES]

@@ -154,6 +154,36 @@ impl LightClient {
         Ok(())
     }
 
+    /// The block hash of the stored header at `height`, or
+    /// [`lvq_crypto::Hash256::ZERO`] at height 0 (where every chain
+    /// agrees) — what a reorg-aware client pins its incremental sync
+    /// to. `None` above the stored tip.
+    pub fn hash_at(&self, height: u64) -> Option<lvq_crypto::Hash256> {
+        if height == 0 {
+            return Some(lvq_crypto::Hash256::ZERO);
+        }
+        self.headers
+            .get(height as usize - 1)
+            .map(BlockHeader::block_hash)
+    }
+
+    /// Discards every stored header strictly above `height` — the
+    /// rollback half of following a chain through a reorg. Returns how
+    /// many headers were dropped (zero when already at or below
+    /// `height`).
+    ///
+    /// Proofs verified against a discarded header were proofs against
+    /// an orphaned block: the caller must drop any state derived from
+    /// them and re-query once the replacement headers are appended.
+    pub fn rollback_to(&mut self, height: u64) -> u64 {
+        let before = self.headers.len() as u64;
+        if height >= before {
+            return 0;
+        }
+        self.headers.truncate(height as usize);
+        before - height
+    }
+
     /// Verifies a full-node response for `address`.
     ///
     /// On success the returned history is *correct* (every transaction

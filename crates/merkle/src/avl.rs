@@ -508,6 +508,28 @@ impl AvlTree {
         Ok(())
     }
 
+    /// Removes `key` from the tree, rewriting the O(log n) nodes on
+    /// the path (path copying, like [`AvlTree::insert`]). Returns
+    /// `true` if the key was present. A removed node's last stored
+    /// version stays in the backing store until compaction — nothing
+    /// in the new tree links to it, so verified reads never see it.
+    ///
+    /// # Errors
+    ///
+    /// Any [`AvlError`] from the store, or [`AvlError::CorruptNode`] if
+    /// a node on the path fails verification.
+    pub fn remove<S: AvlNodeStore + ?Sized>(
+        &mut self,
+        store: &mut S,
+        key: &[u8],
+    ) -> Result<bool, AvlError> {
+        let (new_root, removed) = remove_at(store, self.root.as_ref(), key)?;
+        if removed {
+            self.root = new_root;
+        }
+        Ok(removed)
+    }
+
     /// Authenticated point lookup: descends from the root, verifying
     /// every fetched node, and returns the node holding `key` (or
     /// `None` if the tree provably has no such key).
@@ -715,6 +737,84 @@ fn insert_at<S: AvlNodeStore + ?Sized>(
     Ok(link)
 }
 
+fn remove_at<S: AvlNodeStore + ?Sized>(
+    store: &mut S,
+    link: Option<&AvlLink>,
+    key: &[u8],
+) -> Result<(Option<AvlLink>, bool), AvlError> {
+    let Some(link) = link else {
+        return Ok((None, false));
+    };
+    let mut node = (*fetch(store, link)?).clone();
+    match key.cmp(node.key.as_slice()) {
+        Ordering::Equal => {
+            let replacement = match (node.left.take(), node.right.take()) {
+                (None, None) => return Ok((None, true)),
+                (Some(only), None) | (None, Some(only)) => return Ok((Some(only), true)),
+                (Some(left), Some(right)) => {
+                    // Two children: promote the in-order successor (the
+                    // minimum of the right subtree) into this position,
+                    // then rebalance as if its key had been removed.
+                    let (successor, new_right) = take_min(store, &right)?;
+                    let mut replacement =
+                        AvlNode::leaf(successor.key.clone(), successor.value.clone());
+                    replacement.left = Some(left);
+                    replacement.right = new_right;
+                    replacement
+                }
+            };
+            let replacement = rebalance(store, replacement)?;
+            let new_link = replacement.link();
+            store.put_node(&replacement)?;
+            Ok((Some(new_link), true))
+        }
+        Ordering::Less => {
+            let (child, removed) = remove_at(store, node.left.as_ref(), key)?;
+            if !removed {
+                return Ok((Some(link.clone()), false));
+            }
+            node.left = child;
+            node.invalidate_links();
+            let node = rebalance(store, node)?;
+            let new_link = node.link();
+            store.put_node(&node)?;
+            Ok((Some(new_link), true))
+        }
+        Ordering::Greater => {
+            let (child, removed) = remove_at(store, node.right.as_ref(), key)?;
+            if !removed {
+                return Ok((Some(link.clone()), false));
+            }
+            node.right = child;
+            node.invalidate_links();
+            let node = rebalance(store, node)?;
+            let new_link = node.link();
+            store.put_node(&node)?;
+            Ok((Some(new_link), true))
+        }
+    }
+}
+
+/// Detaches the minimum node of the subtree at `link`, rebalancing the
+/// unwind path; returns the detached node and the new subtree link.
+fn take_min<S: AvlNodeStore + ?Sized>(
+    store: &mut S,
+    link: &AvlLink,
+) -> Result<(Arc<AvlNode>, Option<AvlLink>), AvlError> {
+    let fetched = fetch(store, link)?;
+    let Some(left) = fetched.left.as_ref() else {
+        return Ok((fetched.clone(), fetched.right.clone()));
+    };
+    let (min, new_left) = take_min(store, left)?;
+    let mut node = (*fetched).clone();
+    node.left = new_left;
+    node.invalidate_links();
+    let node = rebalance(store, node)?;
+    let new_link = node.link();
+    store.put_node(&node)?;
+    Ok((min, Some(new_link)))
+}
+
 /// Restores the AVL invariant at `node` after a child height changed,
 /// storing every demoted node; the returned subtree root is *not* yet
 /// stored (the caller stores it after linking).
@@ -871,6 +971,70 @@ mod tests {
             b"new value"
         );
         assert_eq!(tree.verify_walk(&store).unwrap(), 3);
+    }
+
+    #[test]
+    fn remove_deletes_and_keeps_balance() {
+        let (mut tree, mut store) = build(0..256);
+        // Delete every third key, checking the survivors after each.
+        for i in (0..256u64).step_by(3) {
+            assert!(tree.remove(&mut store, &key(i)).unwrap());
+        }
+        let expected = (0..256u64).filter(|i| i % 3 != 0).count() as u64;
+        assert_eq!(tree.verify_walk(&store).unwrap(), expected);
+        for i in 0..256u64 {
+            let got = tree.get(&store, &key(i)).unwrap();
+            if i % 3 == 0 {
+                assert!(got.is_none(), "key {i} should be gone");
+            } else {
+                assert_eq!(got.expect("present").value, (i * 10).to_le_bytes());
+            }
+        }
+    }
+
+    #[test]
+    fn remove_missing_key_is_a_noop() {
+        let (mut tree, mut store) = build([5, 3, 9]);
+        let before = tree.root_hash();
+        let puts_before = store.puts();
+        assert!(!tree.remove(&mut store, &key(4)).unwrap());
+        assert_eq!(tree.root_hash(), before);
+        assert_eq!(store.puts(), puts_before, "miss writes nothing");
+        assert_eq!(tree.verify_walk(&store).unwrap(), 3);
+    }
+
+    #[test]
+    fn remove_empties_to_none_and_reinserts() {
+        let (mut tree, mut store) = build([2, 1, 3]);
+        for i in [1u64, 3, 2] {
+            assert!(tree.remove(&mut store, &key(i)).unwrap());
+        }
+        assert!(tree.is_empty());
+        assert_eq!(tree.root_hash(), Hash256::ZERO);
+        // The emptied tree accepts inserts again and verifies clean.
+        tree.insert(&mut store, &key(7), b"back").unwrap();
+        assert_eq!(tree.verify_walk(&store).unwrap(), 1);
+        assert_eq!(tree.get(&store, &key(7)).unwrap().unwrap().value, b"back");
+    }
+
+    #[test]
+    fn remove_two_children_promotes_the_successor() {
+        // Root with both subtrees populated: deleting it must splice
+        // in the in-order successor and keep BST order + balance.
+        let (mut tree, mut store) = build([8, 4, 12, 2, 6, 10, 14, 9, 11]);
+        let root_key = tree.root().unwrap().key.clone();
+        assert!(tree.remove(&mut store, &root_key).unwrap());
+        assert_eq!(tree.verify_walk(&store).unwrap(), 8);
+        assert!(tree.get(&store, &root_key).unwrap().is_none());
+        // Deletion writes O(log n) nodes, like insertion.
+        let (mut tree, mut store) = build(0..512);
+        let before = store.puts();
+        assert!(tree.remove(&mut store, &key(255)).unwrap());
+        assert!(
+            store.puts() - before <= 16,
+            "puts = {}",
+            store.puts() - before
+        );
     }
 
     #[test]

@@ -178,6 +178,27 @@ impl<S: BlockSource, T: TableSource> FullNode<S, T> {
         self.chain.sync_derived()
     }
 
+    /// Switches the node's chain to a competing branch (see
+    /// [`Chain::reorg_to`]): rewinds every derived structure to
+    /// `fork_height` and replays `branch`, returning the new tip.
+    ///
+    /// Takes `&mut self` like [`FullNode::extend_batch`]; a serving
+    /// node reorgs through [`crate::LiveNode::reorg_to`], which runs
+    /// this under the write lock so no proof straddles the switch.
+    ///
+    /// # Errors
+    ///
+    /// As [`Chain::reorg_to`]; on a replay failure the chain is left
+    /// mid-branch (source ahead of derived), which the normal extend
+    /// path absorbs.
+    pub fn reorg_to(
+        &mut self,
+        fork_height: u64,
+        branch: &[std::sync::Arc<lvq_chain::Block>],
+    ) -> Result<u64, ChainError> {
+        self.chain.reorg_to(fork_height, branch)
+    }
+
     /// Classifies and handles one encoded request, speaking both wire
     /// versions.
     ///
@@ -220,11 +241,24 @@ impl<S: BlockSource, T: TableSource> FullNode<S, T> {
                 RequestKind::GetHeaders,
                 Message::Headers(self.chain.headers()),
             ),
-            Message::GetHeadersFrom { height } => {
-                let mut headers = self.chain.headers();
-                let skip = (height.min(headers.len() as u64)) as usize;
-                headers.drain(..skip);
-                (RequestKind::GetHeadersFrom, Message::Headers(headers))
+            Message::GetHeadersFrom { height, tip_hash } => {
+                let tip = self.chain.tip_height();
+                let reply = if height > tip {
+                    // This node cannot judge agreement above its own
+                    // tip — it is simply behind the client.
+                    Message::PeerBehind { tip_height: tip }
+                } else if self.chain.hash_at(height) != Ok(tip_hash) {
+                    // The client's pinned header is not this chain's:
+                    // the fork point lies strictly below the probe.
+                    Message::HeadersDiverged {
+                        fork_height: height,
+                    }
+                } else {
+                    let mut headers = self.chain.headers();
+                    headers.drain(..height as usize);
+                    Message::Headers(headers)
+                };
+                (RequestKind::GetHeadersFrom, reply)
             }
             Message::QueryRequest { address, range } => {
                 let outcome =
@@ -286,7 +320,9 @@ impl<S: BlockSource, T: TableSource> FullNode<S, T> {
             | Message::BatchQueryResponse(_)
             | Message::Busy
             | Message::Error(_)
-            | Message::HelloAck(_) => {
+            | Message::HelloAck(_)
+            | Message::HeadersDiverged { .. }
+            | Message::PeerBehind { .. } => {
                 return Handled::refusal(
                     RequestKind::Invalid,
                     WireError::new(WireErrorCode::UnexpectedKind),

@@ -29,13 +29,32 @@
 //!   [`IngestHandle::stop`] mid-stream) reopens the store, reassembles
 //!   the chain from it, and continues exactly where durability left
 //!   off: no block is re-appended, none is skipped.
+//!
+//! # Equivocation mode
+//!
+//! With [`IngestConfig::max_reorg_depth`] > 0 the pipeline stops
+//! assuming the feed is a straight line. The fetch cursor counts
+//! *announcements* instead of heights (a feed may announce competing
+//! blocks at the same height), and every announced block runs through
+//! a [`ForkTree`]: canonical extensions take the usual durable-first
+//! path, competing blocks are journaled to the store's fork sidecar
+//! log ([`BlockStore::log_fork_block`]) and stored on a side branch,
+//! and when a branch out-lengths the canonical chain the ingester
+//! reorgs the live node onto it ([`crate::LiveNode::reorg_to`]) under
+//! the write lock — queries in flight finish on the old branch, every
+//! later one observes the new one. Blocks that link nowhere (garbage,
+//! or forks beyond the reorg budget) are dropped and counted rather
+//! than treated as fatal: a real network contains both. After a
+//! restart the announcement cursor starts over from 1; replayed
+//! announcements classify as duplicates (or fall below the fork
+//! window and are dropped), so replay converges on the same chain.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use lvq_chain::{Block, BlockSource, ChainError, TableSource};
+use lvq_chain::{Block, BlockSource, ChainError, ForkEvent, ForkTree, TableSource};
 use lvq_store::{BlockStore, StoreError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -215,6 +234,11 @@ pub struct IngestConfig {
     pub max_consecutive_failures: Option<u32>,
     /// Seed of the retry jitter.
     pub seed: u64,
+    /// Deepest reorg the pipeline will follow. 0 (the default) keeps
+    /// the legacy straight-line contract: any non-linking block is
+    /// [`IngestError::BrokenFeed`]. Greater than 0 enables
+    /// equivocation mode (see the module docs).
+    pub max_reorg_depth: u64,
 }
 
 impl Default for IngestConfig {
@@ -229,6 +253,7 @@ impl Default for IngestConfig {
             max_backoff: Duration::from_millis(100),
             max_consecutive_failures: None,
             seed: 0,
+            max_reorg_depth: 0,
         }
     }
 }
@@ -289,6 +314,14 @@ impl IngestConfig {
         self.seed = seed;
         self
     }
+
+    /// Sets the deepest reorg the pipeline will follow (0 disables
+    /// equivocation mode).
+    #[must_use]
+    pub fn with_max_reorg_depth(mut self, depth: u64) -> Self {
+        self.max_reorg_depth = depth;
+        self
+    }
 }
 
 /// Point-in-time counters of an ingest pipeline.
@@ -307,6 +340,19 @@ pub struct IngestStats {
     pub tip_height: u64,
     /// Whether the last fetch found the feed drained.
     pub caught_up: bool,
+    /// Branch switches performed (equivocation mode only): a side
+    /// branch out-lengthed the canonical chain and was adopted.
+    pub reorgs: u64,
+    /// Blocks journaled to the fork sidecar log and stored on side
+    /// branches — excludes the canonical appends in
+    /// [`IngestStats::blocks_appended`] (blocks a reorg promotes to
+    /// canonical stay counted here, not there).
+    pub fork_blocks: u64,
+    /// Deepest reorg performed (old tip minus fork height).
+    pub deepest_reorg: u64,
+    /// Announced blocks dropped: linking nowhere the fork tree knows,
+    /// or forking beyond the reorg budget.
+    pub dropped_blocks: u64,
 }
 
 #[derive(Debug, Default)]
@@ -317,6 +363,10 @@ struct IngestShared {
     resume_height: AtomicU64,
     tip_height: AtomicU64,
     caught_up: AtomicBool,
+    reorgs: AtomicU64,
+    fork_blocks: AtomicU64,
+    deepest_reorg: AtomicU64,
+    dropped_blocks: AtomicU64,
 }
 
 impl IngestShared {
@@ -328,6 +378,10 @@ impl IngestShared {
             resume_height: self.resume_height.load(Ordering::Relaxed),
             tip_height: self.tip_height.load(Ordering::Relaxed),
             caught_up: self.caught_up.load(Ordering::Relaxed),
+            reorgs: self.reorgs.load(Ordering::Relaxed),
+            fork_blocks: self.fork_blocks.load(Ordering::Relaxed),
+            deepest_reorg: self.deepest_reorg.load(Ordering::Relaxed),
+            dropped_blocks: self.dropped_blocks.load(Ordering::Relaxed),
         }
     }
 }
@@ -530,10 +584,23 @@ where
     node.extend_batch(u64::MAX)?;
     node.sync_derived()?;
 
+    // Equivocation mode: a fork tree seeded with the chain's recent
+    // headers, and an announcement cursor replacing the height cursor.
+    let mut tree = if config.max_reorg_depth > 0 {
+        Some(seed_tree(node, config.max_reorg_depth)?)
+    } else {
+        None
+    };
+    let mut cursor = 1u64;
+
     let mut batch = min_batch;
     let mut consecutive_failures = 0u32;
     while !stop.load(Ordering::SeqCst) {
-        let from = store.len() + 1;
+        let from = if tree.is_some() {
+            cursor
+        } else {
+            store.len() + 1
+        };
         match feed.fetch(from, batch) {
             Ok(blocks) if blocks.is_empty() => {
                 shared.caught_up.store(true, Ordering::Relaxed);
@@ -544,31 +611,36 @@ where
                 shared.caught_up.store(false, Ordering::Relaxed);
                 consecutive_failures = 0;
 
-                // Validate linkage against the served tip before the
-                // first byte is persisted.
-                let mut prev = node.tip_hash();
-                for (i, block) in blocks.iter().enumerate() {
-                    if block.header.prev_block != prev {
-                        return Err(IngestError::BrokenFeed {
-                            height: from + i as u64,
-                        });
+                if let Some(tree) = tree.as_mut() {
+                    cursor += blocks.len() as u64;
+                    absorb_forked(node, store, tree, blocks, shared)?;
+                } else {
+                    // Validate linkage against the served tip before
+                    // the first byte is persisted.
+                    let mut prev = node.tip_hash();
+                    for (i, block) in blocks.iter().enumerate() {
+                        if block.header.prev_block != prev {
+                            return Err(IngestError::BrokenFeed {
+                                height: from + i as u64,
+                            });
+                        }
+                        prev = block.header.block_hash();
                     }
-                    prev = block.header.block_hash();
+
+                    // Durable first, visible second: store, then chain
+                    // — and only once the blocks are in the store does
+                    // the derived index anchor at the new tip, so the
+                    // index can never lead the durable chain.
+                    for block in &blocks {
+                        store.append(block)?;
+                    }
+                    node.extend_batch(u64::MAX)?;
+                    node.sync_derived()?;
+                    shared
+                        .blocks_appended
+                        .fetch_add(blocks.len() as u64, Ordering::Relaxed);
                 }
 
-                // Durable first, visible second: store, then chain —
-                // and only once the blocks are in the store does the
-                // derived index anchor at the new tip, so the index can
-                // never lead the durable chain.
-                for block in &blocks {
-                    store.append(block)?;
-                }
-                node.extend_batch(u64::MAX)?;
-                node.sync_derived()?;
-
-                shared
-                    .blocks_appended
-                    .fetch_add(blocks.len() as u64, Ordering::Relaxed);
                 shared.batches.fetch_add(1, Ordering::Relaxed);
                 shared.tip_height.store(store.len(), Ordering::Relaxed);
                 batch = batch.saturating_mul(2).min(max_batch);
@@ -600,6 +672,109 @@ where
             }
         }
     }
+    Ok(())
+}
+
+/// A fork tree whose canonical window holds the chain's most recent
+/// headers — enough to classify any fork within the reorg budget.
+fn seed_tree<S, T>(node: &LiveNode<S, T>, max_reorg_depth: u64) -> Result<ForkTree, IngestError>
+where
+    S: BlockSource + 'static,
+    T: TableSource + 'static,
+{
+    let mut tree = ForkTree::new(max_reorg_depth);
+    let tip = node.tip_height();
+    let lo = tip.saturating_sub(2 * max_reorg_depth + 1);
+    node.with_node(|n| {
+        for height in lo..=tip {
+            tree.advance(height, n.chain().hash_at(height)?);
+        }
+        Ok::<_, ChainError>(())
+    })?;
+    Ok(tree)
+}
+
+/// One equivocation-mode batch: classify every announced block through
+/// the fork tree, appending canonical extensions durable-first,
+/// journaling fork blocks to the sidecar log, and reorging when a
+/// branch wins the longest-chain rule.
+fn absorb_forked<S, T>(
+    node: &LiveNode<S, T>,
+    store: &BlockStore,
+    tree: &mut ForkTree,
+    blocks: Vec<Block>,
+    shared: &IngestShared,
+) -> Result<(), IngestError>
+where
+    S: BlockSource + 'static,
+    T: TableSource + 'static,
+{
+    for block in blocks {
+        let block = Arc::new(block);
+        match tree.observe(Arc::clone(&block)) {
+            ForkEvent::ExtendsCanonical => {
+                store.append(&block)?;
+                node.extend_batch(u64::MAX)?;
+                tree.advance(node.tip_height(), node.tip_hash());
+                shared.blocks_appended.fetch_add(1, Ordering::Relaxed);
+            }
+            ForkEvent::Stored { branch, best } => {
+                let height = tree.branches()[branch].tip_height();
+                store.log_fork_block(height, &block)?;
+                shared.fork_blocks.fetch_add(1, Ordering::Relaxed);
+                if best {
+                    reorg_to_branch(node, store, tree, branch, shared)?;
+                }
+            }
+            ForkEvent::Duplicate => {}
+            ForkEvent::TooDeep { .. } | ForkEvent::Unknown => {
+                shared.dropped_blocks.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+    node.sync_derived()?;
+    Ok(())
+}
+
+/// Switches the live node onto winning branch `idx`: journals the
+/// about-to-be-displaced canonical suffix to the fork sidecar (so both
+/// sides of the fork survive on disk), reorgs the node under its write
+/// lock — which truncates the store to the fork point and re-appends
+/// the branch, keeping the store the leading truth — and finally tells
+/// the tree the branch is canonical now, keeping the old suffix
+/// adoptable in case the network reorgs straight back.
+fn reorg_to_branch<S, T>(
+    node: &LiveNode<S, T>,
+    store: &BlockStore,
+    tree: &mut ForkTree,
+    idx: usize,
+    shared: &IngestShared,
+) -> Result<(), IngestError>
+where
+    S: BlockSource + 'static,
+    T: TableSource + 'static,
+{
+    let branch = tree.branches()[idx].clone();
+    let fork_height = branch.fork_height;
+    let old_tip = node.tip_height();
+    let mut old_suffix = Vec::with_capacity((old_tip - fork_height) as usize);
+    node.with_node(|n| {
+        for height in fork_height + 1..=old_tip {
+            old_suffix.push(n.chain().block(height)?);
+        }
+        Ok::<_, ChainError>(())
+    })?;
+    for (i, block) in old_suffix.iter().enumerate() {
+        store.log_fork_block(fork_height + 1 + i as u64, block)?;
+    }
+
+    node.reorg_to(fork_height, &branch.blocks)?;
+    tree.adopt(idx, old_suffix);
+
+    shared.reorgs.fetch_add(1, Ordering::Relaxed);
+    shared
+        .deepest_reorg
+        .fetch_max(old_tip - fork_height, Ordering::Relaxed);
     Ok(())
 }
 
@@ -741,6 +916,97 @@ mod tests {
         // The poisoned batch never touched the store or the chain.
         assert_eq!(fixture.store.len(), 3);
         assert_eq!(fixture.live.tip_height(), 3);
+    }
+
+    #[test]
+    fn adopts_a_longer_fork_and_reorgs_the_served_chain() {
+        let fixture = live_fixture("ingest-reorg", 0, 8);
+        let rival = crate::testutil::rival_chain(5, 10);
+
+        // Announcement script: the canonical chain 1..=8 first, then a
+        // rival branch forked off height 5 overtaking it at height 9.
+        let mut script = fixture.blocks.clone();
+        script.extend(rival[5..].iter().cloned());
+        let feed = MemoryFeed::new(script);
+        feed.publisher().publish_all();
+
+        let config = fast_config().with_max_reorg_depth(4);
+        let handle = TipIngester::spawn(
+            Arc::clone(&fixture.live),
+            Arc::clone(&fixture.store),
+            feed,
+            config,
+        );
+        // Height 10 only exists on the rival branch, so reaching it
+        // proves the reorg happened.
+        wait_for_tip(&fixture.live, 10);
+        let stats = handle.stop().expect("clean pipeline");
+
+        assert_eq!(stats.reorgs, 1);
+        assert_eq!(stats.deepest_reorg, 3, "old tip 8 back to fork height 5");
+        // Rival 6..=9 arrived as fork blocks; rival 10 extended the
+        // already-reorged canonical chain.
+        assert_eq!(stats.fork_blocks, 4);
+        assert_eq!(stats.blocks_appended, 8 + 1);
+        assert_eq!(stats.dropped_blocks, 0);
+        assert_eq!(stats.tip_height, 10);
+
+        // The store is the reorged chain, every record intact, and the
+        // fork sidecar holds both sides: rival 6..=9 (journaled on
+        // arrival) plus the displaced canonical 6..=8.
+        assert_eq!(fixture.store.len(), 10);
+        assert_eq!(fixture.store.verify_all().unwrap(), 10);
+        let fork_log = fixture.store.fork_log().unwrap();
+        assert_eq!(fork_log.len(), 4 + 3);
+
+        // The served chain is byte-identical to the rival ground truth.
+        assert_eq!(fixture.live.tip_hash(), rival[9].header.block_hash());
+        fixture.live.with_node(|node| {
+            for (i, block) in rival.iter().enumerate() {
+                assert_eq!(&*node.chain().block(i as u64 + 1).unwrap(), block);
+            }
+            assert_eq!(node.chain().history_of(&Address::new("1Rival")).len(), 5);
+            assert_eq!(node.chain().history_of(&Address::new("1Miner")).len(), 5);
+            node.chain().validate().expect("post-reorg chain validates");
+        });
+    }
+
+    #[test]
+    fn reorgs_back_when_the_old_branch_overtakes_again() {
+        let fixture = live_fixture("ingest-reorg-back", 0, 9);
+        let rival = crate::testutil::rival_chain(5, 8);
+
+        // Canonical 1..=7 arrives, the rival (forked off 5) overtakes
+        // at 8, then the original chain's 8..=9 win the tip back.
+        let mut script: Vec<Block> = fixture.blocks[..7].to_vec();
+        script.extend(rival[5..].iter().cloned());
+        script.extend(fixture.blocks[7..].iter().cloned());
+        let feed = MemoryFeed::new(script);
+        feed.publisher().publish_all();
+
+        let config = fast_config().with_max_reorg_depth(4);
+        let handle = TipIngester::spawn(
+            Arc::clone(&fixture.live),
+            Arc::clone(&fixture.store),
+            feed,
+            config,
+        );
+        wait_for_tip(&fixture.live, 9);
+        let stats = handle.stop().expect("clean pipeline");
+
+        assert_eq!(stats.reorgs, 2, "there and back again");
+        assert_eq!(stats.tip_height, 9);
+        assert_eq!(fixture.store.verify_all().unwrap(), 9);
+        assert_eq!(
+            fixture.live.tip_hash(),
+            fixture.blocks[8].header.block_hash(),
+            "the original chain won in the end"
+        );
+        fixture.live.with_node(|node| {
+            assert!(node.chain().history_of(&Address::new("1Rival")).is_empty());
+            assert_eq!(node.chain().history_of(&Address::new("1Miner")).len(), 9);
+            node.chain().validate().expect("post-reorg chain validates");
+        });
     }
 
     #[test]

@@ -99,8 +99,9 @@ pub use pipelined::{
     Negotiated, PipelinedTcpTransport, PipelinedTransport, ReqId, SequentialPipeline,
 };
 pub use quorum::{
-    query_quorum, query_quorum_batch, query_quorum_spec, PeerHealth, PeerOutcome, QueryPeer,
-    QuorumBatchOutcome, QuorumOutcome, QuorumReport,
+    converge_on_majority, query_quorum, query_quorum_batch, query_quorum_spec, tip_census,
+    MajorityConvergence, PeerHealth, PeerOutcome, QueryPeer, QuorumBatchOutcome, QuorumOutcome,
+    QuorumReport, TipRelation,
 };
 pub use reconnect::ReconnectingTcpTransport;
 pub use retry::{ResyncOutcome, Retrier, RetryPolicy, RetryStats};

@@ -9,6 +9,7 @@ use std::collections::HashMap;
 use crate::message::{Message, NodeError};
 use crate::pipe::Traffic;
 use crate::pipelined::{PipelinedTransport, ReqId};
+use crate::retry::ResyncOutcome;
 use crate::transport::Transport;
 
 /// A declarative description of one verifiable query: which addresses,
@@ -145,6 +146,7 @@ pub struct LightNode {
     client: LightClient,
     cumulative: Traffic,
     exchanges: u64,
+    max_reorg_depth: u64,
 }
 
 impl LightNode {
@@ -155,7 +157,23 @@ impl LightNode {
             client: LightClient::new(config, headers),
             cumulative: Traffic::default(),
             exchanges: 0,
+            max_reorg_depth: 0,
         }
+    }
+
+    /// Sets how many headers below its tip this node is willing to
+    /// discard when [`LightNode::sync_new`] finds the peer on a
+    /// different fork. The default of 0 never rolls back: any
+    /// divergence is refused with [`NodeError::ReorgTooDeep`].
+    #[must_use]
+    pub fn with_max_reorg_depth(mut self, depth: u64) -> Self {
+        self.max_reorg_depth = depth;
+        self
+    }
+
+    /// The reorg budget set by [`LightNode::with_max_reorg_depth`].
+    pub fn max_reorg_depth(&self) -> u64 {
+        self.max_reorg_depth
     }
 
     /// Bootstraps a light node by downloading headers over `transport`
@@ -194,6 +212,7 @@ impl LightNode {
             client,
             cumulative: traffic,
             exchanges: 1,
+            max_reorg_depth: 0,
         })
     }
 
@@ -214,31 +233,91 @@ impl LightNode {
         self.exchanges
     }
 
-    /// Fetches only the headers above this node's current tip via
+    /// Fetches the headers above this node's current tip via
     /// [`Message::GetHeadersFrom`] and appends them — the incremental
     /// sync a long-lived client uses instead of a full re-download.
     ///
-    /// Returns the number of new headers appended (zero when already
-    /// at the peer's tip).
+    /// Each probe pins the client's own header hash, so a peer whose
+    /// chain diverged (a reorg happened, or the peer sits on a fork)
+    /// answers [`Message::HeadersDiverged`] instead of a tail that
+    /// would graft onto the wrong prefix. The client then walks its
+    /// probe downward, at most [`LightNode::max_reorg_depth`] headers
+    /// below its tip, until the chains agree; it rolls back to the
+    /// agreement height and adopts the peer's replacement headers,
+    /// reporting [`ResyncOutcome::Diverged`]. Any proof previously
+    /// verified against a discarded header was a proof against an
+    /// orphaned block — the caller must re-query.
     ///
     /// # Errors
     ///
-    /// As [`LightNode::sync_from`]: transport failures, a wrong reply
-    /// kind, [`NodeError::ConfigMismatch`] if a new header's
-    /// commitments break the trust anchor's policy, and
-    /// [`NodeError::Verify`] if the new headers do not chain onto the
-    /// current tip.
-    pub fn sync_new<T: Transport + ?Sized>(&mut self, transport: &mut T) -> Result<u64, NodeError> {
+    /// As [`LightNode::sync_from`] (transport failures, a wrong reply
+    /// kind, [`NodeError::ConfigMismatch`], [`NodeError::Verify`] on a
+    /// non-chaining tail), plus [`NodeError::ReorgTooDeep`] when the
+    /// peer still diverges at the bottom of the reorg budget.
+    pub fn sync_new<T: Transport + ?Sized>(
+        &mut self,
+        transport: &mut T,
+    ) -> Result<ResyncOutcome, NodeError> {
         let tip = self.client.tip_height();
-        let request = Message::GetHeadersFrom { height: tip }.encode();
-        let (reply, _) = self.metered_exchange(transport, &request)?;
-        let Message::Headers(new_headers) = Self::decode_reply(&reply)? else {
-            return Err(NodeError::UnexpectedMessage);
-        };
-        Self::check_commitment_policy(&new_headers, tip, self.client.config())?;
-        let count = new_headers.len() as u64;
-        self.client.append_headers(new_headers)?;
-        Ok(count)
+        let floor = tip.saturating_sub(self.max_reorg_depth);
+        let mut probe = tip;
+        loop {
+            let anchor = self.client.hash_at(probe).expect("probe is at most tip");
+            let request = Message::GetHeadersFrom {
+                height: probe,
+                tip_hash: anchor,
+            }
+            .encode();
+            let (reply, _) = self.metered_exchange(transport, &request)?;
+            match Self::decode_reply(&reply)? {
+                Message::Headers(new_headers) => {
+                    Self::check_commitment_policy(&new_headers, probe, self.client.config())?;
+                    // Validate the tail's linkage onto the agreed
+                    // header *before* discarding anything, so a bad
+                    // tail leaves this client untouched.
+                    let mut prev = anchor;
+                    for (i, header) in new_headers.iter().enumerate() {
+                        if header.prev_block != prev {
+                            return Err(NodeError::Verify(
+                                lvq_core::QueryError::BrokenHeaderChain {
+                                    height: probe + i as u64 + 1,
+                                },
+                            ));
+                        }
+                        prev = header.block_hash();
+                    }
+                    let count = new_headers.len() as u64;
+                    if probe == tip {
+                        self.client.append_headers(new_headers)?;
+                        return Ok(if count == 0 {
+                            ResyncOutcome::PeerBehind
+                        } else {
+                            ResyncOutcome::Synced(count)
+                        });
+                    }
+                    if count == 0 {
+                        // The peer agreed at the probe but serves
+                        // nothing above it (its chain moved between
+                        // probes); keep our longer chain.
+                        return Ok(ResyncOutcome::PeerBehind);
+                    }
+                    self.client.rollback_to(probe);
+                    self.client.append_headers(new_headers)?;
+                    return Ok(ResyncOutcome::Diverged { fork_height: probe });
+                }
+                Message::PeerBehind { .. } => return Ok(ResyncOutcome::PeerBehind),
+                Message::HeadersDiverged { .. } => {
+                    if probe == floor {
+                        return Err(NodeError::ReorgTooDeep {
+                            floor,
+                            max_depth: self.max_reorg_depth,
+                        });
+                    }
+                    probe -= 1;
+                }
+                _ => return Err(NodeError::UnexpectedMessage),
+            }
+        }
     }
 
     /// Runs one query described by `spec` and verifies the response.
@@ -372,14 +451,11 @@ impl LightNode {
         transport: &mut T,
         retrier: &mut crate::retry::Retrier,
     ) -> Result<QueryRun, NodeError> {
-        use crate::retry::ResyncOutcome;
-
         let mut resync = false;
         retrier.run_ctx(|_attempt, stats| {
             if std::mem::take(&mut resync) {
                 stats.record_resync(match self.sync_new(transport) {
-                    Ok(0) => ResyncOutcome::PeerBehind,
-                    Ok(headers) => ResyncOutcome::Synced(headers),
+                    Ok(outcome) => outcome,
                     Err(_) => ResyncOutcome::Failed,
                 });
             }
@@ -1071,7 +1147,10 @@ mod tests {
         let grown = FullNode::new(builder.finish()).unwrap();
         let mut grown_peer = LocalTransport::new(&grown);
         let synced_before = light.cumulative_traffic();
-        assert_eq!(light.sync_new(&mut grown_peer).unwrap(), 4);
+        assert_eq!(
+            light.sync_new(&mut grown_peer).unwrap(),
+            ResyncOutcome::Synced(4)
+        );
         assert_eq!(light.client().tip_height(), 10);
         // Only the four new headers crossed the wire — far less than a
         // full re-sync.
@@ -1082,7 +1161,10 @@ mod tests {
             .response_bytes;
         assert!(incremental < full_sync / 2);
         // Already at the tip: a no-op.
-        assert_eq!(light.sync_new(&mut grown_peer).unwrap(), 0);
+        assert_eq!(
+            light.sync_new(&mut grown_peer).unwrap(),
+            ResyncOutcome::PeerBehind
+        );
         // And the grown history verifies end to end.
         let run = light
             .run(&QuerySpec::address(Address::new("1Miner")), &mut grown_peer)
@@ -1091,13 +1173,13 @@ mod tests {
     }
 
     #[test]
-    fn sync_new_rejects_headers_that_do_not_chain() {
+    fn sync_new_refuses_a_diverged_peer_without_a_reorg_budget() {
         let config = config_for(Scheme::Lvq);
         let full_a = full_node(Scheme::Lvq, 6);
         let mut peer_a = LocalTransport::new(&full_a);
         let mut light = LightNode::sync_from(&mut peer_a, config).unwrap();
-        // A different chain of the same scheme: its headers above
-        // height 6 do not chain onto ours.
+        // A different chain of the same scheme: it shares no header
+        // with ours, so every probe answers HeadersDiverged.
         let mut builder = ChainBuilder::new(config.chain_params()).unwrap();
         for h in 1..=9u64 {
             builder
@@ -1109,13 +1191,86 @@ mod tests {
                 .unwrap();
         }
         let full_b = FullNode::new(builder.finish()).unwrap();
-        assert!(matches!(
+        // Default budget 0: the first divergence is already too deep.
+        assert_eq!(
             light
                 .sync_new(&mut LocalTransport::new(&full_b))
                 .unwrap_err(),
-            NodeError::Verify(_)
-        ));
-        // The failed sync appended nothing.
+            NodeError::ReorgTooDeep {
+                floor: 6,
+                max_depth: 0
+            }
+        );
         assert_eq!(light.client().tip_height(), 6);
+        // A budget that still bottoms out above the (non-existent)
+        // fork point refuses too — the walk stops at the floor, and
+        // nothing was discarded.
+        let mut light = light.with_max_reorg_depth(3);
+        assert_eq!(
+            light
+                .sync_new(&mut LocalTransport::new(&full_b))
+                .unwrap_err(),
+            NodeError::ReorgTooDeep {
+                floor: 3,
+                max_depth: 3
+            }
+        );
+        assert_eq!(light.client().tip_height(), 6);
+    }
+
+    #[test]
+    fn sync_new_follows_a_reorg_within_budget() {
+        let config = config_for(Scheme::Lvq);
+        // Canonical and fork share heights 1..=5, then diverge; the
+        // fork is longer (the winner after a reorg).
+        let build = |total: u64, fork_tag: &str| {
+            let mut builder = ChainBuilder::new(config.chain_params()).unwrap();
+            for h in 1..=total {
+                let tag = if h <= 5 { "1Miner" } else { fork_tag };
+                builder
+                    .push_block(vec![Transaction::coinbase(Address::new(tag), 50, h as u32)])
+                    .unwrap();
+            }
+            FullNode::new(builder.finish()).unwrap()
+        };
+        let canonical = build(8, "1Miner");
+        let winner = build(10, "1Winner");
+
+        let mut light = LightNode::sync_from(&mut LocalTransport::new(&canonical), config)
+            .unwrap()
+            .with_max_reorg_depth(4);
+        assert_eq!(light.client().tip_height(), 8);
+
+        // The peer reorged: probes at 8, 7, 6 diverge, height 5 agrees.
+        let mut winner_peer = LocalTransport::new(&winner);
+        assert_eq!(
+            light.sync_new(&mut winner_peer).unwrap(),
+            ResyncOutcome::Diverged { fork_height: 5 }
+        );
+        assert_eq!(light.client().tip_height(), 10);
+        // The adopted headers are exactly the winner's, and proofs
+        // against the new chain verify end to end.
+        assert_eq!(
+            light.client().hash_at(10),
+            Some(winner.chain().header(10).unwrap().block_hash())
+        );
+        let run = light
+            .run(
+                &QuerySpec::address(Address::new("1Winner")),
+                &mut winner_peer,
+            )
+            .unwrap();
+        assert_eq!(run.histories[0].transactions.len(), 5);
+
+        // The displaced canonical peer is now simply behind: its tip
+        // (8) is below the client's (10), so the client keeps the
+        // longer chain instead of reorging back to a shorter one.
+        assert_eq!(
+            light
+                .sync_new(&mut LocalTransport::new(&canonical))
+                .unwrap(),
+            ResyncOutcome::PeerBehind
+        );
+        assert_eq!(light.client().tip_height(), 10);
     }
 }

@@ -24,6 +24,8 @@
 //! server keeps growing underneath, but everything at or below `T` is
 //! immutable.
 
+use std::sync::Arc;
+
 use lvq_chain::{BlockSource, ChainError, InMemoryBlocks, InMemoryTables, TableSource};
 use lvq_core::SchemeConfig;
 use lvq_crypto::Hash256;
@@ -95,6 +97,23 @@ impl<S: BlockSource, T: TableSource> LiveNode<S, T> {
         self.inner.read().sync_derived()
     }
 
+    /// Switches the served chain to a competing branch under the write
+    /// lock (see [`FullNode::reorg_to`]). In-flight proofs finish
+    /// against the old branch before the switch; every request that
+    /// starts afterwards observes the new one — no proof ever mixes
+    /// headers from both. Returns the new tip height.
+    ///
+    /// # Errors
+    ///
+    /// As [`lvq_chain::Chain::reorg_to`].
+    pub fn reorg_to(
+        &self,
+        fork_height: u64,
+        branch: &[Arc<lvq_chain::Block>],
+    ) -> Result<u64, ChainError> {
+        self.inner.write().reorg_to(fork_height, branch)
+    }
+
     /// Unwraps the inner full node (e.g. after ingest has stopped).
     pub fn into_inner(self) -> FullNode<S, T> {
         self.inner.into_inner()
@@ -106,6 +125,10 @@ impl<S: BlockSource + 'static, T: TableSource + 'static> ServeNode for LiveNode<
     /// proving height is pinned for this request.
     fn handle_classified(&self, request: &[u8]) -> Handled {
         self.inner.read().handle_classified(request)
+    }
+
+    fn tip_hash(&self) -> Hash256 {
+        LiveNode::tip_hash(self)
     }
 }
 
@@ -127,7 +150,12 @@ mod tests {
         let pending = fixture.pending().to_vec();
         assert_eq!(live.tip_height(), 6);
 
-        let request = Message::GetHeadersFrom { height: 6 }.encode();
+        // Pin our header at the probe height, as a real client would.
+        let request = Message::GetHeadersFrom {
+            height: 6,
+            tip_hash: live.tip_hash(),
+        }
+        .encode();
         let handled = live.handle_classified(&request);
         let Ok(Message::Headers(headers)) = decode_exact::<Message>(&handled.bytes) else {
             panic!("expected headers");

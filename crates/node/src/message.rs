@@ -16,6 +16,7 @@ use std::time::Duration;
 use lvq_chain::{Address, BlockHeader};
 use lvq_codec::{decode_exact, Decodable, DecodeError, Encodable, Reader};
 use lvq_core::{BatchQueryResponse, ProveError, QueryError, QueryResponse};
+use lvq_crypto::Hash256;
 
 /// The wire-protocol version every encoded [`Message`] is prefixed
 /// with. Bump on any incompatible change to the message layout.
@@ -59,11 +60,18 @@ pub enum Message {
     /// per-block filters) plus one fragment section per address.
     BatchQueryResponse(Box<BatchQueryResponse>),
     /// Ask only for the headers at heights strictly above `height`
-    /// (incremental sync for a long-lived light client).
+    /// (incremental sync for a long-lived light client). The client
+    /// pins the request to its own header at `height` so a server on a
+    /// different fork answers [`Message::HeadersDiverged`] instead of a
+    /// tail that silently grafts onto the wrong prefix.
     GetHeadersFrom {
-        /// The client's current tip height; the response continues
-        /// from `height + 1`.
+        /// The client's probe height; the response continues from
+        /// `height + 1`.
         height: u64,
+        /// The block hash of the client's header at `height`
+        /// ([`lvq_crypto::Hash256::ZERO`] when `height` is 0, where
+        /// every chain agrees).
+        tip_hash: Hash256,
     },
     /// The server's accept queue is full; retry later. Sent instead of
     /// letting the connection hang when the worker pool sheds load.
@@ -82,6 +90,21 @@ pub enum Message {
     /// in-flight cap (`min(client proposal, server cap)`, at least 1)
     /// and the feature bits both sides share.
     HelloAck(HelloInfo),
+    /// The server's header at the probed height is not the one the
+    /// client pinned in [`Message::GetHeadersFrom`] — the two sit on
+    /// different forks. The client walks its probe downward (bounded
+    /// by its reorg budget) until the chains agree.
+    HeadersDiverged {
+        /// The probed height whose header did not match; the fork
+        /// point lies strictly below it.
+        fork_height: u64,
+    },
+    /// The server's tip is below the probed height, so it cannot judge
+    /// agreement there — the peer is simply behind.
+    PeerBehind {
+        /// The server's current tip height.
+        tip_height: u64,
+    },
 }
 
 /// The body of [`Message::Hello`] / [`Message::HelloAck`].
@@ -126,6 +149,8 @@ const TAG_BUSY: u8 = 7;
 const TAG_ERROR: u8 = 8;
 const TAG_HELLO: u8 = 9;
 const TAG_HELLO_ACK: u8 = 10;
+const TAG_HEADERS_DIVERGED: u8 = 11;
+const TAG_PEER_BEHIND: u8 = 12;
 
 /// Why a server refused a request, carried inside [`Message::Error`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -269,9 +294,10 @@ impl Encodable for Message {
                 out.push(TAG_BATCH_QUERY_RESP);
                 response.encode_into(out);
             }
-            Message::GetHeadersFrom { height } => {
+            Message::GetHeadersFrom { height, tip_hash } => {
                 out.push(TAG_GET_HEADERS_FROM);
                 height.encode_into(out);
+                tip_hash.encode_into(out);
             }
             Message::Busy => out.push(TAG_BUSY),
             Message::Error(error) => {
@@ -286,6 +312,14 @@ impl Encodable for Message {
                 out.push(TAG_HELLO_ACK);
                 info.encode_into(out);
             }
+            Message::HeadersDiverged { fork_height } => {
+                out.push(TAG_HEADERS_DIVERGED);
+                fork_height.encode_into(out);
+            }
+            Message::PeerBehind { tip_height } => {
+                out.push(TAG_PEER_BEHIND);
+                tip_height.encode_into(out);
+            }
         }
     }
 
@@ -299,9 +333,15 @@ impl Encodable for Message {
                 addresses.encoded_len() + range.encoded_len()
             }
             Message::BatchQueryResponse(response) => response.encoded_len(),
-            Message::GetHeadersFrom { height } => height.encoded_len(),
+            Message::GetHeadersFrom { height, tip_hash } => {
+                height.encoded_len() + tip_hash.encoded_len()
+            }
             Message::Error(error) => error.encoded_len(),
             Message::Hello(info) | Message::HelloAck(info) => info.encoded_len(),
+            Message::HeadersDiverged {
+                fork_height: height,
+            }
+            | Message::PeerBehind { tip_height: height } => height.encoded_len(),
         }
     }
 }
@@ -332,11 +372,18 @@ impl Decodable for Message {
             }
             TAG_GET_HEADERS_FROM => Message::GetHeadersFrom {
                 height: u64::decode_from(reader)?,
+                tip_hash: Hash256::decode_from(reader)?,
             },
             TAG_BUSY => Message::Busy,
             TAG_ERROR => Message::Error(WireError::decode_from(reader)?),
             TAG_HELLO => Message::Hello(HelloInfo::decode_from(reader)?),
             TAG_HELLO_ACK => Message::HelloAck(HelloInfo::decode_from(reader)?),
+            TAG_HEADERS_DIVERGED => Message::HeadersDiverged {
+                fork_height: u64::decode_from(reader)?,
+            },
+            TAG_PEER_BEHIND => Message::PeerBehind {
+                tip_height: u64::decode_from(reader)?,
+            },
             other => {
                 return Err(DecodeError::InvalidValue {
                     what: "message tag",
@@ -522,6 +569,19 @@ pub enum NodeError {
         /// What the caller did.
         context: &'static str,
     },
+    /// The peer's chain diverges from this client's prefix deeper than
+    /// the client's reorg budget: every probe down to
+    /// `tip - max_reorg_depth` still answered
+    /// [`Message::HeadersDiverged`]. Rolling back further would let a
+    /// malicious peer rewrite arbitrary history, so the sync is
+    /// refused. Not a verification failure — the peer may honestly sit
+    /// on a fork this client is configured not to follow.
+    ReorgTooDeep {
+        /// The deepest height the client was willing to probe.
+        floor: u64,
+        /// The client's configured reorg budget.
+        max_depth: u64,
+    },
 }
 
 impl NodeError {
@@ -564,6 +624,7 @@ impl NodeError {
             | NodeError::Verify(_)
             | NodeError::UnknownScheme
             | NodeError::PipelineViolation { .. }
+            | NodeError::ReorgTooDeep { .. }
             | NodeError::ConfigMismatch { .. } => false,
         }
     }
@@ -610,6 +671,12 @@ impl fmt::Display for NodeError {
             }
             NodeError::PipelineViolation { context } => {
                 write!(f, "pipelined transport misuse: {context}")
+            }
+            NodeError::ReorgTooDeep { floor, max_depth } => {
+                write!(
+                    f,
+                    "peer diverges below height {floor} (reorg budget {max_depth})"
+                )
             }
         }
     }
@@ -670,7 +737,16 @@ mod tests {
                 addresses: vec![Address::new("1Probe")],
                 range: Some((2, 9)),
             },
-            Message::GetHeadersFrom { height: 42 },
+            Message::GetHeadersFrom {
+                height: 42,
+                tip_hash: Hash256::hash(b"tip"),
+            },
+            Message::GetHeadersFrom {
+                height: 0,
+                tip_hash: Hash256::ZERO,
+            },
+            Message::HeadersDiverged { fork_height: 17 },
+            Message::PeerBehind { tip_height: 9 },
             Message::Busy,
             Message::Error(WireError::with_detail(WireErrorCode::UnknownTag, 200)),
             Message::Error(WireError::new(WireErrorCode::DeadlineExceeded)),
@@ -742,6 +818,10 @@ mod tests {
         let fatal = [
             NodeError::UnknownScheme,
             NodeError::ConfigMismatch { height: 3 },
+            NodeError::ReorgTooDeep {
+                floor: 10,
+                max_depth: 4,
+            },
             NodeError::PipelineViolation {
                 context: "submit past the negotiated window",
             },
@@ -752,6 +832,12 @@ mod tests {
             assert!(!e.retryable(), "{e} must be fatal");
         }
         assert!(NodeError::ConfigMismatch { height: 3 }.is_verification_failure());
+        // A too-deep fork is a policy refusal, not proof of dishonesty.
+        assert!(!NodeError::ReorgTooDeep {
+            floor: 10,
+            max_depth: 4
+        }
+        .is_verification_failure());
     }
 
     #[test]

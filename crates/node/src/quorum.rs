@@ -18,10 +18,10 @@ use lvq_core::{Completeness, LightClient, VerifiedHistory};
 use lvq_crypto::Hash256;
 
 use crate::full::FullNode;
-use crate::light::QuerySpec;
+use crate::light::{LightNode, QuerySpec};
 use crate::message::{Message, NodeError};
 use crate::pipe::Traffic;
-use crate::retry::{Retrier, RetryPolicy};
+use crate::retry::{ResyncOutcome, Retrier, RetryPolicy};
 use crate::transport::Transport;
 
 /// Anything that can answer encoded requests in-process — a
@@ -254,6 +254,10 @@ pub struct QuorumReport {
     /// Indices of peers whose verified answer was a strict subset of
     /// the merged one for at least one address (sorted, deduplicated).
     pub withholding_peers: Vec<usize>,
+    /// Indices of peers whose header chain diverges from the client's
+    /// prefix — they are serving a competing fork, so their proofs
+    /// anchor in headers the client does not hold (see [`tip_census`]).
+    pub fork_peers: Vec<usize>,
 }
 
 impl QuorumReport {
@@ -348,11 +352,183 @@ pub fn query_quorum_spec(
         withholding.extend(withholders);
     }
 
+    // Tip census: one cheap probe per peer tells forks apart from mere
+    // lag. A fork peer's proofs fail verification like any garbage
+    // peer's would; the census is what upgrades "rejected" to "on a
+    // competing branch", which the caller can act on (see
+    // [`converge_on_majority`]).
+    let fork_peers = tip_census(client, peers, &mut traffic)
+        .into_iter()
+        .enumerate()
+        .filter(|(_, relation)| *relation == TipRelation::Diverged)
+        .map(|(index, _)| index)
+        .collect();
+
     Ok(QuorumReport {
         histories,
         traffic,
         peers: health,
         withholding_peers: withholding.into_iter().collect(),
+        fork_peers,
+    })
+}
+
+/// How one peer's header chain relates to the client's at census time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TipRelation {
+    /// The peer holds the client's tip header and serves `tip_height`
+    /// (≥ the client's tip) on the same branch.
+    SameBranch {
+        /// The peer's tip height.
+        tip_height: u64,
+    },
+    /// The peer's chain is shorter but agrees with the client's prefix
+    /// at the peer's own tip — lagging, not forked.
+    Behind {
+        /// The peer's tip height.
+        tip_height: u64,
+    },
+    /// The peer's headers diverge from the client's prefix: it is
+    /// serving a competing fork.
+    Diverged,
+    /// The peer could not be probed (transport failure or a reply the
+    /// census does not understand).
+    Unreachable,
+}
+
+/// Classifies every peer's chain against the client's headers with at
+/// most two [`Message::GetHeadersFrom`] probes each: one pinned at the
+/// client's tip, and — when the peer reports itself behind — a second
+/// pinned at the *peer's* tip, which tells a lagging same-branch peer
+/// apart from a shorter competing fork. Probe failures degrade to
+/// [`TipRelation::Unreachable`]; the census never fails as a whole.
+pub fn tip_census(
+    client: &LightClient,
+    peers: &mut [&mut dyn Transport],
+    traffic: &mut Traffic,
+) -> Vec<TipRelation> {
+    let tip = client.tip_height();
+    peers
+        .iter_mut()
+        .map(|peer| {
+            match probe_at(client, &mut **peer, tip, traffic) {
+                Some(Message::Headers(tail)) => TipRelation::SameBranch {
+                    tip_height: tip + tail.len() as u64,
+                },
+                Some(Message::HeadersDiverged { .. }) => TipRelation::Diverged,
+                Some(Message::PeerBehind { tip_height }) => {
+                    match probe_at(client, &mut **peer, tip_height, traffic) {
+                        Some(Message::HeadersDiverged { .. }) => TipRelation::Diverged,
+                        // Height 0 (the implicit genesis anchor) always
+                        // agrees, so a `Headers` reply here is the
+                        // common case; anything odd stays `Behind`.
+                        Some(_) => TipRelation::Behind { tip_height },
+                        None => TipRelation::Unreachable,
+                    }
+                }
+                _ => TipRelation::Unreachable,
+            }
+        })
+        .collect()
+}
+
+/// One census probe: "here is my header hash at `height` — do you
+/// agree?". Returns `None` when the peer cannot answer.
+fn probe_at(
+    client: &LightClient,
+    peer: &mut dyn Transport,
+    height: u64,
+    traffic: &mut Traffic,
+) -> Option<Message> {
+    let tip_hash = client.hash_at(height)?;
+    let request = Message::GetHeadersFrom { height, tip_hash }.encode();
+    let (reply, t) = peer.exchange(&request).ok()?;
+    traffic.request_bytes += t.request_bytes;
+    traffic.response_bytes += t.response_bytes;
+    decode_exact::<Message>(&reply).ok()
+}
+
+/// What [`converge_on_majority`] did to the client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MajorityConvergence {
+    /// The census the decision was made from, in peer order.
+    pub relations: Vec<TipRelation>,
+    /// Index of the peer the client synced from, `None` when every
+    /// peer was behind or unreachable (the client is already ahead).
+    pub synced_from: Option<usize>,
+    /// What the sync found (always [`ResyncOutcome::PeerBehind`] when
+    /// `synced_from` is `None`).
+    pub outcome: ResyncOutcome,
+}
+
+impl MajorityConvergence {
+    /// Whether the client switched branches to follow the majority.
+    pub fn switched(&self) -> bool {
+        matches!(self.outcome, ResyncOutcome::Diverged { .. })
+    }
+}
+
+/// Makes the client converge on the majority tip across `peers`.
+///
+/// Runs a [`tip_census`], then votes on the client's own branch: peers
+/// at or above the client's tip on the same chain endorse it, peers on
+/// a competing fork oppose it, and lagging or unreachable peers
+/// abstain (a shorter agreeing chain says nothing about events above
+/// its tip). When fork peers form a strict majority the client resyncs
+/// from one of them — [`LightNode::sync_new`] walks back to the fork
+/// point within the client's reorg budget and adopts the majority
+/// branch. Otherwise the client catches up from the tallest
+/// same-branch peer, if any is ahead.
+///
+/// # Errors
+///
+/// Propagates the chosen peer's sync failure — notably
+/// [`NodeError::ReorgTooDeep`] when the majority branch forks below
+/// the client's budget. The census itself never fails.
+pub fn converge_on_majority(
+    light: &mut LightNode,
+    peers: &mut [&mut dyn Transport],
+) -> Result<MajorityConvergence, NodeError> {
+    let mut traffic = Traffic::default();
+    let relations = tip_census(light.client(), peers, &mut traffic);
+
+    let endorse: Vec<usize> = relations
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| matches!(r, TipRelation::SameBranch { .. }))
+        .map(|(i, _)| i)
+        .collect();
+    let oppose: Vec<usize> = relations
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| **r == TipRelation::Diverged)
+        .map(|(i, _)| i)
+        .collect();
+
+    let synced_from = if oppose.len() > endorse.len() {
+        oppose.first().copied()
+    } else {
+        // Tallest agreeing peer, skipped when none is ahead of us.
+        endorse
+            .into_iter()
+            .max_by_key(|&i| match relations[i] {
+                TipRelation::SameBranch { tip_height } => tip_height,
+                _ => 0,
+            })
+            .filter(|&i| match relations[i] {
+                TipRelation::SameBranch { tip_height } => tip_height > light.client().tip_height(),
+                _ => false,
+            })
+    };
+
+    let outcome = match synced_from {
+        Some(index) => light.sync_new(&mut *peers[index])?,
+        None => ResyncOutcome::PeerBehind,
+    };
+    Ok(MajorityConvergence {
+        relations,
+        synced_from,
+        outcome,
     })
 }
 
@@ -684,6 +860,101 @@ mod tests {
         assert_eq!(report.histories.len(), 2);
         assert_eq!(report.histories[0].transactions.len(), 8);
         assert_eq!(report.served(), 1);
+    }
+
+    /// A node whose chain shares the `1Miner` prefix up to `fork` and
+    /// then diverges onto `tag` blocks up to `blocks` — two calls with
+    /// the same `fork` build chains that agree exactly on that prefix.
+    fn forked_node(scheme: Scheme, fork: u64, blocks: u64, tag: &str) -> FullNode {
+        let config = SchemeConfig::new(scheme, BloomParams::new(64, 2).unwrap(), 8).unwrap();
+        let mut builder = ChainBuilder::new(config.chain_params()).unwrap();
+        for h in 1..=blocks {
+            let addr = if h <= fork { "1Miner" } else { tag };
+            builder
+                .push_block(vec![Transaction::coinbase(
+                    Address::new(addr),
+                    50,
+                    h as u32,
+                )])
+                .unwrap();
+        }
+        FullNode::new(builder.finish()).unwrap()
+    }
+
+    #[test]
+    fn quorum_flags_fork_peers_and_converges_on_the_majority_tip() {
+        let canonical = forked_node(Scheme::Lvq, 5, 8, "1Canon");
+        let winner_a = forked_node(Scheme::Lvq, 5, 10, "1Winner");
+        let winner_b = forked_node(Scheme::Lvq, 5, 10, "1Winner");
+
+        // The client has followed the canonical branch so far.
+        let mut sync_t = LocalTransport::new(&canonical);
+        let mut light = LightNode::sync_from(&mut sync_t, canonical.config())
+            .unwrap()
+            .with_max_reorg_depth(4);
+        assert_eq!(light.client().tip_height(), 8);
+
+        let mut t0 = LocalTransport::new(&winner_a);
+        let mut t1 = LocalTransport::new(&winner_b);
+        let mut t2 = LocalTransport::new(&canonical);
+        let policy = RetryPolicy::new(1);
+        let spec = QuerySpec::address(Address::new("1Miner"));
+        let report = query_quorum_spec(
+            light.client(),
+            &mut [&mut t0, &mut t1, &mut t2],
+            &spec,
+            &policy,
+            7,
+        )
+        .unwrap();
+
+        // The fork peers' proofs anchor in headers the client does not
+        // hold: verification rejects them, and the census upgrades the
+        // rejection to "on a competing branch".
+        assert_eq!(report.histories[0].transactions.len(), 5);
+        assert_eq!(report.served(), 1);
+        assert!(matches!(report.peers[0].outcome, PeerOutcome::Rejected(_)));
+        assert!(matches!(report.peers[1].outcome, PeerOutcome::Rejected(_)));
+        assert_eq!(report.fork_peers, vec![0, 1]);
+
+        // Two of three peers hold the longer fork: the client follows
+        // the majority, rolling back to the shared prefix.
+        let convergence =
+            converge_on_majority(&mut light, &mut [&mut t0, &mut t1, &mut t2]).unwrap();
+        assert_eq!(
+            convergence.relations,
+            vec![
+                TipRelation::Diverged,
+                TipRelation::Diverged,
+                TipRelation::SameBranch { tip_height: 8 },
+            ]
+        );
+        assert_eq!(convergence.synced_from, Some(0));
+        assert_eq!(
+            convergence.outcome,
+            ResyncOutcome::Diverged { fork_height: 5 }
+        );
+        assert!(convergence.switched());
+        assert_eq!(light.client().tip_height(), 10);
+        assert_eq!(
+            light.client().hash_at(10),
+            Some(winner_a.chain().tip_hash()),
+            "the client must anchor in the winner's headers"
+        );
+
+        // Queries on the adopted branch verify against its history.
+        let run = light
+            .run(&QuerySpec::address(Address::new("1Winner")), &mut t0)
+            .unwrap();
+        assert_eq!(run.histories[0].transactions.len(), 5);
+
+        // Convergence is stable: the majority now endorses the
+        // client's branch and the lone canonical peer is the fork.
+        let again = converge_on_majority(&mut light, &mut [&mut t0, &mut t1, &mut t2]).unwrap();
+        assert_eq!(again.synced_from, None);
+        assert!(!again.switched());
+        assert_eq!(again.relations[2], TipRelation::Diverged);
+        assert_eq!(light.client().tip_height(), 10);
     }
 
     #[test]

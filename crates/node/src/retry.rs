@@ -109,8 +109,30 @@ pub enum ResyncOutcome {
     Synced(u64),
     /// The peer reported nothing above our tip — at or behind us.
     PeerBehind,
+    /// The peer's headers diverged from ours below our tip: the client
+    /// rolled back to `fork_height` (within its reorg budget) and
+    /// adopted the peer's replacement headers.
+    Diverged {
+        /// Height at which the two chains agree again.
+        fork_height: u64,
+    },
     /// The re-check itself failed; the query retry proceeds regardless.
     Failed,
+}
+
+impl ResyncOutcome {
+    /// New headers this re-check gained — zero unless [`Synced`].
+    /// A [`Diverged`] outcome replaces headers rather than gaining
+    /// them, so it also reports zero here.
+    ///
+    /// [`Synced`]: ResyncOutcome::Synced
+    /// [`Diverged`]: ResyncOutcome::Diverged
+    pub fn new_headers(&self) -> u64 {
+        match self {
+            ResyncOutcome::Synced(headers) => *headers,
+            _ => 0,
+        }
+    }
 }
 
 /// Counters of what a [`Retrier`] actually did, for reporting.
@@ -139,6 +161,8 @@ pub struct RetryStats {
     pub resync_headers: u64,
     /// Re-checks that found the peer at or behind our tip.
     pub resyncs_peer_behind: u64,
+    /// Re-checks that rolled the client back across a fork.
+    pub resyncs_diverged: u64,
     /// Re-checks that themselves failed (never fatal on their own).
     pub resyncs_failed: u64,
     /// Outcome of the most recent re-check, `None` before the first.
@@ -152,6 +176,7 @@ impl RetryStats {
         match outcome {
             ResyncOutcome::Synced(headers) => self.resync_headers += headers,
             ResyncOutcome::PeerBehind => self.resyncs_peer_behind += 1,
+            ResyncOutcome::Diverged { .. } => self.resyncs_diverged += 1,
             ResyncOutcome::Failed => self.resyncs_failed += 1,
         }
         self.last_resync = Some(outcome);

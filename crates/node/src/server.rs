@@ -81,6 +81,14 @@ pub trait ServeNode: Send + Sync + 'static {
     /// encoded [`Message::Error`] responses). See
     /// [`FullNode::handle_classified`].
     fn handle_classified(&self, request: &[u8]) -> Handled;
+
+    /// Hash of the node's current best-tip header, reported through
+    /// [`ServerStats::tip_hash`] so operators can compare which branch
+    /// each server ended on after a reorg. Test doubles that serve no
+    /// real chain keep the [`lvq_crypto::Hash256::ZERO`] default.
+    fn tip_hash(&self) -> lvq_crypto::Hash256 {
+        lvq_crypto::Hash256::ZERO
+    }
 }
 
 impl<S: lvq_chain::BlockSource + 'static, T: lvq_chain::TableSource + 'static> ServeNode
@@ -88,6 +96,10 @@ impl<S: lvq_chain::BlockSource + 'static, T: lvq_chain::TableSource + 'static> S
 {
     fn handle_classified(&self, request: &[u8]) -> Handled {
         FullNode::handle_classified(self, request)
+    }
+
+    fn tip_hash(&self) -> lvq_crypto::Hash256 {
+        self.chain().tip_hash()
     }
 }
 
@@ -321,6 +333,10 @@ pub struct ServerStats {
     /// one is attached ([`NodeServer::attach_ingest`]); all zeros for a
     /// frozen-chain server.
     pub ingest: IngestStats,
+    /// Hash of the node's best-tip header at snapshot time — which
+    /// branch this server is on ([`ServeNode::tip_hash`]);
+    /// [`lvq_crypto::Hash256::ZERO`] for nodes that serve no chain.
+    pub tip_hash: lvq_crypto::Hash256,
 }
 
 /// Lock-free log₂-bucketed histogram of microsecond latencies.
@@ -433,7 +449,7 @@ fn kind_index(kind: RequestKind) -> usize {
     }
 }
 
-impl<P> Shared<P> {
+impl<P: ServeNode> Shared<P> {
     fn stats(&self) -> ServerStats {
         let kind = |k: RequestKind| self.by_kind[kind_index(k)].load(Ordering::Relaxed);
         ServerStats {
@@ -464,6 +480,7 @@ impl<P> Shared<P> {
                 .as_ref()
                 .map(IngestMonitor::snapshot)
                 .unwrap_or_default(),
+            tip_hash: self.node.tip_hash(),
         }
     }
 }

@@ -56,19 +56,54 @@ impl LiveFixture {
     }
 }
 
+/// The fixtures' shared scheme: LVQ, 128-byte/2-hash Blooms, M = 16.
+pub fn fixture_config() -> SchemeConfig {
+    SchemeConfig::new(Scheme::Lvq, BloomParams::new(128, 2).unwrap(), 16).unwrap()
+}
+
+/// The canonical ground-truth transactions for height `h`: a `1Miner`
+/// coinbase, plus a `1Sparse` one every third block.
+fn truth_txs(h: u64) -> Vec<Transaction> {
+    let mut txs = vec![Transaction::coinbase(Address::new("1Miner"), 50, h as u32)];
+    if h.is_multiple_of(3) {
+        txs.push(Transaction::coinbase(
+            Address::new("1Sparse"),
+            1,
+            (1000 + h) as u32,
+        ));
+    }
+    txs
+}
+
+/// A competing branch sharing the fixtures' canonical prefix up to
+/// `fork` and then diverging onto `1Rival` blocks up to `total` —
+/// identical transactions produce identical blocks, so the prefixes
+/// agree byte for byte.
+pub fn rival_chain(fork: u64, total: u64) -> Vec<Block> {
+    let mut builder = ChainBuilder::new(fixture_config().chain_params()).unwrap();
+    for h in 1..=total {
+        let txs = if h <= fork {
+            truth_txs(h)
+        } else {
+            vec![Transaction::coinbase(
+                Address::new("1Rival"),
+                50,
+                (2000 + h) as u32,
+            )]
+        };
+        builder.push_block(txs).unwrap();
+    }
+    let truth = builder.finish();
+    (1..=total)
+        .map(|h| (*truth.block(h).unwrap()).clone())
+        .collect()
+}
+
 pub fn live_fixture(tag: &str, assembled: u64, total: u64) -> LiveFixture {
-    let config = SchemeConfig::new(Scheme::Lvq, BloomParams::new(128, 2).unwrap(), 16).unwrap();
+    let config = fixture_config();
     let mut builder = ChainBuilder::new(config.chain_params()).unwrap();
     for h in 1..=total {
-        let mut txs = vec![Transaction::coinbase(Address::new("1Miner"), 50, h as u32)];
-        if h % 3 == 0 {
-            txs.push(Transaction::coinbase(
-                Address::new("1Sparse"),
-                1,
-                (1000 + h) as u32,
-            ));
-        }
-        builder.push_block(txs).unwrap();
+        builder.push_block(truth_txs(h)).unwrap();
     }
     let truth = builder.finish();
     let blocks: Vec<Block> = (1..=total)

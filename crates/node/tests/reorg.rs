@@ -1,0 +1,233 @@
+//! End-to-end reorg over TCP: a fork-aware ingester adopts a longer
+//! competing branch while a real socket client is connected.
+//!
+//! The contract under test, across the whole stack (store → chain →
+//! live node → server → wire → light client):
+//!
+//! * the server switches to the longer branch and keeps serving;
+//! * a query pinned to the client's now-orphaned headers is rejected
+//!   by verification — never silently accepted;
+//! * `sync_new` reports the divergence, rolls the client back to the
+//!   fork point, and lands it on the winning branch;
+//! * the store, reopened cold after everything is torn down, recovers
+//!   to the winning branch with the displaced blocks journaled.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lvq_bloom::BloomParams;
+use lvq_chain::{Address, Block, ChainBuilder, Transaction};
+use lvq_core::{Scheme, SchemeConfig};
+use lvq_node::{
+    FullNode, IngestConfig, LightNode, LiveNode, MemoryFeed, NodeError, NodeServer, QuerySpec,
+    ResyncOutcome, ServerConfig, TcpTransport, TipIngester,
+};
+use lvq_store::{BlockStore, StoreConfig};
+
+static NEXT_DIR: AtomicU64 = AtomicU64::new(0);
+
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> Self {
+        let n = NEXT_DIR.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("lvq-node-reorg-{tag}-{}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        ScratchDir(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn config() -> SchemeConfig {
+    SchemeConfig::new(Scheme::Lvq, BloomParams::new(128, 2).unwrap(), 16).unwrap()
+}
+
+/// Height `h`'s canonical transactions: a `1Miner` coinbase, plus a
+/// `1Sparse` one every third block.
+fn truth_txs(h: u64) -> Vec<Transaction> {
+    let mut txs = vec![Transaction::coinbase(Address::new("1Miner"), 50, h as u32)];
+    if h.is_multiple_of(3) {
+        txs.push(Transaction::coinbase(
+            Address::new("1Sparse"),
+            1,
+            (1000 + h) as u32,
+        ));
+    }
+    txs
+}
+
+/// Blocks `1..=total` of a chain sharing the canonical prefix up to
+/// `fork` and carrying `1Rival` coinbases above it. Identical
+/// transactions produce byte-identical prefixes.
+fn chain_blocks(fork: u64, total: u64) -> Vec<Block> {
+    let mut builder = ChainBuilder::new(config().chain_params()).unwrap();
+    for h in 1..=total {
+        let txs = if h <= fork {
+            truth_txs(h)
+        } else {
+            vec![Transaction::coinbase(
+                Address::new("1Rival"),
+                50,
+                (2000 + h) as u32,
+            )]
+        };
+        builder.push_block(txs).unwrap();
+    }
+    let chain = builder.finish();
+    (1..=total)
+        .map(|h| (*chain.block(h).unwrap()).clone())
+        .collect()
+}
+
+fn wait_for(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+const CANON: u64 = 12;
+const FORK: u64 = 10;
+const RIVAL_TIP: u64 = 14;
+const MAX_REORG_DEPTH: u64 = 4;
+
+#[test]
+fn tcp_client_crosses_a_live_reorg_and_the_store_recovers() {
+    let canonical = chain_blocks(CANON, CANON);
+    let rival = chain_blocks(FORK, RIVAL_TIP);
+    let rival_tip_hash = rival.last().unwrap().header.block_hash();
+
+    // The feed announces the canonical chain first, then the longer
+    // rival branch block by block.
+    let mut script = canonical.clone();
+    script.extend(rival[FORK as usize..].iter().cloned());
+
+    let scratch = ScratchDir::new("tcp");
+    drop(
+        BlockStore::create(
+            scratch.path(),
+            config().chain_params(),
+            StoreConfig::default(),
+        )
+        .unwrap(),
+    );
+    let (chain, report) = lvq_store::open_chain(scratch.path(), StoreConfig::default()).unwrap();
+    assert!(report.is_clean());
+    let store = Arc::clone(chain.source().store());
+    let live = Arc::new(LiveNode::new(FullNode::new(chain).unwrap()));
+    let server =
+        NodeServer::bind(Arc::clone(&live), "127.0.0.1:0", ServerConfig::default()).unwrap();
+
+    let mut transport = TcpTransport::connect(server.local_addr()).unwrap();
+    let mut light = LightNode::sync_from(&mut transport, live.config())
+        .unwrap()
+        .with_max_reorg_depth(MAX_REORG_DEPTH);
+
+    let feed = MemoryFeed::new(script);
+    let publisher = feed.publisher();
+    let ingester = TipIngester::spawn(
+        Arc::clone(&live),
+        Arc::clone(&store),
+        feed,
+        IngestConfig::new()
+            .with_min_batch(2)
+            .with_max_batch(8)
+            .with_poll(Duration::from_micros(200))
+            .with_max_reorg_depth(MAX_REORG_DEPTH),
+    );
+    server.attach_ingest(ingester.monitor());
+
+    // Canonical growth: the client follows to the tip and verifies.
+    publisher.publish(CANON);
+    wait_for("the client to reach the canonical tip", || {
+        light.sync_new(&mut transport).unwrap();
+        light.client().tip_height() >= CANON
+    });
+    let spec = QuerySpec::address(Address::new("1Miner")).range(1, CANON);
+    let run = light.run(&spec, &mut transport).unwrap();
+    assert_eq!(run.histories[0].transactions.len(), CANON as usize);
+
+    // The rival branch arrives and out-lengths the canonical tip.
+    publisher.publish(RIVAL_TIP - FORK);
+    wait_for("the server to adopt the rival branch", || {
+        live.tip_height() == RIVAL_TIP && live.tip_hash() == rival_tip_hash
+    });
+
+    // Claim 1: the client's headers above the fork are orphaned — a
+    // query pinned there must fail verification, end to end over TCP.
+    let stale = QuerySpec::address(Address::new("1Miner")).range(1, CANON);
+    let err = light.run(&stale, &mut transport).unwrap_err();
+    assert!(
+        matches!(err, NodeError::Verify(_)),
+        "stale-headed query failed for the wrong reason: {err}"
+    );
+
+    // Claim 2: resync detects the divergence, rolls back to the fork
+    // point, and adopts the winner.
+    let outcome = light.sync_new(&mut transport).unwrap();
+    assert_eq!(outcome, ResyncOutcome::Diverged { fork_height: FORK });
+    assert_eq!(light.client().tip_height(), RIVAL_TIP);
+    assert_eq!(light.client().hash_at(RIVAL_TIP), Some(rival_tip_hash));
+
+    // Post-reorg queries equal the winning branch's ground truth.
+    let spec = QuerySpec::addresses(vec![Address::new("1Miner"), Address::new("1Rival")])
+        .range(1, RIVAL_TIP);
+    let run = light.run(&spec, &mut transport).unwrap();
+    assert_eq!(run.histories[0].transactions.len(), FORK as usize);
+    assert_eq!(
+        run.histories[1].transactions.len(),
+        (RIVAL_TIP - FORK) as usize
+    );
+    let rival_heights: Vec<u64> = run.histories[1]
+        .transactions
+        .iter()
+        .map(|(h, _)| *h)
+        .collect();
+    assert_eq!(rival_heights, (FORK + 1..=RIVAL_TIP).collect::<Vec<_>>());
+
+    let stats = ingester.stop().unwrap();
+    assert_eq!(stats.reorgs, 1);
+    assert_eq!(stats.deepest_reorg, CANON - FORK);
+    assert_eq!(stats.dropped_blocks, 0);
+    let server_stats = server.shutdown();
+    assert_eq!(server_stats.errors, 0);
+    assert_eq!(
+        server_stats.tip_hash, rival_tip_hash,
+        "exit stats must carry the best-chain tip hash"
+    );
+    drop(live);
+    drop(store);
+
+    // Claim 3: a cold reopen recovers the winning branch, with the
+    // displaced canonical blocks journaled in the fork sidecar log.
+    let (chain, report) = lvq_store::open_chain(scratch.path(), StoreConfig::default()).unwrap();
+    assert!(report.is_clean(), "unexpected recovery: {report:?}");
+    assert_eq!(chain.tip_height(), RIVAL_TIP);
+    assert_eq!(chain.tip_hash(), rival_tip_hash);
+    let fork_log = chain.source().store().fork_log().unwrap();
+    assert!(
+        fork_log.iter().any(|(height, block)| *height > FORK
+            && block.transactions[0].involves(&Address::new("1Miner"))),
+        "the displaced canonical suffix must be journaled"
+    );
+    chain.validate().unwrap();
+    assert_eq!(chain.history_of(&Address::new("1Miner")).len() as u64, FORK);
+    assert_eq!(
+        chain.history_of(&Address::new("1Rival")).len() as u64,
+        RIVAL_TIP - FORK
+    );
+}

@@ -1080,6 +1080,72 @@ impl TableSource for IndexedTables {
         Ok(())
     }
 
+    fn truncate(&mut self, height: u64) -> Result<(), ChainError> {
+        let tip = self.inner.read().tip;
+        if height > tip {
+            return Err(ChainError::UnknownHeight { height });
+        }
+        if height == tip {
+            return Ok(());
+        }
+        // Collect every doomed key first, while the entries are still
+        // readable: each rewound height's address entries (named by its
+        // stored table), its table and header entries, and every span
+        // reaching above the fork point. Genuine deletion — not tip
+        // masking — because `restore_headers` treats any entry above
+        // the anchored tip as corruption at the next reopen.
+        let mut doomed: Vec<Vec<u8>> = Vec::new();
+        for h in height + 1..=tip {
+            let table = self.table(h)?;
+            for (address, _) in table.iter() {
+                doomed.push(addr_key(address, h));
+            }
+            doomed.push(table_key(h));
+            doomed.push(header_key(h));
+        }
+        {
+            let inner = self.inner.read();
+            let reader = self.reader(&inner);
+            inner
+                .tree
+                .scan_prefix(&reader, &[KEY_SPAN], &mut |node| {
+                    if node.key.len() != 17 {
+                        return Err(AvlError::CorruptNode {
+                            detail: "span entry key is malformed",
+                        });
+                    }
+                    let hi = u64::from_be_bytes(node.key[9..17].try_into().expect("8 bytes"));
+                    if hi > height {
+                        doomed.push(node.key.clone());
+                    }
+                    Ok(())
+                })
+                .map_err(avl_chain_error)?;
+        }
+        let inner = self.inner.get_mut();
+        let IndexInner {
+            tree,
+            dirty,
+            dirty_bytes,
+            anchor,
+            tip,
+            ..
+        } = inner;
+        let mut editor = NodeEditor {
+            log: &self.log,
+            cache: &self.cache,
+            dirty,
+            dirty_bytes,
+            anchor: *anchor,
+            memo: LocMemo::default(),
+        };
+        for key in &doomed {
+            tree.remove(&mut editor, key).map_err(avl_chain_error)?;
+        }
+        *tip = height;
+        Ok(())
+    }
+
     fn presence(&self, address: &Address) -> Result<Option<Vec<(u64, u64)>>, ChainError> {
         let inner = self.inner.read();
         let tip = inner.tip;

@@ -100,6 +100,18 @@ impl BlockSource for DiskBlockSource {
     fn cache_stats(&self) -> CacheStats {
         self.cache.lock().stats()
     }
+
+    fn push_block(&mut self, block: Arc<Block>) -> Result<(), ChainError> {
+        self.store.append(&block).map_err(source_error)?;
+        Ok(())
+    }
+
+    fn truncate(&mut self, height: u64) -> Result<(), ChainError> {
+        self.store.truncate(height).map_err(source_error)?;
+        // Decoded copies of the dropped blocks must not outlive them.
+        self.cache.lock().clear();
+        Ok(())
+    }
 }
 
 /// Opens the store in `dir` and assembles a serve-from-disk

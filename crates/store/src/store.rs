@@ -57,6 +57,7 @@ const VERSION: u32 = 1;
 
 const META_FILE: &str = "store.meta";
 const INDEX_FILE: &str = "index.idx";
+const FORKS_FILE: &str = "forks.log";
 
 /// Operational knobs of a [`BlockStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -475,6 +476,150 @@ impl BlockStore {
         writer.segment = next;
         writer.offset = SEGMENT_HEADER_LEN;
         Ok(())
+    }
+
+    /// Truncates the store to `new_len` blocks — the reorg rewind
+    /// primitive. Returns how many blocks were dropped.
+    ///
+    /// Segments above the kept tail are deleted highest-first and the
+    /// kept segment is `set_len` to the exact record boundary, in that
+    /// order, so the operation is torn-tail-safe: a crash at any point
+    /// leaves a store that reopens to a valid *prefix* of the
+    /// pre-truncate chain (the segment set stays contiguously numbered
+    /// and every surviving record still tiles its segment). Callers
+    /// that must not lose the dropped blocks copy them to the fork
+    /// sidecar log ([`BlockStore::log_fork_block`]) first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::UnknownHeight`] if `new_len` exceeds the
+    /// current length, and [`StoreError::Io`] on filesystem failure.
+    pub fn truncate(&self, new_len: u64) -> Result<u64, StoreError> {
+        let mut writer = self.writer.lock();
+        let mut index = self.index.write();
+        let mut segments = self.segments.write();
+        let old_len = index.len() as u64;
+        if new_len > old_len {
+            return Err(StoreError::UnknownHeight { height: new_len });
+        }
+        if new_len == old_len {
+            return Ok(0);
+        }
+        index.truncate(new_len as usize);
+        let (keep_segment, end_offset) = index
+            .last()
+            .map(|loc| (loc.segment, loc.end()))
+            .unwrap_or((0, SEGMENT_HEADER_LEN));
+
+        // Deleting highest-first keeps the on-disk segment numbering
+        // contiguous at every intermediate point, so a crash mid-way
+        // reopens to a valid prefix of the old chain.
+        for handle in segments.drain((keep_segment as usize + 1)..).rev() {
+            fs::remove_file(&handle.path)?;
+        }
+        let keep_path = self.dir.join(segment_file_name(keep_segment));
+        let mut file = OpenOptions::new().read(true).write(true).open(&keep_path)?;
+        file.set_len(end_offset)?;
+        file.sync_all()?;
+        file.seek(SeekFrom::End(0))?;
+        writer.file = file;
+        writer.segment = keep_segment;
+        writer.offset = end_offset;
+
+        drop(segments);
+        drop(index);
+        drop(writer);
+        self.save_index()?;
+        Ok(old_len - new_len)
+    }
+
+    /// Appends a displaced or competing block at `height` to the fork
+    /// sidecar log (`forks.log`), fsynced before returning: a reorg
+    /// copies blocks here *before* [`BlockStore::truncate`] discards
+    /// them from the segments, so no observed block is ever lost. The
+    /// log uses the same CRC framing as segment records.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on filesystem failure.
+    pub fn log_fork_block(&self, height: u64, block: &Block) -> Result<(), StoreError> {
+        let mut payload = Vec::with_capacity(8 + block.encoded_len());
+        payload.extend_from_slice(&height.to_le_bytes());
+        block.encode_into(&mut payload);
+        let record = frame_record(&payload);
+        let mut file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.dir.join(FORKS_FILE))?;
+        file.write_all(&record)?;
+        file.sync_all()?;
+        Ok(())
+    }
+
+    /// Replays the fork sidecar log: every `(height, block)` ever
+    /// logged, in log order (empty if no fork block was ever seen). A
+    /// torn final record — a crash mid-append — is tolerated and ends
+    /// the replay; corruption before the tail refuses loudly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::CorruptRecord`] for a bad record before
+    /// the tail, [`StoreError::Decode`] for an undecodable payload, and
+    /// [`StoreError::Io`] on filesystem failure.
+    pub fn fork_log(&self) -> Result<Vec<(u64, Block)>, StoreError> {
+        let path = self.dir.join(FORKS_FILE);
+        if !path.exists() {
+            return Ok(Vec::new());
+        }
+        let handle = SegmentHandle {
+            file: Arc::new(File::open(&path)?),
+            path,
+        };
+        let file_len = fs::metadata(&handle.path)?.len();
+        let mut out = Vec::new();
+        let mut offset = 0u64;
+        while offset < file_len {
+            match scan_record(&handle, 0, offset, file_len)? {
+                ScannedRecord::Valid(loc) => {
+                    offset = loc.end();
+                    let payload = self.read_fork_record(&handle, loc)?;
+                    if payload.len() < 8 {
+                        return Err(StoreError::CorruptRecord {
+                            segment: 0,
+                            offset: loc.offset,
+                            detail: "fork record shorter than its height prefix",
+                        });
+                    }
+                    let height = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+                    let block = lvq_codec::decode_exact::<Block>(&payload[8..])?;
+                    out.push((height, block));
+                }
+                ScannedRecord::Corrupt { offset, detail } => {
+                    return Err(StoreError::CorruptRecord {
+                        segment: 0,
+                        offset,
+                        detail,
+                    });
+                }
+                ScannedRecord::Torn => break,
+            }
+        }
+        Ok(out)
+    }
+
+    fn read_fork_record(
+        &self,
+        handle: &SegmentHandle,
+        loc: RecordLoc,
+    ) -> Result<Vec<u8>, StoreError> {
+        read_record_payload(handle, loc).map_err(|e| match e {
+            FrameError::Io(e) => StoreError::Io(e),
+            FrameError::Corrupt { detail } => StoreError::CorruptRecord {
+                segment: 0,
+                offset: loc.offset,
+                detail,
+            },
+        })
     }
 
     /// Reads and decodes the block at `height` (1-based), verifying the

@@ -16,7 +16,7 @@ use rand::seq::index::sample;
 use rand::{Rng, SeedableRng};
 
 use lvq_chain::{
-    Address, Chain, ChainBuilder, ChainError, ChainParams, Transaction, TxInput, TxOutPoint,
+    Address, Block, Chain, ChainBuilder, ChainError, ChainParams, Transaction, TxInput, TxOutPoint,
     TxOutput,
 };
 
@@ -93,6 +93,72 @@ pub struct Workload {
     pub probes: Vec<PlantedProbe>,
 }
 
+/// A competing branch requested from [`WorkloadBuilder::build_forked`].
+///
+/// The branch forks `depth` blocks below the canonical tip (its first
+/// block chains onto canonical height `blocks − depth`) and carries
+/// `length` blocks of its own. Branch content is UTXO-consistent with
+/// the shared prefix, and every branch block plants one transaction on
+/// the `marker` address so reorg winners are observable in histories.
+#[derive(Debug, Clone)]
+pub struct BranchSpec {
+    /// Blocks below the canonical tip where the branch forks off.
+    pub depth: u64,
+    /// Blocks on the branch above the fork point.
+    pub length: u64,
+    /// Address planted once per branch block.
+    pub marker: Address,
+    /// Extra seed material; distinct seeds ⇒ distinct branches even
+    /// off the same fork height.
+    pub seed: u64,
+}
+
+impl BranchSpec {
+    /// A branch `depth` below the tip, `length` blocks long, marked
+    /// with `marker`.
+    pub fn new(depth: u64, length: u64, marker: impl Into<Address>) -> Self {
+        BranchSpec {
+            depth,
+            length,
+            marker: marker.into(),
+            seed: 0xF0_85EED,
+        }
+    }
+
+    /// Overrides the branch seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// One generated branch: committed blocks chaining onto the canonical
+/// chain at `fork_height`.
+#[derive(Debug)]
+pub struct ForkBranch {
+    /// Canonical height the branch's first block builds on.
+    pub fork_height: u64,
+    /// The branch blocks, heights `fork_height + 1 ..`, fully
+    /// committed for the chain's scheme.
+    pub blocks: Vec<Block>,
+    /// Where the branch's marker transactions landed (one per block).
+    pub marker: PlantedProbe,
+}
+
+/// A canonical workload plus competing branches for reorg experiments.
+///
+/// Each branch shares the canonical chain byte for byte up to its fork
+/// height and then diverges; feeding `workload` first and then a
+/// branch's blocks to a fork-aware node produces a reorg of exactly
+/// `depth` blocks (plus however far canonical had grown past the fork).
+#[derive(Debug)]
+pub struct ForkedWorkload {
+    /// The canonical chain and its probes.
+    pub workload: Workload,
+    /// One entry per requested [`BranchSpec`], in request order.
+    pub branches: Vec<ForkBranch>,
+}
+
 /// Builder for [`Workload`]s.
 ///
 /// # Examples
@@ -161,6 +227,25 @@ impl WorkloadBuilder {
     /// Returns [`WorkloadError::TooFewBlocks`] if a probe needs more
     /// blocks than the chain has, or a wrapped [`ChainError`].
     pub fn build(self) -> Result<Workload, WorkloadError> {
+        Ok(self.build_forked(&[])?.workload)
+    }
+
+    /// Generates the workload plus competing branches for reorg
+    /// experiments (see [`ForkedWorkload`]).
+    ///
+    /// Each branch is built from a snapshot of the generator's state at
+    /// its fork height, so branch transactions spend only outputs that
+    /// exist on the shared prefix — the reorged chain stays
+    /// UTXO-consistent. A branch's own RNG stream is derived from the
+    /// builder seed and [`BranchSpec::seed`], so its blocks differ from
+    /// the canonical ones above the fork while remaining deterministic.
+    ///
+    /// # Errors
+    ///
+    /// As [`WorkloadBuilder::build`], plus
+    /// [`WorkloadError::TooFewBlocks`] when a branch's `depth` exceeds
+    /// the chain length.
+    pub fn build_forked(self, branches: &[BranchSpec]) -> Result<ForkedWorkload, WorkloadError> {
         let mut rng = StdRng::seed_from_u64(self.seed);
 
         // Plan probe placements: distinct blocks, ≥1 transaction each,
@@ -206,6 +291,30 @@ impl WorkloadBuilder {
         let mut probe_utxos: Vec<Vec<Utxo>> = vec![Vec::new(); self.probes.len()];
         let mut builder = ChainBuilder::new(self.params)?;
 
+        // Branch builders replay the canonical prefix below their fork
+        // heights (identical transactions ⇒ byte-identical blocks),
+        // then continue from a snapshot of the generator state there.
+        let mut grafts: Vec<BranchGraft> = Vec::with_capacity(branches.len());
+        for spec in branches {
+            if spec.depth > self.blocks {
+                return Err(WorkloadError::TooFewBlocks {
+                    needed: spec.depth,
+                    available: self.blocks,
+                });
+            }
+            let fork_height = self.blocks - spec.depth;
+            let mut graft = BranchGraft {
+                spec: spec.clone(),
+                fork_height,
+                builder: ChainBuilder::new(self.params)?,
+                snapshot: None,
+            };
+            if fork_height == 0 {
+                graft.snapshot = Some((pool.clone(), liquidity.clone()));
+            }
+            grafts.push(graft);
+        }
+
         for height in 1..=self.blocks {
             let mut txs = Vec::new();
 
@@ -241,14 +350,106 @@ impl WorkloadBuilder {
                 }
             }
 
+            for graft in grafts.iter_mut() {
+                if height <= graft.fork_height {
+                    graft.builder.push_block(txs.clone())?;
+                }
+                if height == graft.fork_height {
+                    graft.snapshot = Some((pool.clone(), liquidity.clone()));
+                }
+            }
             builder.push_block(txs)?;
         }
 
-        Ok(Workload {
-            chain: builder.finish(),
-            probes: planted,
+        let mut forks = Vec::with_capacity(grafts.len());
+        for (index, graft) in grafts.into_iter().enumerate() {
+            forks.push(grow_branch(graft, self.seed, index, self.traffic)?);
+        }
+
+        Ok(ForkedWorkload {
+            workload: Workload {
+                chain: builder.finish(),
+                probes: planted,
+            },
+            branches: forks,
         })
     }
+}
+
+/// A branch under construction during the canonical pass.
+struct BranchGraft {
+    spec: BranchSpec,
+    fork_height: u64,
+    builder: ChainBuilder,
+    /// Generator state as of the fork height, captured mid-pass.
+    snapshot: Option<(AddressPool, Liquidity)>,
+}
+
+/// Extends a branch builder past its fork height: one coinbase and one
+/// marker plant per block, plus background traffic, all drawn from a
+/// branch-specific RNG stream so the blocks diverge from canonical.
+fn grow_branch(
+    graft: BranchGraft,
+    base_seed: u64,
+    index: usize,
+    traffic: TrafficModel,
+) -> Result<ForkBranch, WorkloadError> {
+    let BranchGraft {
+        spec,
+        fork_height,
+        mut builder,
+        snapshot,
+    } = graft;
+    let (mut pool, mut liquidity) = snapshot.expect("canonical pass reached every fork height");
+    let stream = base_seed ^ spec.seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index as u64 + 1);
+    let mut rng = StdRng::seed_from_u64(stream);
+    let mut marker_utxos: Vec<Utxo> = Vec::new();
+    let mut heights = Vec::with_capacity(spec.length as usize);
+
+    for offset in 0..spec.length {
+        let height = fork_height + 1 + offset;
+        let mut txs = Vec::new();
+
+        let coinbase = make_coinbase(&mut rng, &mut pool, height);
+        liquidity.add_outputs(&coinbase);
+        txs.push(coinbase);
+
+        // The marker plant also guarantees the branch block differs
+        // from its canonical counterpart at the same height.
+        txs.push(probe_tx(
+            &mut rng,
+            &mut pool,
+            &mut liquidity,
+            &spec.marker,
+            &mut marker_utxos,
+        ));
+
+        let mean = traffic.txs_per_block.max(1);
+        let wanted = rng.gen_range(mean / 2..=mean + mean / 2);
+        for _ in 0..wanted {
+            match background_tx(&mut rng, &mut pool, &mut liquidity, traffic) {
+                Some(tx) => txs.push(tx),
+                None => break,
+            }
+        }
+
+        builder.push_block(txs)?;
+        heights.push(height);
+    }
+
+    let chain = builder.finish();
+    let blocks = (fork_height + 1..=chain.tip_height())
+        .map(|h| (*chain.block(h).expect("branch block just built")).clone())
+        .collect();
+    Ok(ForkBranch {
+        fork_height,
+        blocks,
+        marker: PlantedProbe {
+            address: spec.marker.clone(),
+            tx_count: spec.length,
+            block_heights: heights,
+        },
+    })
 }
 
 /// One spendable output held by the generator.
@@ -260,7 +461,7 @@ struct Utxo {
 }
 
 /// The generator's view of spendable background outputs.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct Liquidity {
     utxos: Vec<Utxo>,
 }
@@ -292,7 +493,7 @@ impl Liquidity {
 }
 
 /// The reusable background address pool.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct AddressPool {
     traffic: TrafficModel,
     addresses: Vec<Address>,
@@ -571,6 +772,131 @@ mod tests {
         let w = small_workload(4);
         assert!(w.probes[0].block_heights.is_empty());
         assert!(w.chain.history_of(&w.probes[0].address).is_empty());
+    }
+
+    fn small_forked(seed: u64, specs: &[BranchSpec]) -> ForkedWorkload {
+        WorkloadBuilder::new(small_params())
+            .blocks(16)
+            .traffic(TrafficModel::tiny())
+            .seed(seed)
+            .probe("1Probe", 6, 4)
+            .build_forked(specs)
+            .unwrap()
+    }
+
+    #[test]
+    fn branches_share_the_prefix_and_diverge_above_the_fork() {
+        let specs = [
+            BranchSpec::new(2, 4, "1ReorgA"),
+            BranchSpec::new(5, 7, "1ReorgB"),
+        ];
+        let forked = small_forked(9, &specs);
+        let canon = &forked.workload.chain;
+        assert_eq!(canon.tip_height(), 16);
+
+        for (branch, spec) in forked.branches.iter().zip(&specs) {
+            assert_eq!(branch.fork_height, 16 - spec.depth);
+            assert_eq!(branch.blocks.len(), spec.length as usize);
+            // Chains onto the canonical header at the fork height…
+            assert_eq!(
+                branch.blocks[0].header.prev_block,
+                canon.header(branch.fork_height).unwrap().block_hash()
+            );
+            // …and immediately diverges from the canonical block there.
+            assert_ne!(
+                branch.blocks[0].header.block_hash(),
+                canon.header(branch.fork_height + 1).unwrap().block_hash()
+            );
+            // Internal linkage and the marker plant, one per block.
+            for (i, block) in branch.blocks.iter().enumerate() {
+                if i > 0 {
+                    assert_eq!(
+                        block.header.prev_block,
+                        branch.blocks[i - 1].header.block_hash()
+                    );
+                }
+                let plants = block
+                    .transactions
+                    .iter()
+                    .filter(|tx| tx.involves(&spec.marker))
+                    .count();
+                assert_eq!(plants, 1, "marker plants in branch block {i}");
+            }
+            assert_eq!(branch.marker.tx_count, spec.length);
+        }
+    }
+
+    #[test]
+    fn reorged_chain_is_utxo_consistent() {
+        // Rebuild the post-reorg chain from raw transactions: the
+        // shared prefix plus the branch's blocks. It must commit to
+        // byte-identical headers and replay as a valid UTXO ledger.
+        let specs = [BranchSpec::new(3, 5, "1ReorgC")];
+        let forked = small_forked(11, &specs);
+        let canon = &forked.workload.chain;
+        let branch = &forked.branches[0];
+
+        let mut builder = ChainBuilder::new(small_params()).unwrap();
+        for h in 1..=branch.fork_height {
+            builder
+                .push_block(canon.block(h).unwrap().transactions.clone())
+                .unwrap();
+        }
+        for block in &branch.blocks {
+            builder.push_block(block.transactions.clone()).unwrap();
+        }
+        let reorged = builder.finish();
+        assert_eq!(reorged.tip_height(), branch.fork_height + 5);
+        for (i, block) in branch.blocks.iter().enumerate() {
+            let h = branch.fork_height + 1 + i as u64;
+            assert_eq!(
+                reorged.header(h).unwrap().block_hash(),
+                block.header.block_hash(),
+                "height {h}"
+            );
+        }
+        reorged.validate().unwrap();
+        reorged.validate_utxo().unwrap();
+        // The marker's history on the reorged chain is its plants.
+        assert_eq!(
+            reorged.history_of(&branch.marker.address).len() as u64,
+            branch.marker.tx_count
+        );
+    }
+
+    #[test]
+    fn forked_build_is_deterministic_and_seed_sensitive() {
+        let specs = [BranchSpec::new(2, 3, "1ReorgD")];
+        let a = small_forked(21, &specs);
+        let b = small_forked(21, &specs);
+        assert_eq!(
+            a.branches[0].blocks[2].header.block_hash(),
+            b.branches[0].blocks[2].header.block_hash()
+        );
+        let respun = [BranchSpec::new(2, 3, "1ReorgD").seed(77)];
+        let c = small_forked(21, &respun);
+        assert_eq!(a.branches[0].fork_height, c.branches[0].fork_height);
+        assert_ne!(
+            a.branches[0].blocks[0].header.block_hash(),
+            c.branches[0].blocks[0].header.block_hash(),
+            "branch seed must respin branch content"
+        );
+    }
+
+    #[test]
+    fn branch_deeper_than_the_chain_is_rejected() {
+        let err = WorkloadBuilder::new(small_params())
+            .blocks(4)
+            .traffic(TrafficModel::tiny())
+            .build_forked(&[BranchSpec::new(9, 2, "1Deep")])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            WorkloadError::TooFewBlocks {
+                needed: 9,
+                available: 4
+            }
+        );
     }
 
     /// Pins the density calibration of DESIGN.md §6: the mainnet-2012

@@ -12,7 +12,11 @@
 //! * the six Table III probe addresses ([`probes::table3`]) *planted*
 //!   with exactly the paper's `(#tx, #block)` counts;
 //! * full determinism: the same seed reproduces the same chain
-//!   bit-for-bit, so experiments are replayable.
+//!   bit-for-bit, so experiments are replayable;
+//! * competing branches for reorg experiments
+//!   ([`WorkloadBuilder::build_forked`]): UTXO-consistent forks off
+//!   any depth below the canonical tip, each planting a marker address
+//!   so reorg winners are observable in verified histories.
 //!
 //! # Examples
 //!
@@ -42,6 +46,8 @@ mod generator;
 pub mod probes;
 mod traffic;
 
-pub use generator::{PlantedProbe, Workload, WorkloadBuilder, WorkloadError};
+pub use generator::{
+    BranchSpec, ForkBranch, ForkedWorkload, PlantedProbe, Workload, WorkloadBuilder, WorkloadError,
+};
 pub use probes::ProbeSpec;
 pub use traffic::TrafficModel;

@@ -50,7 +50,10 @@ fn address_strategy() -> impl Strategy<Value = Address> {
 fn request_strategy() -> impl Strategy<Value = Message> {
     prop_oneof![
         Just(Message::GetHeaders),
-        (0u64..40).prop_map(|height| Message::GetHeadersFrom { height }),
+        (0u64..40).prop_map(|height| Message::GetHeadersFrom {
+            height,
+            tip_hash: Hash256::ZERO,
+        }),
         address_strategy().prop_map(|address| Message::QueryRequest {
             address,
             range: None

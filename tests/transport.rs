@@ -11,7 +11,7 @@ use std::time::{Duration, Instant};
 use proptest::prelude::*;
 
 use lvq::codec::{decode_exact, Encodable};
-use lvq::node::{Message, WireError, WireErrorCode, PROTOCOL_VERSION};
+use lvq::node::{Message, ResyncOutcome, WireError, WireErrorCode, PROTOCOL_VERSION};
 use lvq::prelude::*;
 
 fn workload_for(scheme: Scheme, segment_len: u64, blocks: u64, seed: u64) -> Workload {
@@ -328,10 +328,12 @@ fn incremental_sync_follows_a_growing_chain_over_tcp() {
     let grown = Arc::new(FullNode::new(miner_chain(config, 12)).unwrap());
     let server = NodeServer::bind(grown, "127.0.0.1:0", ServerConfig::default()).unwrap();
     let mut tcp = TcpTransport::connect(server.local_addr()).unwrap();
-    assert_eq!(light.sync_new(&mut tcp).unwrap(), 4);
+    assert_eq!(light.sync_new(&mut tcp).unwrap(), ResyncOutcome::Synced(4));
     assert_eq!(light.client().tip_height(), 12);
-    // Caught up: a second incremental sync fetches nothing.
-    assert_eq!(light.sync_new(&mut tcp).unwrap(), 0);
+    // Caught up: a second incremental sync fetches nothing — the peer
+    // has nothing above our tip, which the typed outcome reports as
+    // `PeerBehind` (at or behind us).
+    assert_eq!(light.sync_new(&mut tcp).unwrap(), ResyncOutcome::PeerBehind);
 
     // The freshly appended headers verify queries over the new blocks.
     let history = light
