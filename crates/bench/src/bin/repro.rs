@@ -6,7 +6,7 @@
 //! experiments: all, table1, table2, table3, fig12, fig13, fig14,
 //!              fig15, fig16, storage, ksweep, latency, throughput,
 //!              concurrent, pool, quorum, coldstart, chaos, ingest,
-//!              reopen, reorg
+//!              crashloop, reopen, reorg
 //! ```
 //!
 //! `fig13`/`fig14`/`fig15` share one filter-size sweep; asking for any
@@ -16,8 +16,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use lvq_bench::experiments::{
-    bf_sweep, chaos, coldstart, concurrent, fig12, fig16, ingest, k_sweep, latency, pool, quorum,
-    reopen, reorg, storage, tables, throughput,
+    bf_sweep, chaos, coldstart, concurrent, crashloop, fig12, fig16, ingest, k_sweep, latency,
+    pool, quorum, reopen, reorg, storage, tables, throughput,
 };
 use lvq_bench::Scale;
 
@@ -55,10 +55,23 @@ fn parse_args() -> Result<Options, String> {
 }
 
 const USAGE: &str =
-    "usage: repro <all|table1|table2|table3|fig12|fig13|fig14|fig15|fig16|storage|ksweep|latency|throughput|concurrent|pool|quorum|coldstart|chaos|ingest|reopen|reorg> \
+    "usage: repro <all|table1|table2|table3|fig12|fig13|fig14|fig15|fig16|storage|ksweep|latency|throughput|concurrent|pool|quorum|coldstart|chaos|ingest|crashloop|reopen|reorg> \
                      [--scale small|paper] [--seed N]";
 
 fn main() -> ExitCode {
+    // The crash-loop experiment re-invokes this binary as its serving
+    // child; intercept that role before normal argument parsing.
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("crashloop-child") {
+        return match crashloop::child_main(&argv[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("crashloop-child: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     let opts = match parse_args() {
         Ok(o) => o,
         Err(msg) => {
@@ -166,6 +179,12 @@ fn main() -> ExitCode {
     if want("ingest") {
         matched = true;
         println!("{}", ingest::run(opts.scale, opts.seed));
+        println!();
+    }
+    if want("crashloop") {
+        matched = true;
+        let exe = std::env::current_exe().expect("own executable path");
+        println!("{}", crashloop::run(opts.scale, opts.seed, &exe));
         println!();
     }
     if want("reopen") {

@@ -4,6 +4,7 @@ pub mod bf_sweep;
 pub mod chaos;
 pub mod coldstart;
 pub mod concurrent;
+pub mod crashloop;
 pub mod fig12;
 pub mod fig16;
 pub mod ingest;

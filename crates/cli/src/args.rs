@@ -646,6 +646,45 @@ impl IngestOptions {
     }
 }
 
+/// Options of `lvq fsck`.
+#[derive(Debug, Clone)]
+pub struct FsckOptions {
+    /// Store directory to check.
+    pub store: String,
+    /// Also audit the persistent address index (`addr-index/`): full
+    /// node-by-node verification, not just the anchored root record.
+    pub index: bool,
+}
+
+impl FsckOptions {
+    /// Parses the arguments after `fsck`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] for unknown flags or bad values.
+    pub fn parse(args: &[String]) -> Result<Self, CliError> {
+        let mut store = None;
+        let mut index = false;
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            let mut value = |name: &str| {
+                iter.next()
+                    .cloned()
+                    .ok_or_else(|| CliError::Usage(format!("{name} needs a value")))
+            };
+            match arg.as_str() {
+                "--store" => store = Some(value("--store")?),
+                "--index" => index = true,
+                other => return Err(CliError::Usage(format!("unknown flag '{other}'"))),
+            }
+        }
+        let Some(store) = store else {
+            return Err(CliError::Usage("fsck requires --store DIR".into()));
+        };
+        Ok(FsckOptions { store, index })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -979,6 +1018,20 @@ mod tests {
         assert!(
             IngestOptions::parse(&strings(&["a", "--store", "d", "--segment-bytes", "0"])).is_err()
         );
+    }
+
+    #[test]
+    fn fsck_parsing() {
+        let opts = FsckOptions::parse(&strings(&["--store", "dir"])).unwrap();
+        assert_eq!(opts.store, "dir");
+        assert!(!opts.index);
+
+        let opts = FsckOptions::parse(&strings(&["--store", "dir", "--index"])).unwrap();
+        assert!(opts.index);
+
+        assert!(FsckOptions::parse(&strings(&[])).is_err());
+        assert!(FsckOptions::parse(&strings(&["--index"])).is_err());
+        assert!(FsckOptions::parse(&strings(&["--store", "dir", "extra"])).is_err());
     }
 
     #[test]

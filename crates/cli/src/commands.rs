@@ -12,14 +12,14 @@ use lvq_core::{Completeness, LightClient, Prover, SchemeConfig, VerifiedHistory}
 use lvq_node::{
     FaultPlan, FaultyTransport, FullNode, IngestConfig, LightNode, LiveNode, MemoryFeed,
     Negotiated, NodeServer, PipelinedTcpTransport, QueryRun, QuerySpec, ReconnectingTcpTransport,
-    Retrier, RetryPolicy, ServerConfig, TcpOptions, TipIngester, Transport,
+    Retrier, RetryPolicy, ServerConfig, SupervisorConfig, TcpOptions, TipIngester, Transport,
 };
 use lvq_store::StoreConfig;
 use lvq_workload::{TrafficModel, WorkloadBuilder};
 
 use crate::args::{
-    GenerateOptions, IngestOptions, QueryOptions, QuerySource, RemoteEndpoint, ServeOptions,
-    ServeSource,
+    FsckOptions, GenerateOptions, IngestOptions, QueryOptions, QuerySource, RemoteEndpoint,
+    ServeOptions, ServeSource,
 };
 use crate::error::CliError;
 
@@ -538,13 +538,18 @@ fn serve_following<T: TableSource + 'static>(
     let server = NodeServer::bind(Arc::clone(&live), opts.addr.as_str(), server_config)?;
     let feed = MemoryFeed::new(blocks);
     feed.publisher().publish_all();
-    let ingest = TipIngester::spawn(
+    // Supervised: a panicking ingest attempt is restarted with backoff
+    // (each attempt gets a fresh clone of the feed and resumes from the
+    // store's persisted height) instead of killing the pipeline.
+    let ingest = TipIngester::spawn_supervised(
         Arc::clone(&live),
         store,
-        feed,
+        move || feed.clone(),
         IngestConfig::default().with_max_reorg_depth(opts.max_reorg_depth),
+        SupervisorConfig::default(),
     );
     server.attach_ingest(ingest.monitor());
+    server.watch_health(ingest.health().clone());
     writeln!(
         out,
         "serving {} blocks ({} scheme) with {} workers on {}, following {} to height {}",
@@ -559,13 +564,15 @@ fn serve_following<T: TableSource + 'static>(
 
     wait_for_max_requests(&server, opts);
     let stats = server.shutdown();
-    let ingest_stats = ingest.stop()?;
+    let ingest_restarts = ingest.restarts();
+    let ingest_stats = ingest.stop();
     writeln!(
         out,
-        "ingested     : {} blocks in {} batches ({} retries), resumed at {}, tip {}",
+        "ingested     : {} blocks in {} batches ({} retries, {} restarts), resumed at {}, tip {}",
         ingest_stats.blocks_appended,
         ingest_stats.batches,
         ingest_stats.retries,
+        ingest_restarts,
         ingest_stats.resume_height,
         ingest_stats.tip_height
     )?;
@@ -631,6 +638,11 @@ fn print_serve_report(
     )?;
     writeln!(
         out,
+        "health       : {} ({} panicked requests contained, {} worker restarts)",
+        stats.health, stats.panicked_requests, stats.worker_restarts
+    )?;
+    writeln!(
+        out,
         "kinds        : {} headers, {} incremental, {} queries, {} batches, {} invalid",
         stats.by_kind.get_headers,
         stats.by_kind.get_headers_from,
@@ -665,6 +677,159 @@ fn print_serve_report(
         cache_cell(&caches.index_nodes)
     )?;
     Ok(())
+}
+
+/// `lvq fsck`: offline integrity check of a block store directory.
+///
+/// Opens the store (performing and *reporting* the documented open-time
+/// repairs), re-verifies every stored block against its checksum,
+/// scans the fork sidecar log, and — with `--index` — runs the full
+/// node-by-node audit of the persistent address index. Prints a
+/// per-file report and exits nonzero if any fault was found, so a
+/// second run on the same store exits zero: the repairs stuck.
+pub fn fsck(opts: &FsckOptions, out: &mut impl Write) -> Result<(), CliError> {
+    let dir = std::path::Path::new(&opts.store);
+    let mut faults: Vec<String> = Vec::new();
+
+    // Stale `*.tmp` files are debris from an interrupted tmp+rename
+    // write. Opening the store removes them, so note them first.
+    let mut tmp_dirs = vec![dir.to_path_buf()];
+    if dir.join("addr-index").is_dir() {
+        tmp_dirs.push(dir.join("addr-index"));
+    }
+    for tmp_dir in tmp_dirs {
+        let mut entries: Vec<_> = std::fs::read_dir(&tmp_dir)?
+            .filter_map(Result::ok)
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|name| name.ends_with(".tmp"))
+            .collect();
+        entries.sort();
+        for name in entries {
+            faults.push(format!(
+                "stale temp file {} (interrupted atomic write; removed at open)",
+                tmp_dir.join(name).display()
+            ));
+        }
+    }
+
+    let config = StoreConfig::default();
+    let (store, report, index_info) = if opts.index {
+        // The full-paranoia open: every index node hash, key order,
+        // and balance is checked before the index is trusted.
+        let (chain, report) = lvq_store::open_chain_indexed_verified(dir, config)?;
+        let info = (chain.tables().tip(), chain.tables().root_hash());
+        (Arc::clone(chain.source().store()), report, Some(info))
+    } else {
+        let (store, report) = lvq_store::BlockStore::open(dir, config)?;
+        (Arc::new(store), report, None)
+    };
+
+    if report.truncated_tail_bytes > 0 {
+        faults.push(format!(
+            "torn tail: {} byte(s) truncated from the last segment",
+            report.truncated_tail_bytes
+        ));
+    }
+    if report.recovered_records > 0 {
+        faults.push(format!(
+            "{} record(s) recovered by segment scan",
+            report.recovered_records
+        ));
+    }
+    if report.rebuilt_index {
+        faults.push("height index (index.idx) rebuilt from the segments".into());
+    }
+    if report.repaired_segment_header {
+        faults.push("segment header repaired".into());
+    }
+    if report.truncated_fork_log_bytes > 0 {
+        faults.push(format!(
+            "forks.log: {} torn byte(s) truncated",
+            report.truncated_fork_log_bytes
+        ));
+    }
+    match report.addr_index {
+        lvq_store::AddrIndexRecovery::NotOpened | lvq_store::AddrIndexRecovery::Intact => {}
+        lvq_store::AddrIndexRecovery::CaughtUp { from, to } => {
+            faults.push(format!(
+                "address index was behind the store: caught up {from} -> {to}"
+            ));
+        }
+        lvq_store::AddrIndexRecovery::Rebuilt { reason } => {
+            faults.push(format!("address index rebuilt ({reason})"));
+        }
+    }
+
+    // Every block re-read and checked against its stored checksum.
+    let verified = match store.verify_all() {
+        Ok(n) => Some(n),
+        Err(e) => {
+            faults.push(format!("block verification failed: {e}"));
+            None
+        }
+    };
+    let fork_blocks = match store.fork_log() {
+        Ok(entries) => Some(entries.len()),
+        Err(e) => {
+            faults.push(format!("fork log unreadable: {e}"));
+            None
+        }
+    };
+
+    // The per-file report, in name order.
+    writeln!(out, "fsck {}", dir.display())?;
+    let mut names: Vec<_> = std::fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .collect();
+    names.sort();
+    for name in names {
+        let path = dir.join(&name);
+        let meta = std::fs::metadata(&path)?;
+        let note = if meta.is_dir() {
+            match (name.as_str(), &index_info) {
+                ("addr-index", Some((tip, root))) => {
+                    format!("persistent address index, root {root} anchored at height {tip}")
+                }
+                ("addr-index", None) => "persistent address index (not audited; --index)".into(),
+                _ => "unexpected directory".into(),
+            }
+        } else {
+            match name.as_str() {
+                "store.meta" => "store metadata".into(),
+                "index.idx" => "height index".into(),
+                "forks.log" => match fork_blocks {
+                    Some(n) => format!("fork journal, {n} block(s)"),
+                    None => "fork journal (unreadable)".into(),
+                },
+                n if n.starts_with("segment-") && n.ends_with(".blk") => "block segment".into(),
+                n if n.ends_with(".tmp") => "stale temp file".into(),
+                _ => "unexpected file".into(),
+            }
+        };
+        let size = if meta.is_dir() {
+            "dir".to_string()
+        } else {
+            human_bytes(meta.len())
+        };
+        writeln!(out, "  {name:<20} {size:>10}  {note}")?;
+    }
+    match verified {
+        Some(n) => writeln!(out, "blocks       : {n} verified against stored checksums")?,
+        None => writeln!(out, "blocks       : verification FAILED")?,
+    }
+
+    if faults.is_empty() {
+        writeln!(out, "clean        : no faults found")?;
+        Ok(())
+    } else {
+        for fault in &faults {
+            writeln!(out, "fault        : {fault}")?;
+        }
+        Err(CliError::Fsck {
+            faults: faults.len(),
+        })
+    }
 }
 
 /// `lvq balance`: just the verified balance.
@@ -1034,6 +1199,99 @@ mod tests {
         assert!(text.contains("caches       : filters "), "{text}");
         // A disk-backed server actually exercises the block cache.
         assert!(!text.contains("blocks 0h/0m"), "{text}");
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fsck_reports_faults_then_comes_back_clean() {
+        let path = temp_path("fsck.lvq");
+        let dir = temp_path("fsck-store");
+        std::fs::remove_dir_all(&dir).ok();
+        run(
+            &strings(&[
+                "generate",
+                "--out",
+                &path,
+                "--blocks",
+                "12",
+                "--txs",
+                "2",
+                "--segment",
+                "8",
+                "--bf",
+                "256",
+            ]),
+            &mut Vec::new(),
+        )
+        .unwrap();
+        run(
+            &strings(&["ingest", &path, "--store", &dir, "--trust-file", "--index"]),
+            &mut Vec::new(),
+        )
+        .unwrap();
+
+        // A healthy store fscks clean, with and without the index audit.
+        let mut out = Vec::new();
+        run(&strings(&["fsck", "--store", &dir]), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("blocks       : 12 verified"), "{text}");
+        assert!(text.contains("clean        : no faults found"), "{text}");
+        assert!(text.contains("store.meta"), "{text}");
+
+        let mut out = Vec::new();
+        run(&strings(&["fsck", "--store", &dir, "--index"]), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("clean        : no faults found"), "{text}");
+        assert!(
+            text.contains("persistent address index, root"),
+            "the index audit should report the anchored root: {text}"
+        );
+
+        // Simulate a crash: a torn record tail on the last segment and
+        // a stale temp file from an interrupted atomic write.
+        let last_segment = {
+            let mut segments: Vec<_> = std::fs::read_dir(&dir)
+                .unwrap()
+                .filter_map(Result::ok)
+                .map(|e| e.file_name().to_string_lossy().into_owned())
+                .filter(|n| n.starts_with("segment-") && n.ends_with(".blk"))
+                .collect();
+            segments.sort();
+            std::path::Path::new(&dir).join(segments.last().unwrap())
+        };
+        use std::io::Write as _;
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&last_segment)
+            .unwrap();
+        file.write_all(&[0xFF; 7]).unwrap();
+        drop(file);
+        std::fs::write(std::path::Path::new(&dir).join("store.meta.tmp"), b"junk").unwrap();
+
+        let mut out = Vec::new();
+        let err = run(&strings(&["fsck", "--store", &dir]), &mut out).unwrap_err();
+        assert!(matches!(err, CliError::Fsck { faults: 2 }), "{err:?}");
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("fault        : stale temp file"), "{text}");
+        assert!(
+            text.contains("fault        : torn tail: 7 byte(s) truncated"),
+            "{text}"
+        );
+        assert!(text.contains("blocks       : 12 verified"), "{text}");
+
+        // The open-time repairs stuck: the next run exits zero.
+        let mut out = Vec::new();
+        run(&strings(&["fsck", "--store", &dir]), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("clean        : no faults found"), "{text}");
+
+        // Usage errors still behave.
+        assert!(matches!(
+            run(&strings(&["fsck"]), &mut Vec::new()),
+            Err(CliError::Usage(_))
+        ));
 
         std::fs::remove_file(&path).ok();
         std::fs::remove_dir_all(&dir).ok();

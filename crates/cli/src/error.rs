@@ -28,6 +28,13 @@ pub enum CliError {
     Store(lvq_store::StoreError),
     /// The follow-the-tip ingest pipeline died.
     Ingest(lvq_node::IngestError),
+    /// `lvq fsck` found faults — the store needed repair or failed
+    /// verification. The per-file report already went to stdout; this
+    /// just makes the process exit nonzero.
+    Fsck {
+        /// How many distinct faults the check found.
+        faults: usize,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -43,6 +50,11 @@ impl fmt::Display for CliError {
             CliError::Node(e) => write!(f, "node: {e}"),
             CliError::Store(e) => write!(f, "store: {e}"),
             CliError::Ingest(e) => write!(f, "ingest: {e}"),
+            CliError::Fsck { faults } => write!(
+                f,
+                "fsck: {faults} fault{} found",
+                if *faults == 1 { "" } else { "s" }
+            ),
         }
     }
 }
@@ -59,7 +71,7 @@ impl Error for CliError {
             CliError::Node(e) => Some(e),
             CliError::Store(e) => Some(e),
             CliError::Ingest(e) => Some(e),
-            CliError::Usage(_) => None,
+            CliError::Usage(_) | CliError::Fsck { .. } => None,
         }
     }
 }

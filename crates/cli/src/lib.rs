@@ -11,8 +11,8 @@ mod commands;
 mod error;
 
 pub use args::{
-    parse_probe_spec, GenerateOptions, IngestOptions, QueryOptions, QuerySource, RemoteEndpoint,
-    ServeOptions, ServeSource,
+    parse_probe_spec, FsckOptions, GenerateOptions, IngestOptions, QueryOptions, QuerySource,
+    RemoteEndpoint, ServeOptions, ServeSource,
 };
 pub use error::CliError;
 
@@ -35,6 +35,7 @@ usage:
             [--queue N] [--deadline-ms MS]
             [--filter-cache BYTES] [--smt-cache BYTES]
   lvq ingest FILE --store DIR [--trust-file] [--segment-bytes N] [--index]
+  lvq fsck --store DIR [--index]
   lvq balance FILE ADDRESS";
 
 /// Dispatches a full command line (without the program name).
@@ -60,6 +61,7 @@ pub fn run(args: &[String], out: &mut impl Write) -> Result<(), CliError> {
         "query" => commands::query(&args::QueryOptions::parse(rest)?, out),
         "serve" => commands::serve(&args::ServeOptions::parse(rest)?, out),
         "ingest" => commands::ingest(&args::IngestOptions::parse(rest)?, out),
+        "fsck" => commands::fsck(&args::FsckOptions::parse(rest)?, out),
         "balance" => match rest {
             [file, address] => commands::balance(file, address, out),
             _ => Err(CliError::Usage(

@@ -60,6 +60,15 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::live::LiveNode;
+use crate::supervise::{HealthCell, Supervised, SupervisorConfig, TaskSpec, WorkCtx};
+
+/// Supervision labels for the ingest pipeline.
+const INGEST_SPEC: TaskSpec = TaskSpec {
+    name: "lvq-ingest",
+    restart_reason: "ingest pipeline restarted after a crash",
+    stall_reason: "ingest pipeline stalled and was replaced",
+    fail_reason: "ingest pipeline died repeatedly; chain stopped growing",
+};
 
 /// How a [`BlockFeed`] fetch can fail.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -485,13 +494,119 @@ impl TipIngester {
         let thread_shared = Arc::clone(&shared);
         let thread_stop = Arc::clone(&stop);
         let join = std::thread::spawn(move || {
-            ingest_loop(&node, &store, feed, config, &thread_shared, &thread_stop)
+            let ctx = WorkCtx::unsupervised();
+            ingest_loop(
+                &node,
+                &store,
+                feed,
+                config,
+                &thread_shared,
+                &thread_stop,
+                &ctx,
+            )
         });
         IngestHandle {
             stop,
             shared,
             join: Some(join),
         }
+    }
+
+    /// Spawns the ingest pipeline under a [`Supervised`] monitor:
+    /// panics and fatal errors restart it with seeded backoff (resuming
+    /// from the store's persisted height, the same resume rule as a
+    /// process restart), a stalled attempt is abandoned and replaced by
+    /// the watchdog, and an exhausted restart budget parks the pipeline
+    /// as [`crate::HealthState::Failed`].
+    ///
+    /// `make_feed` builds a fresh feed per attempt — an abandoned
+    /// attempt may still be wedged inside its old feed, so feeds are
+    /// never shared across attempts. Wire the returned handle's
+    /// [`SupervisedIngest::health`] into a server with
+    /// [`crate::NodeServer::watch_health`].
+    pub fn spawn_supervised<S, T, F, M>(
+        node: Arc<LiveNode<S, T>>,
+        store: Arc<BlockStore>,
+        make_feed: M,
+        config: IngestConfig,
+        supervisor: SupervisorConfig,
+    ) -> SupervisedIngest
+    where
+        S: BlockSource + 'static,
+        T: TableSource + 'static,
+        F: BlockFeed,
+        M: Fn() -> F + Send + Sync + 'static,
+    {
+        let shared = Arc::new(IngestShared::default());
+        let health = HealthCell::new();
+        let restarts = Arc::new(AtomicU64::new(0));
+        let body_shared = Arc::clone(&shared);
+        let task = Supervised::spawn(
+            INGEST_SPEC,
+            supervisor,
+            health.clone(),
+            restarts,
+            move |ctx| {
+                let feed = make_feed();
+                let stop = Arc::clone(ctx.stop_flag());
+                ingest_loop(&node, &store, feed, config, &body_shared, &stop, &ctx)
+                    .map_err(|e| e.to_string())
+            },
+        );
+        SupervisedIngest {
+            shared,
+            health,
+            task,
+        }
+    }
+}
+
+/// Controls a supervised ingest pipeline
+/// ([`TipIngester::spawn_supervised`]); dropping it stops the
+/// supervisor and the current attempt.
+#[derive(Debug)]
+pub struct SupervisedIngest {
+    shared: Arc<IngestShared>,
+    health: HealthCell,
+    task: Supervised,
+}
+
+impl SupervisedIngest {
+    /// Live counters (cumulative across restarts — the counters belong
+    /// to the pipeline, not to any one attempt).
+    pub fn stats(&self) -> IngestStats {
+        self.shared.snapshot()
+    }
+
+    /// A cloneable counters view for [`crate::NodeServer::attach_ingest`].
+    pub fn monitor(&self) -> IngestMonitor {
+        IngestMonitor {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// The pipeline's health cell, for
+    /// [`crate::NodeServer::watch_health`].
+    pub fn health(&self) -> &HealthCell {
+        &self.health
+    }
+
+    /// Restarts the supervisor has performed.
+    pub fn restarts(&self) -> u64 {
+        self.task.restarts()
+    }
+
+    /// Whether the supervisor is still keeping the pipeline alive
+    /// (`false` once it gave up or finished a clean stop).
+    pub fn is_running(&self) -> bool {
+        self.task.is_running()
+    }
+
+    /// Stops the pipeline (bounded even if an attempt is wedged) and
+    /// returns the final counters.
+    pub fn stop(mut self) -> IngestStats {
+        self.task.shutdown();
+        self.shared.snapshot()
     }
 }
 
@@ -565,6 +680,7 @@ fn ingest_loop<S, T, F>(
     config: IngestConfig,
     shared: &IngestShared,
     stop: &AtomicBool,
+    ctx: &WorkCtx,
 ) -> Result<(), IngestError>
 where
     S: BlockSource + 'static,
@@ -587,6 +703,11 @@ where
     // Equivocation mode: a fork tree seeded with the chain's recent
     // headers, and an announcement cursor replacing the height cursor.
     let mut tree = if config.max_reorg_depth > 0 {
+        // Startup compaction: journaled fork blocks older than the
+        // reorg window can never be re-adopted, so they only cost
+        // reopen scans. Dropping them here bounds the sidecar log over
+        // a long follow lifetime.
+        store.compact_fork_log(config.max_reorg_depth)?;
         Some(seed_tree(node, config.max_reorg_depth)?)
     } else {
         None
@@ -601,10 +722,23 @@ where
         } else {
             store.len() + 1
         };
-        match feed.fetch(from, batch) {
+        // Heartbeat: entering a fetch/persist round. A hung feed or a
+        // wedged append freezes the beat while busy, which is exactly
+        // what the supervisor's watchdog looks for.
+        ctx.busy();
+        let fetched = feed.fetch(from, batch);
+        // A stop (or a supervisor abandoning a stalled worker) can
+        // land while the feed call was in flight; re-check before
+        // persisting anything, so an abandoned ingester never races
+        // its replacement's writes.
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match fetched {
             Ok(blocks) if blocks.is_empty() => {
                 shared.caught_up.store(true, Ordering::Relaxed);
                 consecutive_failures = 0;
+                ctx.idle();
                 interruptible_sleep(config.poll, stop);
             }
             Ok(blocks) => {
@@ -668,6 +802,7 @@ where
                 } else {
                     rng.gen_range(0..=jitter_us)
                 });
+                ctx.idle();
                 interruptible_sleep(base + jitter, stop);
             }
         }

@@ -76,6 +76,7 @@ mod quorum;
 mod reconnect;
 mod retry;
 mod server;
+mod supervise;
 mod tcp;
 #[cfg(test)]
 mod testutil;
@@ -86,7 +87,7 @@ pub use faults::{FaultPlan, FaultStats, FaultyTransport};
 pub use full::{FullNode, Handled, QueryEngineStats, RequestKind, DEFAULT_MAX_IN_FLIGHT};
 pub use ingest::{
     BlockFeed, FeedError, FeedPublisher, FlakyFeed, IngestConfig, IngestError, IngestHandle,
-    IngestMonitor, IngestStats, MemoryFeed, TipIngester,
+    IngestMonitor, IngestStats, MemoryFeed, SupervisedIngest, TipIngester,
 };
 pub use light::{LightNode, QueryRun, QuerySpec};
 pub use live::LiveNode;
@@ -108,5 +109,6 @@ pub use retry::{ResyncOutcome, Retrier, RetryPolicy, RetryStats};
 pub use server::{
     LatencySummary, NodeServer, RequestCounters, ServeNode, ServerConfig, ServerStats,
 };
+pub use supervise::{HealthCell, HealthState, Supervised, SupervisorConfig, TaskSpec, WorkCtx};
 pub use tcp::{TcpOptions, TcpTransport};
 pub use transport::{LocalTransport, Transport};

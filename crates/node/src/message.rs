@@ -175,6 +175,11 @@ pub enum WireErrorCode {
     /// A pipelined (v2) request reused a request id that is still in
     /// flight on the same connection; `detail` is the offending id.
     DuplicateRequestId = 6,
+    /// The request handler panicked inside the server. The panic was
+    /// contained to this one request — the connection and the process
+    /// both survive — but the request itself is not retryable: the
+    /// same bytes would poison the handler again.
+    Internal = 7,
 }
 
 impl WireErrorCode {
@@ -187,6 +192,7 @@ impl WireErrorCode {
             4 => WireErrorCode::Unanswerable,
             5 => WireErrorCode::DeadlineExceeded,
             6 => WireErrorCode::DuplicateRequestId,
+            7 => WireErrorCode::Internal,
             _ => return None,
         })
     }
@@ -202,6 +208,7 @@ impl fmt::Display for WireErrorCode {
             WireErrorCode::Unanswerable => "unanswerable request",
             WireErrorCode::DeadlineExceeded => "request deadline exceeded",
             WireErrorCode::DuplicateRequestId => "duplicate in-flight request id",
+            WireErrorCode::Internal => "internal server error (request handler panicked)",
         })
     }
 }

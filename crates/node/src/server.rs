@@ -39,6 +39,7 @@ use std::collections::{HashSet, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::fd::AsRawFd;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -52,6 +53,15 @@ use crate::frame::MAX_FRAME_LEN;
 use crate::full::{FullNode, Handled, RequestKind};
 use crate::ingest::{IngestMonitor, IngestStats};
 use crate::message::{envelope, HelloInfo, Message, NodeError, WireError, WireErrorCode};
+use crate::supervise::{HealthCell, HealthState, Supervised, SupervisorConfig, TaskSpec, WorkCtx};
+
+/// Supervision labels for the proof-worker pool.
+const WORKER_SPEC: TaskSpec = TaskSpec {
+    name: "lvq-proof-worker",
+    restart_reason: "proof worker restarted after a crash",
+    stall_reason: "proof worker stalled and was replaced",
+    fail_reason: "proof worker died repeatedly; pool is short",
+};
 
 /// How often parked proof workers re-check the stop flag, and the
 /// event-loop poll timeout (which paces the stall sweeps).
@@ -337,6 +347,19 @@ pub struct ServerStats {
     /// branch this server is on ([`ServeNode::tip_hash`]);
     /// [`lvq_crypto::Hash256::ZERO`] for nodes that serve no chain.
     pub tip_hash: lvq_crypto::Hash256,
+    /// Worst health observed across the server's supervised parts:
+    /// the request handlers (a panicked request degrades this without
+    /// killing the process), the proof-worker pool, and any watched
+    /// external cells ([`NodeServer::watch_health`], e.g. a supervised
+    /// ingest pipeline).
+    pub health: HealthState,
+    /// Requests whose handler panicked; each was answered with a
+    /// structured [`WireErrorCode::Internal`] error while the process
+    /// kept serving.
+    pub panicked_requests: u64,
+    /// Proof-worker restarts performed by the supervisor (panics
+    /// outside a request, plus stalled workers the watchdog replaced).
+    pub worker_restarts: u64,
 }
 
 /// Lock-free log₂-bucketed histogram of microsecond latencies.
@@ -436,6 +459,16 @@ struct Shared<P> {
     latency: LatencyHistogram,
     /// Counters of an attached ingest pipeline, if any.
     ingest: parking_lot::Mutex<Option<IngestMonitor>>,
+    /// Requests whose handler panicked (answered with
+    /// [`WireErrorCode::Internal`]).
+    panicked_requests: AtomicU64,
+    /// Proof-worker restarts, shared with every worker's supervisor.
+    worker_restarts: Arc<AtomicU64>,
+    /// Health of the request handlers: degraded by a panicked request.
+    health: HealthCell,
+    /// Further health cells merged into [`ServerStats::health`]: one
+    /// per supervised proof worker, plus externally watched cells.
+    watched: parking_lot::Mutex<Vec<HealthCell>>,
 }
 
 fn kind_index(kind: RequestKind) -> usize {
@@ -481,6 +514,15 @@ impl<P: ServeNode> Shared<P> {
                 .map(IngestMonitor::snapshot)
                 .unwrap_or_default(),
             tip_hash: self.node.tip_hash(),
+            health: {
+                let mut health = self.health.get();
+                for cell in self.watched.lock().iter() {
+                    health = health.merge(cell.get());
+                }
+                health
+            },
+            panicked_requests: self.panicked_requests.load(Ordering::Relaxed),
+            worker_restarts: self.worker_restarts.load(Ordering::Relaxed),
         }
     }
 }
@@ -681,7 +723,7 @@ pub struct NodeServer<P: ServeNode = FullNode> {
     local_addr: SocketAddr,
     waker: Arc<Waker>,
     loop_thread: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    workers: Vec<Supervised>,
 }
 
 impl<P: ServeNode> NodeServer<P> {
@@ -733,6 +775,10 @@ impl<P: ServeNode> NodeServer<P> {
             by_kind: std::array::from_fn(|_| AtomicU64::new(0)),
             latency: LatencyHistogram::new(),
             ingest: parking_lot::Mutex::new(None),
+            panicked_requests: AtomicU64::new(0),
+            worker_restarts: Arc::new(AtomicU64::new(0)),
+            health: HealthCell::new(),
+            watched: parking_lot::Mutex::new(Vec::new()),
         });
 
         let (job_tx, job_rx) = channel::bounded::<Job>(config.accept_queue.max(1));
@@ -742,12 +788,23 @@ impl<P: ServeNode> NodeServer<P> {
         let (done_tx, done_rx) = channel::bounded::<Completion>(usize::MAX / 2);
 
         let workers = (0..pool_size)
-            .map(|_| {
-                let shared = Arc::clone(&shared);
+            .map(|i| {
+                let worker_shared = Arc::clone(&shared);
                 let rx = job_rx.clone();
                 let tx = done_tx.clone();
                 let waker = Arc::clone(&waker);
-                std::thread::spawn(move || worker_loop(&shared, &rx, &tx, &waker))
+                let cell = HealthCell::new();
+                shared.watched.lock().push(cell.clone());
+                Supervised::spawn(
+                    WORKER_SPEC,
+                    SupervisorConfig::default().with_seed(i as u64),
+                    cell,
+                    Arc::clone(&shared.worker_restarts),
+                    move |ctx| {
+                        worker_loop(&worker_shared, &rx, &tx, &waker, &ctx);
+                        Ok(())
+                    },
+                )
             })
             .collect();
 
@@ -783,6 +840,23 @@ impl<P: ServeNode> NodeServer<P> {
         *self.shared.ingest.lock() = Some(monitor);
     }
 
+    /// Merges an external [`HealthCell`] into [`ServerStats::health`]
+    /// (worst state wins) — e.g. the cell of a supervised ingest
+    /// pipeline feeding this server.
+    pub fn watch_health(&self, cell: HealthCell) {
+        self.shared.watched.lock().push(cell);
+    }
+
+    /// The server's current aggregate health (same value as
+    /// [`ServerStats::health`], without snapshotting every counter).
+    pub fn health(&self) -> HealthState {
+        let mut health = self.shared.health.get();
+        for cell in self.shared.watched.lock().iter() {
+            health = health.merge(cell.get());
+        }
+        health
+    }
+
     /// The served node, e.g. to read [`FullNode::engine_stats`]
     /// alongside [`NodeServer::stats`].
     pub fn full(&self) -> &Arc<P> {
@@ -805,8 +879,12 @@ impl<P: ServeNode> NodeServer<P> {
         if let Some(handle) = self.loop_thread.take() {
             let _ = handle.join();
         }
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
+        // The event loop has drained its outstanding completions by
+        // now, so stopping the supervised workers drops no dispatched
+        // request; a wedged worker is abandoned after its supervisor's
+        // stop deadline instead of hanging shutdown forever.
+        for mut worker in self.workers.drain(..) {
+            worker.shutdown();
         }
     }
 }
@@ -822,12 +900,40 @@ fn worker_loop<P: ServeNode>(
     rx: &Receiver<Job>,
     tx: &Sender<Completion>,
     waker: &Waker,
+    ctx: &WorkCtx,
 ) {
     loop {
+        // An attempt the watchdog abandoned must not take another job:
+        // its replacement already owns this queue.
+        if !ctx.live() {
+            return;
+        }
         match rx.recv_timeout(STOP_POLL) {
             Ok(job) => {
+                ctx.busy();
                 let id = envelope::request_id(&job.payload);
-                let handled = shared.node.handle_classified(&job.payload);
+                // Panic isolation: a poisoned request fails *that*
+                // request with a structured Internal error and
+                // degrades health; the worker, the connection, and
+                // the process all survive. AssertUnwindSafe is sound
+                // because the node is only reached through `&self` and
+                // a panicked handler's partial state is dropped here.
+                let handled = catch_unwind(AssertUnwindSafe(|| {
+                    shared.node.handle_classified(&job.payload)
+                }))
+                .unwrap_or_else(|_panic| {
+                    shared.panicked_requests.fetch_add(1, Ordering::Relaxed);
+                    shared.health.degrade("a request handler panicked");
+                    let refusal = Message::Error(WireError::new(WireErrorCode::Internal)).encode();
+                    Handled {
+                        kind: RequestKind::Invalid,
+                        bytes: match id {
+                            Some(id) => envelope::wrap_v2(&refusal, id),
+                            None => refusal,
+                        },
+                        error: Some(WireErrorCode::Internal),
+                    }
+                });
                 let elapsed = job.received.elapsed();
                 // The deadline is enforced when the response is ready —
                 // one prover call cannot be preempted — so a missed
@@ -862,6 +968,7 @@ fn worker_loop<P: ServeNode>(
                     id,
                 });
                 let _ = waker.wake();
+                ctx.idle();
             }
             // Drain the queue before honouring stop: a parsed,
             // dispatched request is always answered.

@@ -1,0 +1,377 @@
+//! The filesystem seam in front of every durable mutation.
+//!
+//! Everything the store ever does to make bytes durable — appending to
+//! a segment, fsyncing a file or its parent directory, atomically
+//! renaming a temp file into place, truncating a torn tail, deleting a
+//! dropped segment — goes through one [`StoreFs`] trait object.
+//! Production code uses the zero-cost passthrough [`RealFs`]; the crash
+//! harness swaps in [`CrashFs`], which executes a seeded
+//! [`CrashSchedule`]: run normally until the Nth durable operation,
+//! then either abort it entirely or persist only a prefix of the write
+//! (a torn write), and from that moment refuse every further operation
+//! — exactly like a process that lost power. The store's best-effort
+//! `Drop` syncs are thereby neutralised too, so a test can "reboot" by
+//! simply reopening the directory with [`RealFs`] and asserting the
+//! recovery invariants.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The durable mutation operations of a block store or address index.
+///
+/// Implementations decide whether each operation really happens
+/// ([`RealFs`]) or is deterministically faulted ([`CrashFs`]). Read
+/// paths never go through this trait — crash faults only ever affect
+/// what reaches the disk, never what is read back.
+pub trait StoreFs: fmt::Debug + Send + Sync {
+    /// Appends/writes `buf` through `file` at its current position.
+    fn write_all(&self, file: &File, buf: &[u8]) -> io::Result<()>;
+
+    /// Flushes `file`'s data and metadata to stable storage.
+    fn sync(&self, file: &File) -> io::Result<()>;
+
+    /// Atomically renames `from` to `to` (same directory).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Truncates (or extends) `file` to exactly `len` bytes.
+    fn set_len(&self, file: &File, len: u64) -> io::Result<()>;
+
+    /// Removes the file at `path`.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+
+    /// Recursively removes the directory at `dir` (used when an index
+    /// rebuild wipes its derived state).
+    fn remove_dir_all(&self, dir: &Path) -> io::Result<()>;
+
+    /// Fsyncs the *directory* at `dir`, making renames and file
+    /// creations within it power-loss durable.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+}
+
+/// The production [`StoreFs`]: every operation goes straight to the OS.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealFs;
+
+impl StoreFs for RealFs {
+    fn write_all(&self, mut file: &File, buf: &[u8]) -> io::Result<()> {
+        file.write_all(buf)
+    }
+
+    fn sync(&self, file: &File) -> io::Result<()> {
+        file.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn set_len(&self, file: &File, len: u64) -> io::Result<()> {
+        file.set_len(len)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn remove_dir_all(&self, dir: &Path) -> io::Result<()> {
+        std::fs::remove_dir_all(dir)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        // On POSIX a directory is fsynced through an open handle to it;
+        // on platforms where opening a directory fails, the rename's
+        // own durability is the best available and the failure is
+        // ignored by the caller policy (we surface it — callers treat a
+        // sync_dir error like any sync error).
+        File::open(dir)?.sync_all()
+    }
+}
+
+/// How a [`CrashFs`] fails its scheduled operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashMode {
+    /// The scheduled operation does not happen at all — the process
+    /// died just before the syscall.
+    Abort,
+    /// A scheduled *write* persists only a seeded prefix of its bytes
+    /// before the process dies (a torn write); every other operation
+    /// kind degenerates to [`CrashMode::Abort`].
+    Torn,
+}
+
+/// A deterministic crash plan for [`CrashFs`]: crash at the
+/// `crash_at`-th durable operation (0-based), in the given mode, with
+/// torn-prefix lengths derived from `seed`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashSchedule {
+    /// Index of the durable operation to crash at; `u64::MAX` never
+    /// crashes (useful for *counting* a workload's crash points).
+    pub crash_at: u64,
+    /// What happens at the crash point.
+    pub mode: CrashMode,
+    /// Seed for the torn-prefix length.
+    pub seed: u64,
+}
+
+impl CrashSchedule {
+    /// A schedule that never fires — run the workload to completion and
+    /// read [`CrashFs::ops`] to enumerate its crash points.
+    pub fn count_only() -> Self {
+        CrashSchedule {
+            crash_at: u64::MAX,
+            mode: CrashMode::Abort,
+            seed: 0,
+        }
+    }
+
+    /// Crash at durable operation `crash_at` in `mode`.
+    pub fn at(crash_at: u64, mode: CrashMode, seed: u64) -> Self {
+        CrashSchedule {
+            crash_at,
+            mode,
+            seed,
+        }
+    }
+}
+
+/// The error every [`CrashFs`] operation returns once the simulated
+/// process is dead; carried inside the [`io::Error`] so tests can tell
+/// injected crashes from real I/O failures.
+#[derive(Debug)]
+pub struct SimulatedCrash {
+    /// The durable-operation index the crash fired at.
+    pub op: u64,
+}
+
+impl fmt::Display for SimulatedCrash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "simulated crash at durable op {}", self.op)
+    }
+}
+
+impl std::error::Error for SimulatedCrash {}
+
+/// `true` if `e` is a [`CrashFs`] injection rather than a real I/O
+/// failure.
+pub fn is_simulated_crash(e: &io::Error) -> bool {
+    e.get_ref()
+        .is_some_and(|inner| inner.is::<SimulatedCrash>())
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[derive(Debug)]
+struct CrashState {
+    schedule: CrashSchedule,
+    /// Durable operations *attempted* so far (including the fatal one).
+    ops: AtomicU64,
+    dead: AtomicBool,
+    /// Indices of operations that were byte writes — the only kind a
+    /// torn crash treats differently from an abort.
+    writes: Mutex<Vec<u64>>,
+}
+
+/// A [`StoreFs`] that executes a [`CrashSchedule`]: a deterministic
+/// stand-in for `kill -9` at an exact durable operation. After the
+/// crash point fires, every operation — including the store's
+/// best-effort `Drop` syncs — fails with [`SimulatedCrash`] without
+/// touching the disk, so the directory is frozen exactly as a dead
+/// process would have left it. Clones share the same schedule and op
+/// counter, so one `CrashFs` can be threaded through a store *and* its
+/// address index and count their durable operations on a single line.
+#[derive(Debug, Clone)]
+pub struct CrashFs {
+    state: Arc<CrashState>,
+}
+
+impl CrashFs {
+    /// A crash filesystem executing `schedule`.
+    pub fn new(schedule: CrashSchedule) -> Self {
+        CrashFs {
+            state: Arc::new(CrashState {
+                schedule,
+                ops: AtomicU64::new(0),
+                dead: AtomicBool::new(false),
+                writes: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Durable operations attempted so far. With
+    /// [`CrashSchedule::count_only`] this enumerates a workload's crash
+    /// points after running it to completion.
+    pub fn ops(&self) -> u64 {
+        self.state.ops.load(Ordering::SeqCst)
+    }
+
+    /// `true` once the scheduled crash has fired.
+    pub fn crashed(&self) -> bool {
+        self.state.dead.load(Ordering::SeqCst)
+    }
+
+    /// Indices of the operations so far that were byte writes. A torn
+    /// crash only differs from an abort at these indices, so a sweep
+    /// can restrict its torn pass to them.
+    pub fn write_ops(&self) -> Vec<u64> {
+        self.state.writes.lock().expect("not poisoned").clone()
+    }
+
+    fn crash_error(&self, op: u64) -> io::Error {
+        io::Error::other(SimulatedCrash { op })
+    }
+
+    /// Accounts one durable operation. Returns `Ok(None)` to proceed
+    /// normally, `Ok(Some(op))` when this is the scheduled crash point
+    /// (the caller applies the mode-specific partial effect, then must
+    /// return the crash error), or `Err` when already dead.
+    fn gate(&self) -> Result<Option<u64>, io::Error> {
+        if self.state.dead.load(Ordering::SeqCst) {
+            return Err(self.crash_error(self.state.schedule.crash_at));
+        }
+        let op = self.state.ops.fetch_add(1, Ordering::SeqCst);
+        if op == self.state.schedule.crash_at {
+            self.state.dead.store(true, Ordering::SeqCst);
+            return Ok(Some(op));
+        }
+        Ok(None)
+    }
+
+    /// [`CrashFs::gate`] for write operations: additionally records the
+    /// op index for [`CrashFs::write_ops`].
+    fn gate_write(&self) -> Result<Option<u64>, io::Error> {
+        let before = self.state.ops.load(Ordering::SeqCst);
+        let outcome = self.gate()?;
+        self.state
+            .writes
+            .lock()
+            .expect("not poisoned")
+            .push(outcome.unwrap_or(before));
+        Ok(outcome)
+    }
+}
+
+impl StoreFs for CrashFs {
+    fn write_all(&self, mut file: &File, buf: &[u8]) -> io::Result<()> {
+        match self.gate_write()? {
+            None => file.write_all(buf),
+            Some(op) => {
+                if self.state.schedule.mode == CrashMode::Torn && !buf.is_empty() {
+                    let keep =
+                        (splitmix64(self.state.schedule.seed ^ op) % buf.len() as u64) as usize;
+                    file.write_all(&buf[..keep])?;
+                }
+                Err(self.crash_error(op))
+            }
+        }
+    }
+
+    fn sync(&self, file: &File) -> io::Result<()> {
+        match self.gate()? {
+            None => file.sync_all(),
+            Some(op) => Err(self.crash_error(op)),
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        match self.gate()? {
+            None => std::fs::rename(from, to),
+            Some(op) => Err(self.crash_error(op)),
+        }
+    }
+
+    fn set_len(&self, file: &File, len: u64) -> io::Result<()> {
+        match self.gate()? {
+            None => file.set_len(len),
+            Some(op) => Err(self.crash_error(op)),
+        }
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        match self.gate()? {
+            None => std::fs::remove_file(path),
+            Some(op) => Err(self.crash_error(op)),
+        }
+    }
+
+    fn remove_dir_all(&self, dir: &Path) -> io::Result<()> {
+        match self.gate()? {
+            None => std::fs::remove_dir_all(dir),
+            Some(op) => Err(self.crash_error(op)),
+        }
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        match self.gate()? {
+            None => RealFs.sync_dir(dir),
+            Some(op) => Err(self.crash_error(op)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    #[test]
+    fn count_only_never_crashes_and_counts() {
+        let fs = CrashFs::new(CrashSchedule::count_only());
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("lvq-fsio-count-{}", std::process::id()));
+        let file = File::create(&path).unwrap();
+        fs.write_all(&file, b"hello").unwrap();
+        fs.sync(&file).unwrap();
+        assert_eq!(fs.ops(), 2);
+        assert!(!fs.crashed());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn abort_skips_the_op_and_kills_everything_after() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("lvq-fsio-abort-{}", std::process::id()));
+        let fs = CrashFs::new(CrashSchedule::at(1, CrashMode::Abort, 7));
+        let file = File::create(&path).unwrap();
+        fs.write_all(&file, b"first").unwrap();
+        let err = fs.write_all(&file, b"second").unwrap_err();
+        assert!(is_simulated_crash(&err));
+        assert!(fs.crashed());
+        // Dead: even a sync is refused, without touching the file.
+        assert!(is_simulated_crash(&fs.sync(&file).unwrap_err()));
+        let mut contents = String::new();
+        File::open(&path)
+            .unwrap()
+            .read_to_string(&mut contents)
+            .unwrap();
+        assert_eq!(contents, "first", "the aborted write left no bytes");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_write_persists_a_strict_prefix_deterministically() {
+        let dir = std::env::temp_dir();
+        let mut lens = Vec::new();
+        for round in 0..2 {
+            let path = dir.join(format!("lvq-fsio-torn-{}-{round}", std::process::id()));
+            let fs = CrashFs::new(CrashSchedule::at(0, CrashMode::Torn, 42));
+            let file = File::create(&path).unwrap();
+            let err = fs.write_all(&file, &[0xAB; 100]).unwrap_err();
+            assert!(is_simulated_crash(&err));
+            let len = std::fs::metadata(&path).unwrap().len();
+            assert!(len < 100, "a torn write is a strict prefix, got {len}");
+            lens.push(len);
+            let _ = std::fs::remove_file(&path);
+        }
+        assert_eq!(lens[0], lens[1], "same seed, same torn prefix");
+    }
+}

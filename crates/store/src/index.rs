@@ -60,7 +60,7 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -78,11 +78,13 @@ use crate::frame::{
     frame_record, read_exact_at, read_record_payload, segment_header, FrameError, RecordLoc,
     SegmentHandle, SEGMENT_HEADER_LEN,
 };
+use crate::fsio::{RealFs, StoreFs};
 
 const NODE_MAGIC: [u8; 4] = *b"LVQN";
 const ROOT_MAGIC: [u8; 4] = *b"LVQR";
 const VERSION: u32 = 1;
 const ROOT_FILE: &str = "root.idx";
+const ROOT_TMP_FILE: &str = "root.idx.tmp";
 
 const KEY_ADDR: u8 = b'a';
 const KEY_HEADER: u8 = b'h';
@@ -236,24 +238,30 @@ struct LogWriter {
 struct NodeLog {
     dir: PathBuf,
     target_bytes: u64,
+    fs: Arc<dyn StoreFs>,
     segments: RwLock<Vec<SegmentHandle>>,
     writer: Mutex<LogWriter>,
 }
 
 impl NodeLog {
-    fn create(dir: &Path, target_bytes: u64) -> Result<Self, StoreError> {
+    fn create(
+        dir: &Path,
+        target_bytes: u64,
+        fs_impl: Arc<dyn StoreFs>,
+    ) -> Result<Self, StoreError> {
         let path = dir.join(node_file_name(0));
-        let mut file = OpenOptions::new()
+        let file = OpenOptions::new()
             .create(true)
             .truncate(true)
             .read(true)
             .write(true)
             .open(&path)?;
-        file.write_all(&segment_header(NODE_MAGIC, VERSION, 0))?;
-        file.sync_all()?;
+        fs_impl.write_all(&file, &segment_header(NODE_MAGIC, VERSION, 0))?;
+        fs_impl.sync(&file)?;
         Ok(NodeLog {
             dir: dir.to_path_buf(),
             target_bytes,
+            fs: fs_impl,
             segments: RwLock::new(vec![SegmentHandle {
                 file: Arc::new(File::open(&path)?),
                 path,
@@ -266,7 +274,7 @@ impl NodeLog {
         })
     }
 
-    fn open(dir: &Path, target_bytes: u64) -> Result<Self, StoreError> {
+    fn open(dir: &Path, target_bytes: u64, fs_impl: Arc<dyn StoreFs>) -> Result<Self, StoreError> {
         let mut count = 0u32;
         while dir.join(node_file_name(count)).exists() {
             count += 1;
@@ -314,6 +322,7 @@ impl NodeLog {
         Ok(NodeLog {
             dir: dir.to_path_buf(),
             target_bytes,
+            fs: fs_impl,
             segments: RwLock::new(segments),
             writer: Mutex::new(LogWriter {
                 file,
@@ -329,7 +338,7 @@ impl NodeLog {
         if writer.offset >= self.target_bytes && writer.offset > SEGMENT_HEADER_LEN {
             self.rotate(&mut writer)?;
         }
-        writer.file.write_all(&record)?;
+        self.fs.write_all(&writer.file, &record)?;
         let loc = RecordLoc {
             segment: writer.segment,
             offset: writer.offset,
@@ -340,16 +349,17 @@ impl NodeLog {
     }
 
     fn rotate(&self, writer: &mut LogWriter) -> Result<(), StoreError> {
-        writer.file.sync_all()?;
+        self.fs.sync(&writer.file)?;
         let next = writer.segment + 1;
         let path = self.dir.join(node_file_name(next));
-        let mut file = OpenOptions::new()
+        let file = OpenOptions::new()
             .create(true)
             .truncate(true)
             .read(true)
             .write(true)
             .open(&path)?;
-        file.write_all(&segment_header(NODE_MAGIC, VERSION, next))?;
+        self.fs
+            .write_all(&file, &segment_header(NODE_MAGIC, VERSION, next))?;
         self.segments.write().push(SegmentHandle {
             file: Arc::new(File::open(&path)?),
             path,
@@ -384,7 +394,7 @@ impl NodeLog {
     }
 
     fn sync(&self) -> Result<(), StoreError> {
-        self.writer.lock().file.sync_all()?;
+        self.fs.sync(&self.writer.lock().file)?;
         Ok(())
     }
 
@@ -598,6 +608,7 @@ struct IndexInner {
 pub struct IndexedTables {
     dir: PathBuf,
     log: NodeLog,
+    fs: Arc<dyn StoreFs>,
     inner: RwLock<IndexInner>,
     cache: NodeCache,
 }
@@ -614,15 +625,31 @@ impl IndexedTables {
         cache_bytes: usize,
         segment_target_bytes: u64,
     ) -> Result<Self, StoreError> {
+        Self::create_with_fs(dir, cache_bytes, segment_target_bytes, Arc::new(RealFs))
+    }
+
+    /// [`IndexedTables::create`] with an explicit [`StoreFs`] — the
+    /// seam the crash-fault harness injects through.
+    ///
+    /// # Errors
+    ///
+    /// As [`IndexedTables::create`].
+    pub fn create_with_fs(
+        dir: impl AsRef<Path>,
+        cache_bytes: usize,
+        segment_target_bytes: u64,
+        fs_impl: Arc<dyn StoreFs>,
+    ) -> Result<Self, StoreError> {
         let dir = dir.as_ref();
         if dir.exists() {
-            fs::remove_dir_all(dir)?;
+            fs_impl.remove_dir_all(dir)?;
         }
         fs::create_dir_all(dir)?;
-        let log = NodeLog::create(dir, segment_target_bytes)?;
+        let log = NodeLog::create(dir, segment_target_bytes, Arc::clone(&fs_impl))?;
         let tables = IndexedTables {
             dir: dir.to_path_buf(),
             log,
+            fs: fs_impl,
             inner: RwLock::new(IndexInner {
                 tree: AvlTree::new(),
                 tip: 0,
@@ -633,7 +660,7 @@ impl IndexedTables {
             }),
             cache: Mutex::new(LruCache::new(cache_bytes)),
         };
-        write_root(&tables.dir, 0, None, None)?;
+        write_root(&tables.dir, 0, None, None, &*tables.fs)?;
         Ok(tables)
     }
 
@@ -650,12 +677,33 @@ impl IndexedTables {
         cache_bytes: usize,
         segment_target_bytes: u64,
     ) -> Result<Self, StoreError> {
+        Self::open_with_fs(dir, cache_bytes, segment_target_bytes, Arc::new(RealFs))
+    }
+
+    /// [`IndexedTables::open`] with an explicit [`StoreFs`].
+    ///
+    /// # Errors
+    ///
+    /// As [`IndexedTables::open`].
+    pub fn open_with_fs(
+        dir: impl AsRef<Path>,
+        cache_bytes: usize,
+        segment_target_bytes: u64,
+        fs_impl: Arc<dyn StoreFs>,
+    ) -> Result<Self, StoreError> {
         let dir = dir.as_ref();
+        // Debris from a crash between the root temp write and its
+        // rename; the renamed-to root is still whole.
+        let stale_tmp = dir.join(ROOT_TMP_FILE);
+        if stale_tmp.exists() {
+            fs_impl.remove_file(&stale_tmp)?;
+        }
         let (tip, link, anchor) = read_root(&dir.join(ROOT_FILE))?;
-        let log = NodeLog::open(dir, segment_target_bytes)?;
+        let log = NodeLog::open(dir, segment_target_bytes, Arc::clone(&fs_impl))?;
         let tables = IndexedTables {
             dir: dir.to_path_buf(),
             log,
+            fs: fs_impl,
             inner: RwLock::new(IndexInner {
                 tree: AvlTree::from_root(link.clone()),
                 tip,
@@ -694,7 +742,28 @@ impl IndexedTables {
         segment_target_bytes: u64,
         expected_tip: u64,
     ) -> Result<Self, StoreError> {
-        let tables = Self::open(dir, cache_bytes, segment_target_bytes)?;
+        Self::open_at_with_fs(
+            dir,
+            cache_bytes,
+            segment_target_bytes,
+            expected_tip,
+            Arc::new(RealFs),
+        )
+    }
+
+    /// [`IndexedTables::open_at`] with an explicit [`StoreFs`].
+    ///
+    /// # Errors
+    ///
+    /// As [`IndexedTables::open_at`].
+    pub fn open_at_with_fs(
+        dir: impl AsRef<Path>,
+        cache_bytes: usize,
+        segment_target_bytes: u64,
+        expected_tip: u64,
+        fs_impl: Arc<dyn StoreFs>,
+    ) -> Result<Self, StoreError> {
+        let tables = Self::open_with_fs(dir, cache_bytes, segment_target_bytes, fs_impl)?;
         let root_tip = tables.tip();
         if root_tip != expected_tip {
             return Err(StoreError::StaleIndexRoot {
@@ -856,7 +925,7 @@ impl IndexedTables {
         // Log first, root second: the renamed-in root record must only
         // ever reference nodes that are already durable.
         self.log.sync()?;
-        write_root(&self.dir, inner.tip, inner.tree.root(), root_loc)?;
+        write_root(&self.dir, inner.tip, inner.tree.root(), root_loc, &*self.fs)?;
         inner.anchor = root_loc;
         inner.anchored_tip = inner.tip;
         inner.dirty.clear();
@@ -916,6 +985,7 @@ fn write_root(
     tip: u64,
     link: Option<&AvlLink>,
     loc: Option<RecordLoc>,
+    fs_impl: &dyn StoreFs,
 ) -> Result<(), StoreError> {
     let mut bytes = Vec::new();
     bytes.extend_from_slice(&ROOT_MAGIC);
@@ -926,11 +996,14 @@ fn write_root(
     let crc = crc32(&bytes);
     bytes.extend_from_slice(&crc.to_le_bytes());
 
-    let tmp = dir.join("root.idx.tmp");
-    let mut file = File::create(&tmp)?;
-    file.write_all(&bytes)?;
-    file.sync_all()?;
-    fs::rename(&tmp, dir.join(ROOT_FILE))?;
+    let tmp = dir.join(ROOT_TMP_FILE);
+    let file = File::create(&tmp)?;
+    fs_impl.write_all(&file, &bytes)?;
+    fs_impl.sync(&file)?;
+    fs_impl.rename(&tmp, &dir.join(ROOT_FILE))?;
+    // A rename alone is not power-loss durable until the directory
+    // entry itself is on disk.
+    fs_impl.sync_dir(dir)?;
     Ok(())
 }
 

@@ -49,15 +49,19 @@ mod cache;
 mod crc32;
 mod error;
 mod frame;
+mod fsio;
 mod index;
 mod source;
 mod store;
 
 pub use crc32::crc32;
 pub use error::StoreError;
+pub use fsio::{
+    is_simulated_crash, CrashFs, CrashMode, CrashSchedule, RealFs, SimulatedCrash, StoreFs,
+};
 pub use index::IndexedTables;
 pub use source::{
-    ingest_chain, open_chain, open_chain_indexed, open_chain_indexed_verified, DiskBlockSource,
-    IndexedChain,
+    ingest_chain, open_chain, open_chain_indexed, open_chain_indexed_verified,
+    open_chain_indexed_with_fs, DiskBlockSource, IndexedChain,
 };
 pub use store::{AddrIndexRecovery, BlockStore, RecoveryReport, StoreConfig};

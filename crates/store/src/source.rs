@@ -10,6 +10,7 @@ use lvq_chain::{Block, BlockSource, CacheStats, Chain, ChainError};
 
 use crate::cache::LruCache;
 use crate::error::StoreError;
+use crate::fsio::{RealFs, StoreFs};
 use crate::index::IndexedTables;
 use crate::store::{AddrIndexRecovery, BlockStore, RecoveryReport, StoreConfig};
 
@@ -161,7 +162,22 @@ pub fn open_chain_indexed(
     dir: impl AsRef<Path>,
     config: StoreConfig,
 ) -> Result<(IndexedChain, RecoveryReport), StoreError> {
-    open_chain_indexed_inner(dir, config, false)
+    open_chain_indexed_inner(dir, config, false, Arc::new(RealFs))
+}
+
+/// [`open_chain_indexed`] with an explicit [`StoreFs`] threaded through
+/// the store, the node log, and the root record — the seam the
+/// crash-fault harness injects through.
+///
+/// # Errors
+///
+/// As [`open_chain_indexed`].
+pub fn open_chain_indexed_with_fs(
+    dir: impl AsRef<Path>,
+    config: StoreConfig,
+    fs_impl: Arc<dyn StoreFs>,
+) -> Result<(IndexedChain, RecoveryReport), StoreError> {
+    open_chain_indexed_inner(dir, config, false, fs_impl)
 }
 
 /// Like [`open_chain_indexed`], but additionally verifies the *entire*
@@ -176,23 +192,24 @@ pub fn open_chain_indexed_verified(
     dir: impl AsRef<Path>,
     config: StoreConfig,
 ) -> Result<(IndexedChain, RecoveryReport), StoreError> {
-    open_chain_indexed_inner(dir, config, true)
+    open_chain_indexed_inner(dir, config, true, Arc::new(RealFs))
 }
 
 fn open_chain_indexed_inner(
     dir: impl AsRef<Path>,
     config: StoreConfig,
     verify: bool,
+    fs_impl: Arc<dyn StoreFs>,
 ) -> Result<(IndexedChain, RecoveryReport), StoreError> {
-    let (store, mut report) = BlockStore::open(dir, config)?;
+    let (store, mut report) = BlockStore::open_with_fs(dir, config, Arc::clone(&fs_impl))?;
     let store = Arc::new(store);
-    match try_restore(&store, config, verify) {
+    match try_restore(&store, config, verify, Arc::clone(&fs_impl)) {
         Ok((chain, status)) => {
             report.addr_index = status;
             Ok((chain, report))
         }
         Err(e) => {
-            let chain = rebuild_index(&store, config)?;
+            let chain = rebuild_index(&store, config, fs_impl)?;
             report.addr_index = AddrIndexRecovery::Rebuilt {
                 reason: rebuild_reason(&e),
             };
@@ -222,10 +239,16 @@ fn try_restore(
     store: &Arc<BlockStore>,
     config: StoreConfig,
     verify: bool,
+    fs_impl: Arc<dyn StoreFs>,
 ) -> Result<(IndexedChain, AddrIndexRecovery), StoreError> {
     let index_dir = store.dir().join(INDEX_DIR);
     let store_tip = store.len();
-    let tables = IndexedTables::open(&index_dir, index_budget(store), config.segment_target_bytes)?;
+    let tables = IndexedTables::open_with_fs(
+        &index_dir,
+        index_budget(store),
+        config.segment_target_bytes,
+        fs_impl,
+    )?;
     let root_tip = tables.tip();
     if root_tip > store_tip {
         // The index references blocks the store no longer holds — its
@@ -278,10 +301,18 @@ fn restore_chain(
 /// Rebuilds the index from scratch off the CRC-verified blocks,
 /// anchoring every [`REBUILD_BATCH`] blocks so the transient dirty set
 /// stays bounded regardless of chain length.
-fn rebuild_index(store: &Arc<BlockStore>, config: StoreConfig) -> Result<IndexedChain, StoreError> {
+fn rebuild_index(
+    store: &Arc<BlockStore>,
+    config: StoreConfig,
+    fs_impl: Arc<dyn StoreFs>,
+) -> Result<IndexedChain, StoreError> {
     let index_dir = store.dir().join(INDEX_DIR);
-    let tables =
-        IndexedTables::create(&index_dir, index_budget(store), config.segment_target_bytes)?;
+    let tables = IndexedTables::create_with_fs(
+        &index_dir,
+        index_budget(store),
+        config.segment_target_bytes,
+        fs_impl,
+    )?;
     let source = DiskBlockSource::new(Arc::clone(store));
     let mut chain =
         Chain::from_restored_parts(store.params(), Vec::new(), HashMap::new(), source, tables)

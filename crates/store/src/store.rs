@@ -34,7 +34,7 @@
 //! corruption and refuses loudly with [`StoreError::CorruptRecord`].
 
 use std::fs::{self, File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
+use std::io::{Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -49,6 +49,7 @@ use crate::frame::{
     frame_record, read_exact_at, read_record_payload, scan_record, segment_header, FrameError,
     RecordLoc, ScannedRecord, SegmentHandle, RECORD_HEADER_LEN, SEGMENT_HEADER_LEN,
 };
+use crate::fsio::{RealFs, StoreFs};
 
 const META_MAGIC: [u8; 4] = *b"LVQM";
 const SEGMENT_MAGIC: [u8; 4] = *b"LVQS";
@@ -56,8 +57,11 @@ const INDEX_MAGIC: [u8; 4] = *b"LVQI";
 const VERSION: u32 = 1;
 
 const META_FILE: &str = "store.meta";
+const META_TMP_FILE: &str = "store.meta.tmp";
 const INDEX_FILE: &str = "index.idx";
+const INDEX_TMP_FILE: &str = "index.idx.tmp";
 const FORKS_FILE: &str = "forks.log";
+const FORKS_TMP_FILE: &str = "forks.log.tmp";
 
 /// Operational knobs of a [`BlockStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -127,6 +131,11 @@ pub struct RecoveryReport {
     /// records, so the index — which never covered the unborn segment —
     /// is not implicated.
     pub repaired_segment_header: bool,
+    /// Bytes of torn tail truncated from `forks.log` — a crash
+    /// mid-journal. Repaired *at open* (not lazily tolerated) because a
+    /// later journal append landing after torn bytes would strand every
+    /// subsequent entry behind an unreadable record.
+    pub truncated_fork_log_bytes: u64,
     /// What opening the address index alongside the store found, when
     /// one was opened.
     pub addr_index: AddrIndexRecovery,
@@ -140,6 +149,7 @@ impl RecoveryReport {
             && self.recovered_records == 0
             && !self.rebuilt_index
             && !self.repaired_segment_header
+            && self.truncated_fork_log_bytes == 0
             && matches!(
                 self.addr_index,
                 AddrIndexRecovery::NotOpened | AddrIndexRecovery::Intact
@@ -164,6 +174,7 @@ pub struct BlockStore {
     dir: PathBuf,
     params: ChainParams,
     config: StoreConfig,
+    fs: Arc<dyn StoreFs>,
     index: RwLock<Vec<RecordLoc>>,
     segments: RwLock<Vec<SegmentHandle>>,
     writer: Mutex<Writer>,
@@ -186,6 +197,21 @@ impl BlockStore {
         params: ChainParams,
         config: StoreConfig,
     ) -> Result<Self, StoreError> {
+        Self::create_with_fs(dir, params, config, Arc::new(RealFs))
+    }
+
+    /// [`BlockStore::create`] with an explicit [`StoreFs`] — the seam
+    /// the crash-fault harness injects through.
+    ///
+    /// # Errors
+    ///
+    /// As [`BlockStore::create`].
+    pub fn create_with_fs(
+        dir: impl AsRef<Path>,
+        params: ChainParams,
+        config: StoreConfig,
+        fs_impl: Arc<dyn StoreFs>,
+    ) -> Result<Self, StoreError> {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
         let meta_path = dir.join(META_FILE);
@@ -193,30 +219,39 @@ impl BlockStore {
             return Err(StoreError::AlreadyExists { path: dir });
         }
 
+        // Segment first, meta last (atomic rename + directory fsync):
+        // the meta file's existence is what marks a directory as a
+        // store, so a crash anywhere inside create leaves either no
+        // store at all (re-creatable) or a complete empty one — never a
+        // half-created store.
+        let seg_path = dir.join(segment_file_name(0));
+        let seg_file = OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .read(true)
+            .write(true)
+            .open(&seg_path)?;
+        fs_impl.write_all(&seg_file, &segment_header(SEGMENT_MAGIC, VERSION, 0))?;
+        fs_impl.sync(&seg_file)?;
+
         let mut meta = Vec::new();
         meta.extend_from_slice(&META_MAGIC);
         meta.extend_from_slice(&VERSION.to_le_bytes());
         params.encode_into(&mut meta);
         let crc = crc32(&meta);
         meta.extend_from_slice(&crc.to_le_bytes());
-        let mut meta_file = File::create(&meta_path)?;
-        meta_file.write_all(&meta)?;
-        meta_file.sync_all()?;
-
-        let seg_path = dir.join(segment_file_name(0));
-        let mut seg_file = OpenOptions::new()
-            .create(true)
-            .truncate(true)
-            .read(true)
-            .write(true)
-            .open(&seg_path)?;
-        seg_file.write_all(&segment_header(SEGMENT_MAGIC, VERSION, 0))?;
-        seg_file.sync_all()?;
+        let meta_tmp = dir.join(META_TMP_FILE);
+        let meta_file = File::create(&meta_tmp)?;
+        fs_impl.write_all(&meta_file, &meta)?;
+        fs_impl.sync(&meta_file)?;
+        fs_impl.rename(&meta_tmp, &meta_path)?;
+        fs_impl.sync_dir(&dir)?;
 
         let store = BlockStore {
             dir,
             params,
             config,
+            fs: fs_impl,
             index: RwLock::new(Vec::new()),
             segments: RwLock::new(vec![SegmentHandle {
                 file: Arc::new(File::open(&seg_path)?),
@@ -246,12 +281,38 @@ impl BlockStore {
         dir: impl AsRef<Path>,
         config: StoreConfig,
     ) -> Result<(Self, RecoveryReport), StoreError> {
+        Self::open_with_fs(dir, config, Arc::new(RealFs))
+    }
+
+    /// [`BlockStore::open`] with an explicit [`StoreFs`] — recovery
+    /// repairs (tail truncation, header re-initialisation, the index
+    /// rewrite) go through it, so even recovery itself has enumerable
+    /// crash points.
+    ///
+    /// # Errors
+    ///
+    /// As [`BlockStore::open`].
+    pub fn open_with_fs(
+        dir: impl AsRef<Path>,
+        config: StoreConfig,
+        fs_impl: Arc<dyn StoreFs>,
+    ) -> Result<(Self, RecoveryReport), StoreError> {
         let dir = dir.as_ref().to_path_buf();
         let meta_path = dir.join(META_FILE);
         if !meta_path.exists() {
             return Err(StoreError::NotAStore { path: dir });
         }
         let params = read_meta(&meta_path)?;
+
+        // Stale temp files are debris from a crash between a temp write
+        // and its rename; the renamed-to files are still whole, so the
+        // debris is simply removed.
+        for tmp in [META_TMP_FILE, INDEX_TMP_FILE, FORKS_TMP_FILE] {
+            let path = dir.join(tmp);
+            if path.exists() {
+                fs_impl.remove_file(&path)?;
+            }
+        }
 
         let mut segment_count = 0u32;
         while dir.join(segment_file_name(segment_count)).exists() {
@@ -261,7 +322,15 @@ impl BlockStore {
             return Err(StoreError::MissingSegment { segment: 0 });
         }
 
-        let mut report = RecoveryReport::default();
+        // A crash mid-journal leaves a torn tail on `forks.log`. It
+        // must be truncated *now*, not tolerated lazily: the next
+        // journal append lands at end-of-file, and entries written
+        // after torn bytes would be stranded behind an unreadable
+        // record forever.
+        let mut report = RecoveryReport {
+            truncated_fork_log_bytes: repair_fork_log(&dir, &*fs_impl)?,
+            ..RecoveryReport::default()
+        };
 
         // A crash between creating a segment file and writing its
         // 12-byte header leaves a short final segment: repair it in
@@ -270,10 +339,10 @@ impl BlockStore {
         let last_path = dir.join(segment_file_name(last));
         let last_len = fs::metadata(&last_path)?.len();
         if last_len < SEGMENT_HEADER_LEN {
-            let mut f = OpenOptions::new().write(true).open(&last_path)?;
-            f.set_len(0)?;
-            f.write_all(&segment_header(SEGMENT_MAGIC, VERSION, last))?;
-            f.sync_all()?;
+            let f = OpenOptions::new().write(true).open(&last_path)?;
+            fs_impl.set_len(&f, 0)?;
+            fs_impl.write_all(&f, &segment_header(SEGMENT_MAGIC, VERSION, last))?;
+            fs_impl.sync(&f)?;
             report.truncated_tail_bytes += last_len;
             report.repaired_segment_header = true;
         }
@@ -354,8 +423,8 @@ impl BlockStore {
                         }
                         report.truncated_tail_bytes += file_len - offset;
                         let f = OpenOptions::new().write(true).open(&handle.path)?;
-                        f.set_len(offset)?;
-                        f.sync_all()?;
+                        fs_impl.set_len(&f, offset)?;
+                        fs_impl.sync(&f)?;
                         break;
                     }
                 }
@@ -372,6 +441,7 @@ impl BlockStore {
             dir,
             params,
             config,
+            fs: fs_impl,
             index: RwLock::new(index),
             segments: RwLock::new(segments),
             writer: Mutex::new(Writer {
@@ -443,7 +513,7 @@ impl BlockStore {
         if writer.offset >= self.config.segment_target_bytes && writer.offset > SEGMENT_HEADER_LEN {
             self.rotate(&mut writer)?;
         }
-        writer.file.write_all(&record)?;
+        self.fs.write_all(&writer.file, &record)?;
         let loc = RecordLoc {
             segment: writer.segment,
             offset: writer.offset,
@@ -458,16 +528,17 @@ impl BlockStore {
     /// Finishes the current segment and starts the next; called with
     /// the writer lock held.
     fn rotate(&self, writer: &mut Writer) -> Result<(), StoreError> {
-        writer.file.sync_all()?;
+        self.fs.sync(&writer.file)?;
         let next = writer.segment + 1;
         let path = self.dir.join(segment_file_name(next));
-        let mut file = OpenOptions::new()
+        let file = OpenOptions::new()
             .create(true)
             .truncate(true)
             .read(true)
             .write(true)
             .open(&path)?;
-        file.write_all(&segment_header(SEGMENT_MAGIC, VERSION, next))?;
+        self.fs
+            .write_all(&file, &segment_header(SEGMENT_MAGIC, VERSION, next))?;
         self.segments.write().push(SegmentHandle {
             file: Arc::new(File::open(&path)?),
             path,
@@ -515,12 +586,12 @@ impl BlockStore {
         // contiguous at every intermediate point, so a crash mid-way
         // reopens to a valid prefix of the old chain.
         for handle in segments.drain((keep_segment as usize + 1)..).rev() {
-            fs::remove_file(&handle.path)?;
+            self.fs.remove_file(&handle.path)?;
         }
         let keep_path = self.dir.join(segment_file_name(keep_segment));
         let mut file = OpenOptions::new().read(true).write(true).open(&keep_path)?;
-        file.set_len(end_offset)?;
-        file.sync_all()?;
+        self.fs.set_len(&file, end_offset)?;
+        self.fs.sync(&file)?;
         file.seek(SeekFrom::End(0))?;
         writer.file = file;
         writer.segment = keep_segment;
@@ -547,13 +618,61 @@ impl BlockStore {
         payload.extend_from_slice(&height.to_le_bytes());
         block.encode_into(&mut payload);
         let record = frame_record(&payload);
-        let mut file = OpenOptions::new()
+        let file = OpenOptions::new()
             .create(true)
             .append(true)
             .open(self.dir.join(FORKS_FILE))?;
-        file.write_all(&record)?;
-        file.sync_all()?;
+        self.fs.write_all(&file, &record)?;
+        self.fs.sync(&file)?;
         Ok(())
+    }
+
+    /// Compacts the fork sidecar log, dropping journaled entries whose
+    /// height has fallen out of the reorg window — a branch can only
+    /// still be re-adopted if it forked within `max_reorg_depth` of the
+    /// current tip, so entries at height `<= tip - max_reorg_depth` are
+    /// unreachable and only cost reopen scans. Entries at greater
+    /// heights (and, defensively, *above* the tip) are kept verbatim in
+    /// log order. The rewrite is atomic: temp file, fsync, rename,
+    /// directory fsync; an empty survivor set removes the log outright.
+    ///
+    /// Returns how many entries were dropped.
+    ///
+    /// # Errors
+    ///
+    /// As [`BlockStore::fork_log`], plus [`StoreError::Io`] on rewrite
+    /// failure.
+    pub fn compact_fork_log(&self, max_reorg_depth: u64) -> Result<u64, StoreError> {
+        let entries = self.fork_log()?;
+        if entries.is_empty() {
+            return Ok(0);
+        }
+        let horizon = self.len().saturating_sub(max_reorg_depth);
+        let kept: Vec<&(u64, Block)> = entries.iter().filter(|(h, _)| *h > horizon).collect();
+        let dropped = (entries.len() - kept.len()) as u64;
+        if dropped == 0 {
+            return Ok(0);
+        }
+        let log_path = self.dir.join(FORKS_FILE);
+        if kept.is_empty() {
+            self.fs.remove_file(&log_path)?;
+            self.fs.sync_dir(&self.dir)?;
+            return Ok(dropped);
+        }
+        let mut bytes = Vec::new();
+        for (height, block) in kept {
+            let mut payload = Vec::with_capacity(8 + block.encoded_len());
+            payload.extend_from_slice(&height.to_le_bytes());
+            block.encode_into(&mut payload);
+            bytes.extend_from_slice(&frame_record(&payload));
+        }
+        let tmp = self.dir.join(FORKS_TMP_FILE);
+        let file = File::create(&tmp)?;
+        self.fs.write_all(&file, &bytes)?;
+        self.fs.sync(&file)?;
+        self.fs.rename(&tmp, &log_path)?;
+        self.fs.sync_dir(&self.dir)?;
+        Ok(dropped)
     }
 
     /// Replays the fork sidecar log: every `(height, block)` ever
@@ -694,11 +813,14 @@ impl BlockStore {
     ///
     /// Returns [`StoreError::Io`] on failure.
     pub fn sync(&self) -> Result<(), StoreError> {
-        self.writer.lock().file.sync_all()?;
+        let writer = self.writer.lock();
+        self.fs.sync(&writer.file)?;
+        drop(writer);
         self.save_index()
     }
 
-    /// Atomically rewrites `index.idx` (write to a temporary, rename).
+    /// Atomically rewrites `index.idx` (write to a temporary, rename,
+    /// fsync the directory).
     fn save_index(&self) -> Result<(), StoreError> {
         let mut bytes = Vec::new();
         bytes.extend_from_slice(&INDEX_MAGIC);
@@ -715,11 +837,14 @@ impl BlockStore {
         let crc = crc32(&bytes);
         bytes.extend_from_slice(&crc.to_le_bytes());
 
-        let tmp = self.dir.join("index.idx.tmp");
-        let mut file = File::create(&tmp)?;
-        file.write_all(&bytes)?;
-        file.sync_all()?;
-        fs::rename(&tmp, self.dir.join(INDEX_FILE))?;
+        let tmp = self.dir.join(INDEX_TMP_FILE);
+        let file = File::create(&tmp)?;
+        self.fs.write_all(&file, &bytes)?;
+        self.fs.sync(&file)?;
+        self.fs.rename(&tmp, &self.dir.join(INDEX_FILE))?;
+        // A rename alone is not power-loss durable until the directory
+        // entry itself is on disk.
+        self.fs.sync_dir(&self.dir)?;
         Ok(())
     }
 }
@@ -730,6 +855,41 @@ impl Drop for BlockStore {
         // needs no tail scan.
         let _ = self.sync();
     }
+}
+
+/// Scans `forks.log` for a torn final record and truncates it away,
+/// returning the bytes removed (zero for a clean or absent log).
+/// Corruption *before* the tail refuses loudly, like segment scans.
+fn repair_fork_log(dir: &Path, fs_impl: &dyn StoreFs) -> Result<u64, StoreError> {
+    let path = dir.join(FORKS_FILE);
+    if !path.exists() {
+        return Ok(0);
+    }
+    let file_len = fs::metadata(&path)?.len();
+    let handle = SegmentHandle {
+        file: Arc::new(File::open(&path)?),
+        path: path.clone(),
+    };
+    let mut offset = 0u64;
+    while offset < file_len {
+        match scan_record(&handle, 0, offset, file_len)? {
+            ScannedRecord::Valid(loc) => offset = loc.end(),
+            ScannedRecord::Corrupt { offset, detail } => {
+                return Err(StoreError::CorruptRecord {
+                    segment: 0,
+                    offset,
+                    detail,
+                });
+            }
+            ScannedRecord::Torn => {
+                let f = OpenOptions::new().write(true).open(&path)?;
+                fs_impl.set_len(&f, offset)?;
+                fs_impl.sync(&f)?;
+                return Ok(file_len - offset);
+            }
+        }
+    }
+    Ok(0)
 }
 
 fn read_meta(path: &Path) -> Result<ChainParams, StoreError> {

@@ -1,0 +1,255 @@
+//! [`RecoveryReport`] accuracy: every repair the report claims really
+//! happened on disk, and nothing the report does *not* claim changed.
+//!
+//! The test damages a known-clean store in a randomly chosen way,
+//! snapshots every file, reopens, and diffs the directory against the
+//! damaged snapshot. Each changed, created, or removed file must be
+//! explained by a specific report field; a clean report must mean a
+//! byte-identical directory (modulo stale temp-file debris, whose
+//! removal is documented cleanup, not a repair).
+
+use std::collections::BTreeMap;
+use std::fs::{self, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proptest::prelude::*;
+
+use lvq_bloom::BloomParams;
+use lvq_chain::{Address, Chain, ChainBuilder, ChainParams, CommitmentPolicy, Transaction};
+use lvq_store::{BlockStore, StoreConfig};
+
+static NEXT_DIR: AtomicU64 = AtomicU64::new(0);
+
+struct ScratchDir(PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> Self {
+        let n = NEXT_DIR.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("lvq-report-{tag}-{}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        ScratchDir(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn params() -> ChainParams {
+    ChainParams::new(BloomParams::new(64, 2).unwrap(), 4, CommitmentPolicy::lvq()).unwrap()
+}
+
+fn build_chain(blocks: u64) -> Chain {
+    let mut builder = ChainBuilder::new(params()).unwrap();
+    for h in 1..=blocks {
+        builder
+            .push_block(vec![Transaction::coinbase(
+                Address::new("1Miner"),
+                50,
+                h as u32,
+            )])
+            .unwrap();
+    }
+    builder.finish()
+}
+
+/// Every file in the (flat) store directory, by name.
+fn snapshot(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    fs::read_dir(dir)
+        .unwrap()
+        .map(|e| {
+            let e = e.unwrap();
+            let name = e.file_name().into_string().unwrap();
+            let bytes = fs::read(e.path()).unwrap();
+            (name, bytes)
+        })
+        .collect()
+}
+
+fn append_garbage(path: &Path, n: u64) {
+    let mut file = OpenOptions::new().append(true).open(path).unwrap();
+    file.write_all(&vec![0xAB; n as usize]).unwrap();
+}
+
+fn last_segment(dir: &Path) -> PathBuf {
+    let mut seg = 0u32;
+    while dir.join(format!("segment-{:04}.blk", seg + 1)).exists() {
+        seg += 1;
+    }
+    dir.join(format!("segment-{seg:04}.blk"))
+}
+
+/// The damage kinds the proptest draws from.
+#[derive(Debug, Clone, Copy)]
+enum Damage {
+    /// No damage at all: the report must be clean and the directory
+    /// untouched.
+    None,
+    /// Garbage appended to the last segment — a torn block append.
+    TornSegmentTail,
+    /// Garbage appended to `forks.log` — a torn journal append.
+    TornForkLog,
+    /// `index.idx` deleted — the index cache must be rebuilt.
+    MissingIndex,
+    /// Stale `*.tmp` debris from a crash between temp write and rename.
+    StaleTmps,
+    /// `index.idx` rolled back to an older snapshot — the unindexed
+    /// tail records must be re-adopted.
+    StaleIndex,
+}
+
+fn damage_strategy() -> impl Strategy<Value = Damage> {
+    prop_oneof![
+        Just(Damage::None),
+        Just(Damage::TornSegmentTail),
+        Just(Damage::TornForkLog),
+        Just(Damage::MissingIndex),
+        Just(Damage::StaleTmps),
+        Just(Damage::StaleIndex),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn report_claims_are_accurate_and_complete(
+        blocks in 3u64..10,
+        damage in damage_strategy(),
+        garbage in 1u64..40,
+        extra in 1u64..4,
+    ) {
+        let scratch = ScratchDir::new("acc");
+        let dir = scratch.path();
+        let truth = build_chain(blocks + extra);
+        let config = StoreConfig {
+            // Small segments so garbage and rollbacks interact with
+            // rotation boundaries too.
+            segment_target_bytes: 512,
+            ..StoreConfig::default()
+        };
+
+        // A clean baseline: `blocks` blocks, one journaled fork entry.
+        {
+            let store = BlockStore::create(dir, truth.params(), config).unwrap();
+            for h in 1..=blocks {
+                store.append(&truth.block(h).unwrap()).unwrap();
+            }
+            store.log_fork_block(blocks, &truth.block(blocks).unwrap()).unwrap();
+            store.sync().unwrap();
+        }
+
+        // Inflict the damage.
+        match damage {
+            Damage::None => {}
+            Damage::TornSegmentTail => append_garbage(&last_segment(dir), garbage),
+            Damage::TornForkLog => append_garbage(&dir.join("forks.log"), garbage),
+            Damage::MissingIndex => fs::remove_file(dir.join("index.idx")).unwrap(),
+            Damage::StaleTmps => {
+                for tmp in ["store.meta.tmp", "index.idx.tmp", "forks.log.tmp"] {
+                    fs::write(dir.join(tmp), b"debris").unwrap();
+                }
+            }
+            Damage::StaleIndex => {
+                let old_index = fs::read(dir.join("index.idx")).unwrap();
+                {
+                    let (store, _) = BlockStore::open(dir, config).unwrap();
+                    for h in blocks + 1..=blocks + extra {
+                        store.append(&truth.block(h).unwrap()).unwrap();
+                    }
+                    store.sync().unwrap();
+                }
+                fs::write(dir.join("index.idx"), old_index).unwrap();
+            }
+        }
+        let damaged = snapshot(dir);
+
+        let (store, report) = BlockStore::open(dir, config).unwrap();
+        let after = snapshot(dir);
+
+        // Positive claims: the report describes exactly the damage.
+        match damage {
+            Damage::None | Damage::StaleTmps => {
+                prop_assert!(report.is_clean(), "unexpected repairs: {report:?}");
+            }
+            Damage::TornSegmentTail => {
+                prop_assert_eq!(report.truncated_tail_bytes, garbage);
+                prop_assert_eq!(report.recovered_records, 0);
+            }
+            Damage::TornForkLog => {
+                prop_assert_eq!(report.truncated_fork_log_bytes, garbage);
+                prop_assert_eq!(report.truncated_tail_bytes, 0);
+            }
+            Damage::MissingIndex => {
+                prop_assert!(report.rebuilt_index);
+                prop_assert_eq!(report.recovered_records, blocks);
+                prop_assert_eq!(report.truncated_tail_bytes, 0);
+            }
+            Damage::StaleIndex => {
+                prop_assert!(!report.rebuilt_index, "a valid old index is adopted");
+                prop_assert_eq!(report.recovered_records, extra);
+                prop_assert_eq!(report.truncated_tail_bytes, 0);
+            }
+        }
+
+        // The store really recovered: every block readable and correct.
+        let expect_len = match damage {
+            Damage::StaleIndex => blocks + extra,
+            _ => blocks,
+        };
+        prop_assert_eq!(store.len(), expect_len);
+        prop_assert_eq!(store.verify_all().unwrap(), expect_len);
+
+        // Completeness: nothing unreported changed on disk. Build the
+        // set of files each report field licenses the open to touch.
+        for (name, bytes) in &damaged {
+            let now = after.get(name);
+            if now.map(|b| b == bytes).unwrap_or(false) {
+                continue; // untouched
+            }
+            let licensed = if name.ends_with(".tmp") {
+                // Debris removal is documented cleanup, always allowed
+                // — but only removal, never rewriting.
+                now.is_none()
+            } else if name.ends_with(".blk") {
+                *name == last_segment(dir).file_name().unwrap().to_string_lossy()
+                    && (report.truncated_tail_bytes > 0 || report.repaired_segment_header)
+            } else if name == "forks.log" {
+                report.truncated_fork_log_bytes > 0
+            } else if name == "index.idx" {
+                !report.is_clean()
+            } else {
+                false
+            };
+            prop_assert!(
+                licensed,
+                "file {name} changed without a report claim licensing it ({report:?})"
+            );
+        }
+        // No unexplained new files either (a rewritten index is the
+        // only file open may create).
+        for name in after.keys() {
+            if !damaged.contains_key(name) {
+                prop_assert!(
+                    name == "index.idx" && !report.is_clean(),
+                    "file {name} appeared without a report claim"
+                );
+            }
+        }
+
+        // The repairs converged: a second open is clean and changes
+        // nothing (the store is still live, but it has not written
+        // since the snapshot).
+        drop(store);
+        let (_, second) = BlockStore::open(dir, config).unwrap();
+        prop_assert!(second.is_clean(), "repairs did not converge: {second:?}");
+    }
+}

@@ -210,6 +210,91 @@ fn fork_log_roundtrips_and_tolerates_a_torn_tail() {
 }
 
 #[test]
+fn fork_log_compaction_never_loses_a_reachable_branch() {
+    let scratch = ScratchDir::new("compact");
+    let truth = build_chain(12, 4, "Main");
+    let rival = build_chain(12, 4, "Fork");
+    let store = fill_store(
+        scratch.path(),
+        &truth,
+        StoreConfig::default().segment_target_bytes,
+    );
+
+    // Journal rival blocks at heights 5..=12, as a long running ingest
+    // would across many small reorgs.
+    let mut logged = Vec::new();
+    for h in 5..=12 {
+        let block = rival.block(h).unwrap();
+        store.log_fork_block(h, &block).unwrap();
+        logged.push((h, (*block).clone()));
+    }
+
+    // With a reorg budget of 4 off tip 12, only heights > 8 are still
+    // re-adoptable; everything reachable survives byte-identically and
+    // in log order.
+    assert_eq!(store.compact_fork_log(4).unwrap(), 4);
+    assert_eq!(store.fork_log().unwrap(), logged[4..].to_vec());
+
+    // Idempotent: nothing left to drop at the same depth.
+    assert_eq!(store.compact_fork_log(4).unwrap(), 0);
+    assert_eq!(store.fork_log().unwrap(), logged[4..].to_vec());
+
+    // The compacted log is still a normal journal: appends and replay
+    // keep working, and the store reopens without complaint.
+    store.log_fork_block(12, &truth.block(12).unwrap()).unwrap();
+    assert_eq!(store.fork_log().unwrap().len(), 5);
+    drop(store);
+    let (store, report) = BlockStore::open(scratch.path(), StoreConfig::default()).unwrap();
+    assert!(report.is_clean(), "compaction must not look like damage");
+
+    // Depth 0 means no branch is reachable: the log is removed whole.
+    assert_eq!(store.compact_fork_log(0).unwrap(), 5);
+    assert_eq!(store.fork_log().unwrap(), vec![]);
+    assert!(!scratch.path().join("forks.log").exists());
+}
+
+#[test]
+fn torn_fork_log_tail_is_repaired_at_open_so_appends_stay_readable() {
+    let scratch = ScratchDir::new("forkrepair");
+    let truth = build_chain(8, 5, "Fork");
+    let store = fill_store(
+        scratch.path(),
+        &truth,
+        StoreConfig::default().segment_target_bytes,
+    );
+    let mut expected = Vec::new();
+    for h in 6..=7 {
+        let block = truth.block(h).unwrap();
+        store.log_fork_block(h, &block).unwrap();
+        expected.push((h, (*block).clone()));
+    }
+    drop(store);
+
+    // A crash mid-append leaves a torn tail.
+    let log_path = scratch.path().join("forks.log");
+    let mut file = OpenOptions::new().append(true).open(&log_path).unwrap();
+    file.write_all(&[0xAB; 5]).unwrap();
+    drop(file);
+
+    // Reopen repairs the tail *now* — if it merely tolerated it, the
+    // next append would land after the garbage and strand itself
+    // behind an unreadable record.
+    let (store, report) = BlockStore::open(scratch.path(), StoreConfig::default()).unwrap();
+    assert_eq!(report.truncated_fork_log_bytes, 5);
+    assert!(!report.is_clean());
+    assert_eq!(store.fork_log().unwrap(), expected);
+
+    let block = truth.block(8).unwrap();
+    store.log_fork_block(8, &block).unwrap();
+    expected.push((8, (*block).clone()));
+    assert_eq!(
+        store.fork_log().unwrap(),
+        expected,
+        "an append after the repair must stay reachable"
+    );
+}
+
+#[test]
 fn indexed_rewind_and_reorg_persist_across_reopen() {
     let scratch = ScratchDir::new("indexed");
     let canonical = build_chain(14, 9, "Main");
